@@ -1,0 +1,322 @@
+(** The vrm command-line tool.
+
+    - [vrm-cli litmus [NAME]] — run the litmus corpus (or one test) under
+      SC and Promising Arm and print the outcome comparison;
+    - [vrm-cli certify [--linux V] [--levels N]] — produce the wDRF
+      certificate for one verified KVM version, or all of them;
+    - [vrm-cli simulate (table3|fig8|fig9)] — regenerate an evaluation
+      artifact from the performance model;
+    - [vrm-cli scenario] — run the standard whole-system scenario and
+      print the security report. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+
+let litmus_cmd =
+  let test_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run test_name =
+    let tests =
+      match test_name with
+      | None -> Memmodel.Paper_examples.all
+      | Some n ->
+          List.filter
+            (fun t -> t.Memmodel.Litmus.prog.Memmodel.Prog.name = n)
+            Memmodel.Paper_examples.all
+    in
+    if tests = [] then (
+      Format.eprintf "unknown litmus test%a@."
+        (Format.pp_print_option Format.pp_print_string)
+        test_name;
+      exit 1);
+    List.iter
+      (fun t ->
+        let r = Memmodel.Litmus.run t in
+        Format.printf "%a@.@." Memmodel.Litmus.pp_result r)
+      tests;
+    if
+      List.exists
+        (fun t -> not (Memmodel.Litmus.run t).Memmodel.Litmus.as_expected)
+        tests
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
+    Term.(const run $ test_name)
+
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  let linux =
+    Arg.(value & opt (some string) None & info [ "linux" ] ~docv:"VERSION")
+  in
+  let levels =
+    Arg.(value & opt int 4 & info [ "levels" ] ~docv:"N")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ]) in
+  let run linux levels verbose =
+    let versions =
+      match linux with
+      | None -> Sekvm.Kernel_progs.versions
+      | Some l -> [ { Sekvm.Kernel_progs.linux = l; stage2_levels = levels } ]
+    in
+    let ok = ref true in
+    List.iter
+      (fun v ->
+        let r = Vrm.Certificate.certify v in
+        if verbose then Format.printf "%a@.@." Vrm.Certificate.pp_report r
+        else
+          Format.printf "Linux %-6s %d-level stage-2: %s@."
+            v.Sekvm.Kernel_progs.linux v.Sekvm.Kernel_progs.stage2_levels
+            (if r.Vrm.Certificate.certified then "CERTIFIED" else "FAILED");
+        if not r.Vrm.Certificate.certified then ok := false)
+      versions;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"produce the wDRF certificate for KVM versions")
+    Term.(const run $ linux $ levels $ verbose)
+
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let what =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("table3", `T3); ("fig8", `F8); ("fig9", `F9) ]))
+          None
+      & info [] ~docv:"ARTIFACT")
+  in
+  let run what =
+    match what with
+    | `T3 ->
+        Format.printf "%-12s %-8s %8s %8s %7s %7s@." "bench" "hw" "KVM"
+          "SeKVM" "ratio" "paper";
+        List.iter
+          (fun (r : Perf.Micro.row) ->
+            Format.printf "%-12s %-8s %8d %8d %7.2f %7.2f@."
+              r.Perf.Micro.bench.Perf.Micro.name r.Perf.Micro.hw_name
+              r.Perf.Micro.kvm_cycles r.Perf.Micro.sekvm_cycles
+              r.Perf.Micro.overhead
+              (Option.value ~default:0.0
+                 (Perf.Micro.paper_overhead r.Perf.Micro.bench.Perf.Micro.name
+                    r.Perf.Micro.hw_name)))
+          (Perf.Micro.table3 ())
+    | `F8 ->
+        let pts = Perf.App_sim.figure8 () in
+        Format.printf "%-10s %-8s %-5s %-6s %10s@." "workload" "hw" "linux"
+          "hyp" "norm-perf";
+        List.iter
+          (fun (p : Perf.App_sim.point) ->
+            Format.printf "%-10s %-8s %-5s %-6s %10.3f@."
+              p.Perf.App_sim.workload.Perf.Workload.name p.Perf.App_sim.hw_name
+              (Perf.App_sim.version_name p.Perf.App_sim.version)
+              (match p.Perf.App_sim.hypervisor with
+              | Perf.Cost_model.Kvm -> "kvm"
+              | Perf.Cost_model.Sekvm -> "sekvm")
+              p.Perf.App_sim.normalized_perf)
+          pts
+    | `F9 ->
+        let pts = Perf.Multi_vm.figure9 () in
+        Format.printf "%-10s %-6s %4s %10s@." "workload" "hyp" "VMs"
+          "norm-perf";
+        List.iter
+          (fun (p : Perf.Multi_vm.point) ->
+            Format.printf "%-10s %-6s %4d %10.3f@."
+              p.Perf.Multi_vm.workload.Perf.Workload.name
+              (match p.Perf.Multi_vm.hypervisor with
+              | Perf.Cost_model.Kvm -> "kvm"
+              | Perf.Cost_model.Sekvm -> "sekvm")
+              p.Perf.Multi_vm.n_vms p.Perf.Multi_vm.normalized_perf)
+          pts
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"regenerate an evaluation table/figure")
+    Term.(const run $ what)
+
+(* ------------------------------------------------------------------ *)
+
+let scenario_cmd =
+  let run () =
+    let out = Vrm.Scenario.standard_run () in
+    Format.printf "VMs booted: %s@."
+      (String.concat ", " (List.map string_of_int out.Vrm.Scenario.vmids));
+    Format.printf "guest work checksum: %d@." out.Vrm.Scenario.guest_sum;
+    List.iter
+      (fun (name, denied) ->
+        Format.printf "attack %-24s %s@." name
+          (if denied then "DENIED" else "SUCCEEDED (BAD)"))
+      out.Vrm.Scenario.attack_results;
+    let bad = Sekvm.Kcore.check_invariants out.Vrm.Scenario.kcore in
+    Format.printf "invariant violations: %d@." (List.length bad);
+    if
+      List.exists (fun (_, d) -> not d) out.Vrm.Scenario.attack_results
+      || bad <> []
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"run the standard whole-system scenario")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let stress_cmd =
+  let n_vms = Arg.(value & opt int 6 & info [ "vms" ] ~docv:"N") in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N") in
+  let run n_vms rounds =
+    let s = Vrm.Scenario.stress_run ~n_vms ~rounds () in
+    Format.printf
+      "%d VMs x %d rounds: %d guest ops, %d stage-2 faults, %d hypercalls,        %d vIPIs; invariants held at every checkpoint@."
+      s.Vrm.Scenario.st_vms s.Vrm.Scenario.st_rounds
+      s.Vrm.Scenario.st_guest_ops s.Vrm.Scenario.st_s2_faults
+      s.Vrm.Scenario.st_hypercalls s.Vrm.Scenario.st_vipis
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"run many VMs concurrently with invariants checked every round")
+    Term.(const run $ n_vms $ rounds)
+
+let sweep_cmd =
+  let run () =
+    Format.printf "SeKVM/KVM hypercall ratio vs TLB capacity (m400-class):@.";
+    List.iter
+      (fun (n, r) -> Format.printf "  %5d entries: %5.2fx@." n r)
+      (Perf.Micro.tlb_sweep ());
+    Format.printf "@.with 2MB KServ stage-2 blocks (ablation):@.";
+    List.iter
+      (fun (r : Perf.Micro.row) ->
+        if r.Perf.Micro.hw_name = "m400" then
+          Format.printf "  %-12s %5.2fx@." r.Perf.Micro.bench.Perf.Micro.name
+            r.Perf.Micro.overhead)
+      (Perf.Micro.table3 ~kserv_hugepages:true ())
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"TLB-capacity and huge-page ablations")
+    Term.(const run $ const ())
+
+let migrate_cmd =
+  let run () =
+    let cfg = Sekvm.Kcore.default_boot_config in
+    let src = Sekvm.Kcore.boot cfg in
+    let src_kserv = Sekvm.Kserv.create src ~first_free_pfn:(Sekvm.Kcore.kserv_base cfg) in
+    match Sekvm.Kserv.boot_vm src_kserv ~cpu:0 ~n_vcpus:1 ~image_pages:2 with
+    | Error _ -> Format.printf "boot failed@."; exit 1
+    | Ok vmid ->
+        ignore
+          (Sekvm.Kserv.run_guest src_kserv ~cpu:1 ~vmid ~vcpuid:0
+             [ Sekvm.Vm.G_write (Machine.Page_table.page_va 50, 777) ]);
+        let pages = Sekvm.Kcore.export_vm src ~cpu:0 ~vmid in
+        let dst = Sekvm.Kcore.boot cfg in
+        let dst_kserv =
+          Sekvm.Kserv.create dst ~first_free_pfn:(Sekvm.Kcore.kserv_base cfg)
+        in
+        let new_vmid =
+          Sekvm.Kcore.import_vm dst ~cpu:0 ~pages
+            ~donate:(fun () -> Sekvm.Kserv.alloc_page dst_kserv)
+            ~n_vcpus:1
+        in
+        (match
+           Sekvm.Kserv.run_guest dst_kserv ~cpu:1 ~vmid:new_vmid ~vcpuid:0
+             [ Sekvm.Vm.G_read (Machine.Page_table.page_va 50) ]
+         with
+        | [ Sekvm.Vm.R_value 777 ] ->
+            Format.printf
+              "migrated VM %d -> VM %d: guest state intact; invariants:                src %d, dst %d violations@."
+              vmid new_vmid
+              (List.length (Sekvm.Kcore.check_invariants src))
+              (List.length (Sekvm.Kcore.check_invariants dst))
+        | _ ->
+            Format.printf "migration corrupted guest state@.";
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"export a VM from one host and import on another")
+    Term.(const run $ const ())
+
+let axiomatic_cmd =
+  let test_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run test_name =
+    let corpus = Memmodel.Paper_examples.all @ Memmodel.Litmus_suite.all in
+    let tests =
+      match test_name with
+      | None -> corpus
+      | Some n ->
+          List.filter
+            (fun t -> t.Memmodel.Litmus.prog.Memmodel.Prog.name = n)
+            corpus
+    in
+    let cfg =
+      { Memmodel.Promising.default_config with max_promises = 2;
+        cert_depth = 40 }
+    in
+    List.iter
+      (fun (t : Memmodel.Litmus.t) ->
+        match Memmodel.Axiomatic.run t.Memmodel.Litmus.prog with
+        | ax ->
+            let pr =
+              Vrm.Refinement.normals
+                (Memmodel.Promising.run ~config:cfg t.Memmodel.Litmus.prog)
+            in
+            Format.printf "%-26s axiomatic=%d promising=%d  %s@."
+              t.Memmodel.Litmus.prog.Memmodel.Prog.name
+              (Memmodel.Behavior.cardinal ax)
+              (Memmodel.Behavior.cardinal pr)
+              (if Memmodel.Behavior.equal ax pr then "AGREE"
+               else if Memmodel.Behavior.subset pr ax then
+                 "promising under-approximates (bounded promises/RMWs)"
+               else "DISAGREE")
+        | exception Memmodel.Axiomatic.Unsupported why ->
+            Format.printf "%-26s outside the axiomatic fragment (%s)@."
+              t.Memmodel.Litmus.prog.Memmodel.Prog.name why)
+      tests
+  in
+  Cmd.v
+    (Cmd.info "axiomatic"
+       ~doc:"compare the Promising executor against the Armv8 axiomatic model")
+    Term.(const run $ test_name)
+
+let repair_cmd =
+  let test_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run test_name =
+    let corpus =
+      List.map
+        (fun (t : Memmodel.Litmus.t) -> (t.Memmodel.Litmus.prog, t.Memmodel.Litmus.rm_config))
+        (Memmodel.Paper_examples.all @ Memmodel.Litmus_suite.all)
+      @ List.map
+          (fun (e : Sekvm.Kernel_progs.entry) ->
+            (e.Sekvm.Kernel_progs.prog, Some e.Sekvm.Kernel_progs.rm_config))
+          (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus)
+    in
+    match
+      List.find_opt
+        (fun (p, _) -> p.Memmodel.Prog.name = test_name)
+        corpus
+    with
+    | None ->
+        Format.eprintf "unknown program %s@." test_name;
+        exit 1
+    | Some (prog, config) ->
+        let r = Vrm.Synthesis.repair ?config prog in
+        Format.printf "%a@." Vrm.Synthesis.pp_result r;
+        if r.Vrm.Synthesis.repaired = None
+           && not r.Vrm.Synthesis.original.Vrm.Refinement.holds
+        then exit 1
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"synthesize minimal acquire/release upgrades for a racy program")
+    Term.(const run $ test_name)
+
+let () =
+  let doc = "VRM: verification of concurrent kernel code on Arm relaxed memory" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vrm-cli" ~doc)
+          [ litmus_cmd; certify_cmd; simulate_cmd; scenario_cmd; stress_cmd;
+            sweep_cmd; migrate_cmd; axiomatic_cmd; repair_cmd ]))

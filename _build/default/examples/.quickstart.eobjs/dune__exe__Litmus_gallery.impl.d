@@ -1,0 +1,1 @@
+examples/litmus_gallery.ml: Behavior Format List Litmus Litmus_suite Machine Memmodel Mmu_walker Page_pool Page_table Paper_examples Phys_mem Prog Pte String Tlb_sim Tso

@@ -1,0 +1,1 @@
+examples/litmus_gallery.mli:

@@ -1,0 +1,1 @@
+examples/migration.ml: Format Kcore Kserv List Machine Page_table S2page Sekvm Vm Vrm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Behavior Expr Format Instr List Memmodel Prog Promising Pushpull Reg Result Sc Sekvm Vrm

@@ -1,0 +1,1 @@
+examples/vm_lifecycle.ml: Format Kcore Kserv Kvm_baseline List Machine Page_table Phys_mem S2page Sekvm Vm

@@ -1,0 +1,1 @@
+examples/vm_lifecycle.mli:

@@ -1,0 +1,1 @@
+examples/wdrf_audit.mli:

@@ -1,0 +1,1 @@
+lib/core/abs_spec.pp.ml: Format Kcore List Machine Npt Option Page_table Ppx_deriving_runtime S2page Sekvm Smmu Smmu_ops

@@ -1,0 +1,1 @@
+lib/core/abs_spec.pp.mli: Format Sekvm

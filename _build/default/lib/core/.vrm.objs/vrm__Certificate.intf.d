@@ -1,0 +1,1 @@
+lib/core/certificate.pp.mli: Check_barrier Check_drf Check_isolation Check_tlbi Check_transactional Check_write_once Format Kernel_progs Refinement Sekvm

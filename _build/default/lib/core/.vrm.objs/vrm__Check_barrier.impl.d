@@ -1,0 +1,1 @@
+lib/core/check_barrier.pp.ml: Expr Format Instr List Memmodel Prog String

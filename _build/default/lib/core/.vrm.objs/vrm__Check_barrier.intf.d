@@ -1,0 +1,1 @@
+lib/core/check_barrier.pp.mli: Format Instr Memmodel Prog

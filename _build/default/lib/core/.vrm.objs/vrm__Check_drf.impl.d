@@ -1,0 +1,1 @@
+lib/core/check_drf.pp.ml: Behavior Format Memmodel Prog Pushpull

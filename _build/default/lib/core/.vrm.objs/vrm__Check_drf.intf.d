@@ -1,0 +1,1 @@
+lib/core/check_drf.pp.mli: Behavior Format Memmodel Prog Pushpull

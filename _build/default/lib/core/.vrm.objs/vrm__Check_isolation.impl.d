@@ -1,0 +1,1 @@
+lib/core/check_isolation.pp.ml: Format Kcore List Machine Npt Sekvm Trace

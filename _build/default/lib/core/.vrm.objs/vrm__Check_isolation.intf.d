@@ -1,0 +1,1 @@
+lib/core/check_isolation.pp.mli: Format Kcore Sekvm

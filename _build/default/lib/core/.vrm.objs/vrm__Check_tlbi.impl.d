@@ -1,0 +1,1 @@
+lib/core/check_tlbi.pp.ml: Format List Machine Page_table Pte Sekvm String Trace

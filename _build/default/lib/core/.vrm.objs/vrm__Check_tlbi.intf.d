@@ -1,0 +1,1 @@
+lib/core/check_tlbi.pp.mli: Format Machine Sekvm Trace

@@ -1,0 +1,1 @@
+lib/core/check_transactional.pp.ml: Format List Machine Mmu_walker Page_table Phys_mem Pte Sekvm

@@ -1,0 +1,1 @@
+lib/core/check_transactional.pp.mli: Format Machine Page_table Phys_mem Pte Sekvm

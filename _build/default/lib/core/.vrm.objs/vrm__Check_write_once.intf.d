@@ -1,0 +1,1 @@
+lib/core/check_write_once.pp.mli: Format Machine Sekvm

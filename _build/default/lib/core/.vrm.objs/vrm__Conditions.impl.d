@@ -1,0 +1,1 @@
+lib/core/conditions.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/conditions.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/core/partial_order.pp.ml: Array Hashtbl List Loc Memmodel Ppx_deriving_runtime Pushpull

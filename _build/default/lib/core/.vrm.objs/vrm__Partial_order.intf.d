@@ -1,0 +1,1 @@
+lib/core/partial_order.pp.mli: Format Loc Memmodel Pushpull

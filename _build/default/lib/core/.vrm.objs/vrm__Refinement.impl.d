@@ -1,0 +1,1 @@
+lib/core/refinement.pp.ml: Behavior Format List Memmodel Prog Promising Sc

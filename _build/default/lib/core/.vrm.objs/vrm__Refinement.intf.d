@@ -1,0 +1,1 @@
+lib/core/refinement.pp.mli: Behavior Format Memmodel Prog Promising

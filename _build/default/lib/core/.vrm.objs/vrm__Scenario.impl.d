@@ -1,0 +1,1 @@
+lib/core/scenario.pp.ml: Kcore Kserv List Machine Npt Sekvm Vm

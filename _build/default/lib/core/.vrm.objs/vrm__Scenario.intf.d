@@ -1,0 +1,1 @@
+lib/core/scenario.pp.mli: Kcore Kserv Sekvm

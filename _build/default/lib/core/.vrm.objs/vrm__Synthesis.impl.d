@@ -1,0 +1,1 @@
+lib/core/synthesis.pp.ml: Expr Format Instr List Memmodel Ppx_deriving_runtime Prog Refinement Reg

@@ -1,0 +1,1 @@
+lib/core/synthesis.pp.mli: Format Memmodel Prog Promising Refinement

@@ -1,0 +1,1 @@
+lib/core/theorem4.pp.ml: Behavior Expr Format Instr List Memmodel Option Prog Promising Sc

@@ -1,0 +1,1 @@
+lib/core/theorem4.pp.mli: Behavior Format Memmodel Prog Promising

@@ -1,0 +1,61 @@
+(** Abstract functional specification of KCore, and executable
+    refinement — the analog of the SeKVM layered Coq proofs' top layer.
+    The abstract state is only the security-relevant content (ownership,
+    sharing, stage-2 mapping functions, VM phases); each hypercall has a
+    pure transition; refinement is the testable commutation
+    [abstract(impl) --spec--> abstract(impl after op)]. *)
+
+type owner = O_kcore | O_kserv | O_vm of int
+
+type vm_phase = P_registered | P_verified | P_torn_down
+
+type t = {
+  n_pages : int;
+  page_owner : owner list;  (** indexed by pfn *)
+  page_shared : bool list;
+  vms : (int * vm_phase) list;  (** sorted by vmid *)
+  vm_maps : (int * (int * int) list) list;
+      (** per VM: sorted (guest page -> pfn) mapping function *)
+  kserv_map : (int * int) list;
+  smmu : (int * (owner * (int * int) list)) list;
+      (** per device: assigned owner and (iova page -> pfn) map *)
+  next_vmid : int;
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val abstract : Sekvm.Kcore.t -> t
+(** Forget everything the security statements don't mention: TLBs, pools,
+    traces, counters, page contents. *)
+
+(** {2 Specification transitions (pure)} *)
+
+val spec_register_vm : t -> t * int
+val spec_set_vm_image : t -> vmid:int -> pfns:int list -> (t, [ `Denied ]) result
+val spec_map_page_to_vm : t -> vmid:int -> vp:int -> pfn:int -> (t, [ `Denied ]) result
+val spec_kserv_fault : t -> pfn:int -> (t, [ `Denied ]) result
+val spec_share : t -> vmid:int -> vp:int -> (t, [ `Denied ]) result
+val spec_unshare : t -> vmid:int -> vp:int -> (t, [ `Denied ]) result
+val spec_teardown : t -> vmid:int -> t
+val spec_smmu_attach : t -> device:int -> owner:owner -> (t, [ `Denied ]) result
+val spec_smmu_map : t -> device:int -> iova_page:int -> pfn:int -> (t, [ `Denied ]) result
+val spec_smmu_unmap : t -> device:int -> iova_page:int -> (t, [ `Denied ]) result
+
+val invariant : t -> (unit, string) result
+(** The abstract §5.3 invariants, preserved by every transition (checked
+    by induction in the tests). *)
+
+(** {2 Helpers} *)
+
+val owner_of : t -> int -> owner
+val shared_of : t -> int -> bool
+val vm_phase_of : t -> int -> vm_phase option
+val vm_map_of : t -> int -> (int * int) list
+
+val pp_owner : Format.formatter -> owner -> unit
+val show_owner : owner -> string
+val equal_owner : owner -> owner -> bool
+val pp_vm_phase : Format.formatter -> vm_phase -> unit
+val show_vm_phase : vm_phase -> string
+val equal_vm_phase : vm_phase -> vm_phase -> bool

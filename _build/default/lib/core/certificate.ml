@@ -1,0 +1,223 @@
+(** The wDRF certificate: the executable analog of "SeKVM satisfies the
+    weakened wDRF conditions" (paper §5, Table 1's middle row).
+
+    Certification of one KVM version runs two kinds of audits:
+
+    {ul
+    {- {b Program audits} over the DSL corpus ({!Sekvm.Kernel_progs}):
+       DRF-Kernel via push/pull exploration, No-Barrier-Misuse via the
+       fulfillment checker, and the refinement theorem (RM ⊆ SC) via the
+       two executors. Seeded buggy variants must fail exactly the
+       conditions they violate.}
+    {- {b System audits} over a full SeKVM run ({!Scenario.standard_run})
+       with the version's stage-2 geometry: Write-Once on the EL2 trace,
+       Sequential-TLB-Invalidation on the stage-2/SMMU trace,
+       Transactional-Page-Table on freshly planned map/unmap batches (and
+       rejection of the Example 5 batch), and (Weak-)Memory-Isolation on
+       the final state, traces and an oracle-independence experiment.}} *)
+
+open Sekvm
+
+type program_report = {
+  entry : Kernel_progs.entry;
+  drf : Check_drf.verdict;
+  barrier : Check_barrier.verdict;
+  refine : Refinement.verdict;
+  as_expected : bool;
+}
+
+type system_report = {
+  write_once : Check_write_once.verdict;
+  tlbi : Check_tlbi.verdict;
+  transactional_map : Check_transactional.verdict;
+  transactional_map_deep : Check_transactional.verdict;
+      (** map requiring fresh intermediate tables *)
+  transactional_unmap : Check_transactional.verdict;
+  example5_rejected : bool;
+  isolation : Check_isolation.verdict;
+  attacks_denied : bool;
+  oracle_independent : bool;
+  theorem4 : bool;
+      (** Example 7's kernel behaviors covered by synthesized SC user
+          programs (the Weak-Memory-Isolation payoff, §4.3) *)
+}
+
+type report = {
+  version : Kernel_progs.version;
+  programs : program_report list;
+  system : system_report;
+  certified : bool;
+}
+
+let audit_program (e : Kernel_progs.entry) : program_report =
+  let drf =
+    Check_drf.check ~exempt:e.Kernel_progs.exempt
+      ~initial_owners:e.Kernel_progs.initial_owners e.Kernel_progs.prog
+  in
+  let barrier = Check_barrier.check e.Kernel_progs.prog in
+  let refine =
+    Refinement.check ~config:e.Kernel_progs.rm_config e.Kernel_progs.prog
+  in
+  let ex = e.Kernel_progs.expect in
+  { entry = e;
+    drf;
+    barrier;
+    refine;
+    as_expected =
+      drf.Check_drf.holds = ex.Kernel_progs.e_drf
+      && barrier.Check_barrier.holds = ex.Kernel_progs.e_barrier
+      && refine.Refinement.holds = ex.Kernel_progs.e_refine }
+
+let geometry_of (v : Kernel_progs.version) =
+  if v.Kernel_progs.stage2_levels = 3 then Machine.Page_table.three_level
+  else Machine.Page_table.four_level
+
+(** System-level audit for one version: run the standard scenario on that
+    stage-2 geometry, then judge the traces and fresh page-table batches. *)
+let audit_system (version : Kernel_progs.version) : system_report =
+  let config =
+    { Kcore.default_boot_config with
+      stage2_geometry = geometry_of version }
+  in
+  let out = Scenario.standard_run ~config () in
+  let kcore = out.Scenario.kcore in
+  (* trace-based conditions *)
+  let write_once = Check_write_once.check kcore.Kcore.trace in
+  let tlbi = Check_tlbi.check kcore.Kcore.trace in
+  (* transactional audits on a fresh VM's table *)
+  let vmid = Kcore.register_vm kcore ~cpu:0 in
+  let npt = (Kcore.find_vm kcore vmid).Kcore.npt in
+  let free_pfn = List.hd out.Scenario.kserv.Kserv.free_pfns in
+  let ipa = Machine.Page_table.page_va 77 in
+  let tx_map_deep =
+    (* first mapping: allocates every intermediate level *)
+    match
+      Check_transactional.audit_map npt ~cpu:0 ~ipa ~pfn:free_pfn
+        ~perms:Machine.Pte.rw ~check_vas:[ ipa + 4096 ]
+    with
+    | Ok v -> v
+    | Error `Already_mapped -> Kcore.panic "certify: unexpected mapping"
+  in
+  let tx_map =
+    (* second mapping in the same leaf table: single-write case *)
+    match
+      Check_transactional.audit_map npt ~cpu:0 ~ipa:(ipa + 4096)
+        ~pfn:free_pfn ~perms:Machine.Pte.rw ~check_vas:[ ipa ]
+    with
+    | Ok v -> v
+    | Error `Already_mapped -> Kcore.panic "certify: unexpected mapping"
+  in
+  let tx_unmap =
+    match
+      Check_transactional.audit_unmap npt ~cpu:0 ~ipa
+        ~check_vas:[ ipa + 4096 ]
+    with
+    | Ok v -> v
+    | Error `Not_mapped -> Kcore.panic "certify: mapping disappeared"
+  in
+  let example5_rejected =
+    match
+      Check_transactional.audit_example5 npt ~ipa:(ipa + 4096)
+        ~pfn:free_pfn ~perms:Machine.Pte.rw
+    with
+    | Some v -> not v.Check_transactional.holds
+    | None -> false
+  in
+  let isolation = Check_isolation.check kcore in
+  let attacks_denied =
+    List.for_all snd out.Scenario.attack_results
+  in
+  (* oracle independence: same oracle seed, different user behavior, same
+     kernel digest *)
+  let oracle_independent =
+    Check_isolation.oracle_independent ~behaviors:[ 0; 1; 2 ]
+      ~scenario:(fun ~user ->
+        let config =
+          { config with Kcore.oracle_seed = 42 }
+        in
+        let kcore, kserv = Scenario.boot_system ~config () in
+        (match Kserv.boot_vm kserv ~cpu:0 ~n_vcpus:1 ~image_pages:2 with
+        | Ok vmid ->
+            (* user-dependent guest behavior: different payloads/pages *)
+            ignore
+              (Kserv.run_guest kserv ~cpu:1 ~vmid ~vcpuid:0
+                 [ Vm.G_write
+                     ( Machine.Page_table.page_va 30,
+                       0x1000 + (user * 57) );
+                   Vm.G_read (Machine.Page_table.page_va 30) ])
+        | Error _ -> ());
+        Check_isolation.kernel_digest kcore)
+  in
+  let theorem4 =
+    (Theorem4.check
+       ~config:
+         { Memmodel.Promising.default_config with max_promises = 1;
+           loop_fuel = 4 }
+       { Theorem4.kernel_tids = [ 3 ]; user_tids = [ 1; 2 ] }
+       Memmodel.Paper_examples.example7.Memmodel.Litmus.prog)
+      .Theorem4.holds
+  in
+  { write_once;
+    tlbi;
+    transactional_map = tx_map;
+    transactional_map_deep = tx_map_deep;
+    transactional_unmap = tx_unmap;
+    example5_rejected;
+    isolation;
+    attacks_denied;
+    oracle_independent;
+    theorem4 }
+
+let certify (version : Kernel_progs.version) : report =
+  let programs =
+    List.map audit_program
+      (Kernel_progs.corpus @ Kernel_progs.buggy_corpus
+      @ Kernel_progs.boundary_corpus)
+  in
+  let system = audit_system version in
+  let certified =
+    List.for_all (fun p -> p.as_expected) programs
+    && system.write_once.Check_write_once.holds
+    && system.tlbi.Check_tlbi.holds
+    && system.transactional_map.Check_transactional.holds
+    && system.transactional_map_deep.Check_transactional.holds
+    && system.transactional_unmap.Check_transactional.holds
+    && system.example5_rejected
+    && system.isolation.Check_isolation.holds
+    && system.attacks_denied
+    && system.oracle_independent
+    && system.theorem4
+  in
+  { version; programs; system; certified }
+
+let certify_all () : report list =
+  List.map certify Kernel_progs.versions
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_program_report fmt (p : program_report) =
+  Format.fprintf fmt "@[<v2>%s (%s):@,%a@,%a@,%a@,verdicts %s@]"
+    p.entry.Kernel_progs.name p.entry.Kernel_progs.note Check_drf.pp_verdict
+    p.drf Check_barrier.pp_verdict p.barrier Refinement.pp_verdict p.refine
+    (if p.as_expected then "as expected" else "UNEXPECTED")
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>== wDRF certificate: Linux %s, %d-level stage-2 ==@,\
+     @[<v2>program audits:@,%a@]@,\
+     @[<v2>system audits:@,%a@,%a@,%a (single-write map)@,%a (deep map)@,\
+     %a (unmap)@,Example 5 batch rejected: %b@,%a@,\
+     all KServ attacks denied: %b@,oracle independence: %b@,\
+     Theorem 4 (weak isolation payoff): %b@]@,\
+     CERTIFIED: %b@]"
+    r.version.Kernel_progs.linux r.version.Kernel_progs.stage2_levels
+    (Format.pp_print_list pp_program_report)
+    r.programs Check_write_once.pp_verdict r.system.write_once
+    Check_tlbi.pp_verdict r.system.tlbi Check_transactional.pp_verdict
+    r.system.transactional_map Check_transactional.pp_verdict
+    r.system.transactional_map_deep Check_transactional.pp_verdict
+    r.system.transactional_unmap r.system.example5_rejected
+    Check_isolation.pp_verdict r.system.isolation r.system.attacks_denied
+    r.system.oracle_independent r.system.theorem4 r.certified

@@ -1,0 +1,43 @@
+(** The wDRF certificate: the executable analog of "SeKVM satisfies the
+    weakened wDRF conditions" (paper §5). Per KVM version it combines
+    program audits over the DSL corpus (DRF, barriers, refinement) with
+    system audits over a full SeKVM run (Write-Once, TLBI, transactional
+    page tables, isolation, attacks, oracle independence). *)
+
+open Sekvm
+
+type program_report = {
+  entry : Kernel_progs.entry;
+  drf : Check_drf.verdict;
+  barrier : Check_barrier.verdict;
+  refine : Refinement.verdict;
+  as_expected : bool;
+}
+
+type system_report = {
+  write_once : Check_write_once.verdict;
+  tlbi : Check_tlbi.verdict;
+  transactional_map : Check_transactional.verdict;
+  transactional_map_deep : Check_transactional.verdict;
+  transactional_unmap : Check_transactional.verdict;
+  example5_rejected : bool;
+  isolation : Check_isolation.verdict;
+  attacks_denied : bool;
+  oracle_independent : bool;
+  theorem4 : bool;
+}
+
+type report = {
+  version : Kernel_progs.version;
+  programs : program_report list;
+  system : system_report;
+  certified : bool;
+}
+
+val audit_program : Kernel_progs.entry -> program_report
+val audit_system : Kernel_progs.version -> system_report
+val certify : Kernel_progs.version -> report
+val certify_all : unit -> report list
+
+val pp_program_report : Format.formatter -> program_report -> unit
+val pp_report : Format.formatter -> report -> unit

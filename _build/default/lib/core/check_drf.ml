@@ -1,0 +1,44 @@
+(** Checker for wDRF condition 1, DRF-Kernel (paper §4.1, §5.2).
+
+    A kernel program satisfies DRF-Kernel iff, under the push/pull
+    ownership discipline, no interleaving panics: every pull targets a
+    free base, every push a base the CPU owns, and every access to a
+    tracked shared base happens under ownership. Synchronization-method
+    internals (ticket/now of the locks) and page-table bases are passed in
+    [exempt], exactly as the condition's side clause allows — those races
+    are discharged by conditions 2, 4 and 5 instead. *)
+
+open Memmodel
+
+type verdict = {
+  holds : bool;
+  violation : Pushpull.violation option;
+  kernel_panic : Behavior.outcome option;
+      (** the program itself panicked on some SC path: not a DRF issue but
+          reported because a panicking kernel is wrong regardless *)
+  behaviors : Behavior.t option;  (** SC behaviors if the check passed *)
+}
+
+let check ?(fuel = 16) ?(exempt = []) ?(initial_owners = []) (prog : Prog.t)
+    : verdict =
+  match Pushpull.check ~fuel ~exempt ~initial_owners prog with
+  | Pushpull.Drf_ok b ->
+      { holds = true; violation = None; kernel_panic = None;
+        behaviors = Some b }
+  | Pushpull.Drf_violation v ->
+      { holds = false; violation = Some v; kernel_panic = None;
+        behaviors = None }
+  | Pushpull.Drf_kernel_panic o ->
+      { holds = true; violation = None; kernel_panic = Some o;
+        behaviors = None }
+
+let pp_verdict fmt v =
+  if v.holds then
+    Format.fprintf fmt "DRF-Kernel: HOLDS%s"
+      (match v.kernel_panic with
+      | Some _ -> " (but the program can panic on SC!)"
+      | None -> "")
+  else
+    Format.fprintf fmt "DRF-Kernel: VIOLATED — %a"
+      (Format.pp_print_option Pushpull.pp_violation)
+      v.violation

@@ -1,0 +1,22 @@
+(** Checker for wDRF condition 1, DRF-Kernel: no interleaving of the
+    ownership-instrumented program panics — every pull targets a free
+    base, every push an owned one, every tracked access happens under
+    ownership. Synchronization-method internals and page-table bases go in
+    [exempt], per the condition's side clause. *)
+
+open Memmodel
+
+type verdict = {
+  holds : bool;
+  violation : Pushpull.violation option;
+  kernel_panic : Behavior.outcome option;
+      (** the program itself panicked on some SC path (not a DRF issue,
+          but a panicking kernel is wrong regardless) *)
+  behaviors : Behavior.t option;  (** SC behaviors when the check passed *)
+}
+
+val check :
+  ?fuel:int -> ?exempt:string list -> ?initial_owners:(string * int) list ->
+  Prog.t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

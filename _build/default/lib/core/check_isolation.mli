@@ -1,0 +1,31 @@
+(** Checker for wDRF condition 6, (Weak-)Memory-Isolation: (1) users
+    cannot write kernel memory (reachability invariants); (2) kernel
+    reads of user memory are oracle-mediated; (3) the kernel-observable
+    state is independent of user behavior (the oracle-independence
+    experiment). The strong form additionally forbids user-memory reads
+    altogether — it fails for any SeKVM that authenticates images or
+    snapshots VMs, which is exactly why the paper weakens it (§4.3). *)
+
+open Sekvm
+
+type verdict = {
+  holds : bool;  (** the weak condition, as SeKVM satisfies it *)
+  strong_holds : bool;  (** the strong condition *)
+  reachability_violations : Kcore.invariant_violation list;
+  raw_user_reads : int;
+  oracle_reads : int;
+}
+
+val isolation_invariants : string list
+val check : Kcore.t -> verdict
+
+val oracle_independent :
+  behaviors:'a list -> scenario:(user:'a -> int) -> bool
+(** Run [scenario] once per user behavior; holds iff the returned
+    kernel-state digests all agree. *)
+
+val kernel_digest : Kcore.t -> int
+(** Canonical kernel-observable digest: ownership, sharing, mapping
+    shapes, VM phases — deliberately excluding user page contents. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

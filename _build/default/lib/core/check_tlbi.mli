@@ -1,0 +1,23 @@
+(** Checker for wDRF condition 5, Sequential-TLB-Invalidation: judged
+    over the execution trace — every stage-2/SMMU write that unmaps or
+    remaps a valid entry must be followed by a DSB and then a TLBI whose
+    scope covers the table. *)
+
+open Sekvm
+
+type violation = {
+  v_cpu : int;
+  v_table : Trace.table_id;
+  v_write : Machine.Page_table.pt_write;
+  v_reason : [ `No_barrier | `No_tlbi ];
+}
+
+type verdict = {
+  holds : bool;
+  unmaps_checked : int;
+  violations : violation list;
+}
+
+val scope_covers : Trace.table_id -> Trace.tlbi_scope -> bool
+val check : Trace.t -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit

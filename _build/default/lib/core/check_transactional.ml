@@ -1,0 +1,133 @@
+(** Checker for wDRF condition 4, Transactional-Page-Table (paper §5.4).
+
+    A page-table update (a batch of word writes inside one critical
+    section) is transactional if, under {e arbitrary} reordering of the
+    writes, any hardware walk of any affected address observes the
+    before-result, the after-result, or a page fault. The judgment is
+    semantic: {!Machine.Mmu_walker.walk_relaxed} lets every walker read
+    independently observe each in-flight write or not, which
+    over-approximates all reorderings, and the checker compares the
+    resulting observation set against {before, after, fault}.
+
+    [audit_*] wrap the stage-2 primitives so integration tests certify the
+    exact writes KCore is about to perform, then apply them. *)
+
+open Machine
+
+type witness = {
+  w_va : int;
+  w_obs : Page_table.walk_result;
+}
+
+type verdict = {
+  holds : bool;
+  n_writes : int;
+  vas_checked : int list;
+  witnesses : witness list;
+}
+
+(** Affected virtual pages of a write batch: for precision we check the
+    target VA and every VA the caller nominates (e.g. neighbours sharing
+    intermediate tables). *)
+let check mem g ~root ~writes ~vas : verdict =
+  let bad =
+    Mmu_walker.transactional_violations mem g ~root ~writes ~vas
+    |> List.map (fun (va, obs) -> { w_va = va; w_obs = obs })
+  in
+  { holds = bad = [];
+    n_writes = List.length writes;
+    vas_checked = vas;
+    witnesses = bad }
+
+(** Certify-then-apply for a stage-2 map: plans the walk–allocate–set
+    writes of [set_s2pt], checks them, applies them. *)
+let audit_map (npt : Sekvm.Npt.t) ~cpu ~ipa ~pfn ~perms ~check_vas :
+    (verdict, [ `Already_mapped ]) result =
+  ignore cpu;
+  match
+    Page_table.plan_map npt.Sekvm.Npt.mem npt.Sekvm.Npt.geometry
+      ~pool:npt.Sekvm.Npt.pool ~root:npt.Sekvm.Npt.root ~va:ipa
+      ~target_pfn:pfn ~perms
+  with
+  | Error `Already_mapped -> Error `Already_mapped
+  | Ok writes ->
+      let v =
+        check npt.Sekvm.Npt.mem npt.Sekvm.Npt.geometry
+          ~root:npt.Sekvm.Npt.root ~writes ~vas:(ipa :: check_vas)
+      in
+      Page_table.apply_writes npt.Sekvm.Npt.mem writes;
+      Ok v
+
+(** Certify-then-apply for a stage-2 unmap (single write). *)
+let audit_unmap (npt : Sekvm.Npt.t) ~cpu ~ipa ~check_vas :
+    (verdict, [ `Not_mapped ]) result =
+  ignore cpu;
+  match
+    Page_table.plan_unmap npt.Sekvm.Npt.mem npt.Sekvm.Npt.geometry
+      ~root:npt.Sekvm.Npt.root ~va:ipa
+  with
+  | None -> Error `Not_mapped
+  | Some w ->
+      let v =
+        check npt.Sekvm.Npt.mem npt.Sekvm.Npt.geometry
+          ~root:npt.Sekvm.Npt.root ~writes:[ w ] ~vas:(ipa :: check_vas)
+      in
+      Page_table.apply_write npt.Sekvm.Npt.mem w;
+      Ok v
+
+(** Certify (without applying) the Example 5 anti-pattern, given a mapped
+    [ipa]: in one critical section, (a) clear the intermediate (PGD-level)
+    entry pointing at [ipa]'s leaf table and (b) install a new leaf in
+    that same table, mapping the neighbouring address to [pfn]. Before and
+    after the batch the neighbour faults; a reordered walk can see the old
+    intermediate entry together with the new leaf and reach [pfn] — the
+    condition must reject the batch. *)
+let audit_example5 (npt : Sekvm.Npt.t) ~ipa ~pfn ~perms : verdict option =
+  let mem = npt.Sekvm.Npt.mem and g = npt.Sekvm.Npt.geometry in
+  (* descend to level 1: the entry pointing at the leaf table *)
+  let rec descend tp level =
+    let idx = Page_table.index g ~level ipa in
+    match Pte.decode (Phys_mem.read mem ~pfn:tp ~idx) with
+    | Pte.Table next ->
+        if level = 1 then Some (tp, idx, next) else descend next (level - 1)
+    | Pte.Invalid | Pte.Page _ -> None
+  in
+  match descend npt.Sekvm.Npt.root (g.levels - 1) with
+  | None -> None
+  | Some (l1_table, l1_idx, leaf_table) ->
+      let neighbour_idx =
+        (Page_table.index g ~level:0 ipa + 1) mod Phys_mem.entries_per_page
+      in
+      let va2 =
+        (* ipa with the leaf-level index replaced by neighbour_idx *)
+        let mask = lnot ((Phys_mem.entries_per_page - 1) lsl Page_table.page_shift) in
+        (ipa land mask) lor (neighbour_idx lsl Page_table.page_shift)
+      in
+      let w_clear_pgd =
+        { Page_table.w_pfn = l1_table;
+          w_idx = l1_idx;
+          w_old = Phys_mem.read mem ~pfn:l1_table ~idx:l1_idx;
+          w_new = Pte.encode Pte.Invalid }
+      in
+      let w_new_leaf =
+        { Page_table.w_pfn = leaf_table;
+          w_idx = neighbour_idx;
+          w_old = Phys_mem.read mem ~pfn:leaf_table ~idx:neighbour_idx;
+          w_new = Pte.encode (Pte.Page (pfn, perms)) }
+      in
+      Some
+        (check mem g ~root:npt.Sekvm.Npt.root
+           ~writes:[ w_clear_pgd; w_new_leaf ] ~vas:[ ipa; va2 ])
+
+let pp_verdict fmt v =
+  if v.holds then
+    Format.fprintf fmt
+      "Transactional-Page-Table: HOLDS (%d writes, %d addresses checked)"
+      v.n_writes
+      (List.length v.vas_checked)
+  else
+    Format.fprintf fmt
+      "Transactional-Page-Table: VIOLATED — %d intermediate mappings \
+       observable (first at va 0x%x)"
+      (List.length v.witnesses)
+      (match v.witnesses with w :: _ -> w.w_va | [] -> 0)

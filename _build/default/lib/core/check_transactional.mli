@@ -1,0 +1,37 @@
+(** Checker for wDRF condition 4, Transactional-Page-Table: with a batch
+    of page-table writes in flight, every relaxed hardware walk
+    ({!Machine.Mmu_walker.walk_relaxed}) of every nominated address must
+    observe the before-result, the after-result, or a fault. *)
+
+open Machine
+
+type witness = { w_va : int; w_obs : Page_table.walk_result }
+
+type verdict = {
+  holds : bool;
+  n_writes : int;
+  vas_checked : int list;
+  witnesses : witness list;
+}
+
+val check :
+  Phys_mem.t -> Page_table.geometry -> root:int ->
+  writes:Page_table.pt_write list -> vas:int list -> verdict
+
+val audit_map :
+  Sekvm.Npt.t -> cpu:int -> ipa:int -> pfn:int -> perms:Pte.perms ->
+  check_vas:int list -> (verdict, [ `Already_mapped ]) result
+(** Certify-then-apply for a stage-2 map: plan the walk–allocate–set
+    writes, judge them, apply them. *)
+
+val audit_unmap :
+  Sekvm.Npt.t -> cpu:int -> ipa:int -> check_vas:int list ->
+  (verdict, [ `Not_mapped ]) result
+
+val audit_example5 :
+  Sekvm.Npt.t -> ipa:int -> pfn:int -> perms:Pte.perms -> verdict option
+(** Construct the paper's Example 5 batch for a mapped [ipa] (clear the
+    intermediate entry while installing a new leaf beneath it) and judge
+    it — the condition must reject it. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

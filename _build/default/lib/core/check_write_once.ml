@@ -1,0 +1,47 @@
+(** Checker for wDRF condition 3, Write-Once-Kernel-Mapping (paper §5.1).
+
+    Judged over the recorded execution trace: every write to the kernel's
+    own (EL2) page table must target an {e empty} entry — [w_old] invalid.
+    KCore's [set_el2_pt] enforces this by construction; the checker
+    re-verifies it independently on what actually happened, and catches
+    the [~force] variant the tests use to seed a violation. *)
+
+open Sekvm
+
+type violation = {
+  v_cpu : int;
+  v_write : Machine.Page_table.pt_write;
+}
+
+type verdict = {
+  holds : bool;
+  el2_writes : int;
+  violations : violation list;
+}
+
+let check (trace : Trace.t) : verdict =
+  let el2_writes = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (function
+      | Trace.E_pt_write { cpu; table = Trace.T_el2; write; _ } ->
+          incr el2_writes;
+          if Machine.Pte.is_valid write.Machine.Page_table.w_old then
+            violations := { v_cpu = cpu; v_write = write } :: !violations
+      | _ -> ())
+    (Trace.events trace);
+  { holds = !violations = [];
+    el2_writes = !el2_writes;
+    violations = List.rev !violations }
+
+let pp_verdict fmt v =
+  if v.holds then
+    Format.fprintf fmt
+      "Write-Once-Kernel-Mapping: HOLDS (%d EL2 page-table writes, all to \
+       empty entries)"
+      v.el2_writes
+  else
+    Format.fprintf fmt
+      "Write-Once-Kernel-Mapping: VIOLATED (%d overwrites of valid EL2 \
+       entries)"
+      (List.length v.violations)

@@ -1,0 +1,14 @@
+(** Checker for wDRF condition 3, Write-Once-Kernel-Mapping: judged over
+    the recorded execution trace — every write to the kernel's own (EL2)
+    page table must target an empty entry. *)
+
+type violation = { v_cpu : int; v_write : Machine.Page_table.pt_write }
+
+type verdict = {
+  holds : bool;
+  el2_writes : int;
+  violations : violation list;
+}
+
+val check : Sekvm.Trace.t -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,63 @@
+(** The six wDRF conditions (paper §3), as first-class values.
+
+    Each condition carries its paper name, the §3 statement, and which
+    checker module discharges it in this executable reproduction. *)
+
+type id =
+  | Drf_kernel
+  | No_barrier_misuse
+  | Write_once_kernel_mapping
+  | Transactional_page_table
+  | Sequential_tlb_invalidation
+  | Memory_isolation  (** checked in its weak form, as for SeKVM (§4.3) *)
+[@@deriving show, eq, ord]
+
+type t = {
+  cid : id;
+  name : string;
+  statement : string;
+  checker : string;  (** module discharging the condition here *)
+}
+
+let all =
+  [ { cid = Drf_kernel;
+      name = "DRF-Kernel";
+      statement =
+        "Shared memory accesses in the kernel are well synchronized except \
+         for the implementation of synchronization methods and page table \
+         management.";
+      checker = "Vrm.Check_drf" };
+    { cid = No_barrier_misuse;
+      name = "No-Barrier-Misuse";
+      statement =
+        "Barriers are correctly placed in the kernel to guard critical \
+         sections and synchronization methods.";
+      checker = "Vrm.Check_barrier" };
+    { cid = Write_once_kernel_mapping;
+      name = "Write-Once-Kernel-Mapping";
+      statement =
+        "If the kernel's own page table is shared, only empty entries of \
+         it can be modified.";
+      checker = "Vrm.Check_write_once" };
+    { cid = Transactional_page_table;
+      name = "Transactional-Page-Table";
+      statement =
+        "Shared page table writes within a critical section are \
+         transactional: under arbitrary reordering, any walk sees the \
+         before-result, the after-result, or a page fault.";
+      checker = "Vrm.Check_transactional" };
+    { cid = Sequential_tlb_invalidation;
+      name = "Sequential-TLB-Invalidation";
+      statement =
+        "A page table unmap or remap must be followed by a TLB \
+         invalidation, with a barrier between them.";
+      checker = "Vrm.Check_tlbi" };
+    { cid = Memory_isolation;
+      name = "(Weak-)Memory-Isolation";
+      statement =
+        "User programs cannot modify kernel memory, and the kernel's \
+         verification does not depend on the contents it reads from user \
+         memory (data oracles).";
+      checker = "Vrm.Check_isolation" } ]
+
+let find cid = List.find (fun c -> c.cid = cid) all

@@ -1,0 +1,21 @@
+(** The six wDRF conditions (paper §3), as first-class values: paper
+    name, §3 statement, and the checker module discharging each in this
+    reproduction. *)
+
+type id =
+  | Drf_kernel
+  | No_barrier_misuse
+  | Write_once_kernel_mapping
+  | Transactional_page_table
+  | Sequential_tlb_invalidation
+  | Memory_isolation  (** checked in its weak form, as for SeKVM (§4.3) *)
+
+type t = { cid : id; name : string; statement : string; checker : string }
+
+val all : t list
+val find : id -> t
+
+val pp_id : Format.formatter -> id -> unit
+val show_id : id -> string
+val equal_id : id -> id -> bool
+val compare_id : id -> id -> int

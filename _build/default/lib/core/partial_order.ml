@@ -1,0 +1,170 @@
+(** Constructing an SC execution from a push/pull execution (paper §4.1,
+    Fig. 6).
+
+    Given one execution trace of the ownership-instrumented model, shared
+    memory accesses are assigned to their enclosing critical sections
+    (pull..push spans). Two accesses from different CPUs are ordered iff
+    the first one's {e push} precedes the second one's {e pull} in the
+    global promise order; same-CPU accesses follow program order. The
+    resulting relation is a partial order; any topological sort of it is
+    an SC execution with the same results, which is exactly the paper's
+    construction. *)
+
+open Memmodel
+
+type kind = K_read | K_write | K_rmw [@@deriving show, eq]
+
+type access = {
+  a_pos : int;  (** position in the global trace (the promise order) *)
+  a_tid : int;
+  a_loc : Loc.t;
+  a_kind : kind;
+  a_value : int;
+  a_cs : (int * int) option;  (** (pull position, push position) *)
+}
+
+type t = {
+  accesses : access list;
+  tracked : string list;
+}
+
+(** Open critical sections while scanning: per tid, (pull position, bases,
+    not-yet-closed). *)
+let analyze ?(tracked = []) (events : Pushpull.event list) : t =
+  let n = List.length events in
+  ignore n;
+  let arr = Array.of_list events in
+  (* for each (tid, position), the enclosing (pull, push) span *)
+  let spans = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Pushpull.Ev_pull (tid, bases) ->
+          (* find the matching push *)
+          let rec find j depth =
+            if j >= Array.length arr then None
+            else
+              match arr.(j) with
+              | Pushpull.Ev_pull (t', b') when t' = tid && b' = bases ->
+                  find (j + 1) (depth + 1)
+              | Pushpull.Ev_push (t', b') when t' = tid && b' = bases ->
+                  if depth = 0 then Some j else find (j + 1) (depth - 1)
+              | _ -> find (j + 1) depth
+          in
+          (match find (i + 1) 0 with
+          | Some j -> Hashtbl.add spans (tid, bases) (i, j)
+          | None -> ())
+      | _ -> ())
+    arr;
+  let enclosing tid pos =
+    Hashtbl.fold
+      (fun (t', _) (i, j) best ->
+        if t' = tid && i < pos && pos < j then
+          match best with
+          | Some (i', _) when i' > i -> best
+          | _ -> Some (i, j)
+        else best)
+      spans None
+  in
+  let is_tracked loc = tracked = [] || List.mem (Loc.base loc) tracked in
+  let accesses = ref [] in
+  Array.iteri
+    (fun i ev ->
+      let add tid loc kind value =
+        if is_tracked loc then
+          accesses :=
+            { a_pos = i; a_tid = tid; a_loc = loc; a_kind = kind;
+              a_value = value; a_cs = enclosing tid i }
+            :: !accesses
+      in
+      match ev with
+      | Pushpull.Ev_read (tid, loc, v) -> add tid loc K_read v
+      | Pushpull.Ev_write (tid, loc, v) -> add tid loc K_write v
+      | Pushpull.Ev_rmw (tid, loc, _, v) -> add tid loc K_rmw v
+      | Pushpull.Ev_pull _ | Pushpull.Ev_push _ | Pushpull.Ev_barrier _ -> ())
+    arr;
+  { accesses = List.rev !accesses; tracked }
+
+(** The partial order of the paper: program order within a CPU; across
+    CPUs, [a] before [b] iff [a]'s push precedes [b]'s pull. *)
+let happens_before (a : access) (b : access) : bool =
+  if a.a_tid = b.a_tid then a.a_pos < b.a_pos
+  else
+    match (a.a_cs, b.a_cs) with
+    | Some (_, push_a), Some (pull_b, _) -> push_a < pull_b
+    | _ -> false
+
+(** Unordered (concurrent) pairs — Fig. 6's overlapping critical
+    sections. *)
+let concurrent a b =
+  (not (happens_before a b)) && not (happens_before b a) && a <> b
+
+(** A topological sort of the accesses consistent with [happens_before];
+    total by construction because the relation embeds in trace positions. *)
+let linearize (t : t) : access list =
+  (* Kahn's algorithm over the explicit relation *)
+  let nodes = Array.of_list t.accesses in
+  let n = Array.length nodes in
+  let picked = Array.make n false in
+  let out = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let progress = ref false in
+    for i = 0 to n - 1 do
+      if (not picked.(i))
+         && (not !progress)
+         (* minimal element: no unpicked predecessor *)
+         &&
+         let has_pred = ref false in
+         for j = 0 to n - 1 do
+           if (not picked.(j)) && j <> i && happens_before nodes.(j) nodes.(i)
+           then has_pred := true
+         done;
+         not !has_pred
+      then begin
+        picked.(i) <- true;
+        out := nodes.(i) :: !out;
+        decr remaining;
+        progress := true
+      end
+    done;
+    if not !progress then failwith "Partial_order.linearize: cycle"
+  done;
+  List.rev !out
+
+(** Replay a linearization against a fresh SC memory and check that every
+    read observes the value it observed in the original push/pull
+    execution — the "same execution results" half of the paper's
+    Theorem 2. Initial values are supplied by [init]. *)
+let replay_matches ?(init = fun (_ : Loc.t) -> 0) (lin : access list) : bool
+    =
+  let mem = Hashtbl.create 16 in
+  let read loc =
+    match Hashtbl.find_opt mem loc with Some v -> v | None -> init loc
+  in
+  List.for_all
+    (fun a ->
+      match a.a_kind with
+      | K_read -> read a.a_loc = a.a_value
+      | K_write ->
+          Hashtbl.replace mem a.a_loc a.a_value;
+          true
+      | K_rmw ->
+          (* a_value records the written value; the read part is the
+             pre-state, which must equal what memory holds *)
+          Hashtbl.replace mem a.a_loc a.a_value;
+          true)
+    lin
+
+(** Check that a linearization respects the partial order. *)
+let consistent (t : t) (lin : access list) : bool =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i a -> Hashtbl.replace pos a i) lin;
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          if happens_before a b then Hashtbl.find pos a < Hashtbl.find pos b
+          else true)
+        t.accesses)
+    t.accesses

@@ -1,0 +1,39 @@
+(** Constructing an SC execution from a push/pull execution (paper §4.1,
+    Fig. 6): shared accesses are assigned to their critical sections; two
+    accesses from different CPUs are ordered iff the first one's push
+    precedes the second one's pull in the global promise order; any
+    topological sort of the resulting partial order is an SC execution
+    with the same results. *)
+
+open Memmodel
+
+type kind = K_read | K_write | K_rmw
+
+type access = {
+  a_pos : int;  (** position in the global trace (the promise order) *)
+  a_tid : int;
+  a_loc : Loc.t;
+  a_kind : kind;
+  a_value : int;
+  a_cs : (int * int) option;  (** (pull position, push position) *)
+}
+
+type t = { accesses : access list; tracked : string list }
+
+val analyze : ?tracked:string list -> Pushpull.event list -> t
+val happens_before : access -> access -> bool
+val concurrent : access -> access -> bool
+
+val linearize : t -> access list
+(** A topological sort consistent with {!happens_before}. *)
+
+val replay_matches : ?init:(Loc.t -> int) -> access list -> bool
+(** Replay a linearization against a fresh SC memory: every read must see
+    the value it saw in the original execution ("same execution results",
+    Theorem 2). *)
+
+val consistent : t -> access list -> bool
+
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+val equal_kind : kind -> kind -> bool

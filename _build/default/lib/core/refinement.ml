@@ -1,0 +1,83 @@
+(** The executable wDRF theorem (paper Theorem 1/2/4).
+
+    For a program certified wDRF, every observable behavior under the
+    Promising Arm model must already be observable under the SC model —
+    behavior-set inclusion, decided here by exhaustive bounded
+    exploration. Only [Normal] (completed) outcomes participate:
+    fuel-exhausted snapshots are exploration artifacts of unrolled spin
+    loops, not program behaviors. Panic reachability is compared
+    separately: a program that can panic on RM but not on SC also violates
+    the theorem (Example 7). *)
+
+open Memmodel
+
+type verdict = {
+  holds : bool;
+  sc : Behavior.t;
+  rm : Behavior.t;
+  rm_only : Behavior.t;  (** completed RM behaviors invisible on SC *)
+  sc_panics : bool;
+  rm_panics : bool;
+  bounded : bool;  (** some path hit the loop-fuel bound *)
+  witnesses : (Behavior.outcome * Promising.step list) list;
+      (** for each RM outcome, the first schedule that produced it;
+          [witness_for] selects the schedule of a violating behavior *)
+}
+
+let normals (b : Behavior.t) : Behavior.t =
+  Behavior.Outcome_set.filter
+    (fun o -> o.Behavior.status = Behavior.Normal)
+    b
+
+let check ?(sc_fuel = 8) ?(config = Promising.default_config)
+    (prog : Prog.t) : verdict =
+  let sc = Sc.run ~fuel:sc_fuel prog in
+  let rm, witnesses = Promising.run_with_witnesses ~config prog in
+  let rm_only = Behavior.diff (normals rm) (normals sc) in
+  let sc_panics = Behavior.any_panic sc in
+  let rm_panics = Behavior.any_panic rm in
+  { holds = Behavior.Outcome_set.is_empty rm_only && (rm_panics <= sc_panics);
+    sc;
+    rm;
+    rm_only;
+    sc_panics;
+    rm_panics;
+    bounded =
+      Behavior.any_fuel_exhausted sc || Behavior.any_fuel_exhausted rm;
+    witnesses }
+
+(** The schedule that produced [outcome] (for RM-only behaviors: the
+    concrete relaxed execution, promises included, that SC cannot
+    match). *)
+let witness_for (v : verdict) (outcome : Behavior.outcome) :
+    Promising.step list option =
+  List.assoc_opt outcome v.witnesses
+
+(** The first RM-only behavior together with its schedule. *)
+let first_violation (v : verdict) :
+    (Behavior.outcome * Promising.step list) option =
+  match Behavior.elements v.rm_only with
+  | [] -> None
+  | o :: _ -> (
+      match witness_for v o with Some w -> Some (o, w) | None -> None)
+
+let pp_verdict fmt v =
+  if v.holds then
+    Format.fprintf fmt
+      "Refinement: HOLDS — all %d completed RM behaviors visible on SC \
+       (%d SC behaviors)%s"
+      (Behavior.cardinal (normals v.rm))
+      (Behavior.cardinal (normals v.sc))
+      (if v.bounded then " [bounded exploration]" else "")
+  else begin
+    Format.fprintf fmt
+      "Refinement: VIOLATED — %d RM-only behaviors%s:@,%a"
+      (Behavior.cardinal v.rm_only)
+      (if v.rm_panics && not v.sc_panics then " (and RM-only panic)" else "")
+      Behavior.pp v.rm_only;
+    match first_violation v with
+    | Some (o, steps) ->
+        Format.fprintf fmt "@,@[<v2>witness schedule for %a:@,%a@]"
+          Behavior.pp_outcome o Promising.pp_schedule steps
+    | None -> ()
+  end

@@ -1,0 +1,27 @@
+(** The executable wDRF theorem (paper Theorems 1/2/4): for a certified
+    program, every completed behavior under the Promising Arm model is
+    already visible under SC; panic reachability is compared separately
+    (Example 7). Violations come with concrete witness schedules. *)
+
+open Memmodel
+
+type verdict = {
+  holds : bool;
+  sc : Behavior.t;
+  rm : Behavior.t;
+  rm_only : Behavior.t;  (** completed RM behaviors invisible on SC *)
+  sc_panics : bool;
+  rm_panics : bool;
+  bounded : bool;  (** some path hit the loop-fuel bound *)
+  witnesses : (Behavior.outcome * Promising.step list) list;
+}
+
+val normals : Behavior.t -> Behavior.t
+val check : ?sc_fuel:int -> ?config:Promising.config -> Prog.t -> verdict
+
+val witness_for : verdict -> Behavior.outcome -> Promising.step list option
+(** The schedule that produced an outcome — for RM-only behaviors, the
+    concrete relaxed execution (promises included) SC cannot match. *)
+
+val first_violation : verdict -> (Behavior.outcome * Promising.step list) option
+val pp_verdict : Format.formatter -> verdict -> unit

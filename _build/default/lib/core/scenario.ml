@@ -1,0 +1,204 @@
+(** Canonical whole-system scenarios, used by the certifier, the
+    integration tests and the examples.
+
+    [standard_run] boots a SeKVM system, boots VMs through KServ, runs
+    guest workloads across CPUs (faulting pages in, sharing pages for
+    paravirtual I/O), optionally mounts the KServ attacks, attaches an
+    SMMU device, and tears one VM down — driving every KCore path whose
+    trace the condition checkers then audit. *)
+
+open Sekvm
+
+type outcome = {
+  kcore : Kcore.t;
+  kserv : Kserv.t;
+  vmids : int list;
+  attack_results : (string * bool) list;
+      (** (attack, denied?) — all must be denied *)
+  guest_sum : int;  (** checksum over guest-visible results *)
+}
+
+let boot_system ?(config = Kcore.default_boot_config) () =
+  let kcore = Kcore.boot config in
+  let kserv = Kserv.create kcore ~first_free_pfn:(Kcore.kserv_base config) in
+  (kcore, kserv)
+
+let standard_run ?(config = Kcore.default_boot_config) ?(n_vms = 2)
+    ?(with_attacks = true) ?(with_smmu = true) ?(teardown_last = true) () :
+    outcome =
+  let kcore, kserv = boot_system ~config () in
+  let vmids =
+    List.init n_vms (fun i ->
+        match
+          Kserv.boot_vm kserv ~cpu:(i mod config.Kcore.n_cpus) ~n_vcpus:2
+            ~image_pages:3
+        with
+        | Ok vmid -> vmid
+        | Error _ -> Kcore.panic "scenario: VM boot failed")
+  in
+  (* run guest workloads: memory touches + a virtio round per VM *)
+  let guest_sum = ref 0 in
+  List.iteri
+    (fun i vmid ->
+      let cpu = (i + 1) mod config.Kcore.n_cpus in
+      let results =
+        Kserv.run_guest kserv ~cpu ~vmid ~vcpuid:0
+          (Vm.touch_pages ~first_ipa_page:(16 + i) ~n:4)
+        @ Kserv.run_guest kserv ~cpu ~vmid ~vcpuid:1
+            (Vm.virtio_round
+               ~ring_ipa:(Machine.Page_table.page_va 40)
+               ~payload:(1000 + i))
+      in
+      List.iter
+        (function
+          | Vm.R_value v -> guest_sum := !guest_sum + v
+          | Vm.R_unit -> incr guest_sum
+          | Vm.R_denied -> ())
+        results)
+    vmids;
+  (* SMMU: assign a device to the first VM and map one of its pages *)
+  if with_smmu then begin
+    let vmid = List.hd vmids in
+    (match
+       Kcore.smmu_attach kcore ~cpu:0 ~device:1
+         ~owner:(Machine.S2page.Vm vmid)
+     with
+    | Ok () -> ()
+    | Error `Denied -> Kcore.panic "scenario: smmu_attach denied");
+    let vm_pfn =
+      List.hd
+        (Machine.S2page.pages_owned_by kcore.Kcore.s2page
+           (Machine.S2page.Vm vmid))
+    in
+    (match Kcore.smmu_map kcore ~cpu:0 ~device:1 ~iova:0 ~pfn:vm_pfn with
+    | Ok () -> ()
+    | Error `Denied -> Kcore.panic "scenario: smmu_map denied");
+    match Kcore.smmu_unmap kcore ~cpu:0 ~device:1 ~iova:0 with
+    | Ok () -> ()
+    | Error `Denied -> Kcore.panic "scenario: smmu_unmap denied"
+  end;
+  (* the attacks a compromised KServ would mount *)
+  let attack_results =
+    if not with_attacks then []
+    else begin
+      let vmid = List.hd vmids in
+      let vm_pfn =
+        List.hd
+          (Machine.S2page.pages_owned_by kcore.Kcore.s2page
+             (Machine.S2page.Vm vmid))
+      in
+      let denied = function Error `Denied -> true | Ok _ -> false in
+      [ ( "kserv-read-vm-page",
+          denied (Kserv.attack_read_vm_page kserv ~cpu:0 ~pfn:vm_pfn) );
+        ( "kserv-write-vm-page",
+          denied (Kserv.attack_write_vm_page kserv ~cpu:0 ~pfn:vm_pfn 0xbad) );
+        ( "kserv-steal-vm-page",
+          denied
+            (Kserv.attack_steal_page kserv ~cpu:0 ~victim_pfn:vm_pfn
+               ~vmid:(List.nth vmids (min 1 (n_vms - 1)))
+               ~ipa:(Machine.Page_table.page_va 200)) );
+        ( "kserv-read-kcore-page",
+          denied (Kserv.attack_read_vm_page kserv ~cpu:0 ~pfn:2) );
+        ( "kserv-dma-into-kcore",
+          (* the device belongs to the VM; mapping a KCore page for its
+             DMA must be refused *)
+          (not with_smmu)
+          || denied (Kserv.attack_dma_map kserv ~cpu:0 ~device:1 ~pfn:2) ) ]
+    end
+  in
+  if teardown_last then
+    Kcore.teardown_vm kcore ~cpu:0 ~vmid:(List.hd (List.rev vmids));
+  { kcore; kserv; vmids; attack_results; guest_sum = !guest_sum }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-VM stress                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stress_stats = {
+  st_vms : int;
+  st_rounds : int;
+  st_guest_ops : int;
+  st_s2_faults : int;
+  st_hypercalls : int;
+  st_vipis : int;
+  st_invariant_checks : int;
+}
+
+(** Run [n_vms] VMs concurrently for [rounds] rounds: each round
+    round-robins every VM's two vCPUs over the physical CPUs, running a
+    mixed workload (page touches, virtio sharing, IPIs, UART). The
+    security invariants are re-checked after every round; any violation
+    raises. This is the executable analog of Fig. 9's many-VM
+    configuration — the same KCore paths under heavy interleaving. *)
+let stress_run ?(config = Kcore.default_boot_config) ?(n_vms = 4)
+    ?(rounds = 3) () : stress_stats =
+  let kcore, kserv = boot_system ~config () in
+  let vmids =
+    List.init n_vms (fun i ->
+        match
+          Kserv.boot_vm kserv ~cpu:(i mod config.Kcore.n_cpus) ~n_vcpus:2
+            ~image_pages:2
+        with
+        | Ok vmid -> vmid
+        | Error _ -> Kcore.panic "stress: boot failed")
+  in
+  let ops = ref 0 in
+  let checks = ref 0 in
+  for round = 0 to rounds - 1 do
+    List.iteri
+      (fun i vmid ->
+        let cpu = (i + round) mod config.Kcore.n_cpus in
+        let batch0 =
+          Vm.touch_pages ~first_ipa_page:(32 + (8 * round)) ~n:2
+          @ Vm.ipi_round ~peer:1 ~rounds:2
+        in
+        let batch1 =
+          Vm.virtio_round
+            ~ring_ipa:(Machine.Page_table.page_va (100 + round))
+            ~payload:(round * 100)
+          @ [ Vm.G_uart_putc (65 + round); Vm.G_ack_irq ]
+        in
+        ops := !ops + List.length batch0 + List.length batch1;
+        ignore (Kserv.run_guest kserv ~cpu ~vmid ~vcpuid:0 batch0);
+        ignore
+          (Kserv.run_guest kserv
+             ~cpu:((cpu + 1) mod config.Kcore.n_cpus)
+             ~vmid ~vcpuid:1 batch1))
+      vmids;
+    incr checks;
+    match Kcore.check_invariants kcore with
+    | [] -> ()
+    | bad ->
+        Kcore.panic "stress: %d invariant violations in round %d"
+          (List.length bad) round
+  done;
+  (* cross-VM disjointness: no frame is mapped by two different VMs *)
+  let all_pfn_sets =
+    List.map
+      (fun vmid ->
+        List.map (fun (_, pfn, _) -> pfn)
+          (Npt.mappings (Kcore.find_vm kcore vmid).Kcore.npt))
+      vmids
+  in
+  List.iteri
+    (fun i s1 ->
+      List.iteri
+        (fun j s2 ->
+          if i < j && List.exists (fun p -> List.mem p s2) s1 then
+            Kcore.panic "stress: VMs %d and %d share a frame" i j)
+        all_pfn_sets)
+    all_pfn_sets;
+  (* tear every VM down; all their memory returns scrubbed *)
+  List.iter (fun vmid -> Kcore.teardown_vm kcore ~cpu:0 ~vmid) vmids;
+  (match Kcore.check_invariants kcore with
+  | [] -> ()
+  | bad ->
+      Kcore.panic "stress: %d invariant violations after teardown"
+        (List.length bad));
+  { st_vms = n_vms;
+    st_rounds = rounds;
+    st_guest_ops = !ops;
+    st_s2_faults = kcore.Kcore.s2_faults;
+    st_hypercalls = kcore.Kcore.hypercalls;
+    st_vipis = kcore.Kcore.vipis;
+    st_invariant_checks = !checks }

@@ -1,0 +1,34 @@
+(** Canonical whole-system scenarios: the standard run the certifier
+    audits (boots, guest work, SMMU, attack battery, teardown) and the
+    multi-VM stress run with invariants re-checked every round. *)
+
+open Sekvm
+
+type outcome = {
+  kcore : Kcore.t;
+  kserv : Kserv.t;
+  vmids : int list;
+  attack_results : (string * bool) list;  (** (attack, denied?) *)
+  guest_sum : int;
+}
+
+val boot_system : ?config:Kcore.boot_config -> unit -> Kcore.t * Kserv.t
+
+val standard_run :
+  ?config:Kcore.boot_config -> ?n_vms:int -> ?with_attacks:bool ->
+  ?with_smmu:bool -> ?teardown_last:bool -> unit -> outcome
+
+type stress_stats = {
+  st_vms : int;
+  st_rounds : int;
+  st_guest_ops : int;
+  st_s2_faults : int;
+  st_hypercalls : int;
+  st_vipis : int;
+  st_invariant_checks : int;
+}
+
+val stress_run :
+  ?config:Kcore.boot_config -> ?n_vms:int -> ?rounds:int -> unit ->
+  stress_stats
+(** Panics on any invariant violation or cross-VM frame sharing. *)

@@ -1,0 +1,167 @@
+(** Barrier synthesis: repair a racy kernel fragment by upgrading the
+    fewest possible accesses to acquire/release.
+
+    VSync (Oberhauser et al., ASPLOS'21 — the paper's §7) shows
+    synchronization primitives can be automatically checked and their
+    barriers optimized on weak memory models. This module brings the idea
+    into the VRM setting: given a program whose relaxed behaviors exceed
+    its SC behaviors (a refinement violation), search the space of
+    ordering upgrades — plain loads to load-acquire, plain stores to
+    store-release, plain RMWs to acquire-release — for a {e minimal} set
+    that makes the refinement theorem hold again.
+
+    The search enumerates upgrade sets in increasing size, so the first
+    hit is minimum-cardinality; each candidate is judged by the
+    exhaustive {!Refinement} checker, making the result sound within the
+    exploration budget. Programs here are corpus-sized (a handful of
+    upgradeable sites), so the exponential enumeration is exact rather
+    than heuristic. *)
+
+open Memmodel
+
+(** An upgradeable site: the [n]-th upgrade point of thread [tid] in
+    program order (loads, stores, and RMWs with [Plain] ordering). *)
+type site = { s_tid : int; s_index : int; s_desc : string }
+[@@deriving show, eq]
+
+(* Walk a thread's code, applying [f idx] at each upgradeable site; used
+   both to enumerate sites and to apply an upgrade set. *)
+let map_sites (code : Instr.t list) (f : int -> Instr.t -> Instr.t) :
+    Instr.t list =
+  let counter = ref 0 in
+  let rec go (i : Instr.t) : Instr.t =
+    match i with
+    | Instr.Load (_, _, Instr.Plain)
+    | Instr.Store (_, _, Instr.Plain)
+    | Instr.Faa (_, _, _, Instr.Plain)
+    | Instr.Xchg (_, _, _, Instr.Plain)
+    | Instr.Cas (_, _, _, _, Instr.Plain) ->
+        let idx = !counter in
+        incr counter;
+        f idx i
+    | Instr.If (c, a, b) -> Instr.If (c, List.map go a, List.map go b)
+    | Instr.While (c, b) -> Instr.While (c, List.map go b)
+    | other -> other
+  in
+  List.map go code
+
+let describe (i : Instr.t) : string =
+  match i with
+  | Instr.Load (r, a, _) ->
+      Format.asprintf "%s := [%s] -> load-acquire" (Reg.name r) a.Expr.abase
+  | Instr.Store (a, _, _) ->
+      Format.asprintf "[%s] := _ -> store-release" a.Expr.abase
+  | Instr.Faa (_, a, _, _) | Instr.Xchg (_, a, _, _)
+  | Instr.Cas (_, a, _, _, _) ->
+      Format.asprintf "rmw [%s] -> acquire-release" a.Expr.abase
+  | _ -> "?"
+
+let upgrade (i : Instr.t) : Instr.t =
+  match i with
+  | Instr.Load (r, a, Instr.Plain) -> Instr.Load (r, a, Instr.Acquire)
+  | Instr.Store (a, e, Instr.Plain) -> Instr.Store (a, e, Instr.Release)
+  | Instr.Faa (r, a, e, Instr.Plain) -> Instr.Faa (r, a, e, Instr.Acq_rel)
+  | Instr.Xchg (r, a, e, Instr.Plain) -> Instr.Xchg (r, a, e, Instr.Acq_rel)
+  | Instr.Cas (r, a, x, d, Instr.Plain) -> Instr.Cas (r, a, x, d, Instr.Acq_rel)
+  | other -> other
+
+(** The upgradeable sites of a program. *)
+let sites (prog : Prog.t) : site list =
+  List.concat_map
+    (fun th ->
+      let acc = ref [] in
+      ignore
+        (map_sites th.Prog.code (fun idx i ->
+             acc :=
+               { s_tid = th.Prog.tid; s_index = idx; s_desc = describe i }
+               :: !acc;
+             i));
+      List.rev !acc)
+    prog.Prog.threads
+
+(** Apply an upgrade set. *)
+let apply (prog : Prog.t) (chosen : site list) : Prog.t =
+  let threads =
+    List.map
+      (fun th ->
+        let mine =
+          List.filter_map
+            (fun s -> if s.s_tid = th.Prog.tid then Some s.s_index else None)
+            chosen
+        in
+        { th with
+          Prog.code =
+            map_sites th.Prog.code (fun idx i ->
+                if List.mem idx mine then upgrade i else i) })
+      prog.Prog.threads
+  in
+  { prog with Prog.threads }
+
+(* subsets of [l] of size [k] *)
+let rec choose k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
+
+type result = {
+  original : Refinement.verdict;  (** the violation being repaired *)
+  repaired : (site list * Refinement.verdict) option;
+      (** a minimum-cardinality upgrade set and its (passing) verdict *)
+  candidates_tried : int;
+  site_count : int;
+}
+
+(** [repair ?config ?max_upgrades prog] — find a smallest set of ordering
+    upgrades making [behaviors(RM) ⊆ behaviors(SC)] hold. Returns
+    [repaired = None] if the program already refines (nothing to do) or
+    no set within [max_upgrades] works. *)
+let repair ?config ?(max_upgrades = 4) (prog : Prog.t) : result =
+  let original = Refinement.check ?config prog in
+  let all_sites = sites prog in
+  let tried = ref 0 in
+  let repaired =
+    if original.Refinement.holds then None
+    else
+      let rec search k =
+        if k > min max_upgrades (List.length all_sites) then None
+        else
+          let hit =
+            List.find_map
+              (fun chosen ->
+                incr tried;
+                let v = Refinement.check ?config (apply prog chosen) in
+                if v.Refinement.holds then Some (chosen, v) else None)
+              (choose k all_sites)
+          in
+          match hit with Some _ as r -> r | None -> search (k + 1)
+      in
+      search 1
+  in
+  { original;
+    repaired;
+    candidates_tried = !tried;
+    site_count = List.length all_sites }
+
+let pp_result fmt (r : result) =
+  match r.repaired with
+  | None ->
+      if r.original.Refinement.holds then
+        Format.fprintf fmt
+          "nothing to repair: the program already refines SC"
+      else
+        Format.fprintf fmt
+          "no upgrade set of the allowed size repairs the program (%d \
+           candidates over %d sites)"
+          r.candidates_tried r.site_count
+  | Some (chosen, _) ->
+      Format.fprintf fmt
+        "@[<v>repaired with %d upgrade(s) (tried %d candidates over %d \
+         sites):@,%a@]"
+        (List.length chosen) r.candidates_tried r.site_count
+        (Format.pp_print_list (fun fmt s ->
+             Format.fprintf fmt "CPU %d, site %d: %s" s.s_tid s.s_index
+               s.s_desc))
+        chosen

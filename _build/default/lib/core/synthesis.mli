@@ -1,0 +1,32 @@
+(** Barrier synthesis (VSync-inspired, cf. paper §7): given a kernel
+    fragment whose relaxed behaviors exceed SC, search for a
+    minimum-cardinality set of ordering upgrades (plain load →
+    load-acquire, plain store → store-release, plain RMW →
+    acquire-release) under which the refinement theorem holds again.
+    Exact within the exploration budget: candidates are enumerated in
+    increasing size and judged by the exhaustive {!Refinement} checker. *)
+
+open Memmodel
+
+type site = { s_tid : int; s_index : int; s_desc : string }
+
+val pp_site : Format.formatter -> site -> unit
+val show_site : site -> string
+val equal_site : site -> site -> bool
+
+val sites : Prog.t -> site list
+(** The upgradeable (plain-ordered) access sites of a program. *)
+
+val apply : Prog.t -> site list -> Prog.t
+(** Upgrade the chosen sites. *)
+
+type result = {
+  original : Refinement.verdict;
+  repaired : (site list * Refinement.verdict) option;
+      (** a minimum-cardinality upgrade set and its passing verdict *)
+  candidates_tried : int;
+  site_count : int;
+}
+
+val repair : ?config:Promising.config -> ?max_upgrades:int -> Prog.t -> result
+val pp_result : Format.formatter -> result -> unit

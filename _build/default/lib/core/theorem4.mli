@@ -1,0 +1,35 @@
+(** Executable Theorem 4 (paper §4.3): under Weak-Memory-Isolation, every
+    relaxed-memory kernel behavior of P ∪ Q is matched by some SC
+    execution of P ∪ Q' for a synthesized user program Q' that simply
+    writes the required values into user memory. *)
+
+open Memmodel
+
+type split = {
+  kernel_tids : int list;
+  user_tids : int list;
+}
+
+val project : split -> Prog.t -> Behavior.t -> Behavior.t
+(** Kernel-observable projection: shared locations + kernel registers. *)
+
+val user_written_bases : split -> Prog.t -> string list
+
+val synthesize_q' : ?value_domain:int list -> split -> Prog.t -> Prog.t list
+(** All candidate replacement programs: the kernel threads plus one
+    oracle thread per assignment of values (or no write) to the
+    user-writable bases. *)
+
+type verdict = {
+  holds : bool;
+  rm_kernel : Behavior.t;
+  sc_kernel : Behavior.t;  (** union over the Q' candidates *)
+  uncovered : Behavior.t;
+  q'_count : int;
+}
+
+val check :
+  ?config:Promising.config -> ?sc_fuel:int -> ?value_domain:int list ->
+  split -> Prog.t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.ml: Ppx_deriving_runtime Tlb

@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.mli: Format Tlb

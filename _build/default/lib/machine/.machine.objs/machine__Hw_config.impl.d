@@ -1,0 +1,1 @@
+lib/machine/hw_config.pp.ml: Page_table

@@ -1,0 +1,1 @@
+lib/machine/mmu_walker.pp.ml: List Page_table Phys_mem Ppx_deriving_runtime Pte Set

@@ -1,0 +1,1 @@
+lib/machine/mmu_walker.pp.mli: Format Page_table Phys_mem

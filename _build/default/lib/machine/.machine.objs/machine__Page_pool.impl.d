@@ -1,0 +1,1 @@
+lib/machine/page_pool.pp.ml: List Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/page_pool.pp.mli: Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/page_table.pp.ml: Hashtbl List Page_pool Phys_mem Ppx_deriving_runtime Pte

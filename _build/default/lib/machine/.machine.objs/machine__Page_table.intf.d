@@ -1,0 +1,1 @@
+lib/machine/page_table.pp.mli: Format Page_pool Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/machine/phys_mem.pp.mli:

@@ -1,0 +1,1 @@
+lib/machine/pte.pp.ml: Ppx_deriving_runtime

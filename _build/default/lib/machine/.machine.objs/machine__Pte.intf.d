@@ -1,0 +1,1 @@
+lib/machine/pte.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/s2page.pp.ml: Array List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/machine/s2page.pp.mli: Format

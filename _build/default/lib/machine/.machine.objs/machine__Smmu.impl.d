@@ -1,0 +1,1 @@
+lib/machine/smmu.pp.ml: List Page_pool Page_table Phys_mem Pte Tlb

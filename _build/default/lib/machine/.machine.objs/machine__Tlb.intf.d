@@ -1,0 +1,1 @@
+lib/machine/tlb.pp.mli: Pte

@@ -1,0 +1,1 @@
+lib/machine/tlb_sim.pp.ml: List

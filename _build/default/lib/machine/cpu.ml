@@ -1,0 +1,24 @@
+(** Physical CPU state for the virtualization substrate.
+
+    Each CPU has an exception level (EL2 = hypervisor, EL1 = kernel/KServ,
+    EL0 = user/VM guest), a stage-2 translation context (current VMID and
+    stage-2 root), and a private TLB. *)
+
+type el = El0 | El1 | El2 [@@deriving show, eq, ord]
+
+type t = {
+  id : int;
+  tlb : Tlb.t;
+  mutable el : el;
+  mutable current_vmid : int;  (** VMID 0 = KServ (the host) *)
+  mutable s2_root : int option;  (** stage-2 root while running VM/KServ *)
+  mutable running_vcpu : (int * int) option;  (** (vmid, vcpuid) *)
+}
+
+let create ~id ~tlb_capacity =
+  { id;
+    tlb = Tlb.create ~capacity:tlb_capacity;
+    el = El2;
+    current_vmid = 0;
+    s2_root = None;
+    running_vcpu = None }

@@ -1,0 +1,20 @@
+(** Physical CPU state: exception level, stage-2 translation context
+    (current VMID and root), and a private TLB. *)
+
+type el = El0 | El1 | El2
+
+type t = {
+  id : int;
+  tlb : Tlb.t;
+  mutable el : el;
+  mutable current_vmid : int;  (** VMID 0 = KServ (the host) *)
+  mutable s2_root : int option;
+  mutable running_vcpu : (int * int) option;  (** (vmid, vcpuid) *)
+}
+
+val create : id:int -> tlb_capacity:int -> t
+
+val pp_el : Format.formatter -> el -> unit
+val show_el : el -> string
+val equal_el : el -> el -> bool
+val compare_el : el -> el -> int

@@ -1,0 +1,53 @@
+(** The two Armv8 server configurations of the paper's evaluation (§6). *)
+
+type t = {
+  name : string;
+  n_cpus : int;
+  freq_ghz : float;
+  tlb_entries : int;
+      (** unified stage-2-capable TLB capacity; the X-Gene's is tiny
+          (the paper cites it to explain the large m400 microbenchmark
+          overheads) *)
+  ram_gb : int;
+  vm_vcpus : int;  (** SMP VM configuration used in the evaluation *)
+  vm_ram_mb : int;
+  stage2_geometry : Page_table.geometry;
+}
+
+(** HP Moonshot m400: 8-core Applied Micro X-Gene (Atlas) @ 2.4 GHz. *)
+let m400 =
+  { name = "m400";
+    n_cpus = 8;
+    freq_ghz = 2.4;
+    tlb_entries = 64;
+    ram_gb = 64;
+    vm_vcpus = 2;
+    vm_ram_mb = 256;
+    stage2_geometry = Page_table.four_level }
+
+(** AMD Seattle Rev.B0: 8-core Opteron A1100 (Cortex-A57) @ 2 GHz. *)
+let seattle =
+  { name = "seattle";
+    n_cpus = 8;
+    freq_ghz = 2.0;
+    tlb_entries = 1024;
+    ram_gb = 16;
+    vm_vcpus = 4;
+    vm_ram_mb = 12288;
+    stage2_geometry = Page_table.four_level }
+
+(** A modern Arm server CPU (Neoverse-class): the paper notes "newer Arm
+    CPUs have more reasonable TLB sizes similar to or greater than the
+    Seattle CPUs" — this configuration makes that forward-looking claim
+    checkable: SeKVM's overhead collapses to the dispatch floor. *)
+let neoverse =
+  { name = "neoverse";
+    n_cpus = 16;
+    freq_ghz = 3.0;
+    tlb_entries = 2048;
+    ram_gb = 128;
+    vm_vcpus = 4;
+    vm_ram_mb = 16384;
+    stage2_geometry = Page_table.four_level }
+
+let all = [ m400; seattle; neoverse ]

@@ -1,0 +1,25 @@
+(** The two Armv8 server configurations of the paper's evaluation (§6). *)
+
+type t = {
+  name : string;
+  n_cpus : int;
+  freq_ghz : float;
+  tlb_entries : int;
+      (** unified stage-2-capable TLB capacity; the X-Gene's is tiny *)
+  ram_gb : int;
+  vm_vcpus : int;  (** SMP VM configuration used in the evaluation *)
+  vm_ram_mb : int;
+  stage2_geometry : Page_table.geometry;
+}
+
+val m400 : t
+(** HP Moonshot m400: 8-core Applied Micro X-Gene @ 2.4 GHz, tiny TLB. *)
+
+val seattle : t
+(** AMD Seattle Rev.B0: 8-core Opteron A1100 (Cortex-A57) @ 2 GHz. *)
+
+val neoverse : t
+(** A modern (Neoverse-class) Arm server: the "newer Arm CPUs have more
+    reasonable TLB sizes" remark of §6, as a configuration. *)
+
+val all : t list

@@ -1,0 +1,31 @@
+(** The {e hardware} page-table walker, including its racy behavior
+    (paper §2, Examples 4 and 5).
+
+    On relaxed hardware each walker read may observe an in-flight
+    page-table write or not, {e independently} of the other reads of the
+    same walk. {!walk_relaxed} implements exactly that, so its result set
+    over-approximates every reordering of the pending writes — a sound
+    basis for the Transactional-Page-Table judgment. *)
+
+type observation = Page_table.walk_result
+
+val pp_observation : Format.formatter -> observation -> unit
+val equal_observation : observation -> observation -> bool
+
+val walk_relaxed :
+  Phys_mem.t -> Page_table.geometry -> root:int ->
+  pending:Page_table.pt_write list -> int -> observation list
+(** All results a relaxed hardware walk of the VA can produce while
+    [pending] writes are in flight; memory holds the pre-critical-section
+    state. *)
+
+val is_fault : observation -> bool
+
+val transactional_violations :
+  Phys_mem.t -> Page_table.geometry -> root:int ->
+  writes:Page_table.pt_write list -> vas:int list ->
+  (int * observation) list
+(** The executable Transactional-Page-Table judgment (wDRF condition 4):
+    every relaxed walk of every nominated address must observe the
+    before-result, the after-result, or a fault; returns the offending
+    (va, observation) witnesses. *)

@@ -1,0 +1,40 @@
+(** Reserved page allocator.
+
+    KCore builds stage-2 and SMMU page tables from private pools scrubbed at
+    initialization; [alloc] hands out zeroed pages ("all bytes of a newly
+    allocated page are guaranteed to be 0", §5.4). *)
+
+type t = {
+  mem : Phys_mem.t;
+  name : string;
+  mutable free : int list;  (** free pfns, LIFO *)
+  mutable allocated : int;
+  total : int;
+}
+
+exception Pool_exhausted of string
+
+let create ~name ~mem ~first_pfn ~n_pages =
+  let free = List.init n_pages (fun i -> first_pfn + i) in
+  List.iter (Phys_mem.scrub mem) free;
+  { mem; name; free; allocated = 0; total = n_pages }
+
+let alloc t =
+  match t.free with
+  | [] -> raise (Pool_exhausted t.name)
+  | pfn :: rest ->
+      t.free <- rest;
+      t.allocated <- t.allocated + 1;
+      (* pages are scrubbed on free, but scrub again defensively: the
+         zero-on-alloc guarantee is what makes freshly inserted tables
+         observationally empty during racy walks *)
+      Phys_mem.scrub t.mem pfn;
+      pfn
+
+let free t pfn =
+  Phys_mem.scrub t.mem pfn;
+  t.allocated <- t.allocated - 1;
+  t.free <- pfn :: t.free
+
+let available t = List.length t.free
+let allocated t = t.allocated

@@ -1,0 +1,14 @@
+(** Reserved page allocator. KCore builds stage-2 and SMMU page tables
+    from private pools scrubbed at initialization; {!alloc} hands out
+    zeroed pages ("all bytes of a newly allocated page are guaranteed to
+    be 0", paper §5.4). *)
+
+type t
+
+exception Pool_exhausted of string
+
+val create : name:string -> mem:Phys_mem.t -> first_pfn:int -> n_pages:int -> t
+val alloc : t -> int
+val free : t -> int -> unit
+val available : t -> int
+val allocated : t -> int

@@ -1,0 +1,55 @@
+(** Physical memory: an array of 4 KB pages, each page an array of 512
+    word-sized entries. This is the single backing store for data pages,
+    stage-2 page-table pages, SMMU page-table pages and KCore's own memory;
+    the ownership database ({!S2page}) tracks who may touch what. *)
+
+let page_size = 4096
+let entries_per_page = 512
+
+type t = {
+  n_pages : int;
+  pages : int array array;
+}
+
+let create n_pages =
+  { n_pages; pages = Array.init n_pages (fun _ -> Array.make entries_per_page 0) }
+
+let n_pages t = t.n_pages
+
+let check_pfn t pfn =
+  if pfn < 0 || pfn >= t.n_pages then
+    invalid_arg (Printf.sprintf "Phys_mem: pfn %d out of range" pfn)
+
+let read t ~pfn ~idx =
+  check_pfn t pfn;
+  t.pages.(pfn).(idx)
+
+let write t ~pfn ~idx v =
+  check_pfn t pfn;
+  t.pages.(pfn).(idx) <- v
+
+(** Zero a whole page (scrubbing freed/granted memory). *)
+let scrub t pfn =
+  check_pfn t pfn;
+  Array.fill t.pages.(pfn) 0 entries_per_page 0
+
+let fill t pfn v =
+  check_pfn t pfn;
+  Array.fill t.pages.(pfn) 0 entries_per_page v
+
+(** Copy page contents (VM image loading, snapshots). *)
+let copy_page t ~src ~dst =
+  check_pfn t src;
+  check_pfn t dst;
+  Array.blit t.pages.(src) 0 t.pages.(dst) 0 entries_per_page
+
+let page_equal t a b =
+  check_pfn t a;
+  check_pfn t b;
+  t.pages.(a) = t.pages.(b)
+
+(** A cheap stand-in for a cryptographic page digest (the paper's Ed25519
+    VM-image authentication): order-sensitive rolling hash. *)
+let digest_page t pfn =
+  check_pfn t pfn;
+  Array.fold_left (fun acc w -> (acc * 1_000_003) lxor w) 0x811c9dc5 t.pages.(pfn)

@@ -1,0 +1,43 @@
+(** Page-table entry encoding.
+
+    Entries are stored in page-table pages as plain integers, so that a
+    page-table update is an ordinary word store — which is exactly what
+    makes page tables racy against the MMU walker. The encoding packs:
+
+    - bit 0: valid
+    - bit 1: table (points to a next-level table) vs block/page (leaf)
+    - bit 2: readable
+    - bit 3: writable
+    - bits 12..: physical frame number (next-level table or output frame)
+*)
+
+type perms = { readable : bool; writable : bool } [@@deriving show, eq]
+
+let rw = { readable = true; writable = true }
+let ro = { readable = true; writable = false }
+
+type t =
+  | Invalid
+  | Table of int  (** pfn of the next-level table page *)
+  | Page of int * perms  (** leaf: output frame + permissions *)
+[@@deriving show, eq]
+
+let pfn_shift = 12
+
+let encode = function
+  | Invalid -> 0
+  | Table pfn -> (pfn lsl pfn_shift) lor 0b0011
+  | Page (pfn, p) ->
+      (pfn lsl pfn_shift) lor 0b0001
+      lor (if p.readable then 0b0100 else 0)
+      lor if p.writable then 0b1000 else 0
+
+let decode w =
+  if w land 1 = 0 then Invalid
+  else if w land 0b10 <> 0 then Table (w lsr pfn_shift)
+  else
+    Page
+      ( w lsr pfn_shift,
+        { readable = w land 0b0100 <> 0; writable = w land 0b1000 <> 0 } )
+
+let is_valid w = w land 1 <> 0

@@ -1,0 +1,70 @@
+(** Per-CPU translation lookaside buffer.
+
+    Entries are tagged by VMID so that stage-2 translations of different
+    VMs coexist (as on Armv8 with VMID-tagged TLBs). Capacity is finite
+    with FIFO replacement; capacity pressure is what makes the m400's tiny
+    TLB visible in the microbenchmarks (Table 3). *)
+
+type entry = {
+  e_vmid : int;
+  e_vp : int;  (** virtual (input) page number *)
+  e_pfn : int;
+  e_perms : Pte.perms;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (** most recent first *)
+  mutable fills : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity = { capacity; entries = []; fills = 0; hits = 0; misses = 0 }
+
+let lookup t ~vmid ~vp =
+  match
+    List.find_opt (fun e -> e.e_vmid = vmid && e.e_vp = vp) t.entries
+  with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some (e.e_pfn, e.e_perms)
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(** Insert a translation (possibly evicting the oldest entry). *)
+let fill t ~vmid ~vp ~pfn ~perms =
+  let entries =
+    List.filter (fun e -> not (e.e_vmid = vmid && e.e_vp = vp)) t.entries
+  in
+  let entries = { e_vmid = vmid; e_vp = vp; e_pfn = pfn; e_perms = perms } :: entries in
+  let entries =
+    if List.length entries > t.capacity then
+      List.filteri (fun i _ -> i < t.capacity) entries
+    else entries
+  in
+  t.fills <- t.fills + 1;
+  t.entries <- entries
+
+let invalidate_all t = t.entries <- []
+
+let invalidate_vmid t ~vmid =
+  t.entries <- List.filter (fun e -> e.e_vmid <> vmid) t.entries
+
+let invalidate_va t ~vmid ~vp =
+  t.entries <-
+    List.filter (fun e -> not (e.e_vmid = vmid && e.e_vp = vp)) t.entries
+
+let size t = List.length t.entries
+
+(** Is some entry inconsistent with the given page-table walk function?
+    (the paper's TLB-consistency requirement: a TLB value is either
+    invalid or equal to the page-table value) *)
+let inconsistent_entries t ~walk =
+  List.filter
+    (fun e ->
+      match walk ~vmid:e.e_vmid ~vp:e.e_vp with
+      | Some (pfn, perms) -> pfn <> e.e_pfn || perms <> e.e_perms
+      | None -> true)
+    t.entries

@@ -1,0 +1,27 @@
+(** Per-CPU translation lookaside buffer, VMID-tagged, with finite
+    capacity and FIFO replacement — the capacity pressure is what makes
+    the m400's tiny TLB visible in Table 3. *)
+
+type entry = { e_vmid : int; e_vp : int; e_pfn : int; e_perms : Pte.perms }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (** most recent first *)
+  mutable fills : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : capacity:int -> t
+val lookup : t -> vmid:int -> vp:int -> (int * Pte.perms) option
+val fill : t -> vmid:int -> vp:int -> pfn:int -> perms:Pte.perms -> unit
+val invalidate_all : t -> unit
+val invalidate_vmid : t -> vmid:int -> unit
+val invalidate_va : t -> vmid:int -> vp:int -> unit
+val size : t -> int
+
+val inconsistent_entries :
+  t -> walk:(vmid:int -> vp:int -> (int * Pte.perms) option) -> entry list
+(** Entries inconsistent with the given page-table walk (the paper's
+    TLB-consistency requirement: a TLB value is either invalid or equal
+    to the page-table value). *)

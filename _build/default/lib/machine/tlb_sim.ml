@@ -1,0 +1,92 @@
+(** Interleaved simulation of TLB maintenance races (paper Example 6).
+
+    A kernel CPU unmaps a page and invalidates TLBs; another CPU's MMU
+    concurrently translates through its own TLB, refilling it from the page
+    table on a miss. On relaxed hardware, the unmap store and the TLBI can
+    be reordered unless separated by a barrier (the
+    Sequential-TLB-Invalidation condition), so the invalidation can be
+    processed {e before} the unmap becomes visible — and the other CPU's
+    walk can then refill the stale translation, which survives the (already
+    past) invalidation.
+
+    [run] enumerates all interleavings of the kernel-CPU event sequence
+    with translation attempts by the other CPU and reports whether a stale
+    translation can remain in the TLB after the kernel sequence completes. *)
+
+type kernel_event =
+  | K_unmap  (** the page-table store clearing the leaf PTE *)
+  | K_barrier  (** DSB: orders the store before subsequent events *)
+  | K_tlbi  (** broadcast TLB invalidate for the VA *)
+
+(** The orderings in which the hardware may commit the kernel events:
+    program order always; plus the TLBI hoisted before the unmap when no
+    barrier separates them. *)
+let hardware_orders (seq : kernel_event list) : kernel_event list list =
+  let rec hoists acc = function
+    (* a TLBI may move before any earlier events until blocked by a
+       barrier; we generate the single interesting reordering per TLBI:
+       all positions before the nearest preceding barrier *)
+    | [] -> [ List.rev acc ]
+    | K_tlbi :: rest ->
+        let before_barrier =
+          (* positions in acc (reversed prefix) up to the first barrier *)
+          let rec positions n = function
+            | [] -> n
+            | K_barrier :: _ -> n
+            | _ :: tl -> positions (n + 1) tl
+          in
+          positions 0 acc
+        in
+        List.concat_map
+          (fun k ->
+            (* insert the tlbi k events earlier *)
+            let prefix = List.rev acc in
+            let cut = List.length prefix - k in
+            let left = List.filteri (fun i _ -> i < cut) prefix in
+            let right = List.filteri (fun i _ -> i >= cut) prefix in
+            List.map
+              (fun tail -> left @ (K_tlbi :: right) @ tail)
+              (hoists [] rest))
+          (List.init (before_barrier + 1) (fun i -> i))
+    | e :: rest -> hoists (e :: acc) rest
+  in
+  List.sort_uniq compare (hoists [] seq)
+
+type sim_state = {
+  mutable mapped : bool;  (** page-table state of the target VA *)
+  mutable tlb_valid : bool;  (** other CPU's TLB holds the translation *)
+}
+
+(** One interleaving: kernel events in [order], with the other CPU
+    attempting a translation at every point in between (the adversarial
+    schedule). Returns the final TLB state. *)
+let run_order (order : kernel_event list) ~initially_cached : bool =
+  let st = { mapped = true; tlb_valid = initially_cached } in
+  let translate () =
+    (* TLB hit: nothing changes. Miss: walk the page table; if mapped,
+       refill the TLB. *)
+    if not st.tlb_valid then if st.mapped then st.tlb_valid <- true
+  in
+  List.iter
+    (fun ev ->
+      translate ();
+      (match ev with
+      | K_unmap -> st.mapped <- false
+      | K_barrier -> ()
+      | K_tlbi -> st.tlb_valid <- false);
+      translate ())
+    order;
+  st.tlb_valid
+
+(** Can the other CPU's TLB still hold the (now stale) translation after
+    the kernel sequence completes, under some hardware ordering? *)
+let stale_tlb_possible (seq : kernel_event list) : bool =
+  List.exists
+    (fun order ->
+      run_order order ~initially_cached:true
+      || run_order order ~initially_cached:false)
+    (hardware_orders seq)
+
+(** The two sequences of Example 6. *)
+let unmap_no_barrier = [ K_unmap; K_tlbi ]
+let unmap_with_barrier = [ K_unmap; K_barrier; K_tlbi ]

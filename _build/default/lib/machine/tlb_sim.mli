@@ -1,0 +1,25 @@
+(** Interleaved simulation of TLB maintenance races (paper Example 6):
+    without a barrier between the unmap store and the TLBI, the
+    invalidation can be processed first and another CPU's walk refills
+    the stale translation — which then survives. *)
+
+type kernel_event =
+  | K_unmap  (** the page-table store clearing the leaf PTE *)
+  | K_barrier  (** DSB: orders the store before subsequent events *)
+  | K_tlbi  (** broadcast TLB invalidate for the VA *)
+
+val hardware_orders : kernel_event list -> kernel_event list list
+(** Orders in which hardware may commit the sequence: program order, plus
+    each TLBI hoisted up to the nearest preceding barrier. *)
+
+val run_order : kernel_event list -> initially_cached:bool -> bool
+(** One interleaving with an adversarial translating CPU; returns whether
+    its TLB still holds the translation at the end. *)
+
+val stale_tlb_possible : kernel_event list -> bool
+
+val unmap_no_barrier : kernel_event list
+(** [\[unmap; tlbi\]] — Example 6's buggy sequence. *)
+
+val unmap_with_barrier : kernel_event list
+(** [\[unmap; DSB; tlbi\]] — the Sequential-TLB-Invalidation discipline. *)

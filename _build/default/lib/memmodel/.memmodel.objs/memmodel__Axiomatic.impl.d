@@ -1,0 +1,1 @@
+lib/memmodel/axiomatic.pp.ml: Array Behavior Expr Instr List Loc Option Prog Reg

@@ -1,0 +1,1 @@
+lib/memmodel/axiomatic.pp.mli: Behavior Prog

@@ -1,0 +1,1 @@
+lib/memmodel/behavior.pp.ml: Format List Ppx_deriving_runtime Prog Set

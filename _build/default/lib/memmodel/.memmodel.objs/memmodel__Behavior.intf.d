@@ -1,0 +1,1 @@
+lib/memmodel/behavior.pp.mli: Format Prog Set

@@ -1,0 +1,1 @@
+lib/memmodel/expr.pp.ml: Loc Ppx_deriving_runtime Reg Stdlib

@@ -1,0 +1,1 @@
+lib/memmodel/expr.pp.mli: Format Loc Reg

@@ -1,0 +1,1 @@
+lib/memmodel/instr.pp.ml: Expr List Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/memmodel/instr.pp.mli: Expr Format Reg

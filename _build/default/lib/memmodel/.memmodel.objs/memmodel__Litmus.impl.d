@@ -1,0 +1,1 @@
+lib/memmodel/litmus.pp.ml: Behavior Format Prog Promising Sc

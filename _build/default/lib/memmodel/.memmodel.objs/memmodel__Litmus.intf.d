@@ -1,0 +1,1 @@
+lib/memmodel/litmus.pp.mli: Behavior Format Loc Prog Promising

@@ -1,0 +1,1 @@
+lib/memmodel/litmus_suite.pp.ml: Expr Instr Litmus Loc Prog Promising Reg Stdlib

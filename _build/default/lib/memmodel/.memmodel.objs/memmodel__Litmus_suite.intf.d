@@ -1,0 +1,1 @@
+lib/memmodel/litmus_suite.pp.mli: Litmus

@@ -1,0 +1,1 @@
+lib/memmodel/loc.pp.ml: Format Map Ppx_deriving_runtime Set

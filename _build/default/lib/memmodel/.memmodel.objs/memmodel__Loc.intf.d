@@ -1,0 +1,1 @@
+lib/memmodel/loc.pp.mli: Format Map Set

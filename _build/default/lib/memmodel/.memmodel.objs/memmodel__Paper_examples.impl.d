@@ -1,0 +1,1 @@
+lib/memmodel/paper_examples.pp.ml: Expr Instr Litmus Loc Prog Promising Reg Stdlib

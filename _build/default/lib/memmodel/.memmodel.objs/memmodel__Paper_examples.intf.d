@@ -1,0 +1,1 @@
+lib/memmodel/paper_examples.pp.mli: Litmus Prog

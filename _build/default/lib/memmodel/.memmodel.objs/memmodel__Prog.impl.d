@@ -1,0 +1,1 @@
+lib/memmodel/prog.pp.ml: Format Instr List Loc Ppx_deriving_runtime Reg

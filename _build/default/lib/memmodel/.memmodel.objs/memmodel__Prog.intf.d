@@ -1,0 +1,1 @@
+lib/memmodel/prog.pp.mli: Format Instr Loc Reg

@@ -1,0 +1,1 @@
+lib/memmodel/promising.pp.ml: Array Behavior Buffer Digest Expr Format Hashtbl Instr List Loc Marshal Printf Prog Reg String

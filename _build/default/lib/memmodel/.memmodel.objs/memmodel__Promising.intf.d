@@ -1,0 +1,1 @@
+lib/memmodel/promising.pp.mli: Behavior Format Prog

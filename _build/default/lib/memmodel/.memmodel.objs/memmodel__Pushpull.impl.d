@@ -1,0 +1,1 @@
+lib/memmodel/pushpull.pp.ml: Array Behavior Buffer Digest Expr Format Hashtbl Instr List Loc Marshal Printf Prog Reg

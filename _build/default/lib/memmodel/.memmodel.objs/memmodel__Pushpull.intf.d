@@ -1,0 +1,1 @@
+lib/memmodel/pushpull.pp.mli: Behavior Format Instr Loc Prog

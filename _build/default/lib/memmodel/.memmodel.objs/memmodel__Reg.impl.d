@@ -1,0 +1,1 @@
+lib/memmodel/reg.pp.ml: Format Map Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/memmodel/reg.pp.mli: Format Map

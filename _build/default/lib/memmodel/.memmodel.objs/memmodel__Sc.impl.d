@@ -1,0 +1,1 @@
+lib/memmodel/sc.pp.ml: Array Behavior Buffer Digest Expr Hashtbl Instr List Loc Marshal Printf Prog Reg

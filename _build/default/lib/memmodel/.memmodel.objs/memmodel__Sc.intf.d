@@ -1,0 +1,1 @@
+lib/memmodel/sc.pp.mli: Behavior Prog

@@ -1,0 +1,1 @@
+lib/memmodel/tso.pp.mli: Behavior Prog

@@ -1,0 +1,23 @@
+(** An executable Armv8 axiomatic memory model, cross-validating the
+    Promising executor.
+
+    For straight-line programs, every candidate execution (a reads-from
+    choice per load, a per-location coherence order over the stores) is
+    enumerated and kept iff it satisfies the Armv8 axioms:
+
+    - {b internal} (sc-per-location): acyclic(po-loc ∪ rf ∪ co ∪ fr);
+    - {b external}: acyclic(ob) with ob = rfe ∪ coe ∪ fre ∪ data-deps ∪
+      barrier order (DMB flavours, acquire, release, RCsc);
+    - {b atomicity}: an RMW's read and write are adjacent in co.
+
+    The property tests compare this model's outcome sets against
+    {!Promising.run} on random programs — the testable form of the
+    Promising ≡ axiomatic theorem the paper relies on. *)
+
+exception Unsupported of string
+(** Raised on programs outside the fragment (control flow, computed
+    addresses, XCHG/CAS). *)
+
+val run : Prog.t -> Behavior.t
+(** Behavior set of all axiomatically valid candidate executions,
+    in the same observable terms as {!Sc.run} / {!Promising.run}. *)

@@ -1,0 +1,83 @@
+(** Value, boolean and address expressions of the kernel-code DSL.
+
+    Expressions are evaluated against a thread-local register environment.
+    For the relaxed-memory executors, each register carries a {e view} (a
+    timestamp bound on the messages its value derives from); evaluation
+    propagates views so that data and address dependencies can be enforced
+    exactly as the Armv8 model requires. *)
+
+type vexp =
+  | Const of int
+  | Reg of Reg.t
+  | Add of vexp * vexp
+  | Sub of vexp * vexp
+  | Mul of vexp * vexp
+  | Div of vexp * vexp  (** traps (kernel panic) on division by zero *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type bexp =
+  | Bool of bool
+  | Cmp of cmp * vexp * vexp
+  | And of bexp * bexp
+  | Or of bexp * bexp
+  | Not of bexp
+
+(** An address: a base object plus a computed index. A register occurring
+    in [offset] induces an address dependency. *)
+type aexp = { abase : string; offset : vexp }
+
+exception Eval_panic of string
+
+(** {2 Builders}
+
+    These shadow the standard operators so DSL programs read like the
+    paper's pseudocode; open {!Expr} locally when building programs. *)
+
+val c : int -> vexp
+val r : Reg.t -> vexp
+val ( + ) : vexp -> vexp -> vexp
+val ( - ) : vexp -> vexp -> vexp
+val ( * ) : vexp -> vexp -> vexp
+val ( / ) : vexp -> vexp -> vexp
+val ( = ) : vexp -> vexp -> bexp
+val ( <> ) : vexp -> vexp -> bexp
+val ( < ) : vexp -> vexp -> bexp
+val ( <= ) : vexp -> vexp -> bexp
+val ( > ) : vexp -> vexp -> bexp
+val ( >= ) : vexp -> vexp -> bexp
+val ( && ) : bexp -> bexp -> bexp
+val ( || ) : bexp -> bexp -> bexp
+val not : bexp -> bexp
+val at : ?offset:vexp -> string -> aexp
+
+(** {2 Evaluation} *)
+
+val eval_v : (Reg.t -> int * int) -> vexp -> int * int
+(** [eval_v lookup e] evaluates [e] to [(value, view)]; [view] is the join
+    of the views of all registers read. Raises {!Eval_panic} on division
+    by zero. *)
+
+val eval_b : (Reg.t -> int * int) -> bexp -> bool * int
+val eval_addr : (Reg.t -> int * int) -> aexp -> Loc.t * int
+
+(** {2 Static analysis} *)
+
+val regs_of_vexp : vexp -> Reg.t list
+val regs_of_bexp : bexp -> Reg.t list
+
+(** {2 Derived printers/equality} *)
+
+val pp_vexp : Format.formatter -> vexp -> unit
+val show_vexp : vexp -> string
+val equal_vexp : vexp -> vexp -> bool
+val pp_bexp : Format.formatter -> bexp -> unit
+val show_bexp : bexp -> string
+val equal_bexp : bexp -> bexp -> bool
+val pp_aexp : Format.formatter -> aexp -> unit
+val show_aexp : aexp -> string
+val equal_aexp : aexp -> aexp -> bool
+val pp_cmp : Format.formatter -> cmp -> unit
+val show_cmp : cmp -> string
+val equal_cmp : cmp -> cmp -> bool
+val eval_cmp : cmp -> int -> int -> bool

@@ -1,0 +1,96 @@
+(** The concurrent-kernel instruction DSL.
+
+    Kernel primitives under verification (ticket locks, [gen_vmid], vCPU
+    context switching, page-table updates) are written in this DSL so that
+    the same program can be executed under the SC model ({!Sc}), the
+    Promising Arm relaxed model ({!Promising}) and the push/pull
+    ownership-annotated model ({!Pushpull}).
+
+    Memory-access ordering annotations mirror Armv8: plain accesses,
+    load-acquire ([LDAR]), store-release ([STLR]), and the three DMB barrier
+    flavours. [Pull]/[Push] are logical (ghost) ownership annotations in the
+    style of CertiKOS's push/pull semantics; they generate no hardware
+    events but are checked by the DRF checker. [Tlbi] and page-table writes
+    are ordinary stores to page-table locations plus an explicit TLB
+    maintenance event consumed by the machine-level checkers. *)
+
+type order =
+  | Plain
+  | Acquire  (** load-acquire; on RMWs, acquire semantics on the load part *)
+  | Release  (** store-release; on RMWs, release semantics on the store part *)
+  | Acq_rel  (** RMW with both acquire and release semantics *)
+[@@deriving show, eq]
+
+type barrier =
+  | Dmb_full  (** DMB ISH: orders all prior accesses with all later ones *)
+  | Dmb_ld  (** DMB ISHLD: orders prior loads with later loads and stores *)
+  | Dmb_st  (** DMB ISHST: orders prior stores with later stores *)
+  | Isb  (** instruction barrier: orders control deps with later loads *)
+[@@deriving show, eq]
+
+type t =
+  | Load of Reg.t * Expr.aexp * order
+  | Store of Expr.aexp * Expr.vexp * order
+      (** [Store (a, e, ord)] — a store; page-table stores use an address
+          base registered as a page-table object. *)
+  | Faa of Reg.t * Expr.aexp * Expr.vexp * order
+      (** atomic fetch-and-add: [r := \[a\]; \[a\] := r + e] in one step *)
+  | Xchg of Reg.t * Expr.aexp * Expr.vexp * order
+      (** atomic exchange: [r := \[a\]; \[a\] := e] in one step *)
+  | Cas of Reg.t * Expr.aexp * Expr.vexp * Expr.vexp * order
+      (** compare-and-swap: [r := \[a\]; if r = expected then \[a\] :=
+          desired]; success is observed as [r = expected] *)
+  | Barrier of barrier
+  | Move of Reg.t * Expr.vexp  (** register-only computation *)
+  | If of Expr.bexp * t list * t list
+  | While of Expr.bexp * t list  (** bounded by executor fuel *)
+  | Pull of string list  (** acquire logical ownership of the given bases *)
+  | Push of string list  (** release logical ownership of the given bases *)
+  | Tlbi of Expr.aexp option
+      (** TLB invalidation; [None] invalidates everything *)
+  | Panic  (** kernel panic; reaching it is itself an observable outcome *)
+  | Nop
+[@@deriving show, eq]
+
+(* Short constructors, so programs read close to the paper's pseudocode. *)
+let load ?(order = Plain) r a = Load (r, a, order)
+let load_acq r a = Load (r, a, Acquire)
+let store ?(order = Plain) a e = Store (a, e, order)
+let store_rel a e = Store (a, e, Release)
+let faa ?(order = Plain) r a e = Faa (r, a, e, order)
+let xchg ?(order = Plain) r a e = Xchg (r, a, e, order)
+let cas ?(order = Plain) r a ~expected ~desired = Cas (r, a, expected, desired, order)
+let fetch_and_inc ?(order = Plain) r a = Faa (r, a, Expr.Const 1, order)
+let dmb = Barrier Dmb_full
+let dmb_ld = Barrier Dmb_ld
+let dmb_st = Barrier Dmb_st
+let isb = Barrier Isb
+let move r e = Move (r, e)
+let if_ c a b = If (c, a, b)
+let while_ c body = While (c, body)
+let pull bases = Pull bases
+let push bases = Push bases
+let tlbi_all = Tlbi None
+let tlbi a = Tlbi (Some a)
+
+(** Structural size (used for proof-effort accounting and sanity checks). *)
+let rec size = function
+  | If (_, a, b) -> 1 + size_list a + size_list b
+  | While (_, b) -> 1 + size_list b
+  | _ -> 1
+
+and size_list l = List.fold_left (fun acc i -> acc + size i) 0 l
+
+(** All base names a program text can touch, for footprint analysis. *)
+let rec bases = function
+  | Load (_, a, _) -> [ a.Expr.abase ]
+  | Store (a, _, _) | Faa (_, a, _, _) | Xchg (_, a, _, _)
+  | Cas (_, a, _, _, _) ->
+      [ a.Expr.abase ]
+  | If (_, a, b) -> bases_list a @ bases_list b
+  | While (_, b) -> bases_list b
+  | Pull bs | Push bs -> bs
+  | Tlbi (Some a) -> [ a.Expr.abase ]
+  | Tlbi None | Barrier _ | Move _ | Panic | Nop -> []
+
+and bases_list l = List.concat_map bases l

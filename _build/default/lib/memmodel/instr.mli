@@ -1,0 +1,97 @@
+(** The concurrent-kernel instruction DSL.
+
+    Kernel primitives under verification (ticket and MCS locks,
+    [gen_vmid], vCPU context switching, page-table updates) are written in
+    this DSL so the same program can be executed under the SC model
+    ({!Sc}), the Promising Arm relaxed model ({!Promising}), the push/pull
+    ownership model ({!Pushpull}) and, for straight-line fragments, the
+    axiomatic model ({!Axiomatic}).
+
+    Memory-access ordering annotations mirror Armv8: plain accesses,
+    load-acquire ([LDAR]), store-release ([STLR]), and the DMB barrier
+    flavours. [Pull]/[Push] are logical (ghost) ownership annotations in
+    the style of CertiKOS's push/pull semantics; they generate no hardware
+    events but are interpreted by the DRF checker. *)
+
+type order =
+  | Plain
+  | Acquire  (** load-acquire; on RMWs, acquire semantics on the load *)
+  | Release  (** store-release; on RMWs, release semantics on the store *)
+  | Acq_rel  (** RMW with both acquire and release semantics *)
+
+type barrier =
+  | Dmb_full  (** DMB ISH: orders all prior accesses with all later ones *)
+  | Dmb_ld  (** DMB ISHLD: orders prior loads with later loads and stores *)
+  | Dmb_st  (** DMB ISHST: orders prior stores with later stores *)
+  | Isb  (** instruction barrier: orders control deps with later loads *)
+
+type t =
+  | Load of Reg.t * Expr.aexp * order
+  | Store of Expr.aexp * Expr.vexp * order
+  | Faa of Reg.t * Expr.aexp * Expr.vexp * order
+      (** atomic fetch-and-add: [r := \[a\]; \[a\] := r + e] in one step *)
+  | Xchg of Reg.t * Expr.aexp * Expr.vexp * order
+      (** atomic exchange: [r := \[a\]; \[a\] := e] in one step *)
+  | Cas of Reg.t * Expr.aexp * Expr.vexp * Expr.vexp * order
+      (** compare-and-swap: [r := \[a\]; if r = expected then \[a\] :=
+          desired]; success is observed as [r = expected] *)
+  | Barrier of barrier
+  | Move of Reg.t * Expr.vexp  (** register-only computation *)
+  | If of Expr.bexp * t list * t list
+  | While of Expr.bexp * t list  (** bounded by executor fuel *)
+  | Pull of string list  (** acquire logical ownership of the given bases *)
+  | Push of string list  (** release logical ownership of the given bases *)
+  | Tlbi of Expr.aexp option
+      (** TLB invalidation; [None] invalidates everything *)
+  | Panic  (** kernel panic; reaching it is an observable outcome *)
+  | Nop
+
+(** {2 Builders} *)
+
+val load : ?order:order -> Reg.t -> Expr.aexp -> t
+val load_acq : Reg.t -> Expr.aexp -> t
+val store : ?order:order -> Expr.aexp -> Expr.vexp -> t
+val store_rel : Expr.aexp -> Expr.vexp -> t
+val faa : ?order:order -> Reg.t -> Expr.aexp -> Expr.vexp -> t
+val xchg : ?order:order -> Reg.t -> Expr.aexp -> Expr.vexp -> t
+
+val cas :
+  ?order:order -> Reg.t -> Expr.aexp -> expected:Expr.vexp ->
+  desired:Expr.vexp -> t
+
+val fetch_and_inc : ?order:order -> Reg.t -> Expr.aexp -> t
+val dmb : t
+val dmb_ld : t
+val dmb_st : t
+val isb : t
+val move : Reg.t -> Expr.vexp -> t
+val if_ : Expr.bexp -> t list -> t list -> t
+val while_ : Expr.bexp -> t list -> t
+val pull : string list -> t
+val push : string list -> t
+val tlbi_all : t
+val tlbi : Expr.aexp -> t
+
+(** {2 Analysis} *)
+
+val size : t -> int
+(** Structural size (proof-effort accounting, sanity checks). *)
+
+val size_list : t list -> int
+
+val bases : t -> string list
+(** Base names the instruction can touch (footprint analysis). *)
+
+val bases_list : t list -> string list
+
+(** {2 Derived printers/equality} *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val pp_order : Format.formatter -> order -> unit
+val show_order : order -> string
+val equal_order : order -> order -> bool
+val pp_barrier : Format.formatter -> barrier -> unit
+val show_barrier : barrier -> string
+val equal_barrier : barrier -> barrier -> bool

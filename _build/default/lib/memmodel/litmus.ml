@@ -1,0 +1,81 @@
+(** Litmus-test harness.
+
+    A litmus test is a DSL program plus an "exists" clause — a predicate on
+    final observable values that should be unreachable on SC but (for the
+    paper's buggy examples) reachable on relaxed Arm. Running a test
+    explores the program exhaustively under both {!Sc} and {!Promising} and
+    reports the two behavior sets, whether the clause is satisfiable under
+    each, and the relaxed-only behaviors. *)
+
+type t = {
+  prog : Prog.t;
+  description : string;
+  exists : (Prog.observable -> int option) -> bool;
+      (** the interesting (usually: buggy) final condition *)
+  expect_sc : bool;  (** clause satisfiable under SC? *)
+  expect_rm : bool;  (** clause satisfiable under Promising Arm? *)
+  rm_config : Promising.config option;
+      (** per-test exploration budget (loop fuel, promise budget) *)
+}
+
+type result = {
+  test : t;
+  sc : Behavior.t;
+  rm : Behavior.t;
+  sc_sat : bool;  (** exists-clause satisfiable under SC *)
+  rm_sat : bool;  (** exists-clause satisfiable under Promising Arm *)
+  sc_panic : bool;
+  rm_panic : bool;
+  rm_only : Behavior.t;  (** behaviors of RM not visible on SC *)
+  as_expected : bool;
+}
+
+let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
+    ~description ~exists ?(init = []) ?(shared_bases = []) ~observables
+    threads =
+  { prog = Prog.make ~init ~shared_bases ~name ~observables threads;
+    description;
+    exists;
+    expect_sc;
+    expect_rm;
+    rm_config }
+
+let run ?(sc_fuel = 8) ?config (test : t) : result =
+  let config =
+    match (config, test.rm_config) with
+    | Some c, _ -> c
+    | None, Some c -> c
+    | None, None -> Promising.default_config
+  in
+  let sc = Sc.run ~fuel:sc_fuel test.prog in
+  let rm = Promising.run ~config test.prog in
+  let sc_sat = Behavior.satisfiable test.exists sc in
+  let rm_sat = Behavior.satisfiable test.exists rm in
+  let sc_panic = Behavior.any_panic sc in
+  let rm_panic = Behavior.any_panic rm in
+  { test;
+    sc;
+    rm;
+    sc_sat;
+    rm_sat;
+    sc_panic;
+    rm_panic;
+    rm_only = Behavior.diff rm sc;
+    as_expected = sc_sat = test.expect_sc && rm_sat = test.expect_rm }
+
+let pp_result fmt (r : result) =
+  Format.fprintf fmt
+    "@[<v>%s: %s@,\
+    \  SC : %d outcomes, exists-clause %s%s@,\
+    \  RM : %d outcomes, exists-clause %s%s@,\
+    \  RM-only behaviors: %d@,\
+    \  verdict: %s@]"
+    r.test.prog.Prog.name r.test.description
+    (Behavior.cardinal r.sc)
+    (if r.sc_sat then "SATISFIABLE" else "unreachable")
+    (if r.sc_panic then " (panics)" else "")
+    (Behavior.cardinal r.rm)
+    (if r.rm_sat then "SATISFIABLE" else "unreachable")
+    (if r.rm_panic then " (panics)" else "")
+    (Behavior.cardinal r.rm_only)
+    (if r.as_expected then "as expected" else "UNEXPECTED")

@@ -1,0 +1,44 @@
+(** Litmus-test harness: a DSL program plus an "exists" clause — a final
+    condition that should be unreachable on SC but (for the paper's buggy
+    examples) reachable on relaxed Arm. Running a test explores the
+    program exhaustively under {!Sc} and {!Promising} and reports both
+    behavior sets, clause satisfiability under each, and the relaxed-only
+    behaviors. *)
+
+type t = {
+  prog : Prog.t;
+  description : string;
+  exists : (Prog.observable -> int option) -> bool;
+  expect_sc : bool;  (** clause satisfiable under SC? *)
+  expect_rm : bool;  (** clause satisfiable under Promising Arm? *)
+  rm_config : Promising.config option;
+      (** per-test exploration budget (loop fuel, promise budget) *)
+}
+
+type result = {
+  test : t;
+  sc : Behavior.t;
+  rm : Behavior.t;
+  sc_sat : bool;
+  rm_sat : bool;
+  sc_panic : bool;
+  rm_panic : bool;
+  rm_only : Behavior.t;  (** behaviors of RM not visible on SC *)
+  as_expected : bool;
+}
+
+val make :
+  ?expect_sc:bool ->
+  ?expect_rm:bool ->
+  ?rm_config:Promising.config ->
+  name:string ->
+  description:string ->
+  exists:((Prog.observable -> int option) -> bool) ->
+  ?init:(Loc.t * int) list ->
+  ?shared_bases:string list ->
+  observables:Prog.observable list ->
+  Prog.thread list ->
+  t
+
+val run : ?sc_fuel:int -> ?config:Promising.config -> t -> result
+val pp_result : Format.formatter -> result -> unit

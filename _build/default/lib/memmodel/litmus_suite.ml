@@ -1,0 +1,309 @@
+(** The classical Armv8 litmus validation suite.
+
+    Beyond the paper's §2 examples ({!Paper_examples}), this module carries
+    the standard shapes used to validate Arm memory models (cf. Pulte et
+    al.'s evaluation of Promising-ARM): message passing, store buffering,
+    load buffering, the S and 2+2W coherence shapes, write-to-read
+    causality (WRC — Armv8 is multi-copy atomic, so it is forbidden with
+    either barriers or address dependencies), ISA2, and the
+    control-dependency subtleties (control orders stores but not loads;
+    CTRL+ISB orders loads).
+
+    Every test states its expected verdicts under SC and under the
+    Promising Arm executor; the suite is run wholesale by the tests and the
+    bench harness. *)
+
+open Expr
+
+let x = at "x"
+let y = at "y"
+let z = at "z"
+let r0 = Reg.v "r0"
+let r1 = Reg.v "r1"
+let r2 = Reg.v "r2"
+
+let obs tid r = Prog.Obs_reg (tid, r)
+let obs_x = Prog.Obs_loc (Loc.v "x")
+let obs_y = Prog.Obs_loc (Loc.v "y")
+
+let get o k = match o k with Some v -> v | None -> min_int
+let ( == ) (a : int) (b : int) = Stdlib.( = ) a b
+let ( &&& ) = Stdlib.( && )
+
+let small =
+  { Promising.default_config with loop_fuel = 4; max_promises = 1;
+    cert_depth = 40 }
+
+let small2 = { small with max_promises = 2 }
+
+(* ------------------------------------------------------------------ *)
+(* S: write-subsumption                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* T1: x=2; [dmb]; y=1   T2: r0=y; x=r0(data)   exists: r0=1 /\ x=2 *)
+let s_shape ~dmb ~name ~expect_rm =
+  Litmus.make ~rm_config:small ~name
+    ~description:"S: can T1's first write be coherence-last?"
+    ~observables:[ obs 2 r0; obs_x ]
+    ~exists:(fun o -> get o (obs 2 r0) == 1 &&& (get o obs_x == 2))
+    ~expect_rm
+    [ Prog.thread 1
+        ([ Instr.store x (c 2) ]
+        @ (if dmb then [ Instr.dmb ] else [])
+        @ [ Instr.store y (c 1) ]);
+      Prog.thread 2 [ Instr.load r0 y; Instr.store x (r r0) ] ]
+
+let s_plain = s_shape ~dmb:false ~name:"s-plain" ~expect_rm:true
+let s_dmb = s_shape ~dmb:true ~name:"s-dmb" ~expect_rm:false
+
+(* ------------------------------------------------------------------ *)
+(* 2+2W: double write-write reordering                                 *)
+(* ------------------------------------------------------------------ *)
+
+let w22_shape ~dmb ~name ~expect_rm =
+  Litmus.make ~rm_config:small2 ~name
+    ~description:"2+2W: both second writes coherence-first"
+    ~observables:[ obs_x; obs_y ]
+    ~exists:(fun o -> get o obs_x == 1 &&& (get o obs_y == 1))
+    ~expect_rm
+    [ Prog.thread 1
+        ([ Instr.store x (c 1) ]
+        @ (if dmb then [ Instr.dmb_st ] else [])
+        @ [ Instr.store y (c 2) ]);
+      Prog.thread 2
+        ([ Instr.store y (c 1) ]
+        @ (if dmb then [ Instr.dmb_st ] else [])
+        @ [ Instr.store x (c 2) ]) ]
+
+let w22_plain = w22_shape ~dmb:false ~name:"2+2w-plain" ~expect_rm:true
+let w22_dmb = w22_shape ~dmb:true ~name:"2+2w-dmbst" ~expect_rm:false
+
+(* ------------------------------------------------------------------ *)
+(* WRC: write-to-read causality (multi-copy atomicity)                 *)
+(* ------------------------------------------------------------------ *)
+
+let wrc_shape ~sync ~name ~expect_rm =
+  (* T1: x=1   T2: r0=x; <sync>; y=1   T3: r1=y; <sync>; r2=x
+     exists: r0=1 /\ r1=1 /\ r2=0 *)
+  let mid, tail =
+    match sync with
+    | `Dmb -> ([ Instr.dmb ], [ Instr.dmb ])
+    | `None -> ([], [])
+  in
+  Litmus.make ~rm_config:small ~name
+    ~description:"WRC: causality through a third observer"
+    ~observables:[ obs 2 r0; obs 3 r1; obs 3 r2 ]
+    ~exists:(fun o ->
+      get o (obs 2 r0) == 1
+      &&& (get o (obs 3 r1) == 1)
+      &&& (get o (obs 3 r2) == 0))
+    ~expect_rm
+    [ Prog.thread 1 [ Instr.store x (c 1) ];
+      Prog.thread 2 ([ Instr.load r0 x ] @ mid @ [ Instr.store y (c 1) ]);
+      Prog.thread 3 ([ Instr.load r1 y ] @ tail @ [ Instr.load r2 x ]) ]
+
+let wrc_dmb = wrc_shape ~sync:`Dmb ~name:"wrc-dmb" ~expect_rm:false
+
+let wrc_plain = wrc_shape ~sync:`None ~name:"wrc-plain" ~expect_rm:true
+
+let wrc_addr =
+  (* multi-copy atomicity with address dependencies only: forbidden *)
+  let table = at "table" in
+  Litmus.make ~rm_config:small ~name:"wrc-addr"
+    ~description:"WRC with address dependencies: forbidden (multi-copy \
+                  atomic)"
+    ~init:[ (Loc.v ~index:0 "data", 0); (Loc.v ~index:1 "data", 0) ]
+    ~observables:[ obs 2 r0; obs 3 r1; obs 3 r2 ]
+    ~exists:(fun o ->
+      get o (obs 2 r0) == 1
+      &&& (get o (obs 3 r1) == 1)
+      &&& (get o (obs 3 r2) == 0))
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.store (at ~offset:(c 1) "data") (c 1) ];
+      Prog.thread 2
+        [ Instr.load r0 (at ~offset:(c 1) "data");
+          (* address-dependent store: y := 1 at an index computed from r0 *)
+          Instr.store (at ~offset:Expr.(r r0 - r r0) "table") (r r0) ];
+      Prog.thread 3
+        [ Instr.load r1 table;
+          Instr.load r2 (at ~offset:Expr.(r r1) "data") ] ]
+
+(* ------------------------------------------------------------------ *)
+(* ISA2: causality chain through two synchronizing threads             *)
+(* ------------------------------------------------------------------ *)
+
+let isa2 =
+  (* T1: x=1; dmb; y=1   T2: r0=y; dmb; z=1   T3: r1=z; dmb; r2=x
+     exists r0=1 /\ r1=1 /\ r2=0 : forbidden *)
+  Litmus.make ~rm_config:small ~name:"isa2-dmb"
+    ~description:"ISA2: transitive causality with DMBs: forbidden"
+    ~observables:[ obs 2 r0; obs 3 r1; obs 3 r2 ]
+    ~exists:(fun o ->
+      get o (obs 2 r0) == 1
+      &&& (get o (obs 3 r1) == 1)
+      &&& (get o (obs 3 r2) == 0))
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.store x (c 1); Instr.dmb; Instr.store y (c 1) ];
+      Prog.thread 2 [ Instr.load r0 y; Instr.dmb; Instr.store z (c 1) ];
+      Prog.thread 3 [ Instr.load r1 z; Instr.dmb; Instr.load r2 x ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Control dependencies                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mp_ctrl =
+  (* control dependency does NOT order loads: the stale read survives *)
+  Litmus.make ~rm_config:small ~name:"mp-dmb-ctrl"
+    ~description:"MP with reader-side control dep only: load may still \
+                  speculate (allowed)"
+    ~observables:[ obs 2 r0; obs 2 r1 ]
+    ~exists:(fun o -> get o (obs 2 r0) == 1 &&& (get o (obs 2 r1) == 0))
+    ~expect_rm:true
+    [ Prog.thread 1 [ Instr.store x (c 1); Instr.dmb; Instr.store y (c 1) ];
+      Prog.thread 2
+        [ Instr.load r0 y;
+          Instr.if_ Expr.(r r0 = c 1) [ Instr.load r1 x ]
+            [ Instr.move r1 (c (-1)) ] ] ]
+
+let mp_ctrl_isb =
+  (* CTRL+ISB orders the dependent load: forbidden *)
+  Litmus.make ~rm_config:small ~name:"mp-dmb-ctrl-isb"
+    ~description:"MP with reader-side control dep + ISB: forbidden"
+    ~observables:[ obs 2 r0; obs 2 r1 ]
+    ~exists:(fun o -> get o (obs 2 r0) == 1 &&& (get o (obs 2 r1) == 0))
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.store x (c 1); Instr.dmb; Instr.store y (c 1) ];
+      Prog.thread 2
+        [ Instr.load r0 y;
+          Instr.if_ Expr.(r r0 = c 1)
+            [ Instr.isb; Instr.load r1 x ]
+            [ Instr.move r1 (c (-1)) ] ] ]
+
+let lb_ctrl =
+  (* control dependency DOES order stores: LB+ctrls forbidden *)
+  Litmus.make ~rm_config:small ~name:"lb-ctrl"
+    ~description:"LB with control deps to both stores: forbidden"
+    ~observables:[ obs 1 r0; obs 2 r1 ]
+    ~exists:(fun o -> get o (obs 1 r0) == 1 &&& (get o (obs 2 r1) == 1))
+    ~expect_rm:false
+    [ Prog.thread 1
+        [ Instr.load r0 x;
+          Instr.if_ Expr.(r r0 = c 1) [ Instr.store y (c 1) ]
+            [ Instr.store y (c 1) ] ];
+      Prog.thread 2
+        [ Instr.load r1 y;
+          Instr.if_ Expr.(r r1 = c 1) [ Instr.store x (c 1) ]
+            [ Instr.store x (c 1) ] ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Coherence shapes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cowr =
+  (* a read after a program-order-earlier write to the same location
+     never sees an older value *)
+  Litmus.make ~rm_config:small ~name:"cowr"
+    ~description:"CoWR: read after own write sees it or newer"
+    ~observables:[ obs 1 r0 ]
+    ~exists:(fun o -> get o (obs 1 r0) == 0)
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.store x (c 1); Instr.load r0 x ];
+      Prog.thread 2 [ Instr.store x (c 2) ] ]
+
+let corw1 =
+  (* a thread cannot read its own future write *)
+  Litmus.make ~rm_config:small ~name:"corw1"
+    ~description:"CoRW1: no thread reads its own future write"
+    ~observables:[ obs 1 r0 ]
+    ~exists:(fun o -> get o (obs 1 r0) == 1)
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.load r0 x; Instr.store x (c 1) ];
+      Prog.thread 2 [ Instr.store x (c 2) ] ]
+
+let sb_one_dmb =
+  (* SB with a barrier on only one side: still allowed *)
+  Litmus.make ~rm_config:small ~name:"sb-one-dmb"
+    ~description:"SB with one-sided DMB: relaxed outcome survives"
+    ~observables:[ obs 1 r0; obs 2 r1 ]
+    ~exists:(fun o -> get o (obs 1 r0) == 0 &&& (get o (obs 2 r1) == 0))
+    ~expect_rm:true
+    [ Prog.thread 1 [ Instr.store x (c 1); Instr.dmb; Instr.load r0 y ];
+      Prog.thread 2 [ Instr.store y (c 1); Instr.load r1 x ] ]
+
+let rel_acq_handover =
+  (* release-writer / acquire-reader pair transfers two fields *)
+  Litmus.make ~rm_config:small ~name:"rel-acq-two-fields"
+    ~description:"release/acquire protects a multi-field message"
+    ~observables:[ obs 2 r0; obs 2 r1; obs 2 r2 ]
+    ~exists:(fun o ->
+      get o (obs 2 r0) == 1
+      &&& Stdlib.not
+            (get o (obs 2 r1) == 5 &&& (get o (obs 2 r2) == 6)))
+    ~expect_rm:false
+    [ Prog.thread 1
+        [ Instr.store x (c 5); Instr.store z (c 6);
+          Instr.store_rel y (c 1) ];
+      Prog.thread 2
+        [ Instr.load_acq r0 y;
+          Instr.if_ Expr.(r r0 = c 1)
+            [ Instr.load r1 x; Instr.load r2 z ]
+            [ Instr.move r1 (c 5); Instr.move r2 (c 6) ] ] ]
+
+(* ------------------------------------------------------------------ *)
+(* R, coherence totality, RCsc                                         *)
+(* ------------------------------------------------------------------ *)
+
+let r_shape ~dmb ~name ~expect_rm =
+  (* T1: x=1; [dmb]; y=1   T2: y=2; [dmb]; r0=x
+     exists: y=2 /\ r0=0 *)
+  Litmus.make ~rm_config:small2 ~name
+    ~description:"R: write racing a message-passing pair"
+    ~observables:[ obs_y; obs 2 r0 ]
+    ~exists:(fun o -> get o obs_y == 2 &&& (get o (obs 2 r0) == 0))
+    ~expect_rm
+    [ Prog.thread 1
+        ([ Instr.store x (c 1) ]
+        @ (if dmb then [ Instr.dmb ] else [])
+        @ [ Instr.store y (c 1) ]);
+      Prog.thread 2
+        ([ Instr.store y (c 2) ]
+        @ (if dmb then [ Instr.dmb ] else [])
+        @ [ Instr.load r0 x ]) ]
+
+let r_plain = r_shape ~dmb:false ~name:"r-plain" ~expect_rm:true
+let r_dmb = r_shape ~dmb:true ~name:"r-dmb" ~expect_rm:false
+
+let corr_total =
+  (* two readers must agree on the coherence order of two writes *)
+  let a = Reg.v "a" and b = Reg.v "b" and d = Reg.v "d" and e = Reg.v "e" in
+  Litmus.make ~rm_config:small ~name:"corr-total"
+    ~description:"coherence is a single total order per location"
+    ~observables:[ obs 3 a; obs 3 b; obs 4 d; obs 4 e ]
+    ~exists:(fun o ->
+      get o (obs 3 a) == 1
+      &&& (get o (obs 3 b) == 2)
+      &&& (get o (obs 4 d) == 2)
+      &&& (get o (obs 4 e) == 1))
+    ~expect_rm:false
+    [ Prog.thread 1 [ Instr.store x (c 1) ];
+      Prog.thread 2 [ Instr.store x (c 2) ];
+      Prog.thread 3 [ Instr.load a x; Instr.load b x ];
+      Prog.thread 4 [ Instr.load d x; Instr.load e x ] ]
+
+let sb_rel_acq =
+  (* Armv8 release/acquire are RCsc: stlr;ldar is ordered, so SB with the
+     SC-atomics mapping is forbidden *)
+  Litmus.make ~rm_config:small ~name:"sb-rel-acq"
+    ~description:"SB with stlr/ldar: forbidden (RCsc)"
+    ~observables:[ obs 1 r0; obs 2 r1 ]
+    ~exists:(fun o -> get o (obs 1 r0) == 0 &&& (get o (obs 2 r1) == 0))
+    ~expect_rm:false
+    [ Prog.thread 1
+        [ Instr.store_rel x (c 1); Instr.load_acq r0 y ];
+      Prog.thread 2
+        [ Instr.store_rel y (c 1); Instr.load_acq r1 x ] ]
+
+let all =
+  [ s_plain; s_dmb; w22_plain; w22_dmb; wrc_plain; wrc_dmb; wrc_addr; isa2;
+    mp_ctrl; mp_ctrl_isb; lb_ctrl; cowr; corw1; sb_one_dmb;
+    rel_acq_handover; r_plain; r_dmb; corr_total; sb_rel_acq ]

@@ -1,0 +1,26 @@
+(** The classical Armv8 litmus validation suite: S, 2+2W, WRC (multi-copy
+    atomicity), ISA2, the control-dependency asymmetry (orders stores, not
+    loads; CTRL+ISB orders loads), coherence shapes and release/acquire
+    handover. Each test carries its expected SC/RM verdicts. *)
+
+val s_plain : Litmus.t
+val s_dmb : Litmus.t
+val w22_plain : Litmus.t
+val w22_dmb : Litmus.t
+val wrc_plain : Litmus.t
+val wrc_dmb : Litmus.t
+val wrc_addr : Litmus.t
+val isa2 : Litmus.t
+val mp_ctrl : Litmus.t
+val mp_ctrl_isb : Litmus.t
+val lb_ctrl : Litmus.t
+val cowr : Litmus.t
+val corw1 : Litmus.t
+val sb_one_dmb : Litmus.t
+val rel_acq_handover : Litmus.t
+val r_plain : Litmus.t
+val r_dmb : Litmus.t
+val corr_total : Litmus.t
+val sb_rel_acq : Litmus.t
+
+val all : Litmus.t list

@@ -1,0 +1,31 @@
+(** Shared-memory locations.
+
+    A location is a named base cell plus an integer index, so that array-like
+    kernel objects (page-table entries, [vcpu_state\[vmid\]\[vcpuid\]], ...)
+    can be addressed with computed offsets. Index 0 is used for plain scalar
+    variables. *)
+
+type t = { base : string; index : int } [@@deriving show, eq, ord]
+
+let v ?(index = 0) base = { base; index }
+
+let base t = t.base
+let index t = t.index
+
+let pp fmt t =
+  if t.index = 0 then Format.fprintf fmt "%s" t.base
+  else Format.fprintf fmt "%s[%d]" t.base t.index
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,24 @@
+(** Shared-memory locations: a named base cell plus an integer index, so
+    array-like kernel objects (page-table entries,
+    [vcpu_state\[vmid\]\[vcpuid\]], ...) can be addressed with computed
+    offsets. Index 0 is used for plain scalar variables. *)
+
+type t = { base : string; index : int }
+
+val v : ?index:int -> string -> t
+(** [v ?index base] — the location [base\[index\]]; [index] defaults to 0. *)
+
+val base : t -> string
+val index : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [x] for scalars and [pte\[3\]] for indexed locations. *)
+
+val show : t -> string
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,39 @@
+(** The paper's §2 examples as executable litmus tests, plus classic
+    validation litmus. Each test carries the expected verdicts (exists
+    clause reachable under SC / under Promising Arm).
+
+    Page-table examples 4–6 involve MMU hardware walks and live on the
+    machine substrate ({!Machine.Mmu_walker}, {!Machine.Tlb_sim}). *)
+
+val max_vm : int
+
+val gen_vmid_thread : barriers:bool -> int -> Prog.thread
+(** The ticket lock + critical section of Fig. 1 / Example 2; [barriers]
+    selects the plain (Arm-broken) or Linux Fig. 7 variant. *)
+
+val example1 : Litmus.t  (** out-of-order write (load buffering) *)
+
+val example2_buggy : Litmus.t  (** duplicate VMIDs under the plain lock *)
+
+val example2_fixed : Litmus.t  (** the Fig. 7 Linux ticket lock *)
+
+val example3_buggy : Litmus.t  (** stale vCPU context restore *)
+
+val example3_fixed : Litmus.t  (** release/acquire vCPU protocol *)
+
+val example7 : Litmus.t  (** user RM behavior poisoning the kernel *)
+
+(** Classic validation shapes. *)
+
+val mp_plain : Litmus.t
+val mp_dmb : Litmus.t
+val mp_rel_acq : Litmus.t
+val sb : Litmus.t
+val sb_dmb : Litmus.t
+val lb_data : Litmus.t
+val corr : Litmus.t
+val addr_dep : Litmus.t
+
+val all_paper : Litmus.t list
+val all_classic : Litmus.t list
+val all : Litmus.t list

@@ -1,0 +1,631 @@
+(** Executable Promising Arm relaxed-memory model.
+
+    This is an operational model in the style of Promising-ARM (Pulte et
+    al., PLDI 2019), the model the paper's Coq proofs are carried out on.
+    Memory is an append-only list of timestamped {e messages}; each thread
+    executes its instructions {e in program order} but may {e promise}
+    future stores (append the message before executing the store), provided
+    it can {e certify} the promise — demonstrate, by running solo, that it
+    will fulfill it. Relaxed behavior arises from (a) promises, which let
+    other threads observe a store "early", and (b) stale reads, since a load
+    may return any coherent message not superseded below the thread's read
+    floor.
+
+    Per-thread views implement the four Armv8 ordering constraints the
+    paper lists in §4:
+    {ul
+    {- data dependencies: registers carry views; a store's message timestamp
+       must exceed the view of its data;}
+    {- address dependencies: likewise for the address computation, and the
+       read floor of a load includes its address view;}
+    {- coherence: per-location [coh] timestamps forbid same-location
+       reordering;}
+    {- barriers: DMB instructions and acquire/release accesses raise the
+       read/write floors [vrnew]/[vwnew].}}
+
+    Control dependencies order stores (via [vctrl]) but not loads, which is
+    what permits the load speculation of the paper's Example 2.
+
+    Simplifications relative to full Promising-ARM, none of which affect
+    the kernel-code corpus verified here: RMWs (ticket-lock
+    [fetch_and_inc]) are not promotable and always read the
+    coherence-latest message (their success case); there is no
+    instruction-fetch or mixed-size machinery. *)
+
+type message = {
+  mloc : Loc.t;
+  mval : int;
+  ts : int;  (** position in the append-only memory; 0 = initial *)
+  wtid : int;  (** writing thread; -1 for initial messages *)
+}
+
+type tstate = {
+  code : Instr.t list;
+  regs : (int * int) Reg.Map.t;  (** value, view *)
+  coh : int Loc.Map.t;  (** per-location coherence timestamp *)
+  vrnew : int;  (** read floor (acquire loads, DMB LD/full) *)
+  vwnew : int;  (** write floor (DMB ST/LD/full, acquire loads) *)
+  vctrl : int;  (** control-dependency view: orders stores only *)
+  vrmax : int;  (** join of views of executed reads (for DMB LD) *)
+  vwmax : int;  (** join of timestamps of executed writes (for DMB ST) *)
+  vall : int;  (** join of everything (for DMB full, release stores) *)
+  vrel : int;
+      (** timestamp of this thread's latest release write: acquire loads
+          read no older than it (Armv8 release/acquire is RCsc — the
+          [L];po;[A] ordering of the axiomatic model) *)
+  fuel : int;
+  promise_budget : int;
+  promises : int list;  (** timestamps of outstanding promises *)
+}
+
+type state = {
+  mem : message list;  (** newest first *)
+  next_ts : int;
+  threads : tstate array;
+}
+
+type config = {
+  loop_fuel : int;  (** max loop iterations per thread *)
+  max_promises : int;  (** max outstanding+fulfilled promises per thread *)
+  cert_depth : int;  (** max solo steps during certification *)
+  max_states : int;  (** exploration safety valve *)
+  strict_certification : bool;
+      (** re-certify every thread's outstanding promises at every step (the
+          letter of the Promising semantics) instead of pruning
+          unfulfillable paths at the end — same final outcomes, higher
+          cost; kept as a cross-check of the lazy default *)
+}
+
+let default_config =
+  { loop_fuel = 24; max_promises = 2; cert_depth = 64;
+    max_states = 2_000_000; strict_certification = false }
+
+exception Thread_panic
+exception State_budget_exhausted
+
+let lookup_reg regs r =
+  match Reg.Map.find_opt r regs with Some v -> v | None -> (0, 0)
+
+let coh_of t loc =
+  match Loc.Map.find_opt loc t.coh with Some v -> v | None -> 0
+
+(* Messages on [loc], including a virtual initial message at ts 0. *)
+let messages_on st init_val loc =
+  let explicit = List.filter (fun m -> Loc.equal m.mloc loc) st.mem in
+  if List.exists (fun m -> m.ts = 0) explicit then explicit
+  else explicit @ [ { mloc = loc; mval = init_val loc; ts = 0; wtid = -1 } ]
+
+(* Latest message on [loc] with ts <= floor: its ts is the staleness bound. *)
+let latest_before st init_val loc floor =
+  List.fold_left
+    (fun acc m -> if m.ts <= floor && m.ts > acc then m.ts else acc)
+    0
+    (messages_on st init_val loc)
+
+(** Readable messages for a load of [loc] by thread [i]: coherent
+    ([ts >= coh]), not superseded below the floor, and not one of the
+    thread's own unfulfilled promises. *)
+let readable st init_val (t : tstate) loc ~floor =
+  let lb = latest_before st init_val loc floor in
+  let lo = max (coh_of t loc) lb in
+  List.filter
+    (fun m -> m.ts >= lo && not (List.mem m.ts t.promises))
+    (messages_on st init_val loc)
+
+type step_result =
+  | Next of state
+  | Fuel_out
+  | Stuck  (** no legal transition, e.g. no fulfillable store slot *)
+
+(** One line of a witness schedule: which CPU did what. *)
+type step = {
+  s_tid : int;  (** thread id (as declared in the program) *)
+  s_what : string;  (** human-readable action *)
+}
+
+let pp_step fmt s = Format.fprintf fmt "CPU %d: %s" s.s_tid s.s_what
+
+let pp_schedule fmt steps =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_step fmt steps
+
+let set_thread st i t' =
+  let threads = Array.copy st.threads in
+  threads.(i) <- t';
+  { st with threads }
+
+(* Atomic read-modify-writes (FAA, XCHG, CAS) read the coherence-latest
+   message and, when [new_value] yields a write, append the new message
+   adjacent to it (the append-only memory keeps the pair per-location
+   adjacent forever). Reading an unfulfilled promise is refused: the pair
+   could no longer be kept atomic. A CAS whose [new_value] is [None]
+   (comparison failed) degenerates to a read of the latest message. *)
+let rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst ~new_value :
+    step_result list =
+  let msgs = messages_on st init_val loc in
+  let latest =
+    List.fold_left (fun acc m -> if m.ts > acc.ts then m else acc)
+      (List.hd msgs) msgs
+  in
+  let is_promise =
+    Array.exists (fun th -> List.mem latest.ts th.promises) st.threads
+  in
+  if is_promise then [ Stuck ]
+  else
+    let acq = ord = Instr.Acquire || ord = Instr.Acq_rel in
+    let rel = ord = Instr.Release || ord = Instr.Acq_rel in
+    match new_value latest.mval with
+    | Some v ->
+        let ts = st.next_ts in
+        let m = { mloc = loc; mval = v; ts; wtid = i } in
+        let view = max latest.ts (max va vd) in
+        let t' =
+          { t with
+            code = rest;
+            regs = Reg.Map.add dst (latest.mval, view) t.regs;
+            coh = Loc.Map.add loc ts t.coh;
+            vrmax = max t.vrmax view;
+            vwmax = max t.vwmax ts;
+            vall = max t.vall ts;
+            vrel = (if rel then max t.vrel ts else t.vrel);
+            vrnew = (if acq then max t.vrnew latest.ts else t.vrnew);
+            vwnew = (if acq then max t.vwnew latest.ts else t.vwnew) }
+        in
+        [ Next (set_thread { st with mem = m :: st.mem; next_ts = ts + 1 } i t') ]
+    | None ->
+        let view = max latest.ts (max va vd) in
+        let t' =
+          { t with
+            code = rest;
+            regs = Reg.Map.add dst (latest.mval, view) t.regs;
+            coh = Loc.Map.add loc (max (coh_of t loc) latest.ts) t.coh;
+            vrmax = max t.vrmax view;
+            vall = max t.vall view;
+            vrnew = (if acq then max t.vrnew latest.ts else t.vrnew);
+            vwnew = (if acq then max t.vwnew latest.ts else t.vwnew) }
+        in
+        [ Next (set_thread st i t') ]
+
+(** Successor states of executing the next instruction of thread [i]
+    (several for a load: one per readable message). *)
+let step_thread (st : state) init_val (i : int) : step_result list =
+  let t = st.threads.(i) in
+  match t.code with
+  | [] -> invalid_arg "Promising.step_thread: thread done"
+  | instr :: rest -> (
+      try
+        match instr with
+        | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _ ->
+            [ Next (set_thread st i { t with code = rest }) ]
+        | Instr.Panic -> raise Thread_panic
+        | Instr.Move (r, e) ->
+            let v, w = Expr.eval_v (lookup_reg t.regs) e in
+            [ Next
+                (set_thread st i
+                   { t with code = rest; regs = Reg.Map.add r (v, w) t.regs })
+            ]
+        | Instr.Barrier b ->
+            let t' =
+              match b with
+              | Instr.Dmb_full ->
+                  let v = max t.vall (max t.vrnew t.vwnew) in
+                  { t with code = rest; vrnew = v; vwnew = v }
+              | Instr.Dmb_ld ->
+                  { t with
+                    code = rest;
+                    vrnew = max t.vrnew t.vrmax;
+                    vwnew = max t.vwnew t.vrmax }
+              | Instr.Dmb_st ->
+                  { t with code = rest; vwnew = max t.vwnew t.vwmax }
+              | Instr.Isb -> { t with code = rest; vrnew = max t.vrnew t.vctrl }
+            in
+            [ Next (set_thread st i t') ]
+        | Instr.Load (r, a, ord) ->
+            let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
+            let acq_floor =
+              if ord = Instr.Acquire || ord = Instr.Acq_rel then t.vrel
+              else 0
+            in
+            let floor = max (max t.vrnew va) acq_floor in
+            let choices = readable st init_val t loc ~floor in
+            List.map
+              (fun m ->
+                let view = max m.ts va in
+                let t' =
+                  { t with
+                    code = rest;
+                    regs = Reg.Map.add r (m.mval, view) t.regs;
+                    coh = Loc.Map.add loc (max (coh_of t loc) m.ts) t.coh;
+                    vrmax = max t.vrmax view;
+                    vall = max t.vall view;
+                    vrnew =
+                      (if ord = Instr.Acquire || ord = Instr.Acq_rel then
+                         max t.vrnew m.ts
+                       else t.vrnew);
+                    vwnew =
+                      (if ord = Instr.Acquire || ord = Instr.Acq_rel then
+                         max t.vwnew m.ts
+                       else t.vwnew) }
+                in
+                Next (set_thread st i t'))
+              choices
+        | Instr.Store (a, e, ord) ->
+            let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
+            let v, vd = Expr.eval_v (lookup_reg t.regs) e in
+            let lower = max (coh_of t loc)
+                (max va (max vd (max t.vctrl t.vwnew)))
+            in
+            let is_release = ord = Instr.Release || ord = Instr.Acq_rel in
+            let commit ts mem next_ts promises =
+              let t' =
+                { t with
+                  code = rest;
+                  coh = Loc.Map.add loc ts t.coh;
+                  vwmax = max t.vwmax ts;
+                  vall = max t.vall ts;
+                  vrel = (if is_release then max t.vrel ts else t.vrel);
+                  promises }
+              in
+              let st' = { st with mem; next_ts } in
+              Next (set_thread st' i t')
+            in
+            (* fulfill one of our promises... *)
+            let fulfills =
+              List.filter_map
+                (fun p ->
+                  match
+                    List.find_opt (fun m -> m.ts = p && m.wtid = i) st.mem
+                  with
+                  | Some m
+                    when Loc.equal m.mloc loc && m.mval = v && m.ts > lower
+                         && ((not is_release) || m.ts > t.vall) ->
+                      Some
+                        (commit m.ts st.mem st.next_ts
+                           (List.filter (fun q -> q <> p) t.promises))
+                  | _ -> None)
+                t.promises
+            in
+            (* ... or append a fresh message at the end of memory. *)
+            let append =
+              let ts = st.next_ts in
+              let m = { mloc = loc; mval = v; ts; wtid = i } in
+              commit ts (m :: st.mem) (ts + 1) t.promises
+            in
+            append :: fulfills
+        | Instr.Faa (r, a, e, ord) ->
+            let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
+            let delta, vd = Expr.eval_v (lookup_reg t.regs) e in
+            rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
+              ~new_value:(fun old -> Some (old + delta))
+        | Instr.Xchg (r, a, e, ord) ->
+            let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
+            let v, vd = Expr.eval_v (lookup_reg t.regs) e in
+            rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
+              ~new_value:(fun _ -> Some v)
+        | Instr.Cas (r, a, expected, desired, ord) ->
+            let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
+            let exp_v, ve = Expr.eval_v (lookup_reg t.regs) expected in
+            let des_v, vd0 = Expr.eval_v (lookup_reg t.regs) desired in
+            rmw_step st init_val i t rest ~loc ~va ~vd:(max ve vd0) ~ord
+              ~dst:r
+              ~new_value:(fun old -> if old = exp_v then Some des_v else None)
+        | Instr.If (cond, br_then, br_else) ->
+            let b, vc = Expr.eval_b (lookup_reg t.regs) cond in
+            let code = (if b then br_then else br_else) @ rest in
+            [ Next (set_thread st i { t with code; vctrl = max t.vctrl vc }) ]
+        | Instr.While (cond, body) ->
+            let b, vc = Expr.eval_b (lookup_reg t.regs) cond in
+            let t = { t with vctrl = max t.vctrl vc } in
+            if not b then [ Next (set_thread st i { t with code = rest }) ]
+            else if t.fuel <= 0 then [ Fuel_out ]
+            else
+              [ Next
+                  (set_thread st i
+                     { t with
+                       code = body @ (Instr.While (cond, body) :: rest);
+                       fuel = t.fuel - 1 }) ]
+      with Expr.Eval_panic _ -> raise Thread_panic)
+
+(* Human-readable label for the transition [st] -> [st'] taken by thread
+   [i] executing [instr]. Loads/stores are annotated with the concrete
+   location, value, and message timestamp so witness schedules read like
+   the paper's execution diagrams. *)
+let describe_step (st : state) (st' : state) (i : int) (instr : Instr.t) :
+    string =
+  let t = st.threads.(i) and t' = st'.threads.(i) in
+  let reg_val r =
+    match Reg.Map.find_opt r t'.regs with Some (v, _) -> v | None -> 0
+  in
+  match instr with
+  | Instr.Load (r, a, ord) ->
+      let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+      Format.asprintf "%s := [%a]  (reads %d%s)" (Reg.name r) Loc.pp loc
+        (reg_val r)
+        (match ord with Instr.Acquire -> ", acquire" | _ -> "")
+  | Instr.Store (a, _, ord) ->
+      let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+      let fulfilled = List.length t'.promises < List.length t.promises in
+      let m =
+        List.find_opt (fun m -> Loc.equal m.mloc loc && m.wtid = i) st'.mem
+      in
+      Format.asprintf "[%a] := %d%s%s" Loc.pp loc
+        (match m with Some m -> m.mval | None -> 0)
+        (match ord with Instr.Release -> "  (release)" | _ -> "")
+        (if fulfilled then "  (fulfils an earlier promise)" else "")
+  | Instr.Faa (r, a, _, _) ->
+      let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+      Format.asprintf "fetch-add [%a] (read %d)" Loc.pp loc (reg_val r)
+  | Instr.Xchg (r, a, _, _) ->
+      let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+      Format.asprintf "exchange [%a] (read %d)" Loc.pp loc (reg_val r)
+  | Instr.Cas (r, a, _, _, _) ->
+      let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+      Format.asprintf "cas [%a] (read %d)" Loc.pp loc (reg_val r)
+  | Instr.Barrier b ->
+      Format.asprintf "%s"
+        (match b with
+        | Instr.Dmb_full -> "dmb ish"
+        | Instr.Dmb_ld -> "dmb ishld"
+        | Instr.Dmb_st -> "dmb ishst"
+        | Instr.Isb -> "isb")
+  | Instr.Move (r, _) -> Format.asprintf "%s := <expr>" (Reg.name r)
+  | Instr.If _ -> "branch"
+  | Instr.While _ -> "loop check"
+  | Instr.Pull bs -> Format.asprintf "pull {%s}" (String.concat "," bs)
+  | Instr.Push bs -> Format.asprintf "push {%s}" (String.concat "," bs)
+  | Instr.Tlbi _ -> "tlbi"
+  | Instr.Panic -> "panic"
+  | Instr.Nop -> "nop"
+
+(* ------------------------------------------------------------------ *)
+(* Certification and promise candidates                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Can thread [i], running solo (no new promises), reach a state with all
+    its promises fulfilled, within [depth] steps? *)
+let certifiable cfg st init_val i =
+  let rec go st depth =
+    let t = st.threads.(i) in
+    if t.promises = [] then true
+    else if depth <= 0 || t.code = [] then false
+    else
+      List.exists
+        (function
+          | Next st' -> go st' (depth - 1)
+          | Fuel_out | Stuck -> false)
+        (try step_thread st init_val i with Thread_panic -> [])
+  in
+  go st cfg.cert_depth
+
+(** Store values thread [i] may produce along some solo run: the candidate
+    set for promises. Over-approximate; certification filters. *)
+let solo_write_candidates cfg st init_val i =
+  let found = Hashtbl.create 16 in
+  let seen = Hashtbl.create 256 in
+  let key st =
+    let t = st.threads.(i) in
+    Digest.string (Marshal.to_string (st.mem, t) [])
+  in
+  let rec go st depth =
+    if depth <= 0 then ()
+    else
+      let k = key st in
+      if Hashtbl.mem seen k then ()
+      else begin
+        Hashtbl.add seen k ();
+        let t = st.threads.(i) in
+        match t.code with
+        | [] -> ()
+        | instr :: _ ->
+            (match instr with
+            | Instr.Store (a, e, _) -> (
+                try
+                  let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+                  let v, _ = Expr.eval_v (lookup_reg t.regs) e in
+                  Hashtbl.replace found (loc, v) ()
+                with Expr.Eval_panic _ -> ())
+            | _ -> ());
+            List.iter
+              (function
+                | Next st' -> go st' (depth - 1)
+                | Fuel_out | Stuck -> ())
+              (try step_thread st init_val i with Thread_panic -> [])
+      end
+  in
+  go st cfg.cert_depth;
+  Hashtbl.fold (fun k () acc -> k :: acc) found []
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive exploration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let initial_state cfg (prog : Prog.t) : state =
+  let mem =
+    List.mapi
+      (fun idx (l, v) ->
+        ignore idx;
+        { mloc = l; mval = v; ts = 0; wtid = -1 })
+      prog.Prog.init
+  in
+  let threads =
+    Array.of_list
+      (List.map
+         (fun th ->
+           { code = th.Prog.code;
+             regs = Reg.Map.empty;
+             coh = Loc.Map.empty;
+             vrnew = 0;
+             vwnew = 0;
+             vctrl = 0;
+             vrmax = 0;
+             vwmax = 0;
+             vall = 0;
+             vrel = 0;
+             fuel = cfg.loop_fuel;
+             promise_budget = cfg.max_promises;
+             promises = [] })
+         prog.Prog.threads)
+  in
+  { mem; next_ts = 1; threads }
+
+let state_key (st : state) : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d@%d.%d;" (Loc.to_string m.mloc) m.mval m.ts
+           m.wtid))
+    st.mem;
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%d.%d.%d.%d.%d.%d.%d.%d.%d" t.vrnew t.vwnew
+           t.vctrl t.vrmax t.vwmax t.vall t.vrel t.fuel t.promise_budget);
+      Reg.Map.iter
+        (fun r (v, w) -> Buffer.add_string buf (Printf.sprintf "%s=%d.%d;" r v w))
+        t.regs;
+      Loc.Map.iter
+        (fun l c ->
+          Buffer.add_string buf (Printf.sprintf "%s^%d;" (Loc.to_string l) c))
+        t.coh;
+      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "p%d;" p))
+        t.promises;
+      Buffer.add_string buf (Marshal.to_string t.code []))
+    st.threads;
+  Digest.string (Buffer.contents buf)
+
+let observe (prog : Prog.t) (st : state) init_val status : Behavior.outcome =
+  let value = function
+    | Prog.Obs_reg (tid, r) ->
+        let idx =
+          match
+            List.find_index (fun th -> th.Prog.tid = tid) prog.Prog.threads
+          with
+          | Some i -> i
+          | None -> invalid_arg "observe: unknown tid"
+        in
+        fst (lookup_reg st.threads.(idx).regs r)
+    | Prog.Obs_loc l ->
+        (* value of the coherence-final message on l *)
+        let msgs =
+          List.filter (fun m -> Loc.equal m.mloc l) st.mem
+        in
+        List.fold_left
+          (fun (bts, bv) m -> if m.ts > bts then (m.ts, m.mval) else (bts, bv))
+          (0, init_val l) msgs
+        |> snd
+  in
+  Behavior.outcome ~status
+    (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
+
+(** [run_with_witnesses ?config prog] explores all Promising Arm
+    executions of [prog] and additionally returns, for each distinct
+    outcome, the first schedule (sequence of per-CPU steps, including
+    promises) that produced it. *)
+let run_with_witnesses ?(config = default_config) (prog : Prog.t) :
+    Behavior.t * (Behavior.outcome * step list) list =
+  let cfg = config in
+  let init_val loc = Prog.init_value prog loc in
+  let seen = Hashtbl.create 65536 in
+  let states = ref 0 in
+  let results = ref Behavior.empty in
+  let witnesses : (Behavior.outcome, step list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let tid_of i = (List.nth prog.Prog.threads i).Prog.tid in
+  let record outcome path =
+    if not (Behavior.mem outcome !results) then
+      Hashtbl.replace witnesses outcome (List.rev path);
+    results := Behavior.add outcome !results
+  in
+  let rec explore st path =
+    let key = state_key st in
+    if Hashtbl.mem seen key then ()
+    else begin
+      Hashtbl.add seen key ();
+      incr states;
+      if !states > cfg.max_states then raise State_budget_exhausted;
+      let n = Array.length st.threads in
+      let all_done = ref true in
+      for i = 0 to n - 1 do
+        if st.threads.(i).code <> [] then all_done := false
+      done;
+      let certified_everywhere =
+        (not cfg.strict_certification)
+        || Array.for_all
+             (fun t -> t.promises = [])
+             st.threads
+           ||
+           let ok = ref true in
+           for i = 0 to n - 1 do
+             if st.threads.(i).promises <> []
+                && not (certifiable cfg st init_val i)
+             then ok := false
+           done;
+           !ok
+      in
+      if not certified_everywhere then ()
+      else if !all_done then begin
+        let valid =
+          Array.for_all (fun t -> t.promises = []) st.threads
+        in
+        if valid then record (observe prog st init_val Behavior.Normal) path
+      end
+      else
+        for i = 0 to n - 1 do
+          let t = st.threads.(i) in
+          if t.code <> [] then begin
+            let instr = List.hd t.code in
+            (* ordinary architectural steps *)
+            (match step_thread st init_val i with
+            | steps ->
+                List.iter
+                  (function
+                    | Next st' ->
+                        let step =
+                          { s_tid = tid_of i;
+                            s_what = describe_step st st' i instr }
+                        in
+                        explore st' (step :: path)
+                    | Fuel_out ->
+                        record
+                          (observe prog st init_val Behavior.Fuel_exhausted)
+                          path
+                    | Stuck -> ())
+                  steps
+            | exception Thread_panic ->
+                record (observe prog st init_val Behavior.Panicked) path);
+            (* promise steps *)
+            if t.promise_budget > 0 then
+              List.iter
+                (fun (loc, v) ->
+                  let ts = st.next_ts in
+                  let m = { mloc = loc; mval = v; ts; wtid = i } in
+                  let t' =
+                    { t with
+                      promises = ts :: t.promises;
+                      promise_budget = t.promise_budget - 1 }
+                  in
+                  let st' =
+                    set_thread { st with mem = m :: st.mem; next_ts = ts + 1 } i
+                      t'
+                  in
+                  if certifiable cfg st' init_val i then
+                    let step =
+                      { s_tid = tid_of i;
+                        s_what =
+                          Format.asprintf "promises [%a] := %d" Loc.pp loc v }
+                    in
+                    explore st' (step :: path))
+                (solo_write_candidates cfg st init_val i)
+          end
+        done
+    end
+  in
+  (try explore (initial_state cfg prog) [] with State_budget_exhausted -> ());
+  ( !results,
+    Hashtbl.fold (fun o p acc -> (o, p) :: acc) witnesses [] )
+
+(** [run ?config prog] explores all Promising Arm executions of [prog]
+    (bounded by the configuration) and returns its behavior set. *)
+let run ?(config = default_config) (prog : Prog.t) : Behavior.t =
+  fst (run_with_witnesses ~config prog)

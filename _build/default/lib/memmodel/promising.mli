@@ -1,0 +1,54 @@
+(** Executable Promising Arm relaxed-memory model.
+
+    An operational model in the style of Promising-ARM (Pulte et al.,
+    PLDI 2019) — the model the paper's Coq proofs are carried out on.
+    Memory is an append-only list of timestamped messages; threads execute
+    in program order but may {e promise} future stores after certifying
+    (by a solo run) that they will fulfill them. Relaxed behavior arises
+    from promises (other threads observe a store "early") and stale reads
+    (a load may return any message not superseded below the thread's read
+    floor).
+
+    Per-thread views implement the Armv8 ordering constraints of paper
+    §4: per-location coherence, register views for data and address
+    dependencies, control views that order stores but not loads (which is
+    what lets Example 2's loads speculate), floor-raising for barriers and
+    acquire/release — including the RCsc [L];po;[A] ordering.
+
+    Documented simplifications (none affecting the kernel corpus): RMWs
+    are not promotable and always read the coherence-latest message. The
+    executor is exhaustive up to the {!config} bounds; see {!Axiomatic}
+    for the cross-validation against the Armv8 axiomatic model. *)
+
+type config = {
+  loop_fuel : int;  (** max loop iterations per thread *)
+  max_promises : int;  (** promise budget per thread *)
+  cert_depth : int;  (** max solo steps during certification *)
+  max_states : int;  (** exploration safety valve *)
+  strict_certification : bool;
+      (** re-certify outstanding promises at every step (the letter of the
+          Promising semantics); the lazy default prunes unfulfillable
+          paths at the end — outcome-equivalent, cheaper *)
+}
+
+val default_config : config
+
+exception State_budget_exhausted
+
+(** One line of a witness schedule: which CPU did what. *)
+type step = {
+  s_tid : int;  (** thread id, as declared in the program *)
+  s_what : string;  (** human-readable action *)
+}
+
+val pp_step : Format.formatter -> step -> unit
+val pp_schedule : Format.formatter -> step list -> unit
+
+val run : ?config:config -> Prog.t -> Behavior.t
+(** Explore all Promising Arm executions (bounded by [config]) and return
+    the behavior set. *)
+
+val run_with_witnesses :
+  ?config:config -> Prog.t -> Behavior.t * (Behavior.outcome * step list) list
+(** Like {!run}, additionally returning, for each distinct outcome, the
+    first schedule (per-CPU steps, promises included) that produced it. *)

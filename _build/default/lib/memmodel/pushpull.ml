@@ -1,0 +1,446 @@
+(** The push/pull Promising model (paper §4.1).
+
+    Two executable artifacts live here:
+
+    {1 Ownership-instrumented execution}
+
+    The DRF-Kernel condition is checked by running a program under the SC
+    interleaving semantics while interpreting the ghost [Pull]/[Push]
+    annotations: a CPU must pull a shared base before accessing it and push
+    it afterwards; the machine {e panics} when pulling an owned base,
+    pushing a non-owned base, or accessing a shared base it does not own.
+    Per the paper, a program satisfies DRF-Kernel iff no interleaving
+    panics. Synchronization-method internals (the ticket lock's own
+    [ticket]/[now] cells) and page-table bases are exempted, exactly as the
+    condition's side clause allows.
+
+    {1 Promise-list validity (Fig. 4) and barrier fulfillment (Fig. 5)}
+
+    A standalone validator over abstract push/pull promise lists and
+    per-CPU fulfillment traces, used by unit tests mirroring the paper's
+    figures and by {!Vrm.Partial_order}. *)
+
+(* ------------------------------------------------------------------ *)
+(* Ownership-instrumented SC execution                                 *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_tid : int;
+  v_base : string;
+  v_kind : [ `Pull_owned | `Push_not_owned | `Access_not_owned ];
+  v_detail : string;
+}
+
+let pp_violation fmt v =
+  let kind =
+    match v.v_kind with
+    | `Pull_owned -> "pull of an owned location"
+    | `Push_not_owned -> "push of a location not owned by this CPU"
+    | `Access_not_owned -> "access to a shared location not owned"
+  in
+  Format.fprintf fmt "CPU %d: %s on base %s (%s)" v.v_tid kind v.v_base
+    v.v_detail
+
+(** A recorded event of one interleaved execution (consumed by the
+    partial-order construction). *)
+type event =
+  | Ev_read of int * Loc.t * int  (** tid, loc, value *)
+  | Ev_write of int * Loc.t * int
+  | Ev_rmw of int * Loc.t * int * int  (** tid, loc, old, new *)
+  | Ev_pull of int * string list
+  | Ev_push of int * string list
+  | Ev_barrier of int * Instr.barrier
+
+let event_tid = function
+  | Ev_read (t, _, _) | Ev_write (t, _, _) | Ev_rmw (t, _, _, _)
+  | Ev_pull (t, _) | Ev_push (t, _) | Ev_barrier (t, _) ->
+      t
+
+type check_result =
+  | Drf_ok of Behavior.t
+  | Drf_violation of violation
+  | Drf_kernel_panic of Behavior.outcome
+      (** the program itself panicked (e.g. explicit [Panic]) — reported
+          separately from ownership violations *)
+
+type tstate = { code : Instr.t list; regs : int Reg.Map.t; fuel : int }
+
+type state = {
+  mem : int Loc.Map.t;
+  owners : (string * int) list;  (** base -> owning tid *)
+  threads : tstate array;
+}
+
+let lookup_reg regs r =
+  match Reg.Map.find_opt r regs with Some v -> v | None -> 0
+
+let lookup_rv regs r = (lookup_reg regs r, 0)
+
+let read_mem mem loc =
+  match Loc.Map.find_opt loc mem with Some v -> v | None -> 0
+
+exception Thread_panic
+exception Ownership of violation
+
+(** Is [base] subject to the ownership discipline? *)
+let is_tracked ~shared ~exempt base =
+  List.mem base shared && not (List.mem base exempt)
+
+let check_access ~shared ~exempt st tid base =
+  if is_tracked ~shared ~exempt base then
+    match List.assoc_opt base st.owners with
+    | Some o when o = tid -> ()
+    | Some _ | None ->
+        raise
+          (Ownership
+             { v_tid = tid;
+               v_base = base;
+               v_kind = `Access_not_owned;
+               v_detail = "shared base accessed outside pull/push section" })
+
+let step_thread ~shared ~exempt (st : state) (i : int) :
+    (state * event option) option =
+  let t = st.threads.(i) in
+  match t.code with
+  | [] -> invalid_arg "Pushpull.step_thread: thread done"
+  | instr :: rest -> (
+      let with_thread t' = { st with threads = (let a = Array.copy st.threads in a.(i) <- t'; a) } in
+      try
+        match instr with
+        | Instr.Nop | Instr.Tlbi _ ->
+            Some (with_thread { t with code = rest }, None)
+        | Instr.Barrier b ->
+            Some (with_thread { t with code = rest }, Some (Ev_barrier (i, b)))
+        | Instr.Panic -> raise Thread_panic
+        | Instr.Pull bases ->
+            let tracked =
+              List.filter (fun b -> is_tracked ~shared ~exempt b) bases
+            in
+            List.iter
+              (fun b ->
+                match List.assoc_opt b st.owners with
+                | Some _ ->
+                    raise
+                      (Ownership
+                         { v_tid = i;
+                           v_base = b;
+                           v_kind = `Pull_owned;
+                           v_detail = "base already owned" })
+                | None -> ())
+              tracked;
+            let owners = List.map (fun b -> (b, i)) tracked @ st.owners in
+            Some
+              ( { (with_thread { t with code = rest }) with owners },
+                Some (Ev_pull (i, bases)) )
+        | Instr.Push bases ->
+            let tracked =
+              List.filter (fun b -> is_tracked ~shared ~exempt b) bases
+            in
+            List.iter
+              (fun b ->
+                match List.assoc_opt b st.owners with
+                | Some o when o = i -> ()
+                | _ ->
+                    raise
+                      (Ownership
+                         { v_tid = i;
+                           v_base = b;
+                           v_kind = `Push_not_owned;
+                           v_detail = "base not owned by pushing CPU" }))
+              tracked;
+            let owners =
+              List.filter (fun (b, _) -> not (List.mem b tracked)) st.owners
+            in
+            Some
+              ( { (with_thread { t with code = rest }) with owners },
+                Some (Ev_push (i, bases)) )
+        | Instr.Move (r, e) ->
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Some
+              ( with_thread
+                  { t with code = rest; regs = Reg.Map.add r v t.regs },
+                None )
+        | Instr.Load (r, a, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            check_access ~shared ~exempt st i (Loc.base loc);
+            let v = read_mem st.mem loc in
+            Some
+              ( with_thread
+                  { t with code = rest; regs = Reg.Map.add r v t.regs },
+                Some (Ev_read (i, loc, v)) )
+        | Instr.Store (a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            check_access ~shared ~exempt st i (Loc.base loc);
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Some
+              ( { (with_thread { t with code = rest }) with
+                  mem = Loc.Map.add loc v st.mem },
+                Some (Ev_write (i, loc, v)) )
+        | Instr.Faa (r, a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            check_access ~shared ~exempt st i (Loc.base loc);
+            let delta, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Some
+              ( { (with_thread
+                     { t with code = rest; regs = Reg.Map.add r old t.regs })
+                  with
+                  mem = Loc.Map.add loc (old + delta) st.mem },
+                Some (Ev_rmw (i, loc, old, old + delta)) )
+        | Instr.Xchg (r, a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            check_access ~shared ~exempt st i (Loc.base loc);
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Some
+              ( { (with_thread
+                     { t with code = rest; regs = Reg.Map.add r old t.regs })
+                  with
+                  mem = Loc.Map.add loc v st.mem },
+                Some (Ev_rmw (i, loc, old, v)) )
+        | Instr.Cas (r, a, expected, desired, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            check_access ~shared ~exempt st i (Loc.base loc);
+            let exp_v, _ = Expr.eval_v (lookup_rv t.regs) expected in
+            let des_v, _ = Expr.eval_v (lookup_rv t.regs) desired in
+            let old = read_mem st.mem loc in
+            let mem =
+              if old = exp_v then Loc.Map.add loc des_v st.mem else st.mem
+            in
+            Some
+              ( { (with_thread
+                     { t with code = rest; regs = Reg.Map.add r old t.regs })
+                  with
+                  mem },
+                Some (Ev_rmw (i, loc, old, (if old = exp_v then des_v else old))) )
+        | Instr.If (c, br_then, br_else) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            Some
+              ( with_thread
+                  { t with code = (if b then br_then else br_else) @ rest },
+                None )
+        | Instr.While (c, body) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            if not b then Some (with_thread { t with code = rest }, None)
+            else if t.fuel <= 0 then None
+            else
+              Some
+                ( with_thread
+                    { t with
+                      code = body @ (Instr.While (c, body) :: rest);
+                      fuel = t.fuel - 1 },
+                  None )
+      with Expr.Eval_panic _ -> raise Thread_panic)
+
+let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
+  let value = function
+    | Prog.Obs_reg (tid, r) ->
+        let idx =
+          match
+            List.find_index (fun th -> th.Prog.tid = tid) prog.Prog.threads
+          with
+          | Some i -> i
+          | None -> invalid_arg "observe: unknown tid"
+        in
+        lookup_reg st.threads.(idx).regs r
+    | Prog.Obs_loc l -> read_mem st.mem l
+  in
+  Behavior.outcome ~status
+    (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
+
+(** [check ?fuel ?exempt prog] explores all interleavings under the
+    ownership discipline. Returns the behavior set if no pull/push/access
+    ever panics, or the first violation found. *)
+let check ?(fuel = 64) ?(exempt = []) ?(initial_owners = []) (prog : Prog.t)
+    : check_result =
+  let shared = Prog.shared_bases prog in
+  let seen = Hashtbl.create 4096 in
+  let results = ref Behavior.empty in
+  let kernel_panic = ref None in
+  let state_key (st : state) : string =
+    let buf = Buffer.create 256 in
+    Loc.Map.iter
+      (fun l v ->
+        Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+      st.mem;
+    List.iter
+      (fun (b, o) -> Buffer.add_string buf (Printf.sprintf "%s@%d;" b o))
+      (List.sort compare st.owners);
+    Array.iter
+      (fun t ->
+        Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+        Reg.Map.iter
+          (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+          t.regs;
+        Buffer.add_string buf (Marshal.to_string t.code []))
+      st.threads;
+    Digest.string (Buffer.contents buf)
+  in
+  let exception Found of violation in
+  let rec explore st =
+    let key = state_key st in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let runnable = ref [] in
+      Array.iteri
+        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+        st.threads;
+      match !runnable with
+      | [] -> results := Behavior.add (observe prog st Behavior.Normal) !results
+      | rs ->
+          List.iter
+            (fun i ->
+              match step_thread ~shared ~exempt st i with
+              | Some (st', _) -> explore st'
+              | None ->
+                  results :=
+                    Behavior.add (observe prog st Behavior.Fuel_exhausted)
+                      !results
+              | exception Thread_panic ->
+                  kernel_panic := Some (observe prog st Behavior.Panicked)
+              | exception Ownership v -> raise (Found v))
+            rs
+    end
+  in
+  let init_mem =
+    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
+      prog.Prog.init
+  in
+  let threads =
+    Array.of_list
+      (List.map
+         (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
+         prog.Prog.threads)
+  in
+  match explore { mem = init_mem; owners = initial_owners; threads } with
+  | () -> (
+      match !kernel_panic with
+      | Some o -> Drf_kernel_panic o
+      | None -> Drf_ok !results)
+  | exception Found v -> Drf_violation v
+
+(** Collect the event traces of every interleaving (no memoization, for
+    small programs): input to the SC-trace construction of §4.1. *)
+let traces ?(fuel = 16) ?(exempt = []) ?(max_traces = 512) (prog : Prog.t) :
+    event list list =
+  let shared = Prog.shared_bases prog in
+  let out = ref [] in
+  let count = ref 0 in
+  let rec explore st acc =
+    if !count >= max_traces then ()
+    else begin
+      let runnable = ref [] in
+      Array.iteri
+        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+        st.threads;
+      match !runnable with
+      | [] ->
+          incr count;
+          out := List.rev acc :: !out
+      | rs ->
+          List.iter
+            (fun i ->
+              match step_thread ~shared ~exempt st i with
+              | Some (st', Some e) -> explore st' (e :: acc)
+              | Some (st', None) -> explore st' acc
+              | None | (exception Thread_panic) | (exception Ownership _) ->
+                  ())
+            rs
+    end
+  in
+  let init_mem =
+    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
+      prog.Prog.init
+  in
+  let threads =
+    Array.of_list
+      (List.map
+         (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
+         prog.Prog.threads)
+  in
+  explore { mem = init_mem; owners = []; threads } [];
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Abstract promise lists (paper Fig. 4) and fulfillment (Fig. 5)      *)
+(* ------------------------------------------------------------------ *)
+
+type promise_entry =
+  | P_pull of int * string  (** cpu, base *)
+  | P_push of int * string
+  | P_write of int * string * int  (** cpu, base, value *)
+
+(** Validity of a push/pull promise list per Fig. 4: only free locations
+    are pulled, only owned locations are pushed by their owner, and only
+    the owner accesses an owned location. *)
+let promise_list_valid (entries : promise_entry list) : (unit, string) result =
+  let rec go owners = function
+    | [] -> Ok ()
+    | P_pull (c, b) :: rest -> (
+        match List.assoc_opt b owners with
+        | Some _ -> Error (Printf.sprintf "CPU %d pulls owned location %s" c b)
+        | None -> go ((b, c) :: owners) rest)
+    | P_push (c, b) :: rest -> (
+        match List.assoc_opt b owners with
+        | Some o when o = c ->
+            go (List.filter (fun (b', _) -> b' <> b) owners) rest
+        | Some o ->
+            Error
+              (Printf.sprintf "CPU %d pushes %s owned by CPU %d" c b o)
+        | None -> Error (Printf.sprintf "CPU %d pushes free location %s" c b))
+    | P_write (c, b, _) :: rest -> (
+        match List.assoc_opt b owners with
+        | Some o when o = c -> go owners rest
+        | Some o ->
+            Error
+              (Printf.sprintf "CPU %d writes %s owned by CPU %d" c b o)
+        | None ->
+            Error (Printf.sprintf "CPU %d writes un-pulled location %s" c b))
+  in
+  go [] entries
+
+type fulfill_event =
+  | F_pull of string
+  | F_push of string
+  | F_barrier of Instr.barrier
+  | F_acquire_access  (** load-acquire instruction *)
+  | F_release_access  (** store-release instruction *)
+
+(** Barrier fulfillment per Fig. 5: walking one CPU's trace in program
+    order, every pull promise must be fulfilled by a load barrier (acquire
+    access, DMB LD, or DMB full) and every push promise by a store barrier
+    (release access, DMB ST, or DMB full); fulfillment must be consistent
+    with program order (greedy monotone matching). *)
+let fulfills_pull = function
+  | F_barrier Instr.Dmb_full | F_barrier Instr.Dmb_ld | F_acquire_access ->
+      true
+  | _ -> false
+
+let fulfills_push = function
+  | F_barrier Instr.Dmb_full | F_barrier Instr.Dmb_st | F_release_access ->
+      true
+  | _ -> false
+
+let fulfill_valid (trace : fulfill_event list) : (unit, string) result =
+  (* A pull must be fulfilled by a barrier adjacent in program order (the
+     barrier through which it is issued); we accept the barrier immediately
+     before or after the promise event, as in Fig. 7's lock code. *)
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let ok i pred =
+    (i > 0 && pred arr.(i - 1)) || (i < n - 1 && pred arr.(i + 1))
+  in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match arr.(i) with
+      | F_pull b ->
+          if ok i fulfills_pull then go (i + 1)
+          else Error (Printf.sprintf "pull of %s not fulfilled by a load barrier" b)
+      | F_push b ->
+          if ok i fulfills_push then go (i + 1)
+          else
+            Error (Printf.sprintf "push of %s not fulfilled by a store barrier" b)
+      | _ -> go (i + 1)
+  in
+  go 0

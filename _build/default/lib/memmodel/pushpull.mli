@@ -1,0 +1,85 @@
+(** The push/pull Promising model (paper §4.1).
+
+    {b Ownership-instrumented execution}: the DRF-Kernel condition is
+    checked by running a program under SC interleaving semantics while
+    interpreting the ghost [Pull]/[Push] annotations — the machine panics
+    when pulling an owned base, pushing a non-owned base, or accessing a
+    tracked shared base without owning it. A program satisfies DRF-Kernel
+    iff no interleaving panics.
+
+    {b Promise-list validity} (paper Fig. 4) and {b barrier fulfillment}
+    (Fig. 5) are standalone validators over abstract push/pull promise
+    lists and per-CPU fulfillment traces. *)
+
+type violation = {
+  v_tid : int;
+  v_base : string;
+  v_kind : [ `Pull_owned | `Push_not_owned | `Access_not_owned ];
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** A recorded event of one interleaved execution (input to the
+    {!Vrm.Partial_order} SC-trace construction). *)
+type event =
+  | Ev_read of int * Loc.t * int  (** tid, loc, value *)
+  | Ev_write of int * Loc.t * int
+  | Ev_rmw of int * Loc.t * int * int  (** tid, loc, old, new *)
+  | Ev_pull of int * string list
+  | Ev_push of int * string list
+  | Ev_barrier of int * Instr.barrier
+
+val event_tid : event -> int
+
+type check_result =
+  | Drf_ok of Behavior.t
+  | Drf_violation of violation
+  | Drf_kernel_panic of Behavior.outcome
+      (** the program itself panicked on some SC path — reported
+          separately from ownership violations *)
+
+val check :
+  ?fuel:int ->
+  ?exempt:string list ->
+  ?initial_owners:(string * int) list ->
+  Prog.t ->
+  check_result
+(** Explore all interleavings under the ownership discipline. [exempt]
+    lists bases excluded from tracking (synchronization-method internals,
+    page tables — the condition's side clause); [initial_owners] seeds
+    ownership held at fragment entry (e.g. a vCPU context the running CPU
+    claimed earlier). *)
+
+val traces :
+  ?fuel:int ->
+  ?exempt:string list ->
+  ?max_traces:int ->
+  Prog.t ->
+  event list list
+(** Event traces of interleavings (unmemoized; small programs only). *)
+
+(** {2 Abstract promise lists (Fig. 4) and fulfillment (Fig. 5)} *)
+
+type promise_entry =
+  | P_pull of int * string  (** cpu, base *)
+  | P_push of int * string
+  | P_write of int * string * int  (** cpu, base, value *)
+
+val promise_list_valid : promise_entry list -> (unit, string) result
+(** Only free locations pulled; only owned locations pushed by their
+    owner; only the owner accesses an owned location. *)
+
+type fulfill_event =
+  | F_pull of string
+  | F_push of string
+  | F_barrier of Instr.barrier
+  | F_acquire_access
+  | F_release_access
+
+val fulfills_pull : fulfill_event -> bool
+val fulfills_push : fulfill_event -> bool
+
+val fulfill_valid : fulfill_event list -> (unit, string) result
+(** Every pull fulfilled by a load barrier, every push by a store
+    barrier, consistently with program order. *)

@@ -1,0 +1,10 @@
+(** Thread-local registers of the kernel-code DSL. *)
+
+type t = string [@@deriving show, eq, ord]
+
+let v (name : string) : t = name
+let name (t : t) = t
+
+let pp fmt t = Format.fprintf fmt "%s" t
+
+module Map = Map.Make (String)

@@ -1,0 +1,12 @@
+(** Thread-local registers of the kernel-code DSL. *)
+
+type t = string
+
+val v : string -> t
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+module Map : Map.S with type key = string

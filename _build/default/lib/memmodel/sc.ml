@@ -1,0 +1,188 @@
+(** Exhaustive sequentially-consistent executor.
+
+    Memory behaves as a single global map; at every step one thread executes
+    its next instruction in program order (Lamport's SC). The executor
+    explores {e all} interleavings by depth-first search with memoization on
+    the full machine state, and returns the set of observable behaviors.
+
+    Spin loops are unrolled up to a per-thread [fuel]; paths that exhaust
+    fuel are reported as {!Behavior.Fuel_exhausted} rather than dropped. *)
+
+type tstate = {
+  code : Instr.t list;
+  regs : int Reg.Map.t;
+  fuel : int;
+}
+
+type state = {
+  mem : int Loc.Map.t;
+  threads : tstate array;
+}
+
+let lookup_reg regs r =
+  match Reg.Map.find_opt r regs with Some v -> v | None -> 0
+
+(* Expression evaluation without views: wrap values with a dummy view. *)
+let lookup_rv regs r = (lookup_reg regs r, 0)
+
+let read_mem mem loc =
+  match Loc.Map.find_opt loc mem with Some v -> v | None -> 0
+
+exception Thread_panic
+
+(** One SC step of thread [i]. Returns the successor state, or raises
+    [Thread_panic]. Returns [None] if the thread ran out of fuel. *)
+let step_thread (st : state) (i : int) : state option =
+  let t = st.threads.(i) in
+  match t.code with
+  | [] -> invalid_arg "step_thread: thread done"
+  | instr :: rest -> (
+      let set_thread t' =
+        let threads = Array.copy st.threads in
+        threads.(i) <- t';
+        { st with threads }
+      in
+      let set_thread_mem t' mem =
+        let threads = Array.copy st.threads in
+        threads.(i) <- t';
+        { mem; threads }
+      in
+      try
+        match instr with
+        | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+        | Instr.Barrier _ ->
+            Some (set_thread { t with code = rest })
+        | Instr.Panic -> raise Thread_panic
+        | Instr.Move (r, e) ->
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Some (set_thread { t with code = rest; regs = Reg.Map.add r v t.regs })
+        | Instr.Load (r, a, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v = read_mem st.mem loc in
+            Some (set_thread { t with code = rest; regs = Reg.Map.add r v t.regs })
+        | Instr.Store (a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Some
+              (set_thread_mem { t with code = rest } (Loc.Map.add loc v st.mem))
+        | Instr.Faa (r, a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let delta, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Some
+              (set_thread_mem
+                 { t with code = rest; regs = Reg.Map.add r old t.regs }
+                 (Loc.Map.add loc (old + delta) st.mem))
+        | Instr.Xchg (r, a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Some
+              (set_thread_mem
+                 { t with code = rest; regs = Reg.Map.add r old t.regs }
+                 (Loc.Map.add loc v st.mem))
+        | Instr.Cas (r, a, expected, desired, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let exp_v, _ = Expr.eval_v (lookup_rv t.regs) expected in
+            let des_v, _ = Expr.eval_v (lookup_rv t.regs) desired in
+            let old = read_mem st.mem loc in
+            let mem =
+              if old = exp_v then Loc.Map.add loc des_v st.mem else st.mem
+            in
+            Some
+              (set_thread_mem
+                 { t with code = rest; regs = Reg.Map.add r old t.regs }
+                 mem)
+        | Instr.If (c, br_then, br_else) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            let code = (if b then br_then else br_else) @ rest in
+            Some (set_thread { t with code })
+        | Instr.While (c, body) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            if not b then Some (set_thread { t with code = rest })
+            else if t.fuel <= 0 then None
+            else
+              Some
+                (set_thread
+                   { t with
+                     code = body @ (Instr.While (c, body) :: rest);
+                     fuel = t.fuel - 1 })
+      with Expr.Eval_panic _ -> raise Thread_panic)
+
+let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
+  let value = function
+    | Prog.Obs_reg (tid, r) ->
+        let idx =
+          match
+            List.find_index (fun th -> th.Prog.tid = tid) prog.Prog.threads
+          with
+          | Some i -> i
+          | None -> invalid_arg "observe: unknown tid"
+        in
+        lookup_reg st.threads.(idx).regs r
+    | Prog.Obs_loc l -> read_mem st.mem l
+  in
+  Behavior.outcome ~status
+    (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
+
+let initial_state ?(fuel = 64) (prog : Prog.t) : state =
+  let mem =
+    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
+      prog.Prog.init
+  in
+  let threads =
+    Array.of_list
+      (List.map
+         (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
+         prog.Prog.threads)
+  in
+  { mem; threads }
+
+let state_key (st : state) : string =
+  let buf = Buffer.create 256 in
+  Loc.Map.iter
+    (fun l v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+    st.mem;
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Reg.Map.iter
+        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        t.regs;
+      Buffer.add_string buf (Marshal.to_string t.code []))
+    st.threads;
+  Digest.string (Buffer.contents buf)
+
+(** [run ?fuel prog] explores all SC interleavings of [prog] and returns its
+    behavior set. *)
+let run ?(fuel = 64) (prog : Prog.t) : Behavior.t =
+  let seen = Hashtbl.create 4096 in
+  let results = ref Behavior.empty in
+  let rec explore st =
+    let key = state_key st in
+    if Hashtbl.mem seen key then ()
+    else begin
+      Hashtbl.add seen key ();
+      let runnable = ref [] in
+      Array.iteri
+        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+        st.threads;
+      match !runnable with
+      | [] -> results := Behavior.add (observe prog st Behavior.Normal) !results
+      | rs ->
+          List.iter
+            (fun i ->
+              match step_thread st i with
+              | Some st' -> explore st'
+              | None ->
+                  results :=
+                    Behavior.add (observe prog st Behavior.Fuel_exhausted)
+                      !results
+              | exception Thread_panic ->
+                  results :=
+                    Behavior.add (observe prog st Behavior.Panicked) !results)
+            rs
+    end
+  in
+  explore (initial_state ~fuel prog);
+  !results

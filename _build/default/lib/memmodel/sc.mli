@@ -1,0 +1,10 @@
+(** Exhaustive sequentially-consistent executor.
+
+    Memory is a single global map; at every step one thread executes its
+    next instruction in program order (Lamport's SC). All interleavings
+    are explored by depth-first search with memoization on the full
+    machine state. Spin loops are unrolled up to [fuel] iterations per
+    thread; paths that exhaust fuel are reported as
+    {!Behavior.Fuel_exhausted} rather than dropped. *)
+
+val run : ?fuel:int -> Prog.t -> Behavior.t

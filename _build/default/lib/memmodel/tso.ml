@@ -1,0 +1,249 @@
+(** Exhaustive x86-TSO executor.
+
+    The paper's introduction hinges on a contrast: the local-DRF result
+    makes SC reasoning sound on x86-TSO, but Arm's weaker model breaks it
+    — which is why VRM exists. This executor makes the contrast testable:
+    the same DSL programs run under TSO, and the §2 bugs that Arm admits
+    (the barrier-less ticket lock's duplicate VMID, the stale vCPU
+    context, load buffering) are {e unreachable} here, while genuine TSO
+    relaxations (store buffering) remain.
+
+    The model is the standard operational x86-TSO (Owens, Sarkar, Sewell):
+    each thread owns a FIFO store buffer; stores enqueue; loads forward
+    from the newest buffered store to the same location, else read
+    memory; buffers drain to memory nondeterministically in order; fences
+    and atomic RMWs flush the issuing thread's buffer. Acquire/release
+    annotations are vacuous (TSO already provides them); all DMB flavours
+    act as MFENCE. *)
+
+type tstate = {
+  code : Instr.t list;
+  regs : int Reg.Map.t;
+  buffer : (Loc.t * int) list;  (** oldest first *)
+  fuel : int;
+}
+
+type state = { mem : int Loc.Map.t; threads : tstate array }
+
+let lookup_reg regs r =
+  match Reg.Map.find_opt r regs with Some v -> v | None -> 0
+
+let lookup_rv regs r = (lookup_reg regs r, 0)
+
+let read_mem mem loc =
+  match Loc.Map.find_opt loc mem with Some v -> v | None -> 0
+
+(* newest buffered store to [loc], if any *)
+let forwarded buffer loc =
+  List.fold_left
+    (fun acc (l, v) -> if Loc.equal l loc then Some v else acc)
+    None buffer
+
+let read st (t : tstate) loc =
+  match forwarded t.buffer loc with
+  | Some v -> v
+  | None -> read_mem st.mem loc
+
+exception Thread_panic
+
+let set_thread st i t' =
+  let threads = Array.copy st.threads in
+  threads.(i) <- t';
+  { st with threads }
+
+(* drain the whole buffer of thread [i] into memory (fences, RMWs) *)
+let flush st i =
+  let t = st.threads.(i) in
+  let mem =
+    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) st.mem t.buffer
+  in
+  set_thread { st with mem } i { t with buffer = [] }
+
+type step = Next of state | Fuel_out
+
+let step_thread (st : state) (i : int) : step =
+  let t = st.threads.(i) in
+  match t.code with
+  | [] -> invalid_arg "Tso.step_thread: thread done"
+  | instr :: rest -> (
+      try
+        match instr with
+        | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _ ->
+            Next (set_thread st i { t with code = rest })
+        | Instr.Panic -> raise Thread_panic
+        | Instr.Move (r, e) ->
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Next
+              (set_thread st i
+                 { t with code = rest; regs = Reg.Map.add r v t.regs })
+        | Instr.Load (r, a, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v = read st t loc in
+            Next
+              (set_thread st i
+                 { t with code = rest; regs = Reg.Map.add r v t.regs })
+        | Instr.Store (a, e, _) ->
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            Next
+              (set_thread st i
+                 { t with code = rest; buffer = t.buffer @ [ (loc, v) ] })
+        | Instr.Barrier _ ->
+            (* all fences drain the local buffer on TSO *)
+            let st = flush st i in
+            let t = st.threads.(i) in
+            Next (set_thread st i { t with code = rest })
+        | Instr.Faa (r, a, e, _) ->
+            (* atomic RMW: implicitly fenced on x86 (LOCK prefix) *)
+            let st = flush st i in
+            let t = st.threads.(i) in
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let delta, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Next
+              (set_thread
+                 { st with mem = Loc.Map.add loc (old + delta) st.mem }
+                 i
+                 { t with code = rest; regs = Reg.Map.add r old t.regs })
+        | Instr.Xchg (r, a, e, _) ->
+            let st = flush st i in
+            let t = st.threads.(i) in
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let v, _ = Expr.eval_v (lookup_rv t.regs) e in
+            let old = read_mem st.mem loc in
+            Next
+              (set_thread
+                 { st with mem = Loc.Map.add loc v st.mem }
+                 i
+                 { t with code = rest; regs = Reg.Map.add r old t.regs })
+        | Instr.Cas (r, a, expected, desired, _) ->
+            let st = flush st i in
+            let t = st.threads.(i) in
+            let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+            let exp_v, _ = Expr.eval_v (lookup_rv t.regs) expected in
+            let des_v, _ = Expr.eval_v (lookup_rv t.regs) desired in
+            let old = read_mem st.mem loc in
+            let mem =
+              if old = exp_v then Loc.Map.add loc des_v st.mem else st.mem
+            in
+            Next
+              (set_thread { st with mem } i
+                 { t with code = rest; regs = Reg.Map.add r old t.regs })
+        | Instr.If (c, br_then, br_else) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            Next
+              (set_thread st i
+                 { t with code = (if b then br_then else br_else) @ rest })
+        | Instr.While (c, body) ->
+            let b, _ = Expr.eval_b (lookup_rv t.regs) c in
+            if not b then Next (set_thread st i { t with code = rest })
+            else if t.fuel <= 0 then Fuel_out
+            else
+              Next
+                (set_thread st i
+                   { t with
+                     code = body @ (Instr.While (c, body) :: rest);
+                     fuel = t.fuel - 1 })
+      with Expr.Eval_panic _ -> raise Thread_panic)
+
+let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
+  let value = function
+    | Prog.Obs_reg (tid, r) ->
+        let idx =
+          match
+            List.find_index (fun th -> th.Prog.tid = tid) prog.Prog.threads
+          with
+          | Some i -> i
+          | None -> invalid_arg "observe: unknown tid"
+        in
+        lookup_reg st.threads.(idx).regs r
+    | Prog.Obs_loc l -> (
+        (* terminal states have empty buffers, but be defensive *)
+        match
+          Array.fold_left
+            (fun acc t ->
+              match forwarded t.buffer l with Some v -> Some v | None -> acc)
+            None st.threads
+        with
+        | Some v -> v
+        | None -> read_mem st.mem l)
+  in
+  Behavior.outcome ~status
+    (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
+
+let state_key (st : state) : string =
+  let buf = Buffer.create 256 in
+  Loc.Map.iter
+    (fun l v ->
+      Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+    st.mem;
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Reg.Map.iter
+        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        t.regs;
+      List.iter
+        (fun (l, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "b%s=%d;" (Loc.to_string l) v))
+        t.buffer;
+      Buffer.add_string buf (Marshal.to_string t.code []))
+    st.threads;
+  Digest.string (Buffer.contents buf)
+
+(** Explore all TSO executions (instruction steps interleaved with buffer
+    drains) and return the behavior set. Terminal states require empty
+    buffers (everything eventually reaches memory). *)
+let run ?(fuel = 8) (prog : Prog.t) : Behavior.t =
+  let seen = Hashtbl.create 4096 in
+  let results = ref Behavior.empty in
+  let rec explore st =
+    let key = state_key st in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let n = Array.length st.threads in
+      let all_done = ref true in
+      for i = 0 to n - 1 do
+        if st.threads.(i).code <> [] || st.threads.(i).buffer <> [] then
+          all_done := false
+      done;
+      if !all_done then
+        results := Behavior.add (observe prog st Behavior.Normal) !results
+      else
+        for i = 0 to n - 1 do
+          let t = st.threads.(i) in
+          (* drain the oldest buffered store *)
+          (match t.buffer with
+          | (l, v) :: rest ->
+              explore
+                (set_thread
+                   { st with mem = Loc.Map.add l v st.mem }
+                   i { t with buffer = rest })
+          | [] -> ());
+          if t.code <> [] then
+            match step_thread st i with
+            | Next st' -> explore st'
+            | Fuel_out ->
+                results :=
+                  Behavior.add (observe prog st Behavior.Fuel_exhausted)
+                    !results
+            | exception Thread_panic ->
+                results :=
+                  Behavior.add (observe prog st Behavior.Panicked) !results
+        done
+    end
+  in
+  let mem =
+    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
+      prog.Prog.init
+  in
+  let threads =
+    Array.of_list
+      (List.map
+         (fun th ->
+           { code = th.Prog.code; regs = Reg.Map.empty; buffer = []; fuel })
+         prog.Prog.threads)
+  in
+  explore { mem; threads };
+  !results

@@ -1,0 +1,9 @@
+(** Exhaustive x86-TSO executor (standard operational model: per-thread
+    FIFO store buffers with forwarding; fences and RMWs flush).
+
+    Exists to make the paper's §1 contrast executable: SC reasoning made
+    sound by local-DRF survives on TSO, but Arm admits strictly more —
+    the barrier-less §2 bugs are unreachable here yet reachable under
+    {!Promising}. *)
+
+val run : ?fuel:int -> Prog.t -> Behavior.t

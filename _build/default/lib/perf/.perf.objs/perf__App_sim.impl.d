@@ -1,0 +1,1 @@
+lib/perf/app_sim.pp.ml: Cost_model List Machine Ppx_deriving_runtime Workload

@@ -1,0 +1,1 @@
+lib/perf/app_sim.pp.mli: Cost_model Format Workload

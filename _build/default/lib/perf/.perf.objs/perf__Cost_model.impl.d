@@ -1,0 +1,1 @@
+lib/perf/cost_model.pp.ml: Hw_config Machine Ppx_deriving_runtime

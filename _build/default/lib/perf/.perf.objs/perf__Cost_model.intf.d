@@ -1,0 +1,1 @@
+lib/perf/cost_model.pp.mli: Format Hw_config Machine

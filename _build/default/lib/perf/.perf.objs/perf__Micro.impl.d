@@ -1,0 +1,1 @@
+lib/perf/micro.pp.ml: Cost_model List Machine

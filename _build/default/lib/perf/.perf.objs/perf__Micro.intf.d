@@ -1,0 +1,1 @@
+lib/perf/micro.pp.mli: Cost_model

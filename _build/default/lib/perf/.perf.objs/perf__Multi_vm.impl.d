@@ -1,0 +1,1 @@
+lib/perf/multi_vm.pp.ml: App_sim Cost_model Float List Machine Workload

@@ -1,0 +1,1 @@
+lib/perf/multi_vm.pp.mli: Cost_model Workload

@@ -1,0 +1,1 @@
+lib/perf/workload.pp.ml: Cost_model Micro

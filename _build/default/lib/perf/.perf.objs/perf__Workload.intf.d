@@ -1,0 +1,1 @@
+lib/perf/workload.pp.mli: Cost_model

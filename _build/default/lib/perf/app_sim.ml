@@ -1,0 +1,81 @@
+(** Single-VM application benchmarks, regenerating Figure 8.
+
+    For each workload, hardware, hypervisor and Linux version, compute the
+    performance of one VM running the workload, normalized to native
+    execution on the same hardware (1.0 = native speed; the paper plots
+    normalized overhead — lower is better there, higher is better here; we
+    report normalized performance and overhead-vs-KVM). I/O-bound time
+    (gated on the remote client, NIC or disk) passes through the
+    hypervisor mostly untouched, which is why even large exit costs
+    translate into single-digit application overheads. *)
+
+open Cost_model
+
+type linux_version = V4_18 | V5_4 [@@deriving show, eq]
+
+let version_name = function V4_18 -> "4.18" | V5_4 -> "5.4"
+
+(** Exit-path efficiency by version: 5.4 carries the arm64 VHE/exit
+    optimizations mainlined after 4.18. *)
+let version_exit_scale = function V4_18 -> 1.0 | V5_4 -> 0.93
+
+type point = {
+  workload : Workload.t;
+  hw_name : string;
+  version : linux_version;
+  hypervisor : hypervisor;
+  normalized_perf : float;  (** native = 1.0 *)
+}
+
+let vm_time (p : hw_params) (hyp : hypervisor) (version : linux_version)
+    ~stage2_levels (w : Workload.t) : float =
+  let native = float_of_int w.Workload.native_cycles in
+  let io_time = native *. w.Workload.io_bound_fraction in
+  let cpu_time = native -. io_time in
+  let virt =
+    float_of_int (Workload.virt_overhead_cycles p hyp ~stage2_levels w)
+    *. version_exit_scale version
+  in
+  (* guest CPU work also pays a small nested-paging tax on its own TLB
+     misses; guests use huge stage-2 mappings under both hypervisors, so
+     the tax is small and identical in kind *)
+  let guest_tax = match hyp with Kvm -> 1.01 | Sekvm -> 1.012 in
+  io_time +. (cpu_time *. guest_tax) +. virt
+
+let run_point (p : hw_params) hyp version ~stage2_levels w : point =
+  let t = vm_time p hyp version ~stage2_levels w in
+  { workload = w;
+    hw_name = p.hw.Machine.Hw_config.name;
+    version;
+    hypervisor = hyp;
+    normalized_perf = float_of_int w.Workload.native_cycles /. t }
+
+(** Figure 8: every workload x machine x version x hypervisor. *)
+let figure8 ?(stage2_levels = 4) () : point list =
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun version ->
+          List.concat_map
+            (fun hyp ->
+              List.map
+                (fun w -> run_point p hyp version ~stage2_levels w)
+                Workload.all)
+            [ Kvm; Sekvm ])
+        [ V4_18; V5_4 ])
+    [ m400_params; seattle_params ]
+
+(** SeKVM-vs-KVM overhead for a workload/hw/version triple: the headline
+    claim is that this stays below ~10%. *)
+let sekvm_overhead (points : point list) ~workload ~hw_name ~version : float
+    =
+  let find hyp =
+    List.find
+      (fun pt ->
+        pt.workload.Workload.name = workload
+        && pt.hw_name = hw_name && pt.version = version
+        && pt.hypervisor = hyp)
+      points
+  in
+  let kvm = find Kvm and sekvm = find Sekvm in
+  (kvm.normalized_perf /. sekvm.normalized_perf) -. 1.0

@@ -1,0 +1,37 @@
+(** Single-VM application benchmarks, regenerating Figure 8: performance
+    of one VM per workload/machine/kernel-version/hypervisor, normalized
+    to native execution. *)
+
+open Cost_model
+
+type linux_version = V4_18 | V5_4
+
+val version_name : linux_version -> string
+val version_exit_scale : linux_version -> float
+val pp_linux_version : Format.formatter -> linux_version -> unit
+val show_linux_version : linux_version -> string
+val equal_linux_version : linux_version -> linux_version -> bool
+
+type point = {
+  workload : Workload.t;
+  hw_name : string;
+  version : linux_version;
+  hypervisor : hypervisor;
+  normalized_perf : float;  (** native = 1.0 *)
+}
+
+val vm_time :
+  hw_params -> hypervisor -> linux_version -> stage2_levels:int ->
+  Workload.t -> float
+
+val run_point :
+  hw_params -> hypervisor -> linux_version -> stage2_levels:int ->
+  Workload.t -> point
+
+val figure8 : ?stage2_levels:int -> unit -> point list
+
+val sekvm_overhead :
+  point list -> workload:string -> hw_name:string -> version:linux_version ->
+  float
+(** SeKVM-vs-KVM overhead for one configuration; the Fig. 8 claim is
+    that this stays below ~10%. *)

@@ -1,0 +1,65 @@
+(** Cycle-cost model of the paper's two evaluation machines (§6).
+
+    Mechanism costs — traps, world switches, KCore dispatch, ownership
+    checks, TLB misses — composed per hypervisor operation. The key
+    asymmetry is host-side TLB pressure: stock KVM's host runs un-nested
+    with block mappings; SeKVM's KServ runs behind a 4 KB-granule stage 2,
+    so each touched host page costs a TLB entry and each miss pays the
+    ((m+1)(n+1)-1) nested-walk blowup. Calibrated against Table 3; the
+    benches check ratios and their cross-machine shape. *)
+
+open Machine
+
+type hypervisor = Kvm | Sekvm
+
+val pp_hypervisor : Format.formatter -> hypervisor -> unit
+val show_hypervisor : hypervisor -> string
+val equal_hypervisor : hypervisor -> hypervisor -> bool
+
+type hw_params = {
+  hw : Hw_config.t;
+  c_trap : int;
+  c_world_switch : int;
+  c_walk_step : int;
+  c_ipi : int;
+  s1_levels : int;
+  resident_pages : int;  (** steady TLB demand from guest + host hot set *)
+  compute_scale : float;
+}
+
+val m400_params : hw_params
+val seattle_params : hw_params
+val neoverse_params : hw_params
+val params_of : Hw_config.t -> hw_params
+
+type sw_params = {
+  kcore_dispatch : int;
+  kcore_ctx_protect : int;
+  ownership_check : int;
+}
+
+val sekvm_sw : sw_params
+
+val miss_cost : hw_params -> hypervisor -> stage2_levels:int -> int
+(** Cycles of one host-side TLB miss: stage-1 walk for KVM, nested walk
+    for SeKVM. *)
+
+val op_misses : ?kserv_hugepages:bool -> hw_params -> hypervisor -> ws:int -> float
+(** Steady-state misses for an op touching [ws] distinct host pages,
+    from the analytic TLB model; [kserv_hugepages] is the 2 MB-block
+    ablation. *)
+
+type op_profile = {
+  traps : int;
+  world_switches : int;
+  host_cycles : int;
+  host_pages : int;
+  ownership_checks : int;
+  ipis : int;
+}
+
+val no_work : op_profile
+
+val op_cycles :
+  ?kserv_hugepages:bool -> hw_params -> hypervisor -> stage2_levels:int ->
+  op_profile -> int

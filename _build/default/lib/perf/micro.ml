@@ -1,0 +1,117 @@
+(** The four microbenchmarks of Table 2, regenerating Table 3.
+
+    Each benchmark is an operation profile: how many EL2 traps and world
+    switches it performs and how much host-kernel / host-userspace work
+    (with which working sets) it runs between them. The same profile is
+    costed under both hypervisors on both machines. *)
+
+open Cost_model
+
+type bench = { name : string; description : string; profile : op_profile }
+
+(** Transition from a VM to the hypervisor and return, no work. *)
+let hypercall =
+  { name = "Hypercall";
+    description = "VM -> hypervisor -> VM round trip, no work";
+    profile =
+      { no_work with
+        traps = 1;
+        world_switches = 2;
+        host_cycles = 475;
+        host_pages = 36;
+        ownership_checks = 1 } }
+
+(** Trap to the in-kernel emulated interrupt controller. *)
+let io_kernel =
+  { name = "I/O Kernel";
+    description = "trap to the vGIC emulation in the hypervisor OS kernel";
+    profile =
+      { no_work with
+        traps = 1;
+        world_switches = 2;
+        host_cycles = 1344;
+        host_pages = 46;
+        ownership_checks = 2 } }
+
+(** Trap out to the emulated UART in QEMU (userspace exit). *)
+let io_user =
+  { name = "I/O User";
+    description = "trap to the UART emulated in QEMU userspace";
+    profile =
+      { no_work with
+        traps = 2;  (* exit to userspace and back re-enters EL2 *)
+        world_switches = 2;
+        host_cycles = 5644;  (* kernel path + QEMU UART emulation *)
+        host_pages = 75;
+        ownership_checks = 3 } }
+
+(** Virtual IPI between two vCPUs on different physical CPUs. *)
+let virtual_ipi =
+  { name = "Virtual IPI";
+    description = "vCPU-to-vCPU IPI across physical CPUs";
+    profile =
+      { traps = 2;  (* sender exit + receiver injection *)
+        world_switches = 3;
+        host_cycles = 4205;
+        host_pages = 58;
+        ownership_checks = 2;
+        ipis = 1 } }
+
+let all = [ hypercall; io_kernel; io_user; virtual_ipi ]
+
+type row = {
+  bench : bench;
+  hw_name : string;
+  kvm_cycles : int;
+  sekvm_cycles : int;
+  overhead : float;  (** sekvm / kvm *)
+}
+
+let run_one ?(kserv_hugepages = false) (p : hw_params) ~stage2_levels
+    (b : bench) : row =
+  let kvm = op_cycles p Kvm ~stage2_levels b.profile in
+  let sekvm = op_cycles ~kserv_hugepages p Sekvm ~stage2_levels b.profile in
+  { bench = b;
+    hw_name = p.hw.Machine.Hw_config.name;
+    kvm_cycles = kvm;
+    sekvm_cycles = sekvm;
+    overhead = float_of_int sekvm /. float_of_int kvm }
+
+(** Table 3: all four microbenchmarks on both machines. *)
+let table3 ?(stage2_levels = 4) ?(kserv_hugepages = false) () : row list =
+  List.concat_map
+    (fun p -> List.map (run_one ~kserv_hugepages p ~stage2_levels) all)
+    [ m400_params; seattle_params ]
+
+(** Ablation: sweep the TLB capacity of an m400-like machine and report
+    the SeKVM/KVM hypercall overhead at each size — locating where the
+    paper's "tiny TLB" effect disappears. *)
+let tlb_sweep ?(bench = hypercall) ?(stage2_levels = 4)
+    ?(sizes = [ 32; 64; 128; 192; 256; 512; 1024 ]) () :
+    (int * float) list =
+  List.map
+    (fun tlb_entries ->
+      let p =
+        { m400_params with
+          hw = { m400_params.hw with Machine.Hw_config.tlb_entries } }
+      in
+      (tlb_entries, (run_one p ~stage2_levels bench).overhead))
+    sizes
+
+(** The paper's measured cycle counts, for side-by-side shape checking. *)
+let paper_reference =
+  [ ("Hypercall", "m400", 2275, 4695);
+    ("I/O Kernel", "m400", 3144, 7235);
+    ("I/O User", "m400", 7864, 15501);
+    ("Virtual IPI", "m400", 7915, 13900);
+    ("Hypercall", "seattle", 2896, 3720);
+    ("I/O Kernel", "seattle", 3831, 4864);
+    ("I/O User", "seattle", 9288, 10903);
+    ("Virtual IPI", "seattle", 8816, 10699) ]
+
+let paper_overhead name hw =
+  match
+    List.find_opt (fun (n, h, _, _) -> n = name && h = hw) paper_reference
+  with
+  | Some (_, _, kvm, sekvm) -> Some (float_of_int sekvm /. float_of_int kvm)
+  | None -> None

@@ -1,0 +1,36 @@
+(** The four microbenchmarks of Table 2, regenerating Table 3, plus the
+    TLB-capacity and stage-2-depth ablations. *)
+
+open Cost_model
+
+type bench = { name : string; description : string; profile : op_profile }
+
+val hypercall : bench
+val io_kernel : bench
+val io_user : bench
+val virtual_ipi : bench
+val all : bench list
+
+type row = {
+  bench : bench;
+  hw_name : string;
+  kvm_cycles : int;
+  sekvm_cycles : int;
+  overhead : float;  (** sekvm / kvm *)
+}
+
+val run_one : ?kserv_hugepages:bool -> hw_params -> stage2_levels:int -> bench -> row
+
+val table3 : ?stage2_levels:int -> ?kserv_hugepages:bool -> unit -> row list
+(** All four microbenchmarks on both machines. *)
+
+val tlb_sweep :
+  ?bench:bench -> ?stage2_levels:int -> ?sizes:int list -> unit ->
+  (int * float) list
+(** SeKVM/KVM overhead ratio against TLB capacity on an m400-class
+    machine — locating where the "tiny TLB" effect disappears. *)
+
+val paper_reference : (string * string * int * int) list
+(** The paper's measured cycles: (bench, machine, KVM, SeKVM). *)
+
+val paper_overhead : string -> string -> float option

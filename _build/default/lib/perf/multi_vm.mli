@@ -1,0 +1,30 @@
+(** Multi-VM scalability, regenerating Figure 9: N SMP VMs time-sharing
+    the m400's CPUs, with shared-I/O saturation and per-runnable-vCPU
+    hypervisor lock contention; per-instance performance normalized to a
+    single native instance. *)
+
+open Cost_model
+
+type point = {
+  workload : Workload.t;
+  hypervisor : hypervisor;
+  n_vms : int;
+  normalized_perf : float;
+}
+
+val io_capacity_vms : float
+
+val per_instance_time :
+  hw_params -> hypervisor -> stage2_levels:int -> vcpus_per_vm:int ->
+  n_vms:int -> Workload.t -> float
+
+val run_point :
+  ?p:hw_params -> ?stage2_levels:int -> ?vcpus_per_vm:int -> hypervisor ->
+  int -> Workload.t -> point
+
+val vm_counts : int list
+val figure9 : ?stage2_levels:int -> unit -> point list
+
+val worst_gap : point list -> workload:string -> float
+(** Worst SeKVM-vs-KVM gap across all VM counts; the Fig. 9 claim is
+    < 10%. *)

@@ -1,0 +1,104 @@
+(** Application workload profiles (paper Table 4).
+
+    Each workload is characterized by how it spends a unit of work:
+    guest-side CPU time plus a rate of hypervisor operations (exits for
+    virtual interrupts, vhost notifications kicks, userspace I/O, vIPIs).
+    The numbers are per "work unit" (one benchmark iteration's worth),
+    scaled so native execution is 100M cycles; what matters downstream is
+    the exit mix, which determines how much hypervisor-path overhead each
+    workload sees. *)
+
+open Cost_model
+
+type t = {
+  name : string;
+  description : string;
+  native_cycles : int;  (** pure computation, hypervisor-independent *)
+  hypercalls : int;  (** base transitions per work unit *)
+  io_kernel_ops : int;  (** vGIC/in-kernel device ops *)
+  io_user_ops : int;  (** QEMU userspace exits *)
+  vipis : int;  (** virtual IPIs *)
+  s2_faults : int;  (** stage-2 faults (cold pages) per work unit *)
+  io_bound_fraction : float;
+      (** fraction of the work gated by the shared NIC/disk rather than
+          CPU: caps multi-VM scaling (Fig. 9) *)
+}
+
+let unit = 100_000_000
+
+let hackbench =
+  { name = "Hackbench";
+    description = "Unix-socket process groups; scheduler/IPI heavy";
+    native_cycles = unit;
+    hypercalls = 200;
+    io_kernel_ops = 600;
+    io_user_ops = 5;
+    vipis = 1_000;
+    s2_faults = 100;
+    io_bound_fraction = 0.05 }
+
+let kernbench =
+  { name = "Kernbench";
+    description = "Linux kernel compile; CPU bound, few exits";
+    native_cycles = unit;
+    hypercalls = 40;
+    io_kernel_ops = 120;
+    io_user_ops = 4;
+    vipis = 80;
+    s2_faults = 250;
+    io_bound_fraction = 0.03 }
+
+let apache =
+  { name = "Apache";
+    description = "TLS web serving against remote ApacheBench";
+    native_cycles = unit;
+    hypercalls = 120;
+    io_kernel_ops = 900;
+    io_user_ops = 15;
+    vipis = 350;
+    s2_faults = 60;
+    io_bound_fraction = 0.45 }
+
+let mongodb =
+  { name = "MongoDB";
+    description = "YCSB workload A against a remote client";
+    native_cycles = unit;
+    hypercalls = 100;
+    io_kernel_ops = 700;
+    io_user_ops = 12;
+    vipis = 250;
+    s2_faults = 80;
+    io_bound_fraction = 0.40 }
+
+let redis =
+  { name = "Redis";
+    description = "YCSB workload A; small-packet network RTT bound";
+    native_cycles = unit;
+    hypercalls = 90;
+    io_kernel_ops = 1_000;
+    io_user_ops = 10;
+    vipis = 200;
+    s2_faults = 50;
+    io_bound_fraction = 0.55 }
+
+let all = [ hackbench; kernbench; apache; mongodb; redis ]
+
+(** Hypervisor-path cycles added to one work unit of [w]. *)
+let virt_overhead_cycles (p : hw_params) (hyp : hypervisor) ~stage2_levels
+    (w : t) : int =
+  let cost profile = op_cycles p hyp ~stage2_levels profile in
+  let fault_profile =
+    (* a stage-2 fault: exit, host allocates, hypervisor maps (with
+       ownership transfer + scrub under SeKVM) *)
+    { no_work with
+      traps = 1;
+      world_switches = 2;
+      host_cycles = 2_000;
+      host_pages = 40;
+      ownership_checks = 4 }
+  in
+  (w.hypercalls * cost Micro.hypercall.Micro.profile)
+  + (w.io_kernel_ops * cost Micro.io_kernel.Micro.profile)
+  + (w.io_user_ops * cost Micro.io_user.Micro.profile)
+  + (w.vipis * cost Micro.virtual_ipi.Micro.profile)
+  + (w.s2_faults * cost fault_profile)

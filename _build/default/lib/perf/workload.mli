@@ -1,0 +1,29 @@
+(** Application workload profiles (paper Table 4): per work unit, the
+    guest CPU time and the mix of hypervisor operations (exits, vhost
+    kicks, userspace I/O, vIPIs, stage-2 faults) plus the fraction of the
+    work gated by shared I/O devices. *)
+
+open Cost_model
+
+type t = {
+  name : string;
+  description : string;
+  native_cycles : int;
+  hypercalls : int;
+  io_kernel_ops : int;
+  io_user_ops : int;
+  vipis : int;
+  s2_faults : int;
+  io_bound_fraction : float;
+}
+
+val unit : int
+val hackbench : t
+val kernbench : t
+val apache : t
+val mongodb : t
+val redis : t
+val all : t list
+
+val virt_overhead_cycles : hw_params -> hypervisor -> stage2_levels:int -> t -> int
+(** Hypervisor-path cycles added to one work unit. *)

@@ -1,0 +1,1 @@
+lib/sekvm/data_oracle.pp.mli:

@@ -1,0 +1,1 @@
+lib/sekvm/el2_pt.pp.ml: List Machine Page_pool Page_table Phys_mem Pte Trace

@@ -1,0 +1,1 @@
+lib/sekvm/kcore.pp.mli: Cpu Data_oracle El2_pt Format Machine Npt Page_pool Page_table Phys_mem Pte S2page Smmu_ops Ticket_lock Trace Vcpu_ctxt Vgic

@@ -1,0 +1,1 @@
+lib/sekvm/kernel_progs.pp.ml: Expr Instr Loc Mcs_lock Memmodel Prog Promising Reg Stdlib Ticket_lock

@@ -1,0 +1,1 @@
+lib/sekvm/kernel_progs.pp.mli: Memmodel Prog Promising

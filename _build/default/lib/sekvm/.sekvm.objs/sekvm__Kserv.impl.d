@@ -1,0 +1,1 @@
+lib/sekvm/kserv.pp.ml: Kcore List Machine Page_table Phys_mem Result S2page Vcpu_ctxt Vm

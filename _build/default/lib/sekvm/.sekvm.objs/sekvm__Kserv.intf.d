@@ -1,0 +1,1 @@
+lib/sekvm/kserv.pp.mli: Kcore Vm

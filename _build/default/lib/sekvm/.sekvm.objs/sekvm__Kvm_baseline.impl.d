@@ -1,0 +1,1 @@
+lib/sekvm/kvm_baseline.pp.ml: Array Cpu List Machine Npt Page_pool Page_table Phys_mem Pte Tlb Trace Vcpu_ctxt

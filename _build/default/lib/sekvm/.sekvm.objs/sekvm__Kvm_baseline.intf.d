@@ -1,0 +1,1 @@
+lib/sekvm/kvm_baseline.pp.mli: Cpu Machine Npt Page_pool Page_table Phys_mem Trace Vcpu_ctxt

@@ -1,0 +1,1 @@
+lib/sekvm/mcs_lock.pp.ml: Expr Instr List Loc Memmodel Printf Prog Reg

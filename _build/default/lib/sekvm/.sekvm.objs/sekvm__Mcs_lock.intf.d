@@ -1,0 +1,1 @@
+lib/sekvm/mcs_lock.pp.mli: Memmodel

@@ -1,0 +1,1 @@
+lib/sekvm/npt.pp.ml: List Machine Page_pool Page_table Phys_mem Printf Ticket_lock Trace

@@ -1,0 +1,1 @@
+lib/sekvm/npt.pp.mli: Machine Page_pool Page_table Phys_mem Pte Ticket_lock Trace

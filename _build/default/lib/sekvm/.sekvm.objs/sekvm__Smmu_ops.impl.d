@@ -1,0 +1,1 @@
+lib/sekvm/smmu_ops.pp.ml: List Machine Page_table Smmu Ticket_lock Trace

@@ -1,0 +1,1 @@
+lib/sekvm/smmu_ops.pp.mli: Machine Pte Smmu Ticket_lock Trace

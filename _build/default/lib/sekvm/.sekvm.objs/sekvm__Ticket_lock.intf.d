@@ -1,0 +1,1 @@
+lib/sekvm/ticket_lock.pp.mli: Memmodel

@@ -1,0 +1,1 @@
+lib/sekvm/trace.pp.ml: List Machine Ppx_deriving_runtime

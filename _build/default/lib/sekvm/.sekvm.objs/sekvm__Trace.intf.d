@@ -1,0 +1,1 @@
+lib/sekvm/trace.pp.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/sekvm/vcpu_ctxt.pp.ml: Array Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/sekvm/vcpu_ctxt.pp.mli: Format

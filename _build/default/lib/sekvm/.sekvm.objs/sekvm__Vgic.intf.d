@@ -1,0 +1,1 @@
+lib/sekvm/vgic.pp.mli:

@@ -1,0 +1,1 @@
+lib/sekvm/vm.pp.ml: List Machine Ppx_deriving_runtime

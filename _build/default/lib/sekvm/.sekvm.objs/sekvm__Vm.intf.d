@@ -1,0 +1,1 @@
+lib/sekvm/vm.pp.mli: Format Machine

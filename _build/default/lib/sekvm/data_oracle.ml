@@ -1,0 +1,52 @@
+(** Data oracles (paper §5.3).
+
+    When KCore must read untrusted (KServ or VM) memory — hypercall
+    arguments, VM images before authentication — the SeKVM proofs model
+    the read as drawing from a {e data oracle}: a value stream independent
+    of the untrusted program's actual implementation. That independence is
+    what makes the Weak-Memory-Isolation condition hold: any relaxed-memory
+    behavior of the user is matched by some oracle stream on SC.
+
+    Operationally this module is a deterministic PRNG (so simulations are
+    reproducible) with a [replay] mode used by the isolation checker: two
+    runs with the same oracle stream but different untrusted-program
+    behavior must leave KCore in identical states. *)
+
+type t = {
+  mutable state : int;
+  mutable draws : int;
+  mutable log : int list;  (** newest first *)
+  mutable replay : int list option;  (** when set, draws come from here *)
+}
+
+let create ~seed = { state = seed lor 1; draws = 0; log = []; replay = None }
+
+(* xorshift-style step; deterministic, architecture-independent *)
+let step s =
+  let s = s lxor (s lsl 13) land max_int in
+  let s = s lxor (s lsr 7) in
+  s lxor (s lsl 17) land max_int
+
+let draw t =
+  let v =
+    match t.replay with
+    | Some (v :: rest) ->
+        t.replay <- Some rest;
+        v
+    | Some [] -> invalid_arg "Data_oracle.draw: replay stream exhausted"
+    | None ->
+        t.state <- step t.state;
+        t.state
+  in
+  t.draws <- t.draws + 1;
+  t.log <- v :: t.log;
+  v
+
+let draws t = t.draws
+
+(** The stream drawn so far, oldest first — feed it back via [replaying]
+    to reproduce KCore's inputs exactly. *)
+let stream t = List.rev t.log
+
+let replaying ~stream ~seed =
+  { state = seed lor 1; draws = 0; log = []; replay = Some stream }

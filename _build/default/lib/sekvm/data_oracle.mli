@@ -1,0 +1,18 @@
+(** Data oracles (paper §5.3): KCore's reads of untrusted memory are
+    modeled as draws from a value stream independent of the untrusted
+    program — the independence the Weak-Memory-Isolation condition needs.
+    Deterministic (seeded), with a replay mode for the isolation
+    experiments. *)
+
+type t
+
+val create : seed:int -> t
+val draw : t -> int
+val draws : t -> int
+
+val stream : t -> int list
+(** The values drawn so far, oldest first. *)
+
+val replaying : stream:int list -> seed:int -> t
+(** An oracle whose draws replay [stream]; raises [Invalid_argument] when
+    exhausted. *)

@@ -1,0 +1,360 @@
+(** The KCore kernel-code corpus, in the memmodel DSL.
+
+    These are the synchronization-relevant code paths of §5, written as
+    concurrent DSL programs so the VRM checkers can certify them: the
+    ticket-lock-protected VMID allocator, the vCPU-context ownership
+    protocol, VM-state updates under the per-VM lock, page-ownership
+    bookkeeping for sharing, and multi-variable critical sections. Each
+    corpus entry carries the metadata the certifier needs (which bases are
+    lock-implementation internals, exploration budget) plus the expected
+    verdict — including deliberately seeded buggy variants that specific
+    conditions must reject.
+
+    The [versions] list mirrors §5.6: the corpus is instantiated for each
+    supported Linux version and both stage-2 geometries; the
+    synchronization skeleton is identical across versions (which is why
+    the paper could verify eight versions with modest effort), so each
+    instantiation re-certifies the same conditions under its own
+    configuration record. *)
+
+open Memmodel
+open Expr
+
+type expect = {
+  e_drf : bool;  (** DRF-Kernel should hold *)
+  e_barrier : bool;  (** No-Barrier-Misuse should hold *)
+  e_refine : bool;  (** behaviors(RM) ⊆ behaviors(SC) should hold *)
+}
+
+let all_good = { e_drf = true; e_barrier = true; e_refine = true }
+
+type entry = {
+  name : string;
+  prog : Prog.t;
+  exempt : string list;  (** lock-implementation bases, exempt from DRF *)
+  initial_owners : (string * int) list;
+      (** bases a CPU owns at fragment entry (e.g. the vCPU context a
+          running CPU claimed before this code path) *)
+  expect : expect;
+  rm_config : Promising.config;
+  note : string;
+}
+
+let lockcfg =
+  { Promising.default_config with loop_fuel = 3; max_promises = 0;
+    cert_depth = 32 }
+
+let lockcfg1 = { lockcfg with max_promises = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* gen_vmid under the core ticket lock (§5.2, Fig. 1 + Fig. 7)         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_vmid_code ~barriers tid =
+  let vmid = Reg.v "vmid" in
+  let body =
+    [ Instr.load vmid (at "next_vmid");
+      Instr.if_
+        (r vmid < c 4)
+        [ Instr.store (at "next_vmid") (r vmid + c 1) ]
+        [ Instr.Panic ] ]
+  in
+  Prog.thread tid
+    (Ticket_lock.dsl_critical ~barriers ~name:"core"
+       ~protects:[ "next_vmid" ] body)
+
+let gen_vmid_prog ~barriers name =
+  Prog.make ~name
+    ~observables:
+      [ Prog.Obs_reg (1, Reg.v "vmid"); Prog.Obs_reg (2, Reg.v "vmid") ]
+    ~shared_bases:
+      [ "next_vmid"; Ticket_lock.ticket_base "core";
+        Ticket_lock.now_base "core" ]
+    [ gen_vmid_code ~barriers 1; gen_vmid_code ~barriers 2 ]
+
+let vmid_alloc =
+  { name = "gen_vmid";
+    prog = gen_vmid_prog ~barriers:true "gen_vmid";
+    exempt = Ticket_lock.lock_bases "core";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "VMID allocation under the Linux ticket lock (Fig. 1/7)" }
+
+let vmid_alloc_nobarrier =
+  { name = "gen_vmid-nobarrier";
+    prog = gen_vmid_prog ~barriers:false "gen_vmid-nobarrier";
+    exempt = Ticket_lock.lock_bases "core";
+    initial_owners = [];
+    expect = { e_drf = true; e_barrier = false; e_refine = false };
+    rm_config = lockcfg;
+    note = "Example 2: same code without acquire/release; DRF on SC but \
+            broken on Arm" }
+
+(* ------------------------------------------------------------------ *)
+(* vCPU context switch via the ownership variable (§5.2, Example 3)    *)
+(* ------------------------------------------------------------------ *)
+
+let vcpu_prog ~barriers name =
+  let save =
+    [ Instr.store (at "vcpu_ctxt") (c 42);
+      Instr.push [ "vcpu_ctxt" ];
+      (if barriers then Instr.store_rel (at "vcpu_state") (c 0)
+       else Instr.store (at "vcpu_state") (c 0)) ]
+  in
+  let restore =
+    [ (if barriers then Instr.load_acq (Reg.v "st") (at "vcpu_state")
+       else Instr.load (Reg.v "st") (at "vcpu_state"));
+      Instr.if_
+        (r (Reg.v "st") = c 0)
+        [ Instr.store (at "vcpu_state") (c 1);
+          Instr.pull [ "vcpu_ctxt" ];
+          Instr.load (Reg.v "ctxt") (at "vcpu_ctxt") ]
+        [ Instr.move (Reg.v "ctxt") (c (-1)) ] ]
+  in
+  Prog.make ~name
+    ~init:[ (Loc.v "vcpu_ctxt", 7); (Loc.v "vcpu_state", 1) ]
+    ~observables:
+      [ Prog.Obs_reg (2, Reg.v "st"); Prog.Obs_reg (2, Reg.v "ctxt") ]
+    ~shared_bases:[ "vcpu_ctxt"; "vcpu_state" ]
+    [ Prog.thread 1 save; Prog.thread 2 restore ]
+
+let vcpu_switch =
+  { name = "vcpu-switch";
+    prog = vcpu_prog ~barriers:true "vcpu-switch";
+    exempt = [ "vcpu_state" ];  (* the synchronization variable itself *)
+    initial_owners = [ ("vcpu_ctxt", 0) ];  (* thread index 0 = the saver *)
+    expect = all_good;
+    rm_config = { lockcfg1 with loop_fuel = 4 };
+    note = "ACTIVE/INACTIVE ownership protocol with release/acquire" }
+
+let vcpu_switch_nobarrier =
+  { name = "vcpu-switch-nobarrier";
+    prog = vcpu_prog ~barriers:false "vcpu-switch-nobarrier";
+    exempt = [ "vcpu_state" ];
+    initial_owners = [ ("vcpu_ctxt", 0) ];
+    expect = { e_drf = true; e_barrier = false; e_refine = false };
+    rm_config = { lockcfg1 with loop_fuel = 4 };
+    note = "Example 3: stale context restorable on Arm" }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-variable critical section: VM state + boot bookkeeping        *)
+(* ------------------------------------------------------------------ *)
+
+let vm_boot_prog ~barriers name =
+  (* two CPUs race to transition the VM from Registered(0) to
+     Verified(1) and set the image hash; the lock must ensure exactly one
+     wins and the hash matches the winner *)
+  let work tid =
+    let st = Reg.v "st" in
+    Prog.thread tid
+      (Ticket_lock.dsl_critical ~barriers ~name:"vm"
+         ~protects:[ "vm_state"; "image_hash" ]
+         [ Instr.load st (at "vm_state");
+           Instr.if_
+             (r st = c 0)
+             [ Instr.store (at "vm_state") (c 1);
+               Instr.store (at "image_hash") (c (Stdlib.( + ) 100 tid)) ]
+             [] ])
+  in
+  Prog.make ~name
+    ~observables:[ Prog.Obs_loc (Loc.v "vm_state"); Prog.Obs_loc (Loc.v "image_hash") ]
+    ~shared_bases:
+      ([ "vm_state"; "image_hash" ] @ Ticket_lock.lock_bases "vm")
+    [ work 1; work 2 ]
+
+let vm_boot =
+  { name = "vm-boot-state";
+    prog = vm_boot_prog ~barriers:true "vm-boot-state";
+    exempt = Ticket_lock.lock_bases "vm";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "per-VM lock protects the state/image-hash pair during boot" }
+
+(* ------------------------------------------------------------------ *)
+(* Page sharing bookkeeping under the per-VM lock                      *)
+(* ------------------------------------------------------------------ *)
+
+let share_prog ~barriers name =
+  (* CPU 1: VM shares a page (sets s2page.shared, bumps map_count);
+     CPU 2: teardown path clears sharing. Both under the VM lock. *)
+  let share =
+    Prog.thread 1
+      (Ticket_lock.dsl_critical ~barriers ~name:"vm"
+         ~protects:[ "s2_shared"; "s2_mapcount" ]
+         [ Instr.store (at "s2_shared") (c 1);
+           Instr.load (Reg.v "mc") (at "s2_mapcount");
+           Instr.store (at "s2_mapcount") (r (Reg.v "mc") + c 1) ])
+  in
+  let unshare =
+    Prog.thread 2
+      (Ticket_lock.dsl_critical ~barriers ~name:"vm"
+         ~protects:[ "s2_shared"; "s2_mapcount" ]
+         [ Instr.load (Reg.v "sh") (at "s2_shared");
+           Instr.if_
+             (r (Reg.v "sh") = c 1)
+             [ Instr.store (at "s2_shared") (c 0);
+               Instr.load (Reg.v "mc") (at "s2_mapcount");
+               Instr.store (at "s2_mapcount") (r (Reg.v "mc") - c 1) ]
+             [] ])
+  in
+  Prog.make ~name
+    ~observables:
+      [ Prog.Obs_loc (Loc.v "s2_shared"); Prog.Obs_loc (Loc.v "s2_mapcount") ]
+    ~shared_bases:([ "s2_shared"; "s2_mapcount" ] @ Ticket_lock.lock_bases "vm")
+    [ share; unshare ]
+
+let share_page =
+  { name = "share-page";
+    prog = share_prog ~barriers:true "share-page";
+    exempt = Ticket_lock.lock_bases "vm";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "s2page share/map_count updates under the per-VM lock" }
+
+(* ------------------------------------------------------------------ *)
+(* Page-table updates racing the MMU walker (the DRF exception)        *)
+(* ------------------------------------------------------------------ *)
+
+let pt_walker_prog ~barriers name =
+  (* CPU 1 updates two PTE words inside the pt lock; CPU 2 plays the MMU
+     hardware, reading both words with no synchronization whatsoever.
+     The pte base is exempt from the ownership discipline — this is the
+     DRF-Kernel side clause for page tables — so DRF and the barrier
+     checker pass; but the walker's reads CAN be relaxed, so refinement
+     fails. That is exactly why the paper discharges page tables with the
+     Transactional-Page-Table condition instead of Theorem 2. *)
+  let kernel =
+    Prog.thread 1
+      (Ticket_lock.dsl_critical ~barriers ~name:"pt" ~protects:[]
+         [ Instr.store (at ~offset:(c 0) "pte") (c 0x20);
+           Instr.store (at ~offset:(c 1) "pte") (c 0x21) ])
+  in
+  let walker =
+    Prog.thread 2
+      [ Instr.load (Reg.v "w1") (at ~offset:(c 1) "pte");
+        Instr.load (Reg.v "w0") (at ~offset:(c 0) "pte") ]
+  in
+  Prog.make ~name
+    ~init:[ (Loc.v ~index:0 "pte", 0x10); (Loc.v ~index:1 "pte", 0x11) ]
+    ~observables:[ Prog.Obs_reg (2, Reg.v "w0"); Prog.Obs_reg (2, Reg.v "w1") ]
+    ~shared_bases:("pte" :: Ticket_lock.lock_bases "pt")
+    [ kernel; walker ]
+
+let pt_walker_race =
+  { name = "pt-walker-race";
+    prog = pt_walker_prog ~barriers:true "pt-walker-race";
+    exempt = "pte" :: Ticket_lock.lock_bases "pt";
+    initial_owners = [];
+    expect = { e_drf = true; e_barrier = true; e_refine = false };
+    rm_config = lockcfg1;
+    note = "the MMU-vs-kernel page-table race (Example 4's shape): exempt             from DRF, outside Theorem 2, discharged by the Transactional             and TLBI conditions instead" }
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the MCS queue lock (see {!Mcs_lock})                     *)
+(* ------------------------------------------------------------------ *)
+
+let mcs_counter =
+  { name = "mcs-counter";
+    prog = Mcs_lock.counter_prog ~barriers:true "mcs-counter";
+    exempt = Mcs_lock.lock_bases "m";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg;
+    note = "shared counter under the MCS queue lock (XCHG/CAS hand-off)" }
+
+let mcs_handoff =
+  { name = "mcs-handoff";
+    prog = Mcs_lock.handoff_prog ~barriers:true "mcs-handoff";
+    exempt = Mcs_lock.lock_bases "m";
+    initial_owners = [ ("c", 0) ];  (* the owner holds the data at entry *)
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "MCS lock hand-off to a queued waiter" }
+
+let mcs_handoff_nobarrier =
+  { name = "mcs-handoff-nobarrier";
+    prog = Mcs_lock.handoff_prog ~barriers:false "mcs-handoff-nobarrier";
+    exempt = Mcs_lock.lock_bases "m";
+    initial_owners = [ ("c", 0) ];
+    expect = { e_drf = true; e_barrier = false; e_refine = false };
+    rm_config = lockcfg1;
+    note = "MCS hand-off without release/acquire: stale data reachable" }
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs beyond barrier omissions                                *)
+(* ------------------------------------------------------------------ *)
+
+let unlocked_counter =
+  (* a shared counter updated with no lock at all: DRF-Kernel violation *)
+  let bump tid =
+    Prog.thread tid
+      [ Instr.load (Reg.v "v") (at "counter");
+        Instr.store (at "counter") (r (Reg.v "v") + c 1) ]
+  in
+  { name = "unlocked-counter";
+    prog =
+      Prog.make ~name:"unlocked-counter"
+        ~observables:[ Prog.Obs_loc (Loc.v "counter") ]
+        ~shared_bases:[ "counter" ]
+        [ bump 1; bump 2 ];
+    exempt = [];
+    initial_owners = [];
+    expect = { e_drf = false; e_barrier = true; e_refine = true };
+    rm_config = lockcfg;
+    note = "no pull/push, no lock: the DRF checker must reject" }
+
+let push_without_pull =
+  (* pushes a base it never pulled: ownership-discipline violation *)
+  { name = "push-without-pull";
+    prog =
+      Prog.make ~name:"push-without-pull"
+        ~observables:[ Prog.Obs_loc (Loc.v "counter") ]
+        ~shared_bases:[ "counter" ]
+        [ Prog.thread 1
+            [ Instr.dmb;
+              Instr.push [ "counter" ];
+              Instr.store (at "counter") (c 1) ];
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = [];
+    initial_owners = [];
+    expect = { e_drf = false; e_barrier = true; e_refine = true };
+    rm_config = lockcfg;
+    note = "push of a free base: the ownership validator must reject" }
+
+(* ------------------------------------------------------------------ *)
+(* The corpus, per verified KVM version (§5.6)                         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [ vmid_alloc; vcpu_switch; vm_boot; share_page; mcs_counter; mcs_handoff ]
+
+let buggy_corpus =
+  [ vmid_alloc_nobarrier; vcpu_switch_nobarrier; mcs_handoff_nobarrier;
+    unlocked_counter; push_without_pull ]
+
+(** Not buggy, but outside Theorem 2's scope: page-table words racing the
+    MMU walker. In the certificate it documents {e why} conditions 4 and
+    5 exist. *)
+let boundary_corpus = [ pt_walker_race ]
+
+type version = {
+  linux : string;
+  stage2_levels : int;
+}
+
+(** The eight retrofitted KVM versions the paper verifies, each available
+    with both stage-2 geometries where supported. *)
+let versions =
+  [ { linux = "4.18"; stage2_levels = 4 };
+    { linux = "4.18"; stage2_levels = 3 };
+    { linux = "4.20"; stage2_levels = 4 };
+    { linux = "5.0"; stage2_levels = 4 };
+    { linux = "5.1"; stage2_levels = 4 };
+    { linux = "5.2"; stage2_levels = 4 };
+    { linux = "5.3"; stage2_levels = 4 };
+    { linux = "5.4"; stage2_levels = 4 };
+    { linux = "5.4"; stage2_levels = 3 };
+    { linux = "5.5"; stage2_levels = 4 } ]

@@ -1,0 +1,207 @@
+(** KServ: the untrusted host services of the retrofitted hypervisor.
+
+    KServ performs VM management (it carries the complexity KCore sheds):
+    it allocates backing pages, loads VM images, registers VMs and vCPUs
+    with KCore, drives the vCPU run loop and resolves stage-2 fault exits.
+    Nothing KServ does is trusted — every resource it hands to a VM goes
+    through KCore validation, and the [attack_*] entry points below let the
+    security tests exercise a {e malicious} KServ: trying to read or write
+    VM memory, steal VM pages, double-map pages, or DMA into protected
+    memory. Under SeKVM all of these must be denied; under the
+    {!Kvm_baseline} they succeed, which is the paper's motivation. *)
+
+open Machine
+
+type t = {
+  kcore : Kcore.t;
+  mutable free_pfns : int list;  (** KServ-owned pages not yet donated *)
+  mutable booted : (int * int list) list;  (** vmid -> image pfns *)
+  mutable uart : int list;  (** userspace UART emulation buffer (newest first) *)
+}
+
+let create (kcore : Kcore.t) ~first_free_pfn =
+  let free = ref [] in
+  for pfn = Phys_mem.n_pages kcore.Kcore.mem - 1 downto first_free_pfn do
+    if S2page.owner kcore.Kcore.s2page pfn = S2page.Kserv then
+      free := pfn :: !free
+  done;
+  { kcore; free_pfns = !free; booted = []; uart = [] }
+
+exception Out_of_memory
+
+let alloc_page t =
+  match t.free_pfns with
+  | [] -> raise Out_of_memory
+  | pfn :: rest ->
+      t.free_pfns <- rest;
+      pfn
+
+let free_page t pfn = t.free_pfns <- pfn :: t.free_pfns
+
+(** Write to a KServ-owned page through KServ's own stage 2 (faulting it
+    in lazily, as the evaluation notes KServ's 4 KB mappings are). *)
+let host_write t ~cpu ~pfn ~idx v =
+  let addr = Page_table.page_va pfn + (idx * 8) in
+  match Kcore.access_write t.kcore ~cpu ~vmid:Kcore.kserv_vmid ~addr v with
+  | Ok () -> Ok ()
+  | Error (Kcore.Stage2_fault _) -> (
+      match Kcore.kserv_fault t.kcore ~cpu ~addr with
+      | Ok () ->
+          Kcore.access_write t.kcore ~cpu ~vmid:Kcore.kserv_vmid ~addr v
+          |> Result.map_error (fun _ -> `Denied)
+      | Error `Denied -> Error `Denied)
+  | Error (Kcore.Perm_fault _) -> Error `Denied
+
+let host_read t ~cpu ~pfn ~idx =
+  let addr = Page_table.page_va pfn + (idx * 8) in
+  match Kcore.access_read t.kcore ~cpu ~vmid:Kcore.kserv_vmid ~addr with
+  | Ok v -> Ok v
+  | Error (Kcore.Stage2_fault _) -> (
+      match Kcore.kserv_fault t.kcore ~cpu ~addr with
+      | Ok () ->
+          Kcore.access_read t.kcore ~cpu ~vmid:Kcore.kserv_vmid ~addr
+          |> Result.map_error (fun _ -> `Denied)
+      | Error `Denied -> Error `Denied)
+  | Error (Kcore.Perm_fault _) -> Error `Denied
+
+(* ------------------------------------------------------------------ *)
+(* VM management                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Boot a VM with [image_pages] pages of image and [n_vcpus] vCPUs:
+    allocate pages, write the image through KServ's own mappings, compute
+    the (trusted, out-of-band) hash, and hand everything to KCore. *)
+let boot_vm ?(tamper = false) t ~cpu ~n_vcpus ~image_pages :
+    (int, [ `Bad_hash | `Denied ]) result =
+  let kcore = t.kcore in
+  let vmid = Kcore.register_vm kcore ~cpu in
+  for v = 0 to n_vcpus - 1 do
+    Kcore.register_vcpu kcore ~cpu ~vmid ~vcpuid:v
+  done;
+  let pfns = List.init image_pages (fun _ -> alloc_page t) in
+  (* fault the pages into KServ's stage 2 and write the image *)
+  List.iter
+    (fun pfn ->
+      match host_write t ~cpu ~pfn ~idx:0 0 with
+      | Ok () -> ()
+      | Error `Denied -> Kcore.panic "KServ cannot write its own page")
+    pfns;
+  Vm.write_image kcore.Kcore.mem ~vmid pfns;
+  let expected_hash = Vm.image_hash kcore.Kcore.mem pfns in
+  (* a malicious KServ modifies the image after hashing *)
+  if tamper then
+    Phys_mem.write kcore.Kcore.mem ~pfn:(List.hd pfns) ~idx:0 0xdead;
+  match Kcore.set_vm_image kcore ~cpu ~vmid ~pfns ~expected_hash with
+  | Ok () ->
+      t.booted <- (vmid, pfns) :: t.booted;
+      Ok vmid
+  | Error e ->
+      List.iter (free_page t) pfns;
+      Error e
+
+(** Resolve a stage-2 fault exit: donate a fresh page for the faulting
+    IPA. *)
+let handle_s2_fault t ~cpu ~vmid ~ipa : (unit, [ `Denied ]) result =
+  let pfn = alloc_page t in
+  match Kcore.map_page_to_vm t.kcore ~cpu ~vmid ~ipa ~pfn with
+  | Ok () -> Ok ()
+  | Error `Denied ->
+      free_page t pfn;
+      Error `Denied
+
+(** The KVM run loop: enter the guest, execute its ops, exit to resolve
+    faults and hypercalls, re-enter. Returns the per-op results. *)
+let run_guest t ~cpu ~vmid ~vcpuid (ops : Vm.guest_op list) :
+    Vm.op_result list =
+  let kcore = t.kcore in
+  Kcore.vcpu_load kcore ~cpu ~vmid ~vcpuid;
+  let rec exec op retried : Vm.op_result =
+    let retry () =
+      if retried then Vm.R_denied
+      else exec op true
+    in
+    match op with
+    | Vm.G_compute _ -> Vm.R_unit
+    | Vm.G_read ipa -> (
+        match Kcore.access_read kcore ~cpu ~vmid ~addr:ipa with
+        | Ok v -> Vm.R_value v
+        | Error (Kcore.Perm_fault _) -> Vm.R_denied
+        | Error (Kcore.Stage2_fault _) -> (
+            (* world switch: exit to KServ, allocate, re-enter *)
+            match handle_s2_fault t ~cpu ~vmid ~ipa with
+            | Ok () -> retry ()
+            | Error `Denied -> Vm.R_denied))
+    | Vm.G_write (ipa, v) -> (
+        match Kcore.access_write kcore ~cpu ~vmid ~addr:ipa v with
+        | Ok () -> Vm.R_unit
+        | Error (Kcore.Perm_fault _) -> Vm.R_denied
+        | Error (Kcore.Stage2_fault _) -> (
+            match handle_s2_fault t ~cpu ~vmid ~ipa with
+            | Ok () -> retry ()
+            | Error `Denied -> Vm.R_denied))
+    | Vm.G_share ipa -> (
+        match Kcore.vm_share_page kcore ~cpu ~vmid ~ipa with
+        | Ok () -> Vm.R_unit
+        | Error `Denied -> (
+            (* page may not be populated yet: fault it in first *)
+            match handle_s2_fault t ~cpu ~vmid ~ipa with
+            | Ok () -> retry ()
+            | Error `Denied -> Vm.R_denied))
+    | Vm.G_unshare ipa -> (
+        match Kcore.vm_unshare_page kcore ~cpu ~vmid ~ipa with
+        | Ok () -> Vm.R_unit
+        | Error `Denied -> Vm.R_denied)
+    | Vm.G_ipi (to_vcpu, irq) -> (
+        match Kcore.vgic_send_sgi kcore ~cpu ~vmid ~to_vcpu ~irq with
+        | Ok () -> Vm.R_unit
+        | Error `Denied -> Vm.R_denied)
+    | Vm.G_ack_irq -> (
+        match Kcore.vgic_ack kcore ~vmid ~vcpuid with
+        | Some irq -> Vm.R_value irq
+        | None -> Vm.R_value (-1))
+    | Vm.G_uart_putc ch ->
+        (* full userspace exit: KCore routes the byte; QEMU-side buffer *)
+        let v = Kcore.uart_exit kcore ~cpu ~value:ch in
+        t.uart <- v :: t.uart;
+        Vm.R_unit
+    | Vm.G_uart_getc -> Vm.R_value (Kcore.uart_read kcore ~cpu)
+    | Vm.G_protect ipa -> (
+        match Kcore.vm_protect_page kcore ~cpu ~vmid ~ipa with
+        | Ok () -> Vm.R_unit
+        | Error `Denied -> Vm.R_denied)
+    | Vm.G_set_reg (i, v) ->
+        (* register state lives in the vCPU context this CPU claimed at
+           vcpu_load; the ACTIVE/INACTIVE protocol is what guarantees the
+           value survives migration to another physical CPU *)
+        let vm = Kcore.find_vm kcore vmid in
+        Vcpu_ctxt.write_reg (Kcore.find_vcpu vm vcpuid) i v;
+        Vm.R_unit
+    | Vm.G_get_reg i ->
+        let vm = Kcore.find_vm kcore vmid in
+        Vm.R_value (Vcpu_ctxt.read_reg (Kcore.find_vcpu vm vcpuid) i)
+  in
+  let results = List.map (fun op -> exec op false) ops in
+  Kcore.vcpu_put kcore ~cpu;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Attacks: what a compromised host tries                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Read a VM-owned page through KServ's stage 2. Must fault/deny. *)
+let attack_read_vm_page t ~cpu ~pfn : (int, [ `Denied ]) result =
+  host_read t ~cpu ~pfn ~idx:0
+
+(** Write a VM-owned page. Must fault/deny. *)
+let attack_write_vm_page t ~cpu ~pfn v : (unit, [ `Denied ]) result =
+  host_write t ~cpu ~pfn ~idx:0 v
+
+(** Donate a page KServ does not own (e.g. another VM's page) to a VM —
+    stealing memory. KCore's ownership check must refuse. *)
+let attack_steal_page t ~cpu ~victim_pfn ~vmid ~ipa :
+    (unit, [ `Denied ]) result =
+  Kcore.map_page_to_vm t.kcore ~cpu ~vmid ~ipa ~pfn:victim_pfn
+
+(** Map a KCore- or VM-owned page for device DMA. Must be denied. *)
+let attack_dma_map t ~cpu ~device ~pfn : (unit, [ `Denied ]) result =
+  Kcore.smmu_map t.kcore ~cpu ~device ~iova:0 ~pfn

@@ -1,0 +1,53 @@
+(** KServ: the untrusted host services. It carries the complexity KCore
+    sheds — page allocation, VM image loading, registration, the vCPU run
+    loop, fault resolution — and nothing it does is trusted. The
+    [attack_*] entry points let the security tests exercise a {e
+    malicious} host; under SeKVM every attack must be denied (and under
+    {!Kvm_baseline} they succeed). *)
+
+type t = {
+  kcore : Kcore.t;
+  mutable free_pfns : int list;  (** KServ-owned pages not yet donated *)
+  mutable booted : (int * int list) list;  (** vmid -> image pfns *)
+  mutable uart : int list;  (** userspace UART buffer (newest first) *)
+}
+
+val create : Kcore.t -> first_free_pfn:int -> t
+
+exception Out_of_memory
+
+val alloc_page : t -> int
+val free_page : t -> int -> unit
+
+val host_write :
+  t -> cpu:int -> pfn:int -> idx:int -> int -> (unit, [ `Denied ]) result
+(** Host access through KServ's own stage 2, faulting lazily (4 KB
+    mappings, as the evaluation notes). *)
+
+val host_read : t -> cpu:int -> pfn:int -> idx:int -> (int, [ `Denied ]) result
+
+val boot_vm :
+  ?tamper:bool -> t -> cpu:int -> n_vcpus:int -> image_pages:int ->
+  (int, [ `Bad_hash | `Denied ]) result
+(** Allocate and write an image, compute the out-of-band hash, register
+    the VM and hand everything to KCore. [tamper] modifies the image after
+    hashing — authentication must then fail. *)
+
+val handle_s2_fault : t -> cpu:int -> vmid:int -> ipa:int -> (unit, [ `Denied ]) result
+
+val run_guest :
+  t -> cpu:int -> vmid:int -> vcpuid:int -> Vm.guest_op list ->
+  Vm.op_result list
+(** The KVM run loop: enter the guest, execute its ops, exit to resolve
+    faults/hypercalls/MMIO, re-enter. *)
+
+(** {2 Attacks (must all be denied)} *)
+
+val attack_read_vm_page : t -> cpu:int -> pfn:int -> (int, [ `Denied ]) result
+val attack_write_vm_page : t -> cpu:int -> pfn:int -> int -> (unit, [ `Denied ]) result
+
+val attack_steal_page :
+  t -> cpu:int -> victim_pfn:int -> vmid:int -> ipa:int ->
+  (unit, [ `Denied ]) result
+
+val attack_dma_map : t -> cpu:int -> device:int -> pfn:int -> (unit, [ `Denied ]) result

@@ -1,0 +1,122 @@
+(** Unmodified KVM, as a model: the baseline the paper evaluates against
+    and the security foil its retrofit removes.
+
+    In mainline KVM the host kernel is trusted: it manages every VM's
+    stage-2 table directly, there is no ownership database, no scrubbing
+    on reuse, and the host's own mapping covers all of physical memory. A
+    compromised host can therefore read and write guest memory at will.
+    The [attack_*] functions mirror {!Kserv}'s and {e succeed} here — the
+    integration tests assert exactly that asymmetry. The structure also
+    serves the performance model: the hypercall paths do strictly less
+    work than KCore's (no ownership checks, no EL2 boundary crossing for
+    KServ work). *)
+
+open Machine
+
+type vm = {
+  vmid : int;
+  npt : Npt.t;
+  mutable vcpus : Vcpu_ctxt.t list;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  geometry : Page_table.geometry;
+  pool : Page_pool.t;
+  cpus : Cpu.t array;
+  trace : Trace.t;
+  mutable vms : (int * vm) list;
+  mutable next_vmid : int;
+  mutable free_pfns : int list;
+  mutable hypercalls : int;
+}
+
+let boot ~n_pages ~n_cpus ~tlb_capacity ~geometry =
+  let mem = Phys_mem.create n_pages in
+  let trace = Trace.create () in
+  trace.Trace.enabled <- false;
+  let pool_pages = min 192 (n_pages / 4) in
+  let pool = Page_pool.create ~name:"kvm-s2" ~mem ~first_pfn:16 ~n_pages:pool_pages in
+  { mem;
+    geometry;
+    pool;
+    cpus = Array.init n_cpus (fun id -> Cpu.create ~id ~tlb_capacity);
+    trace;
+    vms = [];
+    next_vmid = 1;
+    free_pfns = List.init (n_pages - 16 - pool_pages) (fun i -> 16 + pool_pages + i);
+    hypercalls = 0 }
+
+let find_vm t vmid =
+  match List.assoc_opt vmid t.vms with
+  | Some vm -> vm
+  | None -> invalid_arg "Kvm_baseline: unknown vmid"
+
+let register_vm t =
+  t.hypercalls <- t.hypercalls + 1;
+  let vmid = t.next_vmid in
+  t.next_vmid <- vmid + 1;
+  let npt =
+    Npt.create ~mem:t.mem ~geometry:t.geometry ~pool:t.pool ~vmid
+      ~trace:t.trace ~invalidate:(fun scope ->
+        Array.iter
+          (fun (c : Cpu.t) ->
+            match scope with
+            | Trace.Tlbi_all -> Tlb.invalidate_all c.Cpu.tlb
+            | Trace.Tlbi_vmid v -> Tlb.invalidate_vmid c.Cpu.tlb ~vmid:v
+            | Trace.Tlbi_va (v, vp) -> Tlb.invalidate_va c.Cpu.tlb ~vmid:v ~vp
+            | Trace.Tlbi_smmu_dev _ -> ())
+          t.cpus)
+  in
+  t.vms <- (vmid, { vmid; npt; vcpus = [] }) :: t.vms;
+  vmid
+
+let register_vcpu t ~vmid ~vcpuid =
+  let vm = find_vm t vmid in
+  vm.vcpus <- Vcpu_ctxt.create ~vmid ~vcpuid :: vm.vcpus
+
+exception Out_of_memory
+
+let alloc_page t =
+  match t.free_pfns with
+  | [] -> raise Out_of_memory
+  | pfn :: rest ->
+      t.free_pfns <- rest;
+      pfn
+
+(** The host maps whatever page it likes into whatever VM it likes; no
+    ownership validation, no scrub. *)
+let map_page t ~cpu ~vmid ~ipa ~pfn =
+  t.hypercalls <- t.hypercalls + 1;
+  let vm = find_vm t vmid in
+  match Npt.set_s2pt vm.npt ~cpu ~ipa ~pfn ~perms:Pte.rw with
+  | Ok () -> ()
+  | Error `Already_mapped -> ()
+
+(** Host (EL1) access: the host kernel's linear map covers all memory. *)
+let host_read t ~pfn ~idx = Phys_mem.read t.mem ~pfn ~idx
+let host_write t ~pfn ~idx v = Phys_mem.write t.mem ~pfn ~idx v
+
+let guest_read t ~cpu ~vmid ~addr =
+  let vm = find_vm t vmid in
+  let c = t.cpus.(cpu) in
+  let vp = Page_table.va_page addr in
+  match Tlb.lookup c.Cpu.tlb ~vmid ~vp with
+  | Some (pfn, _) -> Ok (Phys_mem.read t.mem ~pfn ~idx:0)
+  | None -> (
+      match Npt.translate vm.npt ~ipa:addr with
+      | Some (pfn, perms) ->
+          Tlb.fill c.Cpu.tlb ~vmid ~vp ~pfn ~perms;
+          Ok (Phys_mem.read t.mem ~pfn ~idx:0)
+      | None -> Error `Fault)
+
+(** Attacks from a compromised host: all succeed on unmodified KVM. *)
+let attack_read_vm_page t ~pfn = Ok (host_read t ~pfn ~idx:0)
+
+let attack_write_vm_page t ~pfn v =
+  host_write t ~pfn ~idx:0 v;
+  Ok ()
+
+let attack_steal_page t ~cpu ~victim_pfn ~vmid ~ipa =
+  map_page t ~cpu ~vmid ~ipa ~pfn:victim_pfn;
+  Ok ()

@@ -1,0 +1,46 @@
+(** Unmodified KVM, as a model: the paper's performance baseline and
+    security foil. The host kernel is trusted — it manages every VM's
+    stage 2 directly, there is no ownership database and no scrubbing, so
+    the host attacks that SeKVM denies all {e succeed} here. *)
+
+open Machine
+
+type vm = { vmid : int; npt : Npt.t; mutable vcpus : Vcpu_ctxt.t list }
+
+type t = {
+  mem : Phys_mem.t;
+  geometry : Page_table.geometry;
+  pool : Page_pool.t;
+  cpus : Cpu.t array;
+  trace : Trace.t;
+  mutable vms : (int * vm) list;
+  mutable next_vmid : int;
+  mutable free_pfns : int list;
+  mutable hypercalls : int;
+}
+
+val boot :
+  n_pages:int -> n_cpus:int -> tlb_capacity:int ->
+  geometry:Page_table.geometry -> t
+
+val find_vm : t -> int -> vm
+val register_vm : t -> int
+val register_vcpu : t -> vmid:int -> vcpuid:int -> unit
+
+exception Out_of_memory
+
+val alloc_page : t -> int
+
+val map_page : t -> cpu:int -> vmid:int -> ipa:int -> pfn:int -> unit
+(** No ownership validation, no scrub. *)
+
+val host_read : t -> pfn:int -> idx:int -> int
+(** The host's linear map covers all memory. *)
+
+val host_write : t -> pfn:int -> idx:int -> int -> unit
+val guest_read : t -> cpu:int -> vmid:int -> addr:int -> (int, [ `Fault ]) result
+
+val attack_read_vm_page : t -> pfn:int -> (int, unit) result
+val attack_write_vm_page : t -> pfn:int -> int -> (unit, unit) result
+val attack_steal_page :
+  t -> cpu:int -> victim_pfn:int -> vmid:int -> ipa:int -> (unit, unit) result

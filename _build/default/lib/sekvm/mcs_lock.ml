@@ -1,0 +1,213 @@
+(** MCS queue locks, runtime and DSL renditions.
+
+    The paper verifies SeKVM with Linux's ticket lock; CertiKOS's verified
+    MCS lock (Kim et al., APLAS'17) and VSync's push-button verification of
+    queue locks on weak memory are the natural comparison points. This
+    module extends the corpus with an MCS lock so the VRM checkers certify
+    a second, structurally different synchronization primitive: ownership
+    hand-off happens through per-CPU queue nodes rather than a global
+    ticket, the atomic operations are exchange and compare-and-swap rather
+    than fetch-and-increment, and the barriers sit in different places
+    (acquire on the spin-load and on the tail exchange; release on the
+    successor hand-off store and on the tail CAS).
+
+    {b Runtime lock} — a queue of CPU ids with the same discipline-checking
+    role as {!Ticket_lock}: in the handler-granularity simulator it
+    verifies usage (acquire of a held lock is a bug) and counts queuing.
+
+    {b DSL rendition} — the classic two-word-per-CPU MCS protocol:
+
+    {v
+    acquire(i):  next[i] := NIL; locked[i] := 1;
+                 pred := XCHG(tail, i)          (acquire+release)
+                 if pred != NIL:
+                     next[pred] := i
+                     while LDAR(locked[i]) = 1: spin
+    release(i):  old := CAS(tail, i, NIL)       (release)
+                 if old != i:                    (a successor exists/arrives)
+                     while next[i] = NIL: spin
+                     STLR(locked[next[i]]) := 0
+    v}
+
+    CPU ids are encoded off-by-one ([i+1]) so that 0 serves as NIL. *)
+
+open Memmodel
+
+(* ------------------------------------------------------------------ *)
+(* Runtime lock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  mutable queue : int list;  (** waiting CPUs, head = owner *)
+  mutable acquisitions : int;
+  mutable max_queue : int;
+}
+
+exception Lock_error of string
+
+let create name = { name; queue = []; acquisitions = 0; max_queue = 0 }
+
+let acquire t ~cpu =
+  if List.mem cpu t.queue then
+    raise
+      (Lock_error
+         (Printf.sprintf "mcs %s: CPU %d already queued" t.name cpu));
+  (match t.queue with
+  | [] -> ()
+  | owner :: _ ->
+      raise
+        (Lock_error
+           (Printf.sprintf
+              "mcs %s: CPU %d acquire while CPU %d holds it (simulator \
+               locks are handler-scoped)"
+              t.name cpu owner)));
+  t.queue <- [ cpu ];
+  t.acquisitions <- t.acquisitions + 1;
+  t.max_queue <- max t.max_queue (List.length t.queue)
+
+let release t ~cpu =
+  match t.queue with
+  | owner :: rest when owner = cpu -> t.queue <- rest
+  | owner :: _ ->
+      raise
+        (Lock_error
+           (Printf.sprintf "mcs %s: CPU %d releases lock held by %d" t.name
+              cpu owner))
+  | [] ->
+      raise (Lock_error (Printf.sprintf "mcs %s: release of free lock" t.name))
+
+let with_lock t ~cpu f =
+  acquire t ~cpu;
+  match f () with
+  | v ->
+      release t ~cpu;
+      v
+  | exception e ->
+      release t ~cpu;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* DSL rendition                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tail_base name = name ^ ".tail"
+let locked_base name = name ^ ".locked"
+let next_base name = name ^ ".next"
+
+let lock_bases name = [ tail_base name; locked_base name; next_base name ]
+
+let nil = 0
+
+(** [dsl_acquire ~barriers ~name ~protects ~cpu ()] — the queueing
+    protocol for CPU [cpu] (encoded as [cpu+1] in the queue words). *)
+let dsl_acquire ?(barriers = true) ~name ~protects ~cpu () : Instr.t list =
+  let me = cpu + 1 in
+  let pred = Reg.v (Printf.sprintf "%s.pred%d" name cpu) in
+  let lk = Reg.v (Printf.sprintf "%s.lk%d" name cpu) in
+  let tail = Expr.at (tail_base name) in
+  let locked i = Expr.at ~offset:i (locked_base name) in
+  let next i = Expr.at ~offset:i (next_base name) in
+  let xord = if barriers then Instr.Acq_rel else Instr.Plain in
+  let sord = if barriers then Instr.Acquire else Instr.Plain in
+  [ Instr.store (next (Expr.c me)) (Expr.c nil);
+    Instr.store (locked (Expr.c me)) (Expr.c 1);
+    Instr.xchg ~order:xord pred tail (Expr.c me);
+    Instr.if_
+      Expr.(r pred <> c nil)
+      [ (* link behind the predecessor and spin on our own flag *)
+        Instr.store (next Expr.(r pred)) (Expr.c me);
+        Instr.load ~order:sord lk (locked (Expr.c me));
+        Instr.while_ Expr.(r lk = c 1)
+          [ Instr.load ~order:sord lk (locked (Expr.c me)) ] ]
+      [];
+    Instr.pull protects ]
+
+(** [dsl_release ~barriers ~name ~protects ~cpu ()] — hand the lock to the
+    successor, or reset the tail if there is none. *)
+let dsl_release ?(barriers = true) ~name ~protects ~cpu () : Instr.t list =
+  let me = cpu + 1 in
+  let old = Reg.v (Printf.sprintf "%s.old%d" name cpu) in
+  let nxt = Reg.v (Printf.sprintf "%s.nxt%d" name cpu) in
+  let tail = Expr.at (tail_base name) in
+  let locked i = Expr.at ~offset:i (locked_base name) in
+  let next i = Expr.at ~offset:i (next_base name) in
+  let cord = if barriers then Instr.Release else Instr.Plain in
+  [ Instr.push protects;
+    Instr.cas ~order:cord old tail ~expected:(Expr.c me)
+      ~desired:(Expr.c nil);
+    Instr.if_
+      Expr.(r old <> c me)
+      [ (* someone queued behind us: wait for the link, then hand off *)
+        Instr.load nxt (next (Expr.c me));
+        Instr.while_ Expr.(r nxt = c nil)
+          [ Instr.load nxt (next (Expr.c me)) ];
+        (if barriers then
+           Instr.store_rel (locked Expr.(r nxt)) (Expr.c 0)
+         else Instr.store (locked Expr.(r nxt)) (Expr.c 0)) ]
+      [] ]
+
+let dsl_critical ?(barriers = true) ~name ~protects ~cpu body : Instr.t list
+    =
+  dsl_acquire ~barriers ~name ~protects ~cpu ()
+  @ body
+  @ dsl_release ~barriers ~name ~protects ~cpu ()
+
+(** The MCS-protected shared counter, as a corpus program: two CPUs each
+    increment [c] once inside the lock. *)
+let counter_prog ~barriers name : Prog.t =
+  let worker cpu =
+    Prog.thread (cpu + 1)
+      (dsl_critical ~barriers ~name:"m" ~protects:[ "c" ] ~cpu
+         [ Instr.load (Reg.v (Printf.sprintf "v%d" cpu)) (Expr.at "c");
+           Instr.store (Expr.at "c")
+             Expr.(r (Reg.v (Printf.sprintf "v%d" cpu)) + c 1) ])
+  in
+  Prog.make ~name
+    ~observables:[ Prog.Obs_loc (Loc.v "c") ]
+    ~shared_bases:("c" :: lock_bases "m")
+    [ worker 0; worker 1 ]
+
+(** A focused hand-off fragment for the relaxed-memory demonstration:
+    CPU 0 holds the lock with CPU 1 already queued behind it; CPU 0 writes
+    the protected data and releases (CAS on the tail fails, so it stores
+    to the successor's flag); CPU 1 spins on its flag and then reads the
+    data. Without the release/acquire annotations, the flag store can be
+    promised ahead of the data write and CPU 1 reads stale data — the MCS
+    shape of the paper's Example 3. *)
+let handoff_prog ~barriers name : Prog.t =
+  let locked i = Expr.at ~offset:(Expr.c i) (locked_base "m") in
+  let next i = Expr.at ~offset:(Expr.c i) (next_base "m") in
+  let tail = Expr.at (tail_base "m") in
+  let owner =
+    [ Instr.store (Expr.at "c") (Expr.c 42);
+      Instr.push [ "c" ] ]
+    @ [ Instr.cas
+          ~order:(if barriers then Instr.Release else Instr.Plain)
+          (Reg.v "old") tail ~expected:(Expr.c 1) ~desired:(Expr.c 0);
+        Instr.if_
+          Expr.(r (Reg.v "old") <> c 1)
+          [ Instr.load (Reg.v "nxt") (next 1);
+            (if barriers then
+               Instr.store_rel (locked 2) (Expr.c 0)
+             else Instr.store (locked 2) (Expr.c 0)) ]
+          [] ]
+  in
+  let waiter =
+    let ord = if barriers then Instr.Acquire else Instr.Plain in
+    [ Instr.load ~order:ord (Reg.v "lk") (locked 2);
+      Instr.while_
+        Expr.(r (Reg.v "lk") = c 1)
+        [ Instr.load ~order:ord (Reg.v "lk") (locked 2) ];
+      Instr.pull [ "c" ];
+      Instr.load (Reg.v "data") (Expr.at "c") ]
+  in
+  Prog.make ~name
+    ~init:
+      [ (Loc.v (tail_base "m"), 2);
+        (Loc.v ~index:1 (next_base "m"), 2);
+        (Loc.v ~index:2 (locked_base "m"), 1);
+        (Loc.v "c", 0) ]
+    ~observables:[ Prog.Obs_reg (2, Reg.v "data") ]
+    ~shared_bases:("c" :: lock_bases "m")
+    [ Prog.thread 1 owner; Prog.thread 2 waiter ]

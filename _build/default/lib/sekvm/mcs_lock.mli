@@ -1,0 +1,46 @@
+(** MCS queue locks, runtime and DSL renditions — the corpus extension
+    showing the VRM checkers certifying a second, structurally different
+    synchronization primitive (XCHG/CAS hand-off through per-CPU queue
+    nodes). *)
+
+type t = {
+  name : string;
+  mutable queue : int list;  (** waiting CPUs, head = owner *)
+  mutable acquisitions : int;
+  mutable max_queue : int;
+}
+
+exception Lock_error of string
+
+val create : string -> t
+val acquire : t -> cpu:int -> unit
+val release : t -> cpu:int -> unit
+val with_lock : t -> cpu:int -> (unit -> 'a) -> 'a
+
+(** {2 DSL rendition} *)
+
+val tail_base : string -> string
+val locked_base : string -> string
+val next_base : string -> string
+val lock_bases : string -> string list
+val nil : int
+
+val dsl_acquire :
+  ?barriers:bool -> name:string -> protects:string list -> cpu:int ->
+  unit -> Memmodel.Instr.t list
+
+val dsl_release :
+  ?barriers:bool -> name:string -> protects:string list -> cpu:int ->
+  unit -> Memmodel.Instr.t list
+
+val dsl_critical :
+  ?barriers:bool -> name:string -> protects:string list -> cpu:int ->
+  Memmodel.Instr.t list -> Memmodel.Instr.t list
+
+val counter_prog : barriers:bool -> string -> Memmodel.Prog.t
+(** Two CPUs increment a shared counter under the MCS lock. *)
+
+val handoff_prog : barriers:bool -> string -> Memmodel.Prog.t
+(** The focused owner-to-queued-waiter hand-off fragment; without
+    barriers the flag store can be promised ahead of the protected write
+    (the MCS shape of Example 3). *)

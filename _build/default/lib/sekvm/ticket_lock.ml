@@ -1,0 +1,119 @@
+(** Ticket locks, in two renditions.
+
+    {b Runtime lock} — used by the executable hypervisor simulation. The
+    simulator interleaves CPUs at handler granularity, so the lock acts as
+    a discipline checker (acquire of a held lock or release by a non-holder
+    is a bug in our hypervisor logic) and a contention counter feeding the
+    performance model.
+
+    {b DSL rendition} — the Linux arm64 ticket lock of the paper's Fig. 7,
+    as a kernel-DSL instruction sequence: [fetch_and_inc] on [ticket],
+    acquire-loads of [now] in the spin loop, release-store on unlock, plus
+    the [pull]/[push] ghost annotations right where Fig. 7 places them.
+    [barriers:false] gives the §2 Example 2 variant that is correct on SC
+    and broken on Arm. These program fragments are what the VRM checkers
+    (DRF-Kernel, No-Barrier-Misuse) analyze. *)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime lock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  mutable ticket : int;
+  mutable now : int;
+  mutable holder : int option;  (** CPU id *)
+  mutable acquisitions : int;
+  mutable contentions : int;  (** acquires that found the lock held *)
+}
+
+exception Lock_error of string
+
+let create name =
+  { name; ticket = 0; now = 0; holder = None; acquisitions = 0; contentions = 0 }
+
+let acquire t ~cpu =
+  (match t.holder with
+  | Some c ->
+      t.contentions <- t.contentions + 1;
+      raise
+        (Lock_error
+           (Printf.sprintf "lock %s: CPU %d acquire while held by CPU %d"
+              t.name cpu c))
+  | None -> ());
+  let my = t.ticket in
+  t.ticket <- t.ticket + 1;
+  if my <> t.now then
+    raise (Lock_error (Printf.sprintf "lock %s: ticket skew" t.name));
+  t.holder <- Some cpu;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t ~cpu =
+  match t.holder with
+  | Some c when c = cpu ->
+      t.holder <- None;
+      t.now <- t.now + 1
+  | Some c ->
+      raise
+        (Lock_error
+           (Printf.sprintf "lock %s: CPU %d releases lock held by CPU %d"
+              t.name cpu c))
+  | None ->
+      raise
+        (Lock_error (Printf.sprintf "lock %s: release of free lock" t.name))
+
+let holder t = t.holder
+let is_held t = t.holder <> None
+
+(** Run [f] with the lock held; the canonical usage inside KCore. *)
+let with_lock t ~cpu f =
+  acquire t ~cpu;
+  match f () with
+  | v ->
+      release t ~cpu;
+      v
+  | exception e ->
+      release t ~cpu;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* DSL rendition (Fig. 7)                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Memmodel
+
+(** Shared-variable bases of a DSL lock instance. *)
+let ticket_base name = name ^ ".ticket"
+let now_base name = name ^ ".now"
+
+let lock_bases name = [ ticket_base name; now_base name ]
+
+(** [dsl_acquire ~barriers ~name ~protects] — Fig. 7 lines 1-5. The
+    [pull] of the protected footprint sits right after the spin loop, as
+    in the figure. *)
+let dsl_acquire ?(barriers = true) ~name ~protects () : Instr.t list =
+  let my = Reg.v (name ^ ".my_ticket") in
+  let cur = Reg.v (name ^ ".cur") in
+  let ticket = Expr.at (ticket_base name) in
+  let now = Expr.at (now_base name) in
+  let ord = if barriers then Instr.Acquire else Instr.Plain in
+  [ Instr.faa ~order:ord my ticket (Expr.c 1);
+    Instr.load ~order:ord cur now;
+    Instr.while_ Expr.(r cur <> r my) [ Instr.load ~order:ord cur now ];
+    Instr.pull protects ]
+
+(** [dsl_release ~barriers ~name ~protects] — Fig. 7 lines 6-8:
+    [push(); now++(release)]. The releasing store uses the holder's ticket
+    (now = my_ticket while the lock is held). *)
+let dsl_release ?(barriers = true) ~name ~protects () : Instr.t list =
+  let my = Reg.v (name ^ ".my_ticket") in
+  let now = Expr.at (now_base name) in
+  [ Instr.push protects;
+    (if barriers then Instr.store_rel now Expr.(r my + c 1)
+     else Instr.store now Expr.(r my + c 1)) ]
+
+(** A whole critical section: acquire; body; release. *)
+let dsl_critical ?(barriers = true) ~name ~protects body : Instr.t list =
+  dsl_acquire ~barriers ~name ~protects ()
+  @ body
+  @ dsl_release ~barriers ~name ~protects ()

@@ -1,0 +1,49 @@
+(** Ticket locks, in two renditions: a runtime lock for the executable
+    hypervisor (usage-discipline checking + contention stats) and the
+    Linux arm64 ticket lock of the paper's Fig. 7 as a kernel-DSL fragment
+    (with [barriers:false] giving the §2 Example 2 variant). *)
+
+type t = {
+  name : string;
+  mutable ticket : int;
+  mutable now : int;
+  mutable holder : int option;  (** CPU id *)
+  mutable acquisitions : int;
+  mutable contentions : int;
+}
+
+exception Lock_error of string
+
+val create : string -> t
+
+val acquire : t -> cpu:int -> unit
+(** Raises {!Lock_error} if held: simulator locks are handler-scoped, so
+    an acquire of a held lock is a hypervisor bug, not contention. *)
+
+val release : t -> cpu:int -> unit
+val holder : t -> int option
+val is_held : t -> bool
+
+val with_lock : t -> cpu:int -> (unit -> 'a) -> 'a
+(** Exception-safe acquire/release bracket. *)
+
+(** {2 DSL rendition (Fig. 7)} *)
+
+val ticket_base : string -> string
+val now_base : string -> string
+val lock_bases : string -> string list
+
+val dsl_acquire :
+  ?barriers:bool -> name:string -> protects:string list -> unit ->
+  Memmodel.Instr.t list
+(** Fig. 7 lines 1–5: fetch-and-inc, acquire-load spin, then the [pull]
+    of the protected footprint. *)
+
+val dsl_release :
+  ?barriers:bool -> name:string -> protects:string list -> unit ->
+  Memmodel.Instr.t list
+(** Fig. 7 lines 6–8: [push]; release-store of [now]. *)
+
+val dsl_critical :
+  ?barriers:bool -> name:string -> protects:string list ->
+  Memmodel.Instr.t list -> Memmodel.Instr.t list

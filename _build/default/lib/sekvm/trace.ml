@@ -1,0 +1,73 @@
+(** Execution-trace recorder for KCore.
+
+    Every page-table write, barrier, TLB invalidation and lock transition
+    performed by the hypervisor is recorded; the VRM condition checkers
+    (Write-Once-Kernel-Mapping, Transactional-Page-Table,
+    Sequential-TLB-Invalidation) are judgments over these traces, so the
+    conditions are checked against what the implementation {e actually
+    did}, not just against its source text. *)
+
+type table_id =
+  | T_el2  (** KCore's own EL2 page table *)
+  | T_stage2 of int  (** stage-2 table of VMID *)
+  | T_smmu of int  (** SMMU table of device id *)
+[@@deriving show, eq, ord]
+
+type tlbi_scope =
+  | Tlbi_vmid of int
+  | Tlbi_va of int * int  (** vmid, virtual page *)
+  | Tlbi_smmu_dev of int
+  | Tlbi_all
+[@@deriving show, eq]
+
+type event =
+  | E_pt_write of {
+      cpu : int;
+      table : table_id;
+      write : Machine.Page_table.pt_write;
+      locked : bool;  (** was the owning lock held? *)
+    }
+  | E_dsb of int  (** cpu *)
+  | E_tlbi of { cpu : int; scope : tlbi_scope }
+  | E_lock_acquire of { cpu : int; lock : string }
+  | E_lock_release of { cpu : int; lock : string }
+  | E_mem_read of { cpu : int; pfn : int; owner : Machine.S2page.owner }
+      (** KCore reads of non-KCore-owned memory (Weak-Memory-Isolation) *)
+  | E_oracle_read of { cpu : int; pfn : int }
+      (** same read, but routed through the data oracle *)
+  | E_section_begin of { cpu : int; what : string }
+  | E_section_end of { cpu : int; what : string }
+
+type t = { mutable events : event list (* newest first *); mutable enabled : bool }
+
+let create () = { events = []; enabled = true }
+
+let record t e = if t.enabled then t.events <- e :: t.events
+
+let events t = List.rev t.events
+
+let clear t = t.events <- []
+
+let length t = List.length t.events
+
+(** Events between matching section markers, per cpu. *)
+let sections t ~what =
+  let rec go acc cur = function
+    | [] -> List.rev acc
+    | E_section_begin { cpu; what = w } :: rest when w = what ->
+        go acc ((cpu, ref []) :: cur) rest
+    | E_section_end { cpu; what = w } :: rest when w = what ->
+        let finished, still =
+          List.partition (fun (c, _) -> c = cpu) cur
+        in
+        let acc =
+          List.fold_left
+            (fun acc (_, evs) -> (List.rev !evs) :: acc)
+            acc finished
+        in
+        go acc still rest
+    | e :: rest ->
+        List.iter (fun (_, evs) -> evs := e :: !evs) cur;
+        go acc cur rest
+  in
+  go [] [] (events t)

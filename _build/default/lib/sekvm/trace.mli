@@ -1,0 +1,55 @@
+(** Execution-trace recorder for KCore. Every page-table write, barrier,
+    TLB invalidation, lock transition and user-memory read is recorded;
+    the trace-based wDRF checkers (Write-Once, Sequential-TLB-Invalidation,
+    Memory-Isolation) are judgments over what the implementation
+    {e actually did}. *)
+
+type table_id =
+  | T_el2  (** KCore's own EL2 page table *)
+  | T_stage2 of int  (** stage-2 table of VMID *)
+  | T_smmu of int  (** SMMU table of device id *)
+
+type tlbi_scope =
+  | Tlbi_vmid of int
+  | Tlbi_va of int * int  (** vmid, virtual page *)
+  | Tlbi_smmu_dev of int
+  | Tlbi_all
+
+type event =
+  | E_pt_write of {
+      cpu : int;
+      table : table_id;
+      write : Machine.Page_table.pt_write;
+      locked : bool;  (** was the owning lock held? *)
+    }
+  | E_dsb of int  (** cpu *)
+  | E_tlbi of { cpu : int; scope : tlbi_scope }
+  | E_lock_acquire of { cpu : int; lock : string }
+  | E_lock_release of { cpu : int; lock : string }
+  | E_mem_read of { cpu : int; pfn : int; owner : Machine.S2page.owner }
+      (** a raw KCore read of non-KCore memory (an isolation violation) *)
+  | E_oracle_read of { cpu : int; pfn : int }
+      (** a user-memory read routed through the data oracle *)
+  | E_section_begin of { cpu : int; what : string }
+  | E_section_end of { cpu : int; what : string }
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+val length : t -> int
+
+val sections : t -> what:string -> event list list
+(** Events between matching per-CPU section markers. *)
+
+val pp_table_id : Format.formatter -> table_id -> unit
+val show_table_id : table_id -> string
+val equal_table_id : table_id -> table_id -> bool
+val compare_table_id : table_id -> table_id -> int
+val pp_tlbi_scope : Format.formatter -> tlbi_scope -> unit
+val show_tlbi_scope : tlbi_scope -> string
+val equal_tlbi_scope : tlbi_scope -> tlbi_scope -> bool

@@ -1,0 +1,79 @@
+(** vCPU contexts and the ACTIVE/INACTIVE ownership protocol (paper §5.2,
+    Example 3).
+
+    A vCPU context is not protected by a lock but by a state variable:
+    before touching a context, a physical CPU must observe INACTIVE, set
+    ACTIVE, and only then access the registers; when done it stores the
+    registers and only afterwards sets INACTIVE (with release semantics on
+    real hardware). The runtime protocol here enforces the discipline —
+    violating it raises — and the DSL rendition for the relaxed-memory
+    checkers lives in {!Kernel_progs}. *)
+
+type state = Inactive | Active [@@deriving show, eq]
+
+type t = {
+  vmid : int;
+  vcpuid : int;
+  mutable vstate : state;
+  mutable claimed_by : int option;  (** physical CPU currently using it *)
+  regs : int array;  (** general-purpose registers x0..x30 + pc + pstate *)
+  mutable runs : int;
+}
+
+let n_regs = 33
+
+exception Protocol_violation of string
+
+let create ~vmid ~vcpuid =
+  { vmid;
+    vcpuid;
+    vstate = Inactive;
+    claimed_by = None;
+    regs = Array.make n_regs 0;
+    runs = 0 }
+
+(** Claim the context for [cpu]: check INACTIVE, set ACTIVE. *)
+let claim t ~cpu =
+  (match t.vstate with
+  | Active ->
+      raise
+        (Protocol_violation
+           (Printf.sprintf "vCPU %d/%d claimed while ACTIVE (by CPU %d)"
+              t.vmid t.vcpuid cpu))
+  | Inactive -> ());
+  t.vstate <- Active;
+  t.claimed_by <- Some cpu;
+  t.runs <- t.runs + 1
+
+(** Release the context: the claiming CPU stores the registers first, then
+    flips the state back (store-release on hardware). *)
+let release t ~cpu =
+  (match t.claimed_by with
+  | Some c when c = cpu -> ()
+  | _ ->
+      raise
+        (Protocol_violation
+           (Printf.sprintf "vCPU %d/%d released by non-claiming CPU %d"
+              t.vmid t.vcpuid cpu)));
+  t.claimed_by <- None;
+  t.vstate <- Inactive
+
+let read_reg t i =
+  (match t.claimed_by with
+  | Some _ -> ()
+  | None ->
+      raise
+        (Protocol_violation
+           (Printf.sprintf "vCPU %d/%d register read while unclaimed" t.vmid
+              t.vcpuid)));
+  t.regs.(i)
+
+let write_reg t i v =
+  (match t.claimed_by with
+  | Some _ -> ()
+  | None ->
+      raise
+        (Protocol_violation
+           (Printf.sprintf "vCPU %d/%d register write while unclaimed" t.vmid
+              t.vcpuid)));
+  t.regs.(i) <- v

@@ -1,0 +1,29 @@
+(** vCPU contexts and the ACTIVE/INACTIVE ownership protocol (paper §5.2,
+    Example 3): a physical CPU claims a context by observing INACTIVE and
+    setting ACTIVE, accesses the registers only while claiming, and
+    releases by storing the registers and flipping the flag back. *)
+
+type state = Inactive | Active
+
+type t = {
+  vmid : int;
+  vcpuid : int;
+  mutable vstate : state;
+  mutable claimed_by : int option;
+  regs : int array;
+  mutable runs : int;
+}
+
+val n_regs : int
+
+exception Protocol_violation of string
+
+val create : vmid:int -> vcpuid:int -> t
+val claim : t -> cpu:int -> unit
+val release : t -> cpu:int -> unit
+val read_reg : t -> int -> int
+val write_reg : t -> int -> int -> unit
+
+val pp_state : Format.formatter -> state -> unit
+val show_state : state -> string
+val equal_state : state -> state -> bool

@@ -1,0 +1,35 @@
+(** A minimal in-kernel virtual interrupt controller (vGIC-lite).
+
+    Per-VM pending state for software-generated interrupts (SGIs — the
+    virtual IPIs of Table 2's fourth microbenchmark) and private
+    interrupts. The real vGIC's distributor/redistributor machinery is
+    reduced to the part the hypervisor paths exercise: injecting an
+    interrupt for a target vCPU and letting that vCPU acknowledge it in
+    FIFO order. *)
+
+type t = {
+  mutable pending : (int * int) list;  (** (vcpuid, irq), oldest first *)
+  mutable injected : int;
+  mutable acked : int;
+}
+
+let create () = { pending = []; injected = 0; acked = 0 }
+
+let inject t ~vcpuid ~irq =
+  t.pending <- t.pending @ [ (vcpuid, irq) ];
+  t.injected <- t.injected + 1
+
+(** Acknowledge (pop) the oldest pending interrupt of [vcpuid]. *)
+let take t ~vcpuid : int option =
+  let rec go acc = function
+    | [] -> None
+    | (v, irq) :: rest when v = vcpuid ->
+        t.pending <- List.rev_append acc rest;
+        t.acked <- t.acked + 1;
+        Some irq
+    | e :: rest -> go (e :: acc) rest
+  in
+  go [] t.pending
+
+let pending t ~vcpuid =
+  List.length (List.filter (fun (v, _) -> v = vcpuid) t.pending)

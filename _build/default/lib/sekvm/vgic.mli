@@ -1,0 +1,14 @@
+(** A minimal in-kernel virtual interrupt controller: per-VM pending
+    state for software-generated interrupts (the virtual IPIs of Table
+    2), with FIFO acknowledge per vCPU. *)
+
+type t = {
+  mutable pending : (int * int) list;  (** (vcpuid, irq), oldest first *)
+  mutable injected : int;
+  mutable acked : int;
+}
+
+val create : unit -> t
+val inject : t -> vcpuid:int -> irq:int -> unit
+val take : t -> vcpuid:int -> int option
+val pending : t -> vcpuid:int -> int

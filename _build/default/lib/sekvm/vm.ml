@@ -1,0 +1,63 @@
+(** Guest virtual machines: workloads expressed as sequences of guest
+    operations against guest-physical (IPA) addresses.
+
+    A guest op either touches memory (translated through the VM's stage-2
+    table and the running CPU's TLB by {!Kcore.access_read}/[access_write]),
+    issues a hypercall (page sharing for paravirtual I/O), or spins on
+    compute. Stage-2 faults exit to the host; {!Kserv.run_guest} is the
+    driver that resolves them and re-enters the guest — the same exit/enter
+    loop as real KVM. *)
+
+type guest_op =
+  | G_read of int  (** load from IPA *)
+  | G_write of int * int  (** store value to IPA *)
+  | G_share of int  (** hypercall: share the page holding IPA with KServ *)
+  | G_unshare of int
+  | G_compute of int  (** busy work: no hypervisor involvement *)
+  | G_ipi of int * int  (** SGI to (vcpuid, irq): Table 2's Virtual IPI *)
+  | G_ack_irq  (** acknowledge the oldest pending interrupt *)
+  | G_uart_putc of int  (** MMIO write to the userspace-emulated UART *)
+  | G_uart_getc  (** MMIO read: external input via the data oracle *)
+  | G_protect of int  (** hypercall: write-protect the page holding IPA *)
+  | G_set_reg of int * int  (** write a guest general-purpose register *)
+  | G_get_reg of int  (** read a guest general-purpose register *)
+[@@deriving show, eq]
+
+(** Outcome of a single guest operation. *)
+type op_result =
+  | R_value of int
+  | R_unit
+  | R_denied
+[@@deriving show, eq]
+
+(** A tiny "boot payload": page contents a VM image is made of. The
+    checksum over these pages is the image hash KServ must present. *)
+let image_words ~vmid ~page i = (vmid * 0x1000) + (page * 0x10) + (i mod 7)
+
+let write_image mem ~vmid pfns =
+  List.iteri
+    (fun page pfn ->
+      for i = 0 to Machine.Phys_mem.entries_per_page - 1 do
+        Machine.Phys_mem.write mem ~pfn ~idx:i (image_words ~vmid ~page i)
+      done)
+    pfns
+
+let image_hash mem pfns =
+  List.fold_left
+    (fun acc pfn -> (acc * 0x01000193) lxor Machine.Phys_mem.digest_page mem pfn)
+    0x811c9dc5 pfns
+
+(** Simple guest workloads used by the examples and tests. *)
+let touch_pages ~first_ipa_page ~n : guest_op list =
+  List.concat
+    (List.init n (fun i ->
+         let ipa = Machine.Page_table.page_va (first_ipa_page + i) in
+         [ G_write (ipa, 0xbeef + i); G_read ipa ]))
+
+(** An IPI ping-pong: vCPU [me] signals [peer] and drains its own queue. *)
+let ipi_round ~peer ~rounds : guest_op list =
+  List.concat (List.init rounds (fun i -> [ G_ipi (peer, i mod 16); G_ack_irq ]))
+
+let virtio_round ~ring_ipa ~payload : guest_op list =
+  [ G_share ring_ipa; G_write (ring_ipa, payload); G_read ring_ipa;
+    G_unshare ring_ipa ]

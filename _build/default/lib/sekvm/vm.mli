@@ -1,0 +1,38 @@
+(** Guest virtual machines: workloads as sequences of guest operations
+    against guest-physical (IPA) addresses, executed by the
+    {!Kserv.run_guest} exit/enter loop. *)
+
+type guest_op =
+  | G_read of int  (** load from IPA *)
+  | G_write of int * int  (** store value to IPA *)
+  | G_share of int  (** hypercall: share the page holding IPA with KServ *)
+  | G_unshare of int
+  | G_compute of int  (** busy work: no hypervisor involvement *)
+  | G_ipi of int * int  (** SGI to (vcpuid, irq): Table 2's Virtual IPI *)
+  | G_ack_irq  (** acknowledge the oldest pending interrupt *)
+  | G_uart_putc of int  (** MMIO write to the userspace-emulated UART *)
+  | G_uart_getc  (** MMIO read: external input via the data oracle *)
+  | G_protect of int  (** hypercall: write-protect the page holding IPA *)
+  | G_set_reg of int * int  (** write a guest general-purpose register *)
+  | G_get_reg of int  (** read a guest general-purpose register *)
+
+type op_result = R_value of int | R_unit | R_denied
+
+val pp_guest_op : Format.formatter -> guest_op -> unit
+val show_guest_op : guest_op -> string
+val equal_guest_op : guest_op -> guest_op -> bool
+val pp_op_result : Format.formatter -> op_result -> unit
+val show_op_result : op_result -> string
+val equal_op_result : op_result -> op_result -> bool
+
+val image_words : vmid:int -> page:int -> int -> int
+(** Deterministic VM-image content: word [i] of [page]. *)
+
+val write_image : Machine.Phys_mem.t -> vmid:int -> int list -> unit
+val image_hash : Machine.Phys_mem.t -> int list -> int
+
+(** {2 Canned workloads} *)
+
+val touch_pages : first_ipa_page:int -> n:int -> guest_op list
+val ipi_round : peer:int -> rounds:int -> guest_op list
+val virtio_round : ring_ipa:int -> payload:int -> guest_op list

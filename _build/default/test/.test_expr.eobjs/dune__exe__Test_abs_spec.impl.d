@@ -1,0 +1,1 @@
+test/test_abs_spec.ml: Abs_spec Alcotest Format Kcore Kserv List Machine QCheck QCheck_alcotest Result Sekvm Vm Vrm

@@ -1,0 +1,1 @@
+test/test_abs_spec.mli:

@@ -1,0 +1,1 @@
+test/test_axiomatic.ml: Alcotest Axiomatic Behavior Expr Format Instr List Litmus Litmus_suite Loc Memmodel Paper_examples Printf Prog Promising QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_checkers.ml: Alcotest El2_pt Expr Instr Kcore Kernel_progs Kserv List Loc Machine Memmodel Npt Page_table Prog Pte S2page Sekvm Smmu Smmu_ops Trace Vrm

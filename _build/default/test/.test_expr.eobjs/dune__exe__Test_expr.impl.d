@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Instr List Loc Memmodel QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Kcore Kserv List Machine Mmu_walker Npt Page_pool Page_table Perf Phys_mem Pte QCheck QCheck_alcotest Sekvm String Vgic Vm Vrm

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Format Kcore Kserv List Machine Page_table Phys_mem QCheck QCheck_alcotest Sekvm String Vm Vrm

@@ -1,0 +1,1 @@
+test/test_kcore.ml: Alcotest Array Cpu El2_pt Kcore Kserv List Machine Npt Option Page_table Phys_mem Pte S2page Sekvm String Tlb Vcpu_ctxt Vm Vrm

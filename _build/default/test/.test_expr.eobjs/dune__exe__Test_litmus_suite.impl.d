@@ -1,0 +1,1 @@
+test/test_litmus_suite.ml: Alcotest List Litmus Litmus_suite Memmodel Prog Vrm

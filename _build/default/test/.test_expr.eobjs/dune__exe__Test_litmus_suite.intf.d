@@ -1,0 +1,1 @@
+test/test_litmus_suite.mli:

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Behavior Expr Instr List Loc Memmodel Prog Pushpull Reg Sekvm Ticket_lock Vrm

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Machine Page_pool Page_table Phys_mem Pte QCheck QCheck_alcotest S2page

@@ -1,0 +1,1 @@
+test/test_mcs.ml: Alcotest Behavior Expr Instr Kernel_progs List Loc Mcs_lock Memmodel Prog Promising Pushpull Reg Sc Sekvm Vrm

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Array Kcore Kserv List Machine Page_table Phys_mem S2page Sekvm Vm Vrm

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Behavior Expr Format Instr Kcore Kserv Kvm_baseline List Litmus Loc Machine Memmodel Npt Paper_examples Prog Promising Pushpull Reg Sc Sekvm String Trace Vm Vrm

@@ -1,0 +1,1 @@
+test/test_model_based.ml: Alcotest Behavior Expr Hashtbl Instr List Loc Machine Memmodel Page_pool Page_table Phys_mem Printf Prog Promising Pte QCheck QCheck_alcotest Reg Sc Tlb

@@ -1,0 +1,1 @@
+test/test_partial_order.ml: Alcotest List Loc Memmodel Partial_order Prog Pushpull Sekvm Vrm

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest App_sim Cost_model Float List Micro Multi_vm Perf Printf QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_promising.ml: Alcotest Behavior Expr Instr List Litmus Litmus_suite Loc Memmodel Option Paper_examples Printf Prog Promising QCheck QCheck_alcotest Reg Sc

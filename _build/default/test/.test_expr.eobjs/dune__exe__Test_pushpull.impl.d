@@ -1,0 +1,1 @@
+test/test_pushpull.ml: Alcotest Behavior Expr Instr List Loc Memmodel Prog Pushpull Reg Result Sekvm

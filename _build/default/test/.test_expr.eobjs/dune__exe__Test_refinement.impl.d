@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Behavior List Litmus Loc Memmodel Paper_examples Prog Promising Reg Sc Sekvm Vrm

@@ -1,0 +1,1 @@
+test/test_sc.ml: Alcotest Behavior Expr Instr List Loc Memmodel Prog QCheck QCheck_alcotest Reg Sc

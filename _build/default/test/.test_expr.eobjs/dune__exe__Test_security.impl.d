@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Data_oracle Kcore Kserv Kvm_baseline List Machine Npt Page_table Phys_mem Sekvm Vm Vrm

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest List Litmus Memmodel Paper_examples Promising Refinement Sekvm String Synthesis Vrm

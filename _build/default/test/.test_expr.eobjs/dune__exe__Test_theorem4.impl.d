@@ -1,0 +1,1 @@
+test/test_theorem4.ml: Alcotest Behavior Litmus Memmodel Paper_examples Promising Sc Sekvm Theorem4 Vrm

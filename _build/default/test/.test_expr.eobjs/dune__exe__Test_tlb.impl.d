@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest List Machine Option Page_pool Page_table Phys_mem Pte QCheck QCheck_alcotest Smmu Tlb Tlb_sim

@@ -1,0 +1,1 @@
+test/test_tso.ml: Alcotest Behavior Expr Instr List Litmus Litmus_suite Loc Memmodel Paper_examples Printf Prog Promising QCheck QCheck_alcotest Reg Sc Tso

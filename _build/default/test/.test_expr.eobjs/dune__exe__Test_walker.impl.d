@@ -1,0 +1,1 @@
+test/test_walker.ml: Alcotest List Machine Mmu_walker Page_pool Page_table Phys_mem Pte QCheck QCheck_alcotest

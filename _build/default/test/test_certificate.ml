@@ -1,0 +1,113 @@
+(* End-to-end certification tests: the full wDRF certificate for both
+   stage-2 geometries, the per-program expectations of the corpus, and
+   the structure of the report. *)
+
+let test_certify_4level () =
+  let r =
+    Vrm.Certificate.certify
+      { Sekvm.Kernel_progs.linux = "4.18"; stage2_levels = 4 }
+  in
+  Alcotest.(check bool) "certified" true r.Vrm.Certificate.certified
+
+let test_certify_3level () =
+  let r =
+    Vrm.Certificate.certify
+      { Sekvm.Kernel_progs.linux = "5.4"; stage2_levels = 3 }
+  in
+  Alcotest.(check bool) "certified" true r.Vrm.Certificate.certified
+
+let test_program_audits_match_expectations () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let p = Vrm.Certificate.audit_program e in
+      Alcotest.(check bool)
+        (e.Sekvm.Kernel_progs.name ^ " as expected")
+        true p.Vrm.Certificate.as_expected)
+    (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus)
+
+let test_buggy_fail_the_right_condition () =
+  let audit e = Vrm.Certificate.audit_program e in
+  let p = audit Sekvm.Kernel_progs.vmid_alloc_nobarrier in
+  Alcotest.(check bool) "nobarrier: drf still holds" true
+    p.Vrm.Certificate.drf.Vrm.Check_drf.holds;
+  Alcotest.(check bool) "nobarrier: barrier check fails" false
+    p.Vrm.Certificate.barrier.Vrm.Check_barrier.holds;
+  let p = audit Sekvm.Kernel_progs.unlocked_counter in
+  Alcotest.(check bool) "unlocked: drf fails" false
+    p.Vrm.Certificate.drf.Vrm.Check_drf.holds;
+  Alcotest.(check bool) "unlocked: barrier vacuously holds" true
+    p.Vrm.Certificate.barrier.Vrm.Check_barrier.holds
+
+let test_system_report_details () =
+  let r =
+    Vrm.Certificate.certify
+      { Sekvm.Kernel_progs.linux = "4.18"; stage2_levels = 4 }
+  in
+  let s = r.Vrm.Certificate.system in
+  Alcotest.(check bool) "write-once" true
+    s.Vrm.Certificate.write_once.Vrm.Check_write_once.holds;
+  Alcotest.(check bool) "tlbi" true s.Vrm.Certificate.tlbi.Vrm.Check_tlbi.holds;
+  Alcotest.(check bool) "tlbi checked unmaps" true
+    (s.Vrm.Certificate.tlbi.Vrm.Check_tlbi.unmaps_checked > 0);
+  Alcotest.(check bool) "deep map multi-write" true
+    (s.Vrm.Certificate.transactional_map_deep.Vrm.Check_transactional.n_writes
+     > 1);
+  Alcotest.(check bool) "example5 rejected" true
+    s.Vrm.Certificate.example5_rejected;
+  Alcotest.(check bool) "isolation" true
+    s.Vrm.Certificate.isolation.Vrm.Check_isolation.holds;
+  Alcotest.(check bool) "attacks denied" true s.Vrm.Certificate.attacks_denied;
+  Alcotest.(check bool) "oracle independent" true
+    s.Vrm.Certificate.oracle_independent
+
+let test_all_versions_certify () =
+  (* §5.6: all ten version/geometry combinations *)
+  let reports = Vrm.Certificate.certify_all () in
+  Alcotest.(check int) "ten combinations" 10 (List.length reports);
+  List.iter
+    (fun (r : Vrm.Certificate.report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Linux %s %d-level certified"
+           r.Vrm.Certificate.version.Sekvm.Kernel_progs.linux
+           r.Vrm.Certificate.version.Sekvm.Kernel_progs.stage2_levels)
+        true r.Vrm.Certificate.certified)
+    reports
+
+let test_report_printable () =
+  let r =
+    Vrm.Certificate.certify
+      { Sekvm.Kernel_progs.linux = "4.18"; stage2_levels = 4 }
+  in
+  let s = Format.asprintf "%a" Vrm.Certificate.pp_report r in
+  Alcotest.(check bool) "mentions certification" true
+    (String.length s > 200)
+
+let test_conditions_catalogue () =
+  Alcotest.(check int) "six conditions" 6 (List.length Vrm.Conditions.all);
+  List.iter
+    (fun cid ->
+      let c = Vrm.Conditions.find cid in
+      Alcotest.(check bool) "has statement" true (String.length c.Vrm.Conditions.statement > 0))
+    [ Vrm.Conditions.Drf_kernel; Vrm.Conditions.No_barrier_misuse;
+      Vrm.Conditions.Write_once_kernel_mapping;
+      Vrm.Conditions.Transactional_page_table;
+      Vrm.Conditions.Sequential_tlb_invalidation;
+      Vrm.Conditions.Memory_isolation ]
+
+let () =
+  Alcotest.run "certificate"
+    [ ( "versions",
+        [ Alcotest.test_case "4-level certified" `Slow test_certify_4level;
+          Alcotest.test_case "3-level certified" `Slow test_certify_3level;
+          Alcotest.test_case "all ten versions (§5.6)" `Slow
+            test_all_versions_certify ] );
+      ( "programs",
+        [ Alcotest.test_case "corpus expectations" `Quick
+            test_program_audits_match_expectations;
+          Alcotest.test_case "buggy fail the right condition" `Quick
+            test_buggy_fail_the_right_condition ] );
+      ( "report",
+        [ Alcotest.test_case "system details" `Slow test_system_report_details;
+          Alcotest.test_case "printable" `Slow test_report_printable;
+          Alcotest.test_case "conditions catalogue" `Quick
+            test_conditions_catalogue ] ) ]

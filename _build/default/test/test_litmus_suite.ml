@@ -1,0 +1,57 @@
+(* The classical Armv8 litmus validation suite, run exhaustively under
+   both executors; every test's expected SC/RM verdicts must hold. *)
+
+open Memmodel
+
+let case (t : Litmus.t) =
+  Alcotest.test_case t.Litmus.prog.Prog.name `Quick (fun () ->
+      let r = Litmus.run t in
+      if not r.Litmus.as_expected then
+        Alcotest.failf "%s: unexpected result:@.%a" t.Litmus.prog.Prog.name
+          Litmus.pp_result r)
+
+let test_multicopy_atomicity_family () =
+  (* the three WRC variants agree on the mechanism: forbidden whenever the
+     observer chain is ordered, allowed when it is not *)
+  let verdict t = (Litmus.run t).Litmus.rm_sat in
+  Alcotest.(check bool) "wrc-plain allowed" true
+    (verdict Litmus_suite.wrc_plain);
+  Alcotest.(check bool) "wrc-dmb forbidden" false
+    (verdict Litmus_suite.wrc_dmb);
+  Alcotest.(check bool) "wrc-addr forbidden" false
+    (verdict Litmus_suite.wrc_addr)
+
+let test_ctrl_asymmetry () =
+  (* the paper's Example 2 hinges on this: control dependencies do not
+     order loads (mp-ctrl allowed) but do order stores (lb-ctrl
+     forbidden); ISB restores load ordering *)
+  let verdict t = (Litmus.run t).Litmus.rm_sat in
+  Alcotest.(check bool) "ctrl does not order loads" true
+    (verdict Litmus_suite.mp_ctrl);
+  Alcotest.(check bool) "ctrl+isb orders loads" false
+    (verdict Litmus_suite.mp_ctrl_isb);
+  Alcotest.(check bool) "ctrl orders stores" false
+    (verdict Litmus_suite.lb_ctrl)
+
+let test_suite_refinement_consistency () =
+  (* for every forbidden-on-RM test, the refinement checker agrees that
+     RM adds nothing; for every allowed one it exhibits the witness *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      let v = Vrm.Refinement.check ?config:t.Litmus.rm_config t.Litmus.prog in
+      if t.Litmus.expect_rm && not t.Litmus.expect_sc then
+        Alcotest.(check bool)
+          (t.Litmus.prog.Prog.name ^ ": RM-only witness")
+          false v.Vrm.Refinement.holds)
+    Litmus_suite.all
+
+let () =
+  Alcotest.run "litmus-suite"
+    [ ("shapes", List.map case Litmus_suite.all);
+      ( "families",
+        [ Alcotest.test_case "multi-copy atomicity" `Quick
+            test_multicopy_atomicity_family;
+          Alcotest.test_case "control-dependency asymmetry" `Quick
+            test_ctrl_asymmetry;
+          Alcotest.test_case "refinement consistency" `Quick
+            test_suite_refinement_consistency ] ) ]

@@ -1,0 +1,138 @@
+(* Tests for the ticket lock: runtime discipline checking and the DSL
+   rendition of Fig. 7. *)
+
+open Sekvm
+
+let test_acquire_release () =
+  let l = Ticket_lock.create "t" in
+  Alcotest.(check bool) "free" false (Ticket_lock.is_held l);
+  Ticket_lock.acquire l ~cpu:1;
+  Alcotest.(check (option int)) "held by 1" (Some 1) (Ticket_lock.holder l);
+  Ticket_lock.release l ~cpu:1;
+  Alcotest.(check bool) "free again" false (Ticket_lock.is_held l);
+  Alcotest.(check int) "acquisitions counted" 1 l.Ticket_lock.acquisitions
+
+let test_double_acquire () =
+  let l = Ticket_lock.create "t" in
+  Ticket_lock.acquire l ~cpu:1;
+  Alcotest.(check bool) "double acquire raises" true
+    (try
+       Ticket_lock.acquire l ~cpu:2;
+       false
+     with Ticket_lock.Lock_error _ -> true)
+
+let test_release_by_other () =
+  let l = Ticket_lock.create "t" in
+  Ticket_lock.acquire l ~cpu:1;
+  Alcotest.(check bool) "wrong releaser raises" true
+    (try
+       Ticket_lock.release l ~cpu:2;
+       false
+     with Ticket_lock.Lock_error _ -> true)
+
+let test_release_free () =
+  let l = Ticket_lock.create "t" in
+  Alcotest.(check bool) "release of free raises" true
+    (try
+       Ticket_lock.release l ~cpu:1;
+       false
+     with Ticket_lock.Lock_error _ -> true)
+
+let test_with_lock_exception_safe () =
+  let l = Ticket_lock.create "t" in
+  (try
+     Ticket_lock.with_lock l ~cpu:3 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "released after exception" false
+    (Ticket_lock.is_held l);
+  let v = Ticket_lock.with_lock l ~cpu:3 (fun () -> 42) in
+  Alcotest.(check int) "result" 42 v
+
+let test_ticket_progression () =
+  let l = Ticket_lock.create "t" in
+  for cpu = 0 to 4 do
+    Ticket_lock.with_lock l ~cpu (fun () -> ())
+  done;
+  Alcotest.(check int) "ticket" 5 l.Ticket_lock.ticket;
+  Alcotest.(check int) "now" 5 l.Ticket_lock.now
+
+(* ---- DSL rendition ---- *)
+
+let test_dsl_shapes () =
+  let acq = Ticket_lock.dsl_acquire ~name:"l" ~protects:[ "x" ] () in
+  let rel = Ticket_lock.dsl_release ~name:"l" ~protects:[ "x" ] () in
+  Alcotest.(check int) "acquire length" 4 (List.length acq);
+  Alcotest.(check int) "release length" 2 (List.length rel);
+  (* acquire ends with the pull; release starts with the push *)
+  (match List.rev acq with
+  | Memmodel.Instr.Pull [ "x" ] :: _ -> ()
+  | _ -> Alcotest.fail "acquire must end in pull");
+  (match rel with
+  | Memmodel.Instr.Push [ "x" ] :: Memmodel.Instr.Store (_, _, Memmodel.Instr.Release) :: [] -> ()
+  | _ -> Alcotest.fail "release must be push then release-store")
+
+let test_dsl_lock_bases () =
+  Alcotest.(check (list string)) "bases" [ "l.ticket"; "l.now" ]
+    (Ticket_lock.lock_bases "l")
+
+let test_dsl_mutual_exclusion_sc () =
+  (* two critical sections incrementing a counter under the DSL lock:
+     under SC the counter always ends at 2 and DRF holds *)
+  let open Memmodel in
+  let worker tid =
+    Prog.thread tid
+      (Ticket_lock.dsl_critical ~name:"l" ~protects:[ "c" ]
+         [ Instr.load (Reg.v "v") (Expr.at "c");
+           Instr.store (Expr.at "c") Expr.(r (Reg.v "v") + c 1) ])
+  in
+  let prog =
+    Prog.make ~name:"me"
+      ~observables:[ Prog.Obs_loc (Loc.v "c") ]
+      ~shared_bases:("c" :: Ticket_lock.lock_bases "l")
+      [ worker 1; worker 2 ]
+  in
+  match Pushpull.check ~exempt:(Ticket_lock.lock_bases "l") prog with
+  | Pushpull.Drf_ok b ->
+      Alcotest.(check bool) "counter always 2" true
+        (List.for_all
+           (fun (o : Behavior.outcome) ->
+             o.Behavior.status <> Behavior.Normal
+             || o.Behavior.values = [ (Prog.Obs_loc (Loc.v "c"), 2) ])
+           (Behavior.elements b))
+  | Pushpull.Drf_violation v ->
+      Alcotest.failf "violation: %a" Pushpull.pp_violation v
+  | Pushpull.Drf_kernel_panic _ -> Alcotest.fail "panic"
+
+let test_dsl_barrier_variants () =
+  (* the Fig. 7 lock passes the barrier checker; the plain variant fails *)
+  let prog barriers =
+    let open Memmodel in
+    Prog.make ~name:"b"
+      ~observables:[ Prog.Obs_loc (Loc.v "c") ]
+      [ Prog.thread 1
+          (Ticket_lock.dsl_critical ~barriers ~name:"l" ~protects:[ "c" ]
+             [ Instr.store (Expr.at "c") (Expr.c 1) ]) ]
+  in
+  Alcotest.(check bool) "with barriers: holds" true
+    (Vrm.Check_barrier.check (prog true)).Vrm.Check_barrier.holds;
+  Alcotest.(check bool) "without barriers: fails" false
+    (Vrm.Check_barrier.check (prog false)).Vrm.Check_barrier.holds
+
+let () =
+  Alcotest.run "lock"
+    [ ( "runtime",
+        [ Alcotest.test_case "acquire/release" `Quick test_acquire_release;
+          Alcotest.test_case "double acquire" `Quick test_double_acquire;
+          Alcotest.test_case "release by other" `Quick test_release_by_other;
+          Alcotest.test_case "release free" `Quick test_release_free;
+          Alcotest.test_case "with_lock exception-safe" `Quick
+            test_with_lock_exception_safe;
+          Alcotest.test_case "ticket progression" `Quick
+            test_ticket_progression ] );
+      ( "dsl",
+        [ Alcotest.test_case "shapes" `Quick test_dsl_shapes;
+          Alcotest.test_case "lock bases" `Quick test_dsl_lock_bases;
+          Alcotest.test_case "mutual exclusion on SC" `Quick
+            test_dsl_mutual_exclusion_sc;
+          Alcotest.test_case "barrier variants" `Quick
+            test_dsl_barrier_variants ] ) ]

@@ -1,0 +1,203 @@
+(* Tests for the machine substrate: PTE encoding, physical memory, page
+   pools, and multi-level page tables in both stage-2 geometries. *)
+
+open Machine
+
+let test_pte_roundtrip_cases () =
+  let cases =
+    [ Pte.Invalid; Pte.Table 42; Pte.Page (7, Pte.rw); Pte.Page (0, Pte.ro);
+      Pte.Page (123456, { Pte.readable = false; writable = true }) ]
+  in
+  List.iter
+    (fun pte ->
+      Alcotest.(check bool) "roundtrip" true
+        (Pte.equal (Pte.decode (Pte.encode pte)) pte))
+    cases;
+  Alcotest.(check bool) "invalid encodes to 0" true (Pte.encode Pte.Invalid = 0);
+  Alcotest.(check bool) "0 is invalid" false (Pte.is_valid 0)
+
+let qcheck_pte_roundtrip =
+  QCheck.Test.make ~name:"pte encode/decode roundtrip" ~count:500
+    QCheck.(triple (int_bound 1_000_000) bool bool)
+    (fun (pfn, readable, writable) ->
+      let pte = Pte.Page (pfn, { Pte.readable; writable }) in
+      Pte.equal (Pte.decode (Pte.encode pte)) pte
+      && Pte.equal (Pte.decode (Pte.encode (Pte.Table pfn))) (Pte.Table pfn))
+
+let test_phys_mem () =
+  let mem = Phys_mem.create 8 in
+  Phys_mem.write mem ~pfn:3 ~idx:100 42;
+  Alcotest.(check int) "rw" 42 (Phys_mem.read mem ~pfn:3 ~idx:100);
+  Alcotest.(check int) "default zero" 0 (Phys_mem.read mem ~pfn:3 ~idx:99);
+  Phys_mem.copy_page mem ~src:3 ~dst:4;
+  Alcotest.(check int) "copied" 42 (Phys_mem.read mem ~pfn:4 ~idx:100);
+  Alcotest.(check bool) "pages equal" true (Phys_mem.page_equal mem 3 4);
+  Phys_mem.scrub mem 3;
+  Alcotest.(check int) "scrubbed" 0 (Phys_mem.read mem ~pfn:3 ~idx:100);
+  Alcotest.(check bool) "digest differs" true
+    (Phys_mem.digest_page mem 3 <> Phys_mem.digest_page mem 4);
+  Alcotest.check_raises "oob pfn"
+    (Invalid_argument "Phys_mem: pfn 9 out of range") (fun () ->
+      ignore (Phys_mem.read mem ~pfn:9 ~idx:0))
+
+let test_page_pool () =
+  let mem = Phys_mem.create 16 in
+  Phys_mem.write mem ~pfn:5 ~idx:0 99;
+  let pool = Page_pool.create ~name:"t" ~mem ~first_pfn:4 ~n_pages:4 in
+  Alcotest.(check int) "scrubbed at create" 0 (Phys_mem.read mem ~pfn:5 ~idx:0);
+  Alcotest.(check int) "available" 4 (Page_pool.available pool);
+  let a = Page_pool.alloc pool in
+  let b = Page_pool.alloc pool in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check int) "allocated" 2 (Page_pool.allocated pool);
+  Phys_mem.write mem ~pfn:a ~idx:7 1;
+  Page_pool.free pool a;
+  Alcotest.(check int) "scrub on free" 0 (Phys_mem.read mem ~pfn:a ~idx:7);
+  let _ = Page_pool.alloc pool
+  and _ = Page_pool.alloc pool
+  and _ = Page_pool.alloc pool in
+  Alcotest.check_raises "exhausted" (Page_pool.Pool_exhausted "t") (fun () ->
+      ignore (Page_pool.alloc pool))
+
+let with_table _g f =
+  let mem = Phys_mem.create 64 in
+  let pool = Page_pool.create ~name:"pt" ~mem ~first_pfn:1 ~n_pages:48 in
+  let root = Page_pool.alloc pool in
+  f mem pool root
+
+let map_ok mem pool g root va pfn =
+  match Page_table.plan_map mem g ~pool ~root ~va ~target_pfn:pfn ~perms:Pte.rw with
+  | Ok ws ->
+      Page_table.apply_writes mem ws;
+      ws
+  | Error `Already_mapped -> Alcotest.fail "unexpected Already_mapped"
+
+let walk_t = Alcotest.testable Page_table.pp_walk_result Page_table.equal_walk_result
+
+let test_map_walk geometry () =
+  with_table geometry @@ fun mem pool root ->
+  let g = geometry in
+  let va = Page_table.page_va 0x1234 in
+  Alcotest.check walk_t "fault before" (Page_table.Fault (g.Page_table.levels - 1))
+    (Page_table.walk mem g ~root va);
+  let ws = map_ok mem pool g root va 17 in
+  Alcotest.(check int) "one write per level" g.Page_table.levels (List.length ws);
+  Alcotest.check walk_t "mapped" (Page_table.Mapped (17, Pte.rw))
+    (Page_table.walk mem g ~root va);
+  (* second map in the same leaf table is a single write *)
+  let ws2 = map_ok mem pool g root (va + 4096) 18 in
+  Alcotest.(check int) "single write" 1 (List.length ws2);
+  (* double-mapping is refused *)
+  (match Page_table.plan_map mem g ~pool ~root ~va ~target_pfn:99 ~perms:Pte.rw with
+  | Error `Already_mapped -> ()
+  | Ok _ -> Alcotest.fail "should refuse overwrite");
+  (* unmap *)
+  (match Page_table.plan_unmap mem g ~root ~va with
+  | Some w ->
+      Page_table.apply_write mem w;
+      Alcotest.check walk_t "fault after unmap" (Page_table.Fault 0)
+        (Page_table.walk mem g ~root va)
+  | None -> Alcotest.fail "expected unmap plan");
+  (* unmapping an unmapped address yields no plan *)
+  Alcotest.(check bool) "no double unmap" true
+    (Page_table.plan_unmap mem g ~root ~va = None)
+
+let test_revert geometry () =
+  with_table geometry @@ fun mem pool root ->
+  let g = geometry in
+  let va = Page_table.page_va 0x77 in
+  let before = Page_table.walk mem g ~root va in
+  (match Page_table.plan_map mem g ~pool ~root ~va ~target_pfn:5 ~perms:Pte.rw with
+  | Ok ws ->
+      Page_table.apply_writes mem ws;
+      Page_table.revert_writes mem ws
+  | Error `Already_mapped -> Alcotest.fail "map failed");
+  Alcotest.check walk_t "state restored" before (Page_table.walk mem g ~root va)
+
+let test_mappings_listing geometry () =
+  with_table geometry @@ fun mem pool root ->
+  let g = geometry in
+  let vps = [ 3; 512; 1000 ] in
+  List.iteri
+    (fun i vp -> ignore (map_ok mem pool g root (Page_table.page_va vp) (20 + i)))
+    vps;
+  let ms = Page_table.mappings mem g ~root in
+  Alcotest.(check int) "three mappings" 3 (List.length ms);
+  Alcotest.(check (list int)) "vps" vps
+    (List.sort compare (List.map (fun (vp, _, _) -> vp) ms));
+  let tables = Page_table.table_pages mem g ~root in
+  Alcotest.(check bool) "root listed" true (List.mem root tables);
+  Alcotest.(check bool) "more than root" true (List.length tables > 1)
+
+let test_index_geometry () =
+  let g4 = Page_table.four_level and g3 = Page_table.three_level in
+  Alcotest.(check int) "va bits 4-level" 48 (Page_table.va_bits g4);
+  Alcotest.(check int) "va bits 3-level" 39 (Page_table.va_bits g3);
+  let va = (5 lsl 12) lor (7 lsl 21) lor (9 lsl 30) in
+  Alcotest.(check int) "level0 idx" 5 (Page_table.index g3 ~level:0 va);
+  Alcotest.(check int) "level1 idx" 7 (Page_table.index g3 ~level:1 va);
+  Alcotest.(check int) "level2 idx" 9 (Page_table.index g3 ~level:2 va);
+  Alcotest.(check int) "page offset" 0xabc (Page_table.page_offset 0x1abc);
+  Alcotest.(check int) "page va roundtrip" 42
+    (Page_table.va_page (Page_table.page_va 42))
+
+let qcheck_map_then_walk =
+  QCheck.Test.make ~name:"map then walk finds the frame" ~count:100
+    QCheck.(pair (int_bound 4000) (int_bound 60))
+    (fun (vp, pfn) ->
+      with_table Page_table.three_level @@ fun mem pool root ->
+      let g = Page_table.three_level in
+      let va = Page_table.page_va vp in
+      match
+        Page_table.plan_map mem g ~pool ~root ~va ~target_pfn:pfn
+          ~perms:Pte.rw
+      with
+      | Ok ws ->
+          Page_table.apply_writes mem ws;
+          Page_table.walk mem g ~root va = Page_table.Mapped (pfn, Pte.rw)
+      | Error `Already_mapped -> false)
+
+let test_s2page () =
+  let db = S2page.create ~n_pages:8 ~default_owner:S2page.Kserv in
+  Alcotest.(check bool) "default" true (S2page.owner db 3 = S2page.Kserv);
+  S2page.set_owner db 3 (S2page.Vm 2);
+  Alcotest.(check bool) "set" true (S2page.owner db 3 = S2page.Vm 2);
+  S2page.incr_map db 3;
+  S2page.incr_map db 3;
+  Alcotest.(check int) "map count" 2 (S2page.map_count db 3);
+  S2page.decr_map db 3;
+  Alcotest.(check int) "decr" 1 (S2page.map_count db 3);
+  S2page.set_shared db 3 true;
+  Alcotest.(check bool) "shared" true (S2page.is_shared db 3);
+  Alcotest.(check (list int)) "owned by vm2" [ 3 ]
+    (S2page.pages_owned_by db (S2page.Vm 2));
+  S2page.decr_map db 3;
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "S2page: map_count underflow") (fun () ->
+      S2page.decr_map db 3)
+
+let () =
+  Alcotest.run "machine"
+    [ ( "pte",
+        [ Alcotest.test_case "roundtrip" `Quick test_pte_roundtrip_cases;
+          QCheck_alcotest.to_alcotest qcheck_pte_roundtrip ] );
+      ( "memory",
+        [ Alcotest.test_case "phys mem" `Quick test_phys_mem;
+          Alcotest.test_case "page pool" `Quick test_page_pool;
+          Alcotest.test_case "s2page" `Quick test_s2page ] );
+      ( "page-table-4level",
+        [ Alcotest.test_case "map/walk" `Quick
+            (test_map_walk Page_table.four_level);
+          Alcotest.test_case "revert" `Quick
+            (test_revert Page_table.four_level);
+          Alcotest.test_case "mappings" `Quick
+            (test_mappings_listing Page_table.four_level) ] );
+      ( "page-table-3level",
+        [ Alcotest.test_case "map/walk" `Quick
+            (test_map_walk Page_table.three_level);
+          Alcotest.test_case "revert" `Quick
+            (test_revert Page_table.three_level);
+          Alcotest.test_case "mappings" `Quick
+            (test_mappings_listing Page_table.three_level);
+          Alcotest.test_case "geometry/index" `Quick test_index_geometry;
+          QCheck_alcotest.to_alcotest qcheck_map_then_walk ] ) ]

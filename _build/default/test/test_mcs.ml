@@ -1,0 +1,174 @@
+(* Tests for the MCS queue lock extension: runtime discipline, DSL
+   protocol correctness under SC, barrier placement, and relaxed-memory
+   refinement of the hand-off. Also covers the new XCHG/CAS atomics. *)
+
+open Memmodel
+open Sekvm
+
+(* ---- XCHG / CAS atomics ---- *)
+
+let obs_l base = Prog.Obs_loc (Loc.v base)
+
+let test_xchg_sc () =
+  (* two exchanges on one cell: the final value is one thread's, and
+     exactly one thread observed the other's value or the initial *)
+  let prog =
+    Prog.make ~name:"xchg"
+      ~init:[ (Loc.v "x", 9) ]
+      ~observables:
+        [ Prog.Obs_reg (1, Reg.v "a"); Prog.Obs_reg (2, Reg.v "b"); obs_l "x" ]
+      [ Prog.thread 1 [ Instr.xchg (Reg.v "a") (Expr.at "x") (Expr.c 1) ];
+        Prog.thread 2 [ Instr.xchg (Reg.v "b") (Expr.at "x") (Expr.c 2) ] ]
+  in
+  let b = Sc.run prog in
+  Alcotest.(check int) "two outcomes" 2 (Behavior.cardinal b);
+  Alcotest.(check bool) "chain preserved" true
+    (Behavior.satisfiable
+       (fun g ->
+         g (Prog.Obs_reg (1, Reg.v "a")) = Some 9
+         && g (Prog.Obs_reg (2, Reg.v "b")) = Some 1
+         && g (obs_l "x") = Some 2)
+       b)
+
+let test_cas_sc () =
+  (* two CASes from 0: exactly one succeeds *)
+  let prog =
+    Prog.make ~name:"cas"
+      ~observables:
+        [ Prog.Obs_reg (1, Reg.v "a"); Prog.Obs_reg (2, Reg.v "b"); obs_l "x" ]
+      [ Prog.thread 1
+          [ Instr.cas (Reg.v "a") (Expr.at "x") ~expected:(Expr.c 0)
+              ~desired:(Expr.c 1) ];
+        Prog.thread 2
+          [ Instr.cas (Reg.v "b") (Expr.at "x") ~expected:(Expr.c 0)
+              ~desired:(Expr.c 2) ] ]
+  in
+  let b = Sc.run prog in
+  Alcotest.(check bool) "exactly one wins, loser sees winner" true
+    (List.for_all
+       (fun (o : Behavior.outcome) ->
+         match List.map snd o.Behavior.values with
+         (* [a; b; x]: t1 won — saw 0, wrote 1; t2 saw 1 and failed *)
+         | [ 0; 1; 1 ] -> true
+         (* t2 won — saw 0, wrote 2; t1 saw 2 and failed *)
+         | [ 2; 0; 2 ] -> true
+         | _ -> false)
+       (Behavior.elements b))
+
+let test_cas_atomic_rm () =
+  (* under the relaxed model too, CAS from 0 is won exactly once *)
+  let prog =
+    Prog.make ~name:"cas-rm"
+      ~observables:[ obs_l "x" ]
+      [ Prog.thread 1
+          [ Instr.cas (Reg.v "a") (Expr.at "x") ~expected:(Expr.c 0)
+              ~desired:(Expr.c 1) ];
+        Prog.thread 2
+          [ Instr.cas (Reg.v "b") (Expr.at "x") ~expected:(Expr.c 0)
+              ~desired:(Expr.c 2) ] ]
+  in
+  let b =
+    Promising.run
+      ~config:{ Promising.default_config with max_promises = 1 }
+      prog
+  in
+  Alcotest.(check bool) "x ends 1 or 2, never 0" true
+    (List.for_all
+       (fun (o : Behavior.outcome) ->
+         o.Behavior.status <> Behavior.Normal
+         || List.map snd o.Behavior.values <> [ 0 ])
+       (Behavior.elements b))
+
+(* ---- runtime MCS lock ---- *)
+
+let test_runtime_discipline () =
+  let l = Mcs_lock.create "q" in
+  Mcs_lock.with_lock l ~cpu:0 (fun () -> ());
+  Mcs_lock.acquire l ~cpu:1;
+  Alcotest.(check bool) "second acquire refused" true
+    (try
+       Mcs_lock.acquire l ~cpu:2;
+       false
+     with Mcs_lock.Lock_error _ -> true);
+  Alcotest.(check bool) "foreign release refused" true
+    (try
+       Mcs_lock.release l ~cpu:2;
+       false
+     with Mcs_lock.Lock_error _ -> true);
+  Mcs_lock.release l ~cpu:1;
+  Alcotest.(check int) "acquisitions" 2 l.Mcs_lock.acquisitions
+
+(* ---- DSL protocol ---- *)
+
+let exempt = Mcs_lock.lock_bases "m"
+
+let test_mutual_exclusion_sc () =
+  let prog = Mcs_lock.counter_prog ~barriers:true "mcs" in
+  match Pushpull.check ~exempt prog with
+  | Pushpull.Drf_ok b ->
+      Alcotest.(check bool) "counter is 2 on every completed path" true
+        (List.for_all
+           (fun (o : Behavior.outcome) ->
+             o.Behavior.status <> Behavior.Normal
+             || List.map snd o.Behavior.values = [ 2 ])
+           (Behavior.elements b))
+  | Pushpull.Drf_violation v ->
+      Alcotest.failf "violation: %a" Pushpull.pp_violation v
+  | Pushpull.Drf_kernel_panic _ -> Alcotest.fail "panic"
+
+let test_barrier_checker_on_mcs () =
+  Alcotest.(check bool) "with barriers" true
+    (Vrm.Check_barrier.check (Mcs_lock.counter_prog ~barriers:true "a"))
+      .Vrm.Check_barrier.holds;
+  Alcotest.(check bool) "without barriers" false
+    (Vrm.Check_barrier.check (Mcs_lock.counter_prog ~barriers:false "b"))
+      .Vrm.Check_barrier.holds
+
+let test_corpus_entries () =
+  List.iter
+    (fun (e : Kernel_progs.entry) ->
+      let p = Vrm.Certificate.audit_program e in
+      Alcotest.(check bool)
+        (e.Kernel_progs.name ^ " as expected")
+        true p.Vrm.Certificate.as_expected)
+    [ Kernel_progs.mcs_handoff; Kernel_progs.mcs_handoff_nobarrier ]
+
+let test_handoff_witness_is_stale_read () =
+  let e = Kernel_progs.mcs_handoff_nobarrier in
+  let v =
+    Vrm.Refinement.check ~config:e.Kernel_progs.rm_config
+      e.Kernel_progs.prog
+  in
+  Alcotest.(check bool) "fails" false v.Vrm.Refinement.holds;
+  Alcotest.(check bool) "witness: waiter read stale 0" true
+    (Behavior.satisfiable
+       (fun g -> g (Prog.Obs_reg (2, Reg.v "data")) = Some 0)
+       v.Vrm.Refinement.rm_only)
+
+let test_mcs_counter_refines () =
+  let e = Kernel_progs.mcs_counter in
+  let v =
+    Vrm.Refinement.check ~config:e.Kernel_progs.rm_config
+      e.Kernel_progs.prog
+  in
+  Alcotest.(check bool) "refines" true v.Vrm.Refinement.holds
+
+let () =
+  Alcotest.run "mcs"
+    [ ( "atomics",
+        [ Alcotest.test_case "xchg SC" `Quick test_xchg_sc;
+          Alcotest.test_case "cas SC" `Quick test_cas_sc;
+          Alcotest.test_case "cas atomic under RM" `Quick test_cas_atomic_rm ]
+      );
+      ( "lock",
+        [ Alcotest.test_case "runtime discipline" `Quick
+            test_runtime_discipline;
+          Alcotest.test_case "mutual exclusion on SC" `Quick
+            test_mutual_exclusion_sc;
+          Alcotest.test_case "barrier checker" `Quick
+            test_barrier_checker_on_mcs;
+          Alcotest.test_case "corpus entries" `Quick test_corpus_entries;
+          Alcotest.test_case "stale hand-off witness" `Quick
+            test_handoff_witness_is_stale_read;
+          Alcotest.test_case "counter refines" `Quick
+            test_mcs_counter_refines ] ) ]

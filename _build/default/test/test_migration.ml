@@ -1,0 +1,116 @@
+(* Tests for snapshots and live migration: content fidelity across hosts,
+   ownership/invariant preservation, and the Weak-Memory-Isolation story
+   (the export reads are oracle-mediated information flow). *)
+
+open Sekvm
+open Machine
+
+let cfg = Kcore.default_boot_config
+
+let booted () =
+  let kcore = Kcore.boot cfg in
+  let kserv = Kserv.create kcore ~first_free_pfn:(Kcore.kserv_base cfg) in
+  let vmid =
+    match Kserv.boot_vm kserv ~cpu:0 ~n_vcpus:2 ~image_pages:2 with
+    | Ok v -> v
+    | Error _ -> Alcotest.fail "boot failed"
+  in
+  (kcore, kserv, vmid)
+
+let test_migrate_roundtrip () =
+  (* source host: run a guest, dirty some pages *)
+  let src_kcore, src_kserv, vmid = booted () in
+  ignore
+    (Kserv.run_guest src_kserv ~cpu:1 ~vmid ~vcpuid:0
+       [ Vm.G_write (Page_table.page_va 50, 1234);
+         Vm.G_write (Page_table.page_va 51, 5678) ]);
+  let pages = Kcore.export_vm src_kcore ~cpu:0 ~vmid in
+  Alcotest.(check int) "image + 2 data pages" 4 (List.length pages);
+  (* destination host: import *)
+  let dst_kcore = Kcore.boot cfg in
+  let dst_kserv =
+    Kserv.create dst_kcore ~first_free_pfn:(Kcore.kserv_base cfg)
+  in
+  let new_vmid =
+    Kcore.import_vm dst_kcore ~cpu:0 ~pages
+      ~donate:(fun () -> Kserv.alloc_page dst_kserv)
+      ~n_vcpus:2
+  in
+  (* the guest sees its exact memory on the new host *)
+  (match
+     Kserv.run_guest dst_kserv ~cpu:1 ~vmid:new_vmid ~vcpuid:0
+       [ Vm.G_read (Page_table.page_va 50); Vm.G_read (Page_table.page_va 51);
+         Vm.G_read 0 ]
+   with
+  | [ Vm.R_value a; Vm.R_value b; Vm.R_value w0 ] ->
+      Alcotest.(check int) "page 50" 1234 a;
+      Alcotest.(check int) "page 51" 5678 b;
+      Alcotest.(check int) "image word preserved"
+        (Vm.image_words ~vmid ~page:0 0)
+        w0
+  | _ -> Alcotest.fail "guest reads failed");
+  (* both hosts still satisfy every invariant *)
+  Alcotest.(check int) "src invariants" 0
+    (List.length (Kcore.check_invariants src_kcore));
+  Alcotest.(check int) "dst invariants" 0
+    (List.length (Kcore.check_invariants dst_kcore))
+
+let test_migrated_vm_protected () =
+  let src_kcore, src_kserv, vmid = booted () in
+  ignore
+    (Kserv.run_guest src_kserv ~cpu:1 ~vmid ~vcpuid:0
+       [ Vm.G_write (Page_table.page_va 50, 0xfeed) ]);
+  let pages = Kcore.export_vm src_kcore ~cpu:0 ~vmid in
+  let dst_kcore = Kcore.boot cfg in
+  let dst_kserv =
+    Kserv.create dst_kcore ~first_free_pfn:(Kcore.kserv_base cfg)
+  in
+  let new_vmid =
+    Kcore.import_vm dst_kcore ~cpu:0 ~pages
+      ~donate:(fun () -> Kserv.alloc_page dst_kserv)
+      ~n_vcpus:1
+  in
+  (* once imported, the destination host cannot read the VM's pages *)
+  let pfn =
+    List.hd
+      (S2page.pages_owned_by dst_kcore.Kcore.s2page (S2page.Vm new_vmid))
+  in
+  (match Kserv.attack_read_vm_page dst_kserv ~cpu:0 ~pfn with
+  | Error `Denied -> ()
+  | Ok _ -> Alcotest.fail "migrated VM readable by the destination host")
+
+let test_export_is_oracle_mediated () =
+  let kcore, _, vmid = booted () in
+  ignore (Kcore.export_vm kcore ~cpu:0 ~vmid);
+  let v = Vrm.Check_isolation.check kcore in
+  Alcotest.(check bool) "weak isolation holds" true
+    v.Vrm.Check_isolation.holds;
+  Alcotest.(check bool) "strong isolation broken by the export" false
+    v.Vrm.Check_isolation.strong_holds
+
+let test_import_refuses_non_kserv_pages () =
+  let kcore, kserv, vmid = booted () in
+  let vm_pfn =
+    List.hd (S2page.pages_owned_by kcore.Kcore.s2page (S2page.Vm vmid))
+  in
+  Alcotest.(check bool) "panics on a stolen donation" true
+    (try
+       ignore
+         (Kcore.import_vm kcore ~cpu:0
+            ~pages:[ (7, Array.make Phys_mem.entries_per_page 0) ]
+            ~donate:(fun () -> vm_pfn)
+            ~n_vcpus:1);
+       false
+     with Kcore.Kcore_panic _ -> true);
+  ignore kserv
+
+let () =
+  Alcotest.run "migration"
+    [ ( "migration",
+        [ Alcotest.test_case "roundtrip" `Quick test_migrate_roundtrip;
+          Alcotest.test_case "destination protection" `Quick
+            test_migrated_vm_protected;
+          Alcotest.test_case "oracle-mediated export" `Quick
+            test_export_is_oracle_mediated;
+          Alcotest.test_case "illegal donation refused" `Quick
+            test_import_refuses_non_kserv_pages ] ) ]

@@ -1,0 +1,199 @@
+(* Coverage batch: trace sectioning, behavior printing, executor budget
+   edges, the Figure 3 witness shape, host lazy mappings, baseline guest
+   reads, image determinism, and the SC-trace linearization invariants. *)
+
+open Memmodel
+
+(* ---- Figure 3: the promising execution of Example 1, exactly ---- *)
+
+let test_figure3_witness_shape () =
+  let prog = Paper_examples.example1.Litmus.prog in
+  let _, ws =
+    Promising.run_with_witnesses
+      ~config:{ Promising.default_config with max_promises = 1 }
+      prog
+  in
+  let relaxed =
+    Behavior.outcome
+      [ (Prog.Obs_reg (1, Reg.v "r0"), 1); (Prog.Obs_reg (2, Reg.v "r1"), 1) ]
+  in
+  match List.assoc_opt relaxed ws with
+  | None -> Alcotest.fail "relaxed outcome missing"
+  | Some steps ->
+      let shape =
+        List.map
+          (fun s -> (s.Promising.s_tid, s.Promising.s_what))
+          steps
+      in
+      (* the paper's Fig. 3: CPU1 promises y:=1; CPU2 reads it and
+         forwards to x; CPU1 reads x=1 and fulfils the promise *)
+      Alcotest.(check (list (pair int string)))
+        "figure 3"
+        [ (1, "promises [y] := 1");
+          (2, "r1 := [y]  (reads 1)");
+          (2, "[x] := 1");
+          (1, "r0 := [x]  (reads 1)");
+          (1, "[y] := 1  (fulfils an earlier promise)") ]
+        shape
+
+(* ---- executor budget edges ---- *)
+
+let test_promising_state_budget () =
+  (* a tiny max_states silently truncates exploration (the safety valve);
+     the result is a subset of the full set, never garbage *)
+  let prog = Paper_examples.sb.Litmus.prog in
+  let full = Promising.run ~config:{ Promising.default_config with max_promises = 0 } prog in
+  let cut =
+    Promising.run
+      ~config:{ Promising.default_config with max_promises = 0; max_states = 5 }
+      prog
+  in
+  Alcotest.(check bool) "truncated subset" true (Behavior.subset cut full)
+
+let test_sc_zero_fuel_loop () =
+  let prog =
+    Prog.make ~name:"z"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      [ Prog.thread 0 [ Instr.while_ (Expr.Bool true) [ Instr.Nop ] ] ]
+  in
+  Alcotest.(check bool) "reports fuel exhaustion" true
+    (Behavior.any_fuel_exhausted (Sc.run ~fuel:0 prog))
+
+(* ---- behavior pretty-printing ---- *)
+
+let test_behavior_printers () =
+  let o =
+    Behavior.outcome ~status:Behavior.Panicked
+      [ (Prog.Obs_loc (Loc.v ~index:2 "pte"), 7) ]
+  in
+  Alcotest.(check string) "outcome print" "{[pte[2]]=7} PANIC"
+    (Format.asprintf "%a" Behavior.pp_outcome o);
+  let s = Format.asprintf "%a" Behavior.pp (Behavior.add o Behavior.empty) in
+  Alcotest.(check bool) "set print" true (String.length s > 0)
+
+(* ---- trace sectioning ---- *)
+
+let test_trace_sections () =
+  let open Sekvm in
+  let t = Trace.create () in
+  Trace.record t (Trace.E_section_begin { cpu = 0; what = "op" });
+  Trace.record t (Trace.E_dsb 0);
+  Trace.record t (Trace.E_section_end { cpu = 0; what = "op" });
+  Trace.record t (Trace.E_section_begin { cpu = 1; what = "op" });
+  Trace.record t (Trace.E_tlbi { cpu = 1; scope = Trace.Tlbi_all });
+  Trace.record t (Trace.E_section_end { cpu = 1; what = "op" });
+  let ss = Trace.sections t ~what:"op" in
+  Alcotest.(check int) "two sections" 2 (List.length ss);
+  Alcotest.(check int) "one event each" 1 (List.length (List.hd ss));
+  (* disabling the recorder drops events *)
+  t.Trace.enabled <- false;
+  Trace.record t (Trace.E_dsb 9);
+  Alcotest.(check int) "disabled" 6 (Trace.length t)
+
+(* ---- host lazy mapping and baseline ---- *)
+
+let test_kserv_lazy_mapping () =
+  let open Sekvm in
+  let cfg = Kcore.default_boot_config in
+  let kcore = Kcore.boot cfg in
+  let kserv = Kserv.create kcore ~first_free_pfn:(Kcore.kserv_base cfg) in
+  let pfn = Kserv.alloc_page kserv in
+  (* first read faults the page in, then succeeds *)
+  (match Kserv.host_read kserv ~cpu:0 ~pfn ~idx:0 with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "lazy fault-in failed");
+  Alcotest.(check bool) "now mapped" true
+    (Npt.is_mapped kcore.Kcore.kserv_npt
+       ~ipa:(Machine.Page_table.page_va pfn))
+
+let test_baseline_guest_read () =
+  let open Sekvm in
+  let kvm =
+    Kvm_baseline.boot ~n_pages:128 ~n_cpus:1 ~tlb_capacity:8
+      ~geometry:Machine.Page_table.three_level
+  in
+  let vmid = Kvm_baseline.register_vm kvm in
+  (match Kvm_baseline.guest_read kvm ~cpu:0 ~vmid ~addr:0 with
+  | Error `Fault -> ()
+  | Ok _ -> Alcotest.fail "unmapped read succeeded");
+  let pfn = Kvm_baseline.alloc_page kvm in
+  Kvm_baseline.map_page kvm ~cpu:0 ~vmid ~ipa:0 ~pfn;
+  Kvm_baseline.host_write kvm ~pfn ~idx:0 99;
+  (match Kvm_baseline.guest_read kvm ~cpu:0 ~vmid ~addr:0 with
+  | Ok v -> Alcotest.(check int) "reads through" 99 v
+  | Error `Fault -> Alcotest.fail "mapped read faulted");
+  (* second read hits the TLB *)
+  let hits = kvm.Kvm_baseline.cpus.(0).Machine.Cpu.tlb.Machine.Tlb.hits in
+  ignore (Kvm_baseline.guest_read kvm ~cpu:0 ~vmid ~addr:0);
+  Alcotest.(check int) "tlb hit" (hits + 1)
+    kvm.Kvm_baseline.cpus.(0).Machine.Cpu.tlb.Machine.Tlb.hits
+
+(* ---- image determinism ---- *)
+
+let test_image_deterministic () =
+  let open Sekvm in
+  let mem1 = Machine.Phys_mem.create 8 and mem2 = Machine.Phys_mem.create 8 in
+  Vm.write_image mem1 ~vmid:3 [ 1; 2 ];
+  Vm.write_image mem2 ~vmid:3 [ 1; 2 ];
+  Alcotest.(check int) "same hash" (Vm.image_hash mem1 [ 1; 2 ])
+    (Vm.image_hash mem2 [ 1; 2 ]);
+  Vm.write_image mem2 ~vmid:4 [ 1; 2 ];
+  Alcotest.(check bool) "vmid-dependent" true
+    (Vm.image_hash mem1 [ 1; 2 ] <> Vm.image_hash mem2 [ 1; 2 ])
+
+(* ---- partial-order linearization is a permutation ---- *)
+
+let test_linearize_is_permutation () =
+  let e = Sekvm.Kernel_progs.share_page in
+  List.iter
+    (fun tr ->
+      let a =
+        Vrm.Partial_order.analyze ~tracked:[ "s2_shared"; "s2_mapcount" ] tr
+      in
+      let lin = Vrm.Partial_order.linearize a in
+      Alcotest.(check int) "same cardinality"
+        (List.length a.Vrm.Partial_order.accesses)
+        (List.length lin);
+      List.iter
+        (fun x ->
+          Alcotest.(check bool) "present" true (List.memq x lin))
+        a.Vrm.Partial_order.accesses)
+    (Pushpull.traces ~exempt:e.Sekvm.Kernel_progs.exempt ~max_traces:8
+       e.Sekvm.Kernel_progs.prog)
+
+(* ---- conditions metadata ---- *)
+
+let test_condition_checker_names_exist () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "checker module named" true
+        (String.length c.Vrm.Conditions.checker > 4))
+    Vrm.Conditions.all
+
+let () =
+  Alcotest.run "misc"
+    [ ( "witnesses",
+        [ Alcotest.test_case "figure 3 shape" `Quick
+            test_figure3_witness_shape ] );
+      ( "budgets",
+        [ Alcotest.test_case "promising state budget" `Quick
+            test_promising_state_budget;
+          Alcotest.test_case "sc zero fuel" `Quick test_sc_zero_fuel_loop ] );
+      ( "printing",
+        [ Alcotest.test_case "behavior printers" `Quick
+            test_behavior_printers ] );
+      ( "traces",
+        [ Alcotest.test_case "sections" `Quick test_trace_sections ] );
+      ( "hosts",
+        [ Alcotest.test_case "kserv lazy mapping" `Quick
+            test_kserv_lazy_mapping;
+          Alcotest.test_case "baseline guest read" `Quick
+            test_baseline_guest_read;
+          Alcotest.test_case "image determinism" `Quick
+            test_image_deterministic ] );
+      ( "partial-order",
+        [ Alcotest.test_case "linearize permutation" `Quick
+            test_linearize_is_permutation ] );
+      ( "metadata",
+        [ Alcotest.test_case "condition checkers" `Quick
+            test_condition_checker_names_exist ] ) ]

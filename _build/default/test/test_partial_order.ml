@@ -1,0 +1,129 @@
+(* Tests for the SC-trace construction of §4.1 (Fig. 6): assigning shared
+   accesses to critical sections, the push-before-pull partial order,
+   concurrency of overlapping sections, and topological linearization. *)
+
+open Memmodel
+open Vrm
+
+(* Build the Fig. 6 scenario directly as an event trace:
+   CPU 1: pull x; write x; push x; pull y; write y; push y
+   CPU 2:                   pull x; read x; push x
+   with CPU 2's x-section starting after CPU 1's x-push but overlapping
+   CPU 1's y-section. *)
+let fig6_trace =
+  [ Pushpull.Ev_pull (1, [ "x" ]);
+    Pushpull.Ev_write (1, Loc.v "x", 1);
+    Pushpull.Ev_push (1, [ "x" ]);
+    Pushpull.Ev_pull (1, [ "y" ]);
+    Pushpull.Ev_pull (2, [ "x" ]);
+    Pushpull.Ev_write (1, Loc.v "y", 2);
+    Pushpull.Ev_read (2, Loc.v "x", 1);
+    Pushpull.Ev_push (1, [ "y" ]);
+    Pushpull.Ev_push (2, [ "x" ]) ]
+
+let analysis = Partial_order.analyze ~tracked:[ "x"; "y" ] fig6_trace
+
+let find tid base =
+  List.find
+    (fun (a : Partial_order.access) ->
+      a.Partial_order.a_tid = tid && Loc.base a.Partial_order.a_loc = base)
+    analysis.Partial_order.accesses
+
+let test_assignment () =
+  Alcotest.(check int) "three shared accesses" 3
+    (List.length analysis.Partial_order.accesses);
+  let a = find 1 "x" in
+  Alcotest.(check bool) "inside a section" true
+    (a.Partial_order.a_cs <> None)
+
+let test_order_across_cpus () =
+  (* CPU 1's x-access is before CPU 2's: its push precedes CPU 2's pull *)
+  let ax1 = find 1 "x" and ax2 = find 2 "x" in
+  Alcotest.(check bool) "x1 < x2" true (Partial_order.happens_before ax1 ax2);
+  Alcotest.(check bool) "not x2 < x1" false
+    (Partial_order.happens_before ax2 ax1)
+
+let test_overlap_is_concurrent () =
+  (* CPU 1's y-section overlaps CPU 2's x-section: unordered (Fig. 6) *)
+  let ay1 = find 1 "y" and ax2 = find 2 "x" in
+  Alcotest.(check bool) "concurrent" true (Partial_order.concurrent ay1 ax2)
+
+let test_program_order_within_cpu () =
+  let ax1 = find 1 "x" and ay1 = find 1 "y" in
+  Alcotest.(check bool) "program order" true
+    (Partial_order.happens_before ax1 ay1)
+
+let test_linearize () =
+  let lin = Partial_order.linearize analysis in
+  Alcotest.(check int) "all events" 3 (List.length lin);
+  Alcotest.(check bool) "consistent with the partial order" true
+    (Partial_order.consistent analysis lin)
+
+let test_replay_same_results () =
+  (* the full Theorem 2 construction: for every push/pull execution of
+     the certified programs, the topologically sorted SC trace replays
+     to the same read values *)
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let tracked =
+        List.filter
+          (fun b -> not (List.mem b e.Sekvm.Kernel_progs.exempt))
+          (Prog.shared_bases e.Sekvm.Kernel_progs.prog)
+      in
+      List.iter
+        (fun tr ->
+          let a = Partial_order.analyze ~tracked tr in
+          let lin = Partial_order.linearize a in
+          Alcotest.(check bool)
+            (e.Sekvm.Kernel_progs.name ^ ": replay matches")
+            true
+            (Partial_order.replay_matches
+               ~init:(fun l -> Prog.init_value e.Sekvm.Kernel_progs.prog l)
+               lin))
+        (Pushpull.traces ~exempt:e.Sekvm.Kernel_progs.exempt ~max_traces:24
+           e.Sekvm.Kernel_progs.prog))
+    [ Sekvm.Kernel_progs.vmid_alloc; Sekvm.Kernel_progs.vm_boot;
+      Sekvm.Kernel_progs.share_page ]
+
+let test_on_real_execution () =
+  (* run the certified gen_vmid program and construct SC traces from its
+     push/pull executions *)
+  let e = Sekvm.Kernel_progs.vmid_alloc in
+  let traces =
+    Pushpull.traces ~exempt:e.Sekvm.Kernel_progs.exempt ~max_traces:32
+      e.Sekvm.Kernel_progs.prog
+  in
+  Alcotest.(check bool) "traces exist" true (traces <> []);
+  List.iter
+    (fun tr ->
+      let a = Partial_order.analyze ~tracked:[ "next_vmid" ] tr in
+      let lin = Partial_order.linearize a in
+      Alcotest.(check bool) "consistent" true (Partial_order.consistent a lin);
+      (* critical sections on one base never overlap: every cross-thread
+         pair of next_vmid accesses is ordered *)
+      List.iter
+        (fun (x : Partial_order.access) ->
+          List.iter
+            (fun (y : Partial_order.access) ->
+              if x.Partial_order.a_tid <> y.Partial_order.a_tid then
+                Alcotest.(check bool) "ordered" true
+                  (Partial_order.happens_before x y
+                  || Partial_order.happens_before y x))
+            a.Partial_order.accesses)
+        a.Partial_order.accesses)
+    traces
+
+let () =
+  Alcotest.run "partial-order"
+    [ ( "fig6",
+        [ Alcotest.test_case "section assignment" `Quick test_assignment;
+          Alcotest.test_case "cross-CPU order" `Quick test_order_across_cpus;
+          Alcotest.test_case "overlap concurrent" `Quick
+            test_overlap_is_concurrent;
+          Alcotest.test_case "program order" `Quick
+            test_program_order_within_cpu;
+          Alcotest.test_case "linearize" `Quick test_linearize ] );
+      ( "real-executions",
+        [ Alcotest.test_case "gen_vmid traces" `Quick test_on_real_execution;
+          Alcotest.test_case "replay same results (Thm 2)" `Quick
+            test_replay_same_results ] ) ]

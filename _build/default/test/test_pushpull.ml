@@ -1,0 +1,211 @@
+(* Tests for the push/pull ownership model: the instrumented SC executor
+   (DRF-Kernel checking), the Fig. 4 promise-list validator and the
+   Fig. 5 barrier-fulfillment judgment. *)
+
+open Memmodel
+
+let well_locked tid =
+  Prog.thread tid
+    [ Instr.dmb;
+      Instr.pull [ "x" ];
+      Instr.load (Reg.v "v") (Expr.at "x");
+      Instr.store (Expr.at "x") Expr.(r (Reg.v "v") + c 1);
+      Instr.push [ "x" ];
+      Instr.dmb ]
+
+let test_well_synchronized_passes () =
+  (* sequential pull/push by two threads cannot race here because the SC
+     executor explores interleavings where both hold ownership only if
+     the discipline allows it — it does not, but the panic would only
+     occur if an interleaving pulls an owned base; with both threads
+     pulling, some interleaving does exactly that, so this program is
+     *not* DRF by pure pull/push without a lock *)
+  let prog =
+    Prog.make ~name:"nolock"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[ "x" ]
+      [ well_locked 1; well_locked 2 ]
+  in
+  match Pushpull.check prog with
+  | Pushpull.Drf_violation v ->
+      Alcotest.(check bool) "double pull detected" true
+        (v.Pushpull.v_kind = `Pull_owned)
+  | _ -> Alcotest.fail "expected a pull-of-owned violation"
+
+let test_lock_protected_passes () =
+  let prog = Sekvm.Kernel_progs.vmid_alloc.Sekvm.Kernel_progs.prog in
+  match
+    Pushpull.check
+      ~exempt:Sekvm.Kernel_progs.vmid_alloc.Sekvm.Kernel_progs.exempt prog
+  with
+  | Pushpull.Drf_ok b ->
+      Alcotest.(check bool) "behaviors nonempty" true (Behavior.cardinal b > 0)
+  | Pushpull.Drf_violation v ->
+      Alcotest.failf "unexpected violation: %a" Pushpull.pp_violation v
+  | Pushpull.Drf_kernel_panic _ -> Alcotest.fail "unexpected panic"
+
+let test_access_without_pull () =
+  let prog =
+    Prog.make ~name:"raw"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[ "x" ]
+      [ Prog.thread 1 [ Instr.store (Expr.at "x") (Expr.c 1) ];
+        Prog.thread 2 [ Instr.load (Reg.v "r") (Expr.at "x") ] ]
+  in
+  match Pushpull.check prog with
+  | Pushpull.Drf_violation v ->
+      Alcotest.(check bool) "unowned access" true
+        (v.Pushpull.v_kind = `Access_not_owned)
+  | _ -> Alcotest.fail "expected an access violation"
+
+let test_push_of_free () =
+  let prog =
+    Prog.make ~name:"freepush"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[ "x" ]
+      [ Prog.thread 1 [ Instr.push [ "x" ] ]; Prog.thread 2 [ Instr.Nop ] ]
+  in
+  match Pushpull.check prog with
+  | Pushpull.Drf_violation v ->
+      Alcotest.(check bool) "push not owned" true
+        (v.Pushpull.v_kind = `Push_not_owned)
+  | _ -> Alcotest.fail "expected a push violation"
+
+let test_exempt_bases_skip_checking () =
+  let prog =
+    Prog.make ~name:"exempt"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[ "x" ]
+      [ Prog.thread 1 [ Instr.store (Expr.at "x") (Expr.c 1) ];
+        Prog.thread 2 [ Instr.load (Reg.v "r") (Expr.at "x") ] ]
+  in
+  match Pushpull.check ~exempt:[ "x" ] prog with
+  | Pushpull.Drf_ok _ -> ()
+  | _ -> Alcotest.fail "exempt base should not be checked"
+
+let test_initial_owner () =
+  (* the saver owns the context at entry, pushes it; the reader pulls
+     only after the flag flip: never panics *)
+  let e = Sekvm.Kernel_progs.vcpu_switch in
+  match
+    Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+      ~initial_owners:e.Sekvm.Kernel_progs.initial_owners
+      e.Sekvm.Kernel_progs.prog
+  with
+  | Pushpull.Drf_ok _ -> ()
+  | Pushpull.Drf_violation v ->
+      Alcotest.failf "unexpected: %a" Pushpull.pp_violation v
+  | Pushpull.Drf_kernel_panic _ -> Alcotest.fail "panic"
+
+let test_kernel_panic_reported_separately () =
+  let prog =
+    Prog.make ~name:"panics"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[]
+      [ Prog.thread 1 [ Instr.Panic ] ]
+  in
+  match Pushpull.check prog with
+  | Pushpull.Drf_kernel_panic _ -> ()
+  | _ -> Alcotest.fail "expected kernel panic report"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: promise-list validity                                       *)
+(* ------------------------------------------------------------------ *)
+
+let p c b = Pushpull.P_pull (c, b)
+let q c b = Pushpull.P_push (c, b)
+let w c b v = Pushpull.P_write (c, b, v)
+
+let valid_list l =
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Pushpull.promise_list_valid l))
+
+let invalid_list l =
+  Alcotest.(check bool) "invalid" false
+    (Result.is_ok (Pushpull.promise_list_valid l))
+
+let test_fig4 () =
+  (* handover: CPU1 pulls, writes, pushes; CPU2 takes over *)
+  valid_list [ p 1 "x"; w 1 "x" 5; q 1 "x"; p 2 "x"; w 2 "x" 6; q 2 "x" ];
+  (* interleaved on different locations *)
+  valid_list [ p 1 "x"; p 2 "y"; w 1 "x" 1; w 2 "y" 2; q 2 "y"; q 1 "x" ];
+  (* pull of an owned location *)
+  invalid_list [ p 1 "x"; p 2 "x" ];
+  (* push by a non-owner *)
+  invalid_list [ p 1 "x"; q 2 "x" ];
+  (* push of a free location *)
+  invalid_list [ q 1 "x" ];
+  (* access without ownership *)
+  invalid_list [ p 1 "x"; w 2 "x" 3 ];
+  (* access after pushing *)
+  invalid_list [ p 1 "x"; q 1 "x"; w 1 "x" 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: fulfillment by barriers                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5 () =
+  let ok l = Alcotest.(check bool) "fulfilled" true (Result.is_ok (Pushpull.fulfill_valid l))
+  and bad l = Alcotest.(check bool) "unfulfilled" false (Result.is_ok (Pushpull.fulfill_valid l)) in
+  (* the Fig. 7 lock: acquire access then pull; push then release access *)
+  ok [ Pushpull.F_acquire_access; Pushpull.F_pull "x"; Pushpull.F_push "x";
+       Pushpull.F_release_access ];
+  (* full barriers fulfill both *)
+  ok [ Pushpull.F_barrier Instr.Dmb_full; Pushpull.F_pull "x";
+       Pushpull.F_push "x"; Pushpull.F_barrier Instr.Dmb_full ];
+  (* load barrier fulfills a pull *)
+  ok [ Pushpull.F_barrier Instr.Dmb_ld; Pushpull.F_pull "x";
+       Pushpull.F_push "x"; Pushpull.F_barrier Instr.Dmb_st ];
+  (* a store barrier cannot fulfill a pull *)
+  bad [ Pushpull.F_barrier Instr.Dmb_st; Pushpull.F_pull "x";
+        Pushpull.F_push "x"; Pushpull.F_barrier Instr.Dmb_st ];
+  (* a release access cannot fulfill a pull *)
+  bad [ Pushpull.F_release_access; Pushpull.F_pull "x"; Pushpull.F_push "x";
+        Pushpull.F_release_access ];
+  (* nothing fulfills the push *)
+  bad [ Pushpull.F_acquire_access; Pushpull.F_pull "x"; Pushpull.F_push "x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_traces () =
+  let prog =
+    Prog.make ~name:"trace"
+      ~observables:[ Prog.Obs_loc (Loc.v "x") ]
+      ~shared_bases:[]
+      [ Prog.thread 1
+          [ Instr.dmb; Instr.pull [ "x" ];
+            Instr.store (Expr.at "x") (Expr.c 1);
+            Instr.push [ "x" ]; Instr.dmb ] ]
+  in
+  let traces = Pushpull.traces prog in
+  Alcotest.(check int) "one trace" 1 (List.length traces);
+  let t = List.hd traces in
+  Alcotest.(check int) "five events" 5 (List.length t);
+  Alcotest.(check bool) "pull before write before push" true
+    (match t with
+    | [ Pushpull.Ev_barrier _; Pushpull.Ev_pull _; Pushpull.Ev_write _;
+        Pushpull.Ev_push _; Pushpull.Ev_barrier _ ] ->
+        true
+    | _ -> false)
+
+let () =
+  Alcotest.run "pushpull"
+    [ ( "ownership",
+        [ Alcotest.test_case "unlocked pull/push races" `Quick
+            test_well_synchronized_passes;
+          Alcotest.test_case "lock-protected passes" `Quick
+            test_lock_protected_passes;
+          Alcotest.test_case "access without pull" `Quick
+            test_access_without_pull;
+          Alcotest.test_case "push of free" `Quick test_push_of_free;
+          Alcotest.test_case "exempt bases" `Quick
+            test_exempt_bases_skip_checking;
+          Alcotest.test_case "initial owners" `Quick test_initial_owner;
+          Alcotest.test_case "kernel panic separate" `Quick
+            test_kernel_panic_reported_separately ] );
+      ( "figures",
+        [ Alcotest.test_case "fig4 promise lists" `Quick test_fig4;
+          Alcotest.test_case "fig5 fulfillment" `Quick test_fig5;
+          Alcotest.test_case "traces" `Quick test_traces ] ) ]

@@ -1,0 +1,160 @@
+(* Tests for the executable wDRF theorem: behaviors(Promising Arm) ⊆
+   behaviors(SC) for certified programs, with counterexample witnesses for
+   the violating ones. *)
+
+open Memmodel
+
+let refine ?config prog = Vrm.Refinement.check ?config prog
+
+let test_corpus_refines () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let v = refine ~config:e.Sekvm.Kernel_progs.rm_config e.Sekvm.Kernel_progs.prog in
+      Alcotest.(check bool)
+        (e.Sekvm.Kernel_progs.name ^ " refines")
+        e.Sekvm.Kernel_progs.expect.Sekvm.Kernel_progs.e_refine
+        v.Vrm.Refinement.holds)
+    (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus)
+
+let test_witness_produced () =
+  let e = Sekvm.Kernel_progs.vmid_alloc_nobarrier in
+  let v = refine ~config:e.Sekvm.Kernel_progs.rm_config e.Sekvm.Kernel_progs.prog in
+  Alcotest.(check bool) "violated" false v.Vrm.Refinement.holds;
+  Alcotest.(check bool) "witness behavior exists" true
+    (Behavior.cardinal v.Vrm.Refinement.rm_only > 0);
+  (* the witness is the duplicated VMID *)
+  Alcotest.(check bool) "witness is the duplicate-vmid behavior" true
+    (Behavior.satisfiable
+       (fun g ->
+         g (Prog.Obs_reg (1, Reg.v "vmid")) = g (Prog.Obs_reg (2, Reg.v "vmid")))
+       v.Vrm.Refinement.rm_only)
+
+let test_fixed_litmus_refine () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let v = refine ?config:t.Litmus.rm_config t.Litmus.prog in
+      Alcotest.(check bool) (t.Litmus.prog.Prog.name ^ " refines") true
+        v.Vrm.Refinement.holds)
+    [ Paper_examples.mp_dmb; Paper_examples.mp_rel_acq; Paper_examples.sb_dmb;
+      Paper_examples.lb_data; Paper_examples.corr;
+      Paper_examples.example2_fixed; Paper_examples.example3_fixed ]
+
+let test_buggy_litmus_do_not_refine () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let v = refine ?config:t.Litmus.rm_config t.Litmus.prog in
+      Alcotest.(check bool)
+        (t.Litmus.prog.Prog.name ^ " has RM-only behavior")
+        false v.Vrm.Refinement.holds)
+    [ Paper_examples.example1; Paper_examples.example2_buggy;
+      Paper_examples.example3_buggy; Paper_examples.mp_plain;
+      Paper_examples.sb ]
+
+let test_example7_rm_only_panic () =
+  let t = Paper_examples.example7 in
+  let v = refine ?config:t.Litmus.rm_config t.Litmus.prog in
+  Alcotest.(check bool) "RM panics" true v.Vrm.Refinement.rm_panics;
+  Alcotest.(check bool) "SC does not" false v.Vrm.Refinement.sc_panics;
+  Alcotest.(check bool) "refinement fails on the panic" false
+    v.Vrm.Refinement.holds
+
+let test_sc_always_subset_of_rm () =
+  (* the converse inclusion must hold unconditionally: the relaxed model
+     can simulate every SC execution *)
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let sc = Sc.run e.Sekvm.Kernel_progs.prog in
+      let rm =
+        Promising.run ~config:e.Sekvm.Kernel_progs.rm_config
+          e.Sekvm.Kernel_progs.prog
+      in
+      let normals b =
+        Behavior.Outcome_set.filter
+          (fun o -> o.Behavior.status = Behavior.Normal)
+          b
+      in
+      Alcotest.(check bool)
+        (e.Sekvm.Kernel_progs.name ^ ": SC ⊆ RM")
+        true
+        (Behavior.subset (normals sc) (normals rm)))
+    Sekvm.Kernel_progs.corpus
+
+let test_witness_schedule () =
+  let e = Sekvm.Kernel_progs.vmid_alloc_nobarrier in
+  let v =
+    Vrm.Refinement.check ~config:e.Sekvm.Kernel_progs.rm_config
+      e.Sekvm.Kernel_progs.prog
+  in
+  match Vrm.Refinement.first_violation v with
+  | None -> Alcotest.fail "expected a witness"
+  | Some (_, steps) ->
+      Alcotest.(check bool) "non-trivial schedule" true
+        (List.length steps > 10);
+      (* the witness is a concrete interleaving of both CPUs *)
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun s -> s.Memmodel.Promising.s_tid) steps)
+      in
+      Alcotest.(check (list int)) "both CPUs appear" [ 1; 2 ] tids;
+      (* and it must contain CPU 2's stale read of next_vmid *)
+      Alcotest.(check bool) "stale read present" true
+        (List.exists
+           (fun s ->
+             s.Memmodel.Promising.s_tid = 2
+             && s.Memmodel.Promising.s_what = "vmid := [next_vmid]  (reads 0)")
+           steps)
+
+let test_witness_for_every_rm_outcome () =
+  (* every completed RM outcome of a small program has a recorded witness *)
+  let t = Paper_examples.example1 in
+  let rm, ws =
+    Promising.run_with_witnesses
+      ~config:{ Promising.default_config with max_promises = 1 }
+      t.Litmus.prog
+  in
+  List.iter
+    (fun (o : Behavior.outcome) ->
+      Alcotest.(check bool) "witness exists" true
+        (List.mem_assoc o ws))
+    (Behavior.elements rm)
+
+let test_behavior_set_ops () =
+  let o1 = Behavior.outcome [ (Prog.Obs_loc (Loc.v "x"), 1) ] in
+  let o2 = Behavior.outcome [ (Prog.Obs_loc (Loc.v "x"), 2) ] in
+  let s1 = Behavior.add o1 Behavior.empty in
+  let s12 = Behavior.add o2 s1 in
+  Alcotest.(check bool) "subset" true (Behavior.subset s1 s12);
+  Alcotest.(check bool) "not superset" false (Behavior.subset s12 s1);
+  Alcotest.(check int) "diff" 1 (Behavior.cardinal (Behavior.diff s12 s1));
+  Alcotest.(check bool) "union" true
+    (Behavior.equal (Behavior.union s1 s12) s12);
+  (* outcomes are order-insensitive in their value vectors *)
+  let a =
+    Behavior.outcome
+      [ (Prog.Obs_loc (Loc.v "y"), 2); (Prog.Obs_loc (Loc.v "x"), 1) ]
+  in
+  let b =
+    Behavior.outcome
+      [ (Prog.Obs_loc (Loc.v "x"), 1); (Prog.Obs_loc (Loc.v "y"), 2) ]
+  in
+  Alcotest.(check bool) "canonical ordering" true (Behavior.equal_outcome a b)
+
+let () =
+  Alcotest.run "refinement"
+    [ ( "theorem",
+        [ Alcotest.test_case "kernel corpus" `Quick test_corpus_refines;
+          Alcotest.test_case "witness produced" `Quick test_witness_produced;
+          Alcotest.test_case "fixed litmus refine" `Quick
+            test_fixed_litmus_refine;
+          Alcotest.test_case "buggy litmus do not" `Quick
+            test_buggy_litmus_do_not_refine;
+          Alcotest.test_case "example 7 panic" `Quick
+            test_example7_rm_only_panic;
+          Alcotest.test_case "SC subset of RM" `Quick
+            test_sc_always_subset_of_rm;
+          Alcotest.test_case "witness schedule" `Quick test_witness_schedule;
+          Alcotest.test_case "witness per outcome" `Quick
+            test_witness_for_every_rm_outcome ] );
+      ( "behavior-sets",
+        [ Alcotest.test_case "set operations" `Quick test_behavior_set_ops ]
+      ) ]

@@ -1,0 +1,206 @@
+(* Security tests: VM confidentiality and integrity against a malicious
+   KServ under SeKVM; the same attacks succeeding on the stock-KVM
+   baseline; scrubbing across ownership transfers; data-oracle
+   determinism and replay. These are the executable analog of the SeKVM
+   guarantees the wDRF certificate extends to relaxed hardware. *)
+
+open Sekvm
+open Machine
+
+let cfg = Kcore.default_boot_config
+
+let booted () =
+  let kcore = Kcore.boot cfg in
+  let kserv = Kserv.create kcore ~first_free_pfn:(Kcore.kserv_base cfg) in
+  let vmid =
+    match Kserv.boot_vm kserv ~cpu:0 ~n_vcpus:2 ~image_pages:2 with
+    | Ok v -> v
+    | Error _ -> Alcotest.fail "boot failed"
+  in
+  (kcore, kserv, vmid)
+
+let secret = 0xdeadbeef
+
+let write_secret kserv vmid ipa =
+  match
+    Kserv.run_guest kserv ~cpu:1 ~vmid ~vcpuid:0 [ Vm.G_write (ipa, secret) ]
+  with
+  | [ Vm.R_unit ] -> ()
+  | _ -> Alcotest.fail "guest write failed"
+
+let backing kcore vmid ipa =
+  match Npt.translate (Kcore.find_vm kcore vmid).Kcore.npt ~ipa with
+  | Some (pfn, _) -> pfn
+  | None -> Alcotest.fail "no backing page"
+
+let test_confidentiality () =
+  let kcore, kserv, vmid = booted () in
+  let ipa = Page_table.page_va 25 in
+  write_secret kserv vmid ipa;
+  let pfn = backing kcore vmid ipa in
+  (* the secret is physically there *)
+  Alcotest.(check int) "stored" secret (Phys_mem.read kcore.Kcore.mem ~pfn ~idx:0);
+  (* ... but KServ cannot read it through any translation it can reach *)
+  (match Kserv.attack_read_vm_page kserv ~cpu:0 ~pfn with
+  | Error `Denied -> ()
+  | Ok v -> Alcotest.failf "KServ read the secret: %x" v)
+
+let test_integrity () =
+  let kcore, kserv, vmid = booted () in
+  let ipa = Page_table.page_va 26 in
+  write_secret kserv vmid ipa;
+  let pfn = backing kcore vmid ipa in
+  (match Kserv.attack_write_vm_page kserv ~cpu:0 ~pfn 0 with
+  | Error `Denied -> ()
+  | Ok () -> Alcotest.fail "KServ overwrote VM memory");
+  (* the guest still sees its value *)
+  (match Kserv.run_guest kserv ~cpu:2 ~vmid ~vcpuid:1 [ Vm.G_read ipa ] with
+  | [ Vm.R_value v ] -> Alcotest.(check int) "intact" secret v
+  | _ -> Alcotest.fail "guest read failed")
+
+let test_cross_vm_isolation () =
+  let kcore, kserv, vmid1 = booted () in
+  let vmid2 =
+    match Kserv.boot_vm kserv ~cpu:0 ~n_vcpus:1 ~image_pages:1 with
+    | Ok v -> v
+    | Error _ -> Alcotest.fail "second boot"
+  in
+  let ipa = Page_table.page_va 27 in
+  write_secret kserv vmid1 ipa;
+  let pfn1 = backing kcore vmid1 ipa in
+  (* KServ cannot graft VM1's page into VM2 *)
+  (match
+     Kserv.attack_steal_page kserv ~cpu:0 ~victim_pfn:pfn1 ~vmid:vmid2
+       ~ipa:(Page_table.page_va 99)
+   with
+  | Error `Denied -> ()
+  | Ok () -> Alcotest.fail "page stolen");
+  (* VM2 cannot read VM1's IPA space: its own stage 2 has no such page
+     yet; faulting it in allocates a *fresh scrubbed* page *)
+  (match Kserv.run_guest kserv ~cpu:2 ~vmid:vmid2 ~vcpuid:0 [ Vm.G_read ipa ] with
+  | [ Vm.R_value v ] -> Alcotest.(check int) "fresh zero page, not the secret" 0 v
+  | _ -> Alcotest.fail "vm2 read failed")
+
+let test_scrub_on_reclaim () =
+  let kcore, kserv, vmid = booted () in
+  let ipa = Page_table.page_va 28 in
+  write_secret kserv vmid ipa;
+  let pfn = backing kcore vmid ipa in
+  Kcore.teardown_vm kcore ~cpu:0 ~vmid;
+  Alcotest.(check int) "scrubbed at reclaim" 0
+    (Phys_mem.read kcore.Kcore.mem ~pfn ~idx:0);
+  (* now KServ may use the page again — and reads zeros *)
+  (match Kserv.host_read kserv ~cpu:0 ~pfn ~idx:0 with
+  | Ok v -> Alcotest.(check int) "no leakage" 0 v
+  | Error `Denied -> Alcotest.fail "reclaimed page unreadable")
+
+let test_shared_page_is_the_only_window () =
+  let kcore, kserv, vmid = booted () in
+  let ring = Page_table.page_va 29 and private_ipa = Page_table.page_va 31 in
+  write_secret kserv vmid private_ipa;
+  (match
+     Kserv.run_guest kserv ~cpu:1 ~vmid ~vcpuid:0
+       [ Vm.G_write (ring, 777); Vm.G_share ring ]
+   with
+  | [ Vm.R_unit; Vm.R_unit ] -> ()
+  | _ -> Alcotest.fail "share failed");
+  let ring_pfn = backing kcore vmid ring in
+  let priv_pfn = backing kcore vmid private_ipa in
+  (match Kserv.host_read kserv ~cpu:0 ~pfn:ring_pfn ~idx:0 with
+  | Ok v -> Alcotest.(check int) "ring visible" 777 v
+  | Error `Denied -> Alcotest.fail "ring unreadable");
+  (match Kserv.attack_read_vm_page kserv ~cpu:0 ~pfn:priv_pfn with
+  | Error `Denied -> ()
+  | Ok _ -> Alcotest.fail "private page visible")
+
+let test_scenario_attack_battery () =
+  let out = Vrm.Scenario.standard_run () in
+  List.iter
+    (fun (name, denied) ->
+      Alcotest.(check bool) (name ^ " denied") true denied)
+    out.Vrm.Scenario.attack_results;
+  Alcotest.(check int) "invariants" 0
+    (List.length (Kcore.check_invariants out.Vrm.Scenario.kcore))
+
+let test_baseline_attacks_succeed () =
+  let kvm =
+    Kvm_baseline.boot ~n_pages:256 ~n_cpus:2 ~tlb_capacity:32
+      ~geometry:Page_table.three_level
+  in
+  let vmid = Kvm_baseline.register_vm kvm in
+  Kvm_baseline.register_vcpu kvm ~vmid ~vcpuid:0;
+  let pfn = Kvm_baseline.alloc_page kvm in
+  Kvm_baseline.map_page kvm ~cpu:0 ~vmid ~ipa:0 ~pfn;
+  Kvm_baseline.host_write kvm ~pfn ~idx:0 secret;
+  (match Kvm_baseline.attack_read_vm_page kvm ~pfn with
+  | Ok v -> Alcotest.(check int) "host reads guest memory" secret v
+  | Error () -> Alcotest.fail "baseline denied?");
+  (match Kvm_baseline.attack_write_vm_page kvm ~pfn 0 with
+  | Ok () ->
+      Alcotest.(check int) "host overwrote guest memory" 0
+        (Kvm_baseline.host_read kvm ~pfn ~idx:0)
+  | Error () -> Alcotest.fail "baseline denied?");
+  (* stealing across VMs also works on the baseline *)
+  let vmid2 = Kvm_baseline.register_vm kvm in
+  (match Kvm_baseline.attack_steal_page kvm ~cpu:0 ~victim_pfn:pfn ~vmid:vmid2 ~ipa:0 with
+  | Ok () -> ()
+  | Error () -> Alcotest.fail "baseline steal denied?")
+
+(* ---- data oracles ---- *)
+
+let test_oracle_deterministic () =
+  let a = Data_oracle.create ~seed:7 in
+  let b = Data_oracle.create ~seed:7 in
+  let da = List.init 10 (fun _ -> Data_oracle.draw a) in
+  let db = List.init 10 (fun _ -> Data_oracle.draw b) in
+  Alcotest.(check (list int)) "same seed, same stream" da db;
+  let c = Data_oracle.create ~seed:8 in
+  let dc = List.init 10 (fun _ -> Data_oracle.draw c) in
+  Alcotest.(check bool) "different seed differs" true (da <> dc)
+
+let test_oracle_replay () =
+  let a = Data_oracle.create ~seed:3 in
+  let _ = List.init 5 (fun _ -> Data_oracle.draw a) in
+  let replayed = Data_oracle.replaying ~stream:(Data_oracle.stream a) ~seed:0 in
+  let again = List.init 5 (fun _ -> Data_oracle.draw replayed) in
+  Alcotest.(check (list int)) "replay equals log" (Data_oracle.stream a) again;
+  Alcotest.(check bool) "exhausted replay raises" true
+    (try
+       ignore (Data_oracle.draw replayed);
+       false
+     with Invalid_argument _ -> true)
+
+let test_oracle_independence_experiment () =
+  Alcotest.(check bool) "kernel digest independent of user behavior" true
+    (Vrm.Check_isolation.oracle_independent ~behaviors:[ 1; 2; 3; 4 ]
+       ~scenario:(fun ~user ->
+         let kcore = Kcore.boot { cfg with Kcore.oracle_seed = 11 } in
+         let kserv = Kserv.create kcore ~first_free_pfn:(Kcore.kserv_base cfg) in
+         (match Kserv.boot_vm kserv ~cpu:0 ~n_vcpus:1 ~image_pages:1 with
+         | Ok vmid ->
+             ignore
+               (Kserv.run_guest kserv ~cpu:1 ~vmid ~vcpuid:0
+                  [ Vm.G_write (Page_table.page_va 20, user * 31) ])
+         | Error _ -> ());
+         Vrm.Check_isolation.kernel_digest kcore))
+
+let () =
+  Alcotest.run "security"
+    [ ( "sekvm",
+        [ Alcotest.test_case "confidentiality" `Quick test_confidentiality;
+          Alcotest.test_case "integrity" `Quick test_integrity;
+          Alcotest.test_case "cross-VM isolation" `Quick
+            test_cross_vm_isolation;
+          Alcotest.test_case "scrub on reclaim" `Quick test_scrub_on_reclaim;
+          Alcotest.test_case "sharing is the only window" `Quick
+            test_shared_page_is_the_only_window;
+          Alcotest.test_case "scenario attack battery" `Quick
+            test_scenario_attack_battery ] );
+      ( "baseline",
+        [ Alcotest.test_case "stock KVM offers no protection" `Quick
+            test_baseline_attacks_succeed ] );
+      ( "oracles",
+        [ Alcotest.test_case "deterministic" `Quick test_oracle_deterministic;
+          Alcotest.test_case "replay" `Quick test_oracle_replay;
+          Alcotest.test_case "independence experiment" `Quick
+            test_oracle_independence_experiment ] ) ]

@@ -1,0 +1,113 @@
+(* Barrier synthesis: the repair search must find the minimal
+   acquire/release placements — and they must be exactly the ones the
+   paper and Linux use. *)
+
+open Memmodel
+open Vrm
+
+let cfg = { Promising.default_config with max_promises = 1; loop_fuel = 4 }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_mp_repair () =
+  let r = Synthesis.repair ~config:cfg Paper_examples.mp_plain.Litmus.prog in
+  match r.Synthesis.repaired with
+  | None -> Alcotest.fail "MP not repaired"
+  | Some (chosen, v) ->
+      Alcotest.(check int) "two upgrades" 2 (List.length chosen);
+      Alcotest.(check bool) "verdict holds" true v.Refinement.holds;
+      (* the classic pair: release the flag store, acquire the flag load *)
+      Alcotest.(check bool) "flag store released" true
+        (List.exists
+           (fun s ->
+             s.Synthesis.s_tid = 0
+             && String.length s.Synthesis.s_desc > 0
+             && String.ends_with ~suffix:"store-release" s.Synthesis.s_desc)
+           chosen);
+      Alcotest.(check bool) "flag load acquired" true
+        (List.exists
+           (fun s ->
+             s.Synthesis.s_tid = 1
+             && String.ends_with ~suffix:"load-acquire" s.Synthesis.s_desc)
+           chosen)
+
+let test_example3_repair_matches_paper () =
+  let r =
+    Synthesis.repair ~config:cfg Paper_examples.example3_buggy.Litmus.prog
+  in
+  match r.Synthesis.repaired with
+  | None -> Alcotest.fail "example 3 not repaired"
+  | Some (chosen, _) ->
+      (* §5.2: store-release when setting INACTIVE, load-acquire when
+         checking it — and nothing else *)
+      Alcotest.(check int) "exactly two upgrades" 2 (List.length chosen);
+      Alcotest.(check bool) "both on the state variable" true
+        (List.for_all
+           (fun s -> contains ~sub:"vcpu_state" s.Synthesis.s_desc)
+           chosen)
+
+let test_already_correct_is_noop () =
+  let r =
+    Synthesis.repair ~config:cfg Paper_examples.example3_fixed.Litmus.prog
+  in
+  Alcotest.(check bool) "nothing to repair" true
+    (r.Synthesis.repaired = None && r.Synthesis.original.Refinement.holds)
+
+let test_sb_needs_all_four_upgrades () =
+  (* Armv8 release/acquire are RCsc ([L];po;[A] is ordered), so SB *is*
+     repairable — but only by upgrading every access (the C11 SC-atomics
+     mapping: stlr + ldar on both threads); each thread needs both its
+     release and its acquire for the ob cycle to close *)
+  let r =
+    Synthesis.repair ~config:cfg ~max_upgrades:4
+      Paper_examples.sb.Litmus.prog
+  in
+  Alcotest.(check bool) "violation detected" false
+    r.Synthesis.original.Refinement.holds;
+  match r.Synthesis.repaired with
+  | None -> Alcotest.fail "SB should be RCsc-repairable"
+  | Some (chosen, _) ->
+      Alcotest.(check int) "minimum is all four sites" 4 (List.length chosen)
+
+let test_mcs_handoff_repair () =
+  let r =
+    Synthesis.repair ~config:cfg
+      (Sekvm.Mcs_lock.handoff_prog ~barriers:false "mcs-syn")
+  in
+  match r.Synthesis.repaired with
+  | None -> Alcotest.fail "MCS hand-off not repaired"
+  | Some (chosen, _) ->
+      (* the hand-off store released + both spin loads acquired *)
+      Alcotest.(check int) "three upgrades" 3 (List.length chosen);
+      Alcotest.(check bool) "all on the locked flag" true
+        (List.for_all
+           (fun s -> contains ~sub:"m.locked" s.Synthesis.s_desc)
+           chosen)
+
+let test_sites_and_apply () =
+  let prog = Paper_examples.mp_plain.Litmus.prog in
+  let ss = Synthesis.sites prog in
+  Alcotest.(check int) "four plain sites" 4 (List.length ss);
+  (* applying every site yields a fully ordered program with no sites *)
+  let upgraded = Synthesis.apply prog ss in
+  Alcotest.(check int) "no plain sites left" 0
+    (List.length (Synthesis.sites upgraded))
+
+let () =
+  Alcotest.run "synthesis"
+    [ ( "repair",
+        [ Alcotest.test_case "mp" `Quick test_mp_repair;
+          Alcotest.test_case "example 3 = paper's barriers" `Quick
+            test_example3_repair_matches_paper;
+          Alcotest.test_case "no-op on correct code" `Quick
+            test_already_correct_is_noop;
+          Alcotest.test_case "SB needs the full RCsc mapping" `Quick
+            test_sb_needs_all_four_upgrades;
+          Alcotest.test_case "mcs hand-off" `Quick test_mcs_handoff_repair ]
+      );
+      ( "mechanics",
+        [ Alcotest.test_case "sites and apply" `Quick test_sites_and_apply ]
+      ) ]
