@@ -1,0 +1,21 @@
+.PHONY: all build test litmus check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+litmus:
+	dune exec bin/vrm_cli.exe -- litmus
+
+# The tier-1 gate: what CI runs.
+check: build test litmus
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -413,6 +413,43 @@ let print_stress () =
     (s32.Vrm.Scenario.st_vms = 32)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel search: the engine's multicore mode                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_parallel () =
+  section "Exploration engine: sequential vs parallel search";
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  Format.printf "%-26s %-9s %10s %10s %8s %s@." "program" "model" "seq-ms"
+    (Printf.sprintf "par-ms(%d)" jobs) "states" "same-set";
+  let row name model (run : jobs:int -> Memmodel.Behavior.t * Memmodel.Engine.stats) =
+    let seq_b, seq_s = run ~jobs:1 in
+    let par_b, par_s = run ~jobs in
+    let same = Memmodel.Behavior.equal seq_b par_b in
+    Format.printf "%-26s %-9s %10.2f %10.2f %8d %s@." name model
+      (seq_s.Memmodel.Engine.wall_s *. 1000.)
+      (par_s.Memmodel.Engine.wall_s *. 1000.)
+      seq_s.Memmodel.Engine.visited
+      (if same then "yes" else "NO (BUG)");
+    same
+  in
+  let t = Memmodel.Paper_examples.example2_fixed in
+  let prog = t.Memmodel.Litmus.prog in
+  let config =
+    Option.value ~default:Memmodel.Promising.default_config
+      t.Memmodel.Litmus.rm_config
+  in
+  let ok_sc =
+    row prog.Memmodel.Prog.name "sc" (fun ~jobs ->
+        Memmodel.Sc.run_stats ~jobs prog)
+  in
+  let ok_rm =
+    row prog.Memmodel.Prog.name "promising" (fun ~jobs ->
+        Memmodel.Promising.run_stats ~config ~jobs prog)
+  in
+  expect "parallel search returns the sequential behavior sets"
+    (ok_sc && ok_rm)
+
+(* ------------------------------------------------------------------ *)
 (* §5: the certification summary                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -512,6 +549,7 @@ let () =
   print_theorems ();
   print_ablations ();
   print_stress ();
+  print_parallel ();
   print_certification ();
   run_bechamel ();
   section "Summary";

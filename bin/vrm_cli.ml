@@ -17,7 +17,18 @@ let litmus_cmd =
   let test_name =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run test_name =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"print per-test exploration statistics")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"explore with $(docv) parallel domains")
+  in
+  let run test_name stats jobs =
     let tests =
       match test_name with
       | None -> Memmodel.Paper_examples.all
@@ -27,24 +38,30 @@ let litmus_cmd =
             Memmodel.Paper_examples.all
     in
     if tests = [] then (
-      Format.eprintf "unknown litmus test%a@."
+      Format.eprintf "unknown litmus test %a@."
         (Format.pp_print_option Format.pp_print_string)
         test_name;
       exit 1);
+    let results = List.map (Memmodel.Litmus.run ~jobs) tests in
     List.iter
-      (fun t ->
-        let r = Memmodel.Litmus.run t in
-        Format.printf "%a@.@." Memmodel.Litmus.pp_result r)
-      tests;
+      (fun (r : Memmodel.Litmus.result) ->
+        Format.printf "%a@." Memmodel.Litmus.pp_result r;
+        if stats then
+          Format.printf "  SC : %a@.  RM : %a@." Memmodel.Engine.pp_stats
+            r.Memmodel.Litmus.sc_stats Memmodel.Engine.pp_stats
+            r.Memmodel.Litmus.rm_stats;
+        Format.printf "@.")
+      results;
     if
       List.exists
-        (fun t -> not (Memmodel.Litmus.run t).Memmodel.Litmus.as_expected)
-        tests
+        (fun (r : Memmodel.Litmus.result) ->
+          not r.Memmodel.Litmus.as_expected)
+        results
     then exit 1
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
-    Term.(const run $ test_name)
+    Term.(const run $ test_name $ stats $ jobs)
 
 (* ------------------------------------------------------------------ *)
 

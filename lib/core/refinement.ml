@@ -22,6 +22,8 @@ type verdict = {
   witnesses : (Behavior.outcome * Promising.step list) list;
       (** for each RM outcome, the first schedule that produced it;
           [witness_for] selects the schedule of a violating behavior *)
+  sc_stats : Engine.stats;
+  rm_stats : Engine.stats;
 }
 
 let normals (b : Behavior.t) : Behavior.t =
@@ -29,10 +31,10 @@ let normals (b : Behavior.t) : Behavior.t =
     (fun o -> o.Behavior.status = Behavior.Normal)
     b
 
-let check ?(sc_fuel = 8) ?(config = Promising.default_config)
+let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
     (prog : Prog.t) : verdict =
-  let sc = Sc.run ~fuel:sc_fuel prog in
-  let rm, witnesses = Promising.run_with_witnesses ~config prog in
+  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs prog in
+  let rm, witnesses, rm_stats = Promising.run_full ~config ?jobs prog in
   let rm_only = Behavior.diff (normals rm) (normals sc) in
   let sc_panics = Behavior.any_panic sc in
   let rm_panics = Behavior.any_panic rm in
@@ -44,7 +46,9 @@ let check ?(sc_fuel = 8) ?(config = Promising.default_config)
     rm_panics;
     bounded =
       Behavior.any_fuel_exhausted sc || Behavior.any_fuel_exhausted rm;
-    witnesses }
+    witnesses;
+    sc_stats;
+    rm_stats }
 
 (** The schedule that produced [outcome] (for RM-only behaviors: the
     concrete relaxed execution, promises included, that SC cannot

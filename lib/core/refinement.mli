@@ -14,10 +14,16 @@ type verdict = {
   rm_panics : bool;
   bounded : bool;  (** some path hit the loop-fuel bound *)
   witnesses : (Behavior.outcome * Promising.step list) list;
+  sc_stats : Engine.stats;  (** SC exploration statistics *)
+  rm_stats : Engine.stats;  (** Promising exploration statistics *)
 }
 
 val normals : Behavior.t -> Behavior.t
-val check : ?sc_fuel:int -> ?config:Promising.config -> Prog.t -> verdict
+
+val check :
+  ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int -> Prog.t -> verdict
+(** [jobs] fans both explorations across that many domains via the shared
+    {!Engine} (identical behavior sets). *)
 
 val witness_for : verdict -> Behavior.outcome -> Promising.step list option
 (** The schedule that produced an outcome — for RM-only behaviors, the

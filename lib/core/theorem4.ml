@@ -112,19 +112,23 @@ type verdict = {
   sc_kernel : Behavior.t;  (** union over Q' of P ∪ Q' on SC *)
   uncovered : Behavior.t;
   q'_count : int;
+  rm_stats : Engine.stats;
+  sc_stats : Engine.stats;  (** aggregated over all Q' explorations *)
 }
 
 (** Check Theorem 4 for [prog] with the given kernel/user split. *)
 let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
-    (split : split) (prog : Prog.t) : verdict =
-  let rm = Promising.run ~config prog in
+    ?jobs (split : split) (prog : Prog.t) : verdict =
+  let rm, rm_stats = Promising.run_stats ~config ?jobs prog in
   let rm_kernel = project split prog rm in
   let q's = synthesize_q' ?value_domain split prog in
-  let sc_kernel =
+  let sc_kernel, sc_stats =
     List.fold_left
-      (fun acc q' ->
-        Behavior.union acc (project split q' (Sc.run ~fuel:sc_fuel q')))
-      Behavior.empty q's
+      (fun (acc, stats) q' ->
+        let b, s = Sc.run_stats ~fuel:sc_fuel ?jobs q' in
+        (Behavior.union acc (project split q' b), Engine.add_stats stats s))
+      (Behavior.empty, Engine.zero_stats)
+      q's
   in
   (* compare completed behaviors and panics; fuel-exhausted paths are
      exploration artifacts *)
@@ -138,7 +142,9 @@ let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
     rm_kernel;
     sc_kernel;
     uncovered;
-    q'_count = List.length q's }
+    q'_count = List.length q's;
+    rm_stats;
+    sc_stats }
 
 let pp_verdict fmt v =
   if v.holds then

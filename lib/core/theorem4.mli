@@ -26,10 +26,12 @@ type verdict = {
   sc_kernel : Behavior.t;  (** union over the Q' candidates *)
   uncovered : Behavior.t;
   q'_count : int;
+  rm_stats : Engine.stats;  (** Promising exploration statistics *)
+  sc_stats : Engine.stats;  (** SC statistics, summed over the Q' runs *)
 }
 
 val check :
   ?config:Promising.config -> ?sc_fuel:int -> ?value_domain:int list ->
-  split -> Prog.t -> verdict
+  ?jobs:int -> split -> Prog.t -> verdict
 
 val pp_verdict : Format.formatter -> verdict -> unit

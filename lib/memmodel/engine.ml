@@ -1,0 +1,255 @@
+(** Model-generic exhaustive exploration engine. See the interface for
+    the design and the parallel-search determinism argument. *)
+
+type stats = {
+  visited : int;
+  dedup_hits : int;
+  transitions : int;
+  max_depth : int;
+  outcomes : int;
+  wall_s : float;
+  jobs : int;
+  budget_hit : bool;
+}
+
+let zero_stats =
+  { visited = 0;
+    dedup_hits = 0;
+    transitions = 0;
+    max_depth = 0;
+    outcomes = 0;
+    wall_s = 0.;
+    jobs = 1;
+    budget_hit = false }
+
+let add_stats a b =
+  { visited = a.visited + b.visited;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    transitions = a.transitions + b.transitions;
+    max_depth = max a.max_depth b.max_depth;
+    outcomes = a.outcomes + b.outcomes;
+    wall_s = a.wall_s +. b.wall_s;
+    jobs = max a.jobs b.jobs;
+    budget_hit = a.budget_hit || b.budget_hit }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "states=%d dedup=%d transitions=%d depth=%d outcomes=%d wall=%.2fms \
+     jobs=%d%s"
+    s.visited s.dedup_hits s.transitions s.max_depth s.outcomes
+    (s.wall_s *. 1000.) s.jobs
+    (if s.budget_hit then " [budget hit]" else "")
+
+type ('state, 'label) step =
+  | Step of 'label * 'state
+  | Emit of Behavior.outcome
+
+type ('state, 'label) expansion =
+  | Terminal of Behavior.outcome option
+  | Steps of ('state, 'label) step Seq.t
+
+module type MODEL = sig
+  type ctx
+  type state
+  type label
+
+  val key : state -> string
+  val expand : ctx -> labels:bool -> state -> (state, label) expansion
+end
+
+module Make (M : MODEL) = struct
+  type result = {
+    behaviors : Behavior.t;
+    witnesses : (Behavior.outcome * M.label list) list;
+    stats : stats;
+  }
+
+  (* Mutable accumulator of one search (one domain's worth of work). *)
+  type acc = {
+    mutable behaviors : Behavior.t;
+    wits : (Behavior.outcome, M.label list) Hashtbl.t;
+    mutable visited : int;
+    mutable dedup : int;
+    mutable trans : int;
+    mutable maxd : int;
+    mutable budget_hit : bool;
+  }
+
+  let new_acc () =
+    { behaviors = Behavior.empty;
+      wits = Hashtbl.create 64;
+      visited = 0;
+      dedup = 0;
+      trans = 0;
+      maxd = 0;
+      budget_hit = false }
+
+  let record acc ~witnesses o path =
+    if witnesses && not (Behavior.mem o acc.behaviors) then
+      Hashtbl.replace acc.wits o (List.rev path);
+    acc.behaviors <- Behavior.add o acc.behaviors
+
+  exception Budget
+
+  (* Depth-first search from each root, with a private seen-set. Roots
+     carry the (reversed) label path and depth that led to them, so a
+     parallel bucket reports witnesses with their full schedule. *)
+  let dfs ~ctx ~witnesses ~max_states acc roots =
+    let seen = Hashtbl.create 4096 in
+    let rec go st path depth =
+      let key = M.key st in
+      if Hashtbl.mem seen key then acc.dedup <- acc.dedup + 1
+      else begin
+        Hashtbl.add seen key ();
+        acc.visited <- acc.visited + 1;
+        if depth > acc.maxd then acc.maxd <- depth;
+        (match max_states with
+        | Some b when acc.visited > b ->
+            acc.budget_hit <- true;
+            raise Budget
+        | _ -> ());
+        match M.expand ctx ~labels:witnesses st with
+        | Terminal (Some o) -> record acc ~witnesses o path
+        | Terminal None -> ()
+        | Steps steps ->
+            Seq.iter
+              (fun s ->
+                acc.trans <- acc.trans + 1;
+                match s with
+                | Emit o -> record acc ~witnesses o path
+                | Step (lbl, st') ->
+                    go st'
+                      (if witnesses then lbl :: path else path)
+                      (depth + 1))
+              steps
+      end
+    in
+    try List.iter (fun (st, path, depth) -> go st path depth) roots
+    with Budget -> ()
+
+  let finish ~t0 ~jobs accs =
+    let behaviors =
+      List.fold_left
+        (fun b (a : acc) -> Behavior.union b a.behaviors)
+        Behavior.empty accs
+    in
+    (* first recorded witness per outcome, earliest accumulator wins *)
+    let wits = Hashtbl.create 64 in
+    List.iter
+      (fun (a : acc) ->
+        Hashtbl.iter
+          (fun o p -> if not (Hashtbl.mem wits o) then Hashtbl.add wits o p)
+          a.wits)
+      accs;
+    let stats =
+      List.fold_left
+        (fun (s : stats) (a : acc) ->
+          { s with
+            visited = s.visited + a.visited;
+            dedup_hits = s.dedup_hits + a.dedup;
+            transitions = s.transitions + a.trans;
+            max_depth = max s.max_depth a.maxd;
+            budget_hit = s.budget_hit || a.budget_hit })
+        zero_stats accs
+    in
+    { behaviors;
+      witnesses = Hashtbl.fold (fun o p l -> (o, p) :: l) wits [];
+      stats =
+        { stats with
+          outcomes = Behavior.cardinal behaviors;
+          wall_s = Unix.gettimeofday () -. t0;
+          jobs } }
+
+  let explore_parallel ~max_states ~witnesses ~jobs ~ctx init t0 =
+    (* BFS prefix: grow a frontier of distinct unexpanded states. *)
+    let target = jobs * 4 in
+    let acc0 = new_acc () in
+    let seen = Hashtbl.create 1024 in
+    let q = Queue.create () in
+    Queue.add (init, [], 0) q;
+    let budget_left () =
+      match max_states with Some b -> acc0.visited <= b | None -> true
+    in
+    while Queue.length q > 0 && Queue.length q < target && budget_left () do
+      let st, path, depth = Queue.pop q in
+      let key = M.key st in
+      if Hashtbl.mem seen key then acc0.dedup <- acc0.dedup + 1
+      else begin
+        Hashtbl.add seen key ();
+        acc0.visited <- acc0.visited + 1;
+        if depth > acc0.maxd then acc0.maxd <- depth;
+        match M.expand ctx ~labels:witnesses st with
+        | Terminal (Some o) -> record acc0 ~witnesses o path
+        | Terminal None -> ()
+        | Steps steps ->
+            Seq.iter
+              (fun s ->
+                acc0.trans <- acc0.trans + 1;
+                match s with
+                | Emit o -> record acc0 ~witnesses o path
+                | Step (lbl, st') ->
+                    Queue.add
+                      (st', (if witnesses then lbl :: path else path), depth + 1)
+                      q)
+              steps
+      end
+    done;
+    if not (budget_left ()) then acc0.budget_hit <- true;
+    (* Deal the frontier round-robin and let one domain own each bucket.
+       Domains keep private seen-sets: duplicated work is possible,
+       missed or spurious outcomes are not. *)
+    let buckets = Array.make jobs [] in
+    let i = ref 0 in
+    Queue.iter
+      (fun item ->
+        buckets.(!i mod jobs) <- item :: buckets.(!i mod jobs);
+        incr i)
+      q;
+    let domains =
+      Array.map
+        (fun items ->
+          let roots = List.rev items in
+          Domain.spawn (fun () ->
+              let acc = new_acc () in
+              match dfs ~ctx ~witnesses ~max_states acc roots with
+              | () -> Ok acc
+              | exception e -> Error e))
+        buckets
+    in
+    let outcomes = Array.map Domain.join domains in
+    Array.iter (function Error e -> raise e | Ok _ -> ()) outcomes;
+    let accs =
+      acc0
+      :: (Array.to_list outcomes
+         |> List.map (function Ok a -> a | Error _ -> assert false))
+    in
+    finish ~t0 ~jobs accs
+
+  let explore ?max_states ?(witnesses = false) ?(jobs = 1) ~ctx init =
+    let t0 = Unix.gettimeofday () in
+    if jobs <= 1 then begin
+      let acc = new_acc () in
+      dfs ~ctx ~witnesses ~max_states acc [ (init, [], 0) ];
+      finish ~t0 ~jobs:1 [ acc ]
+    end
+    else explore_parallel ~max_states ~witnesses ~jobs ~ctx init t0
+end
+
+let enumerate_paths (type s l) ~(expand : s -> (s, l) expansion)
+    ?(max_paths = max_int) (init : s) : l list list =
+  let out = ref [] in
+  let count = ref 0 in
+  let exception Done in
+  let rec go st acc =
+    if !count >= max_paths then raise Done;
+    match expand st with
+    | Terminal _ ->
+        incr count;
+        out := List.rev acc :: !out
+    | Steps steps ->
+        Seq.iter
+          (function Emit _ -> () | Step (lbl, st') -> go st' (lbl :: acc))
+          steps
+  in
+  (try go init [] with Done -> ());
+  !out

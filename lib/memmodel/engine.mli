@@ -1,0 +1,131 @@
+(** Model-generic exhaustive exploration engine.
+
+    Every operational memory model in this library ({!Sc}, {!Tso},
+    {!Promising}, {!Pushpull}) explores the same kind of object: a finite
+    transition system whose states carry the whole machine configuration
+    and whose terminal states yield observable {!Behavior.outcome}s. What
+    used to be quadruplicated across the executors — depth-first search,
+    seen-set memoization on a canonical state key, budget valves,
+    fuel/panic outcome recording, and per-outcome witness schedules — lives
+    here once, parameterized over a {!MODEL}.
+
+    A model describes one state's outgoing structure with {!expansion}:
+    either the state is terminal (optionally recording an outcome — [None]
+    marks dead paths such as unfulfilled promises or pruned states), or it
+    offers a {e lazy} sequence of transitions. Laziness matters: the
+    engine forces the next transition only after fully exploring the
+    previous one's subtree, so model-raised exceptions (e.g.
+    {!Pushpull.check}'s ownership violations) surface at exactly the same
+    point of the search as in a hand-rolled nested loop, and expensive
+    transition enumeration (promise certification) is never done for
+    subtrees cut off by a budget.
+
+    {2 Parallel search}
+
+    [explore ~jobs:n] fans the exploration across [n] OCaml 5 [Domain]s:
+    a breadth-first prefix grows a frontier of at least [4*n] distinct
+    states, the frontier is dealt round-robin into [n] buckets, and each
+    domain runs the ordinary sequential search over its bucket with a
+    private seen-set. Results are merged by set union.
+
+    Determinism argument: models are pure (expansion depends only on the
+    state), so the set of outcomes reachable from a state is a function of
+    that state. The BFS prefix records every outcome it encounters; each
+    frontier state's full subtree is explored by exactly one domain;
+    therefore the union over the prefix and all domains equals the
+    sequential result whenever no budget fires. Private seen-sets only
+    cost duplicated work when two buckets reach the same state — never
+    outcomes. Witness schedules and the state/dedup counters may differ
+    from the sequential run (and [max_states] is enforced per domain
+    rather than globally), but the behavior set is identical. *)
+
+(** Exploration statistics, threaded up through {!Litmus.run},
+    {!Vrm.Refinement.check} and {!Vrm.Theorem4.check}. *)
+type stats = {
+  visited : int;  (** distinct states expanded *)
+  dedup_hits : int;  (** transitions into an already-seen state *)
+  transitions : int;  (** transitions enumerated (including emits) *)
+  max_depth : int;  (** deepest point of the search *)
+  outcomes : int;  (** distinct outcomes recorded *)
+  wall_s : float;  (** wall-clock seconds for the whole exploration *)
+  jobs : int;  (** domains used (1 = sequential) *)
+  budget_hit : bool;  (** some [max_states] valve fired: partial results *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Aggregate statistics of independent explorations: counters and wall
+    time add, depth and job count take the maximum, budget flags or. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** One outgoing transition of a state. *)
+type ('state, 'label) step =
+  | Step of 'label * 'state
+      (** successor state; the label (a human-readable action for witness
+          schedules) is only retained when witnesses are requested *)
+  | Emit of Behavior.outcome
+      (** the path ends here with an outcome — fuel exhaustion and panics
+          are emitted this way while sibling transitions keep exploring *)
+
+type ('state, 'label) expansion =
+  | Terminal of Behavior.outcome option
+      (** no transitions; [Some o] records the outcome, [None] discards
+          the path (dead states, strict-certification pruning) *)
+  | Steps of ('state, 'label) step Seq.t
+      (** lazy outgoing transitions, forced one at a time in order *)
+
+module type MODEL = sig
+  type ctx
+  (** Per-exploration context (program, configuration) closed over by
+      [expand]; immutable, shared across domains. *)
+
+  type state
+
+  type label
+  (** Witness-schedule entry (e.g. {!Promising.step}). *)
+
+  val key : state -> string
+  (** Canonical memoization key: two states with the same key must have
+      the same reachable outcome sets. *)
+
+  val expand : ctx -> labels:bool -> state -> (state, label) expansion
+  (** Outgoing structure of a state. When [labels] is false the model may
+      put placeholder labels in [Step]s (they are dropped); this keeps
+      witness bookkeeping off the hot path. Must be pure up to the
+      exceptions it deliberately lets escape. *)
+end
+
+module Make (M : MODEL) : sig
+  type result = {
+    behaviors : Behavior.t;
+    witnesses : (Behavior.outcome * M.label list) list;
+        (** for each outcome, the first schedule that produced it (empty
+            unless [witnesses:true]) *)
+    stats : stats;
+  }
+
+  val explore :
+    ?max_states:int ->
+    ?witnesses:bool ->
+    ?jobs:int ->
+    ctx:M.ctx ->
+    M.state ->
+    result
+  (** Exhaustively explore from the initial state. [max_states] is a
+      safety valve: exploration stops (with [stats.budget_hit] set) after
+      expanding that many distinct states — per domain when [jobs > 1].
+      Exceptions raised by [M.expand] abort the search and propagate
+      (from the lowest-numbered bucket first in parallel mode). *)
+end
+
+val enumerate_paths :
+  expand:('state -> ('state, 'label) expansion) ->
+  ?max_paths:int ->
+  'state ->
+  'label list list
+(** Unmemoized enumeration of the label paths of all complete executions
+    (paths ending in [Terminal]); [Emit] branches are dropped, and at most
+    [max_paths] paths are collected (most recently found first). Used for
+    trace collection on small programs ({!Pushpull.traces}). *)

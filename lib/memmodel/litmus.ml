@@ -28,6 +28,8 @@ type result = {
   rm_panic : bool;
   rm_only : Behavior.t;  (** behaviors of RM not visible on SC *)
   as_expected : bool;
+  sc_stats : Engine.stats;
+  rm_stats : Engine.stats;
 }
 
 let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
@@ -40,15 +42,15 @@ let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
     expect_rm;
     rm_config }
 
-let run ?(sc_fuel = 8) ?config (test : t) : result =
+let run ?(sc_fuel = 8) ?config ?jobs (test : t) : result =
   let config =
     match (config, test.rm_config) with
     | Some c, _ -> c
     | None, Some c -> c
     | None, None -> Promising.default_config
   in
-  let sc = Sc.run ~fuel:sc_fuel test.prog in
-  let rm = Promising.run ~config test.prog in
+  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs test.prog in
+  let rm, rm_stats = Promising.run_stats ~config ?jobs test.prog in
   let sc_sat = Behavior.satisfiable test.exists sc in
   let rm_sat = Behavior.satisfiable test.exists rm in
   let sc_panic = Behavior.any_panic sc in
@@ -61,7 +63,9 @@ let run ?(sc_fuel = 8) ?config (test : t) : result =
     sc_panic;
     rm_panic;
     rm_only = Behavior.diff rm sc;
-    as_expected = sc_sat = test.expect_sc && rm_sat = test.expect_rm }
+    as_expected = (sc_sat = test.expect_sc && rm_sat = test.expect_rm);
+    sc_stats;
+    rm_stats }
 
 let pp_result fmt (r : result) =
   Format.fprintf fmt

@@ -25,6 +25,8 @@ type result = {
   rm_panic : bool;
   rm_only : Behavior.t;  (** behaviors of RM not visible on SC *)
   as_expected : bool;
+  sc_stats : Engine.stats;  (** SC exploration statistics *)
+  rm_stats : Engine.stats;  (** Promising exploration statistics *)
 }
 
 val make :
@@ -40,5 +42,7 @@ val make :
   Prog.thread list ->
   t
 
-val run : ?sc_fuel:int -> ?config:Promising.config -> t -> result
+val run : ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int -> t -> result
+(** [jobs] fans both explorations across that many domains (identical
+    behavior sets; see {!Engine}). *)
 val pp_result : Format.formatter -> result -> unit

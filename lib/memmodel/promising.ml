@@ -517,115 +517,154 @@ let observe (prog : Prog.t) (st : state) init_val status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
-(** [run_with_witnesses ?config prog] explores all Promising Arm
+(* The executor is an instance of the shared exploration engine. Per
+   runnable thread, the expansion offers the architectural steps (several
+   for a load: one per readable message) followed by the certified promise
+   steps; terminal states record an outcome only when every promise has
+   been fulfilled; under [strict_certification] uncertifiable states are
+   pruned. The transition sequence is lazy, so certification work for a
+   thread is only done once the previous threads' subtrees are explored. *)
+module Model = struct
+  type ctx = { prog : Prog.t; cfg : config; tids : int array }
+
+  type nonrec state = state
+  type label = step
+
+  let key = state_key
+
+  let dummy_step = { s_tid = -1; s_what = "" }
+
+  let expand { prog; cfg; tids } ~labels (st : state) :
+      (state, label) Engine.expansion =
+    let init_val loc = Prog.init_value prog loc in
+    let n = Array.length st.threads in
+    let certified_everywhere =
+      (not cfg.strict_certification)
+      || Array.for_all (fun t -> t.promises = []) st.threads
+      ||
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if st.threads.(i).promises <> []
+           && not (certifiable cfg st init_val i)
+        then ok := false
+      done;
+      !ok
+    in
+    if not certified_everywhere then Engine.Terminal None
+    else if Array.for_all (fun t -> t.code = []) st.threads then
+      if Array.for_all (fun t -> t.promises = []) st.threads then
+        Engine.Terminal (Some (observe prog st init_val Behavior.Normal))
+      else Engine.Terminal None
+    else
+      let thread_steps i =
+        let t = st.threads.(i) in
+        if t.code = [] then Seq.empty
+        else
+          let instr = List.hd t.code in
+          (* ordinary architectural steps *)
+          let arch () =
+            (match step_thread st init_val i with
+            | steps ->
+                List.to_seq steps
+                |> Seq.filter_map (function
+                     | Next st' ->
+                         let lbl =
+                           if labels then
+                             { s_tid = tids.(i);
+                               s_what = describe_step st st' i instr }
+                           else dummy_step
+                         in
+                         Some (Engine.Step (lbl, st'))
+                     | Fuel_out ->
+                         Some
+                           (Engine.Emit
+                              (observe prog st init_val
+                                 Behavior.Fuel_exhausted))
+                     | Stuck -> None)
+            | exception Thread_panic ->
+                Seq.return
+                  (Engine.Emit (observe prog st init_val Behavior.Panicked)))
+              ()
+          in
+          (* promise steps: candidates from a solo run, kept only when the
+             promising thread can still certify *)
+          let promises () =
+            if t.promise_budget <= 0 then Seq.Nil
+            else
+              (List.to_seq (solo_write_candidates cfg st init_val i)
+              |> Seq.filter_map (fun (loc, v) ->
+                     let ts = st.next_ts in
+                     let m = { mloc = loc; mval = v; ts; wtid = i } in
+                     let t' =
+                       { t with
+                         promises = ts :: t.promises;
+                         promise_budget = t.promise_budget - 1 }
+                     in
+                     let st' =
+                       set_thread
+                         { st with mem = m :: st.mem; next_ts = ts + 1 }
+                         i t'
+                     in
+                     if certifiable cfg st' init_val i then
+                       let lbl =
+                         if labels then
+                           { s_tid = tids.(i);
+                             s_what =
+                               Format.asprintf "promises [%a] := %d" Loc.pp
+                                 loc v }
+                         else dummy_step
+                       in
+                       Some (Engine.Step (lbl, st'))
+                     else None))
+                ()
+          in
+          Seq.append arch promises
+      in
+      Engine.Steps (Seq.concat_map thread_steps (Seq.take n (Seq.ints 0)))
+end
+
+module E = Engine.Make (Model)
+
+let make_ctx prog cfg =
+  { Model.prog;
+    cfg;
+    tids =
+      Array.of_list (List.map (fun th -> th.Prog.tid) prog.Prog.threads) }
+
+(** [run_full ?config ?jobs prog] explores all Promising Arm executions
+    of [prog] and returns the behavior set, the per-outcome witness
+    schedules, and the exploration statistics. *)
+let run_full ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
+    Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
+  let r =
+    E.explore ~max_states:config.max_states ~witnesses:true ~jobs
+      ~ctx:(make_ctx prog config)
+      (initial_state config prog)
+  in
+  (r.E.behaviors, r.E.witnesses, r.E.stats)
+
+(** [run_with_witnesses ?config ?jobs prog] explores all Promising Arm
     executions of [prog] and additionally returns, for each distinct
     outcome, the first schedule (sequence of per-CPU steps, including
     promises) that produced it. *)
-let run_with_witnesses ?(config = default_config) (prog : Prog.t) :
+let run_with_witnesses ?config ?jobs (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list =
-  let cfg = config in
-  let init_val loc = Prog.init_value prog loc in
-  let seen = Hashtbl.create 65536 in
-  let states = ref 0 in
-  let results = ref Behavior.empty in
-  let witnesses : (Behavior.outcome, step list) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let tid_of i = (List.nth prog.Prog.threads i).Prog.tid in
-  let record outcome path =
-    if not (Behavior.mem outcome !results) then
-      Hashtbl.replace witnesses outcome (List.rev path);
-    results := Behavior.add outcome !results
-  in
-  let rec explore st path =
-    let key = state_key st in
-    if Hashtbl.mem seen key then ()
-    else begin
-      Hashtbl.add seen key ();
-      incr states;
-      if !states > cfg.max_states then raise State_budget_exhausted;
-      let n = Array.length st.threads in
-      let all_done = ref true in
-      for i = 0 to n - 1 do
-        if st.threads.(i).code <> [] then all_done := false
-      done;
-      let certified_everywhere =
-        (not cfg.strict_certification)
-        || Array.for_all
-             (fun t -> t.promises = [])
-             st.threads
-           ||
-           let ok = ref true in
-           for i = 0 to n - 1 do
-             if st.threads.(i).promises <> []
-                && not (certifiable cfg st init_val i)
-             then ok := false
-           done;
-           !ok
-      in
-      if not certified_everywhere then ()
-      else if !all_done then begin
-        let valid =
-          Array.for_all (fun t -> t.promises = []) st.threads
-        in
-        if valid then record (observe prog st init_val Behavior.Normal) path
-      end
-      else
-        for i = 0 to n - 1 do
-          let t = st.threads.(i) in
-          if t.code <> [] then begin
-            let instr = List.hd t.code in
-            (* ordinary architectural steps *)
-            (match step_thread st init_val i with
-            | steps ->
-                List.iter
-                  (function
-                    | Next st' ->
-                        let step =
-                          { s_tid = tid_of i;
-                            s_what = describe_step st st' i instr }
-                        in
-                        explore st' (step :: path)
-                    | Fuel_out ->
-                        record
-                          (observe prog st init_val Behavior.Fuel_exhausted)
-                          path
-                    | Stuck -> ())
-                  steps
-            | exception Thread_panic ->
-                record (observe prog st init_val Behavior.Panicked) path);
-            (* promise steps *)
-            if t.promise_budget > 0 then
-              List.iter
-                (fun (loc, v) ->
-                  let ts = st.next_ts in
-                  let m = { mloc = loc; mval = v; ts; wtid = i } in
-                  let t' =
-                    { t with
-                      promises = ts :: t.promises;
-                      promise_budget = t.promise_budget - 1 }
-                  in
-                  let st' =
-                    set_thread { st with mem = m :: st.mem; next_ts = ts + 1 } i
-                      t'
-                  in
-                  if certifiable cfg st' init_val i then
-                    let step =
-                      { s_tid = tid_of i;
-                        s_what =
-                          Format.asprintf "promises [%a] := %d" Loc.pp loc v }
-                    in
-                    explore st' (step :: path))
-                (solo_write_candidates cfg st init_val i)
-          end
-        done
-    end
-  in
-  (try explore (initial_state cfg prog) [] with State_budget_exhausted -> ());
-  ( !results,
-    Hashtbl.fold (fun o p acc -> (o, p) :: acc) witnesses [] )
+  let behaviors, witnesses, _ = run_full ?config ?jobs prog in
+  (behaviors, witnesses)
 
-(** [run ?config prog] explores all Promising Arm executions of [prog]
-    (bounded by the configuration) and returns its behavior set. *)
-let run ?(config = default_config) (prog : Prog.t) : Behavior.t =
-  fst (run_with_witnesses ~config prog)
+(** [run_stats ?config ?jobs prog] explores all Promising Arm executions
+    of [prog] and returns the behavior set with exploration statistics
+    (witness bookkeeping off). *)
+let run_stats ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
+    Behavior.t * Engine.stats =
+  let r =
+    E.explore ~max_states:config.max_states ~jobs
+      ~ctx:(make_ctx prog config)
+      (initial_state config prog)
+  in
+  (r.E.behaviors, r.E.stats)
+
+(** [run ?config ?jobs prog] explores all Promising Arm executions of
+    [prog] (bounded by the configuration) and returns its behavior set. *)
+let run ?config ?jobs (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?config ?jobs prog)

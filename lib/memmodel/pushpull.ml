@@ -248,61 +248,27 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
-(** [check ?fuel ?exempt prog] explores all interleavings under the
-    ownership discipline. Returns the behavior set if no pull/push/access
-    ever panics, or the first violation found. *)
-let check ?(fuel = 64) ?(exempt = []) ?(initial_owners = []) (prog : Prog.t)
-    : check_result =
-  let shared = Prog.shared_bases prog in
-  let seen = Hashtbl.create 4096 in
-  let results = ref Behavior.empty in
-  let kernel_panic = ref None in
-  let state_key (st : state) : string =
-    let buf = Buffer.create 256 in
-    Loc.Map.iter
-      (fun l v ->
-        Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
-      st.mem;
-    List.iter
-      (fun (b, o) -> Buffer.add_string buf (Printf.sprintf "%s@%d;" b o))
-      (List.sort compare st.owners);
-    Array.iter
-      (fun t ->
-        Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
-        Reg.Map.iter
-          (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
-          t.regs;
-        Buffer.add_string buf (Marshal.to_string t.code []))
-      st.threads;
-    Digest.string (Buffer.contents buf)
-  in
-  let exception Found of violation in
-  let rec explore st =
-    let key = state_key st in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
-      let runnable = ref [] in
-      Array.iteri
-        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
-        st.threads;
-      match !runnable with
-      | [] -> results := Behavior.add (observe prog st Behavior.Normal) !results
-      | rs ->
-          List.iter
-            (fun i ->
-              match step_thread ~shared ~exempt st i with
-              | Some (st', _) -> explore st'
-              | None ->
-                  results :=
-                    Behavior.add (observe prog st Behavior.Fuel_exhausted)
-                      !results
-              | exception Thread_panic ->
-                  kernel_panic := Some (observe prog st Behavior.Panicked)
-              | exception Ownership v -> raise (Found v))
-            rs
-    end
-  in
-  let init_mem =
+let state_key (st : state) : string =
+  let buf = Buffer.create 256 in
+  Loc.Map.iter
+    (fun l v ->
+      Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+    st.mem;
+  List.iter
+    (fun (b, o) -> Buffer.add_string buf (Printf.sprintf "%s@%d;" b o))
+    (List.sort compare st.owners);
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Reg.Map.iter
+        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        t.regs;
+      Buffer.add_string buf (Marshal.to_string t.code []))
+    st.threads;
+  Digest.string (Buffer.contents buf)
+
+let initial_state ~fuel ~initial_owners (prog : Prog.t) : state =
+  let mem =
     List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
       prog.Prog.init
   in
@@ -312,54 +278,101 @@ let check ?(fuel = 64) ?(exempt = []) ?(initial_owners = []) (prog : Prog.t)
          (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
          prog.Prog.threads)
   in
-  match explore { mem = init_mem; owners = initial_owners; threads } with
-  | () -> (
-      match !kernel_panic with
-      | Some o -> Drf_kernel_panic o
-      | None -> Drf_ok !results)
-  | exception Found v -> Drf_violation v
+  { mem; owners = initial_owners; threads }
+
+(* The ownership-instrumented executor is an instance of the shared
+   exploration engine. [Ownership] violations escape the engine (the
+   first one reached aborts the search — the transition sequence is
+   lazy, so "first" means the same interleaving the direct DFS found);
+   program panics are emitted as [Panicked] outcomes and split off into
+   [Drf_kernel_panic] afterwards. *)
+module Model = struct
+  type ctx = { prog : Prog.t; shared : string list; exempt : string list }
+  type nonrec state = state
+  type label = unit
+
+  let key = state_key
+
+  let expand { prog; shared; exempt } ~labels:_ (st : state) :
+      (state, label) Engine.expansion =
+    let runnable = ref [] in
+    Array.iteri
+      (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+      st.threads;
+    match !runnable with
+    | [] -> Engine.Terminal (Some (observe prog st Behavior.Normal))
+    | rs ->
+        Engine.Steps
+          (List.to_seq rs
+          |> Seq.map (fun i ->
+                 match step_thread ~shared ~exempt st i with
+                 | Some (st', _) -> Engine.Step ((), st')
+                 | None ->
+                     Engine.Emit (observe prog st Behavior.Fuel_exhausted)
+                 | exception Thread_panic ->
+                     Engine.Emit (observe prog st Behavior.Panicked)))
+end
+
+module E = Engine.Make (Model)
+
+(** [check_stats ?fuel ?exempt ?initial_owners ?jobs prog] — like
+    {!check}, also returning exploration statistics. *)
+let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
+    ?(jobs = 1) (prog : Prog.t) : check_result * Engine.stats =
+  let shared = Prog.shared_bases prog in
+  match
+    E.explore ~jobs
+      ~ctx:{ Model.prog; shared; exempt }
+      (initial_state ~fuel ~initial_owners prog)
+  with
+  | r ->
+      let panics, ok =
+        Behavior.Outcome_set.partition
+          (fun (o : Behavior.outcome) -> o.status = Behavior.Panicked)
+          r.E.behaviors
+      in
+      ( (match Behavior.elements panics with
+        | o :: _ -> Drf_kernel_panic o
+        | [] -> Drf_ok ok),
+        r.E.stats )
+  | exception Ownership v -> (Drf_violation v, Engine.zero_stats)
+
+(** [check ?fuel ?exempt ?initial_owners ?jobs prog] explores all
+    interleavings under the ownership discipline. Returns the behavior
+    set if no pull/push/access ever panics, or the first violation
+    found. *)
+let check ?fuel ?exempt ?initial_owners ?jobs (prog : Prog.t) : check_result
+    =
+  fst (check_stats ?fuel ?exempt ?initial_owners ?jobs prog)
 
 (** Collect the event traces of every interleaving (no memoization, for
     small programs): input to the SC-trace construction of §4.1. *)
 let traces ?(fuel = 16) ?(exempt = []) ?(max_traces = 512) (prog : Prog.t) :
     event list list =
   let shared = Prog.shared_bases prog in
-  let out = ref [] in
-  let count = ref 0 in
-  let rec explore st acc =
-    if !count >= max_traces then ()
-    else begin
-      let runnable = ref [] in
-      Array.iteri
-        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
-        st.threads;
-      match !runnable with
-      | [] ->
-          incr count;
-          out := List.rev acc :: !out
-      | rs ->
-          List.iter
-            (fun i ->
-              match step_thread ~shared ~exempt st i with
-              | Some (st', Some e) -> explore st' (e :: acc)
-              | Some (st', None) -> explore st' acc
-              | None | (exception Thread_panic) | (exception Ownership _) ->
-                  ())
-            rs
-    end
+  (* Trace collection drops panicking, fuel-exhausted and
+     ownership-violating paths, so exceptions are absorbed per
+     transition rather than propagated. *)
+  let expand (st : state) : (state, event option) Engine.expansion =
+    let runnable = ref [] in
+    Array.iteri
+      (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+      st.threads;
+    match !runnable with
+    | [] -> Engine.Terminal None
+    | rs ->
+        Engine.Steps
+          (List.to_seq rs
+          |> Seq.filter_map (fun i ->
+                 match step_thread ~shared ~exempt st i with
+                 | Some (st', ev) -> Some (Engine.Step (ev, st'))
+                 | None | (exception Thread_panic) | (exception Ownership _)
+                   ->
+                     None))
   in
-  let init_mem =
-    List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
-      prog.Prog.init
-  in
-  let threads =
-    Array.of_list
-      (List.map
-         (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
-         prog.Prog.threads)
-  in
-  explore { mem = init_mem; owners = []; threads } [];
-  !out
+  Engine.enumerate_paths ~expand ~max_paths:max_traces
+    (initial_state ~fuel ~initial_owners:[] prog)
+  |> List.map (List.filter_map Fun.id)
 
 (* ------------------------------------------------------------------ *)
 (* Abstract promise lists (paper Fig. 4) and fulfillment (Fig. 5)      *)

@@ -43,13 +43,25 @@ val check :
   ?fuel:int ->
   ?exempt:string list ->
   ?initial_owners:(string * int) list ->
+  ?jobs:int ->
   Prog.t ->
   check_result
 (** Explore all interleavings under the ownership discipline. [exempt]
     lists bases excluded from tracking (synchronization-method internals,
     page tables — the condition's side clause); [initial_owners] seeds
     ownership held at fragment entry (e.g. a vCPU context the running CPU
-    claimed earlier). *)
+    claimed earlier). [jobs] fans the search across that many domains via
+    the shared {!Engine}. *)
+
+val check_stats :
+  ?fuel:int ->
+  ?exempt:string list ->
+  ?initial_owners:(string * int) list ->
+  ?jobs:int ->
+  Prog.t ->
+  check_result * Engine.stats
+(** Like {!check}, also returning exploration statistics (zero when the
+    search was aborted by a violation). *)
 
 val traces :
   ?fuel:int ->

@@ -153,36 +153,45 @@ let state_key (st : state) : string =
     st.threads;
   Digest.string (Buffer.contents buf)
 
-(** [run ?fuel prog] explores all SC interleavings of [prog] and returns its
-    behavior set. *)
-let run ?(fuel = 64) (prog : Prog.t) : Behavior.t =
-  let seen = Hashtbl.create 4096 in
-  let results = ref Behavior.empty in
-  let rec explore st =
-    let key = state_key st in
-    if Hashtbl.mem seen key then ()
-    else begin
-      Hashtbl.add seen key ();
-      let runnable = ref [] in
-      Array.iteri
-        (fun i t -> if t.code <> [] then runnable := i :: !runnable)
-        st.threads;
-      match !runnable with
-      | [] -> results := Behavior.add (observe prog st Behavior.Normal) !results
-      | rs ->
-          List.iter
-            (fun i ->
-              match step_thread st i with
-              | Some st' -> explore st'
-              | None ->
-                  results :=
-                    Behavior.add (observe prog st Behavior.Fuel_exhausted)
-                      !results
-              | exception Thread_panic ->
-                  results :=
-                    Behavior.add (observe prog st Behavior.Panicked) !results)
-            rs
-    end
-  in
-  explore (initial_state ~fuel prog);
-  !results
+(* The executor is an instance of the shared exploration engine: one SC
+   transition per runnable thread, terminal states observe [Normal],
+   fuel-exhausted and panicking steps emit their outcome in place. *)
+module Model = struct
+  type ctx = Prog.t
+  type nonrec state = state
+  type label = unit
+
+  let key = state_key
+
+  let expand prog ~labels:_ (st : state) : (state, label) Engine.expansion =
+    let runnable = ref [] in
+    Array.iteri
+      (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+      st.threads;
+    match !runnable with
+    | [] -> Engine.Terminal (Some (observe prog st Behavior.Normal))
+    | rs ->
+        Engine.Steps
+          (List.to_seq rs
+          |> Seq.map (fun i ->
+                 match step_thread st i with
+                 | Some st' -> Engine.Step ((), st')
+                 | None ->
+                     Engine.Emit (observe prog st Behavior.Fuel_exhausted)
+                 | exception Thread_panic ->
+                     Engine.Emit (observe prog st Behavior.Panicked)))
+end
+
+module E = Engine.Make (Model)
+
+(** [run_stats ?fuel ?jobs prog] explores all SC interleavings of [prog]
+    and returns its behavior set with exploration statistics. *)
+let run_stats ?(fuel = 64) ?(jobs = 1) (prog : Prog.t) :
+    Behavior.t * Engine.stats =
+  let r = E.explore ~jobs ~ctx:prog (initial_state ~fuel prog) in
+  (r.E.behaviors, r.E.stats)
+
+(** [run ?fuel ?jobs prog] explores all SC interleavings of [prog] and
+    returns its behavior set. *)
+let run ?fuel ?jobs (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs prog)

@@ -5,6 +5,12 @@
     are explored by depth-first search with memoization on the full
     machine state. Spin loops are unrolled up to [fuel] iterations per
     thread; paths that exhaust fuel are reported as
-    {!Behavior.Fuel_exhausted} rather than dropped. *)
+    {!Behavior.Fuel_exhausted} rather than dropped.
 
-val run : ?fuel:int -> Prog.t -> Behavior.t
+    The executor instantiates the shared {!Engine}; [jobs] fans the
+    search across that many domains (identical behavior set). *)
+
+val run : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t
+
+val run_stats : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t * Engine.stats
+(** Like {!run}, also returning exploration statistics. *)

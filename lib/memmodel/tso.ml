@@ -192,48 +192,65 @@ let state_key (st : state) : string =
     st.threads;
   Digest.string (Buffer.contents buf)
 
-(** Explore all TSO executions (instruction steps interleaved with buffer
-    drains) and return the behavior set. Terminal states require empty
-    buffers (everything eventually reaches memory). *)
-let run ?(fuel = 8) (prog : Prog.t) : Behavior.t =
-  let seen = Hashtbl.create 4096 in
-  let results = ref Behavior.empty in
-  let rec explore st =
-    let key = state_key st in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
-      let n = Array.length st.threads in
-      let all_done = ref true in
-      for i = 0 to n - 1 do
-        if st.threads.(i).code <> [] || st.threads.(i).buffer <> [] then
-          all_done := false
-      done;
-      if !all_done then
-        results := Behavior.add (observe prog st Behavior.Normal) !results
-      else
-        for i = 0 to n - 1 do
-          let t = st.threads.(i) in
-          (* drain the oldest buffered store *)
-          (match t.buffer with
+(* The executor is an instance of the shared exploration engine: per
+   thread, one transition draining the oldest buffered store plus one
+   instruction step; terminal states require empty buffers (everything
+   eventually reaches memory). *)
+module Model = struct
+  type ctx = Prog.t
+  type nonrec state = state
+  type label = unit
+
+  let key = state_key
+
+  let expand prog ~labels:_ (st : state) : (state, label) Engine.expansion =
+    let n = Array.length st.threads in
+    let all_done = ref true in
+    for i = 0 to n - 1 do
+      if st.threads.(i).code <> [] || st.threads.(i).buffer <> [] then
+        all_done := false
+    done;
+    if !all_done then
+      Engine.Terminal (Some (observe prog st Behavior.Normal))
+    else
+      let thread_steps i =
+        let t = st.threads.(i) in
+        let drain =
+          match t.buffer with
           | (l, v) :: rest ->
-              explore
-                (set_thread
-                   { st with mem = Loc.Map.add l v st.mem }
-                   i { t with buffer = rest })
-          | [] -> ());
-          if t.code <> [] then
-            match step_thread st i with
-            | Next st' -> explore st'
-            | Fuel_out ->
-                results :=
-                  Behavior.add (observe prog st Behavior.Fuel_exhausted)
-                    !results
-            | exception Thread_panic ->
-                results :=
-                  Behavior.add (observe prog st Behavior.Panicked) !results
-        done
-    end
-  in
+              Seq.return
+                (Engine.Step
+                   ( (),
+                     set_thread
+                       { st with mem = Loc.Map.add l v st.mem }
+                       i { t with buffer = rest } ))
+          | [] -> Seq.empty
+        in
+        let instr =
+          if t.code = [] then Seq.empty
+          else
+            fun () ->
+              Seq.Cons
+                ( (match step_thread st i with
+                  | Next st' -> Engine.Step ((), st')
+                  | Fuel_out ->
+                      Engine.Emit (observe prog st Behavior.Fuel_exhausted)
+                  | exception Thread_panic ->
+                      Engine.Emit (observe prog st Behavior.Panicked)),
+                  Seq.empty )
+        in
+        Seq.append drain instr
+      in
+      Engine.Steps
+        (Seq.concat_map thread_steps (Seq.take n (Seq.ints 0)))
+end
+
+module E = Engine.Make (Model)
+
+(** Explore all TSO executions (instruction steps interleaved with buffer
+    drains) and return the behavior set with exploration statistics. *)
+let run_stats ?(fuel = 8) ?(jobs = 1) (prog : Prog.t) :
+    Behavior.t * Engine.stats =
   let mem =
     List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
       prog.Prog.init
@@ -245,5 +262,9 @@ let run ?(fuel = 8) (prog : Prog.t) : Behavior.t =
            { code = th.Prog.code; regs = Reg.Map.empty; buffer = []; fuel })
          prog.Prog.threads)
   in
-  explore { mem; threads };
-  !results
+  let r = E.explore ~jobs ~ctx:prog { mem; threads } in
+  (r.E.behaviors, r.E.stats)
+
+(** Explore all TSO executions and return the behavior set. *)
+let run ?fuel ?jobs (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs prog)

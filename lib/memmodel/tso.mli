@@ -6,4 +6,8 @@
     the barrier-less §2 bugs are unreachable here yet reachable under
     {!Promising}. *)
 
-val run : ?fuel:int -> Prog.t -> Behavior.t
+val run : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t
+
+val run_stats : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t * Engine.stats
+(** Like {!run}, also returning exploration statistics from the shared
+    {!Engine}. *)

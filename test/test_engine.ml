@@ -1,0 +1,296 @@
+(* Golden-parity tests for the shared exploration engine (Engine.Make).
+
+   The digests below were captured from the pre-engine executors — each
+   model ran its own private DFS+memoization loop — immediately before
+   the refactor onto [Engine]. The engine-based executors must reproduce
+   every behavior set bit-identically (digest of the canonical
+   [Behavior.pp] rendering), including the exact ownership violation the
+   push/pull checker reports first. The remaining tests check that
+   parallel search ([~jobs]) returns the sequential behavior sets and
+   that the exploration statistics are sane. *)
+
+open Memmodel
+
+let digest_behaviors (b : Behavior.t) : string =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Behavior.pp b))
+
+(* (model, program, expected) — captured from the seed executors *)
+let golden =
+  [
+    ("sc", "example1-ooo-write", "99e322099b2c53283986b87c0a014695");
+    ("tso", "example1-ooo-write", "99e322099b2c53283986b87c0a014695");
+    ("promising", "example1-ooo-write", "2b4469770ae30fca187483d89d7ba355");
+    ("sc", "example2-vmid-nobarrier", "cc50367be32898f6e26a850b0a8ccc59");
+    ("tso", "example2-vmid-nobarrier", "cc50367be32898f6e26a850b0a8ccc59");
+    ("promising", "example2-vmid-nobarrier", "7bd8fdd08b7ba7ac98c273106bf31ac2");
+    ("sc", "example2-vmid-linux-lock", "cc50367be32898f6e26a850b0a8ccc59");
+    ("tso", "example2-vmid-linux-lock", "cc50367be32898f6e26a850b0a8ccc59");
+    ("promising", "example2-vmid-linux-lock", "48337ca23bd62408c01757b14db00804");
+    ("sc", "example3-vcpu-nobarrier", "c658069ca13752d2c6185b6c6a438482");
+    ("tso", "example3-vcpu-nobarrier", "c658069ca13752d2c6185b6c6a438482");
+    ("promising", "example3-vcpu-nobarrier", "cd08ee6c6e219667c3a72e50bdf459f7");
+    ("sc", "example3-vcpu-relacq", "c658069ca13752d2c6185b6c6a438482");
+    ("tso", "example3-vcpu-relacq", "c658069ca13752d2c6185b6c6a438482");
+    ("promising", "example3-vcpu-relacq", "c658069ca13752d2c6185b6c6a438482");
+    ("sc", "example7-user-to-kernel", "aa3c1fb2fb1b3866609db387b9380e54");
+    ("tso", "example7-user-to-kernel", "aa3c1fb2fb1b3866609db387b9380e54");
+    ("promising", "example7-user-to-kernel", "8f806f369587833b144abcded3d62ed5");
+    ("sc", "mp-plain", "1fc71a64d57b706e44324895c1fd6b47");
+    ("tso", "mp-plain", "1fc71a64d57b706e44324895c1fd6b47");
+    ("promising", "mp-plain", "8a1956d204a27c98cd7a5c22d3f822d6");
+    ("sc", "mp-dmb", "1fc71a64d57b706e44324895c1fd6b47");
+    ("tso", "mp-dmb", "1fc71a64d57b706e44324895c1fd6b47");
+    ("promising", "mp-dmb", "1fc71a64d57b706e44324895c1fd6b47");
+    ("sc", "mp-rel-acq", "1fc71a64d57b706e44324895c1fd6b47");
+    ("tso", "mp-rel-acq", "1fc71a64d57b706e44324895c1fd6b47");
+    ("promising", "mp-rel-acq", "1fc71a64d57b706e44324895c1fd6b47");
+    ("sc", "sb-plain", "2fadd2cef85290b12756d3c89f689d1a");
+    ("tso", "sb-plain", "36f6b4f1b45f73a9114ef19366b8163c");
+    ("promising", "sb-plain", "36f6b4f1b45f73a9114ef19366b8163c");
+    ("sc", "sb-dmb", "2fadd2cef85290b12756d3c89f689d1a");
+    ("tso", "sb-dmb", "2fadd2cef85290b12756d3c89f689d1a");
+    ("promising", "sb-dmb", "2fadd2cef85290b12756d3c89f689d1a");
+    ("sc", "lb-data", "7c83c1216d153afc32725fcea4cc28be");
+    ("tso", "lb-data", "7c83c1216d153afc32725fcea4cc28be");
+    ("promising", "lb-data", "7c83c1216d153afc32725fcea4cc28be");
+    ("sc", "corr", "b770567301caf5eb129c8c144d47b730");
+    ("tso", "corr", "b770567301caf5eb129c8c144d47b730");
+    ("promising", "corr", "b770567301caf5eb129c8c144d47b730");
+    ("sc", "mp-dmb-addr", "a487374b14a070aaf90e4600a9a37966");
+    ("tso", "mp-dmb-addr", "a487374b14a070aaf90e4600a9a37966");
+    ("promising", "mp-dmb-addr", "a487374b14a070aaf90e4600a9a37966");
+    ("sc", "s-plain", "54c1dbcbf906a10e77b5e654beaa10fa");
+    ("tso", "s-plain", "54c1dbcbf906a10e77b5e654beaa10fa");
+    ("promising", "s-plain", "2664ecbfbb4e3219001881f95d3ec8ec");
+    ("sc", "s-dmb", "54c1dbcbf906a10e77b5e654beaa10fa");
+    ("tso", "s-dmb", "54c1dbcbf906a10e77b5e654beaa10fa");
+    ("promising", "s-dmb", "54c1dbcbf906a10e77b5e654beaa10fa");
+    ("sc", "2+2w-plain", "4fe5f2f1167674eae7f11175aed10525");
+    ("tso", "2+2w-plain", "4fe5f2f1167674eae7f11175aed10525");
+    ("promising", "2+2w-plain", "1113e7e201844f72ce566b35426dc5c3");
+    ("sc", "2+2w-dmbst", "4fe5f2f1167674eae7f11175aed10525");
+    ("tso", "2+2w-dmbst", "4fe5f2f1167674eae7f11175aed10525");
+    ("promising", "2+2w-dmbst", "4fe5f2f1167674eae7f11175aed10525");
+    ("sc", "wrc-plain", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("tso", "wrc-plain", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("promising", "wrc-plain", "69e09ce614011f6e040bf34c0af62bf7");
+    ("sc", "wrc-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("tso", "wrc-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("promising", "wrc-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("sc", "wrc-addr", "092bf53ddcf4e7e0885a73578c14959f");
+    ("tso", "wrc-addr", "092bf53ddcf4e7e0885a73578c14959f");
+    ("promising", "wrc-addr", "092bf53ddcf4e7e0885a73578c14959f");
+    ("sc", "isa2-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("tso", "isa2-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("promising", "isa2-dmb", "fc117c6eaebeec0a24117d84f6474bbd");
+    ("sc", "mp-dmb-ctrl", "defb4a92ef00e582140d49b3daa905fd");
+    ("tso", "mp-dmb-ctrl", "defb4a92ef00e582140d49b3daa905fd");
+    ("promising", "mp-dmb-ctrl", "225a0f95e4b95a74ac0dfd1c450da8b9");
+    ("sc", "mp-dmb-ctrl-isb", "defb4a92ef00e582140d49b3daa905fd");
+    ("tso", "mp-dmb-ctrl-isb", "defb4a92ef00e582140d49b3daa905fd");
+    ("promising", "mp-dmb-ctrl-isb", "defb4a92ef00e582140d49b3daa905fd");
+    ("sc", "lb-ctrl", "864e63470fbdb68da2f9eeba9e8f1e9a");
+    ("tso", "lb-ctrl", "864e63470fbdb68da2f9eeba9e8f1e9a");
+    ("promising", "lb-ctrl", "864e63470fbdb68da2f9eeba9e8f1e9a");
+    ("sc", "cowr", "9ca172a8e46d8a166dd9db7638bf041f");
+    ("tso", "cowr", "9ca172a8e46d8a166dd9db7638bf041f");
+    ("promising", "cowr", "9ca172a8e46d8a166dd9db7638bf041f");
+    ("sc", "corw1", "3ae0377195d1782cf84796589edcc3f0");
+    ("tso", "corw1", "3ae0377195d1782cf84796589edcc3f0");
+    ("promising", "corw1", "3ae0377195d1782cf84796589edcc3f0");
+    ("sc", "sb-one-dmb", "2fadd2cef85290b12756d3c89f689d1a");
+    ("tso", "sb-one-dmb", "36f6b4f1b45f73a9114ef19366b8163c");
+    ("promising", "sb-one-dmb", "36f6b4f1b45f73a9114ef19366b8163c");
+    ("sc", "rel-acq-two-fields", "310ab5cfccacb55d6aff4543547b8e6c");
+    ("tso", "rel-acq-two-fields", "310ab5cfccacb55d6aff4543547b8e6c");
+    ("promising", "rel-acq-two-fields", "310ab5cfccacb55d6aff4543547b8e6c");
+    ("sc", "r-plain", "34b70a1ef20c848c98bea1cd2b20c18f");
+    ("tso", "r-plain", "fda8c281912c9b76c7b16bf11f306852");
+    ("promising", "r-plain", "fda8c281912c9b76c7b16bf11f306852");
+    ("sc", "r-dmb", "34b70a1ef20c848c98bea1cd2b20c18f");
+    ("tso", "r-dmb", "34b70a1ef20c848c98bea1cd2b20c18f");
+    ("promising", "r-dmb", "34b70a1ef20c848c98bea1cd2b20c18f");
+    ("sc", "corr-total", "d9179033498b58655f3dbde7c957eac8");
+    ("tso", "corr-total", "d9179033498b58655f3dbde7c957eac8");
+    ("promising", "corr-total", "d9179033498b58655f3dbde7c957eac8");
+    ("sc", "sb-rel-acq", "2fadd2cef85290b12756d3c89f689d1a");
+    ("tso", "sb-rel-acq", "36f6b4f1b45f73a9114ef19366b8163c");
+    ("promising", "sb-rel-acq", "2fadd2cef85290b12756d3c89f689d1a");
+    ("sc", "gen_vmid", "cc50367be32898f6e26a850b0a8ccc59");
+    ("promising", "gen_vmid", "48337ca23bd62408c01757b14db00804");
+    ("pushpull", "gen_vmid", "ok:cc50367be32898f6e26a850b0a8ccc59");
+    ("sc", "vcpu-switch", "b3a3ee4b0fd10adbe42f755a2dcff391");
+    ("promising", "vcpu-switch", "b3a3ee4b0fd10adbe42f755a2dcff391");
+    ("pushpull", "vcpu-switch", "ok:b3a3ee4b0fd10adbe42f755a2dcff391");
+    ("sc", "vm-boot-state", "3b6bbaf691e96ae2ed86a4562ecefea3");
+    ("promising", "vm-boot-state", "984ff0b9f1e9586ba9d564f79bb8f66a");
+    ("pushpull", "vm-boot-state", "ok:3b6bbaf691e96ae2ed86a4562ecefea3");
+    ("sc", "share-page", "140aeaea0c804c205a9ea7ea229c9584");
+    ("promising", "share-page", "88ecba2179b8a248030dc94db2f4fdf5");
+    ("pushpull", "share-page", "ok:140aeaea0c804c205a9ea7ea229c9584");
+    ("sc", "mcs-counter", "965cbd21d5566170706e0622c244e20c");
+    ("promising", "mcs-counter", "965cbd21d5566170706e0622c244e20c");
+    ("pushpull", "mcs-counter", "ok:965cbd21d5566170706e0622c244e20c");
+    ("sc", "mcs-handoff", "eddf645b902b9c57eb5b2940e9ce21b7");
+    ("promising", "mcs-handoff", "eddf645b902b9c57eb5b2940e9ce21b7");
+    ("pushpull", "mcs-handoff", "ok:eddf645b902b9c57eb5b2940e9ce21b7");
+    ("sc", "gen_vmid-nobarrier", "cc50367be32898f6e26a850b0a8ccc59");
+    ("promising", "gen_vmid-nobarrier", "7bd8fdd08b7ba7ac98c273106bf31ac2");
+    ("pushpull", "gen_vmid-nobarrier", "ok:cc50367be32898f6e26a850b0a8ccc59");
+    ("sc", "vcpu-switch-nobarrier", "b3a3ee4b0fd10adbe42f755a2dcff391");
+    ("promising", "vcpu-switch-nobarrier", "ea03959bf7d75f90a5bf86aa584b3797");
+    ("pushpull", "vcpu-switch-nobarrier", "ok:b3a3ee4b0fd10adbe42f755a2dcff391");
+    ("sc", "mcs-handoff-nobarrier", "eddf645b902b9c57eb5b2940e9ce21b7");
+    ("promising", "mcs-handoff-nobarrier", "b65993874d3e7f38188d76355d677878");
+    ("pushpull", "mcs-handoff-nobarrier", "ok:eddf645b902b9c57eb5b2940e9ce21b7");
+    ("sc", "unlocked-counter", "73ef2ef515dd0086a2b64b8df39df110");
+    ("promising", "unlocked-counter", "73ef2ef515dd0086a2b64b8df39df110");
+    ("pushpull", "unlocked-counter", "violation:CPU 1: access to a shared location not owned on base counter (shared base accessed outside pull/push section)");
+    ("sc", "push-without-pull", "0b209fbb1ee44d0028de5297ee9ec421");
+    ("promising", "push-without-pull", "0b209fbb1ee44d0028de5297ee9ec421");
+    ("pushpull", "push-without-pull", "violation:CPU 0: push of a location not owned by this CPU on base counter (base not owned by pushing CPU)");
+  ]
+
+let litmus = Paper_examples.all @ Litmus_suite.all
+let kernel = Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+
+(* Recompute every golden entry with the engine-based executors, in the
+   same order the goldens were captured. *)
+let computed () =
+  List.concat_map
+    (fun (t : Litmus.t) ->
+      let p = t.Litmus.prog in
+      [ ("sc", p.Prog.name, digest_behaviors (Sc.run p));
+        ("tso", p.Prog.name, digest_behaviors (Tso.run ~fuel:3 p));
+        ( "promising",
+          p.Prog.name,
+          digest_behaviors (Promising.run ?config:t.Litmus.rm_config p) ) ])
+    litmus
+  @ List.concat_map
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let p = e.Sekvm.Kernel_progs.prog in
+        let pp_check = function
+          | Pushpull.Drf_ok b -> "ok:" ^ digest_behaviors b
+          | Pushpull.Drf_violation v ->
+              Format.asprintf "violation:%a" Pushpull.pp_violation v
+          | Pushpull.Drf_kernel_panic _ -> "panic"
+        in
+        [ ("sc", e.Sekvm.Kernel_progs.name, digest_behaviors (Sc.run p));
+          ( "promising",
+            e.Sekvm.Kernel_progs.name,
+            digest_behaviors
+              (Promising.run ~config:e.Sekvm.Kernel_progs.rm_config p) );
+          ( "pushpull",
+            e.Sekvm.Kernel_progs.name,
+            pp_check
+              (Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+                 ~initial_owners:e.Sekvm.Kernel_progs.initial_owners p) ) ])
+      kernel
+
+let test_golden_parity () =
+  let got = computed () in
+  Alcotest.(check int) "corpus size unchanged" (List.length golden)
+    (List.length got);
+  List.iter2
+    (fun (m, n, want) (m', n', have) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s entry" m n)
+        (m ^ "/" ^ n) (m' ^ "/" ^ n');
+      Alcotest.(check string) (Printf.sprintf "%s/%s behaviors" m n) want have)
+    golden got
+
+(* jobs=1 and jobs=4 must produce identical behavior sets: the search is
+   over a pure transition system, so the union of the BFS-prefix and
+   per-domain DFS outcomes is schedule-independent. *)
+let test_jobs_equivalence () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = t.Litmus.prog in
+      Alcotest.(check bool)
+        (p.Prog.name ^ " sc jobs=4")
+        true
+        (Behavior.equal (Sc.run p) (Sc.run ~jobs:4 p));
+      Alcotest.(check bool)
+        (p.Prog.name ^ " tso jobs=4")
+        true
+        (Behavior.equal (Tso.run ~fuel:3 p) (Tso.run ~fuel:3 ~jobs:4 p)))
+    litmus;
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = t.Litmus.prog in
+      Alcotest.(check bool)
+        (p.Prog.name ^ " promising jobs=4")
+        true
+        (Behavior.equal
+           (Promising.run ?config:t.Litmus.rm_config p)
+           (Promising.run ?config:t.Litmus.rm_config ~jobs:4 p)))
+    Paper_examples.all
+
+let test_jobs_equivalence_pushpull () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let p = e.Sekvm.Kernel_progs.prog in
+      let run jobs =
+        Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+          ~initial_owners:e.Sekvm.Kernel_progs.initial_owners ~jobs p
+      in
+      let same =
+        match (run 1, run 4) with
+        | Pushpull.Drf_ok a, Pushpull.Drf_ok b -> Behavior.equal a b
+        | Pushpull.Drf_violation _, Pushpull.Drf_violation _ -> true
+        | Pushpull.Drf_kernel_panic _, Pushpull.Drf_kernel_panic _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool)
+        (e.Sekvm.Kernel_progs.name ^ " pushpull jobs=4")
+        true same)
+    kernel
+
+let test_stats_sanity () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = t.Litmus.prog in
+      let check_stats model (b, (s : Engine.stats)) =
+        let name what = Printf.sprintf "%s %s %s" p.Prog.name model what in
+        Alcotest.(check bool)
+          (name "visited >= outcomes")
+          true
+          (s.Engine.visited >= Behavior.cardinal b);
+        Alcotest.(check bool)
+          (name "dedup >= 0")
+          true (s.Engine.dedup_hits >= 0);
+        (* every visited state except the root was reached by an
+           enumerated transition *)
+        Alcotest.(check bool)
+          (name "transitions >= visited - 1")
+          true
+          (s.Engine.transitions >= s.Engine.visited - 1);
+        Alcotest.(check int)
+          (name "outcomes field")
+          (Behavior.cardinal b) s.Engine.outcomes;
+        Alcotest.(check bool) (name "wall >= 0") true (s.Engine.wall_s >= 0.)
+      in
+      check_stats "sc" (Sc.run_stats p);
+      check_stats "promising"
+        (Promising.run_stats ?config:t.Litmus.rm_config p))
+    Paper_examples.all;
+  (* the Litmus harness surfaces the same stats *)
+  let r = Litmus.run Paper_examples.example1 in
+  Alcotest.(check bool) "litmus sc stats populated" true
+    (r.Litmus.sc_stats.Engine.visited > 0);
+  Alcotest.(check bool) "litmus rm stats populated" true
+    (r.Litmus.rm_stats.Engine.visited > 0)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "parity",
+        [ Alcotest.test_case "behavior sets bit-identical to seed" `Quick
+            test_golden_parity ] );
+      ( "parallel",
+        [ Alcotest.test_case "sc/tso/promising jobs=1 = jobs=4" `Slow
+            test_jobs_equivalence;
+          Alcotest.test_case "pushpull jobs=1 = jobs=4" `Slow
+            test_jobs_equivalence_pushpull ] );
+      ( "stats",
+        [ Alcotest.test_case "exploration statistics sane" `Quick
+            test_stats_sanity ] ) ]
