@@ -1,4 +1,4 @@
-.PHONY: all build test litmus check bench clean
+.PHONY: all build test litmus examples smoke check bench clean
 
 all: build
 
@@ -11,11 +11,29 @@ test:
 litmus:
 	dune exec bin/vrm_cli.exe -- litmus
 
+examples:
+	dune build examples
+	dune exec examples/quickstart.exe
+	dune exec examples/litmus_gallery.exe
+	dune exec examples/vm_lifecycle.exe
+	dune exec examples/wdrf_audit.exe
+	dune exec examples/migration.exe
+
+# End-to-end CLI smoke: one litmus test through the shared JSON printer.
+smoke:
+	dune exec bin/vrm_cli.exe -- litmus mp-plain --stats
+	dune exec bin/vrm_cli.exe -- litmus mp-plain --json
+
 # The tier-1 gate: what CI runs.
-check: build test litmus
+check: build test examples litmus smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Service smoke: start vrmd, push a corpus subset through the socket,
+# verify parity against direct runs, exercise graceful shutdown.
+service-smoke: build
+	sh scripts/service_smoke.sh
 
 clean:
 	dune clean

@@ -450,6 +450,75 @@ let print_parallel () =
     (ok_sc && ok_rm)
 
 (* ------------------------------------------------------------------ *)
+(* vrmd: the verification service, cold vs warm cache                  *)
+(* ------------------------------------------------------------------ *)
+
+let service_corpus () =
+  List.map
+    (fun (t : Memmodel.Litmus.t) -> Service.Scheduler.Litmus_spec t)
+    (Memmodel.Paper_examples.all @ Memmodel.Litmus_suite.all)
+  @ List.map
+      (fun e -> Service.Scheduler.Refine_spec e)
+      (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus)
+
+let print_service () =
+  section "vrmd service: whole-corpus verification, cold vs warm cache";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrmd-bench-%d" (Unix.getpid ()))
+  in
+  let specs = service_corpus () in
+  let round label =
+    (* A fresh store on the same directory: the second round starts with
+       an empty memory table and is served entirely from disk. *)
+    let cache =
+      Cache.Store.create ~dir ~engine_version:Memmodel.Engine.version ()
+    in
+    let sched = Service.Scheduler.create ~workers:4 ~cache () in
+    let t0 = Unix.gettimeofday () in
+    let tickets = List.map (Service.Scheduler.submit sched) specs in
+    let outcomes = List.map (Service.Scheduler.await sched) tickets in
+    let wall = Unix.gettimeofday () -. t0 in
+    let c = Service.Scheduler.counters sched in
+    Service.Scheduler.shutdown sched;
+    Format.printf
+      "  %-5s %3d jobs in %6.2fs: %d explored states, %d cache hits, %d       misses@."
+      label c.Service.Scheduler.submitted wall
+      c.Service.Scheduler.engine.Memmodel.Engine.visited
+      c.Service.Scheduler.cache_stats.Cache.Store.hits
+      c.Service.Scheduler.cache_stats.Cache.Store.misses;
+    (outcomes, c)
+  in
+  let cold, cc = round "cold" in
+  let warm, wc = round "warm" in
+  (* remove the temp store before any expectation can bail out *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with _ -> ());
+  let done_payloads outs =
+    List.map
+      (function
+        | Service.Scheduler.Done p, _ -> Cache.Json.to_string p
+        | _ -> "(not done)")
+      outs
+  in
+  expect "every corpus job completes on both rounds"
+    (List.for_all
+       (function Service.Scheduler.Done _, _ -> true | _ -> false)
+       (cold @ warm));
+  expect "warm round serves the whole corpus from cache (0 states explored)"
+    (wc.Service.Scheduler.engine.Memmodel.Engine.visited = 0
+    && wc.Service.Scheduler.cache_stats.Cache.Store.hits = List.length specs
+    && wc.Service.Scheduler.cache_stats.Cache.Store.misses = 0);
+  expect "cold round explored states (the cache was actually empty)"
+    (cc.Service.Scheduler.engine.Memmodel.Engine.visited > 0);
+  expect "warm payloads are bit-identical to cold payloads"
+    (done_payloads cold = done_payloads warm)
+
+(* ------------------------------------------------------------------ *)
 (* §5: the certification summary                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,6 +619,7 @@ let () =
   print_ablations ();
   print_stress ();
   print_parallel ();
+  print_service ();
   print_certification ();
   run_bechamel ();
   section "Summary";

@@ -28,7 +28,15 @@ let litmus_cmd =
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"explore with $(docv) parallel domains")
   in
-  let run test_name stats jobs =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "print one compact JSON result object per line (the same \
+             payload the verification service returns)")
+  in
+  let run test_name stats jobs json =
     let tests =
       match test_name with
       | None -> Memmodel.Paper_examples.all
@@ -45,12 +53,18 @@ let litmus_cmd =
     let results = List.map (Memmodel.Litmus.run ~jobs) tests in
     List.iter
       (fun (r : Memmodel.Litmus.result) ->
-        Format.printf "%a@." Memmodel.Litmus.pp_result r;
-        if stats then
-          Format.printf "  SC : %a@.  RM : %a@." Memmodel.Engine.pp_stats
-            r.Memmodel.Litmus.sc_stats Memmodel.Engine.pp_stats
-            r.Memmodel.Litmus.rm_stats;
-        Format.printf "@.")
+        if json then
+          print_endline
+            (Cache.Json.to_string
+               (Cache.Codec.litmus_to_json (Cache.Codec.litmus_summary r)))
+        else begin
+          Format.printf "%a@." Memmodel.Litmus.pp_result r;
+          if stats then
+            Format.printf "  SC : %a@.  RM : %a@." Memmodel.Engine.pp_stats
+              r.Memmodel.Litmus.sc_stats Memmodel.Engine.pp_stats
+              r.Memmodel.Litmus.rm_stats;
+          Format.printf "@."
+        end)
       results;
     if
       List.exists
@@ -61,7 +75,7 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
-    Term.(const run $ test_name $ stats $ jobs)
+    Term.(const run $ test_name $ stats $ jobs $ json)
 
 (* ------------------------------------------------------------------ *)
 
@@ -330,10 +344,237 @@ let repair_cmd =
        ~doc:"synthesize minimal acquire/release upgrades for a racy program")
     Term.(const run $ test_name)
 
+(* ------------------------------------------------------------------ *)
+(* vrmd: the verification service                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/vrmd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"daemon socket path")
+
+(* A client command against a daemon that is not there should be a clean
+   diagnostic, not a backtrace. *)
+let with_daemon socket f =
+  try f () with
+  | Unix.Unix_error (e, _, _) ->
+      Format.eprintf "cannot reach vrmd at %s: %s@." socket
+        (Unix.error_message e);
+      exit 1
+  | Failure msg ->
+      Format.eprintf "vrmd at %s: %s@." socket msg;
+      exit 1
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"worker domains (0 = one per available core)")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"persist verification results under $(docv)")
+  in
+  let run socket workers cache_dir =
+    let cache =
+      Cache.Store.create ?dir:cache_dir
+        ~engine_version:Memmodel.Engine.version ()
+    in
+    let workers = if workers <= 0 then None else Some workers in
+    let sched = Service.Scheduler.create ?workers ~cache () in
+    Service.Server.serve ~socket
+      ~log:(fun msg -> Format.eprintf "%s@." msg)
+      sched
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the vrmd verification daemon on a Unix socket")
+    Term.(const run $ socket_arg $ workers $ cache_dir)
+
+(* Recompute a job's result directly (no service, no cache) and compare
+   the content digests against the payload the daemon returned. *)
+let verify_payload (job : Service.Protocol.job) (data : Cache.Json.t) :
+    (unit, string) result =
+  let beh = Memmodel.Fingerprint.behaviors in
+  match Service.Scheduler.lookup_job job with
+  | Error e -> Error e
+  | Ok (Service.Scheduler.Litmus_spec t) ->
+      let remote = Cache.Codec.litmus_of_json data in
+      let local = Cache.Codec.litmus_summary (Memmodel.Litmus.run t) in
+      if
+        local.Cache.Codec.l_prog_digest = remote.Cache.Codec.l_prog_digest
+        && beh local.Cache.Codec.l_sc = beh remote.Cache.Codec.l_sc
+        && beh local.Cache.Codec.l_rm = beh remote.Cache.Codec.l_rm
+        && beh local.Cache.Codec.l_rm_only = beh remote.Cache.Codec.l_rm_only
+        && local.Cache.Codec.l_as_expected = remote.Cache.Codec.l_as_expected
+      then Ok ()
+      else Error "litmus payload disagrees with direct run"
+  | Ok (Service.Scheduler.Refine_spec e) ->
+      let remote = Cache.Codec.refine_of_json data in
+      let v =
+        Vrm.Refinement.check ~config:e.Sekvm.Kernel_progs.rm_config
+          e.Sekvm.Kernel_progs.prog
+      in
+      let local =
+        Cache.Codec.refine_summary ~name:e.Sekvm.Kernel_progs.name
+          e.Sekvm.Kernel_progs.prog v
+      in
+      if
+        local.Cache.Codec.r_prog_digest = remote.Cache.Codec.r_prog_digest
+        && beh local.Cache.Codec.r_sc = beh remote.Cache.Codec.r_sc
+        && beh local.Cache.Codec.r_rm = beh remote.Cache.Codec.r_rm
+        && beh local.Cache.Codec.r_rm_only = beh remote.Cache.Codec.r_rm_only
+        && local.Cache.Codec.r_holds = remote.Cache.Codec.r_holds
+      then Ok ()
+      else Error "refinement payload disagrees with direct run"
+  | Ok (Service.Scheduler.Certify_spec v) ->
+      let local =
+        Cache.Codec.certificate_to_json
+          (Vrm.Certificate.summarize (Vrm.Certificate.certify v))
+      in
+      if Cache.Json.to_string local = Cache.Json.to_string data then Ok ()
+      else Error "certificate payload disagrees with direct run"
+
+let submit_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("litmus", `Litmus); ("refine", `Refine);
+                  ("certify", `Certify); ("corpus", `Corpus) ]))
+          None
+      & info [] ~docv:"KIND"
+          ~doc:"litmus NAME | refine NAME | certify | corpus")
+  in
+  let name_arg = Arg.(value & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"exploration domains per job")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"per-job deadline")
+  in
+  let linux =
+    Arg.(value & opt string "5.5" & info [ "linux" ] ~docv:"VERSION")
+  in
+  let levels = Arg.(value & opt int 4 & info [ "levels" ] ~docv:"N") in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "recompute each result locally and fail unless the daemon's \
+             payload matches digest-for-digest")
+  in
+  let run socket kind name jobs deadline linux levels verify =
+    let jobs_to_run =
+      match (kind, name) with
+      | `Litmus, Some n -> [ Service.Protocol.Litmus n ]
+      | `Refine, Some n -> [ Service.Protocol.Refine n ]
+      | (`Litmus | `Refine), None ->
+          Format.eprintf "NAME is required for this kind@.";
+          exit 2
+      | `Certify, _ ->
+          [ Service.Protocol.Certify { linux; stage2_levels = levels } ]
+      | `Corpus, _ ->
+          List.map
+            (fun (t : Memmodel.Litmus.t) ->
+              Service.Protocol.Litmus t.Memmodel.Litmus.prog.Memmodel.Prog.name)
+            (Memmodel.Paper_examples.all @ Memmodel.Litmus_suite.all)
+          @ List.map
+              (fun (e : Sekvm.Kernel_progs.entry) ->
+                Service.Protocol.Refine e.Sekvm.Kernel_progs.name)
+              (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus)
+    in
+    let describe = function
+      | Service.Protocol.Litmus n -> ("litmus", n)
+      | Service.Protocol.Refine n -> ("refine", n)
+      | Service.Protocol.Certify { linux; stage2_levels } ->
+          ("certify", Printf.sprintf "%s/%d" linux stage2_levels)
+    in
+    let failed = ref false in
+    List.iter
+      (fun job ->
+        let k, n = describe job in
+        match
+          with_daemon socket (fun () ->
+              Service.Client.submit ~socket ~jobs ?deadline_s:deadline job)
+        with
+        | Error msg ->
+            failed := true;
+            Format.printf "%-8s %-26s ERROR %s@." k n msg
+        | Ok payload -> (
+            let data = Cache.Json.member "data" payload in
+            let cached =
+              try Cache.Json.to_bool (Cache.Json.member "from_cache" payload)
+              with _ -> false
+            in
+            let wall =
+              try Cache.Json.to_float (Cache.Json.member "wall_s" payload)
+              with _ -> 0.
+            in
+            let verdict =
+              if verify then
+                match verify_payload job data with
+                | Ok () -> " verified"
+                | Error msg ->
+                    failed := true;
+                    " MISMATCH: " ^ msg
+              else ""
+            in
+            Format.printf "%-8s %-26s ok%s (%.3fs)%s@." k n
+              (if cached then " cached" else "")
+              wall verdict))
+      jobs_to_run;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"submit verification jobs to a running vrmd")
+    Term.(
+      const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
+      $ levels $ verify)
+
+let status_cmd =
+  let run socket =
+    match with_daemon socket (fun () -> Service.Client.status ~socket) with
+    | Ok payload -> print_endline (Cache.Json.to_string payload)
+    | Error msg ->
+        Format.eprintf "status failed: %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"print a running vrmd's service counters")
+    Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match with_daemon socket (fun () -> Service.Client.shutdown ~socket) with
+    | Ok () -> ()
+    | Error msg ->
+        Format.eprintf "shutdown failed: %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"gracefully stop a running vrmd")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "VRM: verification of concurrent kernel code on Arm relaxed memory" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vrm-cli" ~doc)
           [ litmus_cmd; certify_cmd; simulate_cmd; scenario_cmd; stress_cmd;
-            sweep_cmd; migrate_cmd; axiomatic_cmd; repair_cmd ]))
+            sweep_cmd; migrate_cmd; axiomatic_cmd; repair_cmd; serve_cmd;
+            submit_cmd; status_cmd; shutdown_cmd ]))

@@ -1,0 +1,316 @@
+(** JSON codecs for verification results. Round-trip exactness for
+    behavior sets is the load-bearing property: decode (encode b) must
+    rebuild the same outcome set, element for element. *)
+
+open Memmodel
+
+let fail msg = raise (Json.Decode msg)
+
+(* ------------------------------------------------------------------ *)
+(* Behaviors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let status_to_json (s : Behavior.status) : Json.t =
+  Json.String
+    (match s with
+    | Behavior.Normal -> "normal"
+    | Behavior.Panicked -> "panicked"
+    | Behavior.Fuel_exhausted -> "fuel-exhausted")
+
+let status_of_json (j : Json.t) : Behavior.status =
+  match Json.to_str j with
+  | "normal" -> Behavior.Normal
+  | "panicked" -> Behavior.Panicked
+  | "fuel-exhausted" -> Behavior.Fuel_exhausted
+  | s -> fail ("unknown status " ^ s)
+
+let observable_to_json (o : Prog.observable) : Json.t =
+  match o with
+  | Prog.Obs_reg (tid, r) ->
+      Json.Obj [ ("tid", Json.Int tid); ("reg", Json.String (Reg.name r)) ]
+  | Prog.Obs_loc l ->
+      Json.Obj
+        [ ("base", Json.String (Loc.base l)); ("index", Json.Int (Loc.index l)) ]
+
+let observable_of_json (j : Json.t) : Prog.observable =
+  match Json.member "reg" j with
+  | Json.Null ->
+      Prog.Obs_loc
+        (Loc.v
+           ~index:(Json.to_int (Json.member "index" j))
+           (Json.to_str (Json.member "base" j)))
+  | reg -> Prog.Obs_reg (Json.to_int (Json.member "tid" j), Reg.v (Json.to_str reg))
+
+let outcome_to_json (o : Behavior.outcome) : Json.t =
+  Json.Obj
+    [ ("status", status_to_json o.Behavior.status);
+      ( "values",
+        Json.List
+          (List.map
+             (fun (obs, v) ->
+               Json.Obj
+                 [ ("obs", observable_to_json obs); ("value", Json.Int v) ])
+             o.Behavior.values) ) ]
+
+let outcome_of_json (j : Json.t) : Behavior.outcome =
+  Behavior.outcome
+    ~status:(status_of_json (Json.member "status" j))
+    (List.map
+       (fun vj ->
+         ( observable_of_json (Json.member "obs" vj),
+           Json.to_int (Json.member "value" vj) ))
+       (Json.to_list (Json.member "values" j)))
+
+let behaviors_to_json (b : Behavior.t) : Json.t =
+  Json.List (List.map outcome_to_json (Behavior.elements b))
+
+let behaviors_of_json (j : Json.t) : Behavior.t =
+  List.fold_left
+    (fun acc oj -> Behavior.add (outcome_of_json oj) acc)
+    Behavior.empty (Json.to_list j)
+
+(* ------------------------------------------------------------------ *)
+(* Engine statistics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stats_to_json (s : Engine.stats) : Json.t =
+  Json.Obj
+    [ ("visited", Json.Int s.Engine.visited);
+      ("dedup_hits", Json.Int s.Engine.dedup_hits);
+      ("transitions", Json.Int s.Engine.transitions);
+      ("max_depth", Json.Int s.Engine.max_depth);
+      ("outcomes", Json.Int s.Engine.outcomes);
+      ("wall_s", Json.Float s.Engine.wall_s);
+      ("jobs", Json.Int s.Engine.jobs);
+      ("budget_hit", Json.Bool s.Engine.budget_hit) ]
+
+let stats_of_json (j : Json.t) : Engine.stats =
+  { Engine.visited = Json.to_int (Json.member "visited" j);
+    dedup_hits = Json.to_int (Json.member "dedup_hits" j);
+    transitions = Json.to_int (Json.member "transitions" j);
+    max_depth = Json.to_int (Json.member "max_depth" j);
+    outcomes = Json.to_int (Json.member "outcomes" j);
+    wall_s = Json.to_float (Json.member "wall_s" j);
+    jobs = Json.to_int (Json.member "jobs" j);
+    budget_hit = Json.to_bool (Json.member "budget_hit" j) }
+
+(* ------------------------------------------------------------------ *)
+(* Litmus results                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type litmus_summary = {
+  l_name : string;
+  l_description : string;
+  l_prog_digest : string;
+  l_sc : Behavior.t;
+  l_rm : Behavior.t;
+  l_rm_only : Behavior.t;
+  l_sc_sat : bool;
+  l_rm_sat : bool;
+  l_sc_panic : bool;
+  l_rm_panic : bool;
+  l_as_expected : bool;
+  l_sc_stats : Engine.stats;
+  l_rm_stats : Engine.stats;
+}
+
+let litmus_summary (r : Litmus.result) : litmus_summary =
+  { l_name = r.Litmus.test.Litmus.prog.Prog.name;
+    l_description = r.Litmus.test.Litmus.description;
+    l_prog_digest = Fingerprint.prog r.Litmus.test.Litmus.prog;
+    l_sc = r.Litmus.sc;
+    l_rm = r.Litmus.rm;
+    l_rm_only = r.Litmus.rm_only;
+    l_sc_sat = r.Litmus.sc_sat;
+    l_rm_sat = r.Litmus.rm_sat;
+    l_sc_panic = r.Litmus.sc_panic;
+    l_rm_panic = r.Litmus.rm_panic;
+    l_as_expected = r.Litmus.as_expected;
+    l_sc_stats = r.Litmus.sc_stats;
+    l_rm_stats = r.Litmus.rm_stats }
+
+let litmus_to_json (s : litmus_summary) : Json.t =
+  Json.Obj
+    [ ("kind", Json.String "litmus");
+      ("name", Json.String s.l_name);
+      ("description", Json.String s.l_description);
+      ("prog_digest", Json.String s.l_prog_digest);
+      ("sc_digest", Json.String (Fingerprint.behaviors s.l_sc));
+      ("rm_digest", Json.String (Fingerprint.behaviors s.l_rm));
+      ("sc", behaviors_to_json s.l_sc);
+      ("rm", behaviors_to_json s.l_rm);
+      ("rm_only", behaviors_to_json s.l_rm_only);
+      ("sc_sat", Json.Bool s.l_sc_sat);
+      ("rm_sat", Json.Bool s.l_rm_sat);
+      ("sc_panic", Json.Bool s.l_sc_panic);
+      ("rm_panic", Json.Bool s.l_rm_panic);
+      ("as_expected", Json.Bool s.l_as_expected);
+      ("sc_stats", stats_to_json s.l_sc_stats);
+      ("rm_stats", stats_to_json s.l_rm_stats) ]
+
+let litmus_of_json (j : Json.t) : litmus_summary =
+  if Json.member "kind" j <> Json.String "litmus" then
+    fail "expected a litmus result";
+  let s =
+    { l_name = Json.to_str (Json.member "name" j);
+      l_description = Json.to_str (Json.member "description" j);
+      l_prog_digest = Json.to_str (Json.member "prog_digest" j);
+      l_sc = behaviors_of_json (Json.member "sc" j);
+      l_rm = behaviors_of_json (Json.member "rm" j);
+      l_rm_only = behaviors_of_json (Json.member "rm_only" j);
+      l_sc_sat = Json.to_bool (Json.member "sc_sat" j);
+      l_rm_sat = Json.to_bool (Json.member "rm_sat" j);
+      l_sc_panic = Json.to_bool (Json.member "sc_panic" j);
+      l_rm_panic = Json.to_bool (Json.member "rm_panic" j);
+      l_as_expected = Json.to_bool (Json.member "as_expected" j);
+      l_sc_stats = stats_of_json (Json.member "sc_stats" j);
+      l_rm_stats = stats_of_json (Json.member "rm_stats" j) }
+  in
+  (* the embedded digests double as an integrity check on the sets *)
+  if
+    Json.to_str (Json.member "sc_digest" j) <> Fingerprint.behaviors s.l_sc
+    || Json.to_str (Json.member "rm_digest" j) <> Fingerprint.behaviors s.l_rm
+  then fail "behavior-set digest mismatch";
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Refinement verdicts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type refine_summary = {
+  r_name : string;
+  r_prog_digest : string;
+  r_holds : bool;
+  r_sc : Behavior.t;
+  r_rm : Behavior.t;
+  r_rm_only : Behavior.t;
+  r_sc_panics : bool;
+  r_rm_panics : bool;
+  r_bounded : bool;
+  r_violation : string option;
+  r_sc_stats : Engine.stats;
+  r_rm_stats : Engine.stats;
+}
+
+let refine_summary ~name (prog : Prog.t) (v : Vrm.Refinement.verdict) :
+    refine_summary =
+  { r_name = name;
+    r_prog_digest = Fingerprint.prog prog;
+    r_holds = v.Vrm.Refinement.holds;
+    r_sc = v.Vrm.Refinement.sc;
+    r_rm = v.Vrm.Refinement.rm;
+    r_rm_only = v.Vrm.Refinement.rm_only;
+    r_sc_panics = v.Vrm.Refinement.sc_panics;
+    r_rm_panics = v.Vrm.Refinement.rm_panics;
+    r_bounded = v.Vrm.Refinement.bounded;
+    r_violation =
+      Option.map
+        (fun (o, steps) ->
+          Format.asprintf "%a via %a" Behavior.pp_outcome o
+            Promising.pp_schedule steps)
+        (Vrm.Refinement.first_violation v);
+    r_sc_stats = v.Vrm.Refinement.sc_stats;
+    r_rm_stats = v.Vrm.Refinement.rm_stats }
+
+let refine_to_json (s : refine_summary) : Json.t =
+  Json.Obj
+    [ ("kind", Json.String "refine");
+      ("name", Json.String s.r_name);
+      ("prog_digest", Json.String s.r_prog_digest);
+      ("holds", Json.Bool s.r_holds);
+      ("sc_digest", Json.String (Fingerprint.behaviors s.r_sc));
+      ("rm_digest", Json.String (Fingerprint.behaviors s.r_rm));
+      ("sc", behaviors_to_json s.r_sc);
+      ("rm", behaviors_to_json s.r_rm);
+      ("rm_only", behaviors_to_json s.r_rm_only);
+      ("sc_panics", Json.Bool s.r_sc_panics);
+      ("rm_panics", Json.Bool s.r_rm_panics);
+      ("bounded", Json.Bool s.r_bounded);
+      ( "violation",
+        match s.r_violation with
+        | None -> Json.Null
+        | Some w -> Json.String w );
+      ("sc_stats", stats_to_json s.r_sc_stats);
+      ("rm_stats", stats_to_json s.r_rm_stats) ]
+
+let refine_of_json (j : Json.t) : refine_summary =
+  if Json.member "kind" j <> Json.String "refine" then
+    fail "expected a refinement result";
+  let s =
+    { r_name = Json.to_str (Json.member "name" j);
+      r_prog_digest = Json.to_str (Json.member "prog_digest" j);
+      r_holds = Json.to_bool (Json.member "holds" j);
+      r_sc = behaviors_of_json (Json.member "sc" j);
+      r_rm = behaviors_of_json (Json.member "rm" j);
+      r_rm_only = behaviors_of_json (Json.member "rm_only" j);
+      r_sc_panics = Json.to_bool (Json.member "sc_panics" j);
+      r_rm_panics = Json.to_bool (Json.member "rm_panics" j);
+      r_bounded = Json.to_bool (Json.member "bounded" j);
+      r_violation =
+        (match Json.member "violation" j with
+        | Json.Null -> None
+        | w -> Some (Json.to_str w));
+      r_sc_stats = stats_of_json (Json.member "sc_stats" j);
+      r_rm_stats = stats_of_json (Json.member "rm_stats" j) }
+  in
+  if
+    Json.to_str (Json.member "sc_digest" j) <> Fingerprint.behaviors s.r_sc
+    || Json.to_str (Json.member "rm_digest" j) <> Fingerprint.behaviors s.r_rm
+  then fail "behavior-set digest mismatch";
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Certificate summaries                                               *)
+(* ------------------------------------------------------------------ *)
+
+let certificate_to_json (s : Vrm.Certificate.summary) : Json.t =
+  Json.Obj
+    [ ("kind", Json.String "certificate");
+      ("linux", Json.String s.Vrm.Certificate.s_linux);
+      ("stage2_levels", Json.Int s.Vrm.Certificate.s_stage2_levels);
+      ( "programs",
+        Json.List
+          (List.map
+             (fun (p : Vrm.Certificate.program_summary) ->
+               Json.Obj
+                 [ ("name", Json.String p.Vrm.Certificate.ps_name);
+                   ("prog_digest", Json.String p.Vrm.Certificate.ps_prog_digest);
+                   ("drf", Json.Bool p.Vrm.Certificate.ps_drf);
+                   ("barrier", Json.Bool p.Vrm.Certificate.ps_barrier);
+                   ("refine", Json.Bool p.Vrm.Certificate.ps_refine);
+                   ("as_expected", Json.Bool p.Vrm.Certificate.ps_as_expected) ])
+             s.Vrm.Certificate.s_programs) );
+      ("write_once", Json.Bool s.Vrm.Certificate.s_write_once);
+      ("tlbi", Json.Bool s.Vrm.Certificate.s_tlbi);
+      ("transactional", Json.Bool s.Vrm.Certificate.s_transactional);
+      ("example5_rejected", Json.Bool s.Vrm.Certificate.s_example5_rejected);
+      ("isolation", Json.Bool s.Vrm.Certificate.s_isolation);
+      ("attacks_denied", Json.Bool s.Vrm.Certificate.s_attacks_denied);
+      ("oracle_independent", Json.Bool s.Vrm.Certificate.s_oracle_independent);
+      ("theorem4", Json.Bool s.Vrm.Certificate.s_theorem4);
+      ("certified", Json.Bool s.Vrm.Certificate.s_certified) ]
+
+let certificate_of_json (j : Json.t) : Vrm.Certificate.summary =
+  if Json.member "kind" j <> Json.String "certificate" then
+    fail "expected a certificate";
+  { Vrm.Certificate.s_linux = Json.to_str (Json.member "linux" j);
+    s_stage2_levels = Json.to_int (Json.member "stage2_levels" j);
+    s_programs =
+      List.map
+        (fun pj ->
+          { Vrm.Certificate.ps_name = Json.to_str (Json.member "name" pj);
+            ps_prog_digest = Json.to_str (Json.member "prog_digest" pj);
+            ps_drf = Json.to_bool (Json.member "drf" pj);
+            ps_barrier = Json.to_bool (Json.member "barrier" pj);
+            ps_refine = Json.to_bool (Json.member "refine" pj);
+            ps_as_expected = Json.to_bool (Json.member "as_expected" pj) })
+        (Json.to_list (Json.member "programs" j));
+    s_write_once = Json.to_bool (Json.member "write_once" j);
+    s_tlbi = Json.to_bool (Json.member "tlbi" j);
+    s_transactional = Json.to_bool (Json.member "transactional" j);
+    s_example5_rejected = Json.to_bool (Json.member "example5_rejected" j);
+    s_isolation = Json.to_bool (Json.member "isolation" j);
+    s_attacks_denied = Json.to_bool (Json.member "attacks_denied" j);
+    s_oracle_independent = Json.to_bool (Json.member "oracle_independent" j);
+    s_theorem4 = Json.to_bool (Json.member "theorem4" j);
+    s_certified = Json.to_bool (Json.member "certified" j) }

@@ -1,0 +1,63 @@
+(** JSON codecs for verification results: the shared printer behind
+    [vrm-cli litmus --json], the service protocol payloads and the
+    on-disk cache entries.
+
+    Every [*_of_json] is the exact inverse of its [*_to_json] on the
+    values this library produces: behavior sets round-trip bit-identically
+    (same {!Memmodel.Behavior.t}, same {!Memmodel.Fingerprint.behaviors}
+    digest), which is what lets a cached result stand in for a recomputed
+    one. Decoders raise {!Json.Decode} on malformed input — the cache
+    store turns that into a miss. *)
+
+open Memmodel
+
+val behaviors_to_json : Behavior.t -> Json.t
+val behaviors_of_json : Json.t -> Behavior.t
+
+val stats_to_json : Engine.stats -> Json.t
+val stats_of_json : Json.t -> Engine.stats
+
+(** Plain-data view of a {!Litmus.result} (the [exists] closure and
+    program body are replaced by the program digest). *)
+type litmus_summary = {
+  l_name : string;
+  l_description : string;
+  l_prog_digest : string;
+  l_sc : Behavior.t;
+  l_rm : Behavior.t;
+  l_rm_only : Behavior.t;
+  l_sc_sat : bool;
+  l_rm_sat : bool;
+  l_sc_panic : bool;
+  l_rm_panic : bool;
+  l_as_expected : bool;
+  l_sc_stats : Engine.stats;
+  l_rm_stats : Engine.stats;
+}
+
+val litmus_summary : Litmus.result -> litmus_summary
+val litmus_to_json : litmus_summary -> Json.t
+val litmus_of_json : Json.t -> litmus_summary
+
+(** Plain-data view of a {!Vrm.Refinement.verdict}. *)
+type refine_summary = {
+  r_name : string;
+  r_prog_digest : string;
+  r_holds : bool;
+  r_sc : Behavior.t;
+  r_rm : Behavior.t;
+  r_rm_only : Behavior.t;
+  r_sc_panics : bool;
+  r_rm_panics : bool;
+  r_bounded : bool;
+  r_violation : string option;  (** rendered first violating schedule *)
+  r_sc_stats : Engine.stats;
+  r_rm_stats : Engine.stats;
+}
+
+val refine_summary : name:string -> Prog.t -> Vrm.Refinement.verdict -> refine_summary
+val refine_to_json : refine_summary -> Json.t
+val refine_of_json : Json.t -> refine_summary
+
+val certificate_to_json : Vrm.Certificate.summary -> Json.t
+val certificate_of_json : Json.t -> Vrm.Certificate.summary

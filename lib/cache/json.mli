@@ -1,0 +1,42 @@
+(** A minimal JSON value type with a deterministic compact encoder and a
+    strict parser — the one wire/storage format shared by the service
+    protocol ({!Service.Protocol}), the [vrm-cli litmus --json] printer
+    and the on-disk cache entries ({!Store}).
+
+    Determinism matters more than features here: [to_string] of the same
+    value is byte-identical on every run (object fields keep insertion
+    order, floats print with ["%.17g"]), so cached payloads can be
+    compared and digested as strings. No external JSON library is used —
+    the container ships none, and 200 lines of parser beats a stub. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Decode of string
+(** Raised by the accessors below on a type mismatch, and carried in the
+    [Error] of {!of_string} on malformed input. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) deterministic rendering. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document; trailing garbage is an
+    error. Numbers with [.], [e] or [E] parse as [Float], others as
+    [Int]. *)
+
+val member : string -> t -> t
+(** Field of an object, [Null] if absent; raises {!Decode} on non-objects. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_str : t -> string
+val to_float : t -> float
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_list : t -> t list

@@ -1,0 +1,151 @@
+(** Content-addressed verification-result cache. See the interface for
+    the keying rule and corruption contract.
+
+    On-disk entry layout (one file per key, [<dir>/<key>.vrmc]):
+
+    {v
+    vrm-cache 1 <engine-version>\n
+    <compact JSON payload>\n
+    <md5 hex of the payload line>\n
+    v}
+
+    Reads re-derive the checksum and re-parse the payload; any mismatch,
+    short read, unknown format version or engine-version skew is a miss. *)
+
+let format_version = 1
+
+type counters = {
+  hits : int;
+  misses : int;
+  disk_hits : int;
+  stores : int;
+  corrupt : int;
+  entries : int;
+}
+
+type t = {
+  dir : string option;
+  engine_version : string;
+  table : (string, Json.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable disk_hits : int;
+  mutable stores : int;
+  mutable corrupt : int;
+  lock : Mutex.t;
+}
+
+let make_key ~engine_version ~model ~budgets ~prog_digest =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ engine_version; model; budgets; prog_digest ]))
+
+let create ?dir ~engine_version () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  { dir;
+    engine_version;
+    table = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+    disk_hits = 0;
+    stores = 0;
+    corrupt = 0;
+    lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let path t key =
+  match t.dir with
+  | None -> None
+  | Some d -> Some (Filename.concat d (key ^ ".vrmc"))
+
+(* Read and validate a disk entry. Any deviation from the format is
+   [Error `Corrupt]; a missing file is [Error `Absent]. Never raises. *)
+let read_disk t key : (Json.t, [ `Absent | `Corrupt ]) result =
+  match path t key with
+  | None -> Error `Absent
+  | Some file -> (
+      match open_in_bin file with
+      | exception _ -> Error `Absent
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let line () = try Some (input_line ic) with End_of_file -> None in
+              match (line (), line (), line ()) with
+              | Some header, Some payload, Some checksum -> (
+                  let expected_header =
+                    Printf.sprintf "vrm-cache %d %s" format_version
+                      t.engine_version
+                  in
+                  if header <> expected_header then Error `Corrupt
+                  else if Digest.to_hex (Digest.string payload) <> checksum
+                  then Error `Corrupt
+                  else
+                    match Json.of_string payload with
+                    | Ok v -> Ok v
+                    | Error _ -> Error `Corrupt)
+              | _ -> Error `Corrupt))
+
+let write_disk t key (v : Json.t) =
+  match path t key with
+  | None -> ()
+  | Some file -> (
+      let payload = Json.to_string v in
+      let tmp = file ^ ".tmp" in
+      try
+        let oc = open_out_bin tmp in
+        Printf.fprintf oc "vrm-cache %d %s\n%s\n%s\n" format_version
+          t.engine_version payload
+          (Digest.to_hex (Digest.string payload));
+        close_out oc;
+        Sys.rename tmp file
+      with _ -> (try Sys.remove tmp with _ -> ()))
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None -> (
+          match read_disk t key with
+          | Ok v ->
+              Hashtbl.replace t.table key v;
+              t.hits <- t.hits + 1;
+              t.disk_hits <- t.disk_hits + 1;
+              Some v
+          | Error `Corrupt ->
+              t.corrupt <- t.corrupt + 1;
+              t.misses <- t.misses + 1;
+              None
+          | Error `Absent ->
+              t.misses <- t.misses + 1;
+              None))
+
+let add t key v =
+  locked t (fun () ->
+      Hashtbl.replace t.table key v;
+      t.stores <- t.stores + 1;
+      write_disk t key v)
+
+let drop_memory t = locked t (fun () -> Hashtbl.reset t.table)
+
+let counters t =
+  locked t (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        disk_hits = t.disk_hits;
+        stores = t.stores;
+        corrupt = t.corrupt;
+        entries = Hashtbl.length t.table })
+
+let pp_counters fmt (c : counters) =
+  Format.fprintf fmt
+    "hits=%d (disk %d) misses=%d stores=%d corrupt=%d entries=%d" c.hits
+    c.disk_hits c.misses c.stores c.corrupt c.entries

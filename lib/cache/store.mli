@@ -1,0 +1,61 @@
+(** Content-addressed verification-result cache.
+
+    A cache key is a digest over everything a result can depend on:
+    the program's content digest ({!Memmodel.Fingerprint.prog}), the
+    model/job identifier, the engine budgets, and the engine version
+    ({!Memmodel.Engine.version}). Because the exploration engine is pure
+    and deterministic, a stored result is {e equal} to a recomputed one
+    — the determinism argument is spelled out in DESIGN.md. The key
+    deliberately excludes the [--jobs] fan-out (parallel search returns
+    the same behavior set) and the program/job {e name}.
+
+    Entries live in an in-memory table, optionally backed by an on-disk
+    directory (one file per key). The on-disk format is versioned and
+    checksummed; a truncated, garbled, or stale-engine-version entry is
+    treated as a {e miss} — the caller recomputes, the cache never
+    crashes and never serves a corrupt payload.
+
+    All operations are thread- and domain-safe (one internal mutex). *)
+
+type t
+
+val make_key :
+  engine_version:string ->
+  model:string ->
+  budgets:string ->
+  prog_digest:string ->
+  string
+(** The cache keying rule. [model] identifies the job kind (e.g.
+    ["litmus"], ["refine"], ["certify"]); [budgets] is a canonical
+    rendering of every exploration bound (e.g.
+    {!Memmodel.Fingerprint.promising_config} plus the SC fuel). *)
+
+val create : ?dir:string -> engine_version:string -> unit -> t
+(** [dir] enables the on-disk backing store (created if missing). Without
+    it the cache is memory-only. *)
+
+val find : t -> string -> Json.t option
+(** Memory first, then disk (a disk hit is promoted to memory). [None]
+    counts as a miss; corrupt disk entries additionally bump the
+    [corrupt] counter. *)
+
+val add : t -> string -> Json.t -> unit
+(** Insert into memory and (if backed) write the disk entry atomically
+    (temp file + rename). Disk write failures are swallowed: the cache
+    degrades to memory-only rather than failing the job. *)
+
+val drop_memory : t -> unit
+(** Forget the in-memory table (counters survive) — forces subsequent
+    [find]s through the disk path; used by tests and the cold/warm bench. *)
+
+type counters = {
+  hits : int;  (** memory + disk hits *)
+  misses : int;
+  disk_hits : int;  (** subset of [hits] served from disk *)
+  stores : int;
+  corrupt : int;  (** disk entries rejected as truncated/garbled/stale *)
+  entries : int;  (** current in-memory population *)
+}
+
+val counters : t -> counters
+val pp_counters : Format.formatter -> counters -> unit

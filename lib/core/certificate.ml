@@ -194,6 +194,77 @@ let certify_all () : report list =
   List.map certify Kernel_progs.versions
 
 (* ------------------------------------------------------------------ *)
+(* Cacheable summaries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type program_summary = {
+  ps_name : string;
+  ps_prog_digest : string;
+  ps_drf : bool;
+  ps_barrier : bool;
+  ps_refine : bool;
+  ps_as_expected : bool;
+}
+
+type summary = {
+  s_linux : string;
+  s_stage2_levels : int;
+  s_programs : program_summary list;
+  s_write_once : bool;
+  s_tlbi : bool;
+  s_transactional : bool;
+  s_example5_rejected : bool;
+  s_isolation : bool;
+  s_attacks_denied : bool;
+  s_oracle_independent : bool;
+  s_theorem4 : bool;
+  s_certified : bool;
+}
+
+let summarize (r : report) : summary =
+  { s_linux = r.version.Kernel_progs.linux;
+    s_stage2_levels = r.version.Kernel_progs.stage2_levels;
+    s_programs =
+      List.map
+        (fun (p : program_report) ->
+          { ps_name = p.entry.Kernel_progs.name;
+            ps_prog_digest =
+              Memmodel.Fingerprint.prog p.entry.Kernel_progs.prog;
+            ps_drf = p.drf.Check_drf.holds;
+            ps_barrier = p.barrier.Check_barrier.holds;
+            ps_refine = p.refine.Refinement.holds;
+            ps_as_expected = p.as_expected })
+        r.programs;
+    s_write_once = r.system.write_once.Check_write_once.holds;
+    s_tlbi = r.system.tlbi.Check_tlbi.holds;
+    s_transactional =
+      r.system.transactional_map.Check_transactional.holds
+      && r.system.transactional_map_deep.Check_transactional.holds
+      && r.system.transactional_unmap.Check_transactional.holds;
+    s_example5_rejected = r.system.example5_rejected;
+    s_isolation = r.system.isolation.Check_isolation.holds;
+    s_attacks_denied = r.system.attacks_denied;
+    s_oracle_independent = r.system.oracle_independent;
+    s_theorem4 = r.system.theorem4;
+    s_certified = r.certified }
+
+let pp_summary fmt (s : summary) =
+  let flag b = if b then "ok" else "FAIL" in
+  Format.fprintf fmt
+    "@[<v>Linux %s (%d-level stage-2): %s@,\
+    \  programs as expected: %d/%d@,\
+    \  write-once=%s tlbi=%s transactional=%s example5-rejected=%s@,\
+    \  isolation=%s attacks-denied=%s oracle-independent=%s theorem4=%s@]"
+    s.s_linux s.s_stage2_levels
+    (if s.s_certified then "CERTIFIED" else "FAILED")
+    (List.length (List.filter (fun p -> p.ps_as_expected) s.s_programs))
+    (List.length s.s_programs)
+    (flag s.s_write_once) (flag s.s_tlbi) (flag s.s_transactional)
+    (flag s.s_example5_rejected) (flag s.s_isolation)
+    (flag s.s_attacks_denied) (flag s.s_oracle_independent)
+    (flag s.s_theorem4)
+
+(* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -34,6 +34,40 @@ type report = {
   certified : bool;
 }
 
+(** {2 Cacheable summaries}
+
+    A full {!report} drags along traces, behavior sets and closures; the
+    verification service caches the plain-data summary below instead —
+    everything a client needs to display or gate on, nothing that cannot
+    round-trip through a byte store. *)
+
+type program_summary = {
+  ps_name : string;
+  ps_prog_digest : string;  (** {!Memmodel.Fingerprint.prog} of the entry *)
+  ps_drf : bool;
+  ps_barrier : bool;
+  ps_refine : bool;
+  ps_as_expected : bool;
+}
+
+type summary = {
+  s_linux : string;
+  s_stage2_levels : int;
+  s_programs : program_summary list;
+  s_write_once : bool;
+  s_tlbi : bool;
+  s_transactional : bool;  (** all three transactional audits *)
+  s_example5_rejected : bool;
+  s_isolation : bool;
+  s_attacks_denied : bool;
+  s_oracle_independent : bool;
+  s_theorem4 : bool;
+  s_certified : bool;
+}
+
+val summarize : report -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
 val audit_program : Kernel_progs.entry -> program_report
 val audit_system : Kernel_progs.version -> system_report
 val certify : Kernel_progs.version -> report

@@ -32,9 +32,11 @@ let normals (b : Behavior.t) : Behavior.t =
     b
 
 let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
-    (prog : Prog.t) : verdict =
-  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs prog in
-  let rm, witnesses, rm_stats = Promising.run_full ~config ?jobs prog in
+    ?deadline (prog : Prog.t) : verdict =
+  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline prog in
+  let rm, witnesses, rm_stats =
+    Promising.run_full ~config ?jobs ?deadline prog
+  in
   let rm_only = Behavior.diff (normals rm) (normals sc) in
   let sc_panics = Behavior.any_panic sc in
   let rm_panics = Behavior.any_panic rm in

@@ -21,9 +21,12 @@ type verdict = {
 val normals : Behavior.t -> Behavior.t
 
 val check :
-  ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int -> Prog.t -> verdict
+  ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
+  ?deadline:float -> Prog.t -> verdict
 (** [jobs] fans both explorations across that many domains via the shared
-    {!Engine} (identical behavior sets). *)
+    {!Engine} (identical behavior sets). [deadline] (absolute time)
+    cancels both explorations when it passes; a cut-short verdict carries
+    [stats.budget_hit] in its statistics. *)
 
 val witness_for : verdict -> Behavior.outcome -> Promising.step list option
 (** The schedule that produced an outcome — for RM-only behaviors, the

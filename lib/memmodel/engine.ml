@@ -1,6 +1,10 @@
 (** Model-generic exhaustive exploration engine. See the interface for
     the design and the parallel-search determinism argument. *)
 
+(* Bump on any change to exploration semantics: the verification cache
+   keys every stored result on this string. *)
+let version = "vrm-engine/2"
+
 type stats = {
   visited : int;
   dedup_hits : int;
@@ -94,7 +98,7 @@ module Make (M : MODEL) = struct
   (* Depth-first search from each root, with a private seen-set. Roots
      carry the (reversed) label path and depth that led to them, so a
      parallel bucket reports witnesses with their full schedule. *)
-  let dfs ~ctx ~witnesses ~max_states acc roots =
+  let dfs ~ctx ~witnesses ~max_states ~deadline acc roots =
     let seen = Hashtbl.create 4096 in
     let rec go st path depth =
       let key = M.key st in
@@ -105,6 +109,11 @@ module Make (M : MODEL) = struct
         if depth > acc.maxd then acc.maxd <- depth;
         (match max_states with
         | Some b when acc.visited > b ->
+            acc.budget_hit <- true;
+            raise Budget
+        | _ -> ());
+        (match deadline with
+        | Some d when Unix.gettimeofday () > d ->
             acc.budget_hit <- true;
             raise Budget
         | _ -> ());
@@ -160,7 +169,7 @@ module Make (M : MODEL) = struct
           wall_s = Unix.gettimeofday () -. t0;
           jobs } }
 
-  let explore_parallel ~max_states ~witnesses ~jobs ~ctx init t0 =
+  let explore_parallel ~max_states ~deadline ~witnesses ~jobs ~ctx init t0 =
     (* BFS prefix: grow a frontier of distinct unexpanded states. *)
     let target = jobs * 4 in
     let acc0 = new_acc () in
@@ -168,7 +177,10 @@ module Make (M : MODEL) = struct
     let q = Queue.create () in
     Queue.add (init, [], 0) q;
     let budget_left () =
-      match max_states with Some b -> acc0.visited <= b | None -> true
+      (match max_states with Some b -> acc0.visited <= b | None -> true)
+      && match deadline with
+         | Some d -> Unix.gettimeofday () <= d
+         | None -> true
     in
     while Queue.length q > 0 && Queue.length q < target && budget_left () do
       let st, path, depth = Queue.pop q in
@@ -211,7 +223,7 @@ module Make (M : MODEL) = struct
           let roots = List.rev items in
           Domain.spawn (fun () ->
               let acc = new_acc () in
-              match dfs ~ctx ~witnesses ~max_states acc roots with
+              match dfs ~ctx ~witnesses ~max_states ~deadline acc roots with
               | () -> Ok acc
               | exception e -> Error e))
         buckets
@@ -225,14 +237,15 @@ module Make (M : MODEL) = struct
     in
     finish ~t0 ~jobs accs
 
-  let explore ?max_states ?(witnesses = false) ?(jobs = 1) ~ctx init =
+  let explore ?max_states ?deadline ?(witnesses = false) ?(jobs = 1) ~ctx
+      init =
     let t0 = Unix.gettimeofday () in
     if jobs <= 1 then begin
       let acc = new_acc () in
-      dfs ~ctx ~witnesses ~max_states acc [ (init, [], 0) ];
+      dfs ~ctx ~witnesses ~max_states ~deadline acc [ (init, [], 0) ];
       finish ~t0 ~jobs:1 [ acc ]
     end
-    else explore_parallel ~max_states ~witnesses ~jobs ~ctx init t0
+    else explore_parallel ~max_states ~deadline ~witnesses ~jobs ~ctx init t0
 end
 
 let enumerate_paths (type s l) ~(expand : s -> (s, l) expansion)

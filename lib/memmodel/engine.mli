@@ -39,6 +39,13 @@
     from the sequential run (and [max_states] is enforced per domain
     rather than globally), but the behavior set is identical. *)
 
+val version : string
+(** Version tag of the exploration semantics. Any change that can alter a
+    behavior set, a witness schedule, or the meaning of a budget must bump
+    this string: it is part of every content-addressed cache key
+    ({!Cache.Store}), so a bump invalidates all previously stored
+    verification results. *)
+
 (** Exploration statistics, threaded up through {!Litmus.run},
     {!Vrm.Refinement.check} and {!Vrm.Theorem4.check}. *)
 type stats = {
@@ -108,6 +115,7 @@ module Make (M : MODEL) : sig
 
   val explore :
     ?max_states:int ->
+    ?deadline:float ->
     ?witnesses:bool ->
     ?jobs:int ->
     ctx:M.ctx ->
@@ -116,6 +124,10 @@ module Make (M : MODEL) : sig
   (** Exhaustively explore from the initial state. [max_states] is a
       safety valve: exploration stops (with [stats.budget_hit] set) after
       expanding that many distinct states — per domain when [jobs > 1].
+      [deadline] is an absolute [Unix.gettimeofday] timestamp: once it
+      passes, the search stops at the next expanded state (in every
+      domain) with [stats.budget_hit] set, which is how the verification
+      service cancels jobs that outlive their per-job deadline.
       Exceptions raised by [M.expand] abort the search and propagate
       (from the lowest-numbered bucket first in parallel mode). *)
 end

@@ -1,0 +1,203 @@
+(** Stable content digests for programs, configurations and behavior
+    sets. See the interface for the stability contract; every encoder
+    below is length-prefixed and tag-disambiguated so distinct values
+    never serialize to the same bytes. *)
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_int buf n =
+  Buffer.add_char buf 'i';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let rec add_vexp buf (e : Expr.vexp) =
+  match e with
+  | Expr.Const n ->
+      Buffer.add_char buf 'C';
+      add_int buf n
+  | Expr.Reg r ->
+      Buffer.add_char buf 'R';
+      add_str buf (Reg.name r)
+  | Expr.Add (a, b) ->
+      Buffer.add_char buf '+';
+      add_vexp buf a;
+      add_vexp buf b
+  | Expr.Sub (a, b) ->
+      Buffer.add_char buf '-';
+      add_vexp buf a;
+      add_vexp buf b
+  | Expr.Mul (a, b) ->
+      Buffer.add_char buf '*';
+      add_vexp buf a;
+      add_vexp buf b
+  | Expr.Div (a, b) ->
+      Buffer.add_char buf '/';
+      add_vexp buf a;
+      add_vexp buf b
+
+let add_cmp buf (c : Expr.cmp) =
+  Buffer.add_char buf
+    (match c with
+    | Expr.Eq -> '='
+    | Expr.Ne -> '!'
+    | Expr.Lt -> '<'
+    | Expr.Le -> 'l'
+    | Expr.Gt -> '>'
+    | Expr.Ge -> 'g')
+
+let rec add_bexp buf (e : Expr.bexp) =
+  match e with
+  | Expr.Bool b ->
+      Buffer.add_char buf 'B';
+      Buffer.add_char buf (if b then '1' else '0')
+  | Expr.Cmp (c, a, b) ->
+      Buffer.add_char buf 'c';
+      add_cmp buf c;
+      add_vexp buf a;
+      add_vexp buf b
+  | Expr.And (a, b) ->
+      Buffer.add_char buf '&';
+      add_bexp buf a;
+      add_bexp buf b
+  | Expr.Or (a, b) ->
+      Buffer.add_char buf '|';
+      add_bexp buf a;
+      add_bexp buf b
+  | Expr.Not a ->
+      Buffer.add_char buf '~';
+      add_bexp buf a
+
+let add_aexp buf (a : Expr.aexp) =
+  add_str buf a.Expr.abase;
+  add_vexp buf a.Expr.offset
+
+let add_order buf (o : Instr.order) =
+  Buffer.add_char buf
+    (match o with
+    | Instr.Plain -> 'p'
+    | Instr.Acquire -> 'a'
+    | Instr.Release -> 'r'
+    | Instr.Acq_rel -> 'x')
+
+let add_barrier buf (b : Instr.barrier) =
+  Buffer.add_char buf
+    (match b with
+    | Instr.Dmb_full -> 'F'
+    | Instr.Dmb_ld -> 'L'
+    | Instr.Dmb_st -> 'S'
+    | Instr.Isb -> 'I')
+
+let add_bases buf bs =
+  add_int buf (List.length bs);
+  List.iter (add_str buf) bs
+
+let rec add_instr buf (i : Instr.t) =
+  match i with
+  | Instr.Load (r, a, o) ->
+      Buffer.add_string buf "ld";
+      add_str buf (Reg.name r);
+      add_aexp buf a;
+      add_order buf o
+  | Instr.Store (a, e, o) ->
+      Buffer.add_string buf "st";
+      add_aexp buf a;
+      add_vexp buf e;
+      add_order buf o
+  | Instr.Faa (r, a, e, o) ->
+      Buffer.add_string buf "fa";
+      add_str buf (Reg.name r);
+      add_aexp buf a;
+      add_vexp buf e;
+      add_order buf o
+  | Instr.Xchg (r, a, e, o) ->
+      Buffer.add_string buf "xc";
+      add_str buf (Reg.name r);
+      add_aexp buf a;
+      add_vexp buf e;
+      add_order buf o
+  | Instr.Cas (r, a, exp, des, o) ->
+      Buffer.add_string buf "cs";
+      add_str buf (Reg.name r);
+      add_aexp buf a;
+      add_vexp buf exp;
+      add_vexp buf des;
+      add_order buf o
+  | Instr.Barrier b ->
+      Buffer.add_string buf "ba";
+      add_barrier buf b
+  | Instr.Move (r, e) ->
+      Buffer.add_string buf "mv";
+      add_str buf (Reg.name r);
+      add_vexp buf e
+  | Instr.If (c, t, e) ->
+      Buffer.add_string buf "if";
+      add_bexp buf c;
+      add_instrs buf t;
+      add_instrs buf e
+  | Instr.While (c, body) ->
+      Buffer.add_string buf "wh";
+      add_bexp buf c;
+      add_instrs buf body
+  | Instr.Pull bs ->
+      Buffer.add_string buf "pl";
+      add_bases buf bs
+  | Instr.Push bs ->
+      Buffer.add_string buf "ps";
+      add_bases buf bs
+  | Instr.Tlbi None -> Buffer.add_string buf "t*"
+  | Instr.Tlbi (Some a) ->
+      Buffer.add_string buf "ta";
+      add_aexp buf a
+  | Instr.Panic -> Buffer.add_string buf "pa"
+  | Instr.Nop -> Buffer.add_string buf "np"
+
+and add_instrs buf is =
+  add_int buf (List.length is);
+  List.iter (add_instr buf) is
+
+let add_loc buf (l : Loc.t) =
+  add_str buf (Loc.base l);
+  add_int buf (Loc.index l)
+
+let add_observable buf (o : Prog.observable) =
+  match o with
+  | Prog.Obs_reg (tid, r) ->
+      Buffer.add_char buf 'r';
+      add_int buf tid;
+      add_str buf (Reg.name r)
+  | Prog.Obs_loc l ->
+      Buffer.add_char buf 'm';
+      add_loc buf l
+
+let prog_bytes (p : Prog.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "vrm-prog/1|";
+  add_int buf (List.length p.Prog.threads);
+  List.iter
+    (fun (t : Prog.thread) ->
+      add_int buf t.Prog.tid;
+      add_instrs buf t.Prog.code)
+    p.Prog.threads;
+  add_int buf (List.length p.Prog.init);
+  List.iter
+    (fun (l, v) ->
+      add_loc buf l;
+      add_int buf v)
+    p.Prog.init;
+  add_int buf (List.length p.Prog.observables);
+  List.iter (add_observable buf) p.Prog.observables;
+  add_bases buf p.Prog.shared_bases;
+  Buffer.contents buf
+
+let prog (p : Prog.t) : string = Digest.to_hex (Digest.string (prog_bytes p))
+
+let promising_config (c : Promising.config) : string =
+  Printf.sprintf "fuel=%d,promises=%d,cert=%d,states=%d,strict=%b"
+    c.Promising.loop_fuel c.Promising.max_promises c.Promising.cert_depth
+    c.Promising.max_states c.Promising.strict_certification
+
+let behaviors (b : Behavior.t) : string =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Behavior.pp b))

@@ -1,0 +1,30 @@
+(** Stable content digests for programs, configurations and behavior
+    sets — the keying layer of the content-addressed verification cache.
+
+    The serialization is hand-written (no ppx, no [Marshal]) so a digest
+    depends only on the semantic content of the value: the same program
+    produces the same digest in every process, on every run, under any
+    [--jobs] setting. Program digests deliberately exclude the program
+    {e name} and thread {e comments}: the cache is content-addressed, so
+    two differently-named copies of the same code share one cache entry.
+
+    Digests are MD5 hex strings ({!Stdlib.Digest}); collision resistance
+    is not a security property here — the cache only needs stability. *)
+
+val prog_bytes : Prog.t -> string
+(** Canonical byte serialization of a program: threads (tid + code, in
+    declaration order), initial memory, observables and declared shared
+    bases. Names and comments are excluded. *)
+
+val prog : Prog.t -> string
+(** Hex digest of {!prog_bytes}. *)
+
+val promising_config : Promising.config -> string
+(** Canonical one-line rendering of an exploration budget, suitable for
+    inclusion in a cache key ([loop_fuel/max_promises/cert_depth/
+    max_states/strict_certification]). *)
+
+val behaviors : Behavior.t -> string
+(** Hex digest of the canonical {!Behavior.pp} rendering of a behavior
+    set — the same digest the golden-parity tests use, so "bit-identical
+    behavior set" is checkable across process boundaries. *)

@@ -42,7 +42,11 @@ val make :
   Prog.thread list ->
   t
 
-val run : ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int -> t -> result
+val run :
+  ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
+  ?deadline:float -> t -> result
 (** [jobs] fans both explorations across that many domains (identical
-    behavior sets; see {!Engine}). *)
+    behavior sets; see {!Engine}). [deadline] (absolute time) cancels
+    both explorations when it passes; partial results carry
+    [stats.budget_hit]. *)
 val pp_result : Format.formatter -> result -> unit

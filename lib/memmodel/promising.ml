@@ -634,10 +634,11 @@ let make_ctx prog cfg =
 (** [run_full ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set, the per-outcome witness
     schedules, and the exploration statistics. *)
-let run_full ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
+let run_full ?(config = default_config) ?(jobs = 1) ?deadline
+    (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
   let r =
-    E.explore ~max_states:config.max_states ~witnesses:true ~jobs
+    E.explore ~max_states:config.max_states ?deadline ~witnesses:true ~jobs
       ~ctx:(make_ctx prog config)
       (initial_state config prog)
   in
@@ -647,18 +648,18 @@ let run_full ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
     executions of [prog] and additionally returns, for each distinct
     outcome, the first schedule (sequence of per-CPU steps, including
     promises) that produced it. *)
-let run_with_witnesses ?config ?jobs (prog : Prog.t) :
+let run_with_witnesses ?config ?jobs ?deadline (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list =
-  let behaviors, witnesses, _ = run_full ?config ?jobs prog in
+  let behaviors, witnesses, _ = run_full ?config ?jobs ?deadline prog in
   (behaviors, witnesses)
 
 (** [run_stats ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set with exploration statistics
     (witness bookkeeping off). *)
-let run_stats ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
-    Behavior.t * Engine.stats =
+let run_stats ?(config = default_config) ?(jobs = 1) ?deadline
+    (prog : Prog.t) : Behavior.t * Engine.stats =
   let r =
-    E.explore ~max_states:config.max_states ~jobs
+    E.explore ~max_states:config.max_states ?deadline ~jobs
       ~ctx:(make_ctx prog config)
       (initial_state config prog)
   in
@@ -666,5 +667,5 @@ let run_stats ?(config = default_config) ?(jobs = 1) (prog : Prog.t) :
 
 (** [run ?config ?jobs prog] explores all Promising Arm executions of
     [prog] (bounded by the configuration) and returns its behavior set. *)
-let run ?config ?jobs (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?config ?jobs prog)
+let run ?config ?jobs ?deadline (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?config ?jobs ?deadline prog)

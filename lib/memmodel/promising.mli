@@ -44,18 +44,21 @@ type step = {
 val pp_step : Format.formatter -> step -> unit
 val pp_schedule : Format.formatter -> step list -> unit
 
-val run : ?config:config -> ?jobs:int -> Prog.t -> Behavior.t
+val run : ?config:config -> ?jobs:int -> ?deadline:float -> Prog.t -> Behavior.t
 (** Explore all Promising Arm executions (bounded by [config]) and return
     the behavior set. [jobs] fans the search across that many domains via
-    the shared {!Engine} (identical behavior set). *)
+    the shared {!Engine} (identical behavior set). [deadline] (absolute
+    [Unix.gettimeofday] time) cancels the search when it passes. *)
 
 val run_stats :
-  ?config:config -> ?jobs:int -> Prog.t -> Behavior.t * Engine.stats
+  ?config:config -> ?jobs:int -> ?deadline:float -> Prog.t ->
+  Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics. *)
 
 val run_with_witnesses :
   ?config:config ->
   ?jobs:int ->
+  ?deadline:float ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list
 (** Like {!run}, additionally returning, for each distinct outcome, the
@@ -64,6 +67,7 @@ val run_with_witnesses :
 val run_full :
   ?config:config ->
   ?jobs:int ->
+  ?deadline:float ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list * Engine.stats
 (** Behaviors, witnesses and statistics in one exploration. *)

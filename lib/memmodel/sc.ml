@@ -184,14 +184,14 @@ end
 
 module E = Engine.Make (Model)
 
-(** [run_stats ?fuel ?jobs prog] explores all SC interleavings of [prog]
-    and returns its behavior set with exploration statistics. *)
-let run_stats ?(fuel = 64) ?(jobs = 1) (prog : Prog.t) :
+(** [run_stats ?fuel ?jobs ?deadline prog] explores all SC interleavings
+    of [prog] and returns its behavior set with exploration statistics. *)
+let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline (prog : Prog.t) :
     Behavior.t * Engine.stats =
-  let r = E.explore ~jobs ~ctx:prog (initial_state ~fuel prog) in
+  let r = E.explore ?deadline ~jobs ~ctx:prog (initial_state ~fuel prog) in
   (r.E.behaviors, r.E.stats)
 
-(** [run ?fuel ?jobs prog] explores all SC interleavings of [prog] and
-    returns its behavior set. *)
-let run ?fuel ?jobs (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?fuel ?jobs prog)
+(** [run ?fuel ?jobs ?deadline prog] explores all SC interleavings of
+    [prog] and returns its behavior set. *)
+let run ?fuel ?jobs ?deadline (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs ?deadline prog)

@@ -10,7 +10,11 @@
     The executor instantiates the shared {!Engine}; [jobs] fans the
     search across that many domains (identical behavior set). *)
 
-val run : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t
+val run : ?fuel:int -> ?jobs:int -> ?deadline:float -> Prog.t -> Behavior.t
+(** [deadline] (absolute [Unix.gettimeofday] time) cancels the search
+    when it passes; partial results carry [stats.budget_hit]. *)
 
-val run_stats : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t * Engine.stats
+val run_stats :
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> Prog.t ->
+  Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics. *)

@@ -1,0 +1,37 @@
+let with_connection ~socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      f fd)
+
+let roundtrip fd (req : Protocol.request) : Protocol.response =
+  Protocol.send fd (Protocol.request_to_json req);
+  match Protocol.recv fd with
+  | None -> failwith "client: server closed the connection"
+  | Some j -> Protocol.response_of_json j
+
+let submit ~socket ?(jobs = 1) ?deadline_s job =
+  with_connection ~socket (fun fd ->
+      match roundtrip fd (Protocol.Submit { job; jobs; deadline_s }) with
+      | Protocol.Result payload -> Ok payload
+      | Protocol.Error_r msg -> Error msg
+      | Protocol.Status_r _ | Protocol.Bye ->
+          Error "client: unexpected response to submit")
+
+let status ~socket =
+  with_connection ~socket (fun fd ->
+      match roundtrip fd Protocol.Status with
+      | Protocol.Status_r payload -> Ok payload
+      | Protocol.Error_r msg -> Error msg
+      | Protocol.Result _ | Protocol.Bye ->
+          Error "client: unexpected response to status")
+
+let shutdown ~socket =
+  with_connection ~socket (fun fd ->
+      match roundtrip fd Protocol.Shutdown with
+      | Protocol.Bye -> Ok ()
+      | Protocol.Error_r msg -> Error msg
+      | Protocol.Result _ | Protocol.Status_r _ ->
+          Error "client: unexpected response to shutdown")

@@ -1,0 +1,27 @@
+(** Client helpers for the vrmd socket: connect, one-shot request
+    wrappers, and the response unwrapping shared by [vrm-cli submit],
+    the benchmarks and the tests. *)
+
+open Cache
+
+val with_connection : socket:string -> (Unix.file_descr -> 'a) -> 'a
+(** Connect to the daemon's Unix socket, run the body, always close. *)
+
+val roundtrip : Unix.file_descr -> Protocol.request -> Protocol.response
+(** Send one request and read its response on an open connection. *)
+
+val submit :
+  socket:string ->
+  ?jobs:int ->
+  ?deadline_s:float ->
+  Protocol.job ->
+  (Json.t, string) result
+(** One-shot submit. [Ok payload] is the server's result wrapper
+    [{"data": ..., "from_cache": ..., "wall_s": ...}]; [Error] carries
+    the server's message (unknown job, timeout, failure). *)
+
+val status : socket:string -> (Json.t, string) result
+(** One-shot status: the service counters object. *)
+
+val shutdown : socket:string -> (unit, string) result
+(** Ask the daemon to shut down gracefully; [Ok ()] once it says [Bye]. *)

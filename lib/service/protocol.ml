@@ -1,0 +1,142 @@
+(** The vrmd wire protocol. See the interface for the framing rules. *)
+
+open Cache
+
+type job =
+  | Litmus of string
+  | Refine of string
+  | Certify of { linux : string; stage2_levels : int }
+
+type request =
+  | Submit of { job : job; jobs : int; deadline_s : float option }
+  | Status
+  | Shutdown
+
+type response =
+  | Result of Json.t
+  | Status_r of Json.t
+  | Error_r of string
+  | Bye
+
+let fail msg = raise (Json.Decode msg)
+
+let job_to_json = function
+  | Litmus name ->
+      Json.Obj [ ("kind", Json.String "litmus"); ("name", Json.String name) ]
+  | Refine name ->
+      Json.Obj [ ("kind", Json.String "refine"); ("name", Json.String name) ]
+  | Certify { linux; stage2_levels } ->
+      Json.Obj
+        [ ("kind", Json.String "certify");
+          ("linux", Json.String linux);
+          ("stage2_levels", Json.Int stage2_levels) ]
+
+let job_of_json j =
+  match Json.to_str (Json.member "kind" j) with
+  | "litmus" -> Litmus (Json.to_str (Json.member "name" j))
+  | "refine" -> Refine (Json.to_str (Json.member "name" j))
+  | "certify" ->
+      Certify
+        { linux = Json.to_str (Json.member "linux" j);
+          stage2_levels = Json.to_int (Json.member "stage2_levels" j) }
+  | k -> fail ("unknown job kind " ^ k)
+
+let request_to_json = function
+  | Submit { job; jobs; deadline_s } ->
+      Json.Obj
+        [ ("op", Json.String "submit");
+          ("job", job_to_json job);
+          ("jobs", Json.Int jobs);
+          ( "deadline_s",
+            match deadline_s with None -> Json.Null | Some d -> Json.Float d )
+        ]
+  | Status -> Json.Obj [ ("op", Json.String "status") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_of_json j =
+  match Json.to_str (Json.member "op" j) with
+  | "submit" ->
+      Submit
+        { job = job_of_json (Json.member "job" j);
+          jobs =
+            (match Json.member "jobs" j with
+            | Json.Null -> 1
+            | n -> Json.to_int n);
+          deadline_s =
+            (match Json.member "deadline_s" j with
+            | Json.Null -> None
+            | d -> Some (Json.to_float d)) }
+  | "status" -> Status
+  | "shutdown" -> Shutdown
+  | op -> fail ("unknown request op " ^ op)
+
+let response_to_json = function
+  | Result payload ->
+      Json.Obj [ ("op", Json.String "result"); ("payload", payload) ]
+  | Status_r payload ->
+      Json.Obj [ ("op", Json.String "status"); ("payload", payload) ]
+  | Error_r msg ->
+      Json.Obj [ ("op", Json.String "error"); ("message", Json.String msg) ]
+  | Bye -> Json.Obj [ ("op", Json.String "bye") ]
+
+let response_of_json j =
+  match Json.to_str (Json.member "op" j) with
+  | "result" -> Result (Json.member "payload" j)
+  | "status" -> Status_r (Json.member "payload" j)
+  | "error" -> Error_r (Json.to_str (Json.member "message" j))
+  | "bye" -> Bye
+  | op -> fail ("unknown response op " ^ op)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_all fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd buf off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* [read_all fd buf] fills [buf] completely; [`Eof n] reports how many
+   bytes had arrived before the peer closed. *)
+let read_all fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off >= n then `Ok
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | r -> go (off + r)
+  in
+  go 0
+
+let send fd (v : Json.t) =
+  let payload = Bytes.of_string (Json.to_string v) in
+  let len = Bytes.length payload in
+  if len > max_frame then failwith "protocol: frame too large";
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  write_all fd header;
+  write_all fd payload
+
+let recv fd : Json.t option =
+  let header = Bytes.create 4 in
+  match read_all fd header with
+  | `Eof 0 -> None
+  | `Eof _ -> failwith "protocol: truncated frame header"
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_be header 0) in
+      if len < 0 || len > max_frame then
+        failwith "protocol: bad frame length";
+      let payload = Bytes.create len in
+      (match read_all fd payload with
+      | `Eof _ -> failwith "protocol: truncated frame payload"
+      | `Ok -> ());
+      (match Json.of_string (Bytes.to_string payload) with
+      | Ok v -> Some v
+      | Error msg -> failwith ("protocol: bad JSON frame: " ^ msg))

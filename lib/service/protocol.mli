@@ -1,0 +1,50 @@
+(** The vrmd wire protocol: length-prefixed JSON over a Unix domain
+    socket.
+
+    Framing: each message is a 4-byte big-endian payload length followed
+    by that many bytes of compact JSON ({!Cache.Json}). Length-prefixing
+    (rather than newline-delimiting) keeps payloads free to contain any
+    rendered text, and lets both sides pre-allocate the read buffer.
+    Frames above {!max_frame} are rejected — a malformed peer cannot make
+    the server allocate unboundedly. *)
+
+open Cache
+
+(** A verification job, addressed by corpus name: programs live in the
+    repository's corpora, so clients name them; the {e cache} keys on the
+    program's content digest, never the name. *)
+type job =
+  | Litmus of string  (** run one litmus test (SC + Promising) *)
+  | Refine of string  (** refinement check of one kernel-corpus program *)
+  | Certify of { linux : string; stage2_levels : int }
+      (** full wDRF certificate for one KVM version *)
+
+type request =
+  | Submit of { job : job; jobs : int; deadline_s : float option }
+      (** [jobs] = exploration domains; [deadline_s] = seconds from
+          submission before the job is cancelled *)
+  | Status
+  | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
+
+type response =
+  | Result of Json.t  (** completed job payload (a {!Cache.Codec} value) *)
+  | Status_r of Json.t  (** service counters *)
+  | Error_r of string  (** unknown job, timeout, decode failure, ... *)
+  | Bye  (** shutdown acknowledged *)
+
+val job_to_json : job -> Json.t
+val job_of_json : Json.t -> job
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> request
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> response
+
+val max_frame : int
+(** Upper bound on accepted frame sizes (bytes). *)
+
+val send : Unix.file_descr -> Json.t -> unit
+(** Write one frame (blocking, handles short writes). *)
+
+val recv : Unix.file_descr -> Json.t option
+(** Read one frame; [None] on orderly EOF before a frame starts. Raises
+    [Failure] on truncated frames, oversized lengths or malformed JSON. *)

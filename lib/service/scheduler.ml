@@ -1,0 +1,405 @@
+(** The vrmd job scheduler. See the interface for the semantics; the
+    implementation notes here are about the concurrency structure.
+
+    One mutex guards all mutable scheduler state (queue, in-flight
+    table, counters, tickets). Two condition variables: [work_cv] wakes
+    workers when a job is enqueued or the pool is stopped; [done_cv]
+    wakes awaiters/drainers whenever any job completes. Workers are
+    OCaml 5 domains — a job's own exploration may spawn further domains
+    ([jobs > 1]), which composes fine. Job execution happens outside the
+    lock; only the bookkeeping before and after holds it. *)
+
+open Cache
+open Memmodel
+open Sekvm
+
+type spec =
+  | Litmus_spec of Litmus.t
+  | Refine_spec of Kernel_progs.entry
+  | Certify_spec of Kernel_progs.version
+
+let find_by name f xs = List.find_opt (fun x -> f x = name) xs
+
+let lookup_job (job : Protocol.job) : (spec, string) result =
+  match job with
+  | Protocol.Litmus name -> (
+      let tests = Paper_examples.all @ Litmus_suite.all in
+      match find_by name (fun (t : Litmus.t) -> t.prog.name) tests with
+      | Some t -> Ok (Litmus_spec t)
+      | None -> Error (Printf.sprintf "unknown litmus test %S" name))
+  | Protocol.Refine name -> (
+      let entries =
+        Kernel_progs.corpus @ Kernel_progs.buggy_corpus
+        @ Kernel_progs.boundary_corpus
+      in
+      match find_by name (fun (e : Kernel_progs.entry) -> e.name) entries with
+      | Some e -> Ok (Refine_spec e)
+      | None -> Error (Printf.sprintf "unknown kernel program %S" name))
+  | Protocol.Certify { linux; stage2_levels } ->
+      Ok (Certify_spec { Kernel_progs.linux; stage2_levels })
+
+(* The sc_fuel used for every service-side litmus/refinement run; part
+   of the budgets string, so changing it cannot alias old entries. *)
+let sc_fuel = 8
+
+let litmus_config (t : Litmus.t) =
+  match t.rm_config with Some c -> c | None -> Promising.default_config
+
+let budgets_of_config config =
+  Printf.sprintf "sc_fuel=%d;%s" sc_fuel (Fingerprint.promising_config config)
+
+let cache_key (spec : spec) : string =
+  let model, budgets, prog_digest =
+    match spec with
+    | Litmus_spec t ->
+        ("litmus", budgets_of_config (litmus_config t), Fingerprint.prog t.prog)
+    | Refine_spec e ->
+        ("refine", budgets_of_config e.rm_config, Fingerprint.prog e.prog)
+    | Certify_spec v ->
+        (* A certificate depends on the whole corpus (good, buggy and
+           boundary entries all feed the report), each entry's budgets,
+           and the version under audit — so its digest covers all of
+           them. *)
+        let entry_digest (e : Kernel_progs.entry) =
+          Printf.sprintf "%s|%s|%s|%s" (Fingerprint.prog e.prog)
+            (Fingerprint.promising_config e.rm_config)
+            (String.concat "," e.exempt)
+            (String.concat ","
+               (List.map
+                  (fun (b, c) -> Printf.sprintf "%s=%d" b c)
+                  e.initial_owners))
+        in
+        let corpus =
+          Kernel_progs.corpus @ Kernel_progs.buggy_corpus
+          @ Kernel_progs.boundary_corpus
+        in
+        let body =
+          Printf.sprintf "%s/%d\x00%s" v.Kernel_progs.linux v.stage2_levels
+            (String.concat "\x00" (List.map entry_digest corpus))
+        in
+        ("certify", "", Digest.to_hex (Digest.string body))
+  in
+  Store.make_key ~engine_version:Engine.version ~model ~budgets ~prog_digest
+
+type outcome = Done of Json.t | Timed_out | Failed of string
+type meta = { from_cache : bool; wall_s : float }
+
+type ticket = {
+  tk_key : string;
+  tk_spec : spec;
+  tk_jobs : int;
+  tk_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  mutable tk_result : (outcome * meta) option;
+}
+
+type t = {
+  store : Store.t;
+  queue : ticket Queue.t;
+  inflight : (string, ticket) Hashtbl.t;  (** key -> queued/running ticket *)
+  mutable domains : unit Domain.t list;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  n_workers : int;
+  (* counters, all guarded by [m] *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable timeouts : int;
+  mutable coalesced : int;
+  mutable litmus_jobs : int;
+  mutable refine_jobs : int;
+  mutable certify_jobs : int;
+  mutable running : int;
+  mutable engine : Engine.stats;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let cache t = t.store
+
+let timed_out_by ~deadline (stats : Engine.stats) =
+  match deadline with
+  | None -> false
+  | Some d -> stats.Engine.budget_hit && Unix.gettimeofday () >= d
+
+(* Execute one job (no scheduler lock held). Returns the outcome, the
+   engine stats to aggregate (None for cache hits and certificates),
+   and whether the result is safe to cache. *)
+let execute tk :
+    outcome * Engine.stats option * [ `Cacheable | `Transient ] =
+  let deadline = tk.tk_deadline in
+  let jobs = tk.tk_jobs in
+  match tk.tk_spec with
+  | Litmus_spec test ->
+      let r = Litmus.run ~sc_fuel ~jobs ?deadline test in
+      let stats = Engine.add_stats r.sc_stats r.rm_stats in
+      if timed_out_by ~deadline r.sc_stats
+         || timed_out_by ~deadline r.rm_stats
+      then (Timed_out, Some stats, `Transient)
+      else
+        ( Done (Codec.litmus_to_json (Codec.litmus_summary r)),
+          Some stats,
+          `Cacheable )
+  | Refine_spec e ->
+      let v =
+        Vrm.Refinement.check ~sc_fuel ~config:e.rm_config ~jobs ?deadline
+          e.prog
+      in
+      let stats = Engine.add_stats v.sc_stats v.rm_stats in
+      if timed_out_by ~deadline v.sc_stats
+         || timed_out_by ~deadline v.rm_stats
+      then (Timed_out, Some stats, `Transient)
+      else
+        ( Done
+            (Codec.refine_to_json (Codec.refine_summary ~name:e.name e.prog v)),
+          Some stats,
+          `Cacheable )
+  | Certify_spec version ->
+      (* Certificates have no engine-level cancellation hook; they only
+         honor the queue-level deadline (checked before execution). *)
+      let report = Vrm.Certificate.certify version in
+      ( Done (Codec.certificate_to_json (Vrm.Certificate.summarize report)),
+        None,
+        `Cacheable )
+
+let run_one t tk =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match Store.find t.store tk.tk_key with
+    | Some payload ->
+        ((Done payload, { from_cache = true; wall_s = 0. }), None, `Transient)
+    | None -> (
+        let expired =
+          match tk.tk_deadline with
+          | Some d -> Unix.gettimeofday () >= d
+          | None -> false
+        in
+        if expired then
+          ((Timed_out, { from_cache = false; wall_s = 0. }), None, `Transient)
+        else
+          match execute tk with
+          | outcome, stats, cacheable ->
+              ( ( outcome,
+                  { from_cache = false;
+                    wall_s = Unix.gettimeofday () -. t0 } ),
+                stats,
+                cacheable )
+          | exception exn ->
+              ( ( Failed (Printexc.to_string exn),
+                  { from_cache = false;
+                    wall_s = Unix.gettimeofday () -. t0 } ),
+                None,
+                `Transient ))
+  in
+  let ((outcome, _) as result), stats, cacheable = result in
+  (match (outcome, cacheable) with
+  | Done payload, `Cacheable -> Store.add t.store tk.tk_key payload
+  | _ -> ());
+  locked t (fun () ->
+      (match stats with
+      | Some s -> t.engine <- Engine.add_stats t.engine s
+      | None -> ());
+      (match outcome with
+      | Done _ -> t.completed <- t.completed + 1
+      | Timed_out -> t.timeouts <- t.timeouts + 1
+      | Failed _ -> t.failed <- t.failed + 1);
+      tk.tk_result <- Some result;
+      Hashtbl.remove t.inflight tk.tk_key;
+      t.running <- t.running - 1;
+      Condition.broadcast t.done_cv)
+
+let rec worker_loop t =
+  let job =
+    locked t (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.work_cv t.m
+        done;
+        if Queue.is_empty t.queue then None
+        else begin
+          let tk = Queue.pop t.queue in
+          t.running <- t.running + 1;
+          Some tk
+        end)
+  in
+  match job with
+  | None -> ()
+  | Some tk ->
+      run_one t tk;
+      worker_loop t
+
+let create ?workers ?cache () =
+  let n_workers =
+    match workers with
+    | Some n -> max 1 n
+    | None -> max 2 (Domain.recommended_domain_count () - 1)
+  in
+  let store =
+    match cache with
+    | Some s -> s
+    | None -> Store.create ~engine_version:Engine.version ()
+  in
+  let t =
+    { store;
+      queue = Queue.create ();
+      inflight = Hashtbl.create 32;
+      domains = [];
+      stopping = false;
+      stopped = false;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      n_workers;
+      submitted = 0;
+      completed = 0;
+      failed = 0;
+      timeouts = 0;
+      coalesced = 0;
+      litmus_jobs = 0;
+      refine_jobs = 0;
+      certify_jobs = 0;
+      running = 0;
+      engine = Engine.zero_stats }
+  in
+  t.domains <-
+    List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t ?(jobs = 1) ?deadline_s spec =
+  let key = cache_key spec in
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
+  in
+  locked t (fun () ->
+      t.submitted <- t.submitted + 1;
+      (match spec with
+      | Litmus_spec _ -> t.litmus_jobs <- t.litmus_jobs + 1
+      | Refine_spec _ -> t.refine_jobs <- t.refine_jobs + 1
+      | Certify_spec _ -> t.certify_jobs <- t.certify_jobs + 1);
+      match Hashtbl.find_opt t.inflight key with
+      | Some tk ->
+          t.coalesced <- t.coalesced + 1;
+          tk
+      | None ->
+          let tk =
+            { tk_key = key;
+              tk_spec = spec;
+              tk_jobs = max 1 jobs;
+              tk_deadline = deadline;
+              tk_result = None }
+          in
+          if t.stopping then
+            tk.tk_result <-
+              Some
+                ( Failed "scheduler is shut down",
+                  { from_cache = false; wall_s = 0. } )
+          else begin
+            Hashtbl.replace t.inflight key tk;
+            Queue.push tk t.queue;
+            Condition.signal t.work_cv
+          end;
+          tk)
+
+let await t tk =
+  locked t (fun () ->
+      while tk.tk_result = None do
+        Condition.wait t.done_cv t.m
+      done;
+      Option.get tk.tk_result)
+
+let run t ?jobs ?deadline_s spec = await t (submit t ?jobs ?deadline_s spec)
+
+type counters = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  timeouts : int;
+  coalesced : int;
+  litmus_jobs : int;
+  refine_jobs : int;
+  certify_jobs : int;
+  queue_depth : int;
+  running : int;
+  workers : int;
+  engine : Engine.stats;
+  cache_stats : Store.counters;
+}
+
+let counters t : counters =
+  let c =
+    locked t (fun () ->
+        { submitted = t.submitted;
+          completed = t.completed;
+          failed = t.failed;
+          timeouts = t.timeouts;
+          coalesced = t.coalesced;
+          litmus_jobs = t.litmus_jobs;
+          refine_jobs = t.refine_jobs;
+          certify_jobs = t.certify_jobs;
+          queue_depth = Queue.length t.queue;
+          running = t.running;
+          workers = t.n_workers;
+          engine = t.engine;
+          cache_stats = Store.counters t.store })
+  in
+  c
+
+let counters_to_json (c : counters) : Json.t =
+  let s = c.engine in
+  let cs = c.cache_stats in
+  Json.Obj
+    [ ("submitted", Json.Int c.submitted);
+      ("completed", Json.Int c.completed);
+      ("failed", Json.Int c.failed);
+      ("timeouts", Json.Int c.timeouts);
+      ("coalesced", Json.Int c.coalesced);
+      ("litmus_jobs", Json.Int c.litmus_jobs);
+      ("refine_jobs", Json.Int c.refine_jobs);
+      ("certify_jobs", Json.Int c.certify_jobs);
+      ("queue_depth", Json.Int c.queue_depth);
+      ("running", Json.Int c.running);
+      ("workers", Json.Int c.workers);
+      ("engine", Codec.stats_to_json s);
+      ( "cache",
+        Json.Obj
+          [ ("hits", Json.Int cs.Store.hits);
+            ("misses", Json.Int cs.Store.misses);
+            ("disk_hits", Json.Int cs.Store.disk_hits);
+            ("stores", Json.Int cs.Store.stores);
+            ("corrupt", Json.Int cs.Store.corrupt);
+            ("entries", Json.Int cs.Store.entries) ] ) ]
+
+let pp_counters fmt (c : counters) =
+  Format.fprintf fmt
+    "@[<v>jobs: submitted=%d completed=%d failed=%d timeouts=%d coalesced=%d@ \
+     kinds: litmus=%d refine=%d certify=%d@ pool: workers=%d queued=%d \
+     running=%d@ engine: %a@ cache: %a@]"
+    c.submitted c.completed c.failed c.timeouts c.coalesced c.litmus_jobs
+    c.refine_jobs c.certify_jobs c.workers c.queue_depth c.running
+    Engine.pp_stats c.engine Store.pp_counters c.cache_stats
+
+let drain t =
+  locked t (fun () ->
+      while not (Queue.is_empty t.queue && t.running = 0) do
+        Condition.wait t.done_cv t.m
+      done)
+
+let shutdown t =
+  drain t;
+  let domains =
+    locked t (fun () ->
+        if t.stopped then []
+        else begin
+          t.stopping <- true;
+          t.stopped <- true;
+          Condition.broadcast t.work_cv;
+          let ds = t.domains in
+          t.domains <- [];
+          ds
+        end)
+  in
+  List.iter Domain.join domains

@@ -1,0 +1,92 @@
+(** The vrmd job scheduler: a fixed pool of OCaml 5 worker domains
+    executing verification jobs against the content-addressed cache.
+
+    {2 Semantics}
+
+    {ul
+    {- {b Caching.} Every job has a cache key ({!cache_key}) derived from
+       the program's content digest, the job kind, the exploration
+       budgets, and {!Memmodel.Engine.version} — and {e not} from the
+       [jobs] fan-out or the job's name, which never change the result.
+       A hit skips exploration entirely (0 states visited).}
+    {- {b Coalescing.} Submitting a job whose key is already queued or
+       running returns the {e same} ticket: concurrent identical
+       requests cost one computation. (A coalesced ticket keeps the
+       deadline of the first submission.)}
+    {- {b Deadlines.} [deadline_s] is a per-job budget in seconds from
+       submission. A job still queued past its deadline is cancelled
+       without running; a running litmus/refinement job is cancelled
+       mid-exploration via the engine's deadline valve. Timed-out
+       results are {e never} cached (they are schedule-dependent).}
+    {- {b Shutdown.} [drain] waits for the queue and in-flight jobs;
+       [shutdown] drains, then stops and joins the workers. Submissions
+       after shutdown fail cleanly.}} *)
+
+open Cache
+open Memmodel
+open Sekvm
+
+(** A resolved job: the corpus values it runs on. *)
+type spec =
+  | Litmus_spec of Litmus.t
+  | Refine_spec of Kernel_progs.entry
+  | Certify_spec of Kernel_progs.version
+
+val lookup_job : Protocol.job -> (spec, string) result
+(** Resolve a wire-protocol job against the repository corpora
+    (litmus: paper examples + litmus suite; refine: kernel corpus
+    including buggy and boundary entries; certify: any version). *)
+
+val cache_key : spec -> string
+(** The content-addressed key (see {!Cache.Store.make_key}); independent
+    of [jobs], deadlines and submission order. *)
+
+type outcome =
+  | Done of Json.t  (** a {!Cache.Codec} payload *)
+  | Timed_out
+  | Failed of string
+
+type meta = { from_cache : bool; wall_s : float }
+
+type ticket
+type t
+
+val create : ?workers:int -> ?cache:Store.t -> unit -> t
+(** [workers] defaults to [max 2 (Domain.recommended_domain_count () - 1)];
+    [cache] defaults to a fresh memory-only store. *)
+
+val cache : t -> Store.t
+
+val submit : t -> ?jobs:int -> ?deadline_s:float -> spec -> ticket
+val await : t -> ticket -> outcome * meta
+(** Blocks until the ticket's job completes (callable from any thread or
+    domain). *)
+
+val run : t -> ?jobs:int -> ?deadline_s:float -> spec -> outcome * meta
+(** [submit] + [await]. *)
+
+type counters = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  timeouts : int;
+  coalesced : int;  (** submissions answered by an in-flight ticket *)
+  litmus_jobs : int;
+  refine_jobs : int;
+  certify_jobs : int;
+  queue_depth : int;  (** currently queued *)
+  running : int;  (** currently executing *)
+  workers : int;
+  engine : Engine.stats;  (** aggregate over all non-cached executions *)
+  cache_stats : Store.counters;
+}
+
+val counters : t -> counters
+val counters_to_json : counters -> Json.t
+val pp_counters : Format.formatter -> counters -> unit
+
+val drain : t -> unit
+(** Block until the queue is empty and no job is running. *)
+
+val shutdown : t -> unit
+(** [drain], then stop and join the worker domains. Idempotent. *)

@@ -1,0 +1,155 @@
+(** vrmd server loop. See the interface for the shutdown choreography.
+
+    Concurrency: the accept loop runs on the caller's thread, polling
+    with a short [select] timeout so it notices the stop flag promptly;
+    each accepted connection gets a systhread. Handler threads block in
+    {!Scheduler.run} (a [Condition.wait] shared with the worker domains
+    — systhreads and domains interoperate on stdlib monitors), so a slow
+    job never stalls the accept loop or other connections. *)
+
+open Cache
+
+type t = {
+  sched : Scheduler.t;
+  stop : bool Atomic.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  cm : Mutex.t;
+  ccv : Condition.t;
+  log : string -> unit;
+}
+
+let register srv fd =
+  Mutex.lock srv.cm;
+  Hashtbl.replace srv.conns fd ();
+  Mutex.unlock srv.cm
+
+let unregister srv fd =
+  Mutex.lock srv.cm;
+  Hashtbl.remove srv.conns fd;
+  Condition.broadcast srv.ccv;
+  Mutex.unlock srv.cm
+
+let respond srv (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Status ->
+      Protocol.Status_r (Scheduler.counters_to_json (Scheduler.counters srv.sched))
+  | Protocol.Shutdown ->
+      Atomic.set srv.stop true;
+      Protocol.Bye
+  | Protocol.Submit { job; jobs; deadline_s } -> (
+      match Scheduler.lookup_job job with
+      | Error msg -> Protocol.Error_r msg
+      | Ok spec -> (
+          let outcome, meta =
+            Scheduler.run srv.sched ~jobs ?deadline_s spec
+          in
+          match outcome with
+          | Scheduler.Done payload ->
+              Protocol.Result
+                (Json.Obj
+                   [ ("data", payload);
+                     ("from_cache", Json.Bool meta.Scheduler.from_cache);
+                     ("wall_s", Json.Float meta.Scheduler.wall_s) ])
+          | Scheduler.Timed_out -> Protocol.Error_r "job timed out"
+          | Scheduler.Failed msg -> Protocol.Error_r ("job failed: " ^ msg)))
+
+let handle srv fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with _ -> ());
+      unregister srv fd)
+    (fun () ->
+      try
+        let rec loop () =
+          match Protocol.recv fd with
+          | None -> ()
+          | Some j ->
+              let resp =
+                match Protocol.request_of_json j with
+                | req -> respond srv req
+                | exception Json.Decode msg ->
+                    Protocol.Error_r ("bad request: " ^ msg)
+              in
+              Protocol.send fd (Protocol.response_to_json resp);
+              (match resp with Protocol.Bye -> () | _ -> loop ())
+        in
+        loop ()
+      with _ ->
+        (* peer vanished mid-frame, or its fd was force-closed during
+           shutdown: nothing to answer. *)
+        ())
+
+(* Wait up to [grace] seconds for all connections to unregister. *)
+let wait_conns srv grace =
+  let deadline = Unix.gettimeofday () +. grace in
+  Mutex.lock srv.cm;
+  let rec go () =
+    if Hashtbl.length srv.conns = 0 then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      (* timed wait is not in stdlib Condition: poll coarsely instead,
+         releasing the monitor so handlers can unregister *)
+      Mutex.unlock srv.cm;
+      Thread.delay 0.05;
+      Mutex.lock srv.cm;
+      go ()
+    end
+  in
+  let emptied = go () in
+  Mutex.unlock srv.cm;
+  emptied
+
+let force_close_conns srv =
+  Mutex.lock srv.cm;
+  let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) srv.conns [] in
+  Mutex.unlock srv.cm;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    fds
+
+let serve ~socket ?(log = fun _ -> ()) sched =
+  let srv =
+    { sched;
+      stop = Atomic.make false;
+      conns = Hashtbl.create 16;
+      cm = Mutex.create ();
+      ccv = Condition.create ();
+      log }
+  in
+  (try Unix.unlink socket with _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with _ -> ());
+      try Unix.unlink socket with _ -> ())
+    (fun () ->
+      Unix.bind lfd (Unix.ADDR_UNIX socket);
+      Unix.listen lfd 16;
+      srv.log (Printf.sprintf "vrmd: listening on %s" socket);
+      let rec accept_loop () =
+        if not (Atomic.get srv.stop) then begin
+          (match Unix.select [ lfd ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+              match Unix.accept lfd with
+              | fd, _ ->
+                  register srv fd;
+                  ignore (Thread.create (handle srv) fd)
+              | exception Unix.Unix_error (_, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      srv.log "vrmd: shutdown requested, draining";
+      (* 1. in-flight jobs finish and their responses go out *)
+      Scheduler.drain sched;
+      (* 2. connections that are done talking close themselves; idle
+         keep-alive connections are kicked after a short grace *)
+      if not (wait_conns srv 2.0) then begin
+        force_close_conns srv;
+        ignore (wait_conns srv 2.0)
+      end;
+      (* 3. stop the worker pool *)
+      Scheduler.shutdown sched;
+      srv.log "vrmd: stopped")

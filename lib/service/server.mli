@@ -1,0 +1,21 @@
+(** The vrmd daemon: serves {!Protocol} requests over a Unix domain
+    socket, one handler thread per connection, jobs executed by the
+    {!Scheduler}'s domain pool.
+
+    A [Submit] is answered with [Result] whose payload wraps the job's
+    {!Cache.Codec} value:
+
+    {v {"data": <codec payload>, "from_cache": bool, "wall_s": float} v}
+
+    Timeouts and failures are answered with [Error_r].
+
+    Shutdown is graceful: on a [Shutdown] request the server replies
+    [Bye], stops accepting, lets in-flight jobs and their responses
+    finish ({!Scheduler.drain}), closes lingering idle connections,
+    joins the worker domains ({!Scheduler.shutdown}) and removes the
+    socket file. *)
+
+val serve : socket:string -> ?log:(string -> unit) -> Scheduler.t -> unit
+(** Bind [socket] (an existing socket file is replaced), serve until a
+    [Shutdown] request arrives, then shut down gracefully as described
+    above. Blocks the calling thread for the server's whole lifetime. *)

@@ -1,0 +1,75 @@
+#!/bin/sh
+# vrmd end-to-end smoke test.
+#
+# Starts the daemon on a private socket with a private cache directory,
+# submits a corpus subset, asserts parity with direct in-process runs
+# (--verify recomputes each job locally and compares content digests),
+# checks that a resubmission is served from the cache, and exercises
+# graceful shutdown.
+set -eu
+
+CLI="dune exec --no-build bin/vrm_cli.exe --"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vrmd-smoke.XXXXXX")
+SOCK="$WORK/vrmd.sock"
+CACHE="$WORK/cache"
+LOG="$WORK/serve.log"
+
+cleanup() {
+    # best-effort: ask the daemon to stop if it is still around
+    $CLI shutdown --socket "$SOCK" >/dev/null 2>&1 || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+$CLI serve --socket "$SOCK" --workers 2 --cache-dir "$CACHE" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# wait for the socket
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: server did not come up" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== submit a corpus subset, verifying parity against direct runs"
+$CLI submit litmus mp-plain     --socket "$SOCK" --verify
+$CLI submit litmus sb-plain     --socket "$SOCK" --verify
+$CLI submit refine gen_vmid     --socket "$SOCK" --verify
+$CLI submit refine mcs-counter  --socket "$SOCK" --verify
+
+echo "== resubmission must be served from the cache"
+OUT=$($CLI submit litmus mp-plain --socket "$SOCK")
+echo "$OUT"
+case "$OUT" in
+*cached*) ;;
+*)
+    echo "FAIL: resubmission was not a cache hit" >&2
+    exit 1
+    ;;
+esac
+
+echo "== service counters"
+$CLI status --socket "$SOCK"
+
+echo "== graceful shutdown"
+$CLI shutdown --socket "$SOCK"
+wait "$SERVER_PID"
+if [ -S "$SOCK" ]; then
+    echo "FAIL: socket file survived shutdown" >&2
+    exit 1
+fi
+
+# entries persisted for the next daemon
+N=$(ls "$CACHE" | wc -l)
+if [ "$N" -lt 3 ]; then
+    echo "FAIL: expected persisted cache entries, found $N" >&2
+    exit 1
+fi
+
+echo "service smoke: OK ($N cache entries persisted)"

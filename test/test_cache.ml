@@ -1,0 +1,308 @@
+(* The content-addressed verification cache:
+
+   - the JSON codec is its own inverse on everything the library emits;
+   - behavior sets round-trip through the codec bit-identically (same
+     Behavior.t, same Fingerprint digest) — the property that lets a
+     cached result stand in for a recomputed one;
+   - the on-disk store round-trips entries, and every corruption mode
+     (truncation, garbage, bad checksum, engine-version skew) is a MISS
+     that recomputes, never a crash;
+   - cache keys are stable across runs and across [--jobs] values, and
+     sensitive to program content, budgets and engine version. *)
+
+open Memmodel
+open Cache
+
+let tmpdir prefix =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d" prefix (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rmdir d =
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+   with _ -> ());
+  try Unix.rmdir d with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 0.125;
+      Json.String "hello \"world\"\nwith\tescapes\x01";
+      Json.List [ Json.Int 1; Json.Null; Json.String "x" ];
+      Json.Obj
+        [ ("a", Json.Int 1);
+          ("b", Json.List [ Json.Bool false ]);
+          ("nested", Json.Obj [ ("c", Json.Float 2.5) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.of_string s with
+      | Ok v' ->
+          Alcotest.(check string) ("roundtrip " ^ s) s (Json.to_string v')
+      | Error e -> Alcotest.failf "parse of %s failed: %s" s e)
+    cases;
+  (* malformed inputs are errors, not exceptions *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_behavior_roundtrip () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let r = Litmus.run t in
+      List.iter
+        (fun (label, b) ->
+          let b' = Codec.behaviors_of_json (Codec.behaviors_to_json b) in
+          Alcotest.(check bool)
+            (t.Litmus.prog.Prog.name ^ " " ^ label ^ " set equal")
+            true (Behavior.equal b b');
+          Alcotest.(check string)
+            (t.Litmus.prog.Prog.name ^ " " ^ label ^ " digest")
+            (Fingerprint.behaviors b) (Fingerprint.behaviors b'))
+        [ ("sc", r.Litmus.sc); ("rm", r.Litmus.rm);
+          ("rm-only", r.Litmus.rm_only) ])
+    Paper_examples.all
+
+let test_litmus_summary_roundtrip () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let s = Codec.litmus_summary (Litmus.run t) in
+      let j = Codec.litmus_to_json s in
+      let s' = Codec.litmus_of_json j in
+      Alcotest.(check string)
+        (t.Litmus.prog.Prog.name ^ " payload stable")
+        (Json.to_string j)
+        (Json.to_string (Codec.litmus_to_json s')))
+    Paper_examples.all;
+  (* a tampered embedded digest must be rejected (-> cache miss) *)
+  let s = Codec.litmus_summary (Litmus.run Paper_examples.mp_plain) in
+  let j = Codec.litmus_to_json s in
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "sc_digest" then (k, Json.String (String.make 32 '0'))
+               else (k, v))
+             fields)
+    | _ -> assert false
+  in
+  (match Codec.litmus_of_json tampered with
+  | exception Json.Decode _ -> ()
+  | _ -> Alcotest.fail "tampered sc_digest was accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let payload_a = Json.Obj [ ("answer", Json.Int 42) ]
+
+let test_store_roundtrip () =
+  let dir = tmpdir "vrm-cache-test" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let s = Store.create ~dir ~engine_version:Engine.version () in
+      let key =
+        Store.make_key ~engine_version:Engine.version ~model:"litmus"
+          ~budgets:"b" ~prog_digest:"p"
+      in
+      Alcotest.(check bool) "empty store misses" true (Store.find s key = None);
+      Store.add s key payload_a;
+      (match Store.find s key with
+      | Some v ->
+          Alcotest.(check string) "memory hit" (Json.to_string payload_a)
+            (Json.to_string v)
+      | None -> Alcotest.fail "lost entry");
+      (* a fresh store on the same dir reads it back from disk *)
+      let s2 = Store.create ~dir ~engine_version:Engine.version () in
+      (match Store.find s2 key with
+      | Some v ->
+          Alcotest.(check string) "disk hit" (Json.to_string payload_a)
+            (Json.to_string v)
+      | None -> Alcotest.fail "disk entry not found");
+      let c = Store.counters s2 in
+      Alcotest.(check int) "disk hit counted" 1 c.Store.disk_hits;
+      (* drop_memory forces the disk path again *)
+      Store.drop_memory s2;
+      Alcotest.(check bool) "hit after drop_memory" true
+        (Store.find s2 key <> None))
+
+let entry_file dir key = Filename.concat dir (key ^ ".vrmc")
+
+let test_store_corruption () =
+  let dir = tmpdir "vrm-cache-corrupt" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let key =
+        Store.make_key ~engine_version:Engine.version ~model:"m" ~budgets:"b"
+          ~prog_digest:"p"
+      in
+      let corruptions =
+        [ ("truncated to header", fun file ->
+             let lines = String.split_on_char '\n' (In_channel.with_open_bin file In_channel.input_all) in
+             Out_channel.with_open_bin file (fun oc ->
+                 Out_channel.output_string oc (List.hd lines ^ "\n")));
+          ("empty file", fun file ->
+             Out_channel.with_open_bin file (fun _ -> ()));
+          ("garbage bytes", fun file ->
+             Out_channel.with_open_bin file (fun oc ->
+                 Out_channel.output_string oc "\x00\xffnot a cache entry"));
+          ("payload flipped", fun file ->
+             let s = In_channel.with_open_bin file In_channel.input_all in
+             let s = String.map (fun c -> if c = '4' then '5' else c) s in
+             Out_channel.with_open_bin file (fun oc ->
+                 Out_channel.output_string oc s)) ]
+      in
+      List.iter
+        (fun (name, corrupt) ->
+          let s = Store.create ~dir ~engine_version:Engine.version () in
+          Store.add s key payload_a;
+          corrupt (entry_file dir key);
+          (* a fresh store must treat the mangled entry as a miss *)
+          let s2 = Store.create ~dir ~engine_version:Engine.version () in
+          (match Store.find s2 key with
+          | None -> ()
+          | Some _ -> Alcotest.failf "%s: corrupt entry served as a hit" name);
+          (* ... and recomputing (re-adding) heals it *)
+          Store.add s2 key payload_a;
+          let s3 = Store.create ~dir ~engine_version:Engine.version () in
+          match Store.find s3 key with
+          | Some v ->
+              Alcotest.(check string)
+                (name ^ ": healed")
+                (Json.to_string payload_a) (Json.to_string v)
+          | None -> Alcotest.failf "%s: healed entry still missing" name)
+        corruptions;
+      (* counters saw the corruption *)
+      let s = Store.create ~dir ~engine_version:Engine.version () in
+      Store.add s key payload_a;
+      Out_channel.with_open_bin (entry_file dir key) (fun oc ->
+          Out_channel.output_string oc "junk");
+      let s2 = Store.create ~dir ~engine_version:Engine.version () in
+      ignore (Store.find s2 key);
+      Alcotest.(check int) "corrupt counter" 1
+        (Store.counters s2).Store.corrupt)
+
+let test_store_version_skew () =
+  let dir = tmpdir "vrm-cache-skew" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let key =
+        Store.make_key ~engine_version:"vrm-engine/old" ~model:"m"
+          ~budgets:"b" ~prog_digest:"p"
+      in
+      let old = Store.create ~dir ~engine_version:"vrm-engine/old" () in
+      Store.add old key payload_a;
+      (* same key on disk, but the store now speaks a newer engine
+         version: stale entries must not be served *)
+      let current = Store.create ~dir ~engine_version:"vrm-engine/new" () in
+      Alcotest.(check bool) "stale engine version is a miss" true
+        (Store.find current key = None))
+
+(* ------------------------------------------------------------------ *)
+(* Keys and fingerprints                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_stability () =
+  (* same value fingerprinted twice -> same digest (no sharing/physical
+     equality sneaking in) *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      Alcotest.(check string)
+        (t.Litmus.prog.Prog.name ^ " prog digest deterministic")
+        (Fingerprint.prog t.Litmus.prog)
+        (Fingerprint.prog t.Litmus.prog))
+    Paper_examples.all;
+  (* a rebuilt structurally-equal program digests identically *)
+  let p1 = Sekvm.Kernel_progs.gen_vmid_prog ~barriers:true "a" in
+  let p2 = Sekvm.Kernel_progs.gen_vmid_prog ~barriers:true "b" in
+  Alcotest.(check string) "name does not affect the digest"
+    (Fingerprint.prog p1) (Fingerprint.prog p2);
+  let q = Sekvm.Kernel_progs.gen_vmid_prog ~barriers:false "a" in
+  Alcotest.(check bool) "content does affect the digest" true
+    (Fingerprint.prog p1 <> Fingerprint.prog q);
+  (* distinct corpus programs never collide *)
+  let digests =
+    List.map
+      (fun (t : Litmus.t) -> Fingerprint.prog t.Litmus.prog)
+      (Paper_examples.all @ Litmus_suite.all)
+  in
+  Alcotest.(check int) "no digest collisions across the corpus"
+    (List.length digests)
+    (List.length (List.sort_uniq compare digests))
+
+let test_key_stability () =
+  let spec =
+    Service.Scheduler.Litmus_spec Paper_examples.mp_plain
+  in
+  let k1 = Service.Scheduler.cache_key spec in
+  let k2 = Service.Scheduler.cache_key spec in
+  Alcotest.(check string) "key stable across calls" k1 k2;
+  (* the key must not depend on --jobs: running the same spec with
+     different parallelism through a shared cache yields a hit *)
+  let cache = Store.create ~engine_version:Engine.version () in
+  let sched = Service.Scheduler.create ~workers:2 ~cache () in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.shutdown sched)
+    (fun () ->
+      (match Service.Scheduler.run sched ~jobs:1 spec with
+      | Service.Scheduler.Done _, m ->
+          Alcotest.(check bool) "first run computes" false
+            m.Service.Scheduler.from_cache
+      | _ -> Alcotest.fail "first run did not complete");
+      match Service.Scheduler.run sched ~jobs:4 spec with
+      | Service.Scheduler.Done _, m ->
+          Alcotest.(check bool) "jobs=4 rerun is a cache hit" true
+            m.Service.Scheduler.from_cache
+      | _ -> Alcotest.fail "second run did not complete");
+  (* different specs get different keys *)
+  let keys =
+    List.map
+      (fun (t : Litmus.t) ->
+        Service.Scheduler.cache_key (Service.Scheduler.Litmus_spec t))
+      (Paper_examples.all @ Litmus_suite.all)
+  in
+  Alcotest.(check int) "no key collisions"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let () =
+  Alcotest.run "cache"
+    [ ( "json",
+        [ Alcotest.test_case "encoder/parser roundtrip" `Quick
+            test_json_roundtrip ] );
+      ( "codec",
+        [ Alcotest.test_case "behavior sets roundtrip bit-identically" `Quick
+            test_behavior_roundtrip;
+          Alcotest.test_case "litmus summaries roundtrip; tampering rejected"
+            `Quick test_litmus_summary_roundtrip ] );
+      ( "store",
+        [ Alcotest.test_case "memory+disk roundtrip" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "every corruption mode is a miss, then heals"
+            `Quick test_store_corruption;
+          Alcotest.test_case "engine-version skew is a miss" `Quick
+            test_store_version_skew ] );
+      ( "keys",
+        [ Alcotest.test_case "program fingerprints stable and distinct"
+            `Quick test_fingerprint_stability;
+          Alcotest.test_case "cache keys stable, jobs-independent, distinct"
+            `Quick test_key_stability ] ) ]

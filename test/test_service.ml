@@ -1,0 +1,268 @@
+(* The vrmd verification service:
+
+   - parity: every corpus job submitted through the scheduler returns
+     the same behavior-set digests as a direct Litmus.run /
+     Refinement.check (the golden-digest acceptance criterion);
+   - warm cache: resubmitting the corpus costs zero exploration;
+   - coalescing: identical in-flight submissions share one execution;
+   - deadlines: an already-expired job is cancelled without running, and
+     the engine's deadline valve cuts short a running exploration;
+   - the daemon end-to-end: serve over a real Unix socket, submit,
+     status, graceful shutdown. *)
+
+open Memmodel
+open Cache
+open Service
+
+let with_sched ?(workers = 2) ?cache f =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Store.create ~engine_version:Engine.version ()
+  in
+  let sched = Scheduler.create ~workers ~cache () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) (fun () -> f sched)
+
+let done_payload name = function
+  | Scheduler.Done p, (m : Scheduler.meta) -> (p, m)
+  | Scheduler.Timed_out, _ -> Alcotest.failf "%s timed out" name
+  | Scheduler.Failed e, _ -> Alcotest.failf "%s failed: %s" name e
+
+(* ------------------------------------------------------------------ *)
+(* Parity with direct runs                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_litmus_parity () =
+  with_sched (fun sched ->
+      List.iter
+        (fun (t : Litmus.t) ->
+          let payload, _ =
+            done_payload t.Litmus.prog.Prog.name
+              (Scheduler.run sched (Scheduler.Litmus_spec t))
+          in
+          let remote = Codec.litmus_of_json payload in
+          let local = Codec.litmus_summary (Litmus.run t) in
+          let b = Fingerprint.behaviors in
+          let n = t.Litmus.prog.Prog.name in
+          Alcotest.(check string) (n ^ " prog digest")
+            local.Codec.l_prog_digest remote.Codec.l_prog_digest;
+          Alcotest.(check string) (n ^ " sc digest") (b local.Codec.l_sc)
+            (b remote.Codec.l_sc);
+          Alcotest.(check string) (n ^ " rm digest") (b local.Codec.l_rm)
+            (b remote.Codec.l_rm);
+          Alcotest.(check string) (n ^ " rm-only digest")
+            (b local.Codec.l_rm_only)
+            (b remote.Codec.l_rm_only);
+          Alcotest.(check bool) (n ^ " as_expected")
+            local.Codec.l_as_expected remote.Codec.l_as_expected)
+        Paper_examples.all)
+
+let test_refine_parity () =
+  with_sched (fun sched ->
+      List.iter
+        (fun (e : Sekvm.Kernel_progs.entry) ->
+          let payload, _ =
+            done_payload e.Sekvm.Kernel_progs.name
+              (Scheduler.run sched (Scheduler.Refine_spec e))
+          in
+          let remote = Codec.refine_of_json payload in
+          let v =
+            Vrm.Refinement.check ~config:e.Sekvm.Kernel_progs.rm_config
+              e.Sekvm.Kernel_progs.prog
+          in
+          let local =
+            Codec.refine_summary ~name:e.Sekvm.Kernel_progs.name
+              e.Sekvm.Kernel_progs.prog v
+          in
+          let b = Fingerprint.behaviors in
+          let n = e.Sekvm.Kernel_progs.name in
+          Alcotest.(check bool) (n ^ " holds") local.Codec.r_holds
+            remote.Codec.r_holds;
+          Alcotest.(check string) (n ^ " sc digest") (b local.Codec.r_sc)
+            (b remote.Codec.r_sc);
+          Alcotest.(check string) (n ^ " rm digest") (b local.Codec.r_rm)
+            (b remote.Codec.r_rm);
+          Alcotest.(check string) (n ^ " rm-only digest")
+            (b local.Codec.r_rm_only)
+            (b remote.Codec.r_rm_only))
+        (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus))
+
+(* ------------------------------------------------------------------ *)
+(* Cache behavior through the scheduler                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_resubmit () =
+  with_sched (fun sched ->
+      let specs =
+        List.map
+          (fun (t : Litmus.t) -> Scheduler.Litmus_spec t)
+          Paper_examples.all
+      in
+      let submit_all () =
+        List.map
+          (fun s -> Scheduler.await sched (Scheduler.submit sched s))
+          specs
+      in
+      let cold = submit_all () in
+      let c1 = Scheduler.counters sched in
+      let warm = submit_all () in
+      let c2 = Scheduler.counters sched in
+      Alcotest.(check bool) "cold round explored" true
+        (c1.Scheduler.engine.Engine.visited > 0);
+      Alcotest.(check int) "warm round explored nothing"
+        c1.Scheduler.engine.Engine.visited c2.Scheduler.engine.Engine.visited;
+      Alcotest.(check int) "every warm job hit the cache"
+        (List.length specs)
+        c2.Scheduler.cache_stats.Store.hits;
+      List.iter2
+        (fun (o1, _) (o2, (m2 : Scheduler.meta)) ->
+          match (o1, o2) with
+          | Scheduler.Done p1, Scheduler.Done p2 ->
+              Alcotest.(check string) "payload bit-identical"
+                (Json.to_string p1) (Json.to_string p2);
+              Alcotest.(check bool) "warm meta says cached" true
+                m2.Scheduler.from_cache
+          | _ -> Alcotest.fail "a job did not complete")
+        cold warm)
+
+let test_coalescing () =
+  (* one worker + a slow filler job keeps the queue busy while two
+     identical submissions arrive: they must share one ticket. *)
+  with_sched ~workers:1 (fun sched ->
+      let filler = Scheduler.Refine_spec Sekvm.Kernel_progs.mcs_handoff in
+      let spec = Scheduler.Litmus_spec Paper_examples.example1 in
+      let t0 = Scheduler.submit sched filler in
+      let t1 = Scheduler.submit sched spec in
+      let t2 = Scheduler.submit sched spec in
+      ignore (Scheduler.await sched t0);
+      let p1, _ = done_payload "first" (Scheduler.await sched t1) in
+      let p2, _ = done_payload "second" (Scheduler.await sched t2) in
+      Alcotest.(check string) "coalesced submissions agree"
+        (Json.to_string p1) (Json.to_string p2);
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "one submission was coalesced" 1
+        c.Scheduler.coalesced;
+      (* the pair cost one execution: one miss+store for the litmus job,
+         one for the filler *)
+      Alcotest.(check int) "only two cache stores" 2
+        c.Scheduler.cache_stats.Store.stores)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_queue_level () =
+  with_sched (fun sched ->
+      match
+        Scheduler.run sched ~deadline_s:0.
+          (Scheduler.Certify_spec
+             { Sekvm.Kernel_progs.linux = "5.5"; stage2_levels = 4 })
+      with
+      | Scheduler.Timed_out, _ -> ()
+      | Scheduler.Done _, _ -> Alcotest.fail "expired job still ran"
+      | Scheduler.Failed e, _ -> Alcotest.failf "expired job failed: %s" e);
+  (* timeouts are never cached: the same spec afterwards is a miss *)
+  with_sched (fun sched ->
+      let spec = Scheduler.Litmus_spec Paper_examples.example1 in
+      (match Scheduler.run sched ~deadline_s:0. spec with
+      | Scheduler.Timed_out, _ -> ()
+      | _ -> Alcotest.fail "expected queue-level timeout");
+      match Scheduler.run sched spec with
+      | Scheduler.Done _, m ->
+          Alcotest.(check bool) "post-timeout run recomputes" false
+            m.Scheduler.from_cache
+      | _ -> Alcotest.fail "post-timeout run did not complete")
+
+let test_deadline_engine_level () =
+  (* the engine's valve: an already-passed absolute deadline stops the
+     exploration at its first state *)
+  let prog = Paper_examples.example1.Litmus.prog in
+  let _, stats =
+    Sc.run_stats ~deadline:(Unix.gettimeofday () -. 1.) prog
+  in
+  Alcotest.(check bool) "expired deadline sets budget_hit" true
+    stats.Engine.budget_hit;
+  Alcotest.(check bool) "exploration was cut short" true
+    (stats.Engine.visited <= 1);
+  (* a generous deadline changes nothing *)
+  let b_free, s_free = Sc.run_stats prog in
+  let b_dl, s_dl =
+    Sc.run_stats ~deadline:(Unix.gettimeofday () +. 3600.) prog
+  in
+  Alcotest.(check bool) "generous deadline: same behaviors" true
+    (Behavior.equal b_free b_dl);
+  Alcotest.(check bool) "generous deadline: no budget hit" true
+    (not (s_free.Engine.budget_hit || s_dl.Engine.budget_hit))
+
+(* ------------------------------------------------------------------ *)
+(* The daemon, end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_end_to_end () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrmd-test-%d.sock" (Unix.getpid ()))
+  in
+  let cache = Store.create ~engine_version:Engine.version () in
+  let sched = Scheduler.create ~workers:2 ~cache () in
+  let server = Thread.create (fun () -> Server.serve ~socket sched) () in
+  (* wait for the socket to appear *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "server did not come up";
+    if not (Sys.file_exists socket) then (Thread.delay 0.05; wait (n - 1))
+  in
+  wait 100;
+  (* submit one litmus job and check it against a direct run *)
+  (match Client.submit ~socket (Protocol.Litmus "mp-plain") with
+  | Error e -> Alcotest.failf "submit failed: %s" e
+  | Ok payload ->
+      let remote = Codec.litmus_of_json (Json.member "data" payload) in
+      let local =
+        Codec.litmus_summary (Litmus.run Paper_examples.mp_plain)
+      in
+      Alcotest.(check string) "socket parity: rm digest"
+        (Fingerprint.behaviors local.Codec.l_rm)
+        (Fingerprint.behaviors remote.Codec.l_rm));
+  (* resubmission is served from cache *)
+  (match Client.submit ~socket (Protocol.Litmus "mp-plain") with
+  | Error e -> Alcotest.failf "resubmit failed: %s" e
+  | Ok payload ->
+      Alcotest.(check bool) "resubmit cached" true
+        (Json.to_bool (Json.member "from_cache" payload)));
+  (* unknown names are clean errors *)
+  (match Client.submit ~socket (Protocol.Litmus "no-such-test") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown test accepted");
+  (* status reports the three submissions *)
+  (match Client.status ~socket with
+  | Error e -> Alcotest.failf "status failed: %s" e
+  | Ok counters ->
+      Alcotest.(check int) "status: submitted" 2
+        (Json.to_int (Json.member "submitted" counters)));
+  (* graceful shutdown: server thread exits, socket file disappears *)
+  (match Client.shutdown ~socket with
+  | Error e -> Alcotest.failf "shutdown failed: %s" e
+  | Ok () -> ());
+  Thread.join server;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "service"
+    [ ( "parity",
+        [ Alcotest.test_case "litmus corpus digests = direct runs" `Slow
+            test_litmus_parity;
+          Alcotest.test_case "kernel corpus digests = direct runs" `Slow
+            test_refine_parity ] );
+      ( "cache",
+        [ Alcotest.test_case "corpus resubmit costs zero exploration" `Slow
+            test_warm_resubmit;
+          Alcotest.test_case "identical in-flight submissions coalesce"
+            `Quick test_coalescing ] );
+      ( "deadlines",
+        [ Alcotest.test_case "expired jobs cancel without running" `Quick
+            test_deadline_queue_level;
+          Alcotest.test_case "engine deadline valve" `Quick
+            test_deadline_engine_level ] );
+      ( "daemon",
+        [ Alcotest.test_case "serve/submit/status/shutdown over a socket"
+            `Quick test_server_end_to_end ] ) ]
