@@ -1,4 +1,4 @@
-.PHONY: all build test litmus examples smoke check bench clean
+.PHONY: all build test litmus examples smoke lint check bench clean
 
 all: build
 
@@ -24,8 +24,13 @@ smoke:
 	dune exec bin/vrm_cli.exe -- litmus mp-plain --stats
 	dune exec bin/vrm_cli.exe -- litmus mp-plain --json
 
+# Static wDRF lint over every kernel corpus entry, cross-validated
+# against the dynamic checkers (exits non-zero on any disagreement).
+lint:
+	dune exec bin/vrm_cli.exe -- lint --corpus
+
 # The tier-1 gate: what CI runs.
-check: build test examples litmus smoke
+check: build test examples litmus smoke lint
 
 bench:
 	dune exec bench/main.exe

@@ -519,6 +519,57 @@ let print_service () =
     (done_payloads cold = done_payloads warm)
 
 (* ------------------------------------------------------------------ *)
+(* Static wDRF lint vs exhaustive refinement check                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_lint () =
+  section "Static wDRF lint vs exhaustive refinement check";
+  let entries =
+    Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+    @ Sekvm.Kernel_progs.boundary_corpus @ Sekvm.Kernel_progs.lint_corpus
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let a, ta = time (fun () -> Analysis.Driver.analyze e) in
+        let v, tv =
+          time (fun () ->
+              Vrm.Refinement.check ~config:e.Sekvm.Kernel_progs.rm_config
+                e.Sekvm.Kernel_progs.prog)
+        in
+        let served =
+          a.Analysis.Driver.a_overall = Analysis.Diag.Pass
+          && a.Analysis.Driver.a_refinement = Analysis.Diag.Pass
+        in
+        Format.printf "  %-22s lint %8.3f ms   explore %9.3f ms   %s@."
+          e.Sekvm.Kernel_progs.name (ta *. 1e3) (tv *. 1e3)
+          (if served then "static-served" else "dynamic");
+        (a, v, served, ta, tv))
+      entries
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let tl = total (fun (_, _, _, ta, _) -> ta) in
+  let te = total (fun (_, _, _, _, tv) -> tv) in
+  let served = List.length (List.filter (fun (_, _, s, _, _) -> s) rows) in
+  Format.printf "  %-22s lint %8.3f ms   explore %9.3f ms   (%d/%d static)@."
+    "TOTAL" (tl *. 1e3) (te *. 1e3) served (List.length rows);
+  expect "lint is cheaper than exhaustive exploration over the corpus"
+    (tl < te);
+  expect "static refinement Pass implies exploration succeeds (soundness)"
+    (List.for_all
+       (fun ((a : Analysis.Driver.t), (v : Vrm.Refinement.verdict), _, _, _) ->
+         match a.Analysis.Driver.a_refinement with
+         | Analysis.Diag.Pass -> v.Vrm.Refinement.holds
+         | Analysis.Diag.Fail | Analysis.Diag.Unknown -> true)
+       rows);
+  expect "some corpus entries are static-served" (served > 0)
+
+(* ------------------------------------------------------------------ *)
 (* §5: the certification summary                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,6 +671,7 @@ let () =
   print_stress ();
   print_parallel ();
   print_service ();
+  print_lint ();
   print_certification ();
   run_bechamel ();
   section "Summary";

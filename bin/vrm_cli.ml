@@ -414,6 +414,20 @@ let verify_payload (job : Service.Protocol.job) (data : Cache.Json.t) :
         && local.Cache.Codec.l_as_expected = remote.Cache.Codec.l_as_expected
       then Ok ()
       else Error "litmus payload disagrees with direct run"
+  | Ok (Service.Scheduler.Refine_spec e)
+    when Cache.Codec.refine_served_by_static data ->
+      (* A statically served payload carries no behavior sets; verifying
+         it means re-running the analyzer and checking it still fully
+         discharges the entry. *)
+      let remote = Cache.Codec.refine_of_json data in
+      let a = Analysis.Driver.analyze e in
+      if
+        a.Analysis.Driver.a_prog_digest = remote.Cache.Codec.r_prog_digest
+        && a.Analysis.Driver.a_overall = Analysis.Diag.Pass
+        && a.Analysis.Driver.a_refinement = Analysis.Diag.Pass
+        && remote.Cache.Codec.r_holds
+      then Ok ()
+      else Error "static payload disagrees with a fresh lint run"
   | Ok (Service.Scheduler.Refine_spec e) ->
       let remote = Cache.Codec.refine_of_json data in
       let v =
@@ -546,6 +560,79 @@ let submit_cmd =
       const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
       $ levels $ verify)
 
+let lint_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"kernel program to lint")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit one JSON payload per entry")
+  in
+  let corpus_flag =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:
+            "lint every corpus entry (certified, buggy, boundary, lint) \
+             and cross-validate each verdict against the dynamic checkers")
+  in
+  let run name json corpus =
+    let entries =
+      Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+      @ Sekvm.Kernel_progs.boundary_corpus @ Sekvm.Kernel_progs.lint_corpus
+    in
+    let selected =
+      if corpus then entries
+      else
+        match name with
+        | None ->
+            Format.eprintf "NAME or --corpus is required@.";
+            exit 2
+        | Some n -> (
+            match
+              List.find_opt
+                (fun (e : Sekvm.Kernel_progs.entry) ->
+                  e.Sekvm.Kernel_progs.name = n)
+                entries
+            with
+            | Some e -> [ e ]
+            | None ->
+                Format.eprintf "unknown kernel program %S@." n;
+                exit 2)
+    in
+    let failed = ref false in
+    let definite = ref 0 in
+    List.iter
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let a = Analysis.Driver.analyze e in
+        definite := !definite + List.length (Analysis.Driver.definite_codes a);
+        if json then
+          print_endline (Cache.Json.to_string (Analysis.Driver.to_json a))
+        else Format.printf "%a@." Analysis.Driver.pp a;
+        let r = Analysis.Validate.entry e in
+        if not (Analysis.Validate.ok r) then begin
+          failed := true;
+          Format.eprintf "%a@." Analysis.Validate.pp_report r
+        end)
+      selected;
+    if not json then
+      Format.printf "%d entries linted, %d definite finding(s), \
+                     cross-validation %s@."
+        (List.length selected) !definite
+        (if !failed then "FAILED" else "ok");
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "run the static wDRF analyzer (and its dynamic cross-validation) \
+          over kernel programs")
+    Term.(const run $ name_arg $ json $ corpus_flag)
+
 let status_cmd =
   let run socket =
     match with_daemon socket (fun () -> Service.Client.status ~socket) with
@@ -576,5 +663,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "vrm-cli" ~doc)
           [ litmus_cmd; certify_cmd; simulate_cmd; scenario_cmd; stress_cmd;
-            sweep_cmd; migrate_cmd; axiomatic_cmd; repair_cmd; serve_cmd;
-            submit_cmd; status_cmd; shutdown_cmd ]))
+            sweep_cmd; migrate_cmd; axiomatic_cmd; repair_cmd; lint_cmd;
+            serve_cmd; submit_cmd; status_cmd; shutdown_cmd ]))

@@ -1,0 +1,172 @@
+open Memmodel
+
+(* The adequacy predicates, kept textually in sync with Check_barrier
+   (the harness enforces behavioral agreement in both directions). *)
+
+let is_acquireish = function
+  | Instr.Load (_, _, (Instr.Acquire | Instr.Acq_rel))
+  | Instr.Faa (_, _, _, (Instr.Acquire | Instr.Acq_rel))
+  | Instr.Xchg (_, _, _, (Instr.Acquire | Instr.Acq_rel))
+  | Instr.Cas (_, _, _, _, (Instr.Acquire | Instr.Acq_rel))
+  | Instr.Barrier (Instr.Dmb_full | Instr.Dmb_ld) ->
+      true
+  | _ -> false
+
+let is_releaseish = function
+  | Instr.Store (_, _, (Instr.Release | Instr.Acq_rel))
+  | Instr.Faa (_, _, _, (Instr.Release | Instr.Acq_rel))
+  | Instr.Xchg (_, _, _, (Instr.Release | Instr.Acq_rel))
+  | Instr.Cas (_, _, _, _, (Instr.Release | Instr.Acq_rel))
+  | Instr.Barrier (Instr.Dmb_full | Instr.Dmb_st) ->
+      true
+  | _ -> false
+
+let is_dmb_ld = function
+  | Instr.Barrier (Instr.Dmb_full | Instr.Dmb_ld) -> true
+  | _ -> false
+
+let is_dmb_st = function
+  | Instr.Barrier (Instr.Dmb_full | Instr.Dmb_st) -> true
+  | _ -> false
+
+let touches bases (s : Cfg.step) =
+  match Cfg.access_base s.Cfg.ins with
+  | Some b -> List.mem b bases
+  | None -> false
+
+let scan_until pred bases steps =
+  let rec go = function
+    | [] -> false
+    | (s : Cfg.step) :: rest ->
+        if pred s.Cfg.ins then true
+        else if touches bases s then false
+        else go rest
+  in
+  go steps
+
+let pull_fulfilled before after bases =
+  scan_until is_acquireish bases before || scan_until is_dmb_ld bases after
+
+let push_fulfilled before after bases =
+  scan_until is_releaseish bases after || scan_until is_dmb_st bases before
+
+let w002 (prog : Prog.t) : Diag.t list =
+  List.concat_map
+    (fun (th : Prog.thread) ->
+      let bad = ref [] in
+      List.iter
+        (fun path ->
+          let rec walk before = function
+            | [] -> ()
+            | (s : Cfg.step) :: rest ->
+                (match s.Cfg.ins with
+                | Instr.Pull bases
+                  when not (pull_fulfilled before rest bases) ->
+                    bad :=
+                      { Diag.d_code = Diag.W002;
+                        d_tid = th.Prog.tid;
+                        d_path = s.Cfg.pt;
+                        d_certainty = Diag.Definite;
+                        d_message =
+                          Printf.sprintf
+                            "pull of {%s} not fulfilled by an acquire \
+                             access or DMB(LD) on this path"
+                            (String.concat ", " bases);
+                        d_fix =
+                          "make the lock-acquiring access \
+                           acquire-flavored (LDAR / acquire RMW), or \
+                           insert `dmb ld` between the pull and the \
+                           first protected access" }
+                      :: !bad
+                | Instr.Push bases
+                  when not (push_fulfilled before rest bases) ->
+                    bad :=
+                      { Diag.d_code = Diag.W002;
+                        d_tid = th.Prog.tid;
+                        d_path = s.Cfg.pt;
+                        d_certainty = Diag.Definite;
+                        d_message =
+                          Printf.sprintf
+                            "push of {%s} not fulfilled by a release \
+                             access or DMB(ST) on this path"
+                            (String.concat ", " bases);
+                        d_fix =
+                          "make the lock-releasing store \
+                           release-flavored (STLR / release RMW), or \
+                           insert `dmb st` between the last protected \
+                           access and the push" }
+                      :: !bad
+                | _ -> ());
+                walk (s :: before) rest
+          in
+          walk [] path)
+        (Cfg.paths th.Prog.code);
+      !bad)
+    prog.Prog.threads
+
+(* W007: ISB after control-dependent page-table reads. Registers loaded
+   from a PT base are tainted; a branch on a tainted register whose body
+   loads again, with no ISB in between, is advisory-flagged. *)
+let w007 (prog : Prog.t) : Diag.t list =
+  let rec branch_loads = function
+    | [] -> false
+    | Instr.Load _ :: _ -> true
+    | Instr.If (_, a, b) :: rest ->
+        branch_loads a || branch_loads b || branch_loads rest
+    | Instr.While (_, body) :: rest -> branch_loads body || branch_loads rest
+    | _ :: rest -> branch_loads rest
+  in
+  List.concat_map
+    (fun (th : Prog.thread) ->
+      let out = ref [] in
+      let rec scan prefix k tainted = function
+        | [] -> ()
+        | ins :: rest ->
+            let tainted' =
+              match ins with
+              | Instr.Load (r, a, _) when Cfg.is_pt_base a.Expr.abase ->
+                  r :: tainted
+              | Instr.Load (r, _, _) ->
+                  List.filter (fun r' -> r' <> r) tainted
+              | Instr.Barrier Instr.Isb -> []
+              | Instr.Move (r, e) ->
+                  if
+                    List.exists
+                      (fun r' -> List.mem r' tainted)
+                      (Expr.regs_of_vexp e)
+                  then r :: tainted
+                  else List.filter (fun r' -> r' <> r) tainted
+              | _ -> tainted
+            in
+            (match ins with
+            | Instr.If (c, a, b) ->
+                if
+                  List.exists
+                    (fun r' -> List.mem r' tainted)
+                    (Expr.regs_of_bexp c)
+                  && (branch_loads a || branch_loads b)
+                then
+                  out :=
+                    { Diag.d_code = Diag.W007;
+                      d_tid = th.Prog.tid;
+                      d_path = prefix @ [ k ];
+                      d_certainty = Diag.Possible;
+                      d_message =
+                        "branch on a value read from a page table is \
+                         followed by loads with no ISB: the control \
+                         dependency alone does not order them";
+                      d_fix =
+                        "insert `isb` between the page-table read and \
+                         the dependent loads" }
+                    :: !out;
+                scan (prefix @ [ k; 0 ]) 0 tainted a;
+                scan (prefix @ [ k; 1 ]) 0 tainted b
+            | Instr.While (_, body) -> scan (prefix @ [ k; 0 ]) 0 tainted body
+            | _ -> ());
+            scan prefix (k + 1) tainted' rest
+      in
+      scan [] 0 [] th.Prog.code;
+      !out)
+    prog.Prog.threads
+
+let run (prog : Prog.t) : Diag.t list = Diag.sort (w002 prog @ w007 prog)

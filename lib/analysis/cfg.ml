@@ -1,0 +1,144 @@
+open Memmodel
+
+type step = { pt : int list; ins : Instr.t }
+
+(* Mirrors Check_barrier.paths (If -> both branches, While -> 0/1
+   unrollings) with structural positions attached. The instruction count
+   of corpus programs is small enough that the product stays tiny. *)
+let paths (code : Instr.t list) : step list list =
+  let cross heads tails =
+    List.concat_map (fun h -> List.map (fun t -> h @ t) tails) heads
+  in
+  let rec go prefix k = function
+    | [] -> [ [] ]
+    | Instr.If (_, a, b) :: rest ->
+        let heads = go (prefix @ [ k; 0 ]) 0 a @ go (prefix @ [ k; 1 ]) 0 b in
+        cross heads (go prefix (k + 1) rest)
+    | Instr.While (_, body) :: rest ->
+        let heads = [] :: go (prefix @ [ k; 0 ]) 0 body in
+        cross heads (go prefix (k + 1) rest)
+    | i :: rest ->
+        List.map
+          (fun t -> { pt = prefix @ [ k ]; ins = i } :: t)
+          (go prefix (k + 1) rest)
+  in
+  go [] 0 code
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_suffix suf s =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let is_el2_base b = has_prefix "el2" b
+let is_pt_base b = is_el2_base b || has_prefix "pte" b || has_prefix "pt_" b
+let is_s2_pt_base b = is_pt_base b && not (is_el2_base b)
+
+let is_lock_base b =
+  List.exists
+    (fun s -> has_suffix s b)
+    [ ".ticket"; ".now"; ".tail"; ".locked"; ".next" ]
+
+let access_base = function
+  | Instr.Load (_, a, _)
+  | Instr.Store (a, _, _)
+  | Instr.Faa (_, a, _, _)
+  | Instr.Xchg (_, a, _, _)
+  | Instr.Cas (_, a, _, _, _) ->
+      Some a.Expr.abase
+  | _ -> None
+
+let is_rmw = function
+  | Instr.Faa _ | Instr.Xchg _ | Instr.Cas _ -> true
+  | _ -> false
+
+let writes_mem = function
+  | Instr.Store _ | Instr.Faa _ | Instr.Xchg _ | Instr.Cas _ -> true
+  | _ -> false
+
+let rec const_of_vexp : Expr.vexp -> int option = function
+  | Expr.Const n -> Some n
+  | Expr.Reg _ -> None
+  | Expr.Add (a, b) -> bin ( + ) a b
+  | Expr.Sub (a, b) -> bin ( - ) a b
+  | Expr.Mul (a, b) -> bin ( * ) a b
+  | Expr.Div (a, b) -> (
+      match (const_of_vexp a, const_of_vexp b) with
+      | Some x, Some y when y <> 0 -> Some (x / y)
+      | _ -> None)
+
+and bin op a b =
+  match (const_of_vexp a, const_of_vexp b) with
+  | Some x, Some y -> Some (op x y)
+  | _ -> None
+
+let store_target = function
+  | Instr.Store (a, _, _) -> Some (a.Expr.abase, const_of_vexp a.Expr.offset)
+  | _ -> None
+
+module Amem = struct
+  type aval = Known of int | Unknown_val
+
+  module M = Map.Make (struct
+    type t = string * int
+
+    let compare = Stdlib.compare
+  end)
+
+  type t = { cells : aval M.t; smudged : string list }
+
+  let of_init ~pred (prog : Prog.t) =
+    let cells =
+      List.fold_left
+        (fun m (l, v) ->
+          if pred (Loc.base l) then M.add (Loc.base l, Loc.index l) (Known v) m
+          else m)
+        M.empty prog.Prog.init
+    in
+    { cells; smudged = [] }
+
+  let read t ((base, _) as cell) =
+    if List.mem base t.smudged then Unknown_val
+    else match M.find_opt cell t.cells with Some v -> v | None -> Known 0
+
+  let write t cell v = { t with cells = M.add cell v t.cells }
+
+  let smudge_base t base =
+    if List.mem base t.smudged then t
+    else { t with smudged = base :: t.smudged }
+end
+
+type raw = {
+  r_code : Diag.code;
+  r_path : int list;
+  r_message : string;
+  r_fix : string;
+  r_definite : bool;
+}
+
+let classify ~tid ~per_path : Diag.t list =
+  let n_paths = List.length per_path in
+  let dedup raws = List.sort_uniq Stdlib.compare raws in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun raws ->
+      List.iter
+        (fun r ->
+          let n = try Hashtbl.find tbl r with Not_found -> 0 in
+          Hashtbl.replace tbl r (n + 1))
+        (dedup raws))
+    per_path;
+  Hashtbl.fold
+    (fun r n acc ->
+      { Diag.d_code = r.r_code;
+        d_tid = tid;
+        d_path = r.r_path;
+        d_certainty =
+          (if r.r_definite && n = n_paths then Diag.Definite
+           else Diag.Possible);
+        d_message = r.r_message;
+        d_fix = r.r_fix }
+      :: acc)
+    tbl []
+  |> Diag.sort

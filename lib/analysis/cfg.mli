@@ -1,0 +1,100 @@
+(** Control-flow paths over the kernel DSL, plus the shared vocabulary of
+    the lint passes.
+
+    A thread body is enumerated into control-flow paths exactly as
+    {!Vrm.Check_barrier} does — each [If] contributes both branches, each
+    [While] is unrolled zero and one time — but every instruction carries
+    its {e structural path}: the root-to-leaf position ([2.0.1] = branch 0
+    of the instruction at index 2, instruction 1 within it). Structural
+    paths are stable across path enumeration order, which is what makes
+    diagnostics deterministic and golden-testable.
+
+    The certainty rule lives here too: a raw finding promoted to
+    [Definite] must hold on {e every} enumerated path of its thread.
+    Since the SC executor runs every thread to completion in every
+    interleaving, an every-path defect is guaranteed a dynamic witness —
+    the soundness direction the cross-validation harness enforces. *)
+
+open Memmodel
+
+type step = {
+  pt : int list;  (** structural path of the instruction *)
+  ins : Instr.t;
+}
+
+val paths : Instr.t list -> step list list
+(** All control-flow paths (loops unrolled 0/1 times, [If]/[While]
+    headers dissolved into their branches). Never empty. *)
+
+(** {2 Base-name classification}
+
+    The analyzer is name-driven, mirroring how the paper's side
+    conditions partition state: lock-implementation internals
+    (exempt from DRF), EL2 kernel mappings (Write-Once), and stage-2
+    page tables (Transactional + TLBI). *)
+
+val is_el2_base : string -> bool
+(** EL2 kernel mappings (prefix [el2]): subject to Write-Once (W003). *)
+
+val is_pt_base : string -> bool
+(** Any page-table base: prefixes [el2], [pte], [pt_]. *)
+
+val is_s2_pt_base : string -> bool
+(** Stage-2/SMMU tables (PT but not EL2): subject to the Transactional
+    and TLBI conditions (W004/W005). *)
+
+val is_lock_base : string -> bool
+(** Lock-implementation cells by naming convention: suffixes [.ticket],
+    [.now], [.tail], [.locked], [.next]. *)
+
+(** {2 Instruction views} *)
+
+val access_base : Instr.t -> string option
+(** The base a memory access touches; [None] for non-accesses. *)
+
+val is_rmw : Instr.t -> bool
+val writes_mem : Instr.t -> bool
+(** [Store] or any RMW. *)
+
+val const_of_vexp : Expr.vexp -> int option
+(** Evaluate a register-free value expression. *)
+
+val store_target : Instr.t -> (string * int option) option
+(** For a [Store]: base and constant offset (if resolvable). *)
+
+(** {2 Abstract memory}
+
+    Constant propagation for the Write-Once and TLBI passes: per
+    location either a known integer or unknown. Unlisted locations
+    start at their program-init value (0 when uninitialized). *)
+
+module Amem : sig
+  type aval = Known of int | Unknown_val
+  type t
+
+  val of_init : pred:(string -> bool) -> Prog.t -> t
+  (** Track only bases satisfying [pred]. *)
+
+  val read : t -> string * int -> aval
+  val write : t -> string * int -> aval -> t
+
+  val smudge_base : t -> string -> t
+  (** A write through a non-constant offset: every entry of the base
+      becomes unknown. *)
+end
+
+(** {2 Certainty classification} *)
+
+type raw = {
+  r_code : Diag.code;
+  r_path : int list;
+  r_message : string;
+  r_fix : string;
+  r_definite : bool;
+      (** eligible for [Definite] when present on every path *)
+}
+
+val classify : tid:int -> per_path:raw list list -> Diag.t list
+(** Merge per-path raw findings into diagnostics: a finding is
+    [Definite] iff it is definite-eligible and identical on every path;
+    otherwise [Possible]. *)

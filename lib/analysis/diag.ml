@@ -1,0 +1,99 @@
+(* See the interface for the semantics of codes, certainty and verdicts. *)
+
+type code = W001 | W002 | W003 | W004 | W005 | W006 | W007
+
+let code_name = function
+  | W001 -> "W001"
+  | W002 -> "W002"
+  | W003 -> "W003"
+  | W004 -> "W004"
+  | W005 -> "W005"
+  | W006 -> "W006"
+  | W007 -> "W007"
+
+let code_title = function
+  | W001 -> "shared access outside lock/ownership"
+  | W002 -> "pull/push without an adequate barrier"
+  | W003 -> "kernel mapping written more than once"
+  | W004 -> "malformed transactional page-table section"
+  | W005 -> "page-table write without covering TLBI"
+  | W006 -> "push/pull ownership flow"
+  | W007 -> "control-dependent PT read without ISB"
+
+let code_of_name = function
+  | "W001" -> Some W001
+  | "W002" -> Some W002
+  | "W003" -> Some W003
+  | "W004" -> Some W004
+  | "W005" -> Some W005
+  | "W006" -> Some W006
+  | "W007" -> Some W007
+  | _ -> None
+
+type certainty = Definite | Possible
+
+type t = {
+  d_code : code;
+  d_tid : int;
+  d_path : int list;
+  d_certainty : certainty;
+  d_message : string;
+  d_fix : string;
+}
+
+let compare (a : t) (b : t) : int =
+  let c = Stdlib.compare a.d_tid b.d_tid in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.d_path b.d_path in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.d_code b.d_code in
+      if c <> 0 then c else Stdlib.compare a.d_message b.d_message
+
+let sort ds = List.sort_uniq (fun a b -> if a = b then 0 else compare a b) ds
+
+type verdict = Pass | Fail | Unknown
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Unknown -> "unknown"
+
+let verdict_of_diags ds =
+  if List.exists (fun d -> d.d_certainty = Definite) ds then Fail
+  else if ds <> [] then Unknown
+  else Pass
+
+let worst a b =
+  match (a, b) with
+  | Fail, _ | _, Fail -> Fail
+  | Unknown, _ | _, Unknown -> Unknown
+  | Pass, Pass -> Pass
+
+let pp_path fmt = function
+  | [] -> Format.pp_print_string fmt "-"
+  | p ->
+      Format.pp_print_string fmt
+        (String.concat "." (List.map string_of_int p))
+
+let pp fmt d =
+  Format.fprintf fmt "%s [%s] tid %d @@ %a: %s@,    fix: %s"
+    (code_name d.d_code)
+    (match d.d_certainty with
+    | Definite -> "definite"
+    | Possible -> "possible")
+    d.d_tid pp_path d.d_path d.d_message d.d_fix
+
+let to_json d =
+  Cache.Json.Obj
+    [ ("code", Cache.Json.String (code_name d.d_code));
+      ("tid", Cache.Json.Int d.d_tid);
+      ("path", Cache.Json.List (List.map (fun i -> Cache.Json.Int i) d.d_path));
+      ( "certainty",
+        Cache.Json.String
+          (match d.d_certainty with
+          | Definite -> "definite"
+          | Possible -> "possible") );
+      ("message", Cache.Json.String d.d_message);
+      ("fix", Cache.Json.String d.d_fix) ]

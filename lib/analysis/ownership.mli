@@ -1,0 +1,20 @@
+(** W006 — push/pull ownership dataflow.
+
+    Simulates the ghost-ownership protocol per thread along every
+    control-flow path: pulling a base already owned, pushing a base not
+    owned, and leaking (a pulled base still owned when the thread exits)
+    are findings.
+
+    Double-pull and unowned-push are [Definite] when they occur on every
+    path (the DRF checker then flags them on every interleaving). A leak
+    is [Definite] only if some other thread pulls the same base
+    unconditionally — that pull is then guaranteed to collide with the
+    leaked ownership dynamically; otherwise it is [Possible]. *)
+
+open Memmodel
+
+val run :
+  exempt:string list ->
+  initial_owners:(string * int) list ->
+  Prog.t ->
+  Diag.t list

@@ -1,0 +1,171 @@
+open Memmodel
+
+type finding = { f_tid : int; f_code : Diag.code; f_message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s tid %d: %s" (Diag.code_name f.f_code) f.f_tid
+    f.f_message
+
+let relevant (prog : Prog.t) =
+  let rec touches = function
+    | [] -> false
+    | ins :: rest ->
+        (match ins with
+        | Instr.If (_, a, b) -> touches a || touches b
+        | Instr.While (_, body) -> touches body
+        | Instr.Tlbi _ -> true
+        | _ -> (
+            match Cfg.access_base ins with
+            | Some b -> Cfg.is_pt_base b
+            | None -> false))
+        || touches rest
+  in
+  List.exists (fun (th : Prog.thread) -> touches th.Prog.code)
+    prog.Prog.threads
+
+(* Per-thread replay state. [frames] mirrors the static transactional
+   pass; [pendings] are stage-2 entries awaiting DMB-then-TLBI. *)
+type frame = { f_saw_pt : bool; f_pending : bool }
+
+type tstate = {
+  frames : frame list;
+  pendings : (string * bool) list;  (** base, ordering DMB seen since *)
+}
+
+let check ?(fuel = 16) ?(max_traces = 512) ?(exempt = [])
+    ?(initial_owners = []) (prog : Prog.t) : finding list =
+  let n = List.length prog.Prog.threads in
+  let dsl_tid i = (List.nth prog.Prog.threads i).Prog.tid in
+  let reads_pt =
+    List.map
+      (fun (th : Prog.thread) ->
+        let rec go = function
+          | [] -> false
+          | ins :: rest ->
+              (match ins with
+              | Instr.If (_, a, b) -> go a || go b
+              | Instr.While (_, body) -> go body
+              | Instr.Load (_, a, _) -> Cfg.is_s2_pt_base a.Expr.abase
+              | _ -> (
+                  match Cfg.access_base ins with
+                  | Some b -> Cfg.is_rmw ins && Cfg.is_s2_pt_base b
+                  | None -> false))
+              || go rest
+        in
+        go th.Prog.code)
+      prog.Prog.threads
+  in
+  let other_reader i =
+    List.exists2
+      (fun j r -> j <> i && r)
+      (List.init n Fun.id) reads_pt
+  in
+  let replay trace =
+    let out = ref [] in
+    let emit i code msg =
+      out := { f_tid = dsl_tid i; f_code = code; f_message = msg } :: !out
+    in
+    let mem = Hashtbl.create 16 in
+    List.iter
+      (fun (l, v) -> Hashtbl.replace mem (Loc.base l, Loc.index l) v)
+      prog.Prog.init;
+    let read cell = Option.value ~default:0 (Hashtbl.find_opt mem cell) in
+    let ts =
+      Array.make n { frames = []; pendings = [] }
+    in
+    let write i (l : Loc.t) v =
+      let base = Loc.base l in
+      let cell = (base, Loc.index l) in
+      let old = read cell in
+      let t = ts.(i) in
+      let depth = List.length t.frames in
+      if Cfg.is_el2_base base then begin
+        if old <> 0 && depth = 0 then
+          emit i Diag.W003
+            (Printf.sprintf
+               "kernel mapping %s[%d] overwritten outside a transactional \
+                section"
+               base (Loc.index l))
+      end
+      else if Cfg.is_s2_pt_base base then begin
+        (if depth = 0 then begin
+           if other_reader i then
+             emit i Diag.W004
+               (Printf.sprintf
+                  "stage-2 page table '%s' written outside a \
+                   transactional section while another CPU walks the \
+                   table"
+                  base)
+         end
+         else
+           match t.frames with
+           | f :: fs ->
+               if f.f_saw_pt && f.f_pending then
+                 emit i Diag.W004
+                   (Printf.sprintf
+                      "page-table write to '%s' follows an unrelated \
+                       write in the same transactional section"
+                      base);
+               ts.(i) <-
+                 { t with frames = { f_saw_pt = true; f_pending = false } :: fs }
+           | [] -> ());
+        if old <> 0 then
+          ts.(i) <- { (ts.(i)) with pendings = (base, false) :: ts.(i).pendings }
+      end
+      else begin
+        match t.frames with
+        | f :: fs when f.f_saw_pt ->
+            ts.(i) <- { t with frames = { f with f_pending = true } :: fs }
+        | _ -> ()
+      end;
+      Hashtbl.replace mem cell v
+    in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Pushpull.Ev_write (i, l, v) -> write i l v
+        | Pushpull.Ev_rmw (i, l, _, v) -> write i l v
+        | Pushpull.Ev_pull (i, _) ->
+            ts.(i) <-
+              { (ts.(i)) with
+                frames =
+                  { f_saw_pt = false; f_pending = false } :: ts.(i).frames }
+        | Pushpull.Ev_push (i, _) -> (
+            match ts.(i).frames with
+            | [] -> ()
+            | _ :: fs -> ts.(i) <- { (ts.(i)) with frames = fs })
+        | Pushpull.Ev_barrier (i, (Instr.Dmb_full | Instr.Dmb_st)) ->
+            ts.(i) <-
+              { (ts.(i)) with
+                pendings = List.map (fun (b, _) -> (b, true)) ts.(i).pendings
+              }
+        | Pushpull.Ev_tlbi (i, scope) ->
+            let covers b =
+              match scope with None -> true | Some l -> Loc.base l = b
+            in
+            ts.(i) <-
+              { (ts.(i)) with
+                pendings =
+                  List.filter
+                    (fun (b, dmb) -> not (dmb && covers b))
+                    ts.(i).pendings }
+        | Pushpull.Ev_read _ | Pushpull.Ev_barrier _ -> ())
+      trace;
+    Array.iteri
+      (fun i t ->
+        List.iter
+          (fun (b, _) ->
+            emit i Diag.W005
+              (Printf.sprintf
+                 "stage-2 entry in '%s' remapped with no ordered TLBI" b))
+          (List.sort_uniq compare t.pendings);
+        if List.exists (fun f -> f.f_saw_pt) t.frames then
+          emit i Diag.W004
+            "transactional section performing page-table writes is never \
+             closed")
+      ts;
+    !out
+  in
+  Pushpull.traces ~fuel ~exempt ~initial_owners ~max_traces prog
+  |> List.concat_map replay
+  |> List.sort_uniq compare

@@ -1,0 +1,19 @@
+(** W005 — TLBI-follows-PT-write path checking
+    (Sequential-TLB-Invalidation).
+
+    A store that changes a live stage-2 page-table entry (abstract prior
+    value known non-zero, or unknown) must be followed, on the same path,
+    by a DMB(ST)/DMB(full) and then a TLBI covering the entry (a TLBI
+    with no operand covers everything; one with an operand covers its
+    base). Diagnostics distinguish the three failure shapes: no TLBI at
+    all, a TLBI not ordered by a DMB, and a TLBI sequenced before the
+    write it should invalidate.
+
+    [Definite] requires the prior value to be known non-zero and the
+    defect to occur on every path; unknown priors, non-constant offsets,
+    atomic RMWs on PT bases and multi-writer PT bases degrade to
+    [Possible] (dynamic fallback). *)
+
+open Memmodel
+
+val run : Prog.t -> Diag.t list

@@ -1,0 +1,23 @@
+(** W004 — transactional page-table section well-formedness.
+
+    Stage-2 page-table bases ([pte*] / [pt_*], excluding [el2*]) may only
+    be written inside a transactional section — a pull/push bracket, with
+    the empty-bases bracket of a lock critical section counting — and the
+    page-table writes within one section must be contiguous: the MMU
+    walker on another CPU reads the table with no synchronization, so a
+    half-updated table interleaved with unrelated writes, or an update
+    outside any section, is observable.
+
+    Findings (all mirrored exactly by the trace-replay referee):
+    - a stage-2 PT store outside any section while another thread reads
+      the table;
+    - a PT store following an unrelated write in the same section that
+      already performed PT stores;
+    - a section that performed PT stores but is never closed on the path.
+
+    [Definite] when present on every path; degrades to [Possible]
+    otherwise. *)
+
+open Memmodel
+
+val run : Prog.t -> Diag.t list

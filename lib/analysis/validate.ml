@@ -1,0 +1,140 @@
+open Sekvm
+
+type check = { c_name : string; c_ok : bool; c_detail : string }
+
+type report = { r_entry : string; r_checks : check list }
+
+let ok r = List.for_all (fun c -> c.c_ok) r.r_checks
+
+let vs v = Diag.verdict_name v
+
+(* static Pass ⇒ dynamic holds; static Fail ⇒ dynamic fails; Unknown ⇒
+   the dynamic outcome matches the entry's pinned expectation. *)
+let agree name verdict ~dynamic ~expected =
+  match verdict with
+  | Diag.Pass ->
+      { c_name = name;
+        c_ok = dynamic;
+        c_detail =
+          Printf.sprintf "static pass, dynamic %s"
+            (if dynamic then "holds" else "FAILS (unsound!)") }
+  | Diag.Fail ->
+      { c_name = name;
+        c_ok = not dynamic;
+        c_detail =
+          Printf.sprintf "static fail, dynamic %s"
+            (if dynamic then "HOLDS (no witness!)" else "fails") }
+  | Diag.Unknown ->
+      { c_name = name;
+        c_ok = dynamic = expected;
+        c_detail =
+          Printf.sprintf "static unknown, dynamic %s expectation"
+            (if dynamic = expected then "matches" else "CONTRADICTS") }
+
+let entry (e : Kernel_progs.entry) : report =
+  let a = Driver.analyze e in
+  let checks = ref [] in
+  let add c = checks := c :: !checks in
+  (* 1. DRF: lockset + ownership vs the ownership-instrumented SC run *)
+  let drf_static =
+    Diag.worst (Driver.pass_verdict a "drf-lockset")
+      (Driver.pass_verdict a "ownership")
+  in
+  let drf_dyn =
+    (Vrm.Check_drf.check ~exempt:e.Kernel_progs.exempt
+       ~initial_owners:e.Kernel_progs.initial_owners e.Kernel_progs.prog)
+      .Vrm.Check_drf.holds
+  in
+  add
+    (agree "drf" drf_static ~dynamic:drf_dyn
+       ~expected:e.Kernel_progs.expect.Kernel_progs.e_drf);
+  (* 2. barriers vs Check_barrier *)
+  let bar_dyn =
+    (Vrm.Check_barrier.check e.Kernel_progs.prog).Vrm.Check_barrier.holds
+  in
+  add
+    (agree "barriers"
+       (Driver.pass_verdict a "barriers")
+       ~dynamic:bar_dyn
+       ~expected:e.Kernel_progs.expect.Kernel_progs.e_barrier);
+  (* 3. refinement (never statically Fail) *)
+  let ref_dyn =
+    (Vrm.Refinement.check ~config:e.Kernel_progs.rm_config
+       e.Kernel_progs.prog)
+      .Vrm.Refinement.holds
+  in
+  add
+    (agree "refinement" a.Driver.a_refinement ~dynamic:ref_dyn
+       ~expected:e.Kernel_progs.expect.Kernel_progs.e_refine);
+  (* 4. page-table codes vs the trace-replay referee *)
+  if Replay.relevant e.Kernel_progs.prog then begin
+    let findings =
+      Replay.check ~exempt:e.Kernel_progs.exempt
+        ~initial_owners:e.Kernel_progs.initial_owners e.Kernel_progs.prog
+    in
+    List.iter
+      (fun code ->
+        let witnessed =
+          List.exists (fun f -> f.Replay.f_code = code) findings
+        in
+        let v = Driver.code_verdict a code in
+        let name = "replay-" ^ Diag.code_name code in
+        match v with
+        | Diag.Pass ->
+            add
+              { c_name = name;
+                c_ok = not witnessed;
+                c_detail =
+                  (if witnessed then "static pass but replay WITNESSED"
+                   else "clean on both sides") }
+        | Diag.Fail ->
+            add
+              { c_name = name;
+                c_ok = witnessed;
+                c_detail =
+                  (if witnessed then "replay witnesses the static fail"
+                   else "static fail with NO replay witness") }
+        | Diag.Unknown ->
+            add
+              { c_name = name;
+                c_ok = true;
+                c_detail = "static unknown, replay not binding" })
+      [ Diag.W003; Diag.W004; Diag.W005 ]
+  end;
+  (* 5. the definite code set is exactly the pinned expectation *)
+  (match List.assoc_opt e.Kernel_progs.name Kernel_progs.lint_expectations with
+  | None ->
+      add
+        { c_name = "expected-codes";
+          c_ok = false;
+          c_detail = "entry missing from Kernel_progs.lint_expectations" }
+  | Some expected ->
+      let got = Driver.definite_codes a in
+      let expected = List.sort_uniq compare expected in
+      add
+        { c_name = "expected-codes";
+          c_ok = got = expected;
+          c_detail =
+            Printf.sprintf "expected [%s], got [%s] (overall %s)"
+              (String.concat ";" expected)
+              (String.concat ";" got)
+              (vs a.Driver.a_overall) });
+  { r_entry = e.Kernel_progs.name; r_checks = List.rev !checks }
+
+let corpus () =
+  List.map entry
+    (Kernel_progs.corpus @ Kernel_progs.buggy_corpus
+   @ Kernel_progs.boundary_corpus @ Kernel_progs.lint_corpus)
+
+let all_ok rs = List.for_all ok rs
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%s: %s" r.r_entry
+    (if ok r then "agree" else "DISAGREE");
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "@,  %-14s %s %s" c.c_name
+        (if c.c_ok then "ok  " else "FAIL")
+        c.c_detail)
+    r.r_checks;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Soundness cross-validation: the static analyzer against the dynamic
+    checkers, over the whole corpus (certified, buggy, boundary and lint
+    entries).
+
+    Per entry, five checks:
+
+    + static DRF (worst of lockset and ownership) vs {!Vrm.Check_drf}:
+      [Pass] ⇒ holds, [Fail] ⇒ ¬holds, [Unknown] ⇒ the dynamic outcome
+      matches the entry's expectation;
+    + static barriers vs {!Vrm.Check_barrier}, same contract;
+    + static refinement vs {!Vrm.Refinement} — [Pass] ⇒ holds (it is
+      never [Fail]);
+    + when {!Replay.relevant}, per-code agreement for W003/W004/W005
+      against the trace-replay referee: static [Fail] ⇒ a replay finding
+      with that code exists, static [Pass] ⇒ none;
+    + the entry's [Definite] code set equals the pinned expectation from
+      {!Sekvm.Kernel_progs.lint_expectations} (a missing table entry is
+      itself a failure).
+
+    Any disagreement fails the suite: either the analyzer claimed too
+    much (unsound) or a seeded bug went unreported (incomplete). *)
+
+type check = { c_name : string; c_ok : bool; c_detail : string }
+
+type report = {
+  r_entry : string;  (** corpus entry name *)
+  r_checks : check list;
+}
+
+val ok : report -> bool
+val entry : Sekvm.Kernel_progs.entry -> report
+val corpus : unit -> report list
+
+val all_ok : report list -> bool
+val pp_report : Format.formatter -> report -> unit

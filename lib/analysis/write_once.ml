@@ -1,0 +1,153 @@
+open Memmodel
+
+(* Bases matching [pred] that [th] writes anywhere (structurally). *)
+let written_bases pred (th : Prog.thread) =
+  let rec go acc = function
+    | [] -> acc
+    | ins :: rest ->
+        let acc =
+          match ins with
+          | Instr.If (_, a, b) -> go (go acc a) b
+          | Instr.While (_, body) -> go acc body
+          | _ -> (
+              match Cfg.access_base ins with
+              | Some b when Cfg.writes_mem ins && pred b -> b :: acc
+              | _ -> acc)
+        in
+        go acc rest
+  in
+  List.sort_uniq compare (go [] th.Prog.code)
+
+(* EL2 bases written by two or more threads: per-thread constant tracking
+   is unsound there, so the whole base degrades to [Possible]. *)
+let multi_writer_bases pred (prog : Prog.t) =
+  let per_thread = List.map (written_bases pred) prog.Prog.threads in
+  List.sort_uniq compare (List.concat per_thread)
+  |> List.filter (fun b ->
+         List.length (List.filter (fun ws -> List.mem b ws) per_thread) >= 2)
+
+let run (prog : Prog.t) : Diag.t list =
+  let multi = multi_writer_bases Cfg.is_el2_base prog in
+  let guard_diags =
+    List.map
+      (fun b ->
+        { Diag.d_code = Diag.W003;
+          d_tid = 0;
+          d_path = [];
+          d_certainty = Diag.Possible;
+          d_message =
+            Printf.sprintf
+              "kernel mapping base '%s' is written by multiple threads; \
+               write-once cannot be decided per thread"
+              b;
+          d_fix =
+            "route all mapping installs for the base through one CPU, or \
+             rely on the dynamic checker" })
+      multi
+  in
+  let thread_diags =
+    List.concat_map
+      (fun (th : Prog.thread) ->
+        let per_path =
+          List.map
+            (fun path ->
+              let mem0 = Cfg.Amem.of_init ~pred:Cfg.is_el2_base prog in
+              let mem0 = List.fold_left Cfg.Amem.smudge_base mem0 multi in
+              let _, _, raws =
+                List.fold_left
+                  (fun (mem, depth, raws) (s : Cfg.step) ->
+                    match s.Cfg.ins with
+                    | Instr.Pull _ -> (mem, depth + 1, raws)
+                    | Instr.Push _ -> (mem, max 0 (depth - 1), raws)
+                    | Instr.Store (a, v, _)
+                      when Cfg.is_el2_base a.Expr.abase -> (
+                        let base = a.Expr.abase in
+                        match Cfg.const_of_vexp a.Expr.offset with
+                        | None ->
+                            ( Cfg.Amem.smudge_base mem base,
+                              depth,
+                              { Cfg.r_code = Diag.W003;
+                                r_path = s.Cfg.pt;
+                                r_message =
+                                  Printf.sprintf
+                                    "store to '%s' at a non-constant \
+                                     offset; write-once cannot be checked \
+                                     statically"
+                                    base;
+                                r_fix =
+                                  "use a constant index for kernel-mapping \
+                                   installs, or rely on the dynamic checker";
+                                r_definite = false }
+                              :: raws )
+                        | Some off ->
+                            let cell = (base, off) in
+                            let prior = Cfg.Amem.read mem cell in
+                            let raws =
+                              match prior with
+                              | _ when depth > 0 -> raws
+                              | Cfg.Amem.Known 0 -> raws
+                              | Cfg.Amem.Known _ ->
+                                  { Cfg.r_code = Diag.W003;
+                                    r_path = s.Cfg.pt;
+                                    r_message =
+                                      Printf.sprintf
+                                        "kernel mapping %s[%d] overwritten \
+                                         outside a transactional section"
+                                        base off;
+                                    r_fix =
+                                      "install each kernel mapping exactly \
+                                       once, or wrap the remap in a \
+                                       pull/push section";
+                                    r_definite = true }
+                                  :: raws
+                              | Cfg.Amem.Unknown_val ->
+                                  { Cfg.r_code = Diag.W003;
+                                    r_path = s.Cfg.pt;
+                                    r_message =
+                                      Printf.sprintf
+                                        "store to %s[%d] may overwrite an \
+                                         existing kernel mapping"
+                                        base off;
+                                    r_fix =
+                                      "install each kernel mapping exactly \
+                                       once, or rely on the dynamic checker";
+                                    r_definite = false }
+                                  :: raws
+                            in
+                            let av =
+                              match Cfg.const_of_vexp v with
+                              | Some n -> Cfg.Amem.Known n
+                              | None -> Cfg.Amem.Unknown_val
+                            in
+                            (Cfg.Amem.write mem cell av, depth, raws))
+                    | ins
+                      when Cfg.is_rmw ins
+                           && (match Cfg.access_base ins with
+                              | Some b -> Cfg.is_el2_base b
+                              | None -> false) ->
+                        let base = Option.get (Cfg.access_base ins) in
+                        ( Cfg.Amem.smudge_base mem base,
+                          depth,
+                          { Cfg.r_code = Diag.W003;
+                            r_path = s.Cfg.pt;
+                            r_message =
+                              Printf.sprintf
+                                "atomic update of kernel-mapping base '%s'; \
+                                 write-once cannot be checked statically"
+                                base;
+                            r_fix =
+                              "install kernel mappings with plain stores \
+                               checked statically, or rely on the dynamic \
+                               checker";
+                            r_definite = false }
+                          :: raws )
+                    | _ -> (mem, depth, raws))
+                  (mem0, 0, []) path
+              in
+              raws)
+            (Cfg.paths th.Prog.code)
+        in
+        Cfg.classify ~tid:th.Prog.tid ~per_path)
+      prog.Prog.threads
+  in
+  Diag.sort (guard_diags @ thread_diags)

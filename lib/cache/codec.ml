@@ -233,6 +233,28 @@ let refine_to_json (s : refine_summary) : Json.t =
       ("sc_stats", stats_to_json s.r_sc_stats);
       ("rm_stats", stats_to_json s.r_rm_stats) ]
 
+let static_refine_summary ~name (prog : Prog.t) : refine_summary =
+  { r_name = name;
+    r_prog_digest = Fingerprint.prog prog;
+    r_holds = true;
+    r_sc = Behavior.empty;
+    r_rm = Behavior.empty;
+    r_rm_only = Behavior.empty;
+    r_sc_panics = false;
+    r_rm_panics = false;
+    r_bounded = false;
+    r_violation = None;
+    r_sc_stats = Engine.zero_stats;
+    r_rm_stats = Engine.zero_stats }
+
+let refine_to_json_static (s : refine_summary) : Json.t =
+  match refine_to_json s with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("served_by", Json.String "static") ])
+  | j -> j
+
+let refine_served_by_static (j : Json.t) : bool =
+  Json.member "served_by" j = Json.String "static"
+
 let refine_of_json (j : Json.t) : refine_summary =
   if Json.member "kind" j <> Json.String "refine" then
     fail "expected a refinement result";

@@ -59,5 +59,16 @@ val refine_summary : name:string -> Prog.t -> Vrm.Refinement.verdict -> refine_s
 val refine_to_json : refine_summary -> Json.t
 val refine_of_json : Json.t -> refine_summary
 
+val static_refine_summary : name:string -> Prog.t -> refine_summary
+(** The summary a static-analyzer [Pass] stands in for: [r_holds], no
+    behavior sets (the exploration never ran), zero statistics. *)
+
+val refine_to_json_static : refine_summary -> Json.t
+(** {!refine_to_json} plus a [served_by:"static"] marker.
+    {!refine_of_json} ignores the extra field, so static payloads decode
+    like explored ones; {!refine_served_by_static} recovers the marker. *)
+
+val refine_served_by_static : Json.t -> bool
+
 val certificate_to_json : Vrm.Certificate.summary -> Json.t
 val certificate_of_json : Json.t -> Vrm.Certificate.summary

@@ -81,7 +81,8 @@ let analyze ?(tracked = []) (events : Pushpull.event list) : t =
       | Pushpull.Ev_read (tid, loc, v) -> add tid loc K_read v
       | Pushpull.Ev_write (tid, loc, v) -> add tid loc K_write v
       | Pushpull.Ev_rmw (tid, loc, _, v) -> add tid loc K_rmw v
-      | Pushpull.Ev_pull _ | Pushpull.Ev_push _ | Pushpull.Ev_barrier _ -> ())
+      | Pushpull.Ev_pull _ | Pushpull.Ev_push _ | Pushpull.Ev_barrier _
+      | Pushpull.Ev_tlbi _ -> ())
     arr;
   { accesses = List.rev !accesses; tracked }
 

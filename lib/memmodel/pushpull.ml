@@ -50,10 +50,11 @@ type event =
   | Ev_pull of int * string list
   | Ev_push of int * string list
   | Ev_barrier of int * Instr.barrier
+  | Ev_tlbi of int * Loc.t option  (** tid, invalidated entry; [None] = all *)
 
 let event_tid = function
   | Ev_read (t, _, _) | Ev_write (t, _, _) | Ev_rmw (t, _, _, _)
-  | Ev_pull (t, _) | Ev_push (t, _) | Ev_barrier (t, _) ->
+  | Ev_pull (t, _) | Ev_push (t, _) | Ev_barrier (t, _) | Ev_tlbi (t, _) ->
       t
 
 type check_result =
@@ -107,8 +108,12 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
       let with_thread t' = { st with threads = (let a = Array.copy st.threads in a.(i) <- t'; a) } in
       try
         match instr with
-        | Instr.Nop | Instr.Tlbi _ ->
-            Some (with_thread { t with code = rest }, None)
+        | Instr.Nop -> Some (with_thread { t with code = rest }, None)
+        | Instr.Tlbi a ->
+            let scope =
+              Option.map (fun a -> fst (Expr.eval_addr (lookup_rv t.regs) a)) a
+            in
+            Some (with_thread { t with code = rest }, Some (Ev_tlbi (i, scope)))
         | Instr.Barrier b ->
             Some (with_thread { t with code = rest }, Some (Ev_barrier (i, b)))
         | Instr.Panic -> raise Thread_panic
@@ -347,8 +352,8 @@ let check ?fuel ?exempt ?initial_owners ?jobs (prog : Prog.t) : check_result
 
 (** Collect the event traces of every interleaving (no memoization, for
     small programs): input to the SC-trace construction of §4.1. *)
-let traces ?(fuel = 16) ?(exempt = []) ?(max_traces = 512) (prog : Prog.t) :
-    event list list =
+let traces ?(fuel = 16) ?(exempt = []) ?(initial_owners = [])
+    ?(max_traces = 512) (prog : Prog.t) : event list list =
   let shared = Prog.shared_bases prog in
   (* Trace collection drops panicking, fuel-exhausted and
      ownership-violating paths, so exceptions are absorbed per
@@ -371,7 +376,7 @@ let traces ?(fuel = 16) ?(exempt = []) ?(max_traces = 512) (prog : Prog.t) :
                      None))
   in
   Engine.enumerate_paths ~expand ~max_paths:max_traces
-    (initial_state ~fuel ~initial_owners:[] prog)
+    (initial_state ~fuel ~initial_owners prog)
   |> List.map (List.filter_map Fun.id)
 
 (* ------------------------------------------------------------------ *)

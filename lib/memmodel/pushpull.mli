@@ -29,6 +29,7 @@ type event =
   | Ev_pull of int * string list
   | Ev_push of int * string list
   | Ev_barrier of int * Instr.barrier
+  | Ev_tlbi of int * Loc.t option  (** tid, invalidated entry; [None] = all *)
 
 val event_tid : event -> int
 
@@ -66,6 +67,7 @@ val check_stats :
 val traces :
   ?fuel:int ->
   ?exempt:string list ->
+  ?initial_owners:(string * int) list ->
   ?max_traces:int ->
   Prog.t ->
   event list list

@@ -325,6 +325,190 @@ let push_without_pull =
     note = "push of a free base: the ownership validator must reject" }
 
 (* ------------------------------------------------------------------ *)
+(* Seeded bugs for the static analyzer (one per wDRF lint pass)        *)
+(* ------------------------------------------------------------------ *)
+
+let handoff_missing_dmb =
+  (* message-passing hand-off with plain accesses only: DRF holds (the
+     flag is read before the pull), but neither the push nor the pull is
+     fulfilled by a barrier, so stale data is reachable *)
+  let f = Reg.v "f" and v = Reg.v "v" in
+  { name = "handoff-missing-dmb";
+    prog =
+      Prog.make ~name:"handoff-missing-dmb"
+        ~observables:[ Prog.Obs_reg (2, v) ]
+        ~shared_bases:[ "d"; "flag" ]
+        [ Prog.thread 1
+            [ Instr.store (at "d") (c 42);
+              Instr.push [ "d" ];
+              Instr.store (at "flag") (c 1) ];
+          Prog.thread 2
+            [ Instr.load f (at "flag");
+              Instr.if_
+                (r f = c 1)
+                [ Instr.pull [ "d" ]; Instr.load v (at "d") ]
+                [ Instr.move v (c (-1)) ] ] ];
+    exempt = [ "flag" ];
+    initial_owners = [ ("d", 0) ];
+    expect = { e_drf = true; e_barrier = false; e_refine = false };
+    rm_config = lockcfg1;
+    note = "hand-off without DMB/release: W002 on both sides of the             transfer" }
+
+let el2_double_map =
+  (* the same EL2 page-table word mapped twice, no transaction around
+     the remap: breaks Write-Once-Kernel-Mapping *)
+  { name = "el2-double-map";
+    prog =
+      Prog.make ~name:"el2-double-map"
+        ~init:[ (Loc.v ~index:0 "el2_pt", 0) ]
+        ~observables:[ Prog.Obs_loc (Loc.v ~index:0 "el2_pt") ]
+        ~shared_bases:[ "el2_pt" ]
+        [ Prog.thread 1
+            [ Instr.store (at ~offset:(c 0) "el2_pt") (c 5);
+              Instr.store (at ~offset:(c 0) "el2_pt") (c 6) ];
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = [ "el2_pt" ];
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg;
+    note = "kernel mapping installed twice: W003; the dynamic checkers             don't watch EL2 writes, so only the lint rejects it" }
+
+let read_outside_lock =
+  (* a correct critical section followed by a stray unlocked read of the
+     protected base *)
+  let v = Reg.v "v" and stray = Reg.v "stray" in
+  let locked tid extra =
+    Prog.thread tid
+      (Ticket_lock.dsl_critical ~barriers:true ~name:"cnt"
+         ~protects:[ "counter2" ]
+         [ Instr.load v (at "counter2");
+           Instr.store (at "counter2") (r v + c 1) ]
+      @ extra)
+  in
+  { name = "read-outside-lock";
+    prog =
+      Prog.make ~name:"read-outside-lock"
+        ~observables:[ Prog.Obs_loc (Loc.v "counter2") ]
+        ~shared_bases:("counter2" :: Ticket_lock.lock_bases "cnt")
+        [ locked 1 [ Instr.load stray (at "counter2") ]; locked 2 [] ];
+    exempt = Ticket_lock.lock_bases "cnt";
+    initial_owners = [];
+    expect = { e_drf = false; e_barrier = true; e_refine = true };
+    rm_config = lockcfg1;
+    note = "lock-protected counter read again after release: W001 at the             stray load" }
+
+let pull_no_push =
+  (* a thread pulls the base and exits without pushing: the ownership
+     leak makes the other thread's pull a violation *)
+  { name = "pull-no-push";
+    prog =
+      Prog.make ~name:"pull-no-push"
+        ~observables:[ Prog.Obs_loc (Loc.v "c2") ]
+        ~shared_bases:[ "c2" ]
+        [ Prog.thread 1
+            [ Instr.dmb; Instr.pull [ "c2" ];
+              Instr.store (at "c2") (c 1) ];
+          Prog.thread 2
+            [ Instr.dmb; Instr.pull [ "c2" ];
+              Instr.store (at "c2") (c 2);
+              Instr.push [ "c2" ]; Instr.dmb ] ];
+    exempt = [];
+    initial_owners = [];
+    expect = { e_drf = false; e_barrier = true; e_refine = true };
+    rm_config = lockcfg;
+    note = "pull without matching push: W006 leak, colliding with the             second CPU's pull" }
+
+let remap_no_tlbi =
+  (* a live stage-2 entry is remapped under the lock but never
+     invalidated: breaks Sequential-TLB-Invalidation *)
+  { name = "remap-no-tlbi";
+    prog =
+      Prog.make ~name:"remap-no-tlbi"
+        ~init:[ (Loc.v ~index:0 "pte2", 0x20) ]
+        ~observables:[ Prog.Obs_loc (Loc.v ~index:0 "pte2") ]
+        ~shared_bases:("pte2" :: Ticket_lock.lock_bases "pt")
+        [ Prog.thread 1
+            (Ticket_lock.dsl_critical ~barriers:true ~name:"pt"
+               ~protects:[]
+               [ Instr.store (at ~offset:(c 0) "pte2") (c 0x30) ]);
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = "pte2" :: Ticket_lock.lock_bases "pt";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "live PTE remapped with no TLBI: W005 (no-TLBI shape)" }
+
+let tlbi_before_write =
+  (* the TLBI is sequenced before the write it should invalidate *)
+  { name = "tlbi-before-write";
+    prog =
+      Prog.make ~name:"tlbi-before-write"
+        ~init:[ (Loc.v ~index:0 "pte3", 0x11) ]
+        ~observables:[ Prog.Obs_loc (Loc.v ~index:0 "pte3") ]
+        ~shared_bases:("pte3" :: Ticket_lock.lock_bases "pt")
+        [ Prog.thread 1
+            (Ticket_lock.dsl_critical ~barriers:true ~name:"pt"
+               ~protects:[]
+               [ Instr.tlbi (at ~offset:(c 0) "pte3");
+                 Instr.store (at ~offset:(c 0) "pte3") (c 0x40) ]);
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = "pte3" :: Ticket_lock.lock_bases "pt";
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg1;
+    note = "TLBI precedes the remap: W005 (wrong-order shape)" }
+
+let split_transaction =
+  (* a page-table transaction interleaves an unrelated write between two
+     PTE updates while another CPU walks the table *)
+  let w0 = Reg.v "w0" and w1 = Reg.v "w1" in
+  { name = "split-transaction";
+    prog =
+      Prog.make ~name:"split-transaction"
+        ~init:[ (Loc.v ~index:0 "pte4", 0); (Loc.v ~index:1 "pte4", 0) ]
+        ~observables:[ Prog.Obs_reg (2, w0); Prog.Obs_reg (2, w1) ]
+        ~shared_bases:
+          ("pte4" :: "scratch" :: Ticket_lock.lock_bases "pt")
+        [ Prog.thread 1
+            (Ticket_lock.dsl_critical ~barriers:true ~name:"pt"
+               ~protects:[ "scratch" ]
+               [ Instr.store (at ~offset:(c 0) "pte4") (c 0x21);
+                 Instr.store (at "scratch") (c 1);
+                 Instr.store (at ~offset:(c 1) "pte4") (c 0x22) ]);
+          Prog.thread 2
+            [ Instr.load w1 (at ~offset:(c 1) "pte4");
+              Instr.load w0 (at ~offset:(c 0) "pte4") ] ];
+    exempt = "pte4" :: Ticket_lock.lock_bases "pt";
+    initial_owners = [];
+    expect = { e_drf = true; e_barrier = true; e_refine = false };
+    rm_config = lockcfg1;
+    note = "PTE updates split by an unrelated write: W004; the walker can             observe the half-updated table" }
+
+let walker_no_isb =
+  (* a software walker branches on a PT root and keeps loading without
+     an ISB: advisory W007 only, every checker passes *)
+  let r0 = Reg.v "r0" and r1 = Reg.v "r1" in
+  { name = "walker-no-isb";
+    prog =
+      Prog.make ~name:"walker-no-isb"
+        ~init:
+          [ (Loc.v ~index:0 "pt_root", 1); (Loc.v ~index:0 "pte5", 0x33) ]
+        ~observables:[ Prog.Obs_reg (1, r1) ]
+        ~shared_bases:[ "pt_root"; "pte5" ]
+        [ Prog.thread 1
+            [ Instr.load r0 (at ~offset:(c 0) "pt_root");
+              Instr.if_
+                (r r0 <> c 0)
+                [ Instr.load r1 (at ~offset:(c 0) "pte5") ]
+                [ Instr.move r1 (c (-1)) ] ];
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = [ "pt_root"; "pte5" ];
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg;
+    note = "control-dependent walk with no ISB: advisory W007, verdict             Unknown, dynamic fallback stays green" }
+
+(* ------------------------------------------------------------------ *)
 (* The corpus, per verified KVM version (§5.6)                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,6 +523,39 @@ let buggy_corpus =
     MMU walker. In the certificate it documents {e why} conditions 4 and
     5 exist. *)
 let boundary_corpus = [ pt_walker_race ]
+
+(** Seeded inputs for the static analyzer, one per lint pass: each is
+    designed to trip exactly the warning codes pinned in
+    {!lint_expectations}. *)
+let lint_corpus =
+  [ handoff_missing_dmb; el2_double_map; read_outside_lock; pull_no_push;
+    remap_no_tlbi; tlbi_before_write; split_transaction; walker_no_isb ]
+
+(** Expected {e definite} warning codes per corpus entry — the contract
+    the cross-validation harness pins down. An entry missing from this
+    table fails the harness, so adding a program forces deciding what the
+    analyzer must say about it. *)
+let lint_expectations =
+  [ ("gen_vmid", []);
+    ("vcpu-switch", []);
+    ("vm-boot-state", []);
+    ("share-page", []);
+    ("mcs-counter", []);
+    ("mcs-handoff", []);
+    ("gen_vmid-nobarrier", [ "W002" ]);
+    ("vcpu-switch-nobarrier", [ "W002" ]);
+    ("mcs-handoff-nobarrier", [ "W002" ]);
+    ("unlocked-counter", [ "W001" ]);
+    ("push-without-pull", [ "W001"; "W006" ]);
+    ("pt-walker-race", [ "W005" ]);
+    ("handoff-missing-dmb", [ "W002" ]);
+    ("el2-double-map", [ "W003" ]);
+    ("read-outside-lock", [ "W001" ]);
+    ("pull-no-push", [ "W006" ]);
+    ("remap-no-tlbi", [ "W005" ]);
+    ("tlbi-before-write", [ "W005" ]);
+    ("split-transaction", [ "W004" ]);
+    ("walker-no-isb", []) ]
 
 type version = {
   linux : string;

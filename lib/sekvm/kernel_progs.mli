@@ -55,6 +55,26 @@ val boundary_corpus : entry list
     the MMU walker): DRF-exempt, refinement-failing — the reason
     conditions 4 and 5 exist. *)
 
+val handoff_missing_dmb : entry
+val el2_double_map : entry
+val read_outside_lock : entry
+val pull_no_push : entry
+val remap_no_tlbi : entry
+val tlbi_before_write : entry
+val split_transaction : entry
+val walker_no_isb : entry
+
+val lint_corpus : entry list
+(** Seeded inputs for the static analyzer ({!Analysis}), one per lint
+    pass, each tripping exactly the codes pinned in
+    {!lint_expectations}. *)
+
+val lint_expectations : (string * string list) list
+(** Expected {e definite} warning codes per corpus entry name (all
+    corpora). The cross-validation harness treats a missing entry as a
+    failure, so every program added to a corpus must also decide its
+    expected static verdict here. *)
+
 type version = { linux : string; stage2_levels : int }
 
 val versions : version list

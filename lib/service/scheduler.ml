@@ -30,7 +30,7 @@ let lookup_job (job : Protocol.job) : (spec, string) result =
   | Protocol.Refine name -> (
       let entries =
         Kernel_progs.corpus @ Kernel_progs.buggy_corpus
-        @ Kernel_progs.boundary_corpus
+        @ Kernel_progs.boundary_corpus @ Kernel_progs.lint_corpus
       in
       match find_by name (fun (e : Kernel_progs.entry) -> e.name) entries with
       | Some e -> Ok (Refine_spec e)
@@ -54,7 +54,11 @@ let cache_key (spec : spec) : string =
     | Litmus_spec t ->
         ("litmus", budgets_of_config (litmus_config t), Fingerprint.prog t.prog)
     | Refine_spec e ->
-        ("refine", budgets_of_config e.rm_config, Fingerprint.prog e.prog)
+        (* The analyzer version is part of the budgets: a lint upgrade
+           must not serve results decided by the old passes. *)
+        ( "refine",
+          budgets_of_config e.rm_config ^ ";lint=" ^ Analysis.Driver.version,
+          Fingerprint.prog e.prog )
     | Certify_spec v ->
         (* A certificate depends on the whole corpus (good, buggy and
            boundary entries all feed the report), each entry's budgets,
@@ -112,6 +116,7 @@ type t = {
   mutable litmus_jobs : int;
   mutable refine_jobs : int;
   mutable certify_jobs : int;
+  mutable static_served : int;
   mutable running : int;
   mutable engine : Engine.stats;
 }
@@ -146,19 +151,36 @@ let execute tk :
           Some stats,
           `Cacheable )
   | Refine_spec e ->
-      let v =
-        Vrm.Refinement.check ~sc_fuel ~config:e.rm_config ~jobs ?deadline
-          e.prog
-      in
-      let stats = Engine.add_stats v.sc_stats v.rm_stats in
-      if timed_out_by ~deadline v.sc_stats
-         || timed_out_by ~deadline v.rm_stats
-      then (Timed_out, Some stats, `Transient)
-      else
+      (* Analyzer-first routing: when every lint pass and the static
+         refinement composition pass, the soundness contract (enforced
+         by the cross-validation suite) guarantees the exploration would
+         succeed, so the job is served statically. Fail or Unknown falls
+         through to the exhaustive check. *)
+      let a = Analysis.Driver.analyze e in
+      if
+        a.Analysis.Driver.a_overall = Analysis.Diag.Pass
+        && a.Analysis.Driver.a_refinement = Analysis.Diag.Pass
+      then
         ( Done
-            (Codec.refine_to_json (Codec.refine_summary ~name:e.name e.prog v)),
-          Some stats,
+            (Codec.refine_to_json_static
+               (Codec.static_refine_summary ~name:e.name e.prog)),
+          None,
           `Cacheable )
+      else
+        let v =
+          Vrm.Refinement.check ~sc_fuel ~config:e.rm_config ~jobs ?deadline
+            e.prog
+        in
+        let stats = Engine.add_stats v.sc_stats v.rm_stats in
+        if timed_out_by ~deadline v.sc_stats
+           || timed_out_by ~deadline v.rm_stats
+        then (Timed_out, Some stats, `Transient)
+        else
+          ( Done
+              (Codec.refine_to_json
+                 (Codec.refine_summary ~name:e.name e.prog v)),
+            Some stats,
+            `Cacheable )
   | Certify_spec version ->
       (* Certificates have no engine-level cancellation hook; they only
          honor the queue-level deadline (checked before execution). *)
@@ -205,7 +227,10 @@ let run_one t tk =
       | Some s -> t.engine <- Engine.add_stats t.engine s
       | None -> ());
       (match outcome with
-      | Done _ -> t.completed <- t.completed + 1
+      | Done payload ->
+          t.completed <- t.completed + 1;
+          if Codec.refine_served_by_static payload then
+            t.static_served <- t.static_served + 1
       | Timed_out -> t.timeouts <- t.timeouts + 1
       | Failed _ -> t.failed <- t.failed + 1);
       tk.tk_result <- Some result;
@@ -262,6 +287,7 @@ let create ?workers ?cache () =
       litmus_jobs = 0;
       refine_jobs = 0;
       certify_jobs = 0;
+      static_served = 0;
       running = 0;
       engine = Engine.zero_stats }
   in
@@ -322,6 +348,7 @@ type counters = {
   litmus_jobs : int;
   refine_jobs : int;
   certify_jobs : int;
+  static_served : int;
   queue_depth : int;
   running : int;
   workers : int;
@@ -340,6 +367,7 @@ let counters t : counters =
           litmus_jobs = t.litmus_jobs;
           refine_jobs = t.refine_jobs;
           certify_jobs = t.certify_jobs;
+          static_served = t.static_served;
           queue_depth = Queue.length t.queue;
           running = t.running;
           workers = t.n_workers;
@@ -360,6 +388,7 @@ let counters_to_json (c : counters) : Json.t =
       ("litmus_jobs", Json.Int c.litmus_jobs);
       ("refine_jobs", Json.Int c.refine_jobs);
       ("certify_jobs", Json.Int c.certify_jobs);
+      ("static_served", Json.Int c.static_served);
       ("queue_depth", Json.Int c.queue_depth);
       ("running", Json.Int c.running);
       ("workers", Json.Int c.workers);
@@ -376,11 +405,11 @@ let counters_to_json (c : counters) : Json.t =
 let pp_counters fmt (c : counters) =
   Format.fprintf fmt
     "@[<v>jobs: submitted=%d completed=%d failed=%d timeouts=%d coalesced=%d@ \
-     kinds: litmus=%d refine=%d certify=%d@ pool: workers=%d queued=%d \
-     running=%d@ engine: %a@ cache: %a@]"
+     kinds: litmus=%d refine=%d certify=%d static_served=%d@ pool: \
+     workers=%d queued=%d running=%d@ engine: %a@ cache: %a@]"
     c.submitted c.completed c.failed c.timeouts c.coalesced c.litmus_jobs
-    c.refine_jobs c.certify_jobs c.workers c.queue_depth c.running
-    Engine.pp_stats c.engine Store.pp_counters c.cache_stats
+    c.refine_jobs c.certify_jobs c.static_served c.workers c.queue_depth
+    c.running Engine.pp_stats c.engine Store.pp_counters c.cache_stats
 
 let drain t =
   locked t (fun () ->

@@ -74,6 +74,9 @@ type counters = {
   litmus_jobs : int;
   refine_jobs : int;
   certify_jobs : int;
+  static_served : int;
+      (** refinement results served by the static analyzer (fresh or
+          cached) instead of exhaustive exploration *)
   queue_depth : int;  (** currently queued *)
   running : int;  (** currently executing *)
   workers : int;

@@ -1,0 +1,162 @@
+(* The static wDRF analyzer: cross-validation against the dynamic
+   checkers, deterministic diagnostics, and golden renderings of the
+   text and JSON outputs (one per verdict: pass / fail / unknown). *)
+
+open Analysis
+open Sekvm
+
+let test_cross_validation () =
+  let reports = Validate.corpus () in
+  List.iter
+    (fun r ->
+      if not (Validate.ok r) then
+        Format.printf "%a@." Validate.pp_report r)
+    reports;
+  Alcotest.(check bool) "static and dynamic checkers agree" true
+    (Validate.all_ok reports)
+
+let all_entries () =
+  Kernel_progs.corpus @ Kernel_progs.buggy_corpus
+  @ Kernel_progs.boundary_corpus @ Kernel_progs.lint_corpus
+
+(* Diagnostics come out in Diag.compare order, identically on repeated
+   runs: the CLI output and the goldens below depend on it. *)
+let test_deterministic_diags () =
+  List.iter
+    (fun (e : Kernel_progs.entry) ->
+      let a = Driver.analyze e and b = Driver.analyze e in
+      Alcotest.(check bool)
+        (e.Kernel_progs.name ^ " reproducible")
+        true
+        (Driver.diags a = Driver.diags b);
+      let ds = Driver.diags a in
+      Alcotest.(check bool)
+        (e.Kernel_progs.name ^ " sorted")
+        true
+        (ds = Diag.sort ds))
+    (all_entries ())
+
+(* Only programs the analyzer fully discharges — overall AND refinement
+   Pass — may skip exploration; pinning the set keeps the service's
+   static-serve decision visible in review. *)
+let test_static_serve_set () =
+  let served =
+    List.filter_map
+      (fun (e : Kernel_progs.entry) ->
+        let a = Driver.analyze e in
+        if
+          a.Driver.a_overall = Diag.Pass
+          && a.Driver.a_refinement = Diag.Pass
+        then Some e.Kernel_progs.name
+        else None)
+      (all_entries ())
+  in
+  Alcotest.(check (list string))
+    "statically dischargeable entries"
+    [ "gen_vmid"; "vm-boot-state"; "share-page"; "mcs-counter" ]
+    served
+
+let test_program_summary () =
+  let a = Driver.analyze Kernel_progs.vmid_alloc in
+  (match
+     Driver.to_program_summary
+       ~expect:Kernel_progs.vmid_alloc.Kernel_progs.expect a
+   with
+  | None -> Alcotest.fail "gen_vmid should summarize"
+  | Some ps ->
+      Alcotest.(check bool) "all green" true
+        (ps.Vrm.Certificate.ps_drf && ps.Vrm.Certificate.ps_barrier
+        && ps.Vrm.Certificate.ps_refine
+        && ps.Vrm.Certificate.ps_as_expected));
+  let u = Driver.analyze Kernel_progs.walker_no_isb in
+  Alcotest.(check bool) "unknown entries do not summarize" true
+    (Driver.to_program_summary
+       ~expect:Kernel_progs.walker_no_isb.Kernel_progs.expect u
+    = None)
+
+(* --- goldens ------------------------------------------------------- *)
+
+let render e = Format.asprintf "%a" Driver.pp (Driver.analyze e)
+let render_json e = Cache.Json.to_string (Driver.to_json (Driver.analyze e))
+
+let golden_pass_text =
+  "lint gen_vmid: pass (refinement pass)\n\
+  \  drf-lockset   pass\n\
+  \  barriers      pass\n\
+  \  write-once    pass\n\
+  \  transactional pass\n\
+  \  tlbi          pass\n\
+  \  ownership     pass"
+
+let golden_fail_text =
+  "lint el2-double-map: fail (refinement pass)\n\
+  \  drf-lockset   pass\n\
+  \  barriers      pass\n\
+  \  write-once    fail\n\
+  \    W003 [definite] tid 1 @ 1: kernel mapping el2_pt[0] overwritten \
+   outside a transactional section\n\
+  \        fix: install each kernel mapping exactly once, or wrap the \
+   remap in a pull/push section\n\
+  \  transactional pass\n\
+  \  tlbi          pass\n\
+  \  ownership     pass"
+
+let golden_unknown_text =
+  "lint walker-no-isb: unknown (refinement unknown)\n\
+  \  drf-lockset   pass\n\
+  \  barriers      unknown\n\
+  \    W007 [possible] tid 1 @ 1: branch on a value read from a page \
+   table is followed by loads with no ISB: the control dependency alone \
+   does not order them\n\
+  \        fix: insert `isb` between the page-table read and the \
+   dependent loads\n\
+  \  write-once    pass\n\
+  \  transactional pass\n\
+  \  tlbi          pass\n\
+  \  ownership     pass"
+
+let golden_fail_json =
+  "{\"kind\":\"lint\",\"name\":\"el2-double-map\",\"prog_digest\":\"419295c9c9093fa79a9f6e594fdbc0cd\",\"analyzer\":\"lint-1\",\"overall\":\"fail\",\"refinement\":\"pass\",\"passes\":[{\"name\":\"drf-lockset\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"barriers\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"write-once\",\"verdict\":\"fail\",\"diags\":[{\"code\":\"W003\",\"tid\":1,\"path\":[1],\"certainty\":\"definite\",\"message\":\"kernel mapping el2_pt[0] overwritten outside a transactional section\",\"fix\":\"install each kernel mapping exactly once, or wrap the remap in a pull/push section\"}]},{\"name\":\"transactional\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"tlbi\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"ownership\",\"verdict\":\"pass\",\"diags\":[]}]}"
+
+let test_golden_text () =
+  Alcotest.(check string) "pass text" golden_pass_text
+    (render Kernel_progs.vmid_alloc);
+  Alcotest.(check string) "fail text" golden_fail_text
+    (render Kernel_progs.el2_double_map);
+  Alcotest.(check string) "unknown text" golden_unknown_text
+    (render Kernel_progs.walker_no_isb)
+
+let test_golden_json () =
+  Alcotest.(check string) "fail json" golden_fail_json
+    (render_json Kernel_progs.el2_double_map);
+  (* the JSON output round-trips through the strict parser *)
+  List.iter
+    (fun (e : Kernel_progs.entry) ->
+      let s = render_json e in
+      match Cache.Json.of_string s with
+      | Error m -> Alcotest.fail (e.Kernel_progs.name ^ ": " ^ m)
+      | Ok j ->
+          Alcotest.(check string)
+            (e.Kernel_progs.name ^ " kind")
+            "lint"
+            Cache.Json.(to_str (member "kind" j));
+          Alcotest.(check string)
+            (e.Kernel_progs.name ^ " reencode")
+            s
+            (Cache.Json.to_string j))
+    (all_entries ())
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "validate",
+        [ Alcotest.test_case "cross-validation" `Quick test_cross_validation ]
+      );
+      ( "diags",
+        [ Alcotest.test_case "deterministic order" `Quick
+            test_deterministic_diags;
+          Alcotest.test_case "static-serve set" `Quick test_static_serve_set;
+          Alcotest.test_case "program summary" `Quick test_program_summary ]
+      );
+      ( "golden",
+        [ Alcotest.test_case "text" `Quick test_golden_text;
+          Alcotest.test_case "json" `Quick test_golden_json ] ) ]
