@@ -1,4 +1,4 @@
-.PHONY: all build test litmus examples smoke lint check bench clean
+.PHONY: all build test litmus examples smoke lint check bench bench-smoke clean
 
 all: build
 
@@ -29,11 +29,18 @@ smoke:
 lint:
 	dune exec bin/vrm_cli.exe -- lint --corpus
 
-# The tier-1 gate: what CI runs.
+# The tier-1 gate: what CI runs. (CI additionally runs bench-smoke and
+# service-smoke in their own jobs.)
 check: build test examples litmus smoke lint
 
 bench:
 	dune exec bench/main.exe
+
+# Engine bench in check-only mode: runs the exploration-engine section,
+# writes BENCH_engine.json and validates it round-trips through the
+# strict JSON parser. Asserts digests and counts, never timings.
+bench-smoke:
+	dune exec bench/main.exe -- --json
 
 # Service smoke: start vrmd, push a corpus subset through the socket,
 # verify parity against direct runs, exercise graceful shutdown.

@@ -450,6 +450,177 @@ let print_parallel () =
     (ok_sc && ok_rm)
 
 (* ------------------------------------------------------------------ *)
+(* Engine overhaul: interning, POR, work stealing                      *)
+(* This section is also the payload of BENCH_engine.json (--json).     *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_corpus =
+  Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+
+let digest_behaviors (b : Memmodel.Behavior.t) : string =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Memmodel.Behavior.pp b))
+
+(* One full kernel-corpus refinement sweep under the given engine
+   configuration: wall seconds, total states visited, POR prunes, and
+   one digest covering every behavior set (so configurations can be
+   checked for bit-identical results). *)
+let refinement_sweep ~jobs ~strategy () =
+  let t0 = Unix.gettimeofday () in
+  let visited = ref 0 and pruned = ref 0 and digests = ref [] in
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let v =
+        Vrm.Refinement.check ~config:e.Sekvm.Kernel_progs.rm_config ~jobs
+          ~strategy e.Sekvm.Kernel_progs.prog
+      in
+      visited :=
+        !visited
+        + v.Vrm.Refinement.sc_stats.Memmodel.Engine.visited
+        + v.Vrm.Refinement.rm_stats.Memmodel.Engine.visited;
+      pruned :=
+        !pruned + v.Vrm.Refinement.sc_stats.Memmodel.Engine.por_pruned;
+      digests :=
+        (digest_behaviors v.Vrm.Refinement.sc
+        ^ digest_behaviors v.Vrm.Refinement.rm)
+        :: !digests)
+    kernel_corpus;
+  ( Unix.gettimeofday () -. t0,
+    !visited,
+    !pruned,
+    Digest.to_hex (Digest.string (String.concat "|" (List.rev !digests))) )
+
+(* POR on/off over the whole litmus corpus: states visited, transitions
+   pruned, and behavior-set equality per model. *)
+let por_rows () =
+  let litmus = Memmodel.Paper_examples.all @ Memmodel.Litmus_suite.all in
+  let side name run =
+    let on, off, pruned, equal =
+      List.fold_left
+        (fun (on, off, pruned, equal) (t : Memmodel.Litmus.t) ->
+          let b_on, (s_on : Memmodel.Engine.stats) =
+            run ~por:true t.Memmodel.Litmus.prog
+          in
+          let b_off, (s_off : Memmodel.Engine.stats) =
+            run ~por:false t.Memmodel.Litmus.prog
+          in
+          ( on + s_on.Memmodel.Engine.visited,
+            off + s_off.Memmodel.Engine.visited,
+            pruned + s_on.Memmodel.Engine.por_pruned,
+            equal && Memmodel.Behavior.equal b_on b_off ))
+        (0, 0, 0, true) litmus
+    in
+    (name, on, off, pruned, equal)
+  in
+  [ side "sc" (fun ~por p -> Memmodel.Sc.run_stats ~por p);
+    side "tso" (fun ~por p -> Memmodel.Tso.run_stats ~fuel:3 ~por p) ]
+
+let print_engine ?(emit_json = false) () =
+  section "Exploration engine: interning, POR, work stealing";
+  (* kernel-corpus refinement sweeps: the overhauled engine at 1/2/4
+     domains, plus the legacy bucketed algorithm as the pre-overhaul
+     baseline (private per-domain seen sets, no POR, BFS prefix) *)
+  let sweep label jobs strategy =
+    let wall, visited, pruned, digest = refinement_sweep ~jobs ~strategy () in
+    Format.printf "  %-28s %8.3f s %9d states %7d pruned@." label wall
+      visited pruned;
+    (label, jobs, wall, visited, pruned, digest)
+  in
+  let ws1 = sweep "work-stealing jobs=1" 1 Memmodel.Engine.Work_stealing in
+  let ws2 = sweep "work-stealing jobs=2" 2 Memmodel.Engine.Work_stealing in
+  let ws4 = sweep "work-stealing jobs=4" 4 Memmodel.Engine.Work_stealing in
+  let bk4 = sweep "bucketed jobs=4 (legacy)" 4 Memmodel.Engine.Bucketed in
+  let wall (_, _, w, _, _, _) = w in
+  let digest (_, _, _, _, _, d) = d in
+  let speedup_vs_legacy = wall bk4 /. wall ws4 in
+  let speedup_vs_seq = wall ws1 /. wall ws4 in
+  Format.printf
+    "  speedup at jobs=4: %.2fx vs legacy bucketed, %.2fx vs sequential@."
+    speedup_vs_legacy speedup_vs_seq;
+  expect "all sweep configurations produce bit-identical behavior sets"
+    (List.for_all
+       (fun s -> digest s = digest ws1)
+       [ ws2; ws4; bk4 ]);
+  (* POR on the litmus corpus *)
+  let por = por_rows () in
+  List.iter
+    (fun (name, on, off, pruned, equal) ->
+      Format.printf
+        "  POR %-4s: %7d states (exact %7d), %6d pruned, behaviors %s@."
+        name on off pruned
+        (if equal then "equal" else "DIFFER"))
+    por;
+  expect "POR strictly reduces visited states and preserves behaviors"
+    (List.for_all (fun (_, on, off, _, equal) -> on < off && equal) por);
+  (* state-key microbenchmark: legacy string keys vs interned hashes *)
+  let keyprog =
+    (List.hd kernel_corpus).Sekvm.Kernel_progs.prog
+  in
+  let legacy_s, interned_s, sample =
+    Memmodel.Promising.key_microbench ~iters:200 keyprog
+  in
+  Format.printf
+    "  state keys (%d states x 200): string %.4f s, interned %.4f s         (%.1fx)@."
+    sample legacy_s interned_s
+    (legacy_s /. interned_s);
+  expect "key microbench sampled states" (sample > 0);
+  if emit_json then begin
+    let j =
+      Cache.Json.Obj
+        [ ("schema", Cache.Json.String "vrm-bench-engine/1");
+          ("engine_version", Cache.Json.String Memmodel.Engine.version);
+          ( "refinement_sweep",
+            Cache.Json.List
+              (List.map
+                 (fun (label, jobs, wall, visited, pruned, dg) ->
+                   Cache.Json.Obj
+                     [ ("label", Cache.Json.String label);
+                       ("jobs", Cache.Json.Int jobs);
+                       ("wall_s", Cache.Json.Float wall);
+                       ("visited", Cache.Json.Int visited);
+                       ("por_pruned", Cache.Json.Int pruned);
+                       ("digest", Cache.Json.String dg) ])
+                 [ ws1; ws2; ws4; bk4 ]) );
+          ( "speedup_jobs4_vs_legacy",
+            Cache.Json.Float speedup_vs_legacy );
+          ("speedup_jobs4_vs_seq", Cache.Json.Float speedup_vs_seq);
+          ( "por",
+            Cache.Json.Obj
+              (List.map
+                 (fun (name, on, off, pruned, equal) ->
+                   ( name,
+                     Cache.Json.Obj
+                       [ ("visited_por", Cache.Json.Int on);
+                         ("visited_exact", Cache.Json.Int off);
+                         ("pruned", Cache.Json.Int pruned);
+                         ("behaviors_equal", Cache.Json.Bool equal) ] ))
+                 por) );
+          ( "key_microbench",
+            Cache.Json.Obj
+              [ ("sample_states", Cache.Json.Int sample);
+                ("legacy_s", Cache.Json.Float legacy_s);
+                ("interned_s", Cache.Json.Float interned_s);
+                ( "speedup",
+                  Cache.Json.Float (legacy_s /. interned_s) ) ] ) ]
+    in
+    let text = Cache.Json.to_string j in
+    let oc = open_out "BENCH_engine.json" in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    (* self-validate: the file must round-trip through the strict parser *)
+    let ic = open_in "BENCH_engine.json" in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    (match Cache.Json.of_string (String.trim body) with
+    | Ok j' ->
+        expect "BENCH_engine.json round-trips bit-identically"
+          (Cache.Json.to_string j' = text)
+    | Error e -> expect ("BENCH_engine.json parses: " ^ e) false);
+    Format.printf "  wrote BENCH_engine.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* vrmd: the verification service, cold vs warm cache                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,19 +832,32 @@ let run_bechamel () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  print_examples ();
-  print_table1 ();
-  print_table3 ();
-  print_fig8 ();
-  print_fig9 ();
-  print_theorems ();
-  print_ablations ();
-  print_stress ();
-  print_parallel ();
-  print_service ();
-  print_lint ();
-  print_certification ();
-  run_bechamel ();
-  section "Summary";
-  Format.printf "all shape checks passed: %b@." !all_ok;
-  if not !all_ok then exit 1
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--json" argv then begin
+    (* engine section only: write and validate BENCH_engine.json. All
+       assertions in this mode are on counts and digests, never on
+       timing — safe for CI smoke runs on noisy machines. *)
+    print_engine ~emit_json:true ();
+    section "Summary";
+    Format.printf "all shape checks passed: %b@." !all_ok;
+    if not !all_ok then exit 1
+  end
+  else begin
+    print_examples ();
+    print_table1 ();
+    print_table3 ();
+    print_fig8 ();
+    print_fig9 ();
+    print_theorems ();
+    print_ablations ();
+    print_stress ();
+    print_parallel ();
+    print_engine ();
+    print_service ();
+    print_lint ();
+    print_certification ();
+    run_bechamel ();
+    section "Summary";
+    Format.printf "all shape checks passed: %b@." !all_ok;
+    if not !all_ok then exit 1
+  end

@@ -36,7 +36,15 @@ let litmus_cmd =
             "print one compact JSON result object per line (the same \
              payload the verification service returns)")
   in
-  let run test_name stats jobs json =
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "disable partial-order reduction on the SC side (exact \
+             search; identical behavior sets, more states visited)")
+  in
+  let run test_name stats jobs json no_por =
     let tests =
       match test_name with
       | None -> Memmodel.Paper_examples.all
@@ -50,7 +58,9 @@ let litmus_cmd =
         (Format.pp_print_option Format.pp_print_string)
         test_name;
       exit 1);
-    let results = List.map (Memmodel.Litmus.run ~jobs) tests in
+    let results =
+      List.map (Memmodel.Litmus.run ~jobs ~por:(not no_por)) tests
+    in
     List.iter
       (fun (r : Memmodel.Litmus.result) ->
         if json then
@@ -75,7 +85,7 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
-    Term.(const run $ test_name $ stats $ jobs $ json)
+    Term.(const run $ test_name $ stats $ jobs $ json $ no_por)
 
 (* ------------------------------------------------------------------ *)
 

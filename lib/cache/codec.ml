@@ -80,6 +80,9 @@ let stats_to_json (s : Engine.stats) : Json.t =
       ("transitions", Json.Int s.Engine.transitions);
       ("max_depth", Json.Int s.Engine.max_depth);
       ("outcomes", Json.Int s.Engine.outcomes);
+      ("por_pruned", Json.Int s.Engine.por_pruned);
+      ("steals", Json.Int s.Engine.steals);
+      ("shared_hits", Json.Int s.Engine.shared_hits);
       ("wall_s", Json.Float s.Engine.wall_s);
       ("jobs", Json.Int s.Engine.jobs);
       ("budget_hit", Json.Bool s.Engine.budget_hit) ]
@@ -90,6 +93,9 @@ let stats_of_json (j : Json.t) : Engine.stats =
     transitions = Json.to_int (Json.member "transitions" j);
     max_depth = Json.to_int (Json.member "max_depth" j);
     outcomes = Json.to_int (Json.member "outcomes" j);
+    por_pruned = Json.to_int (Json.member "por_pruned" j);
+    steals = Json.to_int (Json.member "steals" j);
+    shared_hits = Json.to_int (Json.member "shared_hits" j);
     wall_s = Json.to_float (Json.member "wall_s" j);
     jobs = Json.to_int (Json.member "jobs" j);
     budget_hit = Json.to_bool (Json.member "budget_hit" j) }

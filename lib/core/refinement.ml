@@ -32,10 +32,12 @@ let normals (b : Behavior.t) : Behavior.t =
     b
 
 let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
-    ?deadline (prog : Prog.t) : verdict =
-  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline prog in
+    ?deadline ?por ?strategy (prog : Prog.t) : verdict =
+  let sc, sc_stats =
+    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por ?strategy prog
+  in
   let rm, witnesses, rm_stats =
-    Promising.run_full ~config ?jobs ?deadline prog
+    Promising.run_full ~config ?jobs ?deadline ?strategy prog
   in
   let rm_only = Behavior.diff (normals rm) (normals sc) in
   let sc_panics = Behavior.any_panic sc in

@@ -22,11 +22,15 @@ val normals : Behavior.t -> Behavior.t
 
 val check :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> Prog.t -> verdict
+  ?deadline:float -> ?por:bool -> ?strategy:Engine.strategy -> Prog.t ->
+  verdict
 (** [jobs] fans both explorations across that many domains via the shared
     {!Engine} (identical behavior sets). [deadline] (absolute time)
     cancels both explorations when it passes; a cut-short verdict carries
-    [stats.budget_hit] in its statistics. *)
+    [stats.budget_hit] in its statistics. [por] (default on) applies
+    partial-order reduction to the SC side (Promising runs exact);
+    [strategy] selects the parallel search algorithm. Behavior sets are
+    identical in every configuration. *)
 
 val witness_for : verdict -> Behavior.outcome -> Promising.step list option
 (** The schedule that produced an outcome — for RM-only behaviors, the

@@ -118,14 +118,14 @@ type verdict = {
 
 (** Check Theorem 4 for [prog] with the given kernel/user split. *)
 let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
-    ?jobs (split : split) (prog : Prog.t) : verdict =
+    ?jobs ?por (split : split) (prog : Prog.t) : verdict =
   let rm, rm_stats = Promising.run_stats ~config ?jobs prog in
   let rm_kernel = project split prog rm in
   let q's = synthesize_q' ?value_domain split prog in
   let sc_kernel, sc_stats =
     List.fold_left
       (fun (acc, stats) q' ->
-        let b, s = Sc.run_stats ~fuel:sc_fuel ?jobs q' in
+        let b, s = Sc.run_stats ~fuel:sc_fuel ?jobs ?por q' in
         (Behavior.union acc (project split q' b), Engine.add_stats stats s))
       (Behavior.empty, Engine.zero_stats)
       q's

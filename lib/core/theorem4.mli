@@ -32,6 +32,9 @@ type verdict = {
 
 val check :
   ?config:Promising.config -> ?sc_fuel:int -> ?value_domain:int list ->
-  ?jobs:int -> split -> Prog.t -> verdict
+  ?jobs:int -> ?por:bool -> split -> Prog.t -> verdict
+(** [por] (default on) applies partial-order reduction to the SC
+    explorations of the synthesized Q' candidates — identical behavior
+    sets, fewer states. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,9 +1,11 @@
 (** Model-generic exhaustive exploration engine. See the interface for
-    the design and the parallel-search determinism argument. *)
+    the design, the partial-order-reduction soundness argument and the
+    parallel-search determinism argument. *)
 
 (* Bump on any change to exploration semantics: the verification cache
-   keys every stored result on this string. *)
-let version = "vrm-engine/2"
+   keys every stored result on this string. vrm-engine/3: hashed state
+   interning, shared work-stealing parallel search, sleep-set POR. *)
+let version = "vrm-engine/3"
 
 type stats = {
   visited : int;
@@ -11,6 +13,9 @@ type stats = {
   transitions : int;
   max_depth : int;
   outcomes : int;
+  por_pruned : int;
+  steals : int;
+  shared_hits : int;
   wall_s : float;
   jobs : int;
   budget_hit : bool;
@@ -22,6 +27,9 @@ let zero_stats =
     transitions = 0;
     max_depth = 0;
     outcomes = 0;
+    por_pruned = 0;
+    steals = 0;
+    shared_hits = 0;
     wall_s = 0.;
     jobs = 1;
     budget_hit = false }
@@ -32,6 +40,9 @@ let add_stats a b =
     transitions = a.transitions + b.transitions;
     max_depth = max a.max_depth b.max_depth;
     outcomes = a.outcomes + b.outcomes;
+    por_pruned = a.por_pruned + b.por_pruned;
+    steals = a.steals + b.steals;
+    shared_hits = a.shared_hits + b.shared_hits;
     wall_s = a.wall_s +. b.wall_s;
     jobs = max a.jobs b.jobs;
     budget_hit = a.budget_hit || b.budget_hit }
@@ -39,9 +50,13 @@ let add_stats a b =
 let pp_stats fmt s =
   Format.fprintf fmt
     "states=%d dedup=%d transitions=%d depth=%d outcomes=%d wall=%.2fms \
-     jobs=%d%s"
+     jobs=%d%s%s%s%s"
     s.visited s.dedup_hits s.transitions s.max_depth s.outcomes
     (s.wall_s *. 1000.) s.jobs
+    (if s.por_pruned > 0 then Printf.sprintf " por=%d" s.por_pruned else "")
+    (if s.steals > 0 then Printf.sprintf " steals=%d" s.steals else "")
+    (if s.shared_hits > 0 then Printf.sprintf " shared=%d" s.shared_hits
+     else "")
     (if s.budget_hit then " [budget hit]" else "")
 
 type ('state, 'label) step =
@@ -52,12 +67,16 @@ type ('state, 'label) expansion =
   | Terminal of Behavior.outcome option
   | Steps of ('state, 'label) step Seq.t
 
+type strategy = Work_stealing | Bucketed
+
 module type MODEL = sig
   type ctx
   type state
   type label
 
-  val key : state -> string
+  val key : state -> Statekey.t
+  val independent : (ctx -> label -> label -> bool) option
+  val ample : (ctx -> label -> bool) option
   val expand : ctx -> labels:bool -> state -> (state, label) expansion
 end
 
@@ -76,6 +95,9 @@ module Make (M : MODEL) = struct
     mutable dedup : int;
     mutable trans : int;
     mutable maxd : int;
+    mutable pruned : int;
+    mutable steals : int;
+    mutable shared : int;
     mutable budget_hit : bool;
   }
 
@@ -86,6 +108,9 @@ module Make (M : MODEL) = struct
       dedup = 0;
       trans = 0;
       maxd = 0;
+      pruned = 0;
+      steals = 0;
+      shared = 0;
       budget_hit = false }
 
   let record acc ~witnesses o path =
@@ -95,45 +120,156 @@ module Make (M : MODEL) = struct
 
   exception Budget
 
-  (* Depth-first search from each root, with a private seen-set. Roots
-     carry the (reversed) label path and depth that led to them, so a
-     parallel bucket reports witnesses with their full schedule. *)
-  let dfs ~ctx ~witnesses ~max_states ~deadline acc roots =
-    let seen = Hashtbl.create 4096 in
-    let rec go st path depth =
-      let key = M.key st in
-      if Hashtbl.mem seen key then acc.dedup <- acc.dedup + 1
-      else begin
-        Hashtbl.add seen key ();
-        acc.visited <- acc.visited + 1;
-        if depth > acc.maxd then acc.maxd <- depth;
-        (match max_states with
-        | Some b when acc.visited > b ->
-            acc.budget_hit <- true;
-            raise Budget
-        | _ -> ());
-        (match deadline with
-        | Some d when Unix.gettimeofday () > d ->
-            acc.budget_hit <- true;
-            raise Budget
-        | _ -> ());
-        match M.expand ctx ~labels:witnesses st with
-        | Terminal (Some o) -> record acc ~witnesses o path
-        | Terminal None -> ()
-        | Steps steps ->
+  (* ---- sleep sets ----------------------------------------------- *)
+  (* A sleep set is the list of labels whose transitions need not be
+     explored from a state because an equivalent interleaving is covered
+     through an already-explored sibling. Labels identify transitions
+     structurally (polymorphic equality); the POR-enabled models keep
+     them small (tid + access kind). *)
+
+  let mem_lbl l zs = List.exists (fun z -> z = l) zs
+  let subset a b = List.for_all (fun x -> mem_lbl x b) a
+  let inter a b = List.filter (fun x -> mem_lbl x b) a
+
+  (* Seen-table entry: the domain that inserted it (for [shared_hits])
+     and the sleep set the state was explored under. A revisit may be
+     deduplicated only when the stored sleep set is a subset of the
+     incoming one — the prior exploration then covered at least as many
+     transitions. Otherwise the state is re-explored under the
+     intersection (written back first), which shrinks monotonically, so
+     re-exploration terminates. Without POR the stored sleep set is
+     always [[]] and every revisit deduplicates, exactly as before. *)
+  type seen_v = int * M.label list
+
+  let dummy_seen : seen_v = (0, [])
+
+  (* Expand one state and dispatch its successors through [child]
+     (direct recursion when sequential, deque pushes when parallel).
+     Without an [independent] oracle the transition sequence stays lazy:
+     the engine forces the next transition only after [child] returns,
+     preserving the exception-surfacing and budget-laziness contract.
+     With an oracle the steps are materialized (the POR models enumerate
+     transitions cheaply and totally) so sibling labels can feed sleep
+     sets; [Emit]s are always recorded, never pruned. *)
+  let expand_state ~ctx ~witnesses ~labels ~oracle ~ample acc st path depth
+      sleep ~child =
+    match M.expand ctx ~labels st with
+    | Terminal (Some o) -> record acc ~witnesses o path
+    | Terminal None -> ()
+    | Steps steps -> (
+        match oracle with
+        | None ->
             Seq.iter
               (fun s ->
                 acc.trans <- acc.trans + 1;
                 match s with
                 | Emit o -> record acc ~witnesses o path
                 | Step (lbl, st') ->
-                    go st'
+                    child st'
                       (if witnesses then lbl :: path else path)
-                      (depth + 1))
+                      (depth + 1) [])
               steps
-      end
+        | Some indep -> (
+            let items = List.of_seq steps in
+            List.iter
+              (function
+                | Emit o ->
+                    acc.trans <- acc.trans + 1;
+                    record acc ~witnesses o path
+                | Step _ -> ())
+              items;
+            let steps =
+              List.filter_map
+                (function Step (l, s) -> Some (l, s) | Emit _ -> None)
+                items
+            in
+            (* Singleton-ample reduction: an [ample] transition is
+               invisible, its thread's unique transition, and commutes
+               with every other thread's — so exploring it alone covers
+               every interleaving of the siblings (see the interface for
+               the soundness argument). *)
+            let amp =
+              match ample with
+              | Some ok ->
+                  List.find_opt
+                    (fun (l, _) -> ok ctx l && not (mem_lbl l sleep))
+                    steps
+              | None -> None
+            in
+            match amp with
+            | Some (l, st') ->
+                acc.trans <- acc.trans + 1;
+                acc.pruned <- acc.pruned + (List.length steps - 1);
+                child st'
+                  (if witnesses then l :: path else path)
+                  (depth + 1)
+                  (List.filter (fun z -> indep ctx z l) sleep)
+            | None ->
+                (* Sleep-set exploration: sibling [i]'s subtree may skip
+                   any earlier sibling [j < i] independent of [i] — the
+                   [j]-then-[i] interleavings are covered inside [j]'s
+                   subtree, which explored [i] (not sleeping there). *)
+                let sleeping = ref sleep in
+                List.iter
+                  (fun (l, st') ->
+                    if mem_lbl l !sleeping then
+                      acc.pruned <- acc.pruned + 1
+                    else begin
+                      acc.trans <- acc.trans + 1;
+                      let child_sleep =
+                        List.filter (fun z -> indep ctx z l) !sleeping
+                      in
+                      child st'
+                        (if witnesses then l :: path else path)
+                        (depth + 1) child_sleep;
+                      sleeping := l :: !sleeping
+                    end)
+                  steps))
+
+  (* Depth-first search from each root, with a private seen-set. Roots
+     carry the (reversed) label path and depth that led to them, so a
+     parallel bucket reports witnesses with their full schedule. *)
+  let dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample acc roots =
+    let labels = witnesses || Option.is_some oracle in
+    let seen : seen_v Statekey.Table.t =
+      Statekey.Table.create ~dummy:dummy_seen ()
     in
-    try List.iter (fun (st, path, depth) -> go st path depth) roots
+    let check_deadline () =
+      match deadline with
+      | Some d when Unix.gettimeofday () > d ->
+          acc.budget_hit <- true;
+          raise Budget
+      | _ -> ()
+    in
+    let rec go st path depth sleep =
+      let key = M.key st in
+      match Statekey.Table.find_or_add seen key (0, sleep) with
+      | `Found (_, old_sleep) ->
+          if
+            (match oracle with None -> true | Some _ -> false)
+            || subset old_sleep sleep
+          then acc.dedup <- acc.dedup + 1
+          else begin
+            (* weaker sleep set: re-explore under the intersection *)
+            let z = inter old_sleep sleep in
+            Statekey.Table.update seen key (0, z);
+            check_deadline ();
+            expand_state ~ctx ~witnesses ~labels ~oracle ~ample acc st path
+              depth z ~child:go
+          end
+      | `Added ->
+          acc.visited <- acc.visited + 1;
+          if depth > acc.maxd then acc.maxd <- depth;
+          (match max_states with
+          | Some b when acc.visited > b ->
+              acc.budget_hit <- true;
+              raise Budget
+          | _ -> ());
+          check_deadline ();
+          expand_state ~ctx ~witnesses ~labels ~oracle ~ample acc st path
+            depth sleep ~child:go
+    in
+    try List.iter (fun (st, path, depth) -> go st path depth []) roots
     with Budget -> ()
 
   let finish ~t0 ~jobs accs =
@@ -158,6 +294,9 @@ module Make (M : MODEL) = struct
             dedup_hits = s.dedup_hits + a.dedup;
             transitions = s.transitions + a.trans;
             max_depth = max s.max_depth a.maxd;
+            por_pruned = s.por_pruned + a.pruned;
+            steals = s.steals + a.steals;
+            shared_hits = s.shared_hits + a.shared;
             budget_hit = s.budget_hit || a.budget_hit })
         zero_stats accs
     in
@@ -169,11 +308,223 @@ module Make (M : MODEL) = struct
           wall_s = Unix.gettimeofday () -. t0;
           jobs } }
 
-  let explore_parallel ~max_states ~deadline ~witnesses ~jobs ~ctx init t0 =
-    (* BFS prefix: grow a frontier of distinct unexpanded states. *)
+  (* ---- shared work-stealing parallel search --------------------- *)
+
+  type frame = {
+    f_st : M.state;
+    f_path : M.label list;
+    f_depth : int;
+    f_sleep : M.label list;
+  }
+
+  (* Per-domain deque: the owner pushes/pops at the back (LIFO keeps the
+     frontier depth-first and small), thieves take from the front
+     (oldest frames root the largest subtrees). Mutex-guarded; the
+     two-list representation makes every operation O(1) amortized. *)
+  module Dq = struct
+    type t = {
+      lock : Mutex.t;
+      mutable back : frame list;  (* owner end, newest first *)
+      mutable front : frame list;  (* steal end, oldest first *)
+    }
+
+    let create () = { lock = Mutex.create (); back = []; front = [] }
+
+    let push t f =
+      Mutex.lock t.lock;
+      t.back <- f :: t.back;
+      Mutex.unlock t.lock
+
+    let pop t =
+      Mutex.lock t.lock;
+      let r =
+        match t.back with
+        | f :: rest ->
+            t.back <- rest;
+            Some f
+        | [] -> (
+            match t.front with
+            | f :: rest ->
+                t.front <- rest;
+                Some f
+            | [] -> None)
+      in
+      Mutex.unlock t.lock;
+      r
+
+    let steal t =
+      Mutex.lock t.lock;
+      let r =
+        match t.front with
+        | f :: rest ->
+            t.front <- rest;
+            Some f
+        | [] -> (
+            match List.rev t.back with
+            | f :: rest ->
+                t.back <- [];
+                t.front <- rest;
+                Some f
+            | [] -> None)
+      in
+      Mutex.unlock t.lock;
+      r
+  end
+
+  let nshards = 64
+
+  let explore_ws ~max_states ~deadline ~witnesses ~jobs ~oracle ~ample ~ctx
+      init t0 =
+    let labels = witnesses || Option.is_some oracle in
+    (* Striped shared seen-set: shard selected by high key bits (the
+       tables themselves probe on low bits). *)
+    let shards =
+      Array.init nshards (fun _ ->
+          (Mutex.create (), Statekey.Table.create ~dummy:dummy_seen ()))
+    in
+    let visited_g = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let budget_flag = Atomic.make false in
+    let failure : exn option Atomic.t = Atomic.make None in
+    (* Count of frames alive (pushed, not yet fully processed): children
+       are pushed before their parent's count is released, so [pending]
+       can only reach 0 when the whole reachable space is done. *)
+    let pending = Atomic.make 1 in
+    let deques = Array.init jobs (fun _ -> Dq.create ()) in
+    Dq.push deques.(0) { f_st = init; f_path = []; f_depth = 0; f_sleep = [] };
+    let worker me =
+      let acc = new_acc () in
+      let dq = deques.(me) in
+      let process fr =
+        if not (Atomic.get stop) then begin
+          let key = M.key fr.f_st in
+          let mx, tbl = shards.((Statekey.hash key lsr 48) land (nshards - 1)) in
+          Mutex.lock mx;
+          let verdict =
+            match Statekey.Table.find_or_add tbl key (me, fr.f_sleep) with
+            | `Added -> `Fresh
+            | `Found (owner, old_sleep) ->
+                if
+                  (match oracle with None -> true | Some _ -> false)
+                  || subset old_sleep fr.f_sleep
+                then `Dup owner
+                else begin
+                  let z = inter old_sleep fr.f_sleep in
+                  Statekey.Table.update tbl key (me, z);
+                  `Again z
+                end
+          in
+          Mutex.unlock mx;
+          match verdict with
+          | `Dup owner ->
+              acc.dedup <- acc.dedup + 1;
+              if owner <> me then acc.shared <- acc.shared + 1
+          | (`Fresh | `Again _) as v ->
+              let sleep =
+                match v with `Again z -> z | `Fresh -> fr.f_sleep
+              in
+              let proceed =
+                match v with
+                | `Again _ -> true
+                | `Fresh -> (
+                    acc.visited <- acc.visited + 1;
+                    if fr.f_depth > acc.maxd then acc.maxd <- fr.f_depth;
+                    let n = Atomic.fetch_and_add visited_g 1 + 1 in
+                    match max_states with
+                    | Some b when n > b ->
+                        Atomic.set budget_flag true;
+                        Atomic.set stop true;
+                        false
+                    | _ -> true)
+              in
+              let proceed =
+                proceed
+                &&
+                match deadline with
+                | Some d when Unix.gettimeofday () > d ->
+                    Atomic.set budget_flag true;
+                    Atomic.set stop true;
+                    false
+                | _ -> true
+              in
+              if proceed then
+                expand_state ~ctx ~witnesses ~labels ~oracle ~ample acc
+                  fr.f_st fr.f_path fr.f_depth sleep
+                  ~child:(fun st' path' depth' sleep' ->
+                    Atomic.incr pending;
+                    Dq.push dq
+                      { f_st = st';
+                        f_path = path';
+                        f_depth = depth';
+                        f_sleep = sleep' })
+        end
+      in
+      let run fr =
+        (try process fr
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e));
+           Atomic.set stop true);
+        Atomic.decr pending
+      in
+      let rec loop () =
+        if Atomic.get stop || Atomic.get pending <= 0 then ()
+        else
+          match Dq.pop dq with
+          | Some fr ->
+              run fr;
+              loop ()
+          | None -> steal_loop 0
+      and steal_loop misses =
+        if Atomic.get stop || Atomic.get pending <= 0 then ()
+        else begin
+          let got = ref None in
+          let i = ref 1 in
+          while Option.is_none !got && !i < jobs do
+            (match Dq.steal deques.((me + !i) mod jobs) with
+            | Some f -> got := Some f
+            | None -> ());
+            incr i
+          done;
+          match !got with
+          | Some fr ->
+              acc.steals <- acc.steals + 1;
+              run fr;
+              loop ()
+          | None ->
+              (* Back off: spin briefly (cheap when every domain has its
+                 own core), then yield the processor — when domains
+                 outnumber cores, spinning would burn the timeslice the
+                 frame-holding worker needs to make progress. *)
+              if misses < 32 then Domain.cpu_relax ()
+              else Unix.sleepf 0.0002;
+              steal_loop (misses + 1)
+        end
+      in
+      loop ();
+      acc
+    in
+    let domains =
+      Array.init jobs (fun me -> Domain.spawn (fun () -> worker me))
+    in
+    let accs = Array.to_list (Array.map Domain.join domains) in
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    let res = finish ~t0 ~jobs accs in
+    if Atomic.get budget_flag then
+      { res with stats = { res.stats with budget_hit = true } }
+    else res
+
+  (* ---- legacy bucketed parallel search -------------------------- *)
+  (* Pre-work-stealing algorithm, kept as a measured baseline for the
+     bench's before/after comparison: BFS prefix, round-robin buckets,
+     private seen-sets, per-domain budgets. Exact search only (the POR
+     oracle is ignored). *)
+
+  let explore_bucketed ~max_states ~deadline ~witnesses ~jobs ~ctx init t0 =
     let target = jobs * 4 in
     let acc0 = new_acc () in
-    let seen = Hashtbl.create 1024 in
+    let seen : seen_v Statekey.Table.t =
+      Statekey.Table.create ~dummy:dummy_seen ()
+    in
     let q = Queue.create () in
     Queue.add (init, [], 0) q;
     let budget_left () =
@@ -185,26 +536,27 @@ module Make (M : MODEL) = struct
     while Queue.length q > 0 && Queue.length q < target && budget_left () do
       let st, path, depth = Queue.pop q in
       let key = M.key st in
-      if Hashtbl.mem seen key then acc0.dedup <- acc0.dedup + 1
-      else begin
-        Hashtbl.add seen key ();
-        acc0.visited <- acc0.visited + 1;
-        if depth > acc0.maxd then acc0.maxd <- depth;
-        match M.expand ctx ~labels:witnesses st with
-        | Terminal (Some o) -> record acc0 ~witnesses o path
-        | Terminal None -> ()
-        | Steps steps ->
-            Seq.iter
-              (fun s ->
-                acc0.trans <- acc0.trans + 1;
-                match s with
-                | Emit o -> record acc0 ~witnesses o path
-                | Step (lbl, st') ->
-                    Queue.add
-                      (st', (if witnesses then lbl :: path else path), depth + 1)
-                      q)
-              steps
-      end
+      match Statekey.Table.find_or_add seen key dummy_seen with
+      | `Found _ -> acc0.dedup <- acc0.dedup + 1
+      | `Added -> (
+          acc0.visited <- acc0.visited + 1;
+          if depth > acc0.maxd then acc0.maxd <- depth;
+          match M.expand ctx ~labels:witnesses st with
+          | Terminal (Some o) -> record acc0 ~witnesses o path
+          | Terminal None -> ()
+          | Steps steps ->
+              Seq.iter
+                (fun s ->
+                  acc0.trans <- acc0.trans + 1;
+                  match s with
+                  | Emit o -> record acc0 ~witnesses o path
+                  | Step (lbl, st') ->
+                      Queue.add
+                        ( st',
+                          (if witnesses then lbl :: path else path),
+                          depth + 1 )
+                        q)
+                steps)
     done;
     if not (budget_left ()) then acc0.budget_hit <- true;
     (* Deal the frontier round-robin and let one domain own each bucket.
@@ -223,7 +575,10 @@ module Make (M : MODEL) = struct
           let roots = List.rev items in
           Domain.spawn (fun () ->
               let acc = new_acc () in
-              match dfs ~ctx ~witnesses ~max_states ~deadline acc roots with
+              match
+                dfs ~ctx ~witnesses ~max_states ~deadline ~oracle:None
+                  ~ample:None acc roots
+              with
               | () -> Ok acc
               | exception e -> Error e))
         buckets
@@ -237,15 +592,30 @@ module Make (M : MODEL) = struct
     in
     finish ~t0 ~jobs accs
 
-  let explore ?max_states ?deadline ?(witnesses = false) ?(jobs = 1) ~ctx
-      init =
+  let explore ?max_states ?deadline ?(witnesses = false) ?(por = true)
+      ?(strategy = Work_stealing) ?(jobs = 1) ~ctx init =
     let t0 = Unix.gettimeofday () in
+    let oracle = if por then M.independent else None in
+    let ample = if por then M.ample else None in
     if jobs <= 1 then begin
       let acc = new_acc () in
-      dfs ~ctx ~witnesses ~max_states ~deadline acc [ (init, [], 0) ];
+      dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample acc
+        [ (init, [], 0) ];
       finish ~t0 ~jobs:1 [ acc ]
     end
-    else explore_parallel ~max_states ~deadline ~witnesses ~jobs ~ctx init t0
+    else
+      match strategy with
+      | Work_stealing ->
+          (* Never oversubscribe: domains beyond the available cores add
+             stop-the-world minor-GC barriers and scheduler churn without
+             any parallelism in return. ([Bucketed] stays unclamped — it
+             is the frozen pre-overhaul baseline.) *)
+          let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+          explore_ws ~max_states ~deadline ~witnesses ~jobs ~oracle ~ample
+            ~ctx init t0
+      | Bucketed ->
+          explore_bucketed ~max_states ~deadline ~witnesses ~jobs ~ctx init
+            t0
 end
 
 let enumerate_paths (type s l) ~(expand : s -> (s, l) expansion)

@@ -18,26 +18,81 @@
     {!Pushpull.check}'s ownership violations) surface at exactly the same
     point of the search as in a hand-rolled nested loop, and expensive
     transition enumeration (promise certification) is never done for
-    subtrees cut off by a budget.
+    subtrees cut off by a budget. (When a model provides a POR oracle the
+    expansion is materialized eagerly instead — the POR-enabled models
+    enumerate transitions cheaply and never raise from the sequence.)
+
+    {2 State interning}
+
+    The seen-set is keyed on 128-bit structural hashes ({!Statekey})
+    instead of rendered key strings, stored unboxed in open-addressing
+    tables — the dedup hot path allocates nothing. This is hash
+    compaction: see {!Statekey} for the collision argument.
+
+    {2 Partial-order reduction}
+
+    A model may provide an [independent] commutativity oracle on
+    transition labels (and optionally an [ample] invisibility predicate).
+    The engine then applies two sound reductions:
+
+    - {e Sleep sets} (Godefroid): after exploring sibling [t{_i}], later
+      siblings' subtrees need not re-explore [t{_i}] at the next state
+      when it is independent of the transition taken — the two
+      interleavings commute to the same state, and the [t{_i}]-first
+      order was already explored. Sleep sets prune transitions (dedup
+      work), never outcomes: every dropped schedule is Mazurkiewicz-
+      equivalent to an explored one, and equivalent schedules end in the
+      same terminal state, hence the same outcome. Combined with
+      memoization, a visited state stores the sleep set it was explored
+      under; a revisit deduplicates only if the stored set is a subset of
+      the incoming one, else the state is re-explored under the
+      intersection (monotone, hence terminating — state spaces here are
+      acyclic because every transition consumes an instruction, loop fuel
+      or a buffer entry).
+    - {e Singleton ample sets}: when some enabled transition is [ample] —
+      invisible (changes no memory, store buffer, or observable
+      register), its thread's unique transition, and independent of every
+      other thread's transitions — the engine explores {e only} that
+      transition. Any run taking a sibling first commutes to one taking
+      the ample step first without changing any observation: mid-path
+      [Emit] outcomes snapshot only observable state, which the ample
+      step does not touch, and terminal outcomes are reached either way.
+      This is what makes POR visit {e strictly fewer states}, not just
+      fewer transitions.
+
+    [Emit] steps are always recorded and never pruned. Models without an
+    oracle ([Promising], [Pushpull]) keep exact search.
 
     {2 Parallel search}
 
-    [explore ~jobs:n] fans the exploration across [n] OCaml 5 [Domain]s:
-    a breadth-first prefix grows a frontier of at least [4*n] distinct
-    states, the frontier is dealt round-robin into [n] buckets, and each
-    domain runs the ordinary sequential search over its bucket with a
-    private seen-set. Results are merged by set union.
+    [explore ~jobs:n] (default {!Work_stealing}) runs [n] OCaml 5
+    [Domain]s over a {e shared} seen-set striped into mutex-guarded
+    shards (selected by high key bits), with per-domain work-stealing
+    deques: owners push and pop depth-first at one end, idle domains
+    steal the oldest frame (rooting the largest subtree) from a victim's
+    other end. [max_states] and [deadline] are enforced {e globally}
+    through [Atomic] counters — the first domain to trip a valve stops
+    all of them promptly. [n] is clamped to
+    [Domain.recommended_domain_count ()]: oversubscribing domains only
+    adds stop-the-world minor-GC barriers and scheduler churn (the
+    behavior set does not depend on the domain count either way);
+    [stats.jobs] reports the effective count.
 
     Determinism argument: models are pure (expansion depends only on the
-    state), so the set of outcomes reachable from a state is a function of
-    that state. The BFS prefix records every outcome it encounters; each
-    frontier state's full subtree is explored by exactly one domain;
-    therefore the union over the prefix and all domains equals the
-    sequential result whenever no budget fires. Private seen-sets only
-    cost duplicated work when two buckets reach the same state — never
-    outcomes. Witness schedules and the state/dedup counters may differ
-    from the sequential run (and [max_states] is enforced per domain
-    rather than globally), but the behavior set is identical. *)
+    state), so the set of outcomes reachable from a state is a function
+    of that state. Every frame is either expanded by exactly one domain
+    or deduplicated against a shard entry written by a domain that
+    expanded (or is expanding) the same state under a sleep set no larger
+    than its own; therefore the union of all domains' outcome sets equals
+    the sequential result whenever no budget fires. Witness schedules and
+    the state/dedup/steal counters may differ run to run, but the
+    behavior set is identical — the parity tests assert digest equality
+    against sequential search with POR both on and off.
+
+    The pre-overhaul algorithm (BFS prefix + static round-robin buckets +
+    private seen-sets, per-domain budgets, no POR) remains available as
+    {!Bucketed}, kept as a measured baseline for the bench's
+    before/after comparison. *)
 
 val version : string
 (** Version tag of the exploration semantics. Any change that can alter a
@@ -54,9 +109,18 @@ type stats = {
   transitions : int;  (** transitions enumerated (including emits) *)
   max_depth : int;  (** deepest point of the search *)
   outcomes : int;  (** distinct outcomes recorded *)
+  por_pruned : int;
+      (** transitions skipped by partial-order reduction (sleeping
+          siblings + ample-pruned siblings); 0 without an oracle *)
+  steals : int;
+      (** frames taken from another domain's deque (work-stealing mode
+          only) *)
+  shared_hits : int;
+      (** dedup hits against a seen-set entry inserted by a different
+          domain — work the shared seen-set saved vs private sets *)
   wall_s : float;  (** wall-clock seconds for the whole exploration *)
-  jobs : int;  (** domains used (1 = sequential) *)
-  budget_hit : bool;  (** some [max_states] valve fired: partial results *)
+  jobs : int;  (** effective domains used (1 = sequential) *)
+  budget_hit : bool;  (** some budget valve fired: partial results *)
 }
 
 val zero_stats : stats
@@ -66,12 +130,15 @@ val add_stats : stats -> stats -> stats
     time add, depth and job count take the maximum, budget flags or. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Renders the POR/steal/shared counters only when non-zero, so
+    sequential exact-search output is unchanged from earlier versions. *)
 
 (** One outgoing transition of a state. *)
 type ('state, 'label) step =
   | Step of 'label * 'state
       (** successor state; the label (a human-readable action for witness
-          schedules) is only retained when witnesses are requested *)
+          schedules, and the currency of the POR oracles) is only
+          retained when witnesses or POR need it *)
   | Emit of Behavior.outcome
       (** the path ends here with an outcome — fuel exhaustion and panics
           are emitted this way while sibling transitions keep exploring *)
@@ -81,7 +148,15 @@ type ('state, 'label) expansion =
       (** no transitions; [Some o] records the outcome, [None] discards
           the path (dead states, strict-certification pruning) *)
   | Steps of ('state, 'label) step Seq.t
-      (** lazy outgoing transitions, forced one at a time in order *)
+      (** lazy outgoing transitions, forced one at a time in order
+          (materialized eagerly only under a POR oracle) *)
+
+(** Parallel search algorithm (see the module docs). *)
+type strategy =
+  | Work_stealing  (** shared striped seen-set + stealing deques *)
+  | Bucketed
+      (** legacy: BFS prefix, static buckets, private seen-sets,
+          per-domain budgets; ignores the POR oracle *)
 
 module type MODEL = sig
   type ctx
@@ -91,17 +166,39 @@ module type MODEL = sig
   type state
 
   type label
-  (** Witness-schedule entry (e.g. {!Promising.step}). *)
+  (** Witness-schedule entry (e.g. {!Promising.step}) and POR currency. *)
 
-  val key : state -> string
+  val key : state -> Statekey.t
   (** Canonical memoization key: two states with the same key must have
-      the same reachable outcome sets. *)
+      the same reachable outcome sets. Fold every semantically relevant
+      state component into the hash ({!Statekey.fresh}/[finish]). *)
+
+  val independent : (ctx -> label -> label -> bool) option
+  (** Commutativity oracle enabling partial-order reduction. When
+      [independent ctx a b] holds, the two transitions must commute from
+      any state enabling both: neither disables the other, both
+      execution orders reach the same state, and neither order changes
+      the other's effect. [None] keeps exact search. Labels must
+      uniquely identify a transition among the enabled set of any state
+      they can both be pending at (the engine compares them with
+      structural equality). *)
+
+  val ample : (ctx -> label -> bool) option
+  (** Invisibility predicate for singleton-ample reduction. A label may
+      be ample only if its transition (a) is the issuing thread's unique
+      enabled transition, (b) is independent of every other thread's
+      transitions, and (c) leaves every observation unchanged — memory,
+      store buffers and observable registers untouched — so pruned
+      sibling orders produce identical mid-path [Emit] outcomes. Only
+      consulted when [independent] is also provided. *)
 
   val expand : ctx -> labels:bool -> state -> (state, label) expansion
   (** Outgoing structure of a state. When [labels] is false the model may
       put placeholder labels in [Step]s (they are dropped); this keeps
-      witness bookkeeping off the hot path. Must be pure up to the
-      exceptions it deliberately lets escape. *)
+      witness bookkeeping off the hot path. The engine passes
+      [labels:true] whenever witnesses are requested or a POR oracle is
+      active. Must be pure up to the exceptions it deliberately lets
+      escape. *)
 end
 
 module Make (M : MODEL) : sig
@@ -117,19 +214,28 @@ module Make (M : MODEL) : sig
     ?max_states:int ->
     ?deadline:float ->
     ?witnesses:bool ->
+    ?por:bool ->
+    ?strategy:strategy ->
     ?jobs:int ->
     ctx:M.ctx ->
     M.state ->
     result
   (** Exhaustively explore from the initial state. [max_states] is a
       safety valve: exploration stops (with [stats.budget_hit] set) after
-      expanding that many distinct states — per domain when [jobs > 1].
-      [deadline] is an absolute [Unix.gettimeofday] timestamp: once it
-      passes, the search stops at the next expanded state (in every
-      domain) with [stats.budget_hit] set, which is how the verification
-      service cancels jobs that outlive their per-job deadline.
-      Exceptions raised by [M.expand] abort the search and propagate
-      (from the lowest-numbered bucket first in parallel mode). *)
+      expanding that many distinct states — enforced {e globally} via an
+      [Atomic] counter in parallel mode, so [~jobs:4 ~max_states:b]
+      expands at most [b] states total, same as sequential. [deadline]
+      is an absolute [Unix.gettimeofday] timestamp: once it passes, the
+      search stops at the next expanded state (in every domain) with
+      [stats.budget_hit] set, which is how the verification service
+      cancels jobs that outlive their per-job deadline. [por] (default
+      [true]) applies partial-order reduction when the model provides an
+      oracle; the behavior set is identical either way. [strategy]
+      (default {!Work_stealing}) selects the parallel algorithm; ignored
+      when [jobs <= 1]. Exceptions raised by [M.expand] abort the search
+      in every domain and propagate (first exception wins in
+      work-stealing mode, lowest-numbered bucket first in bucketed
+      mode). *)
 end
 
 val enumerate_paths :

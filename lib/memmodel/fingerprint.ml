@@ -1,166 +1,18 @@
 (** Stable content digests for programs, configurations and behavior
-    sets. See the interface for the stability contract; every encoder
-    below is length-prefixed and tag-disambiguated so distinct values
-    never serialize to the same bytes. *)
+    sets. See the interface for the stability contract.
 
-let add_str buf s =
-  Buffer.add_string buf (string_of_int (String.length s));
-  Buffer.add_char buf ':';
-  Buffer.add_string buf s
+    The canonical term traversal lives in {!Statekey} (shared with the
+    engine's hashed state interning); here it writes through a [Buffer]
+    sink, which reproduces the historical length-prefixed,
+    tag-disambiguated byte encoding exactly — distinct values never
+    serialize to the same bytes, and digests are unchanged across the
+    interning refactor. *)
 
-let add_int buf n =
-  Buffer.add_char buf 'i';
-  Buffer.add_string buf (string_of_int n);
-  Buffer.add_char buf ';'
-
-let rec add_vexp buf (e : Expr.vexp) =
-  match e with
-  | Expr.Const n ->
-      Buffer.add_char buf 'C';
-      add_int buf n
-  | Expr.Reg r ->
-      Buffer.add_char buf 'R';
-      add_str buf (Reg.name r)
-  | Expr.Add (a, b) ->
-      Buffer.add_char buf '+';
-      add_vexp buf a;
-      add_vexp buf b
-  | Expr.Sub (a, b) ->
-      Buffer.add_char buf '-';
-      add_vexp buf a;
-      add_vexp buf b
-  | Expr.Mul (a, b) ->
-      Buffer.add_char buf '*';
-      add_vexp buf a;
-      add_vexp buf b
-  | Expr.Div (a, b) ->
-      Buffer.add_char buf '/';
-      add_vexp buf a;
-      add_vexp buf b
-
-let add_cmp buf (c : Expr.cmp) =
-  Buffer.add_char buf
-    (match c with
-    | Expr.Eq -> '='
-    | Expr.Ne -> '!'
-    | Expr.Lt -> '<'
-    | Expr.Le -> 'l'
-    | Expr.Gt -> '>'
-    | Expr.Ge -> 'g')
-
-let rec add_bexp buf (e : Expr.bexp) =
-  match e with
-  | Expr.Bool b ->
-      Buffer.add_char buf 'B';
-      Buffer.add_char buf (if b then '1' else '0')
-  | Expr.Cmp (c, a, b) ->
-      Buffer.add_char buf 'c';
-      add_cmp buf c;
-      add_vexp buf a;
-      add_vexp buf b
-  | Expr.And (a, b) ->
-      Buffer.add_char buf '&';
-      add_bexp buf a;
-      add_bexp buf b
-  | Expr.Or (a, b) ->
-      Buffer.add_char buf '|';
-      add_bexp buf a;
-      add_bexp buf b
-  | Expr.Not a ->
-      Buffer.add_char buf '~';
-      add_bexp buf a
-
-let add_aexp buf (a : Expr.aexp) =
-  add_str buf a.Expr.abase;
-  add_vexp buf a.Expr.offset
-
-let add_order buf (o : Instr.order) =
-  Buffer.add_char buf
-    (match o with
-    | Instr.Plain -> 'p'
-    | Instr.Acquire -> 'a'
-    | Instr.Release -> 'r'
-    | Instr.Acq_rel -> 'x')
-
-let add_barrier buf (b : Instr.barrier) =
-  Buffer.add_char buf
-    (match b with
-    | Instr.Dmb_full -> 'F'
-    | Instr.Dmb_ld -> 'L'
-    | Instr.Dmb_st -> 'S'
-    | Instr.Isb -> 'I')
-
-let add_bases buf bs =
-  add_int buf (List.length bs);
-  List.iter (add_str buf) bs
-
-let rec add_instr buf (i : Instr.t) =
-  match i with
-  | Instr.Load (r, a, o) ->
-      Buffer.add_string buf "ld";
-      add_str buf (Reg.name r);
-      add_aexp buf a;
-      add_order buf o
-  | Instr.Store (a, e, o) ->
-      Buffer.add_string buf "st";
-      add_aexp buf a;
-      add_vexp buf e;
-      add_order buf o
-  | Instr.Faa (r, a, e, o) ->
-      Buffer.add_string buf "fa";
-      add_str buf (Reg.name r);
-      add_aexp buf a;
-      add_vexp buf e;
-      add_order buf o
-  | Instr.Xchg (r, a, e, o) ->
-      Buffer.add_string buf "xc";
-      add_str buf (Reg.name r);
-      add_aexp buf a;
-      add_vexp buf e;
-      add_order buf o
-  | Instr.Cas (r, a, exp, des, o) ->
-      Buffer.add_string buf "cs";
-      add_str buf (Reg.name r);
-      add_aexp buf a;
-      add_vexp buf exp;
-      add_vexp buf des;
-      add_order buf o
-  | Instr.Barrier b ->
-      Buffer.add_string buf "ba";
-      add_barrier buf b
-  | Instr.Move (r, e) ->
-      Buffer.add_string buf "mv";
-      add_str buf (Reg.name r);
-      add_vexp buf e
-  | Instr.If (c, t, e) ->
-      Buffer.add_string buf "if";
-      add_bexp buf c;
-      add_instrs buf t;
-      add_instrs buf e
-  | Instr.While (c, body) ->
-      Buffer.add_string buf "wh";
-      add_bexp buf c;
-      add_instrs buf body
-  | Instr.Pull bs ->
-      Buffer.add_string buf "pl";
-      add_bases buf bs
-  | Instr.Push bs ->
-      Buffer.add_string buf "ps";
-      add_bases buf bs
-  | Instr.Tlbi None -> Buffer.add_string buf "t*"
-  | Instr.Tlbi (Some a) ->
-      Buffer.add_string buf "ta";
-      add_aexp buf a
-  | Instr.Panic -> Buffer.add_string buf "pa"
-  | Instr.Nop -> Buffer.add_string buf "np"
-
-and add_instrs buf is =
-  add_int buf (List.length is);
-  List.iter (add_instr buf) is
-
-let add_loc buf (l : Loc.t) =
-  add_str buf (Loc.base l);
-  add_int buf (Loc.index l)
+let add_int buf n = Statekey.emit_int (Statekey.buffer_sink buf) n
+let add_str buf s = Statekey.emit_str (Statekey.buffer_sink buf) s
+let add_instrs buf is = Statekey.emit_instrs (Statekey.buffer_sink buf) is
+let add_loc buf l = Statekey.emit_loc (Statekey.buffer_sink buf) l
+let add_bases buf bs = Statekey.emit_bases (Statekey.buffer_sink buf) bs
 
 let add_observable buf (o : Prog.observable) =
   match o with

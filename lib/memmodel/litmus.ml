@@ -42,14 +42,16 @@ let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
     expect_rm;
     rm_config }
 
-let run ?(sc_fuel = 8) ?config ?jobs ?deadline (test : t) : result =
+let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por (test : t) : result =
   let config =
     match (config, test.rm_config) with
     | Some c, _ -> c
     | None, Some c -> c
     | None, None -> Promising.default_config
   in
-  let sc, sc_stats = Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline test.prog in
+  let sc, sc_stats =
+    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por test.prog
+  in
   let rm, rm_stats = Promising.run_stats ~config ?jobs ?deadline test.prog in
   let sc_sat = Behavior.satisfiable test.exists sc in
   let rm_sat = Behavior.satisfiable test.exists rm in

@@ -44,9 +44,10 @@ val make :
 
 val run :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> t -> result
+  ?deadline:float -> ?por:bool -> t -> result
 (** [jobs] fans both explorations across that many domains (identical
     behavior sets; see {!Engine}). [deadline] (absolute time) cancels
     both explorations when it passes; partial results carry
-    [stats.budget_hit]. *)
+    [stats.budget_hit]. [por] (default on) applies partial-order
+    reduction to the SC side — identical behavior set, fewer states. *)
 val pp_result : Format.formatter -> result -> unit

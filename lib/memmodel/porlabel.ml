@@ -1,0 +1,36 @@
+(** Transition labels for partial-order reduction. See the interface for
+    the commutativity contract each classification carries. *)
+
+type kind =
+  | Silent
+  | Private
+  | Read of Loc.t
+  | Write of Loc.t
+  | Rmw of Loc.t
+  | Sync
+
+type t = { tid : int; kind : kind }
+
+let independent a b =
+  a.tid <> b.tid
+  &&
+  match (a.kind, b.kind) with
+  | (Silent | Private), _ | _, (Silent | Private) -> true
+  | Read _, Read _ -> true
+  | Sync, _ | _, Sync -> false
+  | (Read la | Write la | Rmw la), (Read lb | Write lb | Rmw lb) ->
+      not (Loc.equal la lb)
+
+let ample l = match l.kind with Silent -> true | _ -> false
+
+let pp fmt l =
+  let k =
+    match l.kind with
+    | Silent -> "silent"
+    | Private -> "private"
+    | Read loc -> Format.asprintf "R%a" Loc.pp loc
+    | Write loc -> Format.asprintf "W%a" Loc.pp loc
+    | Rmw loc -> Format.asprintf "U%a" Loc.pp loc
+    | Sync -> "sync"
+  in
+  Format.fprintf fmt "t%d:%s" l.tid k

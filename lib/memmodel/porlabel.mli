@@ -1,0 +1,52 @@
+(** Transition labels for partial-order reduction, shared by the
+    interleaving models that provide an [Engine.MODEL.independent]
+    oracle ({!Sc}, {!Tso}).
+
+    A label classifies one transition of one thread by its footprint on
+    shared and observable state. The model assigning a kind takes on the
+    proof obligation attached to it:
+
+    - [Silent]: touches nothing outside the thread's private,
+      unobservable state (code position, loop fuel, non-observable
+      registers) {e and} is the thread's unique enabled transition.
+      Qualifies for singleton-ample reduction: executing it first
+      commutes with any other thread's transition and changes no
+      observation, so sibling orders need not be explored at all.
+    - [Private]: touches only thread-private state, but is either
+      observable (writes an observable register, appends to a store
+      buffer that observation forwards from) or not provably the
+      thread's only transition. Commutes with {e every} other-thread
+      transition, but is never ample.
+    - [Read loc] / [Write loc] / [Rmw loc]: a shared-memory access to a
+      statically known concrete location.
+    - [Sync]: a fence-like action with a multi-location footprint
+      (buffer flush, fenced RMW). Conservatively dependent on every
+      other-thread non-local transition.
+
+    Within one state, a thread's enabled transitions must carry distinct
+    labels, and a label sleeping across independent transitions must
+    keep denoting the same transition — both hold here because any
+    transition {e by} thread [t] is dependent on every other label of
+    thread [t] (same [tid]), so sleep sets never carry a label across a
+    move of its own thread. *)
+
+type kind =
+  | Silent
+  | Private
+  | Read of Loc.t
+  | Write of Loc.t
+  | Rmw of Loc.t
+  | Sync
+
+type t = { tid : int; kind : kind }
+
+val independent : t -> t -> bool
+(** Commutativity: same-thread labels are always dependent; [Silent] and
+    [Private] commute with everything of other threads; two [Read]s
+    commute; [Sync] conflicts with any other-thread access; distinct
+    concrete locations commute. *)
+
+val ample : t -> bool
+(** [Silent] labels only. *)
+
+val pp : Format.formatter -> t -> unit

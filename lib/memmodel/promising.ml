@@ -377,6 +377,95 @@ let describe_step (st : state) (st' : state) (i : int) (instr : Instr.t) :
   | Instr.Nop -> "nop"
 
 (* ------------------------------------------------------------------ *)
+(* State keys                                                          *)
+(* ------------------------------------------------------------------ *)
+(* One canonical encoder for shared memory and for one thread's state;
+   the full-state key and the per-thread solo-exploration key are both
+   compositions of these two — the historical duplicate key functions
+   (full state here, [mem + thread] inside [solo_write_candidates])
+   collapsed into one place. *)
+
+let hash_mem h (st : state) =
+  Statekey.int h st.next_ts;
+  List.iter
+    (fun m ->
+      Statekey.loc h m.mloc;
+      Statekey.int h m.mval;
+      Statekey.int h m.ts;
+      Statekey.int h m.wtid)
+    st.mem
+
+let hash_thread h (t : tstate) =
+  Statekey.char h 'T';
+  Statekey.int h t.vrnew;
+  Statekey.int h t.vwnew;
+  Statekey.int h t.vctrl;
+  Statekey.int h t.vrmax;
+  Statekey.int h t.vwmax;
+  Statekey.int h t.vall;
+  Statekey.int h t.vrel;
+  Statekey.int h t.fuel;
+  Statekey.int h t.promise_budget;
+  Statekey.int h (Reg.Map.cardinal t.regs);
+  Reg.Map.iter
+    (fun r (v, w) ->
+      Statekey.str h (Reg.name r);
+      Statekey.int h v;
+      Statekey.int h w)
+    t.regs;
+  Statekey.int h (Loc.Map.cardinal t.coh);
+  Loc.Map.iter
+    (fun l c ->
+      Statekey.loc h l;
+      Statekey.int h c)
+    t.coh;
+  Statekey.int h (List.length t.promises);
+  List.iter (Statekey.int h) t.promises;
+  Statekey.instrs h t.code
+
+let state_key (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  hash_mem h st;
+  Array.iter (hash_thread h) st.threads;
+  Statekey.finish h
+
+(* key for thread [i]'s solo exploration: shared memory + that thread *)
+let thread_key (st : state) i : Statekey.t =
+  let h = Statekey.fresh () in
+  hash_mem h st;
+  hash_thread h st.threads.(i);
+  Statekey.finish h
+
+(* The pre-interning key (string digest of a rendered state), kept only
+   as the baseline of the bench's key microbenchmark. *)
+let legacy_state_key (st : state) : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d@%d.%d;" (Loc.to_string m.mloc) m.mval m.ts
+           m.wtid))
+    st.mem;
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%d.%d.%d.%d.%d.%d.%d.%d.%d" t.vrnew t.vwnew
+           t.vctrl t.vrmax t.vwmax t.vall t.vrel t.fuel t.promise_budget);
+      Reg.Map.iter
+        (fun r (v, w) ->
+          Buffer.add_string buf (Printf.sprintf "%s=%d.%d;" (Reg.name r) v w))
+        t.regs;
+      Loc.Map.iter
+        (fun l c ->
+          Buffer.add_string buf (Printf.sprintf "%s^%d;" (Loc.to_string l) c))
+        t.coh;
+      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "p%d;" p))
+        t.promises;
+      Buffer.add_string buf (Marshal.to_string t.code []))
+    st.threads;
+  Digest.string (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Certification and promise candidates                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,19 +489,15 @@ let certifiable cfg st init_val i =
     set for promises. Over-approximate; certification filters. *)
 let solo_write_candidates cfg st init_val i =
   let found = Hashtbl.create 16 in
-  let seen = Hashtbl.create 256 in
-  let key st =
-    let t = st.threads.(i) in
-    Digest.string (Marshal.to_string (st.mem, t) [])
-  in
+  let seen = Statekey.Table.create ~initial:256 ~dummy:() () in
   let rec go st depth =
     if depth <= 0 then ()
     else
-      let k = key st in
-      if Hashtbl.mem seen k then ()
-      else begin
-        Hashtbl.add seen k ();
-        let t = st.threads.(i) in
+      let k = thread_key st i in
+      match Statekey.Table.find_or_add seen k () with
+      | `Found () -> ()
+      | `Added -> begin
+          let t = st.threads.(i) in
         match t.code with
         | [] -> ()
         | instr :: _ ->
@@ -467,32 +552,6 @@ let initial_state cfg (prog : Prog.t) : state =
   in
   { mem; next_ts = 1; threads }
 
-let state_key (st : state) : string =
-  let buf = Buffer.create 512 in
-  List.iter
-    (fun m ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s:%d@%d.%d;" (Loc.to_string m.mloc) m.mval m.ts
-           m.wtid))
-    st.mem;
-  Array.iter
-    (fun t ->
-      Buffer.add_string buf
-        (Printf.sprintf "|%d.%d.%d.%d.%d.%d.%d.%d.%d" t.vrnew t.vwnew
-           t.vctrl t.vrmax t.vwmax t.vall t.vrel t.fuel t.promise_budget);
-      Reg.Map.iter
-        (fun r (v, w) -> Buffer.add_string buf (Printf.sprintf "%s=%d.%d;" r v w))
-        t.regs;
-      Loc.Map.iter
-        (fun l c ->
-          Buffer.add_string buf (Printf.sprintf "%s^%d;" (Loc.to_string l) c))
-        t.coh;
-      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "p%d;" p))
-        t.promises;
-      Buffer.add_string buf (Marshal.to_string t.code []))
-    st.threads;
-  Digest.string (Buffer.contents buf)
-
 let observe (prog : Prog.t) (st : state) init_val status : Behavior.outcome =
   let value = function
     | Prog.Obs_reg (tid, r) ->
@@ -532,6 +591,10 @@ module Model = struct
 
   let key = state_key
 
+  (* exact search: promise/certification steps have global footprints,
+     so no sound cheap commutativity oracle exists here *)
+  let independent = None
+  let ample = None
   let dummy_step = { s_tid = -1; s_what = "" }
 
   let expand { prog; cfg; tids } ~labels (st : state) :
@@ -634,11 +697,12 @@ let make_ctx prog cfg =
 (** [run_full ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set, the per-outcome witness
     schedules, and the exploration statistics. *)
-let run_full ?(config = default_config) ?(jobs = 1) ?deadline
+let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
     (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
   let r =
-    E.explore ~max_states:config.max_states ?deadline ~witnesses:true ~jobs
+    E.explore ~max_states:config.max_states ?deadline ?strategy
+      ~witnesses:true ~jobs
       ~ctx:(make_ctx prog config)
       (initial_state config prog)
   in
@@ -656,10 +720,10 @@ let run_with_witnesses ?config ?jobs ?deadline (prog : Prog.t) :
 (** [run_stats ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set with exploration statistics
     (witness bookkeeping off). *)
-let run_stats ?(config = default_config) ?(jobs = 1) ?deadline
+let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
     (prog : Prog.t) : Behavior.t * Engine.stats =
   let r =
-    E.explore ~max_states:config.max_states ?deadline ~jobs
+    E.explore ~max_states:config.max_states ?deadline ?strategy ~jobs
       ~ctx:(make_ctx prog config)
       (initial_state config prog)
   in
@@ -669,3 +733,55 @@ let run_stats ?(config = default_config) ?(jobs = 1) ?deadline
     [prog] (bounded by the configuration) and returns its behavior set. *)
 let run ?config ?jobs ?deadline (prog : Prog.t) : Behavior.t =
   fst (run_stats ?config ?jobs ?deadline prog)
+
+(* ------------------------------------------------------------------ *)
+(* Key microbenchmark support                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [key_microbench ?config ~iters prog] compares the legacy string
+    state key against the interned 128-bit hash over a sample of states
+    reachable in [prog]: returns
+    [(legacy_seconds, interned_seconds, states_sampled)] for
+    [iters] keyings of every sampled state. *)
+let key_microbench ?(config = default_config) ~iters (prog : Prog.t) :
+    float * float * int =
+  let ctx = make_ctx prog config in
+  (* breadth-first sample of distinct reachable states *)
+  let sample = ref [] in
+  let seen = Statekey.Table.create ~dummy:() () in
+  let q = Queue.create () in
+  Queue.add (initial_state config prog) q;
+  while (not (Queue.is_empty q)) && Statekey.Table.length seen < 512 do
+    let st = Queue.pop q in
+    match Statekey.Table.find_or_add seen (state_key st) () with
+    | `Found () -> ()
+    | `Added -> (
+        sample := st :: !sample;
+        match Model.expand ctx ~labels:false st with
+        | Engine.Terminal _ -> ()
+        | Engine.Steps steps ->
+            Seq.iter
+              (function
+                | Engine.Step (_, st') -> Queue.add st' q
+                | Engine.Emit _ -> ())
+              steps)
+  done;
+  let states = Array.of_list !sample in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let legacy =
+    time (fun () ->
+        for _ = 1 to iters do
+          Array.iter (fun st -> ignore (legacy_state_key st)) states
+        done)
+  in
+  let interned =
+    time (fun () ->
+        for _ = 1 to iters do
+          Array.iter (fun st -> ignore (state_key st)) states
+        done)
+  in
+  (legacy, interned, Array.length states)

@@ -51,9 +51,12 @@ val run : ?config:config -> ?jobs:int -> ?deadline:float -> Prog.t -> Behavior.t
     [Unix.gettimeofday] time) cancels the search when it passes. *)
 
 val run_stats :
-  ?config:config -> ?jobs:int -> ?deadline:float -> Prog.t ->
+  ?config:config -> ?jobs:int -> ?deadline:float ->
+  ?strategy:Engine.strategy -> Prog.t ->
   Behavior.t * Engine.stats
-(** Like {!run}, also returning exploration statistics. *)
+(** Like {!run}, also returning exploration statistics. [strategy]
+    selects the parallel search algorithm (default
+    {!Engine.Work_stealing}); it only matters when [jobs > 1]. *)
 
 val run_with_witnesses :
   ?config:config ->
@@ -68,6 +71,15 @@ val run_full :
   ?config:config ->
   ?jobs:int ->
   ?deadline:float ->
+  ?strategy:Engine.strategy ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list * Engine.stats
 (** Behaviors, witnesses and statistics in one exploration. *)
+
+val key_microbench :
+  ?config:config -> iters:int -> Prog.t -> float * float * int
+(** [key_microbench ~iters prog] samples up to 512 distinct reachable
+    states of [prog] and times [iters] rounds of computing every state's
+    key under (a) the legacy string-based keying and (b) the interned
+    128-bit {!Statekey} hashing. Returns
+    [(legacy_seconds, interned_seconds, sample_size)]. Bench-only. *)

@@ -253,24 +253,32 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
-let state_key (st : state) : string =
-  let buf = Buffer.create 256 in
+let state_key (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  Statekey.int h (Loc.Map.cardinal st.mem);
   Loc.Map.iter
     (fun l v ->
-      Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+      Statekey.loc h l;
+      Statekey.int h v)
     st.mem;
   List.iter
-    (fun (b, o) -> Buffer.add_string buf (Printf.sprintf "%s@%d;" b o))
+    (fun (b, o) ->
+      Statekey.str h b;
+      Statekey.int h o)
     (List.sort compare st.owners);
   Array.iter
     (fun t ->
-      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Statekey.char h 'T';
+      Statekey.int h t.fuel;
+      Statekey.int h (Reg.Map.cardinal t.regs);
       Reg.Map.iter
-        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        (fun r v ->
+          Statekey.str h (Reg.name r);
+          Statekey.int h v)
         t.regs;
-      Buffer.add_string buf (Marshal.to_string t.code []))
+      Statekey.instrs h t.code)
     st.threads;
-  Digest.string (Buffer.contents buf)
+  Statekey.finish h
 
 let initial_state ~fuel ~initial_owners (prog : Prog.t) : state =
   let mem =
@@ -297,6 +305,12 @@ module Model = struct
   type label = unit
 
   let key = state_key
+
+  (* exact search: the ownership oracle's whole point is to observe every
+     interleaving's first violation, and [Ownership] exceptions must
+     surface at the same schedule as the direct DFS — no reduction *)
+  let independent = None
+  let ample = None
 
   let expand { prog; shared; exempt } ~labels:_ (st : state) :
       (state, label) Engine.expansion =

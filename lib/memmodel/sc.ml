@@ -138,20 +138,70 @@ let initial_state ?(fuel = 64) (prog : Prog.t) : state =
   in
   { mem; threads }
 
-let state_key (st : state) : string =
-  let buf = Buffer.create 256 in
+let state_key (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  Statekey.int h (Loc.Map.cardinal st.mem);
   Loc.Map.iter
-    (fun l v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+    (fun l v ->
+      Statekey.loc h l;
+      Statekey.int h v)
     st.mem;
   Array.iter
     (fun t ->
-      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Statekey.char h 'T';
+      Statekey.int h t.fuel;
+      Statekey.int h (Reg.Map.cardinal t.regs);
       Reg.Map.iter
-        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        (fun r v ->
+          Statekey.str h (Reg.name r);
+          Statekey.int h v)
         t.regs;
-      Buffer.add_string buf (Marshal.to_string t.code []))
+      Statekey.instrs h t.code)
     st.threads;
-  Digest.string (Buffer.contents buf)
+  Statekey.finish h
+
+(* is register [r] of thread index [idx] observable? *)
+let observable_reg (prog : Prog.t) idx r =
+  match List.nth_opt prog.Prog.threads idx with
+  | Some th ->
+      List.exists
+        (function
+          | Prog.Obs_reg (tid, r') -> tid = th.Prog.tid && Reg.name r' = Reg.name r
+          | Prog.Obs_loc _ -> false)
+        prog.Prog.observables
+  | None -> false
+
+(* POR classification of thread [i]'s (unique) next transition. Under
+   SC a thread has exactly one enabled transition, so any instruction
+   that touches neither memory nor an observable register is [Silent]
+   (ample-eligible); barriers, pulls/pushes and TLBIs are no-ops here. *)
+let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
+  let t = st.threads.(i) in
+  let kind =
+    try
+      match instr with
+      | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+      | Instr.Barrier _ | Instr.If _ | Instr.While _ | Instr.Panic ->
+          Porlabel.Silent
+      | Instr.Move (r, _) ->
+          if observable_reg prog i r then Porlabel.Private
+          else Porlabel.Silent
+      | Instr.Load (_, a, _) ->
+          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+          Porlabel.Read loc
+      | Instr.Store (a, _, _) ->
+          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+          Porlabel.Write loc
+      | Instr.Faa (_, a, _, _)
+      | Instr.Xchg (_, a, _, _)
+      | Instr.Cas (_, a, _, _, _) ->
+          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+          Porlabel.Rmw loc
+    with Expr.Eval_panic _ ->
+      (* the step itself panicked and emitted; label is never used *)
+      Porlabel.Silent
+  in
+  { Porlabel.tid = i; kind }
 
 (* The executor is an instance of the shared exploration engine: one SC
    transition per runnable thread, terminal states observe [Normal],
@@ -159,11 +209,14 @@ let state_key (st : state) : string =
 module Model = struct
   type ctx = Prog.t
   type nonrec state = state
-  type label = unit
+  type label = Porlabel.t
 
   let key = state_key
+  let independent = Some (fun _prog a b -> Porlabel.independent a b)
+  let ample = Some (fun _prog l -> Porlabel.ample l)
+  let dummy i = { Porlabel.tid = i; kind = Porlabel.Silent }
 
-  let expand prog ~labels:_ (st : state) : (state, label) Engine.expansion =
+  let expand prog ~labels (st : state) : (state, label) Engine.expansion =
     let runnable = ref [] in
     Array.iteri
       (fun i t -> if t.code <> [] then runnable := i :: !runnable)
@@ -175,7 +228,13 @@ module Model = struct
           (List.to_seq rs
           |> Seq.map (fun i ->
                  match step_thread st i with
-                 | Some st' -> Engine.Step ((), st')
+                 | Some st' ->
+                     let lbl =
+                       if labels then
+                         label_of prog st i (List.hd st.threads.(i).code)
+                       else dummy i
+                     in
+                     Engine.Step (lbl, st')
                  | None ->
                      Engine.Emit (observe prog st Behavior.Fuel_exhausted)
                  | exception Thread_panic ->
@@ -184,14 +243,19 @@ end
 
 module E = Engine.Make (Model)
 
-(** [run_stats ?fuel ?jobs ?deadline prog] explores all SC interleavings
-    of [prog] and returns its behavior set with exploration statistics. *)
-let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline (prog : Prog.t) :
-    Behavior.t * Engine.stats =
-  let r = E.explore ?deadline ~jobs ~ctx:prog (initial_state ~fuel prog) in
+(** [run_stats ?fuel ?jobs ?deadline ?por ?strategy prog] explores all SC
+    interleavings of [prog] and returns its behavior set with exploration
+    statistics. [por] (default on) applies sleep-set/ample partial-order
+    reduction — same behavior set, fewer states. *)
+let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline ?por ?strategy
+    (prog : Prog.t) : Behavior.t * Engine.stats =
+  let r =
+    E.explore ?deadline ?por ?strategy ~jobs ~ctx:prog
+      (initial_state ~fuel prog)
+  in
   (r.E.behaviors, r.E.stats)
 
 (** [run ?fuel ?jobs ?deadline prog] explores all SC interleavings of
     [prog] and returns its behavior set. *)
-let run ?fuel ?jobs ?deadline (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?fuel ?jobs ?deadline prog)
+let run ?fuel ?jobs ?deadline ?por (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs ?deadline ?por prog)

@@ -10,11 +10,18 @@
     The executor instantiates the shared {!Engine}; [jobs] fans the
     search across that many domains (identical behavior set). *)
 
-val run : ?fuel:int -> ?jobs:int -> ?deadline:float -> Prog.t -> Behavior.t
+val run :
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
+  Behavior.t
 (** [deadline] (absolute [Unix.gettimeofday] time) cancels the search
-    when it passes; partial results carry [stats.budget_hit]. *)
+    when it passes; partial results carry [stats.budget_hit]. [por]
+    (default on) applies sleep-set/ample partial-order reduction —
+    identical behavior set, strictly fewer states on racy programs. *)
 
 val run_stats :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> Prog.t ->
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
+  ?strategy:Engine.strategy -> Prog.t ->
   Behavior.t * Engine.stats
-(** Like {!run}, also returning exploration statistics. *)
+(** Like {!run}, also returning exploration statistics. [strategy]
+    selects the parallel search algorithm (default
+    {!Engine.Work_stealing}); it only matters when [jobs > 1]. *)

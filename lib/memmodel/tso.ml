@@ -171,26 +171,74 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
-let state_key (st : state) : string =
-  let buf = Buffer.create 256 in
+let state_key (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  Statekey.int h (Loc.Map.cardinal st.mem);
   Loc.Map.iter
     (fun l v ->
-      Buffer.add_string buf (Printf.sprintf "%s=%d;" (Loc.to_string l) v))
+      Statekey.loc h l;
+      Statekey.int h v)
     st.mem;
   Array.iter
     (fun t ->
-      Buffer.add_string buf (Printf.sprintf "|f%d|" t.fuel);
+      Statekey.char h 'T';
+      Statekey.int h t.fuel;
+      Statekey.int h (Reg.Map.cardinal t.regs);
       Reg.Map.iter
-        (fun r v -> Buffer.add_string buf (Printf.sprintf "%s=%d;" r v))
+        (fun r v ->
+          Statekey.str h (Reg.name r);
+          Statekey.int h v)
         t.regs;
+      Statekey.int h (List.length t.buffer);
       List.iter
         (fun (l, v) ->
-          Buffer.add_string buf
-            (Printf.sprintf "b%s=%d;" (Loc.to_string l) v))
+          Statekey.loc h l;
+          Statekey.int h v)
         t.buffer;
-      Buffer.add_string buf (Marshal.to_string t.code []))
+      Statekey.instrs h t.code)
     st.threads;
-  Digest.string (Buffer.contents buf)
+  Statekey.finish h
+
+(* is register [r] of thread index [idx] observable? *)
+let observable_reg (prog : Prog.t) idx r =
+  match List.nth_opt prog.Prog.threads idx with
+  | Some th ->
+      List.exists
+        (function
+          | Prog.Obs_reg (tid, r') -> tid = th.Prog.tid && Reg.name r' = Reg.name r
+          | Prog.Obs_loc _ -> false)
+        prog.Prog.observables
+  | None -> false
+
+(* POR classification of thread [i]'s next {e instruction} transition
+   (drain transitions are labelled [Write] at their location directly in
+   [expand]). A transition is [Silent] (ample-eligible) only when it is
+   also the thread's unique one, i.e. the buffer is empty — otherwise a
+   drain sibling exists and locally-invisible steps downgrade to
+   [Private]. Stores are [Private], not [Write]: they touch only the
+   issuing thread's buffer (observation forwards from buffers, so they
+   are not invisible). Fences and RMWs flush the whole buffer: [Sync]. *)
+let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
+  let t = st.threads.(i) in
+  let local = if t.buffer = [] then Porlabel.Silent else Porlabel.Private in
+  let kind =
+    try
+      match instr with
+      | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+      | Instr.If _ | Instr.While _ | Instr.Panic ->
+          local
+      | Instr.Move (r, _) ->
+          if observable_reg prog i r then Porlabel.Private else local
+      | Instr.Barrier _ ->
+          if t.buffer = [] then Porlabel.Silent else Porlabel.Sync
+      | Instr.Load (_, a, _) ->
+          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+          Porlabel.Read loc
+      | Instr.Store _ -> Porlabel.Private
+      | Instr.Faa _ | Instr.Xchg _ | Instr.Cas _ -> Porlabel.Sync
+    with Expr.Eval_panic _ -> Porlabel.Private
+  in
+  { Porlabel.tid = i; kind }
 
 (* The executor is an instance of the shared exploration engine: per
    thread, one transition draining the oldest buffered store plus one
@@ -199,11 +247,14 @@ let state_key (st : state) : string =
 module Model = struct
   type ctx = Prog.t
   type nonrec state = state
-  type label = unit
+  type label = Porlabel.t
 
   let key = state_key
+  let independent = Some (fun _prog a b -> Porlabel.independent a b)
+  let ample = Some (fun _prog l -> Porlabel.ample l)
+  let dummy i = { Porlabel.tid = i; kind = Porlabel.Silent }
 
-  let expand prog ~labels:_ (st : state) : (state, label) Engine.expansion =
+  let expand prog ~labels (st : state) : (state, label) Engine.expansion =
     let n = Array.length st.threads in
     let all_done = ref true in
     for i = 0 to n - 1 do
@@ -218,9 +269,13 @@ module Model = struct
         let drain =
           match t.buffer with
           | (l, v) :: rest ->
+              let lbl =
+                if labels then { Porlabel.tid = i; kind = Porlabel.Write l }
+                else dummy i
+              in
               Seq.return
                 (Engine.Step
-                   ( (),
+                   ( lbl,
                      set_thread
                        { st with mem = Loc.Map.add l v st.mem }
                        i { t with buffer = rest } ))
@@ -232,7 +287,12 @@ module Model = struct
             fun () ->
               Seq.Cons
                 ( (match step_thread st i with
-                  | Next st' -> Engine.Step ((), st')
+                  | Next st' ->
+                      let lbl =
+                        if labels then label_of prog st i (List.hd t.code)
+                        else dummy i
+                      in
+                      Engine.Step (lbl, st')
                   | Fuel_out ->
                       Engine.Emit (observe prog st Behavior.Fuel_exhausted)
                   | exception Thread_panic ->
@@ -248,9 +308,11 @@ end
 module E = Engine.Make (Model)
 
 (** Explore all TSO executions (instruction steps interleaved with buffer
-    drains) and return the behavior set with exploration statistics. *)
-let run_stats ?(fuel = 8) ?(jobs = 1) (prog : Prog.t) :
-    Behavior.t * Engine.stats =
+    drains) and return the behavior set with exploration statistics.
+    [por] (default on) applies sleep-set/ample partial-order reduction —
+    same behavior set, fewer states. *)
+let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por ?strategy
+    (prog : Prog.t) : Behavior.t * Engine.stats =
   let mem =
     List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
       prog.Prog.init
@@ -262,9 +324,9 @@ let run_stats ?(fuel = 8) ?(jobs = 1) (prog : Prog.t) :
            { code = th.Prog.code; regs = Reg.Map.empty; buffer = []; fuel })
          prog.Prog.threads)
   in
-  let r = E.explore ~jobs ~ctx:prog { mem; threads } in
+  let r = E.explore ?deadline ?por ?strategy ~jobs ~ctx:prog { mem; threads } in
   (r.E.behaviors, r.E.stats)
 
 (** Explore all TSO executions and return the behavior set. *)
-let run ?fuel ?jobs (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?fuel ?jobs prog)
+let run ?fuel ?jobs ?por (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs ?por prog)

@@ -6,8 +6,15 @@
     the barrier-less §2 bugs are unreachable here yet reachable under
     {!Promising}. *)
 
-val run : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t
+val run : ?fuel:int -> ?jobs:int -> ?por:bool -> Prog.t -> Behavior.t
+(** [por] (default on) applies sleep-set/ample partial-order reduction —
+    identical behavior set, fewer states. *)
 
-val run_stats : ?fuel:int -> ?jobs:int -> Prog.t -> Behavior.t * Engine.stats
+val run_stats :
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
+  ?strategy:Engine.strategy -> Prog.t ->
+  Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics from the shared
-    {!Engine}. *)
+    {!Engine}. [deadline] (absolute [Unix.gettimeofday] time) cancels
+    the search when it passes; [strategy] selects the parallel search
+    algorithm (default {!Engine.Work_stealing}). *)

@@ -83,6 +83,10 @@ let cache_key (spec : spec) : string =
         in
         ("certify", "", Digest.to_hex (Digest.string body))
   in
+  (* Keyed on [Engine.version]: an engine overhaul that could change
+     stats or exploration order (interning, POR, work stealing) bumps the
+     version and thereby invalidates every cached result — no manual
+     cache flush needed, stale entries are simply never looked up. *)
   Store.make_key ~engine_version:Engine.version ~model ~budgets ~prog_digest
 
 type outcome = Done of Json.t | Timed_out | Failed of string

@@ -281,6 +281,115 @@ let test_stats_sanity () =
   Alcotest.(check bool) "litmus rm stats populated" true
     (r.Litmus.rm_stats.Engine.visited > 0)
 
+(* POR must not change any behavior set: for every litmus program and
+   kernel corpus entry, the SC and TSO digests with POR on equal the
+   exact-search digests — sequentially and at jobs=4 (work stealing). *)
+let test_por_equivalence () =
+  let progs =
+    List.map (fun (t : Litmus.t) -> t.Litmus.prog) litmus
+    @ List.map (fun (e : Sekvm.Kernel_progs.entry) -> e.Sekvm.Kernel_progs.prog)
+        kernel
+  in
+  List.iter
+    (fun (p : Prog.t) ->
+      let sc_exact = digest_behaviors (Sc.run ~por:false p) in
+      let tso_exact = digest_behaviors (Tso.run ~fuel:3 ~por:false p) in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s sc por jobs=%d" p.Prog.name jobs)
+            sc_exact
+            (digest_behaviors (Sc.run ~jobs ~por:true p));
+          Alcotest.(check string)
+            (Printf.sprintf "%s tso por jobs=%d" p.Prog.name jobs)
+            tso_exact
+            (digest_behaviors (Tso.run ~fuel:3 ~jobs ~por:true p)))
+        [ 1; 4 ];
+      Alcotest.(check string)
+        (p.Prog.name ^ " sc exact jobs=4")
+        sc_exact
+        (digest_behaviors (Sc.run ~jobs:4 ~por:false p)))
+    progs
+
+(* POR must actually reduce: over the whole litmus corpus, SC and TSO
+   visit strictly fewer states with POR on, and the prune counter is
+   nonzero. (Per-program this can tie — a two-thread racy program may
+   have no ample or sleepable step — so we assert on the corpus sum.) *)
+let test_por_reduces () =
+  let sum f =
+    List.fold_left
+      (fun (on, off, pruned) (t : Litmus.t) ->
+        let _, s_on = f ~por:true t.Litmus.prog in
+        let _, s_off = f ~por:false t.Litmus.prog in
+        ( on + s_on.Engine.visited,
+          off + s_off.Engine.visited,
+          pruned + s_on.Engine.por_pruned ))
+      (0, 0, 0) litmus
+  in
+  let check name (on, off, pruned) =
+    Alcotest.(check bool)
+      (name ^ ": POR visits strictly fewer states")
+      true (on < off);
+    Alcotest.(check bool) (name ^ ": POR prunes transitions") true (pruned > 0)
+  in
+  check "sc" (sum (fun ~por p -> Sc.run_stats ~por p));
+  check "tso" (sum (fun ~por p -> Tso.run_stats ~fuel:3 ~por p))
+
+(* Work stealing and the legacy bucketed strategy agree with the
+   sequential search (POR off so all three explore the same states). *)
+let test_strategy_equivalence () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let p = t.Litmus.prog in
+      let seq = digest_behaviors (Sc.run ~por:false p) in
+      let with_strategy strategy =
+        digest_behaviors
+          (fst (Sc.run_stats ~jobs:4 ~por:false ~strategy p))
+      in
+      Alcotest.(check string)
+        (p.Prog.name ^ " work-stealing = sequential")
+        seq
+        (with_strategy Engine.Work_stealing);
+      Alcotest.(check string)
+        (p.Prog.name ^ " bucketed = sequential")
+        seq
+        (with_strategy Engine.Bucketed))
+    Paper_examples.all
+
+(* A deadline already in the past must stop a jobs=4 work-stealing
+   search promptly: budget_hit set, almost nothing visited. *)
+let test_parallel_cancellation () =
+  let p = Paper_examples.example1.Litmus.prog in
+  let deadline = Unix.gettimeofday () -. 1.0 in
+  let _, (s : Engine.stats) = Sc.run_stats ~jobs:4 ~deadline p in
+  Alcotest.(check bool) "budget_hit set" true s.Engine.budget_hit;
+  Alcotest.(check bool)
+    (Printf.sprintf "visited tiny (%d)" s.Engine.visited)
+    true
+    (s.Engine.visited <= 8);
+  (* same through the Promising executor (lazy expansion path) *)
+  let _, (sp : Engine.stats) = Promising.run_stats ~jobs:4 ~deadline p in
+  Alcotest.(check bool) "promising budget_hit set" true sp.Engine.budget_hit
+
+(* max_states is one global budget in parallel mode: jobs=4 with a tiny
+   budget stops near it, not at 4x it. *)
+let test_global_budget () =
+  let p = Paper_examples.example1.Litmus.prog in
+  let cfg = { Promising.default_config with max_promises = 2 } in
+  let exact, (full : Engine.stats) = Promising.run_stats ~config:cfg p in
+  ignore exact;
+  let budget = max 4 (full.Engine.visited / 4) in
+  let _, (s : Engine.stats) =
+    Promising.run_stats ~config:{ cfg with max_states = budget } ~jobs:4 p
+  in
+  Alcotest.(check bool) "budget_hit set" true s.Engine.budget_hit;
+  (* each domain may overshoot by the frames already in flight, but not
+     by another domain's worth of private budget *)
+  Alcotest.(check bool)
+    (Printf.sprintf "visited %d near budget %d" s.Engine.visited budget)
+    true
+    (s.Engine.visited < 2 * budget)
+
 let () =
   Alcotest.run "engine"
     [ ( "parity",
@@ -290,7 +399,18 @@ let () =
         [ Alcotest.test_case "sc/tso/promising jobs=1 = jobs=4" `Slow
             test_jobs_equivalence;
           Alcotest.test_case "pushpull jobs=1 = jobs=4" `Slow
-            test_jobs_equivalence_pushpull ] );
+            test_jobs_equivalence_pushpull;
+          Alcotest.test_case "strategies agree with sequential" `Quick
+            test_strategy_equivalence;
+          Alcotest.test_case "past deadline cancels jobs=4 promptly" `Quick
+            test_parallel_cancellation;
+          Alcotest.test_case "max_states is a global budget" `Quick
+            test_global_budget ] );
+      ( "por",
+        [ Alcotest.test_case "por on/off digests equal everywhere" `Slow
+            test_por_equivalence;
+          Alcotest.test_case "por strictly reduces visited states" `Quick
+            test_por_reduces ] );
       ( "stats",
         [ Alcotest.test_case "exploration statistics sane" `Quick
             test_stats_sanity ] ) ]
