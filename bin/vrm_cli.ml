@@ -44,7 +44,16 @@ let litmus_cmd =
             "disable partial-order reduction on the SC side (exact \
              search; identical behavior sets, more states visited)")
   in
-  let run test_name stats jobs json no_por =
+  let no_cert_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cert-cache" ]
+          ~doc:
+            "disable certification memoization on the Promising side \
+             (identical behavior sets, every promise re-certified from \
+             scratch)")
+  in
+  let run test_name stats jobs json no_por no_cert_cache =
     let tests =
       match test_name with
       | None -> Memmodel.Paper_examples.all
@@ -59,7 +68,10 @@ let litmus_cmd =
         test_name;
       exit 1);
     let results =
-      List.map (Memmodel.Litmus.run ~jobs ~por:(not no_por)) tests
+      List.map
+        (Memmodel.Litmus.run ~jobs ~por:(not no_por)
+           ~cert_cache:(not no_cert_cache))
+        tests
     in
     List.iter
       (fun (r : Memmodel.Litmus.result) ->
@@ -85,7 +97,8 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
-    Term.(const run $ test_name $ stats $ jobs $ json $ no_por)
+    Term.(
+      const run $ test_name $ stats $ jobs $ json $ no_por $ no_cert_cache)
 
 (* ------------------------------------------------------------------ *)
 
@@ -502,7 +515,15 @@ let submit_cmd =
             "recompute each result locally and fail unless the daemon's \
              payload matches digest-for-digest")
   in
-  let run socket kind name jobs deadline linux levels verify =
+  let no_cert_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cert-cache" ]
+          ~doc:
+            "ask the daemon to run with certification memoization \
+             disabled (part of its result-cache key)")
+  in
+  let run socket kind name jobs deadline linux levels verify no_cert_cache =
     let jobs_to_run =
       match (kind, name) with
       | `Litmus, Some n -> [ Service.Protocol.Litmus n ]
@@ -534,7 +555,8 @@ let submit_cmd =
         let k, n = describe job in
         match
           with_daemon socket (fun () ->
-              Service.Client.submit ~socket ~jobs ?deadline_s:deadline job)
+              Service.Client.submit ~socket ~jobs ?deadline_s:deadline
+                ~cert_cache:(not no_cert_cache) job)
         with
         | Error msg ->
             failed := true;
@@ -568,7 +590,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"submit verification jobs to a running vrmd")
     Term.(
       const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
-      $ levels $ verify)
+      $ levels $ verify $ no_cert_cache)
 
 let lint_cmd =
   let name_arg =

@@ -83,6 +83,8 @@ let stats_to_json (s : Engine.stats) : Json.t =
       ("por_pruned", Json.Int s.Engine.por_pruned);
       ("steals", Json.Int s.Engine.steals);
       ("shared_hits", Json.Int s.Engine.shared_hits);
+      ("cert_calls", Json.Int s.Engine.cert_calls);
+      ("cert_hits", Json.Int s.Engine.cert_hits);
       ("wall_s", Json.Float s.Engine.wall_s);
       ("jobs", Json.Int s.Engine.jobs);
       ("budget_hit", Json.Bool s.Engine.budget_hit) ]
@@ -96,6 +98,11 @@ let stats_of_json (j : Json.t) : Engine.stats =
     por_pruned = Json.to_int (Json.member "por_pruned" j);
     steals = Json.to_int (Json.member "steals" j);
     shared_hits = Json.to_int (Json.member "shared_hits" j);
+    (* vrm-engine/4 fields: the engine-version bump invalidated every
+       older cache entry, so the strict decoder never sees stats JSON
+       without them. *)
+    cert_calls = Json.to_int (Json.member "cert_calls" j);
+    cert_hits = Json.to_int (Json.member "cert_hits" j);
     wall_s = Json.to_float (Json.member "wall_s" j);
     jobs = Json.to_int (Json.member "jobs" j);
     budget_hit = Json.to_bool (Json.member "budget_hit" j) }

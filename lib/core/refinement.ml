@@ -54,6 +54,150 @@ let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
     sc_stats;
     rm_stats }
 
+(* ------------------------------------------------------------------ *)
+(* Corpus-level parallel scheduling                                    *)
+(* ------------------------------------------------------------------ *)
+(* Parallelizing *within* one small search is a losing trade: the
+   shared-seen-set handshakes cost more than the explored subtrees they
+   distribute. The outer layer below instead distributes independent
+   refinement obligations (corpus entries) across domains, keeps each
+   inner search sequential while it stays under a visited-states
+   threshold, and lets a genuinely large search borrow whatever part of
+   the global [?jobs] budget is currently idle. *)
+
+(* Counting semaphore over the shared jobs budget: workers borrow extra
+   domains for a big inner search and return them when it finishes.
+   Never blocks — a borrower takes what is free right now (possibly
+   nothing) rather than waiting on tokens another search is using. *)
+module Budget = struct
+  type t = { lock : Mutex.t; mutable free : int }
+
+  let create n = { lock = Mutex.create (); free = max 0 n }
+
+  let take t want =
+    Mutex.lock t.lock;
+    let got = min (max 0 want) t.free in
+    t.free <- t.free - got;
+    Mutex.unlock t.lock;
+    got
+
+  let give t n =
+    Mutex.lock t.lock;
+    t.free <- t.free + n;
+    Mutex.unlock t.lock
+end
+
+let default_inner_threshold = 20_000
+
+(* Probe-then-commit: run the check sequentially with the Promising
+   state valve lowered to [inner_threshold]. If the probe finishes
+   inside the valve, the state space was small and the sequential run
+   *is* the answer — no parallel overhead, nothing wasted. If the valve
+   fires, the probe's bounded work is the (amortized-small) price of
+   learning the search is big; re-run with the real valve and an inner
+   fan-out of [1 + acquire ()] domains. A verdict cut short by the
+   deadline is returned as-is — re-running an expired job buys
+   nothing. *)
+let adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
+    ~inner_threshold ~acquire ~release prog : verdict =
+  let probe_cfg =
+    { config with
+      Promising.max_states =
+        min inner_threshold config.Promising.max_states }
+  in
+  let v = check ~sc_fuel ~config:probe_cfg ~jobs:1 ?deadline ?por ?strategy
+      prog
+  in
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  if
+    config.Promising.max_states <= inner_threshold
+    || (not v.rm_stats.Engine.budget_hit)
+    || expired ()
+  then v
+  else begin
+    let extra = acquire () in
+    Fun.protect
+      ~finally:(fun () -> release extra)
+      (fun () ->
+        check ~sc_fuel ~config ~jobs:(1 + extra) ?deadline ?por ?strategy
+          prog)
+  end
+
+let check_adaptive ?(sc_fuel = 8) ?(config = Promising.default_config)
+    ?(jobs = 1) ?deadline ?por ?strategy
+    ?(inner_threshold = default_inner_threshold) (prog : Prog.t) : verdict =
+  (* the probe exists to avoid parallel-search overhead on small state
+     spaces; with a single hardware thread there is no fan-out to gain,
+     so the probe would be pure waste (same clamp the engine applies) *)
+  let effective = min jobs (Domain.recommended_domain_count ()) in
+  if effective <= 1 then
+    check ~sc_fuel ~config ~jobs:1 ?deadline ?por ?strategy prog
+  else
+    adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
+      ~inner_threshold
+      ~acquire:(fun () -> jobs - 1)
+      ~release:(fun _ -> ())
+      prog
+
+let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por ?strategy
+    ?(inner_threshold = default_inner_threshold)
+    (entries : (string * Prog.t * Promising.config) list) :
+    (string * verdict) list =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  (* never spawn more workers than the hardware can run: extra domains
+     on one core only multiplex and thrash the GC (the engine applies
+     the same clamp to its inner fan-out) *)
+  let outer =
+    max 1 (min (min jobs (Domain.recommended_domain_count ())) n)
+  in
+  if n = 0 then []
+  else if outer <= 1 then
+    (* one domain available (or one entry): the whole budget goes to the
+       inner search, as before the outer layer existed *)
+    List.map
+      (fun (name, prog, config) ->
+        ( name,
+          check_adaptive ~sc_fuel ~config ~jobs ?deadline ?por ?strategy
+            ~inner_threshold prog ))
+      entries
+  else begin
+    (* [outer] workers each hold one implicit token; the remainder of
+       the global budget sits in the semaphore for big entries *)
+    let budget = Budget.create (jobs - outer) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let name, prog, config = arr.(i) in
+          let v =
+            adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
+              ~inner_threshold
+              ~acquire:(fun () -> Budget.take budget (jobs - 1))
+              ~release:(fun got -> Budget.give budget got)
+              prog
+          in
+          results.(i) <- Some (name, v);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (outer - 1) (fun _ -> Domain.spawn worker)
+    in
+    let main_exn = try worker (); None with e -> Some e in
+    Array.iter Domain.join domains;
+    (match main_exn with Some e -> raise e | None -> ());
+    Array.to_list results |> List.filter_map Fun.id
+  end
+
 (** The schedule that produced [outcome] (for RM-only behaviors: the
     concrete relaxed execution, promises included, that SC cannot
     match). *)

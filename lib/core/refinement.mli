@@ -32,6 +32,42 @@ val check :
     [strategy] selects the parallel search algorithm. Behavior sets are
     identical in every configuration. *)
 
+val default_inner_threshold : int
+(** Visited-states threshold below which an inner search stays
+    sequential (currently 20k states): parallel search on a state space
+    this small loses more to shared-seen-set handshakes than it gains. *)
+
+val check_adaptive :
+  ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
+  ?deadline:float -> ?por:bool -> ?strategy:Engine.strategy ->
+  ?inner_threshold:int -> Prog.t ->
+  verdict
+(** Like {!check}, but adaptive about spending the [jobs] budget: the
+    check first runs sequentially with the Promising state valve lowered
+    to [inner_threshold]. A probe that completes {e is} the verdict —
+    small searches never pay parallel overhead. Only when the valve
+    fires is the check re-run with the full valve and the full [jobs]
+    fan-out. On a single-hardware-thread machine the probe is skipped
+    entirely (plain sequential {!check}): there is no fan-out to gain.
+    Verdict fields are identical to {!check} in either case (statistics
+    reflect the run that produced the verdict). *)
+
+val check_many :
+  ?sc_fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
+  ?strategy:Engine.strategy -> ?inner_threshold:int ->
+  (string * Prog.t * Promising.config) list ->
+  (string * verdict) list
+(** Corpus-level parallel scheduling: distribute independent refinement
+    obligations across up to [jobs] domains (clamped to the hardware's
+    [Domain.recommended_domain_count]; one worker per entry at a time,
+    work-sharing through an atomic cursor), keeping each inner
+    search sequential below [inner_threshold] visited states. The
+    [jobs] budget is shared globally: [outer] workers hold one domain
+    each and a big entry (probe valve fired) borrows whatever is left —
+    so the process never runs more than [jobs] domains' worth of search.
+    Results are returned in input order, and every verdict equals what
+    {!check} computes for that entry alone. *)
+
 val witness_for : verdict -> Behavior.outcome -> Promising.step list option
 (** The schedule that produced an outcome — for RM-only behaviors, the
     concrete relaxed execution (promises included) SC cannot match. *)

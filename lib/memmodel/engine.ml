@@ -3,9 +3,12 @@
     parallel-search determinism argument. *)
 
 (* Bump on any change to exploration semantics: the verification cache
-   keys every stored result on this string. vrm-engine/3: hashed state
-   interning, shared work-stealing parallel search, sleep-set POR. *)
-let version = "vrm-engine/3"
+   keys every stored result on this string. vrm-engine/4: memoized
+   promise certification with cert_calls/cert_hits stats (the stats
+   payload stored in cache entries changed shape). vrm-engine/3: hashed
+   state interning, shared work-stealing parallel search, sleep-set
+   POR. *)
+let version = "vrm-engine/4"
 
 type stats = {
   visited : int;
@@ -16,6 +19,8 @@ type stats = {
   por_pruned : int;
   steals : int;
   shared_hits : int;
+  cert_calls : int;
+  cert_hits : int;
   wall_s : float;
   jobs : int;
   budget_hit : bool;
@@ -30,6 +35,8 @@ let zero_stats =
     por_pruned = 0;
     steals = 0;
     shared_hits = 0;
+    cert_calls = 0;
+    cert_hits = 0;
     wall_s = 0.;
     jobs = 1;
     budget_hit = false }
@@ -43,6 +50,8 @@ let add_stats a b =
     por_pruned = a.por_pruned + b.por_pruned;
     steals = a.steals + b.steals;
     shared_hits = a.shared_hits + b.shared_hits;
+    cert_calls = a.cert_calls + b.cert_calls;
+    cert_hits = a.cert_hits + b.cert_hits;
     wall_s = a.wall_s +. b.wall_s;
     jobs = max a.jobs b.jobs;
     budget_hit = a.budget_hit || b.budget_hit }
@@ -50,12 +59,15 @@ let add_stats a b =
 let pp_stats fmt s =
   Format.fprintf fmt
     "states=%d dedup=%d transitions=%d depth=%d outcomes=%d wall=%.2fms \
-     jobs=%d%s%s%s%s"
+     jobs=%d%s%s%s%s%s"
     s.visited s.dedup_hits s.transitions s.max_depth s.outcomes
     (s.wall_s *. 1000.) s.jobs
     (if s.por_pruned > 0 then Printf.sprintf " por=%d" s.por_pruned else "")
     (if s.steals > 0 then Printf.sprintf " steals=%d" s.steals else "")
     (if s.shared_hits > 0 then Printf.sprintf " shared=%d" s.shared_hits
+     else "")
+    (if s.cert_calls > 0 then
+       Printf.sprintf " cert=%d/%d" s.cert_hits s.cert_calls
      else "")
     (if s.budget_hit then " [budget hit]" else "")
 

@@ -118,6 +118,12 @@ type stats = {
   shared_hits : int;
       (** dedup hits against a seen-set entry inserted by a different
           domain — work the shared seen-set saved vs private sets *)
+  cert_calls : int;
+      (** promise-certification queries answered (memoized or not);
+          0 for models without a certification step *)
+  cert_hits : int;
+      (** certification queries answered from the per-exploration cert
+          cache without re-running the solo search *)
   wall_s : float;  (** wall-clock seconds for the whole exploration *)
   jobs : int;  (** effective domains used (1 = sequential) *)
   budget_hit : bool;  (** some budget valve fired: partial results *)
@@ -130,8 +136,9 @@ val add_stats : stats -> stats -> stats
     time add, depth and job count take the maximum, budget flags or. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** Renders the POR/steal/shared counters only when non-zero, so
-    sequential exact-search output is unchanged from earlier versions. *)
+(** Renders the POR/steal/shared/cert counters only when non-zero, so
+    output for models without those features is unchanged from earlier
+    versions. *)
 
 (** One outgoing transition of a state. *)
 type ('state, 'label) step =

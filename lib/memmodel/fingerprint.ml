@@ -47,9 +47,13 @@ let prog_bytes (p : Prog.t) : string =
 let prog (p : Prog.t) : string = Digest.to_hex (Digest.string (prog_bytes p))
 
 let promising_config (c : Promising.config) : string =
-  Printf.sprintf "fuel=%d,promises=%d,cert=%d,states=%d,strict=%b"
+  (* [cert_cache] cannot change a behavior set, but it is part of the
+     execution recipe the service caches under, so A/B runs with the
+     cache on and off never coalesce onto one entry. *)
+  Printf.sprintf "fuel=%d,promises=%d,cert=%d,states=%d,strict=%b,ccache=%b"
     c.Promising.loop_fuel c.Promising.max_promises c.Promising.cert_depth
     c.Promising.max_states c.Promising.strict_certification
+    c.Promising.cert_cache
 
 let behaviors (b : Behavior.t) : string =
   Digest.to_hex (Digest.string (Format.asprintf "%a" Behavior.pp b))

@@ -42,12 +42,21 @@ let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
     expect_rm;
     rm_config }
 
-let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por (test : t) : result =
+let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por ?cert_cache (test : t) :
+    result =
   let config =
     match (config, test.rm_config) with
     | Some c, _ -> c
     | None, Some c -> c
     | None, None -> Promising.default_config
+  in
+  (* [cert_cache] overrides whichever config was chosen — the CLI's
+     [--no-cert-cache] A/B valve works uniformly across per-test
+     configs. *)
+  let config =
+    match cert_cache with
+    | Some b -> { config with Promising.cert_cache = b }
+    | None -> config
   in
   let sc, sc_stats =
     Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por test.prog

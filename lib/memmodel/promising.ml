@@ -74,11 +74,18 @@ type config = {
           letter of the Promising semantics) instead of pruning
           unfulfillable paths at the end — same final outcomes, higher
           cost; kept as a cross-check of the lazy default *)
+  cert_cache : bool;
+      (** memoize certification verdicts per equivalence class (shared
+          memory + certifying thread + other threads' outstanding
+          promises) for the duration of one exploration; verdict-
+          preserving, so the behavior set is identical either way —
+          disable for A/B runs ([--no-cert-cache]) *)
 }
 
 let default_config =
   { loop_fuel = 24; max_promises = 2; cert_depth = 64;
-    max_states = 2_000_000; strict_certification = false }
+    max_states = 2_000_000; strict_certification = false;
+    cert_cache = true }
 
 exception Thread_panic
 exception State_budget_exhausted
@@ -469,55 +476,264 @@ let legacy_state_key (st : state) : string =
 (* Certification and promise candidates                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Solo-run transitions of thread [i]: the architectural steps only (a
+   solo run never promises), with panicking paths absorbed — shared
+   between certification and the candidate generator. *)
+let solo_steps st init_val i =
+  try step_thread st init_val i with Thread_panic -> []
+
+(* Store bases syntactically reachable in [code], recursing into branch
+   and loop bodies. [Expr.eval_addr] always yields a location on the
+   address expression's [abase], so this footprint over-approximates the
+   locations any solo run can write: promises are fulfilled by [Store]
+   only, hence a promise on a base outside the footprint can never be
+   fulfilled, and a footprint-free thread has no promise candidates at
+   all. Both prunes are verdict-preserving — they only skip solo
+   searches whose outcome is already forced. *)
+let rec store_bases acc = function
+  | [] -> acc
+  | instr :: rest ->
+      let acc =
+        match instr with
+        | Instr.Store (a, _, _) ->
+            let b = a.Expr.abase in
+            if List.mem b acc then acc else b :: acc
+        | Instr.If (_, br_then, br_else) ->
+            store_bases (store_bases acc br_then) br_else
+        | Instr.While (_, body) -> store_bases acc body
+        | _ -> acc
+      in
+      store_bases acc rest
+
 (** Can thread [i], running solo (no new promises), reach a state with all
     its promises fulfilled, within [depth] steps? *)
 let certifiable cfg st init_val i =
-  let rec go st depth =
-    let t = st.threads.(i) in
-    if t.promises = [] then true
-    else if depth <= 0 || t.code = [] then false
+  let t0 = st.threads.(i) in
+  if t0.promises = [] then true
+  else
+    let bases = store_bases [] t0.code in
+    let fulfillable p =
+      match List.find_opt (fun m -> m.ts = p && m.wtid = i) st.mem with
+      | Some m -> List.mem (Loc.base m.mloc) bases
+      | None -> false
+    in
+    if not (List.for_all fulfillable t0.promises) then false
     else
-      List.exists
-        (function
-          | Next st' -> go st' (depth - 1)
-          | Fuel_out | Stuck -> false)
-        (try step_thread st init_val i with Thread_panic -> [])
-  in
-  go st cfg.cert_depth
+      let rec go st depth =
+        let t = st.threads.(i) in
+        if t.promises = [] then true
+        else if depth <= 0 || t.code = [] then false
+        else
+          List.exists
+            (function
+              | Next st' -> go st' (depth - 1)
+              | Fuel_out | Stuck -> false)
+            (solo_steps st init_val i)
+      in
+      go st cfg.cert_depth
 
 (** Store values thread [i] may produce along some solo run: the candidate
     set for promises. Over-approximate; certification filters. *)
 let solo_write_candidates cfg st init_val i =
-  let found = Hashtbl.create 16 in
-  let seen = Statekey.Table.create ~initial:256 ~dummy:() () in
-  let rec go st depth =
-    if depth <= 0 then ()
-    else
-      let k = thread_key st i in
-      match Statekey.Table.find_or_add seen k () with
-      | `Found () -> ()
-      | `Added -> begin
-          let t = st.threads.(i) in
-        match t.code with
-        | [] -> ()
-        | instr :: _ ->
-            (match instr with
-            | Instr.Store (a, e, _) -> (
-                try
-                  let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
-                  let v, _ = Expr.eval_v (lookup_reg t.regs) e in
-                  Hashtbl.replace found (loc, v) ()
-                with Expr.Eval_panic _ -> ())
-            | _ -> ());
-            List.iter
-              (function
-                | Next st' -> go st' (depth - 1)
-                | Fuel_out | Stuck -> ())
-              (try step_thread st init_val i with Thread_panic -> [])
-      end
+  if store_bases [] st.threads.(i).code = [] then []
+  else begin
+    let found = Hashtbl.create 16 in
+    let seen = Statekey.Table.create ~initial:256 ~dummy:() () in
+    let rec go st depth =
+      if depth <= 0 then ()
+      else
+        let k = thread_key st i in
+        match Statekey.Table.find_or_add seen k () with
+        | `Found () -> ()
+        | `Added -> begin
+            let t = st.threads.(i) in
+          match t.code with
+          | [] -> ()
+          | instr :: _ ->
+              (match instr with
+              | Instr.Store (a, e, _) -> (
+                  try
+                    let loc, _ = Expr.eval_addr (lookup_reg t.regs) a in
+                    let v, _ = Expr.eval_v (lookup_reg t.regs) e in
+                    Hashtbl.replace found (loc, v) ()
+                  with Expr.Eval_panic _ -> ())
+              | _ -> ());
+              List.iter
+                (function
+                  | Next st' -> go st' (depth - 1)
+                  | Fuel_out | Stuck -> ())
+                (solo_steps st init_val i)
+        end
+    in
+    go st cfg.cert_depth;
+    Hashtbl.fold (fun k () acc -> k :: acc) found []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Certification memoization                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All bases thread code can address, recursing into branches and loops:
+   [Expr.eval_addr] always lands on the address expression's static
+   [abase], so a solo run can only ever read or write locations on these
+   bases. *)
+let rec access_bases acc = function
+  | [] -> acc
+  | instr :: rest ->
+      let add (a : Expr.aexp) acc =
+        let b = a.Expr.abase in
+        if List.mem b acc then acc else b :: acc
+      in
+      let acc =
+        match instr with
+        | Instr.Load (_, a, _) | Instr.Store (a, _, _)
+        | Instr.Faa (_, a, _, _) | Instr.Xchg (_, a, _, _)
+        | Instr.Cas (_, a, _, _, _) ->
+            add a acc
+        | Instr.If (_, br_then, br_else) ->
+            access_bases (access_bases acc br_then) br_else
+        | Instr.While (_, body) -> access_bases acc body
+        | _ -> acc
+      in
+      access_bases acc rest
+
+(* The memo key is a {e canonical projection} of the state onto what a
+   solo run of thread [i] can observe. [certifiable]'s verdict is
+   invariant under four quotients, and the key hashes the quotient class
+   rather than the raw state so every member shares one cache slot:
+
+   - {b footprint}: the solo run only evaluates addresses on the static
+     bases of thread [i]'s remaining code, so messages (and coherence
+     entries) on other bases are dropped;
+   - {b timestamp renaming}: the semantics compares timestamps only by
+     order ([<=]/[max]) and fresh timestamps are allocated above every
+     existing one, so each timestamp is replaced by its rank within the
+     set of timestamps the run can compare (footprint messages, views,
+     register views, coherence entries, promises);
+   - {b promise ownership}: {!rmw_step} refuses the coherence-latest
+     message when {e some} thread holds it as a promise, never caring
+     which — other threads collapse to one promised-by-other bit per
+     footprint message;
+   - {b thread identity}: fulfillment only tests [m.wtid = i], hashed as
+     a mine/theirs bit, so structurally equal certification problems on
+     different threads share a slot.
+
+   [next_ts] and [promise_budget] are excluded: a solo run never
+   promises, and fresh timestamps sit above every ranked one in any
+   member of the class. *)
+let cert_key (st : state) i : Statekey.t =
+  let t = st.threads.(i) in
+  let bases = access_bases [] t.code in
+  let msgs =
+    List.filter (fun m -> List.mem (Loc.base m.mloc) bases) st.mem
   in
-  go st cfg.cert_depth;
-  Hashtbl.fold (fun k () acc -> k :: acc) found []
+  let module Ts = Set.Make (Int) in
+  let ts = ref (Ts.singleton 0) in
+  let note v = ts := Ts.add v !ts in
+  List.iter (fun m -> note m.ts) msgs;
+  Loc.Map.iter
+    (fun loc v -> if List.mem (Loc.base loc) bases then note v)
+    t.coh;
+  List.iter note
+    [ t.vrnew; t.vwnew; t.vctrl; t.vrmax; t.vwmax; t.vall; t.vrel ];
+  Reg.Map.iter (fun _ (_, w) -> note w) t.regs;
+  List.iter note t.promises;
+  let ranks = Hashtbl.create 64 in
+  List.iteri (fun idx v -> Hashtbl.replace ranks v idx) (Ts.elements !ts);
+  let rank v = Hashtbl.find ranks v in
+  let h = Statekey.fresh () in
+  Statekey.char h 'C';
+  Statekey.instrs h t.code;
+  Statekey.int h t.fuel;
+  Statekey.int h (Reg.Map.cardinal t.regs);
+  Reg.Map.iter
+    (fun r (v, w) ->
+      Statekey.str h (Reg.name r);
+      Statekey.int h v;
+      Statekey.int h (rank w))
+    t.regs;
+  Loc.Map.iter
+    (fun loc v ->
+      if List.mem (Loc.base loc) bases then begin
+        Statekey.loc h loc;
+        Statekey.int h (rank v)
+      end)
+    t.coh;
+  List.iter
+    (fun v -> Statekey.int h (rank v))
+    [ t.vrnew; t.vwnew; t.vctrl; t.vrmax; t.vwmax; t.vall; t.vrel ];
+  Statekey.char h 'p';
+  List.iter (Statekey.int h)
+    (List.sort compare (List.map rank t.promises));
+  Statekey.char h 'M';
+  let others_promises = ref [] in
+  Array.iteri
+    (fun j th ->
+      if j <> i && th.promises <> [] then
+        others_promises := th.promises @ !others_promises)
+    st.threads;
+  List.iter
+    (fun m ->
+      Statekey.loc h m.mloc;
+      Statekey.int h m.mval;
+      Statekey.int h (rank m.ts);
+      Statekey.int h (if m.wtid = i then 1 else 0);
+      Statekey.int h (if List.mem m.ts !others_promises then 1 else 0))
+    msgs;
+  Statekey.finish h
+
+(* Per-exploration verdict cache. Values: 0 = slot reserved but not yet
+   computed (another domain may recompute — duplicated work, never a
+   wrong answer), 1 = not certifiable, 2 = certifiable. Mutex-guarded:
+   the cache lives in the model context, which parallel exploration
+   shares across domains. Call/hit counters are [Atomic] so the run
+   wrappers can fold them into {!Engine.stats} afterwards. *)
+type cert_cache = {
+  cc_lock : Mutex.t;
+  cc_tbl : int Statekey.Table.t;
+  cc_calls : int Atomic.t;
+  cc_hits : int Atomic.t;
+}
+
+let make_cert_cache () =
+  { cc_lock = Mutex.create ();
+    cc_tbl = Statekey.Table.create ~dummy:0 ();
+    cc_calls = Atomic.make 0;
+    cc_hits = Atomic.make 0 }
+
+(* Memoized entry point. Only full-budget queries land here (every
+   caller asks with the uniform [cfg.cert_depth]), so the verdict is a
+   function of the key alone. Promise-free states short-circuit without
+   touching the cache — they are trivially certified and would only
+   dilute the hit-rate statistic. *)
+let certifiable_cached cache cfg st init_val i =
+  if st.threads.(i).promises = [] then true
+  else
+    match cache with
+    | None -> certifiable cfg st init_val i
+    | Some c -> (
+        Atomic.incr c.cc_calls;
+        let k = cert_key st i in
+        Mutex.lock c.cc_lock;
+        let prior =
+          match Statekey.Table.find_or_add c.cc_tbl k 0 with
+          | `Added -> 0
+          | `Found v -> v
+        in
+        Mutex.unlock c.cc_lock;
+        match prior with
+        | 2 ->
+            Atomic.incr c.cc_hits;
+            true
+        | 1 ->
+            Atomic.incr c.cc_hits;
+            false
+        | _ ->
+            let verdict = certifiable cfg st init_val i in
+            Mutex.lock c.cc_lock;
+            Statekey.Table.update c.cc_tbl k (if verdict then 2 else 1);
+            Mutex.unlock c.cc_lock;
+            verdict)
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive exploration                                              *)
@@ -584,7 +800,14 @@ let observe (prog : Prog.t) (st : state) init_val status : Behavior.outcome =
    pruned. The transition sequence is lazy, so certification work for a
    thread is only done once the previous threads' subtrees are explored. *)
 module Model = struct
-  type ctx = { prog : Prog.t; cfg : config; tids : int array }
+  type ctx = {
+    prog : Prog.t;
+    cfg : config;
+    tids : int array;
+    cache : cert_cache option;
+        (** certification memo, shared across domains (internally
+            mutex-guarded); [None] when [cfg.cert_cache] is off *)
+  }
 
   type nonrec state = state
   type label = step
@@ -597,7 +820,7 @@ module Model = struct
   let ample = None
   let dummy_step = { s_tid = -1; s_what = "" }
 
-  let expand { prog; cfg; tids } ~labels (st : state) :
+  let expand { prog; cfg; tids; cache } ~labels (st : state) :
       (state, label) Engine.expansion =
     let init_val loc = Prog.init_value prog loc in
     let n = Array.length st.threads in
@@ -608,7 +831,7 @@ module Model = struct
       let ok = ref true in
       for i = 0 to n - 1 do
         if st.threads.(i).promises <> []
-           && not (certifiable cfg st init_val i)
+           && not (certifiable_cached cache cfg st init_val i)
         then ok := false
       done;
       !ok
@@ -668,7 +891,7 @@ module Model = struct
                          { st with mem = m :: st.mem; next_ts = ts + 1 }
                          i t'
                      in
-                     if certifiable cfg st' init_val i then
+                     if certifiable_cached cache cfg st' init_val i then
                        let lbl =
                          if labels then
                            { s_tid = tids.(i);
@@ -692,7 +915,18 @@ let make_ctx prog cfg =
   { Model.prog;
     cfg;
     tids =
-      Array.of_list (List.map (fun th -> th.Prog.tid) prog.Prog.threads) }
+      Array.of_list (List.map (fun th -> th.Prog.tid) prog.Prog.threads);
+    cache = (if cfg.cert_cache then Some (make_cert_cache ()) else None) }
+
+(* Fold the context's certification counters into the engine's stats
+   (the engine itself knows nothing about certification). *)
+let with_cert_stats (ctx : Model.ctx) (s : Engine.stats) : Engine.stats =
+  match ctx.Model.cache with
+  | None -> s
+  | Some c ->
+      { s with
+        Engine.cert_calls = Atomic.get c.cc_calls;
+        cert_hits = Atomic.get c.cc_hits }
 
 (** [run_full ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set, the per-outcome witness
@@ -700,13 +934,13 @@ let make_ctx prog cfg =
 let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
     (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
+  let ctx = make_ctx prog config in
   let r =
     E.explore ~max_states:config.max_states ?deadline ?strategy
-      ~witnesses:true ~jobs
-      ~ctx:(make_ctx prog config)
+      ~witnesses:true ~jobs ~ctx
       (initial_state config prog)
   in
-  (r.E.behaviors, r.E.witnesses, r.E.stats)
+  (r.E.behaviors, r.E.witnesses, with_cert_stats ctx r.E.stats)
 
 (** [run_with_witnesses ?config ?jobs prog] explores all Promising Arm
     executions of [prog] and additionally returns, for each distinct
@@ -722,12 +956,12 @@ let run_with_witnesses ?config ?jobs ?deadline (prog : Prog.t) :
     (witness bookkeeping off). *)
 let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
     (prog : Prog.t) : Behavior.t * Engine.stats =
+  let ctx = make_ctx prog config in
   let r =
-    E.explore ~max_states:config.max_states ?deadline ?strategy ~jobs
-      ~ctx:(make_ctx prog config)
+    E.explore ~max_states:config.max_states ?deadline ?strategy ~jobs ~ctx
       (initial_state config prog)
   in
-  (r.E.behaviors, r.E.stats)
+  (r.E.behaviors, with_cert_stats ctx r.E.stats)
 
 (** [run ?config ?jobs prog] explores all Promising Arm executions of
     [prog] (bounded by the configuration) and returns its behavior set. *)

@@ -29,6 +29,13 @@ type config = {
       (** re-certify outstanding promises at every step (the letter of the
           Promising semantics); the lazy default prunes unfulfillable
           paths at the end — outcome-equivalent, cheaper *)
+  cert_cache : bool;
+      (** memoize certification verdicts within one exploration, keyed on
+          everything [certifiable] reads (shared memory, the certifying
+          thread's state, other threads' outstanding promises) —
+          verdict-preserving, so the behavior set is identical either
+          way; on by default, [--no-cert-cache] for A/B runs. Hit/call
+          counts surface as {!Engine.stats} [cert_hits]/[cert_calls]. *)
 }
 
 val default_config : config

@@ -83,12 +83,19 @@ let read_mem mem loc =
 exception Thread_panic
 exception Ownership of violation
 
-(** Is [base] subject to the ownership discipline? *)
-let is_tracked ~shared ~exempt base =
-  List.mem base shared && not (List.mem base exempt)
+module Base_set = Set.Make (String)
 
-let check_access ~shared ~exempt st tid base =
-  if is_tracked ~shared ~exempt base then
+(** The set of bases subject to the ownership discipline, precomputed
+    once per check: every load/store/RMW of every interleaving consults
+    it, so membership must not rescan the shared/exempt lists each
+    time. *)
+let tracked_set ~shared ~exempt =
+  Base_set.diff (Base_set.of_list shared) (Base_set.of_list exempt)
+
+let is_tracked ~tracked base = Base_set.mem base tracked
+
+let check_access ~tracked st tid base =
+  if is_tracked ~tracked base then
     match List.assoc_opt base st.owners with
     | Some o when o = tid -> ()
     | Some _ | None ->
@@ -99,7 +106,7 @@ let check_access ~shared ~exempt st tid base =
                v_kind = `Access_not_owned;
                v_detail = "shared base accessed outside pull/push section" })
 
-let step_thread ~shared ~exempt (st : state) (i : int) :
+let step_thread ~tracked (st : state) (i : int) :
     (state * event option) option =
   let t = st.threads.(i) in
   match t.code with
@@ -119,7 +126,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
         | Instr.Panic -> raise Thread_panic
         | Instr.Pull bases ->
             let tracked =
-              List.filter (fun b -> is_tracked ~shared ~exempt b) bases
+              List.filter (fun b -> is_tracked ~tracked b) bases
             in
             List.iter
               (fun b ->
@@ -139,7 +146,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 Some (Ev_pull (i, bases)) )
         | Instr.Push bases ->
             let tracked =
-              List.filter (fun b -> is_tracked ~shared ~exempt b) bases
+              List.filter (fun b -> is_tracked ~tracked b) bases
             in
             List.iter
               (fun b ->
@@ -167,7 +174,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 None )
         | Instr.Load (r, a, _) ->
             let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-            check_access ~shared ~exempt st i (Loc.base loc);
+            check_access ~tracked st i (Loc.base loc);
             let v = read_mem st.mem loc in
             Some
               ( with_thread
@@ -175,7 +182,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 Some (Ev_read (i, loc, v)) )
         | Instr.Store (a, e, _) ->
             let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-            check_access ~shared ~exempt st i (Loc.base loc);
+            check_access ~tracked st i (Loc.base loc);
             let v, _ = Expr.eval_v (lookup_rv t.regs) e in
             Some
               ( { (with_thread { t with code = rest }) with
@@ -183,7 +190,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 Some (Ev_write (i, loc, v)) )
         | Instr.Faa (r, a, e, _) ->
             let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-            check_access ~shared ~exempt st i (Loc.base loc);
+            check_access ~tracked st i (Loc.base loc);
             let delta, _ = Expr.eval_v (lookup_rv t.regs) e in
             let old = read_mem st.mem loc in
             Some
@@ -194,7 +201,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 Some (Ev_rmw (i, loc, old, old + delta)) )
         | Instr.Xchg (r, a, e, _) ->
             let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-            check_access ~shared ~exempt st i (Loc.base loc);
+            check_access ~tracked st i (Loc.base loc);
             let v, _ = Expr.eval_v (lookup_rv t.regs) e in
             let old = read_mem st.mem loc in
             Some
@@ -205,7 +212,7 @@ let step_thread ~shared ~exempt (st : state) (i : int) :
                 Some (Ev_rmw (i, loc, old, v)) )
         | Instr.Cas (r, a, expected, desired, _) ->
             let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-            check_access ~shared ~exempt st i (Loc.base loc);
+            check_access ~tracked st i (Loc.base loc);
             let exp_v, _ = Expr.eval_v (lookup_rv t.regs) expected in
             let des_v, _ = Expr.eval_v (lookup_rv t.regs) desired in
             let old = read_mem st.mem loc in
@@ -300,7 +307,7 @@ let initial_state ~fuel ~initial_owners (prog : Prog.t) : state =
    program panics are emitted as [Panicked] outcomes and split off into
    [Drf_kernel_panic] afterwards. *)
 module Model = struct
-  type ctx = { prog : Prog.t; shared : string list; exempt : string list }
+  type ctx = { prog : Prog.t; tracked : Base_set.t }
   type nonrec state = state
   type label = unit
 
@@ -312,7 +319,7 @@ module Model = struct
   let independent = None
   let ample = None
 
-  let expand { prog; shared; exempt } ~labels:_ (st : state) :
+  let expand { prog; tracked } ~labels:_ (st : state) :
       (state, label) Engine.expansion =
     let runnable = ref [] in
     Array.iteri
@@ -324,7 +331,7 @@ module Model = struct
         Engine.Steps
           (List.to_seq rs
           |> Seq.map (fun i ->
-                 match step_thread ~shared ~exempt st i with
+                 match step_thread ~tracked st i with
                  | Some (st', _) -> Engine.Step ((), st')
                  | None ->
                      Engine.Emit (observe prog st Behavior.Fuel_exhausted)
@@ -338,10 +345,10 @@ module E = Engine.Make (Model)
     {!check}, also returning exploration statistics. *)
 let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
     ?(jobs = 1) (prog : Prog.t) : check_result * Engine.stats =
-  let shared = Prog.shared_bases prog in
+  let tracked = tracked_set ~shared:(Prog.shared_bases prog) ~exempt in
   match
     E.explore ~jobs
-      ~ctx:{ Model.prog; shared; exempt }
+      ~ctx:{ Model.prog; tracked }
       (initial_state ~fuel ~initial_owners prog)
   with
   | r ->
@@ -368,7 +375,7 @@ let check ?fuel ?exempt ?initial_owners ?jobs (prog : Prog.t) : check_result
     small programs): input to the SC-trace construction of §4.1. *)
 let traces ?(fuel = 16) ?(exempt = []) ?(initial_owners = [])
     ?(max_traces = 512) (prog : Prog.t) : event list list =
-  let shared = Prog.shared_bases prog in
+  let tracked = tracked_set ~shared:(Prog.shared_bases prog) ~exempt in
   (* Trace collection drops panicking, fuel-exhausted and
      ownership-violating paths, so exceptions are absorbed per
      transition rather than propagated. *)
@@ -383,7 +390,7 @@ let traces ?(fuel = 16) ?(exempt = []) ?(initial_owners = [])
         Engine.Steps
           (List.to_seq rs
           |> Seq.filter_map (fun i ->
-                 match step_thread ~shared ~exempt st i with
+                 match step_thread ~tracked st i with
                  | Some (st', ev) -> Some (Engine.Step (ev, st'))
                  | None | (exception Thread_panic) | (exception Ownership _)
                    ->

@@ -12,9 +12,11 @@ let roundtrip fd (req : Protocol.request) : Protocol.response =
   | None -> failwith "client: server closed the connection"
   | Some j -> Protocol.response_of_json j
 
-let submit ~socket ?(jobs = 1) ?deadline_s job =
+let submit ~socket ?(jobs = 1) ?deadline_s ?(cert_cache = true) job =
   with_connection ~socket (fun fd ->
-      match roundtrip fd (Protocol.Submit { job; jobs; deadline_s }) with
+      match
+        roundtrip fd (Protocol.Submit { job; jobs; deadline_s; cert_cache })
+      with
       | Protocol.Result payload -> Ok payload
       | Protocol.Error_r msg -> Error msg
       | Protocol.Status_r _ | Protocol.Bye ->

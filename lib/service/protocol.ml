@@ -8,7 +8,15 @@ type job =
   | Certify of { linux : string; stage2_levels : int }
 
 type request =
-  | Submit of { job : job; jobs : int; deadline_s : float option }
+  | Submit of {
+      job : job;
+      jobs : int;
+      deadline_s : float option;
+      cert_cache : bool;
+          (** certification memoization for this job (default true);
+              part of the scheduler's cache key, so A/B submissions
+              never alias *)
+    }
   | Status
   | Shutdown
 
@@ -42,14 +50,15 @@ let job_of_json j =
   | k -> fail ("unknown job kind " ^ k)
 
 let request_to_json = function
-  | Submit { job; jobs; deadline_s } ->
+  | Submit { job; jobs; deadline_s; cert_cache } ->
       Json.Obj
         [ ("op", Json.String "submit");
           ("job", job_to_json job);
           ("jobs", Json.Int jobs);
           ( "deadline_s",
-            match deadline_s with None -> Json.Null | Some d -> Json.Float d )
-        ]
+            match deadline_s with None -> Json.Null | Some d -> Json.Float d
+          );
+          ("cert_cache", Json.Bool cert_cache) ]
   | Status -> Json.Obj [ ("op", Json.String "status") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
@@ -65,7 +74,13 @@ let request_of_json j =
           deadline_s =
             (match Json.member "deadline_s" j with
             | Json.Null -> None
-            | d -> Some (Json.to_float d)) }
+            | d -> Some (Json.to_float d));
+          cert_cache =
+            (* absent = true: requests from older clients keep the
+               default behavior *)
+            (match Json.member "cert_cache" j with
+            | Json.Null -> true
+            | b -> Json.to_bool b) }
   | "status" -> Status
   | "shutdown" -> Shutdown
   | op -> fail ("unknown request op " ^ op)

@@ -20,9 +20,16 @@ type job =
       (** full wDRF certificate for one KVM version *)
 
 type request =
-  | Submit of { job : job; jobs : int; deadline_s : float option }
+  | Submit of {
+      job : job;
+      jobs : int;
+      deadline_s : float option;
+      cert_cache : bool;
+    }
       (** [jobs] = exploration domains; [deadline_s] = seconds from
-          submission before the job is cancelled *)
+          submission before the job is cancelled; [cert_cache] toggles
+          certification memoization (default true — absent on the wire
+          means true, so older clients are unaffected) *)
   | Status
   | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
 

@@ -48,16 +48,25 @@ let litmus_config (t : Litmus.t) =
 let budgets_of_config config =
   Printf.sprintf "sc_fuel=%d;%s" sc_fuel (Fingerprint.promising_config config)
 
-let cache_key (spec : spec) : string =
+(* The per-job certification-memoization override, folded into the
+   effective config — and hence, via [Fingerprint.promising_config],
+   into the cache key, so runs with the cache on and off never alias. *)
+let with_cert_cache cert_cache (config : Promising.config) =
+  { config with Promising.cert_cache }
+
+let cache_key ?(cert_cache = true) (spec : spec) : string =
   let model, budgets, prog_digest =
     match spec with
     | Litmus_spec t ->
-        ("litmus", budgets_of_config (litmus_config t), Fingerprint.prog t.prog)
+        ( "litmus",
+          budgets_of_config (with_cert_cache cert_cache (litmus_config t)),
+          Fingerprint.prog t.prog )
     | Refine_spec e ->
         (* The analyzer version is part of the budgets: a lint upgrade
            must not serve results decided by the old passes. *)
         ( "refine",
-          budgets_of_config e.rm_config ^ ";lint=" ^ Analysis.Driver.version,
+          budgets_of_config (with_cert_cache cert_cache e.rm_config)
+          ^ ";lint=" ^ Analysis.Driver.version,
           Fingerprint.prog e.prog )
     | Certify_spec v ->
         (* A certificate depends on the whole corpus (good, buggy and
@@ -97,6 +106,7 @@ type ticket = {
   tk_spec : spec;
   tk_jobs : int;
   tk_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  tk_cert_cache : bool;
   mutable tk_result : (outcome * meta) option;
 }
 
@@ -145,7 +155,10 @@ let execute tk :
   let jobs = tk.tk_jobs in
   match tk.tk_spec with
   | Litmus_spec test ->
-      let r = Litmus.run ~sc_fuel ~jobs ?deadline test in
+      let r =
+        Litmus.run ~sc_fuel ~jobs ?deadline ~cert_cache:tk.tk_cert_cache
+          test
+      in
       let stats = Engine.add_stats r.sc_stats r.rm_stats in
       if timed_out_by ~deadline r.sc_stats
          || timed_out_by ~deadline r.rm_stats
@@ -171,9 +184,15 @@ let execute tk :
           None,
           `Cacheable )
       else
+        (* Adaptive inner fan-out: the pool already distributes
+           independent requests across worker domains (corpus-level
+           parallelism), so a small search here stays sequential; only a
+           search that outgrows the visited-states threshold spends the
+           ticket's [jobs] fan-out. *)
         let v =
-          Vrm.Refinement.check ~sc_fuel ~config:e.rm_config ~jobs ?deadline
-            e.prog
+          Vrm.Refinement.check_adaptive ~sc_fuel
+            ~config:(with_cert_cache tk.tk_cert_cache e.rm_config)
+            ~jobs ?deadline e.prog
         in
         let stats = Engine.add_stats v.sc_stats v.rm_stats in
         if timed_out_by ~deadline v.sc_stats
@@ -299,8 +318,8 @@ let create ?workers ?cache () =
     List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?(jobs = 1) ?deadline_s spec =
-  let key = cache_key spec in
+let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) spec =
+  let key = cache_key ~cert_cache spec in
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
   in
@@ -320,6 +339,7 @@ let submit t ?(jobs = 1) ?deadline_s spec =
               tk_spec = spec;
               tk_jobs = max 1 jobs;
               tk_deadline = deadline;
+              tk_cert_cache = cert_cache;
               tk_result = None }
           in
           if t.stopping then
@@ -341,7 +361,8 @@ let await t tk =
       done;
       Option.get tk.tk_result)
 
-let run t ?jobs ?deadline_s spec = await t (submit t ?jobs ?deadline_s spec)
+let run t ?jobs ?deadline_s ?cert_cache spec =
+  await t (submit t ?jobs ?deadline_s ?cert_cache spec)
 
 type counters = {
   submitted : int;

@@ -37,9 +37,11 @@ val lookup_job : Protocol.job -> (spec, string) result
     (litmus: paper examples + litmus suite; refine: kernel corpus
     including buggy and boundary entries; certify: any version). *)
 
-val cache_key : spec -> string
+val cache_key : ?cert_cache:bool -> spec -> string
 (** The content-addressed key (see {!Cache.Store.make_key}); independent
-    of [jobs], deadlines and submission order. *)
+    of [jobs], deadlines and submission order. [cert_cache] (default
+    true) is part of the key — the memoization cannot change a result,
+    but A/B submissions must not coalesce onto one cache entry. *)
 
 type outcome =
   | Done of Json.t  (** a {!Cache.Codec} payload *)
@@ -57,12 +59,19 @@ val create : ?workers:int -> ?cache:Store.t -> unit -> t
 
 val cache : t -> Store.t
 
-val submit : t -> ?jobs:int -> ?deadline_s:float -> spec -> ticket
+val submit :
+  t -> ?jobs:int -> ?deadline_s:float -> ?cert_cache:bool -> spec -> ticket
+(** [cert_cache] (default true) toggles certification memoization for
+    this job's Promising explorations (identical results either way; the
+    flag is part of the cache key). *)
+
 val await : t -> ticket -> outcome * meta
 (** Blocks until the ticket's job completes (callable from any thread or
     domain). *)
 
-val run : t -> ?jobs:int -> ?deadline_s:float -> spec -> outcome * meta
+val run :
+  t -> ?jobs:int -> ?deadline_s:float -> ?cert_cache:bool -> spec ->
+  outcome * meta
 (** [submit] + [await]. *)
 
 type counters = {

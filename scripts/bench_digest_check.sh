@@ -1,0 +1,42 @@
+#!/bin/sh
+# Regenerate BENCH_engine.json via `make bench-smoke` and fail if any
+# refinement-sweep behavior digest differs from the digests committed in
+# the repository. Digests are deterministic functions of the behavior
+# sets; wall-clock numbers are machine noise and are never compared.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+committed=$(mktemp)
+trap 'rm -f "$committed"' EXIT
+git show HEAD:BENCH_engine.json > "$committed"
+
+make bench-smoke
+
+python3 - "$committed" BENCH_engine.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    old = {s["label"]: s["digest"] for s in json.load(f)["refinement_sweep"]}
+with open(sys.argv[2]) as f:
+    new = {s["label"]: s["digest"] for s in json.load(f)["refinement_sweep"]}
+
+bad = False
+for label, digest in new.items():
+    ref = old.get(label)
+    if ref is None:
+        print(f"NEW SWEEP (no committed digest): {label}")
+        continue
+    if digest != ref:
+        bad = True
+        print(f"MISMATCH {label}: fresh {digest}, committed {ref}")
+    else:
+        print(f"ok       {label}: {digest}")
+for label in sorted(set(old) - set(new)):
+    bad = True
+    print(f"MISSING SWEEP: {label}")
+
+if bad:
+    sys.exit("bench digests differ from the committed BENCH_engine.json")
+print("all sweep digests match the committed BENCH_engine.json")
+EOF

@@ -390,6 +390,98 @@ let test_global_budget () =
     true
     (s.Engine.visited < 2 * budget)
 
+(* Certification memoization must be verdict-preserving: for every
+   litmus program and every kernel corpus entry (including the boundary
+   and lint corpora), the Promising behavior set with the cert cache on
+   is bit-identical to the set with it off. *)
+let all_kernel =
+  Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+  @ Sekvm.Kernel_progs.boundary_corpus @ Sekvm.Kernel_progs.lint_corpus
+
+let test_cert_cache_equivalence () =
+  let check_prog name config p =
+    let digest cert_cache =
+      digest_behaviors
+        (Promising.run ~config:{ config with Promising.cert_cache } p)
+    in
+    Alcotest.(check string) (name ^ " cert-cache on = off") (digest false)
+      (digest true)
+  in
+  List.iter
+    (fun (t : Litmus.t) ->
+      let config =
+        Option.value ~default:Promising.default_config t.Litmus.rm_config
+      in
+      check_prog t.Litmus.prog.Prog.name config t.Litmus.prog)
+    litmus;
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      check_prog e.Sekvm.Kernel_progs.name e.Sekvm.Kernel_progs.rm_config
+        e.Sekvm.Kernel_progs.prog)
+    all_kernel
+
+(* The cache must actually field queries on the kernel corpus (lock
+   promises revisit equivalent certification problems), and report
+   nothing when disabled. *)
+let test_cert_cache_hits () =
+  let calls, hits =
+    List.fold_left
+      (fun (c, h) (e : Sekvm.Kernel_progs.entry) ->
+        let _, (s : Engine.stats) =
+          Promising.run_stats ~config:e.Sekvm.Kernel_progs.rm_config
+            e.Sekvm.Kernel_progs.prog
+        in
+        (c + s.Engine.cert_calls, h + s.Engine.cert_hits))
+      (0, 0) kernel
+  in
+  Alcotest.(check bool) "cert_calls > 0 over the corpus" true (calls > 0);
+  Alcotest.(check bool) "cert_hits > 0 over the corpus" true (hits > 0);
+  Alcotest.(check bool) "hits <= calls" true (hits <= calls);
+  let e = List.hd kernel in
+  let _, (off : Engine.stats) =
+    Promising.run_stats
+      ~config:
+        { e.Sekvm.Kernel_progs.rm_config with Promising.cert_cache = false }
+      e.Sekvm.Kernel_progs.prog
+  in
+  Alcotest.(check int) "cache off reports zero calls" 0 off.Engine.cert_calls;
+  (* the Litmus harness override reaches the model *)
+  let r = Litmus.run ~cert_cache:false Paper_examples.example1 in
+  Alcotest.(check int) "litmus --no-cert-cache reports zero calls" 0
+    r.Litmus.rm_stats.Engine.cert_calls
+
+(* Corpus-level scheduling must return, in input order, exactly the
+   verdict a direct per-entry check computes. *)
+let test_check_many_parity () =
+  let entries =
+    List.map
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        ( e.Sekvm.Kernel_progs.name,
+          e.Sekvm.Kernel_progs.prog,
+          e.Sekvm.Kernel_progs.rm_config ))
+      kernel
+  in
+  let direct =
+    List.map
+      (fun (name, p, config) -> (name, Vrm.Refinement.check ~config p))
+      entries
+  in
+  let many = Vrm.Refinement.check_many ~jobs:4 entries in
+  Alcotest.(check int) "result count" (List.length direct) (List.length many);
+  List.iter2
+    (fun (n1, (v1 : Vrm.Refinement.verdict))
+         (n2, (v2 : Vrm.Refinement.verdict)) ->
+      Alcotest.(check string) "order preserved" n1 n2;
+      Alcotest.(check bool) (n1 ^ " holds equal") v1.Vrm.Refinement.holds
+        v2.Vrm.Refinement.holds;
+      Alcotest.(check string) (n1 ^ " sc digest")
+        (digest_behaviors v1.Vrm.Refinement.sc)
+        (digest_behaviors v2.Vrm.Refinement.sc);
+      Alcotest.(check string) (n1 ^ " rm digest")
+        (digest_behaviors v1.Vrm.Refinement.rm)
+        (digest_behaviors v2.Vrm.Refinement.rm))
+    direct many
+
 let () =
   Alcotest.run "engine"
     [ ( "parity",
@@ -411,6 +503,13 @@ let () =
             test_por_equivalence;
           Alcotest.test_case "por strictly reduces visited states" `Quick
             test_por_reduces ] );
+      ( "cert-cache",
+        [ Alcotest.test_case "on/off digests equal everywhere" `Slow
+            test_cert_cache_equivalence;
+          Alcotest.test_case "cache fields queries on the kernel corpus"
+            `Quick test_cert_cache_hits;
+          Alcotest.test_case "check_many = per-entry check" `Slow
+            test_check_many_parity ] );
       ( "stats",
         [ Alcotest.test_case "exploration statistics sane" `Quick
             test_stats_sanity ] ) ]
