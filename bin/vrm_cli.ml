@@ -41,7 +41,7 @@ let litmus_cmd =
       value & flag
       & info [ "no-por" ]
           ~doc:
-            "disable partial-order reduction on the SC side (exact \
+            "disable partial-order reduction on both sides (exact \
              search; identical behavior sets, more states visited)")
   in
   let no_cert_cache =
@@ -523,7 +523,16 @@ let submit_cmd =
             "ask the daemon to run with certification memoization \
              disabled (part of its result-cache key)")
   in
-  let run socket kind name jobs deadline linux levels verify no_cert_cache =
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "ask the daemon to explore without partial-order reduction \
+             (identical behavior sets; part of its result-cache key)")
+  in
+  let run socket kind name jobs deadline linux levels verify no_cert_cache
+      no_por =
     let jobs_to_run =
       match (kind, name) with
       | `Litmus, Some n -> [ Service.Protocol.Litmus n ]
@@ -556,7 +565,7 @@ let submit_cmd =
         match
           with_daemon socket (fun () ->
               Service.Client.submit ~socket ~jobs ?deadline_s:deadline
-                ~cert_cache:(not no_cert_cache) job)
+                ~cert_cache:(not no_cert_cache) ~por:(not no_por) job)
         with
         | Error msg ->
             failed := true;
@@ -590,7 +599,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"submit verification jobs to a running vrmd")
     Term.(
       const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
-      $ levels $ verify $ no_cert_cache)
+      $ levels $ verify $ no_cert_cache $ no_por)
 
 let lint_cmd =
   let name_arg =

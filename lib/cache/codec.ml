@@ -81,7 +81,8 @@ let stats_to_json (s : Engine.stats) : Json.t =
       ("max_depth", Json.Int s.Engine.max_depth);
       ("outcomes", Json.Int s.Engine.outcomes);
       ("por_pruned", Json.Int s.Engine.por_pruned);
-      ("steals", Json.Int s.Engine.steals);
+      ("tasks_spawned", Json.Int s.Engine.tasks_spawned);
+      ("tasks_stolen", Json.Int s.Engine.tasks_stolen);
       ("shared_hits", Json.Int s.Engine.shared_hits);
       ("cert_calls", Json.Int s.Engine.cert_calls);
       ("cert_hits", Json.Int s.Engine.cert_hits);
@@ -96,11 +97,12 @@ let stats_of_json (j : Json.t) : Engine.stats =
     max_depth = Json.to_int (Json.member "max_depth" j);
     outcomes = Json.to_int (Json.member "outcomes" j);
     por_pruned = Json.to_int (Json.member "por_pruned" j);
-    steals = Json.to_int (Json.member "steals" j);
-    shared_hits = Json.to_int (Json.member "shared_hits" j);
-    (* vrm-engine/4 fields: the engine-version bump invalidated every
+    (* vrm-engine/5 fields: the engine-version bump invalidated every
        older cache entry, so the strict decoder never sees stats JSON
        without them. *)
+    tasks_spawned = Json.to_int (Json.member "tasks_spawned" j);
+    tasks_stolen = Json.to_int (Json.member "tasks_stolen" j);
+    shared_hits = Json.to_int (Json.member "shared_hits" j);
     cert_calls = Json.to_int (Json.member "cert_calls" j);
     cert_hits = Json.to_int (Json.member "cert_hits" j);
     wall_s = Json.to_float (Json.member "wall_s" j);

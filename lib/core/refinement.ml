@@ -32,12 +32,12 @@ let normals (b : Behavior.t) : Behavior.t =
     b
 
 let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
-    ?deadline ?por ?strategy (prog : Prog.t) : verdict =
+    ?deadline ?por (prog : Prog.t) : verdict =
   let sc, sc_stats =
-    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por ?strategy prog
+    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por prog
   in
   let rm, witnesses, rm_stats =
-    Promising.run_full ~config ?jobs ?deadline ?strategy prog
+    Promising.run_full ~config ?jobs ?deadline ?por prog
   in
   let rm_only = Behavior.diff (normals rm) (normals sc) in
   let sc_panics = Behavior.any_panic sc in
@@ -59,143 +59,142 @@ let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
 (* ------------------------------------------------------------------ *)
 (* Parallelizing *within* one small search is a losing trade: the
    shared-seen-set handshakes cost more than the explored subtrees they
-   distribute. The outer layer below instead distributes independent
-   refinement obligations (corpus entries) across domains, keeps each
-   inner search sequential while it stays under a visited-states
-   threshold, and lets a genuinely large search borrow whatever part of
-   the global [?jobs] budget is currently idle. *)
+   distribute. The scheduler below therefore mixes the two levels: a
+   {e probe} phase drains the corpus across domains with every inner
+   search sequential (small entries — the vast majority — finish here),
+   then the entries whose probe valve fired are re-run {e one at a time}
+   with the whole [jobs] budget fanned out inside the engine as subtree
+   tasks. A dominating entry gets every domain instead of the leftovers
+   of a static outer/inner split. *)
 
-(* Counting semaphore over the shared jobs budget: workers borrow extra
-   domains for a big inner search and return them when it finishes.
-   Never blocks — a borrower takes what is free right now (possibly
-   nothing) rather than waiting on tokens another search is using. *)
-module Budget = struct
-  type t = { lock : Mutex.t; mutable free : int }
-
-  let create n = { lock = Mutex.create (); free = max 0 n }
-
-  let take t want =
-    Mutex.lock t.lock;
-    let got = min (max 0 want) t.free in
-    t.free <- t.free - got;
-    Mutex.unlock t.lock;
-    got
-
-  let give t n =
-    Mutex.lock t.lock;
-    t.free <- t.free + n;
-    Mutex.unlock t.lock
-end
+(* Cursor fleet shared with {!Theorem4}: compute [f i] for every
+   [i < n] on up to [outer] domains, work-sharing through one atomic
+   cursor. Results come back in index order; the first worker exception
+   wins, stops the fleet, and is re-raised after every domain joins. *)
+let map_corpus ~outer n (f : int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let outer = max 1 (min outer n) in
+    if outer <= 1 then begin
+      let results = Array.make n None in
+      for i = 0 to n - 1 do
+        results.(i) <- Some (f i)
+      done;
+      Array.map Option.get results
+    end
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          if Atomic.get failure = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f i with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  ignore (Atomic.compare_and_set failure None (Some e)));
+              loop ()
+            end
+          end
+        in
+        loop ()
+      in
+      let domains =
+        Array.init (outer - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join domains;
+      match Atomic.get failure with
+      | Some e -> raise e
+      | None -> Array.map Option.get results
+    end
+  end
 
 let default_inner_threshold = 20_000
 
-(* Probe-then-commit: run the check sequentially with the Promising
-   state valve lowered to [inner_threshold]. If the probe finishes
-   inside the valve, the state space was small and the sequential run
-   *is* the answer — no parallel overhead, nothing wasted. If the valve
-   fires, the probe's bounded work is the (amortized-small) price of
-   learning the search is big; re-run with the real valve and an inner
-   fan-out of [1 + acquire ()] domains. A verdict cut short by the
-   deadline is returned as-is — re-running an expired job buys
-   nothing. *)
-let adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
-    ~inner_threshold ~acquire ~release prog : verdict =
+let expired deadline =
+  match deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+(* Probe: run the check sequentially with the Promising state valve
+   lowered to [inner_threshold]. [Some v] — the probe finished inside
+   the valve (or the deadline already expired, where a re-run buys
+   nothing): the sequential run {e is} the answer, no parallel overhead,
+   nothing wasted. [None] — the valve fired; the bounded probe work was
+   the (amortized-small) price of learning the search is big, and the
+   caller re-runs with the real valve and a full fan-out. *)
+let probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog :
+    verdict option =
   let probe_cfg =
     { config with
       Promising.max_states =
         min inner_threshold config.Promising.max_states }
   in
-  let v = check ~sc_fuel ~config:probe_cfg ~jobs:1 ?deadline ?por ?strategy
-      prog
-  in
-  let expired () =
-    match deadline with
-    | Some d -> Unix.gettimeofday () > d
-    | None -> false
-  in
+  let v = check ~sc_fuel ~config:probe_cfg ~jobs:1 ?deadline ?por prog in
   if
     config.Promising.max_states <= inner_threshold
     || (not v.rm_stats.Engine.budget_hit)
-    || expired ()
-  then v
-  else begin
-    let extra = acquire () in
-    Fun.protect
-      ~finally:(fun () -> release extra)
-      (fun () ->
-        check ~sc_fuel ~config ~jobs:(1 + extra) ?deadline ?por ?strategy
-          prog)
-  end
+    || expired deadline
+  then Some v
+  else None
 
 let check_adaptive ?(sc_fuel = 8) ?(config = Promising.default_config)
-    ?(jobs = 1) ?deadline ?por ?strategy
+    ?(jobs = 1) ?deadline ?por
     ?(inner_threshold = default_inner_threshold) (prog : Prog.t) : verdict =
-  (* the probe exists to avoid parallel-search overhead on small state
-     spaces; with a single hardware thread there is no fan-out to gain,
-     so the probe would be pure waste (same clamp the engine applies) *)
-  let effective = min jobs (Domain.recommended_domain_count ()) in
-  if effective <= 1 then
-    check ~sc_fuel ~config ~jobs:1 ?deadline ?por ?strategy prog
+  (* never spawn more domains than the hardware can run: extra domains
+     on one core only multiplex and thrash the GC. With a single
+     hardware thread there is no fan-out to gain, so the probe would be
+     pure waste: go straight to the sequential check. *)
+  let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  if jobs <= 1 then check ~sc_fuel ~config ~jobs:1 ?deadline ?por prog
   else
-    adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
-      ~inner_threshold
-      ~acquire:(fun () -> jobs - 1)
-      ~release:(fun _ -> ())
-      prog
+    match probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog with
+    | Some v -> v
+    | None -> check ~sc_fuel ~config ~jobs ?deadline ?por prog
 
-let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por ?strategy
+let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por
     ?(inner_threshold = default_inner_threshold)
     (entries : (string * Prog.t * Promising.config) list) :
     (string * verdict) list =
   let arr = Array.of_list entries in
   let n = Array.length arr in
-  (* never spawn more workers than the hardware can run: extra domains
-     on one core only multiplex and thrash the GC (the engine applies
-     the same clamp to its inner fan-out) *)
-  let outer =
-    max 1 (min (min jobs (Domain.recommended_domain_count ())) n)
-  in
   if n = 0 then []
-  else if outer <= 1 then
-    (* one domain available (or one entry): the whole budget goes to the
-       inner search, as before the outer layer existed *)
-    List.map
-      (fun (name, prog, config) ->
-        ( name,
-          check_adaptive ~sc_fuel ~config ~jobs ?deadline ?por ?strategy
-            ~inner_threshold prog ))
-      entries
   else begin
-    (* [outer] workers each hold one implicit token; the remainder of
-       the global budget sits in the semaphore for big entries *)
-    let budget = Budget.create (jobs - outer) in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
+    let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+    let outer = min jobs n in
+    (* a tiny corpus cannot amortize the full probe valve: a wasted
+       probe there re-runs most of the corpus, so the valve scales down
+       with the entry count *)
+    let inner_threshold =
+      if n < 2 * outer then max 1_000 (inner_threshold * n / (2 * outer))
+      else inner_threshold
+    in
+    (* Phase 1 — probe the whole corpus, [outer] sequential searches at
+       a time; small entries complete here *)
+    let probed =
+      map_corpus ~outer n (fun i ->
           let name, prog, config = arr.(i) in
-          let v =
-            adaptive_check ~sc_fuel ~config ?deadline ?por ?strategy
-              ~inner_threshold
-              ~acquire:(fun () -> Budget.take budget (jobs - 1))
-              ~release:(fun got -> Budget.give budget got)
-              prog
-          in
-          results.(i) <- Some (name, v);
-          loop ()
-        end
-      in
-      loop ()
+          if jobs <= 1 then
+            Some (name, check ~sc_fuel ~config ~jobs:1 ?deadline ?por prog)
+          else
+            probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog
+            |> Option.map (fun v -> (name, v)))
     in
-    let domains =
-      Array.init (outer - 1) (fun _ -> Domain.spawn worker)
-    in
-    let main_exn = try worker (); None with e -> Some e in
-    Array.iter Domain.join domains;
-    (match main_exn with Some e -> raise e | None -> ());
-    Array.to_list results |> List.filter_map Fun.id
+    (* Phase 2 — entries whose probe valve fired re-run one at a time,
+       each with the whole [jobs] budget fanned out inside the engine
+       (intra-entry subtree tasks saturate every domain) *)
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some nv -> nv
+           | None ->
+               let name, prog, config = arr.(i) in
+               (name, check ~sc_fuel ~config ~jobs ?deadline ?por prog))
+         probed)
   end
 
 (** The schedule that produced [outcome] (for RM-only behaviors: the

@@ -22,24 +22,34 @@ val normals : Behavior.t -> Behavior.t
 
 val check :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> ?por:bool -> ?strategy:Engine.strategy -> Prog.t ->
+  ?deadline:float -> ?por:bool -> Prog.t ->
   verdict
 (** [jobs] fans both explorations across that many domains via the shared
     {!Engine} (identical behavior sets). [deadline] (absolute time)
     cancels both explorations when it passes; a cut-short verdict carries
     [stats.budget_hit] in its statistics. [por] (default on) applies
-    partial-order reduction to the SC side (Promising runs exact);
-    [strategy] selects the parallel search algorithm. Behavior sets are
-    identical in every configuration. *)
+    partial-order reduction on both sides over {!Porlabel} footprints
+    (Promising's oracle is certification-aware; it is forced off under
+    [strict_certification]). Behavior sets are identical in every
+    configuration. *)
+
+val map_corpus : outer:int -> int -> (int -> 'a) -> 'a array
+(** [map_corpus ~outer n f] computes [f i] for every [i < n] on up to
+    [outer] domains, work-sharing through one atomic cursor; results
+    come back in index order. The first worker exception wins, stops the
+    fleet, and is re-raised after every domain joins. This is the corpus
+    half of the scheduler, shared with {!Theorem4}; with [outer <= 1]
+    it is a plain in-order loop (no domains spawned). *)
 
 val default_inner_threshold : int
 (** Visited-states threshold below which an inner search stays
-    sequential (currently 20k states): parallel search on a state space
-    this small loses more to shared-seen-set handshakes than it gains. *)
+    sequential (currently 20k states; {!check_many} scales it down for
+    tiny corpora): parallel search on a state space this small loses
+    more to shared-seen-set handshakes than it gains. *)
 
 val check_adaptive :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> ?por:bool -> ?strategy:Engine.strategy ->
+  ?deadline:float -> ?por:bool ->
   ?inner_threshold:int -> Prog.t ->
   verdict
 (** Like {!check}, but adaptive about spending the [jobs] budget: the
@@ -54,19 +64,19 @@ val check_adaptive :
 
 val check_many :
   ?sc_fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
-  ?strategy:Engine.strategy -> ?inner_threshold:int ->
+  ?inner_threshold:int ->
   (string * Prog.t * Promising.config) list ->
   (string * verdict) list
-(** Corpus-level parallel scheduling: distribute independent refinement
-    obligations across up to [jobs] domains (clamped to the hardware's
-    [Domain.recommended_domain_count]; one worker per entry at a time,
-    work-sharing through an atomic cursor), keeping each inner
-    search sequential below [inner_threshold] visited states. The
-    [jobs] budget is shared globally: [outer] workers hold one domain
-    each and a big entry (probe valve fired) borrows whatever is left —
-    so the process never runs more than [jobs] domains' worth of search.
-    Results are returned in input order, and every verdict equals what
-    {!check} computes for that entry alone. *)
+(** The corpus scheduler: a {e probe} phase drains all entries across up
+    to [jobs] domains (clamped to the hardware's
+    [Domain.recommended_domain_count]) with every inner search
+    sequential under the [inner_threshold] state valve (scaled down for
+    corpora smaller than twice the fleet); then every entry whose valve
+    fired is re-run {e one at a time} with the whole [jobs] budget
+    fanned out inside the engine as intra-entry subtree tasks — a
+    dominating entry saturates every domain instead of borrowing
+    leftovers. Results are returned in input order, and every verdict
+    equals what {!check} computes for that entry alone. *)
 
 val witness_for : verdict -> Behavior.outcome -> Promising.step list option
 (** The schedule that produced an outcome — for RM-only behaviors, the

@@ -119,15 +119,17 @@ type verdict = {
 (** Check Theorem 4 for [prog] with the given kernel/user split. *)
 let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
     ?jobs ?por (split : split) (prog : Prog.t) : verdict =
-  let rm, rm_stats = Promising.run_stats ~config ?jobs prog in
+  let rm, rm_stats = Promising.run_stats ~config ?jobs ?por prog in
   let rm_kernel = project split prog rm in
   let q's = synthesize_q' ?value_domain split prog in
   (* The Q' obligations are independent and individually tiny, so the
-     [jobs] budget is spent at the corpus level: one domain per oracle
-     program (work-sharing through an atomic cursor), each explored
-     sequentially — not [jobs] domains fighting over one small state
-     space. Projection and union are order-insensitive, so the combined
-     behavior set is identical to the sequential fold's. *)
+     [jobs] budget is spent at the corpus level through the shared
+     cursor fleet ({!Refinement.map_corpus}): one domain per oracle
+     program, each explored sequentially — not [jobs] domains fighting
+     over one small state space. (A single Q' gets the whole budget
+     inside the engine instead.) Projection and union are
+     order-insensitive, so the combined behavior set is identical to the
+     sequential fold's. *)
   let sc_kernel, sc_stats =
     let jobs = match jobs with Some j -> max 1 j | None -> 1 in
     let arr = Array.of_list q's in
@@ -135,38 +137,15 @@ let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
     let outer =
       max 1 (min (min jobs (Domain.recommended_domain_count ())) n)
     in
-    if outer <= 1 then
-      List.fold_left
-        (fun (acc, stats) q' ->
-          let b, s = Sc.run_stats ~fuel:sc_fuel ~jobs ?por q' in
-          (Behavior.union acc (project split q' b), Engine.add_stats stats s))
-        (Behavior.empty, Engine.zero_stats)
-        q's
-    else begin
-      let next = Atomic.make 0 in
-      let worker () =
-        let rec loop acc stats =
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then (acc, stats)
-          else
-            let q' = arr.(i) in
-            let b, s = Sc.run_stats ~fuel:sc_fuel ~jobs:1 ?por q' in
-            loop
-              (Behavior.union acc (project split q' b))
-              (Engine.add_stats stats s)
-        in
-        loop Behavior.empty Engine.zero_stats
-      in
-      let domains =
-        Array.init (outer - 1) (fun _ -> Domain.spawn worker)
-      in
-      let acc0 = worker () in
-      Array.fold_left
-        (fun (acc, stats) d ->
-          let b, s = Domain.join d in
-          (Behavior.union acc b, Engine.add_stats stats s))
-        acc0 domains
-    end
+    let inner = if n = 1 then jobs else 1 in
+    Refinement.map_corpus ~outer n (fun i ->
+        let q' = arr.(i) in
+        let b, s = Sc.run_stats ~fuel:sc_fuel ~jobs:inner ?por q' in
+        (project split q' b, s))
+    |> Array.fold_left
+         (fun (acc, stats) (b, s) ->
+           (Behavior.union acc b, Engine.add_stats stats s))
+         (Behavior.empty, Engine.zero_stats)
   in
   (* compare completed behaviors and panics; fuel-exhausted paths are
      exploration artifacts *)

@@ -3,12 +3,14 @@
     parallel-search determinism argument. *)
 
 (* Bump on any change to exploration semantics: the verification cache
-   keys every stored result on this string. vrm-engine/4: memoized
-   promise certification with cert_calls/cert_hits stats (the stats
-   payload stored in cache entries changed shape). vrm-engine/3: hashed
+   keys every stored result on this string. vrm-engine/5: footprint
+   labels on all four models, task-based frontier scheduler with
+   tasks_spawned/tasks_stolen stats (the stats payload stored in cache
+   entries changed shape again). vrm-engine/4: memoized promise
+   certification with cert_calls/cert_hits stats. vrm-engine/3: hashed
    state interning, shared work-stealing parallel search, sleep-set
    POR. *)
-let version = "vrm-engine/4"
+let version = "vrm-engine/5"
 
 type stats = {
   visited : int;
@@ -17,7 +19,8 @@ type stats = {
   max_depth : int;
   outcomes : int;
   por_pruned : int;
-  steals : int;
+  tasks_spawned : int;
+  tasks_stolen : int;
   shared_hits : int;
   cert_calls : int;
   cert_hits : int;
@@ -33,7 +36,8 @@ let zero_stats =
     max_depth = 0;
     outcomes = 0;
     por_pruned = 0;
-    steals = 0;
+    tasks_spawned = 0;
+    tasks_stolen = 0;
     shared_hits = 0;
     cert_calls = 0;
     cert_hits = 0;
@@ -48,7 +52,8 @@ let add_stats a b =
     max_depth = max a.max_depth b.max_depth;
     outcomes = a.outcomes + b.outcomes;
     por_pruned = a.por_pruned + b.por_pruned;
-    steals = a.steals + b.steals;
+    tasks_spawned = a.tasks_spawned + b.tasks_spawned;
+    tasks_stolen = a.tasks_stolen + b.tasks_stolen;
     shared_hits = a.shared_hits + b.shared_hits;
     cert_calls = a.cert_calls + b.cert_calls;
     cert_hits = a.cert_hits + b.cert_hits;
@@ -59,11 +64,14 @@ let add_stats a b =
 let pp_stats fmt s =
   Format.fprintf fmt
     "states=%d dedup=%d transitions=%d depth=%d outcomes=%d wall=%.2fms \
-     jobs=%d%s%s%s%s%s"
+     jobs=%d%s%s%s%s%s%s"
     s.visited s.dedup_hits s.transitions s.max_depth s.outcomes
     (s.wall_s *. 1000.) s.jobs
     (if s.por_pruned > 0 then Printf.sprintf " por=%d" s.por_pruned else "")
-    (if s.steals > 0 then Printf.sprintf " steals=%d" s.steals else "")
+    (if s.tasks_spawned > 0 then Printf.sprintf " tasks=%d" s.tasks_spawned
+     else "")
+    (if s.tasks_stolen > 0 then Printf.sprintf " stolen=%d" s.tasks_stolen
+     else "")
     (if s.shared_hits > 0 then Printf.sprintf " shared=%d" s.shared_hits
      else "")
     (if s.cert_calls > 0 then
@@ -78,8 +86,6 @@ type ('state, 'label) step =
 type ('state, 'label) expansion =
   | Terminal of Behavior.outcome option
   | Steps of ('state, 'label) step Seq.t
-
-type strategy = Work_stealing | Bucketed
 
 module type MODEL = sig
   type ctx
@@ -108,7 +114,8 @@ module Make (M : MODEL) = struct
     mutable trans : int;
     mutable maxd : int;
     mutable pruned : int;
-    mutable steals : int;
+    mutable spawned : int;
+    mutable stolen : int;
     mutable shared : int;
     mutable budget_hit : bool;
   }
@@ -121,7 +128,8 @@ module Make (M : MODEL) = struct
       trans = 0;
       maxd = 0;
       pruned = 0;
-      steals = 0;
+      spawned = 0;
+      stolen = 0;
       shared = 0;
       budget_hit = false }
 
@@ -307,7 +315,8 @@ module Make (M : MODEL) = struct
             transitions = s.transitions + a.trans;
             max_depth = max s.max_depth a.maxd;
             por_pruned = s.por_pruned + a.pruned;
-            steals = s.steals + a.steals;
+            tasks_spawned = s.tasks_spawned + a.spawned;
+            tasks_stolen = s.tasks_stolen + a.stolen;
             shared_hits = s.shared_hits + a.shared;
             budget_hit = s.budget_hit || a.budget_hit })
         zero_stats accs
@@ -320,7 +329,15 @@ module Make (M : MODEL) = struct
           wall_s = Unix.gettimeofday () -. t0;
           jobs } }
 
-  (* ---- shared work-stealing parallel search --------------------- *)
+  (* ---- task-based frontier scheduler ---------------------------- *)
+  (* A frame is one state awaiting expansion, with the (reversed) label
+     path and depth that led to it and the sleep set it must be explored
+     under. A {e task} is a frame published to the shared deque pool: it
+     roots a subtree that any domain may claim. Frames whose depth is
+     not a multiple of the task cut stay on the owning worker's private
+     stack and never touch a lock (beyond the seen-set shard), so the
+     per-frame synchronization cost of the old work-stealing search is
+     paid once per [task_cut] levels instead of once per state. *)
 
   type frame = {
     f_st : M.state;
@@ -384,10 +401,12 @@ module Make (M : MODEL) = struct
   end
 
   let nshards = 64
+  let default_task_cut = 8
 
-  let explore_ws ~max_states ~deadline ~witnesses ~jobs ~oracle ~ample ~ctx
-      init t0 =
+  let explore_tasks ~max_states ~deadline ~witnesses ~jobs ~task_cut ~oracle
+      ~ample ~ctx init t0 =
     let labels = witnesses || Option.is_some oracle in
+    let cut = max 1 task_cut in
     (* Striped shared seen-set: shard selected by high key bits (the
        tables themselves probe on low bits). *)
     let shards =
@@ -398,15 +417,22 @@ module Make (M : MODEL) = struct
     let stop = Atomic.make false in
     let budget_flag = Atomic.make false in
     let failure : exn option Atomic.t = Atomic.make None in
-    (* Count of frames alive (pushed, not yet fully processed): children
-       are pushed before their parent's count is released, so [pending]
-       can only reach 0 when the whole reachable space is done. *)
+    (* Count of shared tasks alive (published, not yet fully processed —
+       a task is done only when the local stack it seeds has drained).
+       Child tasks are published before their parent task's count is
+       released, so [pending] can only reach 0 when the whole reachable
+       space is done. Local frames are invisible to [pending]: they
+       cannot outlive the task that owns them. *)
     let pending = Atomic.make 1 in
     let deques = Array.init jobs (fun _ -> Dq.create ()) in
     Dq.push deques.(0) { f_st = init; f_path = []; f_depth = 0; f_sleep = [] };
     let worker me =
       let acc = new_acc () in
       let dq = deques.(me) in
+      (* Private frame stack: the task being processed plus every
+         descendant below the next depth cut. LIFO keeps it depth-first
+         and small. *)
+      let local : frame list ref = ref [] in
       let process fr =
         if not (Atomic.get stop) then begin
           let key = M.key fr.f_st in
@@ -463,17 +489,39 @@ module Make (M : MODEL) = struct
                 expand_state ~ctx ~witnesses ~labels ~oracle ~ample acc
                   fr.f_st fr.f_path fr.f_depth sleep
                   ~child:(fun st' path' depth' sleep' ->
-                    Atomic.incr pending;
-                    Dq.push dq
+                    let fr' =
                       { f_st = st';
                         f_path = path';
                         f_depth = depth';
-                        f_sleep = sleep' })
+                        f_sleep = sleep' }
+                    in
+                    if depth' mod cut = 0 then begin
+                      (* Subtree crosses a depth cut: publish it so idle
+                         domains can claim it. *)
+                      acc.spawned <- acc.spawned + 1;
+                      Atomic.incr pending;
+                      Dq.push dq fr'
+                    end
+                    else local := fr' :: !local)
         end
       in
-      let run fr =
-        (try process fr
+      (* Drain one task: seed the private stack and run it dry. On
+         [stop] (budget, deadline, failure elsewhere) the remaining
+         local frames are dropped — the search is being abandoned. *)
+      let run_task fr =
+        (try
+           local := [ fr ];
+           let continue = ref true in
+           while !continue do
+             match !local with
+             | [] -> continue := false
+             | f :: rest ->
+                 local := rest;
+                 if Atomic.get stop then (local := []; continue := false)
+                 else process f
+           done
          with e ->
+           local := [];
            ignore (Atomic.compare_and_set failure None (Some e));
            Atomic.set stop true);
         Atomic.decr pending
@@ -483,7 +531,7 @@ module Make (M : MODEL) = struct
         else
           match Dq.pop dq with
           | Some fr ->
-              run fr;
+              run_task fr;
               loop ()
           | None -> steal_loop 0
       and steal_loop misses =
@@ -499,14 +547,14 @@ module Make (M : MODEL) = struct
           done;
           match !got with
           | Some fr ->
-              acc.steals <- acc.steals + 1;
-              run fr;
+              acc.stolen <- acc.stolen + 1;
+              run_task fr;
               loop ()
           | None ->
               (* Back off: spin briefly (cheap when every domain has its
                  own core), then yield the processor — when domains
                  outnumber cores, spinning would burn the timeslice the
-                 frame-holding worker needs to make progress. *)
+                 task-holding worker needs to make progress. *)
               if misses < 32 then Domain.cpu_relax ()
               else Unix.sleepf 0.0002;
               steal_loop (misses + 1)
@@ -525,87 +573,8 @@ module Make (M : MODEL) = struct
       { res with stats = { res.stats with budget_hit = true } }
     else res
 
-  (* ---- legacy bucketed parallel search -------------------------- *)
-  (* Pre-work-stealing algorithm, kept as a measured baseline for the
-     bench's before/after comparison: BFS prefix, round-robin buckets,
-     private seen-sets, per-domain budgets. Exact search only (the POR
-     oracle is ignored). *)
-
-  let explore_bucketed ~max_states ~deadline ~witnesses ~jobs ~ctx init t0 =
-    let target = jobs * 4 in
-    let acc0 = new_acc () in
-    let seen : seen_v Statekey.Table.t =
-      Statekey.Table.create ~dummy:dummy_seen ()
-    in
-    let q = Queue.create () in
-    Queue.add (init, [], 0) q;
-    let budget_left () =
-      (match max_states with Some b -> acc0.visited <= b | None -> true)
-      && match deadline with
-         | Some d -> Unix.gettimeofday () <= d
-         | None -> true
-    in
-    while Queue.length q > 0 && Queue.length q < target && budget_left () do
-      let st, path, depth = Queue.pop q in
-      let key = M.key st in
-      match Statekey.Table.find_or_add seen key dummy_seen with
-      | `Found _ -> acc0.dedup <- acc0.dedup + 1
-      | `Added -> (
-          acc0.visited <- acc0.visited + 1;
-          if depth > acc0.maxd then acc0.maxd <- depth;
-          match M.expand ctx ~labels:witnesses st with
-          | Terminal (Some o) -> record acc0 ~witnesses o path
-          | Terminal None -> ()
-          | Steps steps ->
-              Seq.iter
-                (fun s ->
-                  acc0.trans <- acc0.trans + 1;
-                  match s with
-                  | Emit o -> record acc0 ~witnesses o path
-                  | Step (lbl, st') ->
-                      Queue.add
-                        ( st',
-                          (if witnesses then lbl :: path else path),
-                          depth + 1 )
-                        q)
-                steps)
-    done;
-    if not (budget_left ()) then acc0.budget_hit <- true;
-    (* Deal the frontier round-robin and let one domain own each bucket.
-       Domains keep private seen-sets: duplicated work is possible,
-       missed or spurious outcomes are not. *)
-    let buckets = Array.make jobs [] in
-    let i = ref 0 in
-    Queue.iter
-      (fun item ->
-        buckets.(!i mod jobs) <- item :: buckets.(!i mod jobs);
-        incr i)
-      q;
-    let domains =
-      Array.map
-        (fun items ->
-          let roots = List.rev items in
-          Domain.spawn (fun () ->
-              let acc = new_acc () in
-              match
-                dfs ~ctx ~witnesses ~max_states ~deadline ~oracle:None
-                  ~ample:None acc roots
-              with
-              | () -> Ok acc
-              | exception e -> Error e))
-        buckets
-    in
-    let outcomes = Array.map Domain.join domains in
-    Array.iter (function Error e -> raise e | Ok _ -> ()) outcomes;
-    let accs =
-      acc0
-      :: (Array.to_list outcomes
-         |> List.map (function Ok a -> a | Error _ -> assert false))
-    in
-    finish ~t0 ~jobs accs
-
   let explore ?max_states ?deadline ?(witnesses = false) ?(por = true)
-      ?(strategy = Work_stealing) ?(jobs = 1) ~ctx init =
+      ?(task_cut = default_task_cut) ?(jobs = 1) ~ctx init =
     let t0 = Unix.gettimeofday () in
     let oracle = if por then M.independent else None in
     let ample = if por then M.ample else None in
@@ -616,18 +585,8 @@ module Make (M : MODEL) = struct
       finish ~t0 ~jobs:1 [ acc ]
     end
     else
-      match strategy with
-      | Work_stealing ->
-          (* Never oversubscribe: domains beyond the available cores add
-             stop-the-world minor-GC barriers and scheduler churn without
-             any parallelism in return. ([Bucketed] stays unclamped — it
-             is the frozen pre-overhaul baseline.) *)
-          let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
-          explore_ws ~max_states ~deadline ~witnesses ~jobs ~oracle ~ample
-            ~ctx init t0
-      | Bucketed ->
-          explore_bucketed ~max_states ~deadline ~witnesses ~jobs ~ctx init
-            t0
+      explore_tasks ~max_states ~deadline ~witnesses ~jobs ~task_cut ~oracle
+        ~ample ~ctx init t0
 end
 
 let enumerate_paths (type s l) ~(expand : s -> (s, l) expansion)

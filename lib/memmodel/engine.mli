@@ -60,23 +60,38 @@
       This is what makes POR visit {e strictly fewer states}, not just
       fewer transitions.
 
-    [Emit] steps are always recorded and never pruned. Models without an
-    oracle ([Promising], [Pushpull]) keep exact search.
+    [Emit] steps are always recorded and never pruned. All four models
+    supply a {!Porlabel} footprint oracle; a model can still opt out
+    with [independent = None] to keep exact search.
 
-    {2 Parallel search}
+    {2 Parallel search: the frontier scheduler}
 
-    [explore ~jobs:n] (default {!Work_stealing}) runs [n] OCaml 5
-    [Domain]s over a {e shared} seen-set striped into mutex-guarded
-    shards (selected by high key bits), with per-domain work-stealing
-    deques: owners push and pop depth-first at one end, idle domains
-    steal the oldest frame (rooting the largest subtree) from a victim's
-    other end. [max_states] and [deadline] are enforced {e globally}
-    through [Atomic] counters — the first domain to trip a valve stops
-    all of them promptly. [n] is clamped to
-    [Domain.recommended_domain_count ()]: oversubscribing domains only
-    adds stop-the-world minor-GC barriers and scheduler churn (the
-    behavior set does not depend on the domain count either way);
-    [stats.jobs] reports the effective count.
+    [explore ~jobs:n] runs [n] OCaml 5 [Domain]s over a {e shared}
+    seen-set striped into mutex-guarded shards (selected by high key
+    bits). An exploration is split into {e subtree tasks} at depth
+    cuts: a successor whose depth is a multiple of [task_cut] is
+    published to a per-domain deque (carrying its sleep-set context, so
+    reduction state survives the hand-off), while all other successors
+    stay on the publishing worker's private stack and are processed
+    without touching a lock beyond the seen-set shard. Owners push and
+    pop tasks depth-first at one end of their deque; idle domains steal
+    the oldest task (rooting the largest subtree) from a victim's other
+    end. This keeps the scheduling granularity coarse — one deque
+    operation per [task_cut] tree levels instead of one per state — so
+    a single large corpus entry saturates all domains instead of
+    drowning in per-frame mutex traffic. [max_states] and [deadline]
+    are enforced {e globally} through [Atomic] counters: the first
+    domain to trip a valve stops all of them promptly, and a deadline
+    that fires mid-task drops the remaining private frames of every
+    worker, so the partial-result classification ([budget_hit]) is the
+    same as the sequential engine's.
+
+    [jobs] is taken as given — the engine does not second-guess the
+    caller. Callers that fan out over corpora ({!Vrm.Refinement}, the
+    CLI) cap it at [Domain.recommended_domain_count ()]:
+    oversubscribing domains adds stop-the-world minor-GC barriers and
+    scheduler churn without any parallelism in return (the behavior set
+    does not depend on the domain count either way).
 
     Determinism argument: models are pure (expansion depends only on the
     state), so the set of outcomes reachable from a state is a function
@@ -87,12 +102,7 @@
     the sequential result whenever no budget fires. Witness schedules and
     the state/dedup/steal counters may differ run to run, but the
     behavior set is identical — the parity tests assert digest equality
-    against sequential search with POR both on and off.
-
-    The pre-overhaul algorithm (BFS prefix + static round-robin buckets +
-    private seen-sets, per-domain budgets, no POR) remains available as
-    {!Bucketed}, kept as a measured baseline for the bench's
-    before/after comparison. *)
+    against sequential search with POR both on and off. *)
 
 val version : string
 (** Version tag of the exploration semantics. Any change that can alter a
@@ -112,9 +122,11 @@ type stats = {
   por_pruned : int;
       (** transitions skipped by partial-order reduction (sleeping
           siblings + ample-pruned siblings); 0 without an oracle *)
-  steals : int;
-      (** frames taken from another domain's deque (work-stealing mode
-          only) *)
+  tasks_spawned : int;
+      (** subtree tasks published to the shared deque pool at depth
+          cuts (parallel mode only; 0 when sequential) *)
+  tasks_stolen : int;
+      (** tasks claimed from another domain's deque *)
   shared_hits : int;
       (** dedup hits against a seen-set entry inserted by a different
           domain — work the shared seen-set saved vs private sets *)
@@ -136,7 +148,7 @@ val add_stats : stats -> stats -> stats
     time add, depth and job count take the maximum, budget flags or. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** Renders the POR/steal/shared/cert counters only when non-zero, so
+(** Renders the POR/task/shared/cert counters only when non-zero, so
     output for models without those features is unchanged from earlier
     versions. *)
 
@@ -157,13 +169,6 @@ type ('state, 'label) expansion =
   | Steps of ('state, 'label) step Seq.t
       (** lazy outgoing transitions, forced one at a time in order
           (materialized eagerly only under a POR oracle) *)
-
-(** Parallel search algorithm (see the module docs). *)
-type strategy =
-  | Work_stealing  (** shared striped seen-set + stealing deques *)
-  | Bucketed
-      (** legacy: BFS prefix, static buckets, private seen-sets,
-          per-domain budgets; ignores the POR oracle *)
 
 module type MODEL = sig
   type ctx
@@ -222,7 +227,7 @@ module Make (M : MODEL) : sig
     ?deadline:float ->
     ?witnesses:bool ->
     ?por:bool ->
-    ?strategy:strategy ->
+    ?task_cut:int ->
     ?jobs:int ->
     ctx:M.ctx ->
     M.state ->
@@ -237,12 +242,12 @@ module Make (M : MODEL) : sig
       [stats.budget_hit] set, which is how the verification service
       cancels jobs that outlive their per-job deadline. [por] (default
       [true]) applies partial-order reduction when the model provides an
-      oracle; the behavior set is identical either way. [strategy]
-      (default {!Work_stealing}) selects the parallel algorithm; ignored
-      when [jobs <= 1]. Exceptions raised by [M.expand] abort the search
-      in every domain and propagate (first exception wins in
-      work-stealing mode, lowest-numbered bucket first in bucketed
-      mode). *)
+      oracle; the behavior set is identical either way. [task_cut]
+      (default 8) is the depth granularity at which subtrees are
+      published as stealable tasks; ignored when [jobs <= 1], and any
+      value yields the same behavior set. Exceptions raised by
+      [M.expand] abort the search in every domain and propagate (first
+      exception wins). *)
 end
 
 val enumerate_paths :

@@ -61,7 +61,9 @@ let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por ?cert_cache (test : t) :
   let sc, sc_stats =
     Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por test.prog
   in
-  let rm, rm_stats = Promising.run_stats ~config ?jobs ?deadline test.prog in
+  let rm, rm_stats =
+    Promising.run_stats ~config ?jobs ?deadline ?por test.prog
+  in
   let sc_sat = Behavior.satisfiable test.exists sc in
   let rm_sat = Behavior.satisfiable test.exists rm in
   let sc_panic = Behavior.any_panic sc in

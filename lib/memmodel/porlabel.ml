@@ -1,36 +1,94 @@
-(** Transition labels for partial-order reduction. See the interface for
-    the commutativity contract each classification carries. *)
+(** Transition footprints for partial-order reduction. See the
+    interface for the commutativity contract each field carries. *)
 
-type kind =
-  | Silent
-  | Private
-  | Read of Loc.t
-  | Write of Loc.t
-  | Rmw of Loc.t
-  | Sync
+type t = {
+  tid : int;
+  disc : int;
+  silent : bool;
+  global : bool;
+  alloc : bool;
+  reads : Loc.t list;
+  writes : Loc.t list;
+  obases : string list;
+  otransfer : string list;
+  cert_read : string list;
+  cert_write : string list;
+}
 
-type t = { tid : int; kind : kind }
+let empty ~tid =
+  { tid;
+    disc = 0;
+    silent = false;
+    global = false;
+    alloc = false;
+    reads = [];
+    writes = [];
+    obases = [];
+    otransfer = [];
+    cert_read = [];
+    cert_write = [] }
+
+let silent ~tid = { (empty ~tid) with silent = true }
+let private_ ~tid = empty ~tid
+let read ~tid loc = { (empty ~tid) with reads = [ loc ] }
+let write ~tid loc = { (empty ~tid) with writes = [ loc ] }
+
+let rmw ~tid loc =
+  { (empty ~tid) with reads = [ loc ]; writes = [ loc ] }
+
+let sync ~tid = { (empty ~tid) with global = true }
+
+(* A label with no footprint at all: commutes even with [global]
+   labels. [silent] labels are quiet by construction, but a quiet label
+   need not be silent (e.g. an observable register move). *)
+let quiet l =
+  (not l.global) && (not l.alloc) && l.reads = [] && l.writes = []
+  && l.obases = [] && l.otransfer = [] && l.cert_read = []
+  && l.cert_write = []
+
+let disjoint_loc xs ys =
+  not (List.exists (fun x -> List.exists (Loc.equal x) ys) xs)
+
+let disjoint_str xs ys =
+  not (List.exists (fun x -> List.mem x ys) xs)
 
 let independent a b =
   a.tid <> b.tid
-  &&
-  match (a.kind, b.kind) with
-  | (Silent | Private), _ | _, (Silent | Private) -> true
-  | Read _, Read _ -> true
-  | Sync, _ | _, Sync -> false
-  | (Read la | Write la | Rmw la), (Read lb | Write lb | Rmw lb) ->
-      not (Loc.equal la lb)
+  && ((not a.global) || quiet b)
+  && ((not b.global) || quiet a)
+  && (not (a.alloc && b.alloc))
+  && disjoint_loc a.writes b.reads
+  && disjoint_loc a.writes b.writes
+  && disjoint_loc b.writes a.reads
+  && disjoint_str a.otransfer b.obases
+  && disjoint_str a.otransfer b.otransfer
+  && disjoint_str b.otransfer a.obases
+  && disjoint_str a.cert_write b.cert_read
+  && disjoint_str b.cert_write a.cert_read
 
-let ample l = match l.kind with Silent -> true | _ -> false
+let ample l = l.silent
 
 let pp fmt l =
-  let k =
-    match l.kind with
-    | Silent -> "silent"
-    | Private -> "private"
-    | Read loc -> Format.asprintf "R%a" Loc.pp loc
-    | Write loc -> Format.asprintf "W%a" Loc.pp loc
-    | Rmw loc -> Format.asprintf "U%a" Loc.pp loc
-    | Sync -> "sync"
+  let locs prefix = function
+    | [] -> ""
+    | ls ->
+        Format.asprintf "%s%a" prefix
+          (Format.pp_print_list
+             ~pp_sep:(fun f () -> Format.fprintf f ",")
+             Loc.pp)
+          ls
   in
-  Format.fprintf fmt "t%d:%s" l.tid k
+  let strs prefix = function
+    | [] -> ""
+    | ss -> prefix ^ String.concat "," ss
+  in
+  Format.fprintf fmt "t%d:%s%s%s%s%s%s%s%s%s" l.tid
+    (if l.silent then "silent"
+     else if l.global then "sync"
+     else if quiet l then "private"
+     else "")
+    (locs "R" l.reads) (locs "W" l.writes)
+    (if l.alloc then "@" else "")
+    (strs "o" l.obases) (strs "x" l.otransfer)
+    (strs "cr" l.cert_read) (strs "cw" l.cert_write)
+    (if l.disc <> 0 then Format.asprintf "#%d" l.disc else "")

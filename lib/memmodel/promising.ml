@@ -120,7 +120,9 @@ let readable st init_val (t : tstate) loc ~floor =
     (messages_on st init_val loc)
 
 type step_result =
-  | Next of state
+  | Next of state * Porlabel.t
+      (** successor plus its POR footprint (a shared dummy unless the
+          caller asked for footprints) *)
   | Fuel_out
   | Stuck  (** no legal transition, e.g. no fulfillable store slot *)
 
@@ -140,13 +142,24 @@ let set_thread st i t' =
   threads.(i) <- t';
   { st with threads }
 
+(* Shared placeholder footprint for solo runs and label-free search:
+   never consulted, never compared. *)
+let dummy_fp = Porlabel.empty ~tid:(-1)
+
 (* Atomic read-modify-writes (FAA, XCHG, CAS) read the coherence-latest
    message and, when [new_value] yields a write, append the new message
    adjacent to it (the append-only memory keeps the pair per-location
    adjacent forever). Reading an unfulfilled promise is refused: the pair
    could no longer be kept atomic. A CAS whose [new_value] is [None]
-   (comparison failed) degenerates to a read of the latest message. *)
-let rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst ~new_value :
+   (comparison failed) degenerates to a read of the latest message.
+
+   Footprints: the write case allocates a timestamp ([alloc]) and both
+   appends to and depends on the base's message history ([cert_write] —
+   it moves the coherence-latest message other threads' RMWs and
+   certifications look at; [cert_read] — its own enabledness depends on
+   whether the latest message is anyone's outstanding promise, which a
+   fulfil of the same base can change). *)
+let rmw_step ~fp st init_val i t rest ~loc ~va ~vd ~ord ~dst ~new_value :
     step_result list =
   let msgs = messages_on st init_val loc in
   let latest =
@@ -177,7 +190,17 @@ let rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst ~new_value :
             vrnew = (if acq then max t.vrnew latest.ts else t.vrnew);
             vwnew = (if acq then max t.vwnew latest.ts else t.vwnew) }
         in
-        [ Next (set_thread { st with mem = m :: st.mem; next_ts = ts + 1 } i t') ]
+        let lbl =
+          if fp then
+            { (Porlabel.rmw ~tid:i loc) with
+              alloc = true;
+              cert_read = [ Loc.base loc ];
+              cert_write = [ Loc.base loc ] }
+          else dummy_fp
+        in
+        [ Next
+            ( set_thread { st with mem = m :: st.mem; next_ts = ts + 1 } i t',
+              lbl ) ]
     | None ->
         let view = max latest.ts (max va vd) in
         let t' =
@@ -190,26 +213,54 @@ let rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst ~new_value :
             vrnew = (if acq then max t.vrnew latest.ts else t.vrnew);
             vwnew = (if acq then max t.vwnew latest.ts else t.vwnew) }
         in
-        [ Next (set_thread st i t') ]
+        let lbl =
+          if fp then
+            { (Porlabel.read ~tid:i loc) with
+              cert_read = [ Loc.base loc ] }
+          else dummy_fp
+        in
+        [ Next (set_thread st i t', lbl) ]
+
+(* Conservative default observability: every register counts as
+   observable, so locally-invisible steps are never marked ample unless
+   the caller supplies the program's real observation set. *)
+let any_reg : Reg.t -> bool = fun _ -> true
 
 (** Successor states of executing the next instruction of thread [i]
-    (several for a load: one per readable message). *)
-let step_thread (st : state) init_val (i : int) : step_result list =
+    (several for a load: one per readable message). [fp] asks for real
+    POR footprints on each successor (solo certification runs leave it
+    off and get a shared dummy); [silent_ok] additionally allows
+    invisible deterministic steps to claim the singleton-ample property
+    — the caller must guarantee the thread has no promise-step siblings
+    at this state; [obs] tells which registers observation can see. *)
+let step_thread ?(fp = false) ?(silent_ok = false) ?(obs = any_reg)
+    (st : state) init_val (i : int) : step_result list =
   let t = st.threads.(i) in
+  (* invisible, deterministic, thread-local step *)
+  let quiet_lbl () =
+    if not fp then dummy_fp
+    else if silent_ok then Porlabel.silent ~tid:i
+    else Porlabel.empty ~tid:i
+  in
   match t.code with
   | [] -> invalid_arg "Promising.step_thread: thread done"
   | instr :: rest -> (
       try
         match instr with
         | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _ ->
-            [ Next (set_thread st i { t with code = rest }) ]
+            [ Next (set_thread st i { t with code = rest }, quiet_lbl ()) ]
         | Instr.Panic -> raise Thread_panic
         | Instr.Move (r, e) ->
             let v, w = Expr.eval_v (lookup_reg t.regs) e in
+            let lbl =
+              if not fp then dummy_fp
+              else if obs r then Porlabel.private_ ~tid:i
+              else quiet_lbl ()
+            in
             [ Next
-                (set_thread st i
-                   { t with code = rest; regs = Reg.Map.add r (v, w) t.regs })
-            ]
+                ( set_thread st i
+                    { t with code = rest; regs = Reg.Map.add r (v, w) t.regs },
+                  lbl ) ]
         | Instr.Barrier b ->
             let t' =
               match b with
@@ -225,7 +276,7 @@ let step_thread (st : state) init_val (i : int) : step_result list =
                   { t with code = rest; vwnew = max t.vwnew t.vwmax }
               | Instr.Isb -> { t with code = rest; vrnew = max t.vrnew t.vctrl }
             in
-            [ Next (set_thread st i t') ]
+            [ Next (set_thread st i t', quiet_lbl ()) ]
         | Instr.Load (r, a, ord) ->
             let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
             let acq_floor =
@@ -253,7 +304,15 @@ let step_thread (st : state) init_val (i : int) : step_result list =
                          max t.vwnew m.ts
                        else t.vwnew) }
                 in
-                Next (set_thread st i t'))
+                (* the read message's timestamp discriminates the choice
+                   — intrinsic to the transition, stable across
+                   independent other-thread moves *)
+                let lbl =
+                  if fp then
+                    { (Porlabel.read ~tid:i loc) with disc = m.ts }
+                  else dummy_fp
+                in
+                Next (set_thread st i t', lbl))
               choices
         | Instr.Store (a, e, ord) ->
             let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
@@ -262,7 +321,7 @@ let step_thread (st : state) init_val (i : int) : step_result list =
                 (max va (max vd (max t.vctrl t.vwnew)))
             in
             let is_release = ord = Instr.Release || ord = Instr.Acq_rel in
-            let commit ts mem next_ts promises =
+            let commit ts mem next_ts promises lbl =
               let t' =
                 { t with
                   code = rest;
@@ -273,7 +332,7 @@ let step_thread (st : state) init_val (i : int) : step_result list =
                   promises }
               in
               let st' = { st with mem; next_ts } in
-              Next (set_thread st' i t')
+              Next (set_thread st' i t', lbl)
             in
             (* fulfill one of our promises... *)
             let fulfills =
@@ -285,9 +344,20 @@ let step_thread (st : state) init_val (i : int) : step_result list =
                   | Some m
                     when Loc.equal m.mloc loc && m.mval = v && m.ts > lower
                          && ((not is_release) || m.ts > t.vall) ->
+                      (* flips the message's outstanding-promise status:
+                         other threads' RMW enabledness and
+                         certification keys on this base can change *)
+                      let lbl =
+                        if fp then
+                          { (Porlabel.write ~tid:i loc) with
+                            cert_write = [ Loc.base loc ];
+                            disc = m.ts }
+                        else dummy_fp
+                      in
                       Some
                         (commit m.ts st.mem st.next_ts
-                           (List.filter (fun q -> q <> p) t.promises))
+                           (List.filter (fun q -> q <> p) t.promises)
+                           lbl)
                   | _ -> None)
                 t.promises
             in
@@ -295,41 +365,52 @@ let step_thread (st : state) init_val (i : int) : step_result list =
             let append =
               let ts = st.next_ts in
               let m = { mloc = loc; mval = v; ts; wtid = i } in
-              commit ts (m :: st.mem) (ts + 1) t.promises
+              let lbl =
+                if fp then
+                  { (Porlabel.write ~tid:i loc) with
+                    alloc = true;
+                    cert_write = [ Loc.base loc ] }
+                else dummy_fp
+              in
+              commit ts (m :: st.mem) (ts + 1) t.promises lbl
             in
             append :: fulfills
         | Instr.Faa (r, a, e, ord) ->
             let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
             let delta, vd = Expr.eval_v (lookup_reg t.regs) e in
-            rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
+            rmw_step ~fp st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
               ~new_value:(fun old -> Some (old + delta))
         | Instr.Xchg (r, a, e, ord) ->
             let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
             let v, vd = Expr.eval_v (lookup_reg t.regs) e in
-            rmw_step st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
+            rmw_step ~fp st init_val i t rest ~loc ~va ~vd ~ord ~dst:r
               ~new_value:(fun _ -> Some v)
         | Instr.Cas (r, a, expected, desired, ord) ->
             let loc, va = Expr.eval_addr (lookup_reg t.regs) a in
             let exp_v, ve = Expr.eval_v (lookup_reg t.regs) expected in
             let des_v, vd0 = Expr.eval_v (lookup_reg t.regs) desired in
-            rmw_step st init_val i t rest ~loc ~va ~vd:(max ve vd0) ~ord
+            rmw_step ~fp st init_val i t rest ~loc ~va ~vd:(max ve vd0) ~ord
               ~dst:r
               ~new_value:(fun old -> if old = exp_v then Some des_v else None)
         | Instr.If (cond, br_then, br_else) ->
             let b, vc = Expr.eval_b (lookup_reg t.regs) cond in
             let code = (if b then br_then else br_else) @ rest in
-            [ Next (set_thread st i { t with code; vctrl = max t.vctrl vc }) ]
+            [ Next
+                ( set_thread st i { t with code; vctrl = max t.vctrl vc },
+                  quiet_lbl () ) ]
         | Instr.While (cond, body) ->
             let b, vc = Expr.eval_b (lookup_reg t.regs) cond in
             let t = { t with vctrl = max t.vctrl vc } in
-            if not b then [ Next (set_thread st i { t with code = rest }) ]
+            if not b then
+              [ Next (set_thread st i { t with code = rest }, quiet_lbl ()) ]
             else if t.fuel <= 0 then [ Fuel_out ]
             else
               [ Next
-                  (set_thread st i
-                     { t with
-                       code = body @ (Instr.While (cond, body) :: rest);
-                       fuel = t.fuel - 1 }) ]
+                  ( set_thread st i
+                      { t with
+                        code = body @ (Instr.While (cond, body) :: rest);
+                        fuel = t.fuel - 1 },
+                    quiet_lbl () ) ]
       with Expr.Eval_panic _ -> raise Thread_panic)
 
 (* Human-readable label for the transition [st] -> [st'] taken by thread
@@ -526,7 +607,7 @@ let certifiable cfg st init_val i =
         else
           List.exists
             (function
-              | Next st' -> go st' (depth - 1)
+              | Next (st', _) -> go st' (depth - 1)
               | Fuel_out | Stuck -> false)
             (solo_steps st init_val i)
       in
@@ -560,7 +641,7 @@ let solo_write_candidates cfg st init_val i =
               | _ -> ());
               List.iter
                 (function
-                  | Next st' -> go st' (depth - 1)
+                  | Next (st', _) -> go st' (depth - 1)
                   | Fuel_out | Stuck -> ())
                 (solo_steps st init_val i)
         end
@@ -792,13 +873,42 @@ let observe (prog : Prog.t) (st : state) init_val status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
+(* is register [r] of thread index [idx] observable? *)
+let observable_reg (prog : Prog.t) idx r =
+  match List.nth_opt prog.Prog.threads idx with
+  | Some th ->
+      List.exists
+        (function
+          | Prog.Obs_reg (tid, r') ->
+              tid = th.Prog.tid && Reg.name r' = Reg.name r
+          | Prog.Obs_loc _ -> false)
+        prog.Prog.observables
+  | None -> false
+
 (* The executor is an instance of the shared exploration engine. Per
    runnable thread, the expansion offers the architectural steps (several
    for a load: one per readable message) followed by the certified promise
    steps; terminal states record an outcome only when every promise has
    been fulfilled; under [strict_certification] uncertifiable states are
    pruned. The transition sequence is lazy, so certification work for a
-   thread is only done once the previous threads' subtrees are explored. *)
+   thread is only done once the previous threads' subtrees are explored
+   (materialized eagerly when the POR oracle is active).
+
+   POR labels: every step carries a {!Porlabel} footprint. Promise and
+   fulfil steps record the affected base in [cert_write] (they change the
+   promise set other threads' RMW enabledness and certification verdicts
+   consult), promise steps record the promising thread's whole
+   [access_bases] footprint in [cert_read] (the candidate set and the
+   certification verdict read that history), and both promise and
+   append-store steps set [alloc] (they take the next global timestamp).
+   A thread's architectural step may only claim the singleton-ample
+   property when the thread cannot also promise ([silent_ok]); the
+   engine's side conditions do the rest.
+
+   Under [strict_certification] the POR oracle is {e unsound}: pruned
+   mid-path states may be certification-dead ([Terminal None]), which
+   breaks the commutation diamond (the explored order can die where the
+   pruned order survives). The run wrappers force [por:false] there. *)
 module Model = struct
   type ctx = {
     prog : Prog.t;
@@ -807,20 +917,26 @@ module Model = struct
     cache : cert_cache option;
         (** certification memo, shared across domains (internally
             mutex-guarded); [None] when [cfg.cert_cache] is off *)
+    want_desc : bool;
+        (** render human-readable step descriptions (witness runs only;
+            POR-only label requests skip the formatting) *)
   }
 
   type nonrec state = state
-  type label = step
+
+  (* POR footprint plus the witness-schedule entry; [independent] and
+     [ample] consult only the footprint, witness collection only the
+     step. The footprint's [disc] fields keep labels of one thread's
+     enabled transitions distinct (engine requirement) even when
+     [want_desc] leaves every [l_step] at the dummy. *)
+  type label = { l_fp : Porlabel.t; l_step : step }
 
   let key = state_key
-
-  (* exact search: promise/certification steps have global footprints,
-     so no sound cheap commutativity oracle exists here *)
-  let independent = None
-  let ample = None
+  let independent = Some (fun _ctx a b -> Porlabel.independent a.l_fp b.l_fp)
+  let ample = Some (fun _ctx l -> Porlabel.ample l.l_fp)
   let dummy_step = { s_tid = -1; s_what = "" }
 
-  let expand { prog; cfg; tids; cache } ~labels (st : state) :
+  let expand { prog; cfg; tids; cache; want_desc } ~labels (st : state) :
       (state, label) Engine.expansion =
     let init_val loc = Prog.init_value prog loc in
     let n = Array.length st.threads in
@@ -847,20 +963,28 @@ module Model = struct
         if t.code = [] then Seq.empty
         else
           let instr = List.hd t.code in
+          (* can this thread take a promise step here? (cheap syntactic
+             over-approximation: budget left and a store in its code) *)
+          let may_promise =
+            t.promise_budget > 0 && store_bases [] t.code <> []
+          in
           (* ordinary architectural steps *)
           let arch () =
-            (match step_thread st init_val i with
+            (match
+               step_thread ~fp:labels ~silent_ok:(not may_promise)
+                 ~obs:(observable_reg prog i) st init_val i
+             with
             | steps ->
                 List.to_seq steps
                 |> Seq.filter_map (function
-                     | Next st' ->
-                         let lbl =
-                           if labels then
+                     | Next (st', fp) ->
+                         let s_step =
+                           if labels && want_desc then
                              { s_tid = tids.(i);
                                s_what = describe_step st st' i instr }
                            else dummy_step
                          in
-                         Some (Engine.Step (lbl, st'))
+                         Some (Engine.Step ({ l_fp = fp; l_step = s_step }, st'))
                      | Fuel_out ->
                          Some
                            (Engine.Emit
@@ -873,12 +997,21 @@ module Model = struct
               ()
           in
           (* promise steps: candidates from a solo run, kept only when the
-             promising thread can still certify *)
+             promising thread can still certify. Candidates are sorted so
+             the label discriminator (index) is stable across independent
+             other-thread moves. *)
           let promises () =
-            if t.promise_budget <= 0 then Seq.Nil
+            if not may_promise then Seq.Nil
             else
-              (List.to_seq (solo_write_candidates cfg st init_val i)
-              |> Seq.filter_map (fun (loc, v) ->
+              let cands =
+                List.sort compare (solo_write_candidates cfg st init_val i)
+              in
+              let cert_read =
+                if labels then access_bases [] t.code else []
+              in
+              (List.to_seq cands
+              |> Seq.mapi (fun idx cand -> (idx, cand))
+              |> Seq.filter_map (fun (idx, (loc, v)) ->
                      let ts = st.next_ts in
                      let m = { mloc = loc; mval = v; ts; wtid = i } in
                      let t' =
@@ -892,15 +1025,24 @@ module Model = struct
                          i t'
                      in
                      if certifiable_cached cache cfg st' init_val i then
-                       let lbl =
+                       let fp =
                          if labels then
+                           { (Porlabel.write ~tid:i loc) with
+                             alloc = true;
+                             cert_write = [ Loc.base loc ];
+                             cert_read;
+                             disc = idx }
+                         else dummy_fp
+                       in
+                       let s_step =
+                         if labels && want_desc then
                            { s_tid = tids.(i);
                              s_what =
                                Format.asprintf "promises [%a] := %d" Loc.pp
                                  loc v }
                          else dummy_step
                        in
-                       Some (Engine.Step (lbl, st'))
+                       Some (Engine.Step ({ l_fp = fp; l_step = s_step }, st'))
                      else None))
                 ()
           in
@@ -911,12 +1053,19 @@ end
 
 module E = Engine.Make (Model)
 
-let make_ctx prog cfg =
+let make_ctx ?(want_desc = false) prog cfg =
   { Model.prog;
     cfg;
     tids =
       Array.of_list (List.map (fun th -> th.Prog.tid) prog.Prog.threads);
-    cache = (if cfg.cert_cache then Some (make_cert_cache ()) else None) }
+    cache = (if cfg.cert_cache then Some (make_cert_cache ()) else None);
+    want_desc }
+
+(* POR is sound here only without strict certification: strict mode
+   prunes mid-path states as [Terminal None], which breaks the sleep-set
+   commutation diamond (see the Model comment). *)
+let por_for cfg por =
+  if cfg.strict_certification then Some false else por
 
 (* Fold the context's certification counters into the engine's stats
    (the engine itself knows nothing about certification). *)
@@ -930,43 +1079,52 @@ let with_cert_stats (ctx : Model.ctx) (s : Engine.stats) : Engine.stats =
 
 (** [run_full ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set, the per-outcome witness
-    schedules, and the exploration statistics. *)
-let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
+    schedules, and the exploration statistics. [por] (default on)
+    applies partial-order reduction — same behavior set, fewer states;
+    it is forced off under [strict_certification] where it would be
+    unsound. *)
+let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?por
     (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
-  let ctx = make_ctx prog config in
+  let ctx = make_ctx ~want_desc:true prog config in
   let r =
-    E.explore ~max_states:config.max_states ?deadline ?strategy
-      ~witnesses:true ~jobs ~ctx
+    E.explore ~max_states:config.max_states ?deadline
+      ?por:(por_for config por) ~witnesses:true ~jobs ~ctx
       (initial_state config prog)
   in
-  (r.E.behaviors, r.E.witnesses, with_cert_stats ctx r.E.stats)
+  let witnesses =
+    List.map
+      (fun (o, ls) -> (o, List.map (fun l -> l.Model.l_step) ls))
+      r.E.witnesses
+  in
+  (r.E.behaviors, witnesses, with_cert_stats ctx r.E.stats)
 
 (** [run_with_witnesses ?config ?jobs prog] explores all Promising Arm
     executions of [prog] and additionally returns, for each distinct
     outcome, the first schedule (sequence of per-CPU steps, including
     promises) that produced it. *)
-let run_with_witnesses ?config ?jobs ?deadline (prog : Prog.t) :
+let run_with_witnesses ?config ?jobs ?deadline ?por (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list =
-  let behaviors, witnesses, _ = run_full ?config ?jobs ?deadline prog in
+  let behaviors, witnesses, _ = run_full ?config ?jobs ?deadline ?por prog in
   (behaviors, witnesses)
 
 (** [run_stats ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set with exploration statistics
     (witness bookkeeping off). *)
-let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?strategy
+let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?por
     (prog : Prog.t) : Behavior.t * Engine.stats =
   let ctx = make_ctx prog config in
   let r =
-    E.explore ~max_states:config.max_states ?deadline ?strategy ~jobs ~ctx
+    E.explore ~max_states:config.max_states ?deadline
+      ?por:(por_for config por) ~jobs ~ctx
       (initial_state config prog)
   in
   (r.E.behaviors, with_cert_stats ctx r.E.stats)
 
 (** [run ?config ?jobs prog] explores all Promising Arm executions of
     [prog] (bounded by the configuration) and returns its behavior set. *)
-let run ?config ?jobs ?deadline (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?config ?jobs ?deadline prog)
+let run ?config ?jobs ?deadline ?por (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?config ?jobs ?deadline ?por prog)
 
 (* ------------------------------------------------------------------ *)
 (* Key microbenchmark support                                          *)

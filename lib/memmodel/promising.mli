@@ -51,24 +51,29 @@ type step = {
 val pp_step : Format.formatter -> step -> unit
 val pp_schedule : Format.formatter -> step list -> unit
 
-val run : ?config:config -> ?jobs:int -> ?deadline:float -> Prog.t -> Behavior.t
+val run :
+  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
+  Behavior.t
 (** Explore all Promising Arm executions (bounded by [config]) and return
     the behavior set. [jobs] fans the search across that many domains via
     the shared {!Engine} (identical behavior set). [deadline] (absolute
-    [Unix.gettimeofday] time) cancels the search when it passes. *)
+    [Unix.gettimeofday] time) cancels the search when it passes. [por]
+    (default on) applies sleep-set/ample partial-order reduction over the
+    certification-aware {!Porlabel} footprints — same behavior set, fewer
+    states; it is forced off under [strict_certification], where pruned
+    orders could die on mid-path certification checks that the explored
+    order misses. *)
 
 val run_stats :
-  ?config:config -> ?jobs:int -> ?deadline:float ->
-  ?strategy:Engine.strategy -> Prog.t ->
+  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
   Behavior.t * Engine.stats
-(** Like {!run}, also returning exploration statistics. [strategy]
-    selects the parallel search algorithm (default
-    {!Engine.Work_stealing}); it only matters when [jobs > 1]. *)
+(** Like {!run}, also returning exploration statistics. *)
 
 val run_with_witnesses :
   ?config:config ->
   ?jobs:int ->
   ?deadline:float ->
+  ?por:bool ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list
 (** Like {!run}, additionally returning, for each distinct outcome, the
@@ -78,7 +83,7 @@ val run_full :
   ?config:config ->
   ?jobs:int ->
   ?deadline:float ->
-  ?strategy:Engine.strategy ->
+  ?por:bool ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list * Engine.stats
 (** Behaviors, witnesses and statistics in one exploration. *)

@@ -70,6 +70,11 @@ type state = {
   mem : int Loc.Map.t;
   owners : (string * int) list;  (** base -> owning tid *)
   threads : tstate array;
+  poison : violation option;
+      (** a transition into this state violated the ownership discipline;
+          expanding the state raises, so the violation surfaces at the
+          same point of the depth-first order as the seed's lazy
+          in-sequence raise did *)
 }
 
 let lookup_reg regs r =
@@ -262,6 +267,18 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
 
 let state_key (st : state) : Statekey.t =
   let h = Statekey.fresh () in
+  (match st.poison with
+  | None -> Statekey.char h 'N'
+  | Some v ->
+      Statekey.char h 'V';
+      Statekey.int h v.v_tid;
+      Statekey.str h v.v_base;
+      Statekey.int h
+        (match v.v_kind with
+        | `Pull_owned -> 0
+        | `Push_not_owned -> 1
+        | `Access_not_owned -> 2);
+      Statekey.str h v.v_detail);
   Statekey.int h (Loc.Map.cardinal st.mem);
   Loc.Map.iter
     (fun l v ->
@@ -298,56 +315,124 @@ let initial_state ~fuel ~initial_owners (prog : Prog.t) : state =
          (fun th -> { code = th.Prog.code; regs = Reg.Map.empty; fuel })
          prog.Prog.threads)
   in
-  { mem; owners = initial_owners; threads }
+  { mem; owners = initial_owners; threads; poison = None }
+
+(* is register [r] of thread index [idx] observable? *)
+let observable_reg (prog : Prog.t) idx r =
+  match List.nth_opt prog.Prog.threads idx with
+  | Some th ->
+      List.exists
+        (function
+          | Prog.Obs_reg (tid, r') ->
+              tid = th.Prog.tid && Reg.name r' = Reg.name r
+          | Prog.Obs_loc _ -> false)
+        prog.Prog.observables
+  | None -> false
+
+(* POR footprint of thread [i]'s (unique, SC) next transition. Tracked
+   accesses consult ownership ([obases]); pulls and pushes change it
+   ([otransfer]), which is what makes them dependent on every access and
+   pull/push of the same base — the orders that differ on whether a
+   violation fires are never pruned. *)
+let label_of ~tracked (prog : Prog.t) (st : state) i (instr : Instr.t) :
+    Porlabel.t =
+  let t = st.threads.(i) in
+  let owned b acc = if is_tracked ~tracked b then b :: acc else acc in
+  try
+    match instr with
+    | Instr.Nop | Instr.Tlbi _ | Instr.Barrier _ | Instr.If _
+    | Instr.While _ | Instr.Panic ->
+        Porlabel.silent ~tid:i
+    | Instr.Pull bases | Instr.Push bases -> (
+        match List.filter (fun b -> is_tracked ~tracked b) bases with
+        | [] -> Porlabel.silent ~tid:i
+        | tr ->
+            { (Porlabel.empty ~tid:i) with obases = tr; otransfer = tr })
+    | Instr.Move (r, _) ->
+        if observable_reg prog i r then Porlabel.private_ ~tid:i
+        else Porlabel.silent ~tid:i
+    | Instr.Load (_, a, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        { (Porlabel.read ~tid:i loc) with
+          obases = owned (Loc.base loc) [] }
+    | Instr.Store (a, _, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        { (Porlabel.write ~tid:i loc) with
+          obases = owned (Loc.base loc) [] }
+    | Instr.Faa (_, a, _, _)
+    | Instr.Xchg (_, a, _, _)
+    | Instr.Cas (_, a, _, _, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        { (Porlabel.rmw ~tid:i loc) with
+          obases = owned (Loc.base loc) [] }
+  with Expr.Eval_panic _ ->
+    (* the step itself panicked and emitted; label is never used *)
+    Porlabel.silent ~tid:i
 
 (* The ownership-instrumented executor is an instance of the shared
-   exploration engine. [Ownership] violations escape the engine (the
-   first one reached aborts the search — the transition sequence is
-   lazy, so "first" means the same interleaving the direct DFS found);
-   program panics are emitted as [Panicked] outcomes and split off into
-   [Drf_kernel_panic] afterwards. *)
+   exploration engine. An [Ownership] violation does not escape from the
+   transition itself: the violating step becomes a transition into a
+   {e poisoned} state, and expanding the poisoned state raises. Under
+   exact search the poisoned child is expanded immediately after the
+   transition is forced (depth-first), so the first violation surfaces
+   at the same interleaving the seed's in-sequence raise found. The
+   violating transition carries a {e global} footprint, so POR never
+   sleeps it; program panics are emitted as [Panicked] outcomes and
+   split off into [Drf_kernel_panic] afterwards. *)
 module Model = struct
   type ctx = { prog : Prog.t; tracked : Base_set.t }
   type nonrec state = state
-  type label = unit
+  type label = Porlabel.t
 
   let key = state_key
+  let independent = Some (fun _ctx a b -> Porlabel.independent a b)
+  let ample = Some (fun _ctx l -> Porlabel.ample l)
+  let dummy i = Porlabel.silent ~tid:i
 
-  (* exact search: the ownership oracle's whole point is to observe every
-     interleaving's first violation, and [Ownership] exceptions must
-     surface at the same schedule as the direct DFS — no reduction *)
-  let independent = None
-  let ample = None
-
-  let expand { prog; tracked } ~labels:_ (st : state) :
+  let expand { prog; tracked } ~labels (st : state) :
       (state, label) Engine.expansion =
-    let runnable = ref [] in
-    Array.iteri
-      (fun i t -> if t.code <> [] then runnable := i :: !runnable)
-      st.threads;
-    match !runnable with
-    | [] -> Engine.Terminal (Some (observe prog st Behavior.Normal))
-    | rs ->
-        Engine.Steps
-          (List.to_seq rs
-          |> Seq.map (fun i ->
-                 match step_thread ~tracked st i with
-                 | Some (st', _) -> Engine.Step ((), st')
-                 | None ->
-                     Engine.Emit (observe prog st Behavior.Fuel_exhausted)
-                 | exception Thread_panic ->
-                     Engine.Emit (observe prog st Behavior.Panicked)))
+    match st.poison with
+    | Some v -> raise (Ownership v)
+    | None -> (
+        let runnable = ref [] in
+        Array.iteri
+          (fun i t -> if t.code <> [] then runnable := i :: !runnable)
+          st.threads;
+        match !runnable with
+        | [] -> Engine.Terminal (Some (observe prog st Behavior.Normal))
+        | rs ->
+            Engine.Steps
+              (List.to_seq rs
+              |> Seq.map (fun i ->
+                     match step_thread ~tracked st i with
+                     | Some (st', _) ->
+                         let lbl =
+                           if labels then
+                             label_of ~tracked prog st i
+                               (List.hd st.threads.(i).code)
+                           else dummy i
+                         in
+                         Engine.Step (lbl, st')
+                     | None ->
+                         Engine.Emit (observe prog st Behavior.Fuel_exhausted)
+                     | exception Thread_panic ->
+                         Engine.Emit (observe prog st Behavior.Panicked)
+                     | exception Ownership v ->
+                         (* global label: dependent on everything, never
+                            slept or ample-pruned *)
+                         Engine.Step
+                           (Porlabel.sync ~tid:i, { st with poison = Some v }))))
 end
 
 module E = Engine.Make (Model)
 
-(** [check_stats ?fuel ?exempt ?initial_owners ?jobs prog] — like
+(** [check_stats ?fuel ?exempt ?initial_owners ?jobs ?por prog] — like
     {!check}, also returning exploration statistics. *)
 let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
-    ?(jobs = 1) (prog : Prog.t) : check_result * Engine.stats =
+    ?(jobs = 1) ?por (prog : Prog.t) : check_result * Engine.stats =
   let tracked = tracked_set ~shared:(Prog.shared_bases prog) ~exempt in
   match
-    E.explore ~jobs
+    E.explore ~jobs ?por
       ~ctx:{ Model.prog; tracked }
       (initial_state ~fuel ~initial_owners prog)
   with
@@ -363,13 +448,13 @@ let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
         r.E.stats )
   | exception Ownership v -> (Drf_violation v, Engine.zero_stats)
 
-(** [check ?fuel ?exempt ?initial_owners ?jobs prog] explores all
+(** [check ?fuel ?exempt ?initial_owners ?jobs ?por prog] explores all
     interleavings under the ownership discipline. Returns the behavior
     set if no pull/push/access ever panics, or the first violation
     found. *)
-let check ?fuel ?exempt ?initial_owners ?jobs (prog : Prog.t) : check_result
-    =
-  fst (check_stats ?fuel ?exempt ?initial_owners ?jobs prog)
+let check ?fuel ?exempt ?initial_owners ?jobs ?por (prog : Prog.t) :
+    check_result =
+  fst (check_stats ?fuel ?exempt ?initial_owners ?jobs ?por prog)
 
 (** Collect the event traces of every interleaving (no memoization, for
     small programs): input to the SC-trace construction of §4.1. *)

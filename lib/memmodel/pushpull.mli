@@ -45,6 +45,7 @@ val check :
   ?exempt:string list ->
   ?initial_owners:(string * int) list ->
   ?jobs:int ->
+  ?por:bool ->
   Prog.t ->
   check_result
 (** Explore all interleavings under the ownership discipline. [exempt]
@@ -52,13 +53,17 @@ val check :
     page tables — the condition's side clause); [initial_owners] seeds
     ownership held at fragment entry (e.g. a vCPU context the running CPU
     claimed earlier). [jobs] fans the search across that many domains via
-    the shared {!Engine}. *)
+    the shared {!Engine}. [por] (default on) applies partial-order
+    reduction over ownership-aware footprints: violating transitions
+    carry a global footprint and are never pruned, so the
+    ok/violation/panic classification is identical either way. *)
 
 val check_stats :
   ?fuel:int ->
   ?exempt:string list ->
   ?initial_owners:(string * int) list ->
   ?jobs:int ->
+  ?por:bool ->
   Prog.t ->
   check_result * Engine.stats
 (** Like {!check}, also returning exploration statistics (zero when the

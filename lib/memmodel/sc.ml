@@ -171,37 +171,34 @@ let observable_reg (prog : Prog.t) idx r =
         prog.Prog.observables
   | None -> false
 
-(* POR classification of thread [i]'s (unique) next transition. Under
-   SC a thread has exactly one enabled transition, so any instruction
-   that touches neither memory nor an observable register is [Silent]
+(* POR footprint of thread [i]'s (unique) next transition. Under SC a
+   thread has exactly one enabled transition, so any instruction that
+   touches neither memory nor an observable register is silent
    (ample-eligible); barriers, pulls/pushes and TLBIs are no-ops here. *)
 let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
   let t = st.threads.(i) in
-  let kind =
-    try
-      match instr with
-      | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
-      | Instr.Barrier _ | Instr.If _ | Instr.While _ | Instr.Panic ->
-          Porlabel.Silent
-      | Instr.Move (r, _) ->
-          if observable_reg prog i r then Porlabel.Private
-          else Porlabel.Silent
-      | Instr.Load (_, a, _) ->
-          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-          Porlabel.Read loc
-      | Instr.Store (a, _, _) ->
-          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-          Porlabel.Write loc
-      | Instr.Faa (_, a, _, _)
-      | Instr.Xchg (_, a, _, _)
-      | Instr.Cas (_, a, _, _, _) ->
-          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-          Porlabel.Rmw loc
-    with Expr.Eval_panic _ ->
-      (* the step itself panicked and emitted; label is never used *)
-      Porlabel.Silent
-  in
-  { Porlabel.tid = i; kind }
+  try
+    match instr with
+    | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+    | Instr.Barrier _ | Instr.If _ | Instr.While _ | Instr.Panic ->
+        Porlabel.silent ~tid:i
+    | Instr.Move (r, _) ->
+        if observable_reg prog i r then Porlabel.private_ ~tid:i
+        else Porlabel.silent ~tid:i
+    | Instr.Load (_, a, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        Porlabel.read ~tid:i loc
+    | Instr.Store (a, _, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        Porlabel.write ~tid:i loc
+    | Instr.Faa (_, a, _, _)
+    | Instr.Xchg (_, a, _, _)
+    | Instr.Cas (_, a, _, _, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        Porlabel.rmw ~tid:i loc
+  with Expr.Eval_panic _ ->
+    (* the step itself panicked and emitted; label is never used *)
+    Porlabel.silent ~tid:i
 
 (* The executor is an instance of the shared exploration engine: one SC
    transition per runnable thread, terminal states observe [Normal],
@@ -214,7 +211,7 @@ module Model = struct
   let key = state_key
   let independent = Some (fun _prog a b -> Porlabel.independent a b)
   let ample = Some (fun _prog l -> Porlabel.ample l)
-  let dummy i = { Porlabel.tid = i; kind = Porlabel.Silent }
+  let dummy i = Porlabel.silent ~tid:i
 
   let expand prog ~labels (st : state) : (state, label) Engine.expansion =
     let runnable = ref [] in
@@ -243,15 +240,14 @@ end
 
 module E = Engine.Make (Model)
 
-(** [run_stats ?fuel ?jobs ?deadline ?por ?strategy prog] explores all SC
+(** [run_stats ?fuel ?jobs ?deadline ?por prog] explores all SC
     interleavings of [prog] and returns its behavior set with exploration
     statistics. [por] (default on) applies sleep-set/ample partial-order
     reduction — same behavior set, fewer states. *)
-let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline ?por ?strategy
-    (prog : Prog.t) : Behavior.t * Engine.stats =
+let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline ?por (prog : Prog.t) :
+    Behavior.t * Engine.stats =
   let r =
-    E.explore ?deadline ?por ?strategy ~jobs ~ctx:prog
-      (initial_state ~fuel prog)
+    E.explore ?deadline ?por ~jobs ~ctx:prog (initial_state ~fuel prog)
   in
   (r.E.behaviors, r.E.stats)
 

@@ -19,9 +19,6 @@ val run :
     identical behavior set, strictly fewer states on racy programs. *)
 
 val run_stats :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
-  ?strategy:Engine.strategy -> Prog.t ->
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
   Behavior.t * Engine.stats
-(** Like {!run}, also returning exploration statistics. [strategy]
-    selects the parallel search algorithm (default
-    {!Engine.Work_stealing}); it only matters when [jobs > 1]. *)
+(** Like {!run}, also returning exploration statistics. *)

@@ -210,35 +210,34 @@ let observable_reg (prog : Prog.t) idx r =
         prog.Prog.observables
   | None -> false
 
-(* POR classification of thread [i]'s next {e instruction} transition
-   (drain transitions are labelled [Write] at their location directly in
-   [expand]). A transition is [Silent] (ample-eligible) only when it is
+(* POR footprint of thread [i]'s next {e instruction} transition (drain
+   transitions are labelled as writes at their location directly in
+   [expand]). A transition is silent (ample-eligible) only when it is
    also the thread's unique one, i.e. the buffer is empty — otherwise a
    drain sibling exists and locally-invisible steps downgrade to
-   [Private]. Stores are [Private], not [Write]: they touch only the
-   issuing thread's buffer (observation forwards from buffers, so they
-   are not invisible). Fences and RMWs flush the whole buffer: [Sync]. *)
+   private. Stores are private, not writes: they touch only the issuing
+   thread's buffer (observation forwards from buffers, so they are not
+   invisible). Fences and RMWs flush the whole buffer: global. *)
 let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
   let t = st.threads.(i) in
-  let local = if t.buffer = [] then Porlabel.Silent else Porlabel.Private in
-  let kind =
-    try
-      match instr with
-      | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
-      | Instr.If _ | Instr.While _ | Instr.Panic ->
-          local
-      | Instr.Move (r, _) ->
-          if observable_reg prog i r then Porlabel.Private else local
-      | Instr.Barrier _ ->
-          if t.buffer = [] then Porlabel.Silent else Porlabel.Sync
-      | Instr.Load (_, a, _) ->
-          let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
-          Porlabel.Read loc
-      | Instr.Store _ -> Porlabel.Private
-      | Instr.Faa _ | Instr.Xchg _ | Instr.Cas _ -> Porlabel.Sync
-    with Expr.Eval_panic _ -> Porlabel.Private
+  let local () =
+    if t.buffer = [] then Porlabel.silent ~tid:i else Porlabel.private_ ~tid:i
   in
-  { Porlabel.tid = i; kind }
+  try
+    match instr with
+    | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+    | Instr.If _ | Instr.While _ | Instr.Panic ->
+        local ()
+    | Instr.Move (r, _) ->
+        if observable_reg prog i r then Porlabel.private_ ~tid:i else local ()
+    | Instr.Barrier _ ->
+        if t.buffer = [] then Porlabel.silent ~tid:i else Porlabel.sync ~tid:i
+    | Instr.Load (_, a, _) ->
+        let loc, _ = Expr.eval_addr (lookup_rv t.regs) a in
+        Porlabel.read ~tid:i loc
+    | Instr.Store _ -> Porlabel.private_ ~tid:i
+    | Instr.Faa _ | Instr.Xchg _ | Instr.Cas _ -> Porlabel.sync ~tid:i
+  with Expr.Eval_panic _ -> Porlabel.private_ ~tid:i
 
 (* The executor is an instance of the shared exploration engine: per
    thread, one transition draining the oldest buffered store plus one
@@ -252,7 +251,7 @@ module Model = struct
   let key = state_key
   let independent = Some (fun _prog a b -> Porlabel.independent a b)
   let ample = Some (fun _prog l -> Porlabel.ample l)
-  let dummy i = { Porlabel.tid = i; kind = Porlabel.Silent }
+  let dummy i = Porlabel.silent ~tid:i
 
   let expand prog ~labels (st : state) : (state, label) Engine.expansion =
     let n = Array.length st.threads in
@@ -270,8 +269,7 @@ module Model = struct
           match t.buffer with
           | (l, v) :: rest ->
               let lbl =
-                if labels then { Porlabel.tid = i; kind = Porlabel.Write l }
-                else dummy i
+                if labels then Porlabel.write ~tid:i l else dummy i
               in
               Seq.return
                 (Engine.Step
@@ -311,8 +309,8 @@ module E = Engine.Make (Model)
     drains) and return the behavior set with exploration statistics.
     [por] (default on) applies sleep-set/ample partial-order reduction —
     same behavior set, fewer states. *)
-let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por ?strategy
-    (prog : Prog.t) : Behavior.t * Engine.stats =
+let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por (prog : Prog.t) :
+    Behavior.t * Engine.stats =
   let mem =
     List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
       prog.Prog.init
@@ -324,7 +322,7 @@ let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por ?strategy
            { code = th.Prog.code; regs = Reg.Map.empty; buffer = []; fuel })
          prog.Prog.threads)
   in
-  let r = E.explore ?deadline ?por ?strategy ~jobs ~ctx:prog { mem; threads } in
+  let r = E.explore ?deadline ?por ~jobs ~ctx:prog { mem; threads } in
   (r.E.behaviors, r.E.stats)
 
 (** Explore all TSO executions and return the behavior set. *)

@@ -11,10 +11,8 @@ val run : ?fuel:int -> ?jobs:int -> ?por:bool -> Prog.t -> Behavior.t
     identical behavior set, fewer states. *)
 
 val run_stats :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
-  ?strategy:Engine.strategy -> Prog.t ->
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
   Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics from the shared
     {!Engine}. [deadline] (absolute [Unix.gettimeofday] time) cancels
-    the search when it passes; [strategy] selects the parallel search
-    algorithm (default {!Engine.Work_stealing}). *)
+    the search when it passes. *)

@@ -16,6 +16,11 @@ type request =
           (** certification memoization for this job (default true);
               part of the scheduler's cache key, so A/B submissions
               never alias *)
+      por : bool;
+          (** partial-order reduction for this job (default true); also
+              part of the cache key — behavior sets are identical either
+              way, but statistics are not, and A/B submissions must not
+              alias *)
     }
   | Status
   | Shutdown
@@ -50,7 +55,7 @@ let job_of_json j =
   | k -> fail ("unknown job kind " ^ k)
 
 let request_to_json = function
-  | Submit { job; jobs; deadline_s; cert_cache } ->
+  | Submit { job; jobs; deadline_s; cert_cache; por } ->
       Json.Obj
         [ ("op", Json.String "submit");
           ("job", job_to_json job);
@@ -58,7 +63,8 @@ let request_to_json = function
           ( "deadline_s",
             match deadline_s with None -> Json.Null | Some d -> Json.Float d
           );
-          ("cert_cache", Json.Bool cert_cache) ]
+          ("cert_cache", Json.Bool cert_cache);
+          ("por", Json.Bool por) ]
   | Status -> Json.Obj [ ("op", Json.String "status") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
@@ -79,6 +85,11 @@ let request_of_json j =
             (* absent = true: requests from older clients keep the
                default behavior *)
             (match Json.member "cert_cache" j with
+            | Json.Null -> true
+            | b -> Json.to_bool b);
+          por =
+            (* absent = true, same back-compat rule *)
+            (match Json.member "por" j with
             | Json.Null -> true
             | b -> Json.to_bool b) }
   | "status" -> Status

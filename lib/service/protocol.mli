@@ -25,11 +25,13 @@ type request =
       jobs : int;
       deadline_s : float option;
       cert_cache : bool;
+      por : bool;
     }
       (** [jobs] = exploration domains; [deadline_s] = seconds from
           submission before the job is cancelled; [cert_cache] toggles
-          certification memoization (default true — absent on the wire
-          means true, so older clients are unaffected) *)
+          certification memoization and [por] partial-order reduction
+          (both default true — absent on the wire means true, so older
+          clients are unaffected) *)
   | Status
   | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
 

@@ -54,19 +54,24 @@ let budgets_of_config config =
 let with_cert_cache cert_cache (config : Promising.config) =
   { config with Promising.cert_cache }
 
-let cache_key ?(cert_cache = true) (spec : spec) : string =
+let cache_key ?(cert_cache = true) ?(por = true) (spec : spec) : string =
+  (* [por] is part of the budgets: behavior sets are identical either
+     way, but the cached payload embeds exploration statistics, and an
+     A/B submission must not be served the other arm's counters. *)
+  let por_tag = Printf.sprintf ";por=%b" por in
   let model, budgets, prog_digest =
     match spec with
     | Litmus_spec t ->
         ( "litmus",
-          budgets_of_config (with_cert_cache cert_cache (litmus_config t)),
+          budgets_of_config (with_cert_cache cert_cache (litmus_config t))
+          ^ por_tag,
           Fingerprint.prog t.prog )
     | Refine_spec e ->
         (* The analyzer version is part of the budgets: a lint upgrade
            must not serve results decided by the old passes. *)
         ( "refine",
           budgets_of_config (with_cert_cache cert_cache e.rm_config)
-          ^ ";lint=" ^ Analysis.Driver.version,
+          ^ por_tag ^ ";lint=" ^ Analysis.Driver.version,
           Fingerprint.prog e.prog )
     | Certify_spec v ->
         (* A certificate depends on the whole corpus (good, buggy and
@@ -107,6 +112,7 @@ type ticket = {
   tk_jobs : int;
   tk_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
   tk_cert_cache : bool;
+  tk_por : bool;
   mutable tk_result : (outcome * meta) option;
 }
 
@@ -156,8 +162,8 @@ let execute tk :
   match tk.tk_spec with
   | Litmus_spec test ->
       let r =
-        Litmus.run ~sc_fuel ~jobs ?deadline ~cert_cache:tk.tk_cert_cache
-          test
+        Litmus.run ~sc_fuel ~jobs ?deadline ~por:tk.tk_por
+          ~cert_cache:tk.tk_cert_cache test
       in
       let stats = Engine.add_stats r.sc_stats r.rm_stats in
       if timed_out_by ~deadline r.sc_stats
@@ -192,7 +198,7 @@ let execute tk :
         let v =
           Vrm.Refinement.check_adaptive ~sc_fuel
             ~config:(with_cert_cache tk.tk_cert_cache e.rm_config)
-            ~jobs ?deadline e.prog
+            ~jobs ?deadline ~por:tk.tk_por e.prog
         in
         let stats = Engine.add_stats v.sc_stats v.rm_stats in
         if timed_out_by ~deadline v.sc_stats
@@ -318,8 +324,9 @@ let create ?workers ?cache () =
     List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) spec =
-  let key = cache_key ~cert_cache spec in
+let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) ?(por = true)
+    spec =
+  let key = cache_key ~cert_cache ~por spec in
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
   in
@@ -340,6 +347,7 @@ let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) spec =
               tk_jobs = max 1 jobs;
               tk_deadline = deadline;
               tk_cert_cache = cert_cache;
+              tk_por = por;
               tk_result = None }
           in
           if t.stopping then
@@ -361,8 +369,8 @@ let await t tk =
       done;
       Option.get tk.tk_result)
 
-let run t ?jobs ?deadline_s ?cert_cache spec =
-  await t (submit t ?jobs ?deadline_s ?cert_cache spec)
+let run t ?jobs ?deadline_s ?cert_cache ?por spec =
+  await t (submit t ?jobs ?deadline_s ?cert_cache ?por spec)
 
 type counters = {
   submitted : int;

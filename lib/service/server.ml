@@ -36,12 +36,12 @@ let respond srv (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
       Atomic.set srv.stop true;
       Protocol.Bye
-  | Protocol.Submit { job; jobs; deadline_s; cert_cache } -> (
+  | Protocol.Submit { job; jobs; deadline_s; cert_cache; por } -> (
       match Scheduler.lookup_job job with
       | Error msg -> Protocol.Error_r msg
       | Ok spec -> (
           let outcome, meta =
-            Scheduler.run srv.sched ~jobs ?deadline_s ~cert_cache spec
+            Scheduler.run srv.sched ~jobs ?deadline_s ~cert_cache ~por spec
           in
           match outcome with
           | Scheduler.Done payload ->

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Regenerate BENCH_engine.json via `make bench-smoke` and fail if any
 # refinement-sweep behavior digest differs from the digests committed in
-# the repository. Digests are deterministic functions of the behavior
-# sets; wall-clock numbers are machine noise and are never compared.
+# the repository, or if the frontier scheduler failed its scaling gate
+# (scaling_ok:false — jobs=4 speedup below 1.3x on a >=4-domain machine;
+# vacuously true on smaller machines). Set VRM_BENCH_ALLOW_NO_SCALING=1
+# to downgrade a scaling failure to a warning (digest drift always
+# fails). Digests are deterministic functions of the behavior sets;
+# wall-clock numbers are machine noise and are never compared.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,12 +18,13 @@ git show HEAD:BENCH_engine.json > "$committed"
 make bench-smoke
 
 python3 - "$committed" BENCH_engine.json <<'EOF'
-import json, sys
+import json, os, sys
 
 with open(sys.argv[1]) as f:
     old = {s["label"]: s["digest"] for s in json.load(f)["refinement_sweep"]}
 with open(sys.argv[2]) as f:
-    new = {s["label"]: s["digest"] for s in json.load(f)["refinement_sweep"]}
+    fresh = json.load(f)
+new = {s["label"]: s["digest"] for s in fresh["refinement_sweep"]}
 
 bad = False
 for label, digest in new.items():
@@ -39,4 +44,15 @@ for label in sorted(set(old) - set(new)):
 if bad:
     sys.exit("bench digests differ from the committed BENCH_engine.json")
 print("all sweep digests match the committed BENCH_engine.json")
+
+speedup = fresh.get("speedup_jobs4_vs_seq")
+domains = fresh.get("domains")
+print(f"scaling: jobs=4 speedup {speedup:.2f}x on {domains} domains")
+if not fresh.get("scaling_ok", True):
+    msg = (f"scaling_ok:false — jobs=4 speedup {speedup:.2f}x < 1.30x "
+           f"on a {domains}-domain machine")
+    if os.environ.get("VRM_BENCH_ALLOW_NO_SCALING"):
+        print(f"WARNING (overridden by VRM_BENCH_ALLOW_NO_SCALING): {msg}")
+    else:
+        sys.exit(msg)
 EOF

@@ -154,6 +154,15 @@ let golden =
 let litmus = Paper_examples.all @ Litmus_suite.all
 let kernel = Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
 
+(* Canonical rendering of a push/pull verdict, shared by the golden and
+   POR-parity tests: violations render through [pp_violation], so parity
+   here means the exact first violation string. *)
+let pp_check = function
+  | Pushpull.Drf_ok b -> "ok:" ^ digest_behaviors b
+  | Pushpull.Drf_violation v ->
+      Format.asprintf "violation:%a" Pushpull.pp_violation v
+  | Pushpull.Drf_kernel_panic _ -> "panic"
+
 (* Recompute every golden entry with the engine-based executors, in the
    same order the goldens were captured. *)
 let computed () =
@@ -169,12 +178,6 @@ let computed () =
   @ List.concat_map
       (fun (e : Sekvm.Kernel_progs.entry) ->
         let p = e.Sekvm.Kernel_progs.prog in
-        let pp_check = function
-          | Pushpull.Drf_ok b -> "ok:" ^ digest_behaviors b
-          | Pushpull.Drf_violation v ->
-              Format.asprintf "violation:%a" Pushpull.pp_violation v
-          | Pushpull.Drf_kernel_panic _ -> "panic"
-        in
         [ ("sc", e.Sekvm.Kernel_progs.name, digest_behaviors (Sc.run p));
           ( "promising",
             e.Sekvm.Kernel_progs.name,
@@ -311,16 +314,18 @@ let test_por_equivalence () =
         (digest_behaviors (Sc.run ~jobs:4 ~por:false p)))
     progs
 
-(* POR must actually reduce: over the whole litmus corpus, SC and TSO
-   visit strictly fewer states with POR on, and the prune counter is
-   nonzero. (Per-program this can tie — a two-thread racy program may
-   have no ample or sleepable step — so we assert on the corpus sum.) *)
+(* POR must actually reduce: over each corpus, every model visits
+   strictly fewer states with POR on, and the prune counter is nonzero.
+   (Per-program this can tie — a two-thread racy program may have no
+   ample or sleepable step — so we assert on the corpus sum. Promising
+   entries under [strict_certification] run exact either way and
+   contribute equally to both sides.) *)
 let test_por_reduces () =
   let sum f =
     List.fold_left
       (fun (on, off, pruned) (t : Litmus.t) ->
-        let _, s_on = f ~por:true t.Litmus.prog in
-        let _, s_off = f ~por:false t.Litmus.prog in
+        let _, (s_on : Engine.stats) = f ~por:true t in
+        let _, (s_off : Engine.stats) = f ~por:false t in
         ( on + s_on.Engine.visited,
           off + s_off.Engine.visited,
           pruned + s_on.Engine.por_pruned ))
@@ -332,29 +337,87 @@ let test_por_reduces () =
       true (on < off);
     Alcotest.(check bool) (name ^ ": POR prunes transitions") true (pruned > 0)
   in
-  check "sc" (sum (fun ~por p -> Sc.run_stats ~por p));
-  check "tso" (sum (fun ~por p -> Tso.run_stats ~fuel:3 ~por p))
+  check "sc" (sum (fun ~por t -> Sc.run_stats ~por t.Litmus.prog));
+  check "tso" (sum (fun ~por t -> Tso.run_stats ~fuel:3 ~por t.Litmus.prog));
+  check "promising"
+    (sum (fun ~por t ->
+         Promising.run_stats ?config:t.Litmus.rm_config ~por t.Litmus.prog));
+  check "pushpull"
+    (List.fold_left
+       (fun (on, off, pruned) (e : Sekvm.Kernel_progs.entry) ->
+         let run por =
+           Pushpull.check_stats ~exempt:e.Sekvm.Kernel_progs.exempt
+             ~initial_owners:e.Sekvm.Kernel_progs.initial_owners ~por
+             e.Sekvm.Kernel_progs.prog
+         in
+         let _, (s_on : Engine.stats) = run true in
+         let _, (s_off : Engine.stats) = run false in
+         ( on + s_on.Engine.visited,
+           off + s_off.Engine.visited,
+           pruned + s_on.Engine.por_pruned ))
+       (0, 0, 0) Sekvm.Kernel_progs.corpus)
 
-(* Work stealing and the legacy bucketed strategy agree with the
-   sequential search (POR off so all three explore the same states). *)
-let test_strategy_equivalence () =
+(* The certification-aware Promising oracle must not change any behavior
+   set: with POR forced on and off, every litmus program and kernel
+   entry (boundary and lint corpora included) lands on one digest —
+   combined with the golden table above, both toggles reproduce the
+   seed digests exactly. *)
+let test_por_parity_promising () =
   List.iter
     (fun (t : Litmus.t) ->
       let p = t.Litmus.prog in
-      let seq = digest_behaviors (Sc.run ~por:false p) in
-      let with_strategy strategy =
-        digest_behaviors
-          (fst (Sc.run_stats ~jobs:4 ~por:false ~strategy p))
+      let d por =
+        digest_behaviors (Promising.run ?config:t.Litmus.rm_config ~por p)
       in
       Alcotest.(check string)
-        (p.Prog.name ^ " work-stealing = sequential")
-        seq
-        (with_strategy Engine.Work_stealing);
+        (p.Prog.name ^ " promising por on = off")
+        (d false) (d true))
+    litmus;
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let d por =
+        digest_behaviors
+          (Promising.run ~config:e.Sekvm.Kernel_progs.rm_config ~por
+             e.Sekvm.Kernel_progs.prog)
+      in
       Alcotest.(check string)
-        (p.Prog.name ^ " bucketed = sequential")
-        seq
-        (with_strategy Engine.Bucketed))
-    Paper_examples.all
+        (e.Sekvm.Kernel_progs.name ^ " promising por on = off")
+        (d false) (d true))
+    (Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+   @ Sekvm.Kernel_progs.boundary_corpus @ Sekvm.Kernel_progs.lint_corpus)
+
+(* Same for the ownership oracle: violating transitions carry global
+   footprints and are never slept, so the sequential search must report
+   the exact same first violation (string-for-string) with POR on or
+   off. At jobs=4 the winning schedule is racy, so only the
+   classification (which constructor; for violations, which kind on
+   which base) is asserted. *)
+let test_por_parity_pushpull () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let run ~jobs por =
+        Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+          ~initial_owners:e.Sekvm.Kernel_progs.initial_owners ~jobs ~por
+          e.Sekvm.Kernel_progs.prog
+      in
+      let want = run ~jobs:1 false in
+      Alcotest.(check string)
+        (e.Sekvm.Kernel_progs.name ^ " pushpull por on = off")
+        (pp_check want)
+        (pp_check (run ~jobs:1 true));
+      let classified =
+        match (want, run ~jobs:4 true) with
+        | Pushpull.Drf_ok a, Pushpull.Drf_ok b -> Behavior.equal a b
+        | Pushpull.Drf_violation a, Pushpull.Drf_violation b ->
+            a.Pushpull.v_kind = b.Pushpull.v_kind
+            && a.Pushpull.v_base = b.Pushpull.v_base
+        | Pushpull.Drf_kernel_panic a, Pushpull.Drf_kernel_panic b -> a = b
+        | _ -> false
+      in
+      Alcotest.(check bool)
+        (e.Sekvm.Kernel_progs.name ^ " pushpull por jobs=4 classification")
+        true classified)
+    kernel
 
 (* A deadline already in the past must stop a jobs=4 work-stealing
    search promptly: budget_hit set, almost nothing visited. *)
@@ -370,6 +433,31 @@ let test_parallel_cancellation () =
   (* same through the Promising executor (lazy expansion path) *)
   let _, (sp : Engine.stats) = Promising.run_stats ~jobs:4 ~deadline p in
   Alcotest.(check bool) "promising budget_hit set" true sp.Engine.budget_hit
+
+(* A deadline expiring mid-search must classify the partial result the
+   same way regardless of partitioning: a refinement check cancelled at
+   jobs=1 and at jobs=4 both flag budget_hit and agree on the verdict
+   classification (with an already-past deadline both sides are cut at
+   the root, so the comparison is deterministic). *)
+let test_deadline_classification () =
+  let e = List.hd kernel in
+  let p = e.Sekvm.Kernel_progs.prog
+  and config = e.Sekvm.Kernel_progs.rm_config in
+  let deadline = Unix.gettimeofday () -. 1.0 in
+  let v1 = Vrm.Refinement.check ~config ~jobs:1 ~deadline p in
+  let v4 = Vrm.Refinement.check ~config ~jobs:4 ~deadline p in
+  Alcotest.(check bool) "jobs=1 rm budget_hit" true
+    v1.Vrm.Refinement.rm_stats.Engine.budget_hit;
+  Alcotest.(check bool) "jobs=4 rm budget_hit" true
+    v4.Vrm.Refinement.rm_stats.Engine.budget_hit;
+  Alcotest.(check bool) "holds classification equal" v1.Vrm.Refinement.holds
+    v4.Vrm.Refinement.holds;
+  Alcotest.(check string) "cancelled rm digests equal"
+    (digest_behaviors v1.Vrm.Refinement.rm)
+    (digest_behaviors v4.Vrm.Refinement.rm);
+  Alcotest.(check string) "cancelled sc digests equal"
+    (digest_behaviors v1.Vrm.Refinement.sc)
+    (digest_behaviors v4.Vrm.Refinement.sc)
 
 (* max_states is one global budget in parallel mode: jobs=4 with a tiny
    budget stops near it, not at 4x it. *)
@@ -492,15 +580,19 @@ let () =
             test_jobs_equivalence;
           Alcotest.test_case "pushpull jobs=1 = jobs=4" `Slow
             test_jobs_equivalence_pushpull;
-          Alcotest.test_case "strategies agree with sequential" `Quick
-            test_strategy_equivalence;
           Alcotest.test_case "past deadline cancels jobs=4 promptly" `Quick
             test_parallel_cancellation;
+          Alcotest.test_case "cancelled partitions classify like sequential"
+            `Quick test_deadline_classification;
           Alcotest.test_case "max_states is a global budget" `Quick
             test_global_budget ] );
       ( "por",
         [ Alcotest.test_case "por on/off digests equal everywhere" `Slow
             test_por_equivalence;
+          Alcotest.test_case "promising por on/off digests equal" `Slow
+            test_por_parity_promising;
+          Alcotest.test_case "pushpull por on/off verdicts equal" `Slow
+            test_por_parity_pushpull;
           Alcotest.test_case "por strictly reduces visited states" `Quick
             test_por_reduces ] );
       ( "cert-cache",
