@@ -1,4 +1,4 @@
-.PHONY: all build test litmus examples smoke lint check bench bench-smoke clean
+.PHONY: all build test litmus examples smoke lint bmc check bench bench-smoke clean
 
 all: build
 
@@ -29,9 +29,15 @@ smoke:
 lint:
 	dune exec bin/vrm_cli.exe -- lint --corpus
 
+# Cross-validate the SAT-based BMC backend against the explicit-state
+# engines: digest equality on every litmus-suite entry, both memory
+# models. Exits non-zero on any divergence.
+bmc:
+	dune exec bin/vrm_cli.exe -- litmus --suite --backend=both
+
 # The tier-1 gate: what CI runs. (CI additionally runs bench-smoke and
 # service-smoke in their own jobs.)
-check: build test examples litmus smoke lint
+check: build test examples litmus smoke lint bmc
 
 bench:
 	dune exec bench/main.exe

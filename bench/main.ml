@@ -596,7 +596,7 @@ let por_rows () =
           t.Memmodel.Litmus.prog);
     pushpull ]
 
-let print_engine ?(emit_json = false) () =
+let print_engine ?(emit_json = false) ?bmc () =
   section "Exploration engine: frontier scheduler, POR oracle, cert cache";
   (* kernel-corpus refinement sweeps: the frontier scheduler at 1/2/4
      domains (probe phase corpus-wide, commit phase intra-entry), and
@@ -620,22 +620,28 @@ let print_engine ?(emit_json = false) () =
     speedup_vs_seq domains;
   (* scaling verdict: with at least 4 hardware threads, the jobs=4 sweep
      must beat sequential by 1.3x. On smaller machines every domain
-     multiplexes onto the same cores and the comparison is vacuous — the
-     digests below remain the correctness gate. *)
-  let scaling_ok = if domains >= 4 then speedup_vs_seq >= 1.3 else true in
-  if not scaling_ok then begin
-    Format.printf
-      "  *** WARNING: PARALLEL SCALING BELOW THRESHOLD: jobs=4 speedup \
-       %.2fx < 1.30x on a %d-domain machine ***@."
-      speedup_vs_seq domains;
-    Format.printf
-      "  *** the frontier scheduler is not paying for itself; check \
-       BENCH_entries.json for the dominating entries ***@."
-  end
-  else if domains < 4 then
-    Format.printf
-      "  (scaling threshold not applicable: %d hardware domains < 4)@."
-      domains;
+     multiplexes onto the same cores and the comparison would be vacuous,
+     so the verdict is recorded as "skipped" — deliberately distinct from
+     "true" so downstream checks can tell "passed" from "not measured".
+     The digests below remain the correctness gate either way. *)
+  let scaling_verdict =
+    if domains < 4 then "skipped"
+    else if speedup_vs_seq >= 1.3 then "true"
+    else "false"
+  in
+  (match scaling_verdict with
+  | "false" ->
+      Format.printf
+        "  *** WARNING: PARALLEL SCALING BELOW THRESHOLD: jobs=4 speedup \
+         %.2fx < 1.30x on a %d-domain machine ***@."
+        speedup_vs_seq domains;
+      Format.printf
+        "  *** the frontier scheduler is not paying for itself; check \
+         BENCH_entries.json for the dominating entries ***@."
+  | "skipped" ->
+      Format.printf
+        "  (scaling check skipped: %d hardware domains < 4)@." domains
+  | _ -> ());
   expect
     "all sweep configurations (jobs, POR) produce bit-identical behavior     sets"
     (List.for_all
@@ -696,7 +702,7 @@ let print_engine ?(emit_json = false) () =
   if emit_json then begin
     let j =
       Cache.Json.Obj
-        [ ("schema", Cache.Json.String "vrm-bench-engine/3");
+        ([ ("schema", Cache.Json.String "vrm-bench-engine/4");
           ("engine_version", Cache.Json.String Memmodel.Engine.version);
           ( "refinement_sweep",
             Cache.Json.List
@@ -716,7 +722,7 @@ let print_engine ?(emit_json = false) () =
                  [ ws1; ws2; ws4; np1; np4 ]) );
           ("speedup_jobs4_vs_seq", Cache.Json.Float speedup_vs_seq);
           ("domains", Cache.Json.Int domains);
-          ("scaling_ok", Cache.Json.Bool scaling_ok);
+          ("scaling_ok", Cache.Json.String scaling_verdict);
           ( "cert_cache",
             Cache.Json.Obj
               [ ("cert_calls", Cache.Json.Int ws1.sw_cert_calls);
@@ -744,6 +750,7 @@ let print_engine ?(emit_json = false) () =
                 ("interned_s", Cache.Json.Float interned_s);
                 ( "speedup",
                   Cache.Json.Float (legacy_s /. interned_s) ) ] ) ]
+        @ match bmc with Some b -> [ ("bmc", b) ] | None -> [])
     in
     let text = Cache.Json.to_string j in
     let oc = open_out "BENCH_engine.json" in
@@ -791,6 +798,124 @@ let print_engine ?(emit_json = false) () =
     close_out oc;
     Format.printf "  wrote BENCH_entries.json@."
   end
+
+(* ------------------------------------------------------------------ *)
+(* BMC backend: SAT-based decision vs explicit enumeration             *)
+(* ------------------------------------------------------------------ *)
+
+(* N writer threads all storing 1 to [x], one reader loading [x] twice.
+   The explicit SC enumerator's state space grows as ~2^N (same-location
+   writes conflict, so POR cannot commute them), while the behavior set
+   is always the same 3 outcomes — (r0,r1) ∈ {(0,0),(0,1),(1,1)};
+   (1,0) is forbidden by coherence. The SAT backend's work scales with
+   the number of observationally distinct models, not interleavings, so
+   it finishes in milliseconds at any N. *)
+let bmc_family n =
+  let x = Memmodel.Expr.at "x" in
+  let r0 = Memmodel.Reg.v "r0" and r1 = Memmodel.Reg.v "r1" in
+  let writers =
+    List.init n (fun i ->
+        Memmodel.Prog.thread (i + 2) [ Memmodel.Instr.store x (Memmodel.Expr.c 1) ])
+  in
+  let reader =
+    Memmodel.Prog.thread 1
+      [ Memmodel.Instr.load r0 x; Memmodel.Instr.load r1 x ]
+  in
+  Memmodel.Prog.make
+    ~name:(Printf.sprintf "bmc-writers-%d" n)
+    ~observables:[ Memmodel.Prog.Obs_reg (1, r0); Memmodel.Prog.Obs_reg (1, r1) ]
+    (reader :: writers)
+
+let print_bmc () : Cache.Json.t =
+  section "BMC backend: SAT-based decision vs explicit enumeration";
+  (* litmus suite: wall time and digest parity, both memory models *)
+  let suite = Memmodel.Litmus_suite.all in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let parity = ref true in
+  let t_explicit = ref 0. and t_bmc = ref 0. in
+  List.iter
+    (fun (t : Memmodel.Litmus.t) ->
+      let prog = t.Memmodel.Litmus.prog in
+      let sc_ref, t1 = time (fun () -> Memmodel.Sc.run prog) in
+      let rm_ref, t2 = time (fun () -> Memmodel.Axiomatic.run prog) in
+      let sc_bmc, t3 = time (fun () -> Bmc.run_sc prog) in
+      let rm_bmc, t4 = time (fun () -> Bmc.run prog) in
+      t_explicit := !t_explicit +. t1 +. t2;
+      t_bmc := !t_bmc +. t3 +. t4;
+      if
+        not
+          (Memmodel.Behavior.equal sc_ref sc_bmc
+          && Memmodel.Behavior.equal rm_ref rm_bmc)
+      then begin
+        parity := false;
+        Format.printf "  DIVERGENCE on %s@." prog.Memmodel.Prog.name
+      end)
+    suite;
+  Format.printf
+    "  litmus suite (%d tests, SC + Arm): explicit %.3f s, bmc %.3f s@."
+    (List.length suite) !t_explicit !t_bmc;
+  expect "BMC and explicit engines agree on every litmus-suite behavior set"
+    !parity;
+  (* the high-interleaving family: escalate N until the explicit SC
+     enumerator blows a 0.5 s budget; BMC must decide that same N
+     completely. The state space is ~2^N, so the escalation is
+     guaranteed to terminate on any machine. *)
+  let budget = 0.5 in
+  let rec escalate = function
+    | [] -> None
+    | n :: rest ->
+        let prog = bmc_family n in
+        let deadline = Unix.gettimeofday () +. budget in
+        let _, (sc_stats : Memmodel.Engine.stats) =
+          Memmodel.Sc.run_stats ~deadline prog
+        in
+        let r = Bmc.check ~mode:Bmc.Sc prog in
+        let outcomes = Memmodel.Behavior.cardinal r.Bmc.behaviors in
+        Format.printf
+          "  N=%-3d explicit: %8d states %s %6.3f s   bmc: %d outcomes \
+           %s %6.3f s@."
+          n sc_stats.Memmodel.Engine.visited
+          (if sc_stats.Memmodel.Engine.budget_hit then "BUDGET-HIT"
+           else "complete  ")
+          sc_stats.Memmodel.Engine.wall_s outcomes
+          (if r.Bmc.complete then "complete" else "bounded")
+          r.Bmc.wall_s;
+        if sc_stats.Memmodel.Engine.budget_hit then
+          Some (n, r.Bmc.complete && outcomes = 3, r.Bmc.wall_s)
+        else escalate rest
+  in
+  let family = escalate [ 14; 18; 22; 26 ] in
+  (match family with
+  | Some (n, bmc_ok, wall) ->
+      expect
+        (Printf.sprintf
+           "N=%d writers: explicit enumerator exceeds its %.1fs budget; \
+            BMC decides it completely (3 outcomes, %.3fs)"
+           n budget wall)
+        bmc_ok
+  | None ->
+      expect
+        "explicit enumerator exceeds its budget somewhere in the family"
+        false);
+  Cache.Json.Obj
+    [ ("suite_tests", Cache.Json.Int (List.length suite));
+      ("suite_parity", Cache.Json.Bool !parity);
+      ("suite_wall_s_explicit", Cache.Json.Float !t_explicit);
+      ("suite_wall_s_bmc", Cache.Json.Float !t_bmc);
+      ( "family",
+        match family with
+        | Some (n, bmc_ok, wall) ->
+            Cache.Json.Obj
+              [ ("writers", Cache.Json.Int n);
+                ("explicit_budget_s", Cache.Json.Float budget);
+                ("explicit_budget_hit", Cache.Json.Bool true);
+                ("bmc_complete_3_outcomes", Cache.Json.Bool bmc_ok);
+                ("bmc_wall_s", Cache.Json.Float wall) ]
+        | None -> Cache.Json.Null ) ]
 
 (* ------------------------------------------------------------------ *)
 (* vrmd: the verification service, cold vs warm cache                  *)
@@ -1006,10 +1131,12 @@ let run_bechamel () =
 let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--json" argv then begin
-    (* engine section only: write and validate BENCH_engine.json. All
-       assertions in this mode are on counts and digests, never on
-       timing — safe for CI smoke runs on noisy machines. *)
-    print_engine ~emit_json:true ();
+    (* engine + BMC sections only: write and validate BENCH_engine.json.
+       Assertions in this mode are on counts, digests and the BMC/explicit
+       budget contrast (which only widens on slower machines) — safe for
+       CI smoke runs on noisy machines. *)
+    let bmc = print_bmc () in
+    print_engine ~emit_json:true ~bmc ();
     section "Summary";
     Format.printf "all shape checks passed: %b@." !all_ok;
     if not !all_ok then exit 1
@@ -1025,6 +1152,7 @@ let () =
     print_stress ();
     print_parallel ();
     print_engine ();
+    ignore (print_bmc ());
     print_service ();
     print_lint ();
     print_certification ();

@@ -53,52 +53,159 @@ let litmus_cmd =
              (identical behavior sets, every promise re-certified from \
              scratch)")
   in
-  let run test_name stats jobs json no_por no_cert_cache =
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("explicit", `Explicit); ("bmc", `Bmc); ("both", `Both) ])
+          `Explicit
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "deciding engine: $(b,explicit) (the enumerating SC + \
+             Promising executors), $(b,bmc) (the SAT-based bounded model \
+             checker), or $(b,both) (run both and fail loudly unless the \
+             behavior-set digests agree)")
+  in
+  let suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"also run the classic litmus suite, not just the §2 examples")
+  in
+  let run test_name stats jobs json no_por no_cert_cache backend suite =
+    let corpus =
+      Memmodel.Paper_examples.all
+      @ (if suite then Memmodel.Litmus_suite.all else [])
+    in
     let tests =
       match test_name with
-      | None -> Memmodel.Paper_examples.all
+      | None -> corpus
       | Some n ->
           List.filter
             (fun t -> t.Memmodel.Litmus.prog.Memmodel.Prog.name = n)
-            Memmodel.Paper_examples.all
+            corpus
     in
     if tests = [] then (
       Format.eprintf "unknown litmus test %a@."
         (Format.pp_print_option Format.pp_print_string)
         test_name;
       exit 1);
-    let results =
-      List.map
-        (Memmodel.Litmus.run ~jobs ~por:(not no_por)
-           ~cert_cache:(not no_cert_cache))
-        tests
-    in
-    List.iter
-      (fun (r : Memmodel.Litmus.result) ->
-        if json then
-          print_endline
-            (Cache.Json.to_string
-               (Cache.Codec.litmus_to_json (Cache.Codec.litmus_summary r)))
-        else begin
-          Format.printf "%a@." Memmodel.Litmus.pp_result r;
-          if stats then
-            Format.printf "  SC : %a@.  RM : %a@." Memmodel.Engine.pp_stats
-              r.Memmodel.Litmus.sc_stats Memmodel.Engine.pp_stats
-              r.Memmodel.Litmus.rm_stats;
-          Format.printf "@."
-        end)
-      results;
-    if
-      List.exists
-        (fun (r : Memmodel.Litmus.result) ->
-          not r.Memmodel.Litmus.as_expected)
-        results
-    then exit 1
+    match backend with
+    | `Explicit ->
+        let results =
+          List.map
+            (Memmodel.Litmus.run ~jobs ~por:(not no_por)
+               ~cert_cache:(not no_cert_cache))
+            tests
+        in
+        List.iter
+          (fun (r : Memmodel.Litmus.result) ->
+            if json then
+              print_endline
+                (Cache.Json.to_string
+                   (Cache.Codec.litmus_to_json (Cache.Codec.litmus_summary r)))
+            else begin
+              Format.printf "%a@." Memmodel.Litmus.pp_result r;
+              if stats then
+                Format.printf "  SC : %a@.  RM : %a@."
+                  Memmodel.Engine.pp_stats r.Memmodel.Litmus.sc_stats
+                  Memmodel.Engine.pp_stats r.Memmodel.Litmus.rm_stats;
+              Format.printf "@."
+            end)
+          results;
+        if
+          List.exists
+            (fun (r : Memmodel.Litmus.result) ->
+              not r.Memmodel.Litmus.as_expected)
+            results
+        then exit 1
+    | `Bmc ->
+        (* Decide each test by SAT alone. The Arm set is the axiomatic
+           model's (an over-approximation of Promising), so the
+           exists-clause verdict is checked against [expect_rm]. *)
+        let failed = ref false in
+        List.iter
+          (fun (t : Memmodel.Litmus.t) ->
+            match Bmc.check ~mode:Bmc.Arm t.Memmodel.Litmus.prog with
+            | rm ->
+                let sc = Bmc.check ~mode:Bmc.Sc t.Memmodel.Litmus.prog in
+                let s = Cache.Codec.bmc_summary t ~rm ~sc in
+                if json then
+                  print_endline
+                    (Cache.Json.to_string (Cache.Codec.bmc_to_json s))
+                else begin
+                  let ok = s.Cache.Codec.b_rm_sat = t.Memmodel.Litmus.expect_rm in
+                  if not ok then failed := true;
+                  Format.printf "%-26s sc=%d rm=%d %s%s %s@."
+                    s.Cache.Codec.b_name
+                    (Memmodel.Behavior.cardinal s.Cache.Codec.b_sc)
+                    (Memmodel.Behavior.cardinal s.Cache.Codec.b_rm)
+                    (if s.Cache.Codec.b_rm_sat then "reachable"
+                     else "unreachable")
+                    (if s.Cache.Codec.b_rm_complete then ""
+                     else " (bound-limited)")
+                    (if ok then "ok" else "UNEXPECTED");
+                  if stats then
+                    Format.printf
+                      "  %d models, %d vars, %d clauses, %d conflicts, \
+                       %.3fs@."
+                      s.Cache.Codec.b_models s.Cache.Codec.b_vars
+                      s.Cache.Codec.b_clauses s.Cache.Codec.b_conflicts
+                      s.Cache.Codec.b_wall_s
+                end
+            | exception Bmc.Unsupported why ->
+                Format.printf "%-26s outside the BMC fragment (%s)@."
+                  t.Memmodel.Litmus.prog.Memmodel.Prog.name why)
+          tests;
+        if !failed then exit 1
+    | `Both ->
+        (* Cross-validation: the SAT backend must land on bit-identical
+           behavior sets to the explicit engines deciding the same
+           models — Bmc(Sc) vs the SC enumerator, Bmc(Arm) vs the
+           enumerating axiomatic checker. Any divergence is a bug in one
+           of the two pipelines and fails the run. *)
+        let diverged = ref false in
+        List.iter
+          (fun (t : Memmodel.Litmus.t) ->
+            let prog = t.Memmodel.Litmus.prog in
+            match Bmc.check ~mode:Bmc.Arm prog with
+            | rm ->
+                let sc = Bmc.check ~mode:Bmc.Sc prog in
+                let d = Memmodel.Fingerprint.behaviors in
+                let sc_ref = d (Memmodel.Sc.run prog) in
+                let rm_ref = d (Memmodel.Axiomatic.run prog) in
+                let sc_bmc = d sc.Bmc.behaviors in
+                let rm_bmc = d rm.Bmc.behaviors in
+                let ok = sc_ref = sc_bmc && rm_ref = rm_bmc in
+                if not ok then diverged := true;
+                Format.printf "%-26s sc=%d rm=%d %s@." prog.Memmodel.Prog.name
+                  (Memmodel.Behavior.cardinal sc.Bmc.behaviors)
+                  (Memmodel.Behavior.cardinal rm.Bmc.behaviors)
+                  (if ok then "AGREE" else "DIGESTS DIVERGE");
+                if not ok then begin
+                  if sc_ref <> sc_bmc then
+                    Format.printf
+                      "  *** SC: explicit %s vs bmc %s ***@." sc_ref sc_bmc;
+                  if rm_ref <> rm_bmc then
+                    Format.printf
+                      "  *** Arm: explicit %s vs bmc %s ***@." rm_ref rm_bmc
+                end
+            | exception Bmc.Unsupported why ->
+                Format.printf
+                  "%-26s outside the BMC fragment (%s); explicit only@."
+                  prog.Memmodel.Prog.name why)
+          tests;
+        if !diverged then begin
+          Format.printf
+            "@.*** BACKEND DIVERGENCE: the SAT backend and the explicit \
+             engines disagree on at least one behavior set ***@.";
+          exit 1
+        end
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
     Term.(
-      const run $ test_name $ stats $ jobs $ json $ no_por $ no_cert_cache)
+      const run $ test_name $ stats $ jobs $ json $ no_por $ no_cert_cache
+      $ backend $ suite)
 
 (* ------------------------------------------------------------------ *)
 
@@ -421,11 +528,24 @@ let serve_cmd =
 
 (* Recompute a job's result directly (no service, no cache) and compare
    the content digests against the payload the daemon returned. *)
-let verify_payload (job : Service.Protocol.job) (data : Cache.Json.t) :
-    (unit, string) result =
+let verify_payload ~backend (job : Service.Protocol.job)
+    (data : Cache.Json.t) : (unit, string) result =
   let beh = Memmodel.Fingerprint.behaviors in
   match Service.Scheduler.lookup_job job with
   | Error e -> Error e
+  | Ok (Service.Scheduler.Litmus_spec t) when backend = Service.Protocol.Bmc
+    ->
+      let remote = Cache.Codec.bmc_of_json data in
+      let rm = Bmc.check ~mode:Bmc.Arm t.Memmodel.Litmus.prog in
+      let sc = Bmc.check ~mode:Bmc.Sc t.Memmodel.Litmus.prog in
+      let local = Cache.Codec.bmc_summary t ~rm ~sc in
+      if
+        local.Cache.Codec.b_prog_digest = remote.Cache.Codec.b_prog_digest
+        && beh local.Cache.Codec.b_rm = beh remote.Cache.Codec.b_rm
+        && beh local.Cache.Codec.b_sc = beh remote.Cache.Codec.b_sc
+        && local.Cache.Codec.b_rm_sat = remote.Cache.Codec.b_rm_sat
+      then Ok ()
+      else Error "bmc payload disagrees with direct run"
   | Ok (Service.Scheduler.Litmus_spec t) ->
       let remote = Cache.Codec.litmus_of_json data in
       let local = Cache.Codec.litmus_summary (Memmodel.Litmus.run t) in
@@ -531,8 +651,21 @@ let submit_cmd =
             "ask the daemon to explore without partial-order reduction \
              (identical behavior sets; part of its result-cache key)")
   in
+  let backend =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("explicit", Service.Protocol.Explicit);
+               ("bmc", Service.Protocol.Bmc) ])
+          Service.Protocol.Explicit
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "deciding engine for litmus jobs: $(b,explicit) or $(b,bmc) \
+             (part of the daemon's result-cache key)")
+  in
   let run socket kind name jobs deadline linux levels verify no_cert_cache
-      no_por =
+      no_por backend =
     let jobs_to_run =
       match (kind, name) with
       | `Litmus, Some n -> [ Service.Protocol.Litmus n ]
@@ -565,7 +698,8 @@ let submit_cmd =
         match
           with_daemon socket (fun () ->
               Service.Client.submit ~socket ~jobs ?deadline_s:deadline
-                ~cert_cache:(not no_cert_cache) ~por:(not no_por) job)
+                ~backend ~cert_cache:(not no_cert_cache) ~por:(not no_por)
+                job)
         with
         | Error msg ->
             failed := true;
@@ -582,7 +716,7 @@ let submit_cmd =
             in
             let verdict =
               if verify then
-                match verify_payload job data with
+                match verify_payload ~backend job data with
                 | Ok () -> " verified"
                 | Error msg ->
                     failed := true;
@@ -599,7 +733,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"submit verification jobs to a running vrmd")
     Term.(
       const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
-      $ levels $ verify $ no_cert_cache $ no_por)
+      $ levels $ verify $ no_cert_cache $ no_por $ backend)
 
 let lint_cmd =
   let name_arg =

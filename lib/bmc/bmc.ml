@@ -1,0 +1,59 @@
+(** SAT-based bounded model checking of DSL programs — the second,
+    independent verdict path next to the explicit-state engines.
+
+    [run] enumerates the program's behaviors under the Armv8 axiomatic
+    model (digest-comparable with {!Memmodel.Axiomatic.run} and, on the
+    relaxed side, an over-approximation of {!Memmodel.Promising.run});
+    [run_sc] does the same under sequential consistency
+    (digest-comparable with {!Memmodel.Sc.run}). Where the explicit
+    engines walk the interleaving space — exponential in thread count —
+    the SAT backend's work scales with the number of observationally
+    distinct behaviors, so high-interleaving programs with few behaviors
+    finish fast. *)
+
+open Memmodel
+
+(* The library's other modules, reachable as [Bmc.Sat] etc. from outside
+   (the main-module convention hides them otherwise). *)
+module Sat = Sat
+module Cnf = Cnf
+module Encode = Encode
+module Enumerate = Enumerate
+
+exception Unsupported = Candidate.Unsupported
+
+type mode = Encode.mode = Arm | Sc
+
+type stats = Enumerate.stats = {
+  combos : int;
+  models : int;
+  outcomes_feasible : int;
+  infeasible : int;
+  stuck : int;
+  vars : int;
+  clauses : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+}
+
+type result = {
+  behaviors : Behavior.t;
+  complete : bool;
+      (** false when some [While] hit the unrolling bound: the behavior
+          set is then a bound-limited under-approximation *)
+  stats : stats;
+  wall_s : float;
+}
+
+let default_bound = Candidate.default_bound
+
+let check ?(mode = Arm) ?bound (prog : Prog.t) : result =
+  let t0 = Unix.gettimeofday () in
+  let behaviors, complete, stats = Enumerate.run ~mode ?bound prog in
+  { behaviors; complete; stats; wall_s = Unix.gettimeofday () -. t0 }
+
+let run ?bound prog = (check ~mode:Arm ?bound prog).behaviors
+let run_sc ?bound prog = (check ~mode:Sc ?bound prog).behaviors

@@ -1,0 +1,67 @@
+(** SAT-based bounded model checking of DSL programs: the second,
+    independent verdict path next to the explicit-state engines.
+
+    Programs are compiled to candidate executions ({!Memmodel.Candidate})
+    and the Armv8 axioms (or an SC interleaving order) are decided by a
+    built-in CDCL solver; an all-solutions loop yields the behavior set.
+    Digest-comparable with the explicit engines: [run] against
+    {!Memmodel.Axiomatic.run}, [run_sc] against {!Memmodel.Sc.run}. *)
+
+open Memmodel
+
+(** The CDCL SAT solver, CNF builder, CNF encoder and all-solutions
+    enumerator, re-exported (the main-module convention hides them
+    otherwise). *)
+
+module Sat : module type of Sat
+
+module Cnf : module type of Cnf
+
+module Encode : module type of Encode
+
+module Enumerate : module type of Enumerate
+
+exception Unsupported of string
+(** Alias of {!Memmodel.Candidate.Unsupported}: raised on programs
+    outside the fragment, naming the offending thread and pc. *)
+
+type mode = Encode.mode = Arm | Sc
+
+type stats = Enumerate.stats = {
+  combos : int;
+  models : int;
+  outcomes_feasible : int;
+  infeasible : int;
+  stuck : int;
+  vars : int;
+  clauses : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+}
+
+type result = {
+  behaviors : Behavior.t;
+  complete : bool;
+      (** false when some feasible execution was truncated at the
+          unrolling bound: the behavior set is then a bound-limited
+          under-approximation (truncated executions appear as
+          [Fuel_exhausted] outcomes). Loops that provably exit within
+          the bound stay complete. *)
+  stats : stats;
+  wall_s : float;
+}
+
+val default_bound : int
+
+val check : ?mode:mode -> ?bound:int -> Prog.t -> result
+(** Full verdict: behaviors, completeness of the bound, solver stats. *)
+
+val run : ?bound:int -> Prog.t -> Behavior.t
+(** Armv8 axiomatic behaviors (digest-comparable with
+    {!Memmodel.Axiomatic.run}). *)
+
+val run_sc : ?bound:int -> Prog.t -> Behavior.t
+(** SC behaviors (digest-comparable with {!Memmodel.Sc.run}). *)

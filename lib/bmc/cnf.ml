@@ -1,0 +1,44 @@
+(** CNF construction helpers over a {!Sat} instance: a fresh-variable
+    allocator and Tseitin encodings for the gate shapes the encoder
+    needs. Each helper introduces a definition variable constrained to
+    be {e equivalent} to its gate, so both polarities are usable. *)
+
+type t = { sat : Sat.t }
+
+let create () = { sat = Sat.create () }
+let fresh b = Sat.new_var b.sat
+let clause b lits = Sat.add_clause b.sat lits
+
+(** [v <-> l1 ∧ ... ∧ ln]. [mk_and b []] is a fresh true constant. *)
+let mk_and b lits =
+  let v = fresh b in
+  List.iter (fun l -> clause b [ -v; l ]) lits;
+  clause b (v :: List.map (fun l -> -l) lits);
+  v
+
+(** [v <-> l1 ∨ ... ∨ ln]. [mk_or b []] is a fresh false constant. *)
+let mk_or b lits =
+  let v = fresh b in
+  List.iter (fun l -> clause b [ v; -l ]) lits;
+  clause b (-v :: lits);
+  v
+
+let at_least_one b lits = clause b lits
+
+(* pairwise; the at-most-one groups here (reads-from choices per load)
+   are small enough that ladder encodings would be overhead *)
+let at_most_one b lits =
+  let rec go = function
+    | [] -> ()
+    | l :: rest ->
+        List.iter (fun l' -> clause b [ -l; -l' ]) rest;
+        go rest
+  in
+  go lits
+
+let exactly_one b lits =
+  at_least_one b lits;
+  at_most_one b lits
+
+let solve ?assumptions b = Sat.solve ?assumptions b.sat
+let value b v = Sat.value b.sat v

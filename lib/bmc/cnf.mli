@@ -1,0 +1,21 @@
+(** CNF construction helpers over a {!Sat} instance: fresh-variable
+    allocation and Tseitin gate encodings. *)
+
+type t = { sat : Sat.t }
+
+val create : unit -> t
+val fresh : t -> int
+val clause : t -> int list -> unit
+
+val mk_and : t -> int list -> int
+(** Definition variable equivalent to the conjunction of the literals. *)
+
+val mk_or : t -> int list -> int
+(** Definition variable equivalent to the disjunction of the literals. *)
+
+val at_least_one : t -> int list -> unit
+val at_most_one : t -> int list -> unit
+val exactly_one : t -> int list -> unit
+
+val solve : ?assumptions:int list -> t -> Sat.result
+val value : t -> int -> bool

@@ -1,0 +1,271 @@
+(** Compile one {!Candidate.combo} (a k-bounded control-flow path
+    choice) into CNF over axiomatic candidate executions.
+
+    Variables:
+
+    {ul
+    {- one {e reads-from choice} variable per (load, candidate writer)
+       pair — the writers on the load's location plus the initial write —
+       under an exactly-one constraint per load;}
+    {- an {e order matrix}: one boolean per unordered event pair, whose
+       polarity gives the direction, so every assignment is a tournament
+       and the transitivity clauses [ord(a,b) ∧ ord(b,c) → ord(a,c)] make
+       it a total order. Arm mode uses two families — a per-location
+       matrix witnessing the {b internal} axiom (acyclic po-loc ∪ rf ∪ co
+       ∪ fr) and a global matrix witnessing the {b external} axiom
+       (acyclic ob); SC mode uses a single global matrix containing
+       program order (Shasha–Snir: SC = some interleaving respecting po
+       in which every read sees the latest same-location write);}
+    {- a {e co-last} witness per observed location ([Obs_loc]), Tseitin-
+       defined as "every other write is order-before me".}}
+
+    The coherence order is not a separate variable family: co(w,w') is
+    {e defined} as the order-matrix entry for (w,w') — the matrix totally
+    orders same-location writes, and any total extension of a valid
+    candidate's relations restricts back to its co, so the aliasing is
+    exact. A relation is acyclic iff it embeds in a total order, so the
+    axioms become: static edges (po-loc, dependency order, barrier
+    order) are unit clauses, and each rf choice implies its rf/fr edges
+    conditionally. RMW atomicity needs no extra clauses: the fr clauses
+    already force the RMW's write order-adjacent to its reads-from
+    source among writes.
+
+    Values stay out of the SAT instance entirely (decode-and-check, in
+    the style of lazy SMT): {!Enumerate} resolves values per model via
+    {!Candidate.decode} and blocks the model's observation projection. *)
+
+open Memmodel
+
+type mode = Arm | Sc
+
+type t = {
+  cnf : Cnf.t;
+  combo : Candidate.combo;
+  mode : mode;
+  rf_vars : (int * (int * int) list) list;
+      (** read event id -> (writer event id | -1 for init, variable) *)
+  colast_vars : (Loc.t * (int * int) list) list;
+      (** observed location -> (write event id, variable) *)
+}
+
+let build ~mode (prog : Prog.t) (x : Candidate.combo) : t =
+  let b = Cnf.create () in
+  let n = Array.length x.events in
+  let ids = List.init n (fun i -> i) in
+  (* global order matrix *)
+  let ordg_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j -> if i < j then Hashtbl.add ordg_tbl (i, j) (Cnf.fresh b))
+        ids)
+    ids;
+  let ordg a b =
+    if a < b then Hashtbl.find ordg_tbl (a, b)
+    else -Hashtbl.find ordg_tbl (b, a)
+  in
+  let locs = Candidate.locs x in
+  let class_of loc =
+    List.filter (fun i -> x.events.(i).Candidate.loc = Some loc) ids
+  in
+  (* per-location matrix (Arm); aliased to the global one under SC *)
+  let ordloc =
+    match mode with
+    | Sc -> ordg
+    | Arm ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun loc ->
+            let cls = class_of loc in
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun j ->
+                    if i < j then Hashtbl.add tbl (i, j) (Cnf.fresh b))
+                  cls)
+              cls)
+          locs;
+        fun a b ->
+          if a < b then Hashtbl.find tbl (a, b)
+          else -Hashtbl.find tbl (b, a)
+  in
+  let add_trans ord cls =
+    List.iter
+      (fun a ->
+        List.iter
+          (fun c ->
+            if a <> c then
+              List.iter
+                (fun bb ->
+                  if bb <> a && bb <> c then
+                    Cnf.clause b [ -(ord a bb); -(ord bb c); ord a c ])
+                cls)
+          cls)
+      cls
+  in
+  add_trans ordg ids;
+  (match mode with
+  | Arm -> List.iter (fun loc -> add_trans ordloc (class_of loc)) locs
+  | Sc -> ());
+  (* static edges as unit clauses *)
+  (match mode with
+  | Sc ->
+      (* po ⊆ ordg subsumes po-loc, dependency and barrier order *)
+      List.iter
+        (fun ((a : Candidate.event), (c : Candidate.event)) ->
+          Cnf.clause b [ ordg a.id c.id ])
+        (Candidate.po_pairs x)
+  | Arm ->
+      List.iter
+        (fun (a, c) -> Cnf.clause b [ ordloc a c ])
+        (Candidate.po_loc_edges x);
+      List.iter
+        (fun (a, c) -> Cnf.clause b [ ordg a c ])
+        (Candidate.static_ob_edges x));
+  (* reads-from choices with their conditional rf / fr edges *)
+  let tid i = x.events.(i).Candidate.tid in
+  let writes_on loc =
+    List.map
+      (fun (e : Candidate.event) -> e.id)
+      (Candidate.writes_on x loc)
+  in
+  let external_edges = mode = Arm in
+  let rf_vars =
+    List.map
+      (fun (r : Candidate.event) ->
+        let loc = Option.get r.loc in
+        let ws = writes_on loc in
+        (* an RMW never reads its own write (the enumerating checker
+           rejects the self-loop via the internal axiom) *)
+        let sources = List.filter (fun w -> w <> r.id) ws in
+        let choices =
+          List.map (fun w -> (w, Cnf.fresh b)) sources
+          @ [ (-1, Cnf.fresh b) ]
+        in
+        Cnf.exactly_one b (List.map snd choices);
+        List.iter
+          (fun (w, v) ->
+            if w = -1 then
+              (* reads the initial write: fr to every write on the
+                 location (except an RMW's own write) *)
+              List.iter
+                (fun w' ->
+                  if w' <> r.id then begin
+                    Cnf.clause b [ -v; ordloc r.id w' ];
+                    if external_edges && tid w' <> r.tid then
+                      Cnf.clause b [ -v; ordg r.id w' ]
+                  end)
+                ws
+            else begin
+              (* rf: the writer is order-before the read *)
+              Cnf.clause b [ -v; ordloc w r.id ];
+              if external_edges && tid w <> r.tid then
+                Cnf.clause b [ -v; ordg w r.id ];
+              (* fr: any write after the writer is after the read *)
+              List.iter
+                (fun w' ->
+                  if w' <> w && w' <> r.id then begin
+                    Cnf.clause b [ -v; -(ordloc w w'); ordloc r.id w' ];
+                    if external_edges && tid w' <> r.tid then
+                      Cnf.clause b [ -v; -(ordloc w w'); ordg r.id w' ]
+                  end)
+                ws
+            end)
+          choices;
+        (r.id, choices))
+      (Candidate.reads x)
+  in
+  (* coe: cross-thread coherence is externally observed (Arm only) *)
+  if external_edges then
+    List.iter
+      (fun loc ->
+        let ws = writes_on loc in
+        List.iter
+          (fun w ->
+            List.iter
+              (fun w' ->
+                if w <> w' && tid w <> tid w' then
+                  Cnf.clause b [ -(ordloc w w'); ordg w w' ])
+              ws)
+          ws)
+      locs;
+  (* co-last witnesses for observed locations *)
+  let observed =
+    List.sort_uniq compare
+      (List.filter_map
+         (function Prog.Obs_loc l -> Some l | Prog.Obs_reg _ -> None)
+         prog.Prog.observables)
+  in
+  let colast_vars =
+    List.map
+      (fun loc ->
+        let ws = writes_on loc in
+        let vars =
+          List.map
+            (fun w ->
+              let v = Cnf.fresh b in
+              List.iter
+                (fun w' ->
+                  if w' <> w then Cnf.clause b [ -v; ordloc w' w ])
+                ws;
+              Cnf.clause b
+                (v
+                :: List.filter_map
+                     (fun w' ->
+                       if w' <> w then Some (-(ordloc w' w)) else None)
+                     ws);
+              (w, v))
+            ws
+        in
+        if vars <> [] then Cnf.at_least_one b (List.map snd vars);
+        (loc, vars))
+      observed
+  in
+  { cnf = b; combo = x; mode; rf_vars; colast_vars }
+
+let solve t = Cnf.solve t.cnf
+
+(** After [Sat]: the reads-from choice of the current model. *)
+let rf_of_model t (r : int) : int =
+  match
+    List.find_opt (fun (_, v) -> Cnf.value t.cnf v) (List.assoc r t.rf_vars)
+  with
+  | Some (w, _) -> w
+  | None -> -1 (* unreachable under the exactly-one constraint *)
+
+(** After [Sat]: the co-maximal write on an observed location. *)
+let co_last_of_model t loc : int option =
+  match List.assoc_opt loc t.colast_vars with
+  | None | Some [] -> None
+  | Some vars ->
+      Option.map fst
+        (List.find_opt (fun (_, v) -> Cnf.value t.cnf v) vars)
+
+(** Block the current model's observation projection: its reads-from
+    choice and, when [full], its co-last witnesses. Infeasible models
+    (guard or address disagreement) are blocked on the reads-from
+    projection alone — feasibility depends only on rf. *)
+let block t ~full =
+  let rf_lits =
+    List.concat_map
+      (fun (_, choices) ->
+        List.filter_map
+          (fun (_, v) -> if Cnf.value t.cnf v then Some (-v) else None)
+          choices)
+      t.rf_vars
+  in
+  let co_lits =
+    if not full then []
+    else
+      List.concat_map
+        (fun (_, vars) ->
+          List.filter_map
+            (fun (_, v) -> if Cnf.value t.cnf v then Some (-v) else None)
+            vars)
+        t.colast_vars
+  in
+  Cnf.clause t.cnf (rf_lits @ co_lits)
+
+let n_vars t = Sat.n_vars t.cnf.Cnf.sat
+let n_clauses t = Sat.n_clauses t.cnf.Cnf.sat
+let sat_stats t = Sat.stats t.cnf.Cnf.sat

@@ -1,0 +1,40 @@
+(** CNF encoding of one {!Candidate.combo} over axiomatic candidate
+    executions: reads-from choice variables per load, order-matrix
+    variables witnessing acyclicity of po-loc ∪ rf ∪ co ∪ fr (Arm
+    internal axiom, per location) and of ob (Arm external axiom) — or of
+    a single po-respecting interleaving order under SC — plus co-last
+    witnesses for observed locations. Coherence is the order matrix
+    restricted to same-location writes; values stay out of the instance
+    (decode-and-check). *)
+
+open Memmodel
+
+type mode = Arm | Sc
+
+type t = {
+  cnf : Cnf.t;
+  combo : Candidate.combo;
+  mode : mode;
+  rf_vars : (int * (int * int) list) list;
+  colast_vars : (Loc.t * (int * int) list) list;
+}
+
+val build : mode:mode -> Prog.t -> Candidate.combo -> t
+
+val solve : t -> Sat.result
+
+val rf_of_model : t -> int -> int
+(** After [Sat]: the writer (event id, or -1 for the initial write) each
+    read reads from in the current model. *)
+
+val co_last_of_model : t -> Loc.t -> int option
+(** After [Sat]: the co-maximal write on an observed location, [None]
+    when the combo has no write there. *)
+
+val block : t -> full:bool -> unit
+(** Exclude the current model's observation projection (reads-from
+    choice, plus co-last witnesses when [full]). *)
+
+val n_vars : t -> int
+val n_clauses : t -> int
+val sat_stats : t -> Sat.stats

@@ -1,0 +1,109 @@
+(** All-solutions loop: enumerate every observationally distinct model
+    of every control-flow combo and decode each into an outcome.
+
+    Each [Sat] answer fixes a reads-from choice; {!Candidate.decode}
+    replays the paths under it. A feasible model contributes an outcome
+    and is blocked on its full observation projection (reads-from +
+    co-last); an infeasible or value-cyclic model is blocked on its
+    reads-from projection alone, which is sound because feasibility
+    depends only on the reads-from choice. Projections are finite and
+    every blocking clause kills at least the current model, so the loop
+    terminates. *)
+
+open Memmodel
+
+type stats = {
+  combos : int;
+  models : int;  (** satisfying assignments decoded *)
+  outcomes_feasible : int;
+  infeasible : int;  (** models whose guards/addresses disagreed *)
+  stuck : int;  (** out-of-thin-air value cycles dropped *)
+  vars : int;
+  clauses : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+}
+
+let zero_stats =
+  {
+    combos = 0;
+    models = 0;
+    outcomes_feasible = 0;
+    infeasible = 0;
+    stuck = 0;
+    vars = 0;
+    clauses = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    learned = 0;
+    restarts = 0;
+  }
+
+let run ~mode ?bound (prog : Prog.t) : Behavior.t * bool * stats =
+  let combos =
+    match bound with
+    | None -> Candidate.combos prog
+    | Some bound -> Candidate.combos ~bound prog
+  in
+  let behaviors = ref Behavior.empty in
+  let st = ref { zero_stats with combos = List.length combos } in
+  List.iter
+    (fun (x : Candidate.combo) ->
+      let enc = Encode.build ~mode prog x in
+      let status = Candidate.status_of x in
+      let running = ref true in
+      while !running do
+        match Encode.solve enc with
+        | Sat.Unsat -> running := false
+        | Sat.Sat -> (
+            st := { !st with models = !st.models + 1 };
+            let rf = Encode.rf_of_model enc in
+            match Candidate.decode prog x ~rf with
+            | Candidate.Feasible res ->
+                let co_last loc = Encode.co_last_of_model enc loc in
+                behaviors :=
+                  Behavior.add
+                    (Behavior.outcome ~status
+                       (Candidate.outcome_values prog x res ~co_last))
+                    !behaviors;
+                st :=
+                  { !st with outcomes_feasible = !st.outcomes_feasible + 1 };
+                Encode.block enc ~full:true
+            | Candidate.Infeasible ->
+                st := { !st with infeasible = !st.infeasible + 1 };
+                Encode.block enc ~full:false
+            | Candidate.Stuck ->
+                st := { !st with stuck = !st.stuck + 1 };
+                Encode.block enc ~full:false)
+      done;
+      let ss = Encode.sat_stats enc in
+      st :=
+        {
+          !st with
+          vars = !st.vars + Encode.n_vars enc;
+          clauses = !st.clauses + Encode.n_clauses enc;
+          conflicts = !st.conflicts + ss.Sat.conflicts;
+          decisions = !st.decisions + ss.Sat.decisions;
+          propagations = !st.propagations + ss.Sat.propagations;
+          learned = !st.learned + ss.Sat.learned;
+          restarts = !st.restarts + ss.Sat.restarts;
+        })
+    combos;
+  (* Completeness is semantic, not syntactic: unrolling always leaves a
+     residual guard-still-true path behind every [While], but when that
+     path's guard cannot actually hold (the loop provably exits within
+     the bound) every model choosing it is infeasible and the behavior
+     set is exact. Only a FEASIBLE truncated execution — one that
+     surfaced as a [Fuel_exhausted] outcome — makes the verdict
+     bound-limited. *)
+  let complete =
+    not
+      (Behavior.Outcome_set.exists
+         (fun o -> o.Behavior.status = Behavior.Fuel_exhausted)
+         !behaviors)
+  in
+  (!behaviors, complete, !st)

@@ -1,0 +1,49 @@
+(** A hand-rolled CDCL SAT solver: two-watched-literal propagation,
+    first-UIP clause learning, VSIDS-style activity decay, geometric
+    restarts with phase saving, and solving under assumptions with
+    UNSAT-core extraction. Self-contained — no external solver.
+
+    Literals follow the DIMACS convention: variables are positive [int]s
+    allocated by {!new_var}; a literal is [±v]. *)
+
+type t
+
+type result = Sat | Unsat
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learned : int;
+  mutable restarts : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable (1-based). *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (a disjunction of literals). Adding the empty clause —
+    directly or after level-0 simplification — makes the instance
+    permanently UNSAT. All literals must name allocated variables. *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Solve the current clause set, optionally under assumption literals.
+    Solving is incremental: learned clauses persist across calls, and
+    clauses may be added between calls. *)
+
+val value : t -> int -> bool
+(** Model value of a variable; meaningful after {!solve} returned
+    [Sat]. *)
+
+val unsat_core : t -> int list
+(** After [solve ~assumptions] returned [Unsat]: a subset of the
+    assumptions that is already unsatisfiable with the clause set (empty
+    when the clause set alone is contradictory). *)
+
+val n_vars : t -> int
+val n_clauses : t -> int
+(** Problem clauses added via {!add_clause} (learned clauses excluded). *)
+
+val stats : t -> stats

@@ -297,6 +297,86 @@ let refine_of_json (j : Json.t) : refine_summary =
   s
 
 (* ------------------------------------------------------------------ *)
+(* BMC cross-validation results                                        *)
+(* ------------------------------------------------------------------ *)
+
+type bmc_summary = {
+  b_name : string;
+  b_description : string;
+  b_prog_digest : string;
+  b_rm : Behavior.t;
+  b_sc : Behavior.t;
+  b_rm_complete : bool;
+  b_sc_complete : bool;
+  b_rm_sat : bool;
+  b_models : int;
+  b_vars : int;
+  b_clauses : int;
+  b_conflicts : int;
+  b_wall_s : float;
+}
+
+let bmc_summary (t : Litmus.t) ~(rm : Bmc.result) ~(sc : Bmc.result) :
+    bmc_summary =
+  { b_name = t.Litmus.prog.Prog.name;
+    b_description = t.Litmus.description;
+    b_prog_digest = Fingerprint.prog t.Litmus.prog;
+    b_rm = rm.Bmc.behaviors;
+    b_sc = sc.Bmc.behaviors;
+    b_rm_complete = rm.Bmc.complete;
+    b_sc_complete = sc.Bmc.complete;
+    b_rm_sat = Behavior.satisfiable t.Litmus.exists rm.Bmc.behaviors;
+    b_models = rm.Bmc.stats.Bmc.models + sc.Bmc.stats.Bmc.models;
+    b_vars = rm.Bmc.stats.Bmc.vars + sc.Bmc.stats.Bmc.vars;
+    b_clauses = rm.Bmc.stats.Bmc.clauses + sc.Bmc.stats.Bmc.clauses;
+    b_conflicts = rm.Bmc.stats.Bmc.conflicts + sc.Bmc.stats.Bmc.conflicts;
+    b_wall_s = rm.Bmc.wall_s +. sc.Bmc.wall_s }
+
+let bmc_to_json (s : bmc_summary) : Json.t =
+  Json.Obj
+    [ ("kind", Json.String "bmc");
+      ("name", Json.String s.b_name);
+      ("description", Json.String s.b_description);
+      ("prog_digest", Json.String s.b_prog_digest);
+      ("rm_digest", Json.String (Fingerprint.behaviors s.b_rm));
+      ("sc_digest", Json.String (Fingerprint.behaviors s.b_sc));
+      ("rm", behaviors_to_json s.b_rm);
+      ("sc", behaviors_to_json s.b_sc);
+      ("rm_complete", Json.Bool s.b_rm_complete);
+      ("sc_complete", Json.Bool s.b_sc_complete);
+      ("rm_sat", Json.Bool s.b_rm_sat);
+      ("models", Json.Int s.b_models);
+      ("vars", Json.Int s.b_vars);
+      ("clauses", Json.Int s.b_clauses);
+      ("conflicts", Json.Int s.b_conflicts);
+      ("wall_s", Json.Float s.b_wall_s) ]
+
+let bmc_of_json (j : Json.t) : bmc_summary =
+  if Json.member "kind" j <> Json.String "bmc" then
+    fail "expected a bmc result";
+  let s =
+    { b_name = Json.to_str (Json.member "name" j);
+      b_description = Json.to_str (Json.member "description" j);
+      b_prog_digest = Json.to_str (Json.member "prog_digest" j);
+      b_rm = behaviors_of_json (Json.member "rm" j);
+      b_sc = behaviors_of_json (Json.member "sc" j);
+      b_rm_complete = Json.to_bool (Json.member "rm_complete" j);
+      b_sc_complete = Json.to_bool (Json.member "sc_complete" j);
+      b_rm_sat = Json.to_bool (Json.member "rm_sat" j);
+      b_models = Json.to_int (Json.member "models" j);
+      b_vars = Json.to_int (Json.member "vars" j);
+      b_clauses = Json.to_int (Json.member "clauses" j);
+      b_conflicts = Json.to_int (Json.member "conflicts" j);
+      b_wall_s = Json.to_float (Json.member "wall_s" j) }
+  in
+  (* the embedded digests double as an integrity check on the sets *)
+  if
+    Json.to_str (Json.member "rm_digest" j) <> Fingerprint.behaviors s.b_rm
+    || Json.to_str (Json.member "sc_digest" j) <> Fingerprint.behaviors s.b_sc
+  then fail "behavior-set digest mismatch";
+  s
+
+(* ------------------------------------------------------------------ *)
 (* Certificate summaries                                               *)
 (* ------------------------------------------------------------------ *)
 

@@ -70,5 +70,28 @@ val refine_to_json_static : refine_summary -> Json.t
 
 val refine_served_by_static : Json.t -> bool
 
+(** Plain-data view of a litmus test decided by the SAT-based BMC
+    backend: the Armv8 axiomatic ([rm]) and SC behavior sets with their
+    bound-completeness flags, plus aggregate solver counters. *)
+type bmc_summary = {
+  b_name : string;
+  b_description : string;
+  b_prog_digest : string;
+  b_rm : Behavior.t;
+  b_sc : Behavior.t;
+  b_rm_complete : bool;  (** no [While] hit the unrolling bound *)
+  b_sc_complete : bool;
+  b_rm_sat : bool;  (** the test's exists-clause under the Arm set *)
+  b_models : int;  (** SAT models decoded, both modes *)
+  b_vars : int;
+  b_clauses : int;
+  b_conflicts : int;
+  b_wall_s : float;
+}
+
+val bmc_summary : Litmus.t -> rm:Bmc.result -> sc:Bmc.result -> bmc_summary
+val bmc_to_json : bmc_summary -> Json.t
+val bmc_of_json : Json.t -> bmc_summary
+
 val certificate_to_json : Vrm.Certificate.summary -> Json.t
 val certificate_of_json : Json.t -> Vrm.Certificate.summary

@@ -3,459 +3,83 @@
 
     The paper leans on the theorem that Promising Arm is equivalent to the
     Armv8 axiomatic specification (Pulte et al.); this module makes that
-    relationship {e testable} in this reproduction: for straight-line
-    programs we enumerate every candidate execution — a reads-from choice
-    for each load and a per-location coherence order over the stores — and
-    keep the candidates satisfying the Armv8 axioms:
+    relationship {e testable} in this reproduction: we enumerate every
+    candidate execution — a control-flow path per thread, a reads-from
+    choice for each load and a per-location coherence order over the
+    stores — and keep the candidates satisfying the Armv8 axioms:
 
     {ul
     {- {b internal} (sc-per-location): acyclic(po-loc ∪ rf ∪ co ∪ fr);}
     {- {b external}: acyclic(ob), with
        ob = rfe ∪ coe ∪ fre (observed-by)
-          ∪ data/addr dependency order (dob)
+          ∪ address/data dependency order (dob)
+          ∪ control and control+ISB dependency order
           ∪ barrier order (bob):
             po;[dmb.full];po, [R];po;[dmb.ld];po, [W];po;[dmb.st];po;[W],
             [A];po (acquire), po;[L] (release), [L];po;[A] (RCsc);}
     {- {b atomicity}: an RMW's read and write are adjacent in co.}}
 
-    The fragment covered is what a candidate-execution enumeration can
-    afford: straight-line code (no branches or loops), loads, stores,
-    RMWs, and barriers; data dependencies are tracked through registers.
-    On this fragment {!equivalent} checks outcome-set equality against
-    {!Promising} — the property tests in [test_axiomatic] run it on
-    thousands of random programs. *)
+    All candidate-execution machinery (path expansion, static relations,
+    axiom predicates, value decoding) lives in {!Candidate} and is shared
+    verbatim with the SAT-based bounded model checker {!Bmc}; this module
+    is the explicit enumeration driver. The fragment covers straight-line
+    code, branches, [Move], bounded [While] unrolling and computed
+    addresses over a static index domain; [Xchg]/[Cas]/[Panic] raise
+    {!Unsupported}. On the straight-line fragment {!run} is compared
+    against {!Promising} on thousands of random programs by the property
+    tests in [test_axiomatic]. *)
 
-(* ------------------------------------------------------------------ *)
-(* Events                                                              *)
-(* ------------------------------------------------------------------ *)
+exception Unsupported = Candidate.Unsupported
 
-type kind =
-  | E_read of Instr.order
-  | E_write of Instr.order
-  | E_rmw of Instr.order  (** both a read and a write *)
-  | E_fence of Instr.barrier
-
-type event = {
-  id : int;
-  tid : int;
-  po : int;  (** program-order index within the thread *)
-  kind : kind;
-  loc : Loc.t option;  (** None for fences *)
-  dst : Reg.t option;  (** register written by a load/RMW *)
-  src_regs : Reg.t list;  (** registers the data/address depend on *)
-  wval : Expr.vexp option;  (** store data (evaluated per-candidate) *)
-  rmw_delta : Expr.vexp option;  (** FAA delta *)
-}
-
-exception Unsupported of string
-
-(** Compile a straight-line thread into events. Registers are
-    single-assignment here in practice (the generators guarantee it);
-    [src_regs] gives the syntactic dependency edges. *)
-let events_of_thread tid (code : Instr.t list) : event list =
-  let next = ref 0 in
-  let ev kind loc dst src_regs wval rmw_delta =
-    let id = !next in
-    incr next;
-    { id; tid; po = id; kind; loc; dst; src_regs; wval; rmw_delta }
-  in
-  List.filter_map
-    (fun (i : Instr.t) ->
-      match i with
-      | Instr.Load (r, a, ord) ->
-          if a.Expr.offset <> Expr.Const 0 && Expr.regs_of_vexp a.Expr.offset <> [] then
-            raise (Unsupported "computed addresses");
-          let loc, _ = Expr.eval_addr (fun _ -> (0, 0)) a in
-          Some (ev (E_read ord) (Some loc) (Some r) [] None None)
-      | Instr.Store (a, e, ord) ->
-          let loc, _ = Expr.eval_addr (fun _ -> (0, 0)) a in
-          Some
-            (ev (E_write ord) (Some loc) None (Expr.regs_of_vexp e) (Some e)
-               None)
-      | Instr.Faa (r, a, e, ord) ->
-          let loc, _ = Expr.eval_addr (fun _ -> (0, 0)) a in
-          Some
-            (ev (E_rmw ord) (Some loc) (Some r) (Expr.regs_of_vexp e) None
-               (Some e))
-      | Instr.Barrier b -> Some (ev (E_fence b) None None [] None None)
-      | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _ -> None
-      | Instr.Move _ | Instr.If _ | Instr.While _ | Instr.Panic
-      | Instr.Xchg _ | Instr.Cas _ ->
-          raise (Unsupported "control flow / move / xchg / cas"))
-    code
-
-(* ------------------------------------------------------------------ *)
-(* Candidate executions                                                *)
-(* ------------------------------------------------------------------ *)
-
-type exec = {
-  events : event array;
-  rf : (int * int) list;
-      (** keyed by read event id: (read id, write id | -1 for init) *)
-  co : (Loc.t * int list) list;  (** per location: write ids, co order *)
-}
-
-let is_read e = match e.kind with E_read _ | E_rmw _ -> true | _ -> false
-let is_write e = match e.kind with E_write _ | E_rmw _ -> true | _ -> false
-
-let is_acquire e =
-  match e.kind with
-  | E_read (Instr.Acquire | Instr.Acq_rel) | E_rmw (Instr.Acquire | Instr.Acq_rel)
-    ->
-      true
-  | _ -> false
-
-let is_release e =
-  match e.kind with
-  | E_write (Instr.Release | Instr.Acq_rel) | E_rmw (Instr.Release | Instr.Acq_rel)
-    ->
-      true
-  | _ -> false
-
-(* all permutations of a list (co enumeration; lists are tiny) *)
-let rec permutations = function
-  | [] -> [ [] ]
-  | l ->
-      List.concat_map
-        (fun x ->
-          List.map (fun p -> x :: p)
-            (permutations (List.filter (fun y -> y <> x) l)))
-        l
-
-(* cartesian product *)
-let rec product = function
-  | [] -> [ [] ]
-  | choices :: rest ->
-      let tails = product rest in
-      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
-
-(** Value of read [r] under candidate [x], given resolved write values. *)
-let rf_write x r = List.assoc r.id x.rf
-
-(* ------------------------------------------------------------------ *)
-(* Axiom checking                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* A tiny DAG cycle check over int nodes. *)
-let acyclic (n : int) (edges : (int * int) list) : bool =
-  let adj = Array.make n [] in
-  List.iter (fun (a, b) -> if a >= 0 && b >= 0 then adj.(a) <- b :: adj.(a)) edges;
-  let color = Array.make n 0 in
-  let rec dfs v =
-    if color.(v) = 1 then false
-    else if color.(v) = 2 then true
-    else begin
-      color.(v) <- 1;
-      let ok = List.for_all dfs adj.(v) in
-      color.(v) <- 2;
-      ok
-    end
-  in
-  let ok = ref true in
-  for v = 0 to n - 1 do
-    if color.(v) = 0 && not (dfs v) then ok := false
-  done;
-  !ok
-
-let co_pos x loc w =
-  match List.assoc_opt loc x.co with
-  | None -> -1
-  | Some order -> (
-      match List.find_index (fun i -> i = w) order with
-      | Some i -> i
-      | None -> -1)
-
-(** fr: read r -> writes co-after the write r reads from. *)
-let fr_edges x =
-  Array.to_list x.events
-  |> List.concat_map (fun r ->
-         if not (is_read r) then []
-         else
-           match r.loc with
-           | None -> []
-           | Some loc ->
-               let w = rf_write x r in
-               let pos = if w = -1 then -1 else co_pos x loc w in
-               (match List.assoc_opt loc x.co with
-               | None -> []
-               | Some order ->
-                   List.filteri (fun i _ -> i > pos) order
-                   (* an RMW is not fr-before its own write *)
-                   |> List.filter (fun w' -> w' <> r.id)
-                   |> List.map (fun w' -> (r.id, w'))))
-
-let co_edges x =
-  List.concat_map
-    (fun (_, order) ->
-      let rec pairs = function
-        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
-        | _ -> []
-      in
-      pairs order)
-    x.co
-
-let rf_edges x =
-  List.filter_map (fun (r, w) -> if w = -1 then None else Some (w, r)) x.rf
-
-let same_thread x a b = x.events.(a).tid = x.events.(b).tid
-
-(** internal: acyclic(po-loc ∪ rf ∪ co ∪ fr) *)
-let internal_ok x =
-  let n = Array.length x.events in
-  let po_loc =
-    List.concat_map
-      (fun a ->
-        List.filter_map
-          (fun b ->
-            if
-              a.tid = b.tid && a.po < b.po && a.loc <> None && a.loc = b.loc
-            then Some (a.id, b.id)
-            else None)
-          (Array.to_list x.events))
-      (Array.to_list x.events)
-  in
-  acyclic n (po_loc @ rf_edges x @ co_edges x @ fr_edges x)
-
-(** atomicity: an RMW reads the co-immediate predecessor of its write. *)
-let atomicity_ok x =
-  Array.for_all
-    (fun e ->
-      match e.kind with
-      | E_rmw _ -> (
-          match e.loc with
-          | None -> true
-          | Some loc ->
-              let w = rf_write x e in
-              let my_pos = co_pos x loc e.id in
-              let read_pos = if w = -1 then -1 else co_pos x loc w in
-              my_pos = read_pos + 1)
-      | _ -> true)
-    x.events
-
-(** external: acyclic(ob). *)
-let external_ok x =
-  let n = Array.length x.events in
-  let evs = Array.to_list x.events in
-  let po_pairs =
-    List.concat_map
-      (fun a ->
-        List.filter_map
-          (fun b ->
-            if a.tid = b.tid && a.po < b.po then Some (a, b) else None)
-          evs)
-      evs
-  in
-  (* obs: external communication edges *)
-  let rfe = List.filter (fun (w, r) -> not (same_thread x w r)) (rf_edges x) in
-  let coe = List.filter (fun (a, b) -> not (same_thread x a b)) (co_edges x) in
-  let fre = List.filter (fun (a, b) -> not (same_thread x a b)) (fr_edges x) in
-  (* dob: data dependencies through registers (read dst feeding a store) *)
-  let dob =
-    List.concat_map
-      (fun (a, b) ->
-        match a.dst with
-        | Some r when List.mem r b.src_regs -> [ (a.id, b.id) ]
-        | _ -> [])
-      po_pairs
-  in
-  (* bob *)
-  let fences_between a b kind_pred =
-    List.exists
-      (fun f ->
-        f.tid = a.tid && a.po < f.po && f.po < b.po
-        && match f.kind with E_fence k -> kind_pred k | _ -> false)
-      evs
-  in
-  let bob =
-    List.concat_map
-      (fun (a, b) ->
-        let edges = ref [] in
-        let add () = edges := (a.id, b.id) :: !edges in
-        (* po;[dmb full];po *)
-        if fences_between a b (fun k -> k = Instr.Dmb_full) then add ();
-        (* [R];po;[dmb ld];po *)
-        if is_read a && fences_between a b (fun k -> k = Instr.Dmb_ld) then
-          add ();
-        (* [W];po;[dmb st];po;[W] *)
-        if
-          is_write a && is_write b
-          && fences_between a b (fun k -> k = Instr.Dmb_st)
-        then add ();
-        (* [A];po *)
-        if is_acquire a then add ();
-        (* po;[L] *)
-        if is_release b then add ();
-        (* [L];po;[A] (RCsc) *)
-        if is_release a && is_acquire b then add ();
-        !edges)
-      po_pairs
-  in
-  acyclic n (rfe @ coe @ fre @ dob @ bob)
-
-let valid x = internal_ok x && atomicity_ok x && external_ok x
-
-(* ------------------------------------------------------------------ *)
-(* Enumeration and outcomes                                            *)
-(* ------------------------------------------------------------------ *)
-
-(** Enumerate all valid candidate executions of [prog] and return the
-    behavior set, in the same observable terms as {!Sc} / {!Promising}. *)
-let run (prog : Prog.t) : Behavior.t =
-  let events =
-    List.concat_map
-      (fun th -> events_of_thread th.Prog.tid th.Prog.code)
-      prog.Prog.threads
-  in
-  (* renumber ids globally *)
-  let events =
-    List.mapi (fun i e -> { e with id = i }) events |> Array.of_list
-  in
-  let evs = Array.to_list events in
-  let locs =
-    List.sort_uniq compare (List.filter_map (fun e -> e.loc) evs)
-  in
-  let writes_on loc =
-    List.filter (fun e -> is_write e && e.loc = Some loc) evs
-  in
-  let reads = List.filter is_read evs in
-  (* candidate components *)
-  let co_choices =
-    List.map
-      (fun loc ->
-        List.map
-          (fun perm -> (loc, List.map (fun e -> e.id) perm))
-          (permutations (writes_on loc)))
-      locs
-  in
-  let rf_choices =
-    List.map
-      (fun r ->
-        let loc = Option.get r.loc in
-        List.map (fun w -> (w.id, r.id)) (writes_on loc)
-        @ [ (-1, r.id) ] (* the initial write *))
-      reads
-  in
+let run ?(bound = Candidate.default_bound) (prog : Prog.t) : Behavior.t =
   let results = ref Behavior.empty in
   List.iter
-    (fun co ->
+    (fun (x : Candidate.combo) ->
+      let locs = Candidate.locs x in
+      let writes_on loc = Candidate.writes_on x loc in
+      let reads = Candidate.reads x in
+      let co_choices =
+        List.map
+          (fun loc ->
+            List.map
+              (fun perm ->
+                (loc, List.map (fun (e : Candidate.event) -> e.id) perm))
+              (Candidate.permutations (writes_on loc)))
+          locs
+      in
+      let rf_choices =
+        List.map
+          (fun (r : Candidate.event) ->
+            let loc = Option.get r.loc in
+            List.map
+              (fun (w : Candidate.event) -> (r.id, w.id))
+              (writes_on loc)
+            @ [ (r.id, -1) ] (* the initial write *))
+          reads
+      in
+      let status = Candidate.status_of x in
       List.iter
-        (fun rf ->
-          let x = { events; rf = List.map (fun (w, r) -> (r, w)) rf; co } in
-          (* x.rf keyed by read id *)
-          (* resolve values: iterate until fixed (chains through RMWs) *)
-          let value = Array.make (Array.length events) 0 in
-          (* for loads and RMWs: the value READ (an RMW's [value] is what
-             it wrote; its destination register gets [rvalue]) *)
-          let rvalue = Array.make (Array.length events) 0 in
-          let resolved = Array.make (Array.length events) false in
-          let init_of loc = Prog.init_value prog loc in
-          let reg_env tid =
-            (* registers written by resolved reads of that thread *)
-            fun r ->
-              match
-                List.find_opt
-                  (fun e ->
-                    e.tid = tid && e.dst = Some r
-                    && resolved.(e.id))
-                  evs
-              with
-              | Some e -> (rvalue.(e.id), 0)
-              | None -> (0, 0)
-          in
-          let progress = ref true in
-          let iter_guard = ref 0 in
-          while !progress && !iter_guard < 64 do
-            progress := false;
-            incr iter_guard;
-            List.iter
-              (fun e ->
-                if not resolved.(e.id) then
-                  match e.kind with
-                  | E_write _ ->
-                      (* store value from data expression *)
-                      let v, _ =
-                        Expr.eval_v (reg_env e.tid) (Option.get e.wval)
-                      in
-                      value.(e.id) <- v;
-                      (* only final once its deps are resolved; deps are
-                         reads of the same thread *)
-                      let deps_ok =
-                        List.for_all
-                          (fun r ->
-                            match
-                              List.find_opt
-                                (fun e' ->
-                                  e'.tid = e.tid && e'.dst = Some r)
-                                evs
-                            with
-                            | Some e' -> resolved.(e'.id)
-                            | None -> true)
-                          e.src_regs
-                      in
-                      if deps_ok then begin
-                        resolved.(e.id) <- true;
-                        progress := true
-                      end
-                  | E_read _ -> (
-                      let w = List.assoc e.id x.rf in
-                      if w = -1 then begin
-                        rvalue.(e.id) <- init_of (Option.get e.loc);
-                        resolved.(e.id) <- true;
-                        progress := true
-                      end
-                      else if resolved.(w) then begin
-                        rvalue.(e.id) <- value.(w);
-                        resolved.(e.id) <- true;
-                        progress := true
-                      end)
-                  | E_rmw _ -> (
-                      (* reads like a read; writes old + delta *)
-                      let w = List.assoc e.id x.rf in
-                      let old_ok, old_v =
-                        if w = -1 then (true, init_of (Option.get e.loc))
-                        else (resolved.(w), value.(w))
-                      in
-                      if old_ok then begin
-                        let delta, _ =
-                          Expr.eval_v (reg_env e.tid)
-                            (Option.get e.rmw_delta)
-                        in
-                        rvalue.(e.id) <- old_v;
-                        value.(e.id) <- old_v + delta;
-                        resolved.(e.id) <- true;
-                        progress := true
-                      end)
-                  | E_fence _ ->
-                      resolved.(e.id) <- true;
-                      progress := true)
-              evs
-          done;
-          if Array.for_all (fun b -> b) resolved && valid x then begin
-            (* observables *)
-            let read_value e = rvalue.(e.id) in
-            let obs_val = function
-              | Prog.Obs_reg (tid, r) -> (
-                  (* last event of the thread writing r *)
-                  match
-                    List.rev
-                      (List.filter
-                         (fun e -> e.tid = tid && e.dst = Some r)
-                         evs)
-                  with
-                  | e :: _ -> read_value e
-                  | [] -> 0)
-              | Prog.Obs_loc loc -> (
-                  match List.assoc_opt loc x.co with
-                  | Some (_ :: _ as order) ->
-                      value.(List.nth order (List.length order - 1))
-                  | _ -> init_of loc)
-            in
-            results :=
-              Behavior.add
-                (Behavior.outcome
-                   (List.map (fun o -> (o, obs_val o)) prog.Prog.observables))
-                !results
-          end)
-        (product rf_choices))
-    (product co_choices);
+        (fun co ->
+          List.iter
+            (fun rf ->
+              if Candidate.valid x ~rf ~co then
+                match
+                  Candidate.decode prog x ~rf:(fun r -> List.assoc r rf)
+                with
+                | Candidate.Feasible res ->
+                    let co_last loc =
+                      match List.assoc_opt loc co with
+                      | Some (_ :: _ as order) ->
+                          Some (List.nth order (List.length order - 1))
+                      | _ -> None
+                    in
+                    results :=
+                      Behavior.add
+                        (Behavior.outcome ~status
+                           (Candidate.outcome_values prog x res ~co_last))
+                        !results
+                | Candidate.Infeasible | Candidate.Stuck -> ())
+            (Candidate.product rf_choices))
+        (Candidate.product co_choices))
+    (Candidate.combos ~bound prog);
   !results

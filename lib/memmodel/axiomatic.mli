@@ -1,23 +1,32 @@
 (** An executable Armv8 axiomatic memory model, cross-validating the
     Promising executor.
 
-    For straight-line programs, every candidate execution (a reads-from
-    choice per load, a per-location coherence order over the stores) is
-    enumerated and kept iff it satisfies the Armv8 axioms:
+    Every candidate execution (a control-flow path per thread, a
+    reads-from choice per load, a per-location coherence order over the
+    stores) is enumerated and kept iff it satisfies the Armv8 axioms:
 
     - {b internal} (sc-per-location): acyclic(po-loc ∪ rf ∪ co ∪ fr);
-    - {b external}: acyclic(ob) with ob = rfe ∪ coe ∪ fre ∪ data-deps ∪
-      barrier order (DMB flavours, acquire, release, RCsc);
+    - {b external}: acyclic(ob) with ob = rfe ∪ coe ∪ fre ∪ address/data
+      deps ∪ ctrl/ctrl+ISB deps ∪ barrier order (DMB flavours, acquire,
+      release, RCsc);
     - {b atomicity}: an RMW's read and write are adjacent in co.
 
-    The property tests compare this model's outcome sets against
-    {!Promising.run} on random programs — the testable form of the
-    Promising ≡ axiomatic theorem the paper relies on. *)
+    The axiom definitions and all candidate machinery live in
+    {!Candidate}, shared with the SAT-based {!Bmc} backend; this module
+    is the explicit enumeration driver. The property tests compare its
+    outcome sets against {!Promising.run} on random programs — the
+    testable form of the Promising ≡ axiomatic theorem the paper relies
+    on. *)
 
 exception Unsupported of string
-(** Raised on programs outside the fragment (control flow, computed
-    addresses, XCHG/CAS). *)
+(** Alias of {!Candidate.Unsupported} (the rebinding makes the
+    constructors physically equal, so either name catches both). Raised
+    on programs outside the fragment ([Xchg]/[Cas]/[Panic],
+    runtime address indices outside the static domain), with the
+    offending thread and pc in the message. *)
 
-val run : Prog.t -> Behavior.t
-(** Behavior set of all axiomatically valid candidate executions,
-    in the same observable terms as {!Sc.run} / {!Promising.run}. *)
+val run : ?bound:int -> Prog.t -> Behavior.t
+(** Behavior set of all axiomatically valid candidate executions, in the
+    same observable terms as {!Sc.run} / {!Promising.run}. [bound]
+    (default {!Candidate.default_bound}) caps [While] unrolling;
+    bound-truncated paths surface as [Fuel_exhausted] outcomes. *)

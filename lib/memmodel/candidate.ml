@@ -1,0 +1,857 @@
+(** Candidate-execution machinery shared by the enumerating axiomatic
+    checker ({!Axiomatic}) and the SAT-based bounded model checker
+    ({!Bmc}).
+
+    A {e candidate execution} is a control-flow path per thread (a
+    {!path}), a reads-from choice per load and a per-location coherence
+    order over the stores. This module owns everything the two backends
+    must agree on, so the axioms exist in exactly one place:
+
+    {ul
+    {- compiling a thread into paths: straight-line code, [If] branching
+       (one path per guard valuation), [Move] register computation,
+       bounded [While] unrolling, and computed addresses (constant-folded
+       where the operands are statically known, otherwise split over a
+       static index domain);}
+    {- the static dependency relations: data/address dependencies through
+       registers, control dependencies from guards to po-later stores,
+       control+ISB dependencies to po-later loads, and the barrier-order
+       rules (DMB flavours, acquire, release, RCsc);}
+    {- the Armv8 axioms over a concrete candidate ({!valid}): internal
+       sc-per-location, external acyclic(ob), RMW atomicity;}
+    {- decoding a candidate back into values ({!decode}): a multi-thread
+       cursor replay that resolves register files from the reads-from
+       choice, rejects paths whose guards or address choices disagree
+       with the resolved values, and drops out-of-thin-air value cycles.}}
+
+    Programs outside the fragment ([Xchg]/[Cas]/[Panic], trapping address
+    arithmetic, runtime address indices outside the static domain) raise
+    {!Unsupported} naming the offending thread and pc. *)
+
+exception Unsupported of string
+
+let default_bound = 4
+
+(* ------------------------------------------------------------------ *)
+(* Events and steps                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | E_read of Instr.order
+  | E_write of Instr.order
+  | E_rmw of Instr.order  (** both a read and a write *)
+  | E_fence of Instr.barrier
+
+type event = {
+  id : int;  (** global id within a combo (= index into [events]) *)
+  tid : int;
+  po : int;  (** program-order index within the thread's path *)
+  pc : int;  (** pre-order index of the originating instruction *)
+  kind : kind;
+  loc : Loc.t option;  (** None for fences *)
+  dst : Reg.t option;  (** register written by a load/RMW *)
+  wval : Expr.vexp option;  (** store data *)
+  rmw_delta : Expr.vexp option;  (** FAA delta *)
+  addr_check : (Expr.vexp * int list) option;
+      (** register-dependent address: (offset expression, static index
+          domain); the event's [loc] fixes one chosen index, and decoding
+          rejects the path when the resolved offset disagrees *)
+  addr_deps : int list;  (** read events feeding the address *)
+  data_deps : int list;  (** read events feeding the store data / delta *)
+  ctrl_deps : int list;  (** guard-origin reads po-before this write *)
+  ctrl_isb_deps : int list;
+      (** guard-origin reads with an ISB between them and this read *)
+}
+
+(** One step of a thread's path, replayed in order by {!decode}. *)
+type step =
+  | S_event of int  (** global event id *)
+  | S_move of Reg.t * Expr.vexp
+  | S_guard of Expr.bexp * bool  (** guard expression, expected value *)
+
+type path = {
+  p_events : event list;  (** local ids = po index, in program order *)
+  p_steps : step list;  (** [S_event] carries local ids until assembly *)
+  p_exhausted : bool;  (** a [While] hit the unrolling bound *)
+}
+
+type combo = {
+  events : event array;
+  steps : (int * step list) list;  (** per thread, global event ids *)
+  exhausted : bool;
+}
+
+let is_read e = match e.kind with E_read _ | E_rmw _ -> true | _ -> false
+let is_write e = match e.kind with E_write _ | E_rmw _ -> true | _ -> false
+
+let is_acquire e =
+  match e.kind with
+  | E_read (Instr.Acquire | Instr.Acq_rel)
+  | E_rmw (Instr.Acquire | Instr.Acq_rel) ->
+      true
+  | _ -> false
+
+let is_release e =
+  match e.kind with
+  | E_write (Instr.Release | Instr.Acq_rel)
+  | E_rmw (Instr.Release | Instr.Acq_rel) ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Fragment check                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unsupported tid pc what =
+  raise (Unsupported (Printf.sprintf "thread %d, pc %d: %s" tid pc what))
+
+(* Pre-order instruction count: the pc numbering below is stable across
+   path variants because If/While bodies occupy a fixed pc range. *)
+let rec count_instrs (code : Instr.t list) : int =
+  List.fold_left
+    (fun n (i : Instr.t) ->
+      n + 1
+      +
+      match i with
+      | Instr.If (_, t, f) -> count_instrs t + count_instrs f
+      | Instr.While (_, b) -> count_instrs b
+      | _ -> 0)
+    0 code
+
+let check_fragment tid code =
+  let pc = ref (-1) in
+  let rec go (i : Instr.t) =
+    incr pc;
+    match i with
+    | Instr.Xchg _ -> unsupported tid !pc "xchg is outside the fragment"
+    | Instr.Cas _ -> unsupported tid !pc "cas is outside the fragment"
+    | Instr.Panic -> unsupported tid !pc "panic is outside the fragment"
+    | Instr.If (_, t, f) ->
+        List.iter go t;
+        List.iter go f
+    | Instr.While (_, b) -> List.iter go b
+    | _ -> ()
+  in
+  List.iter go code
+
+(* ------------------------------------------------------------------ *)
+(* Address index domains                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every integer constant appearing in the program text. *)
+let rec consts_v acc = function
+  | Expr.Const i -> i :: acc
+  | Expr.Reg _ -> acc
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) ->
+      consts_v (consts_v acc a) b
+
+let rec consts_b acc = function
+  | Expr.Bool _ -> acc
+  | Expr.Cmp (_, a, b) -> consts_v (consts_v acc a) b
+  | Expr.And (a, b) | Expr.Or (a, b) -> consts_b (consts_b acc a) b
+  | Expr.Not b -> consts_b acc b
+
+let consts_a acc (a : Expr.aexp) = consts_v acc a.Expr.offset
+
+let rec consts_i acc (i : Instr.t) =
+  match i with
+  | Instr.Load (_, a, _) -> consts_a acc a
+  | Instr.Store (a, e, _) -> consts_v (consts_a acc a) e
+  | Instr.Faa (_, a, e, _) | Instr.Xchg (_, a, e, _) ->
+      consts_v (consts_a acc a) e
+  | Instr.Cas (_, a, e1, e2, _) ->
+      consts_v (consts_v (consts_a acc a) e1) e2
+  | Instr.Move (_, e) -> consts_v acc e
+  | Instr.If (b, t, f) ->
+      List.fold_left consts_i (List.fold_left consts_i (consts_b acc b) t) f
+  | Instr.While (b, t) -> List.fold_left consts_i (consts_b acc b) t
+  | Instr.Tlbi (Some a) -> consts_a acc a
+  | Instr.Barrier _ | Instr.Pull _ | Instr.Push _ | Instr.Tlbi None
+  | Instr.Panic | Instr.Nop ->
+      acc
+
+(** Static index domain for register-dependent addresses on [base]:
+    index 0, the indices of the program's known locations on that base,
+    every integer constant in the program text and every initial memory
+    value. A runtime index outside this set raises {!Unsupported} during
+    decoding rather than silently dropping behaviors. *)
+let addr_domain (prog : Prog.t) : string -> int list =
+  let consts =
+    List.concat_map
+      (fun th -> List.fold_left consts_i [] th.Prog.code)
+      prog.Prog.threads
+  in
+  let init_vals = List.map snd prog.Prog.init in
+  let known = Prog.known_locs prog in
+  fun base ->
+    let on_base =
+      List.filter_map
+        (fun l -> if Loc.base l = base then Some (Loc.index l) else None)
+        known
+    in
+    List.sort_uniq compare ((0 :: on_base) @ consts @ init_vals)
+
+(* ------------------------------------------------------------------ *)
+(* Path expansion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = {
+  rev_steps : step list;
+  rev_events : event list;
+  n_ev : int;
+  origin : (Reg.t * int list) list;
+      (** register -> local read events its value derives from *)
+  known : (Reg.t * int option) list;
+      (** latest binding; absent = never assigned = 0; [None] = unknown *)
+  ctrl : int list;  (** guard-origin reads accumulated so far *)
+  ctrl_isb : int list;  (** guard origins with an ISB po-after *)
+  stopped : bool;  (** While bound hit: the rest of the thread is cut *)
+  exhausted : bool;
+}
+
+let set_assoc k v l = (k, v) :: List.remove_assoc k l
+let union_ids a b = List.sort_uniq compare (a @ b)
+
+let origins st regs =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun r -> Option.value ~default:[] (List.assoc_opt r st.origin))
+       regs)
+
+exception Unknown_reg
+
+let const_fold st (e : Expr.vexp) : int option =
+  let lookup r =
+    match List.assoc_opt r st.known with
+    | None -> (0, 0) (* never assigned: registers start at 0 *)
+    | Some (Some v) -> (v, 0)
+    | Some None -> raise Unknown_reg
+  in
+  match Expr.eval_v lookup e with
+  | v, _ -> Some v
+  | exception Unknown_reg -> None
+  | exception Expr.Eval_panic _ -> None
+
+let mk_event st tid pc kind loc dst wval rmw_delta addr_check addr_deps
+    data_deps ctrl_deps ctrl_isb_deps =
+  {
+    id = st.n_ev;
+    tid;
+    po = st.n_ev;
+    pc;
+    kind;
+    loc;
+    dst;
+    wval;
+    rmw_delta;
+    addr_check;
+    addr_deps;
+    data_deps;
+    ctrl_deps;
+    ctrl_isb_deps;
+  }
+
+let add_event st e =
+  {
+    st with
+    rev_events = e :: st.rev_events;
+    rev_steps = S_event e.id :: st.rev_steps;
+    n_ev = st.n_ev + 1;
+  }
+
+(* Emit an access at address [a]: constant-fold the offset when every
+   register in it is statically known, otherwise fork one path per index
+   in the static domain and record the (expression, domain) check. *)
+let with_addr domain st tid pc (a : Expr.aexp) k =
+  match const_fold st a.Expr.offset with
+  | Some idx -> k st (Loc.v ~index:idx a.Expr.abase) [] None
+  | None ->
+      let regs = Expr.regs_of_vexp a.Expr.offset in
+      if regs = [] then unsupported tid pc "address expression traps";
+      let deps = origins st regs in
+      let dom = domain a.Expr.abase in
+      List.concat_map
+        (fun idx ->
+          k st (Loc.v ~index:idx a.Expr.abase) deps (Some (a.Expr.offset, dom)))
+        dom
+
+let take_guard b expect st =
+  {
+    st with
+    rev_steps = S_guard (b, expect) :: st.rev_steps;
+    ctrl = union_ids (origins st (Expr.regs_of_bexp b)) st.ctrl;
+  }
+
+let exp_simple domain tid pc st (i : Instr.t) : pstate list =
+  match i with
+  | Instr.Load (r, a, ord) ->
+      with_addr domain st tid pc a (fun st loc deps check ->
+          let e =
+            mk_event st tid pc (E_read ord) (Some loc) (Some r) None None
+              check deps [] [] st.ctrl_isb
+          in
+          [
+            {
+              (add_event st e) with
+              origin = set_assoc r [ e.id ] st.origin;
+              known = set_assoc r None st.known;
+            };
+          ])
+  | Instr.Store (a, v, ord) ->
+      with_addr domain st tid pc a (fun st loc deps check ->
+          let e =
+            mk_event st tid pc (E_write ord) (Some loc) None (Some v) None
+              check deps
+              (origins st (Expr.regs_of_vexp v))
+              st.ctrl []
+          in
+          [ add_event st e ])
+  | Instr.Faa (r, a, d, ord) ->
+      with_addr domain st tid pc a (fun st loc deps check ->
+          let e =
+            mk_event st tid pc (E_rmw ord) (Some loc) (Some r) None (Some d)
+              check deps
+              (origins st (Expr.regs_of_vexp d))
+              st.ctrl st.ctrl_isb
+          in
+          [
+            {
+              (add_event st e) with
+              origin = set_assoc r [ e.id ] st.origin;
+              known = set_assoc r None st.known;
+            };
+          ])
+  | Instr.Barrier b ->
+      let e =
+        mk_event st tid pc (E_fence b) None None None None None [] [] [] []
+      in
+      let st = add_event st e in
+      let st =
+        if b = Instr.Isb && st.ctrl <> [] then
+          { st with ctrl_isb = union_ids st.ctrl st.ctrl_isb }
+        else st
+      in
+      [ st ]
+  | Instr.Move (r, e) ->
+      [
+        {
+          st with
+          rev_steps = S_move (r, e) :: st.rev_steps;
+          origin = set_assoc r (origins st (Expr.regs_of_vexp e)) st.origin;
+          known = set_assoc r (const_fold st e) st.known;
+        };
+      ]
+  | Instr.Nop | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _ -> [ st ]
+  | Instr.If _ | Instr.While _ | Instr.Xchg _ | Instr.Cas _ | Instr.Panic ->
+      assert false (* handled by exp_instr / check_fragment *)
+
+let rec exp_instr domain ~bound tid sts pc (i : Instr.t) : pstate list =
+  incr pc;
+  let p = !pc in
+  let live, dead = List.partition (fun st -> not st.stopped) sts in
+  match i with
+  | Instr.If (b, tb, fb) ->
+      let t =
+        exp_list domain ~bound tid (List.map (take_guard b true) live) pc tb
+      in
+      let f =
+        exp_list domain ~bound tid (List.map (take_guard b false) live) pc fb
+      in
+      dead @ t @ f
+  | Instr.While (b, body) ->
+      let n = count_instrs body in
+      let rec unroll fuel sts_in acc =
+        let alive, cut = List.partition (fun st -> not st.stopped) sts_in in
+        let exits = cut @ List.map (take_guard b false) alive in
+        if fuel = 0 then
+          (* residual iteration: the guard may still hold after [bound]
+             unrollings — truncate those paths and flag the bound *)
+          let trunc =
+            List.map
+              (fun st ->
+                { (take_guard b true st) with stopped = true; exhausted = true })
+              alive
+          in
+          acc @ exits @ trunc
+        else
+          let pc' = ref p in
+          let iter =
+            exp_list domain ~bound tid
+              (List.map (take_guard b true) alive)
+              pc' body
+          in
+          unroll (fuel - 1) iter (acc @ exits)
+      in
+      let out = unroll bound live [] in
+      pc := p + n;
+      dead @ out
+  | _ -> dead @ List.concat_map (fun st -> exp_simple domain tid p st i) live
+
+and exp_list domain ~bound tid sts pc instrs =
+  List.fold_left (fun sts i -> exp_instr domain ~bound tid sts pc i) sts instrs
+
+let thread_paths domain ~bound tid code : path list =
+  check_fragment tid code;
+  let init =
+    {
+      rev_steps = [];
+      rev_events = [];
+      n_ev = 0;
+      origin = [];
+      known = [];
+      ctrl = [];
+      ctrl_isb = [];
+      stopped = false;
+      exhausted = false;
+    }
+  in
+  let pc = ref (-1) in
+  List.map
+    (fun st ->
+      {
+        p_events = List.rev st.rev_events;
+        p_steps = List.rev st.rev_steps;
+        p_exhausted = st.exhausted;
+      })
+    (exp_list domain ~bound tid [ init ] pc code)
+
+(* cartesian product *)
+let rec product = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+(* all permutations of a list (co enumeration; lists are tiny) *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun p -> x :: p)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let assemble (choice : (int * path) list) : combo =
+  let off = ref 0 in
+  let parts =
+    List.map
+      (fun (tid, p) ->
+        let base = !off in
+        off := base + List.length p.p_events;
+        let remap ids = List.map (fun i -> i + base) ids in
+        let events =
+          List.map
+            (fun e ->
+              {
+                e with
+                id = e.id + base;
+                addr_deps = remap e.addr_deps;
+                data_deps = remap e.data_deps;
+                ctrl_deps = remap e.ctrl_deps;
+                ctrl_isb_deps = remap e.ctrl_isb_deps;
+              })
+            p.p_events
+        in
+        let steps =
+          List.map
+            (function
+              | S_event i -> S_event (i + base)
+              | (S_move _ | S_guard _) as s -> s)
+            p.p_steps
+        in
+        (tid, events, steps, p.p_exhausted))
+      choice
+  in
+  {
+    events =
+      Array.of_list (List.concat_map (fun (_, evs, _, _) -> evs) parts);
+    steps = List.map (fun (tid, _, steps, _) -> (tid, steps)) parts;
+    exhausted = List.exists (fun (_, _, _, ex) -> ex) parts;
+  }
+
+let combos ?(bound = default_bound) (prog : Prog.t) : combo list =
+  let domain = addr_domain prog in
+  let per_thread =
+    List.map
+      (fun th ->
+        List.map
+          (fun p -> (th.Prog.tid, p))
+          (thread_paths domain ~bound th.Prog.tid th.Prog.code))
+      prog.Prog.threads
+  in
+  List.map assemble (product per_thread)
+
+(* ------------------------------------------------------------------ *)
+(* Static relations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let events_list x = Array.to_list x.events
+
+let locs x =
+  List.sort_uniq compare (List.filter_map (fun e -> e.loc) (events_list x))
+
+let writes_on x loc =
+  List.filter (fun e -> is_write e && e.loc = Some loc) (events_list x)
+
+let reads x = List.filter is_read (events_list x)
+
+let po_pairs x =
+  let evs = events_list x in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b -> if a.tid = b.tid && a.po < b.po then Some (a, b) else None)
+        evs)
+    evs
+
+let po_loc_edges x =
+  List.filter_map
+    (fun (a, b) ->
+      if a.loc <> None && a.loc = b.loc then Some (a.id, b.id) else None)
+    (po_pairs x)
+
+(** dob ∪ ctrl ∪ ctrl+ISB: the value-independent dependency part of ob.
+    Address and data dependencies order both loads and stores; control
+    dependencies order po-later stores; control+ISB orders po-later
+    loads. *)
+let dep_edges x =
+  List.concat_map
+    (fun b ->
+      let to_b d = (d, b.id) in
+      List.map to_b (b.addr_deps @ b.data_deps)
+      @ (if is_write b then List.map to_b b.ctrl_deps else [])
+      @ if is_read b then List.map to_b b.ctrl_isb_deps else [])
+    (events_list x)
+
+let bob_edges x =
+  let evs = events_list x in
+  let fences_between a b kind_pred =
+    List.exists
+      (fun f ->
+        f.tid = a.tid && a.po < f.po && f.po < b.po
+        && match f.kind with E_fence k -> kind_pred k | _ -> false)
+      evs
+  in
+  List.concat_map
+    (fun (a, b) ->
+      let edges = ref [] in
+      let add () = edges := (a.id, b.id) :: !edges in
+      (* po;[dmb full];po *)
+      if fences_between a b (fun k -> k = Instr.Dmb_full) then add ();
+      (* [R];po;[dmb ld];po *)
+      if is_read a && fences_between a b (fun k -> k = Instr.Dmb_ld) then
+        add ();
+      (* [W];po;[dmb st];po;[W] *)
+      if
+        is_write a && is_write b
+        && fences_between a b (fun k -> k = Instr.Dmb_st)
+      then add ();
+      (* [A];po *)
+      if is_acquire a then add ();
+      (* po;[L] *)
+      if is_release b then add ();
+      (* [L];po;[A] (RCsc) *)
+      if is_release a && is_acquire b then add ();
+      !edges)
+    (po_pairs x)
+
+let static_ob_edges x = dep_edges x @ bob_edges x
+
+(* ------------------------------------------------------------------ *)
+(* Axiom checking over a concrete candidate                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny DAG cycle check over int nodes. *)
+let acyclic (n : int) (edges : (int * int) list) : bool =
+  let adj = Array.make (max n 1) [] in
+  List.iter
+    (fun (a, b) -> if a >= 0 && b >= 0 then adj.(a) <- b :: adj.(a))
+    edges;
+  let color = Array.make (max n 1) 0 in
+  let rec dfs v =
+    if color.(v) = 1 then false
+    else if color.(v) = 2 then true
+    else begin
+      color.(v) <- 1;
+      let ok = List.for_all dfs adj.(v) in
+      color.(v) <- 2;
+      ok
+    end
+  in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if color.(v) = 0 && not (dfs v) then ok := false
+  done;
+  !ok
+
+let co_pos co loc w =
+  match List.assoc_opt loc co with
+  | None -> -1
+  | Some order -> (
+      match List.find_index (fun i -> i = w) order with
+      | Some i -> i
+      | None -> -1)
+
+(** fr: read r -> writes co-after the write r reads from. *)
+let fr_edges x ~rf ~co =
+  events_list x
+  |> List.concat_map (fun r ->
+         if not (is_read r) then []
+         else
+           match r.loc with
+           | None -> []
+           | Some loc ->
+               let w = List.assoc r.id rf in
+               let pos = if w = -1 then -1 else co_pos co loc w in
+               (match List.assoc_opt loc co with
+               | None -> []
+               | Some order ->
+                   List.filteri (fun i _ -> i > pos) order
+                   (* an RMW is not fr-before its own write *)
+                   |> List.filter (fun w' -> w' <> r.id)
+                   |> List.map (fun w' -> (r.id, w'))))
+
+let co_edges co =
+  List.concat_map
+    (fun (_, order) ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      pairs order)
+    co
+
+let rf_edges rf =
+  List.filter_map (fun (r, w) -> if w = -1 then None else Some (w, r)) rf
+
+(** internal: acyclic(po-loc ∪ rf ∪ co ∪ fr) *)
+let internal_ok x ~rf ~co =
+  acyclic (Array.length x.events)
+    (po_loc_edges x @ rf_edges rf @ co_edges co @ fr_edges x ~rf ~co)
+
+(** atomicity: an RMW reads the co-immediate predecessor of its write. *)
+let atomicity_ok x ~rf ~co =
+  Array.for_all
+    (fun e ->
+      match e.kind with
+      | E_rmw _ -> (
+          match e.loc with
+          | None -> true
+          | Some loc ->
+              let w = List.assoc e.id rf in
+              let my_pos = co_pos co loc e.id in
+              let read_pos = if w = -1 then -1 else co_pos co loc w in
+              my_pos = read_pos + 1)
+      | _ -> true)
+    x.events
+
+(** external: acyclic(ob) with ob = rfe ∪ coe ∪ fre ∪ static deps/bob. *)
+let external_ok x ~rf ~co =
+  let same_thread a b = x.events.(a).tid = x.events.(b).tid in
+  let ext = List.filter (fun (a, b) -> not (same_thread a b)) in
+  acyclic (Array.length x.events)
+    (ext (rf_edges rf) @ ext (co_edges co)
+    @ ext (fr_edges x ~rf ~co)
+    @ static_ob_edges x)
+
+let valid x ~rf ~co =
+  internal_ok x ~rf ~co && atomicity_ok x ~rf ~co && external_ok x ~rf ~co
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: values, feasibility, outcomes                             *)
+(* ------------------------------------------------------------------ *)
+
+type resolution = {
+  values : int array;  (** per event: the value written (writes, RMWs) *)
+  rvalues : int array;  (** per event: the value read (reads, RMWs) *)
+  envs : (int * (Reg.t, int) Hashtbl.t) list;  (** final register files *)
+}
+
+type decoded = Feasible of resolution | Infeasible | Stuck
+
+(* Value resolution is demand-driven: each event's value is a lazily
+   forced cell over the reads-from choice, so a po-later store can
+   resolve before an earlier load of the same thread (load buffering).
+   A cell that depends on itself through rf is an out-of-thin-air value
+   cycle; the candidate is dropped ([Stuck]), matching the axiomatic
+   fixpoint the Promising executor agrees with. *)
+type cstate = Thunk of (unit -> int) | Forcing | Done of int
+type cell = { mutable state : cstate }
+
+exception Value_cycle
+
+let force c =
+  match c.state with
+  | Done v -> v
+  | Forcing -> raise Value_cycle
+  | Thunk f ->
+      c.state <- Forcing;
+      let v = f () in
+      c.state <- Done v;
+      v
+
+type check =
+  | C_guard of (Reg.t * cell) list * Expr.bexp * bool
+  | C_addr of event * (Reg.t * cell) list * Expr.vexp * int list
+
+let decode (prog : Prog.t) (x : combo) ~(rf : int -> int) : decoded =
+  let n = Array.length x.events in
+  let wcell : cell option array = Array.make n None in
+  let rcell : cell option array = Array.make n None in
+  let checks = ref [] in
+  let eval_with env e =
+    fst
+      (Expr.eval_v
+         (fun r ->
+           match List.assoc_opt r env with
+           | Some c -> (force c, 0)
+           | None -> (0, 0) (* registers start at 0 *))
+         e)
+  in
+  (* Pass 1: walk each thread's path, snapshotting the register
+     environment (reg -> cell) at every step. *)
+  let final_envs =
+    List.map
+      (fun (tid, steps) ->
+        let env = ref [] in
+        List.iter
+          (fun step ->
+            match step with
+            | S_move (r, e) ->
+                let snap = !env in
+                env :=
+                  (r, { state = Thunk (fun () -> eval_with snap e) }) :: snap
+            | S_guard (b, expect) -> checks := C_guard (!env, b, expect) :: !checks
+            | S_event eid -> (
+                let e = x.events.(eid) in
+                let snap = !env in
+                (match e.addr_check with
+                | Some (off, dom) ->
+                    checks := C_addr (e, snap, off, dom) :: !checks
+                | None -> ());
+                match e.kind with
+                | E_fence _ -> ()
+                | E_write _ ->
+                    wcell.(eid) <-
+                      Some
+                        {
+                          state =
+                            Thunk
+                              (fun () -> eval_with snap (Option.get e.wval));
+                        }
+                | E_read _ ->
+                    let c =
+                      {
+                        state =
+                          Thunk
+                            (fun () ->
+                              let w = rf eid in
+                              if w = -1 then
+                                Prog.init_value prog (Option.get e.loc)
+                              else force (Option.get wcell.(w)));
+                      }
+                    in
+                    rcell.(eid) <- Some c;
+                    Option.iter (fun r -> env := (r, c) :: snap) e.dst
+                | E_rmw _ ->
+                    let rc =
+                      {
+                        state =
+                          Thunk
+                            (fun () ->
+                              let w = rf eid in
+                              if w = -1 then
+                                Prog.init_value prog (Option.get e.loc)
+                              else force (Option.get wcell.(w)));
+                      }
+                    in
+                    let wc =
+                      {
+                        state =
+                          Thunk
+                            (fun () ->
+                              force rc
+                              + eval_with snap (Option.get e.rmw_delta));
+                      }
+                    in
+                    rcell.(eid) <- Some rc;
+                    wcell.(eid) <- Some wc;
+                    Option.iter (fun r -> env := (r, rc) :: snap) e.dst))
+          steps;
+        (tid, !env))
+      x.steps
+  in
+  (* Pass 2: feasibility checks (guards, address choices), then force
+     every value. *)
+  try
+    let feasible =
+      List.for_all
+        (function
+          | C_guard (env, b, expect) ->
+              let g, _ =
+                Expr.eval_b
+                  (fun r ->
+                    match List.assoc_opt r env with
+                    | Some c -> (force c, 0)
+                    | None -> (0, 0))
+                  b
+              in
+              g = expect
+          | C_addr (e, env, off, dom) ->
+              let v = eval_with env off in
+              let chosen = Loc.index (Option.get e.loc) in
+              v = chosen
+              ||
+              if List.mem v dom then false
+              else
+                unsupported e.tid e.pc
+                  (Printf.sprintf
+                     "runtime address index %d outside the static domain" v))
+        (List.rev !checks)
+    in
+    if not feasible then Infeasible
+    else begin
+      let values = Array.make n 0 and rvalues = Array.make n 0 in
+      Array.iteri
+        (fun i c -> Option.iter (fun c -> values.(i) <- force c) c)
+        wcell;
+      Array.iteri
+        (fun i c -> Option.iter (fun c -> rvalues.(i) <- force c) c)
+        rcell;
+      let envs =
+        List.map
+          (fun (tid, env) ->
+            let tbl = Hashtbl.create 8 in
+            List.iter
+              (fun (r, c) -> Hashtbl.replace tbl r (force c))
+              (List.rev env);
+            (tid, tbl))
+          final_envs
+      in
+      Feasible { values; rvalues; envs }
+    end
+  with
+  | Value_cycle -> Stuck
+  | Expr.Eval_panic m ->
+      raise (Unsupported ("expression trap during decode: " ^ m))
+
+let outcome_values (prog : Prog.t) (_x : combo) (res : resolution)
+    ~(co_last : Loc.t -> int option) : (Prog.observable * int) list =
+  List.map
+    (fun o ->
+      ( o,
+        match o with
+        | Prog.Obs_reg (tid, r) -> (
+            match List.assoc_opt tid res.envs with
+            | Some env -> Option.value ~default:0 (Hashtbl.find_opt env r)
+            | None -> 0)
+        | Prog.Obs_loc loc -> (
+            match co_last loc with
+            | Some w -> res.values.(w)
+            | None -> Prog.init_value prog loc) ))
+    prog.Prog.observables
+
+let status_of (x : combo) =
+  if x.exhausted then Behavior.Fuel_exhausted else Behavior.Normal

@@ -1,0 +1,132 @@
+(** Candidate-execution machinery shared by the enumerating axiomatic
+    checker ({!Axiomatic}) and the SAT-based bounded model checker
+    ({!Bmc}).
+
+    A candidate execution is a control-flow path per thread, a reads-from
+    choice per load, and a per-location coherence order over the stores.
+    This module owns the pieces the two backends must agree on — thread
+    compilation (branch splitting, bounded [While] unrolling, computed
+    addresses), the static dependency/barrier relations, the Armv8 axioms
+    over a concrete candidate, and the value decoding — so the axioms are
+    defined exactly once. *)
+
+exception Unsupported of string
+(** Raised on programs outside the fragment ([Xchg]/[Cas]/[Panic],
+    trapping address arithmetic, runtime address indices outside the
+    static domain), naming the offending thread and pc. *)
+
+val default_bound : int
+(** Default [While] unrolling bound. *)
+
+(** {2 Events, steps, combos} *)
+
+type kind =
+  | E_read of Instr.order
+  | E_write of Instr.order
+  | E_rmw of Instr.order  (** both a read and a write *)
+  | E_fence of Instr.barrier
+
+type event = {
+  id : int;  (** global id within a combo (= index into [events]) *)
+  tid : int;
+  po : int;  (** program-order index within the thread's path *)
+  pc : int;  (** pre-order index of the originating instruction *)
+  kind : kind;
+  loc : Loc.t option;  (** [None] for fences *)
+  dst : Reg.t option;  (** register written by a load/RMW *)
+  wval : Expr.vexp option;  (** store data *)
+  rmw_delta : Expr.vexp option;  (** FAA delta *)
+  addr_check : (Expr.vexp * int list) option;
+      (** register-dependent address: (offset expression, static index
+          domain); decoding rejects paths where the resolved offset
+          disagrees with the index chosen in [loc] *)
+  addr_deps : int list;
+  data_deps : int list;
+  ctrl_deps : int list;
+  ctrl_isb_deps : int list;
+}
+
+type step =
+  | S_event of int
+  | S_move of Reg.t * Expr.vexp
+  | S_guard of Expr.bexp * bool
+
+type combo = {
+  events : event array;
+  steps : (int * step list) list;  (** per thread, global event ids *)
+  exhausted : bool;  (** some [While] hit the unrolling bound *)
+}
+
+val combos : ?bound:int -> Prog.t -> combo list
+(** All control-flow path combinations of the program, one combo per
+    choice of per-thread path. Raises {!Unsupported} outside the
+    fragment. *)
+
+(** {2 Event classification} *)
+
+val is_read : event -> bool
+val is_write : event -> bool
+val is_acquire : event -> bool
+val is_release : event -> bool
+
+(** {2 Static relations (value-independent)} *)
+
+val locs : combo -> Loc.t list
+val writes_on : combo -> Loc.t -> event list
+val reads : combo -> event list
+val po_pairs : combo -> (event * event) list
+
+val po_loc_edges : combo -> (int * int) list
+(** Same-location program order (the static part of the internal axiom). *)
+
+val static_ob_edges : combo -> (int * int) list
+(** dob (address/data dependencies) ∪ ctrl ∪ ctrl+ISB ∪ bob (DMB
+    flavours, acquire, release, RCsc): the static part of ob. *)
+
+(** {2 Axioms over a concrete candidate}
+
+    [rf] is keyed by read event id ((read, writer); writer [-1] is the
+    initial memory write); [co] lists each location's writes in coherence
+    order. *)
+
+val internal_ok : combo -> rf:(int * int) list -> co:(Loc.t * int list) list -> bool
+val atomicity_ok : combo -> rf:(int * int) list -> co:(Loc.t * int list) list -> bool
+val external_ok : combo -> rf:(int * int) list -> co:(Loc.t * int list) list -> bool
+
+val valid : combo -> rf:(int * int) list -> co:(Loc.t * int list) list -> bool
+(** Conjunction of internal, atomicity and external. *)
+
+(** {2 Decoding values and outcomes} *)
+
+type resolution = {
+  values : int array;  (** per event: the value written (writes, RMWs) *)
+  rvalues : int array;  (** per event: the value read (reads, RMWs) *)
+  envs : (int * (Reg.t, int) Hashtbl.t) list;  (** final register files *)
+}
+
+type decoded =
+  | Feasible of resolution
+  | Infeasible
+      (** a guard or address choice disagrees with the resolved values *)
+  | Stuck  (** out-of-thin-air value cycle through rf; never a behavior *)
+
+val decode : Prog.t -> combo -> rf:(int -> int) -> decoded
+(** Replay the combo's thread paths under the given reads-from choice,
+    resolving register files and write values. *)
+
+val outcome_values :
+  Prog.t ->
+  combo ->
+  resolution ->
+  co_last:(Loc.t -> int option) ->
+  (Prog.observable * int) list
+(** Observable value vector: final register files for [Obs_reg], the
+    co-maximal write (or the initial value) for [Obs_loc]. *)
+
+val status_of : combo -> Behavior.status
+(** [Fuel_exhausted] for bound-truncated combos, [Normal] otherwise. *)
+
+(** {2 Enumeration helpers} *)
+
+val product : 'a list list -> 'a list list
+val permutations : 'a list -> 'a list list

@@ -14,16 +14,19 @@ val submit :
   socket:string ->
   ?jobs:int ->
   ?deadline_s:float ->
+  ?backend:Protocol.backend ->
   ?cert_cache:bool ->
   ?por:bool ->
   Protocol.job ->
   (Json.t, string) result
 (** One-shot submit. [Ok payload] is the server's result wrapper
     [{"data": ..., "from_cache": ..., "wall_s": ...}]; [Error] carries
-    the server's message (unknown job, timeout, failure). [cert_cache]
-    (default true) toggles certification memoization server-side;
-    [por] (default true) toggles partial-order reduction. Both are part
-    of the server's cache key. *)
+    the server's message (unknown job, timeout, failure). [backend]
+    (default [Explicit]) selects the deciding engine for litmus jobs
+    ([Bmc] is rejected for other kinds); [cert_cache] (default true)
+    toggles certification memoization server-side; [por] (default true)
+    toggles partial-order reduction. All three are part of the server's
+    cache key. *)
 
 val status : socket:string -> (Json.t, string) result
 (** One-shot status: the service counters object. *)

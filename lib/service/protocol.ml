@@ -7,11 +7,26 @@ type job =
   | Refine of string
   | Certify of { linux : string; stage2_levels : int }
 
+type backend = Explicit | Bmc
+
+let fail msg = raise (Json.Decode msg)
+
+let backend_to_string = function Explicit -> "explicit" | Bmc -> "bmc"
+
+let backend_of_string = function
+  | "explicit" -> Explicit
+  | "bmc" -> Bmc
+  | s -> fail ("unknown backend " ^ s)
+
 type request =
   | Submit of {
       job : job;
       jobs : int;
       deadline_s : float option;
+      backend : backend;
+          (** which engine decides the job (default [Explicit]; absent
+              on the wire means explicit, so older clients are
+              unaffected); part of the scheduler's cache key *)
       cert_cache : bool;
           (** certification memoization for this job (default true);
               part of the scheduler's cache key, so A/B submissions
@@ -30,8 +45,6 @@ type response =
   | Status_r of Json.t
   | Error_r of string
   | Bye
-
-let fail msg = raise (Json.Decode msg)
 
 let job_to_json = function
   | Litmus name ->
@@ -55,7 +68,7 @@ let job_of_json j =
   | k -> fail ("unknown job kind " ^ k)
 
 let request_to_json = function
-  | Submit { job; jobs; deadline_s; cert_cache; por } ->
+  | Submit { job; jobs; deadline_s; backend; cert_cache; por } ->
       Json.Obj
         [ ("op", Json.String "submit");
           ("job", job_to_json job);
@@ -63,6 +76,7 @@ let request_to_json = function
           ( "deadline_s",
             match deadline_s with None -> Json.Null | Some d -> Json.Float d
           );
+          ("backend", Json.String (backend_to_string backend));
           ("cert_cache", Json.Bool cert_cache);
           ("por", Json.Bool por) ]
   | Status -> Json.Obj [ ("op", Json.String "status") ]
@@ -81,6 +95,12 @@ let request_of_json j =
             (match Json.member "deadline_s" j with
             | Json.Null -> None
             | d -> Some (Json.to_float d));
+          backend =
+            (* absent = explicit: requests from older clients keep the
+               explicit-state engines *)
+            (match Json.member "backend" j with
+            | Json.Null -> Explicit
+            | b -> backend_of_string (Json.to_str b));
           cert_cache =
             (* absent = true: requests from older clients keep the
                default behavior *)

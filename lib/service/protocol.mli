@@ -19,19 +19,32 @@ type job =
   | Certify of { linux : string; stage2_levels : int }
       (** full wDRF certificate for one KVM version *)
 
+(** Which engine decides a litmus job: the explicit-state enumerators
+    (SC + Promising) or the SAT-based bounded model checker. Absent on
+    the wire means [Explicit], so older clients are unaffected. Part of
+    the scheduler's cache key. Only litmus jobs accept [Bmc]. *)
+type backend = Explicit | Bmc
+
+val backend_to_string : backend -> string
+
+val backend_of_string : string -> backend
+(** Raises {!Cache.Json.Decode} on unknown names. *)
+
 type request =
   | Submit of {
       job : job;
       jobs : int;
       deadline_s : float option;
+      backend : backend;
       cert_cache : bool;
       por : bool;
     }
       (** [jobs] = exploration domains; [deadline_s] = seconds from
-          submission before the job is cancelled; [cert_cache] toggles
-          certification memoization and [por] partial-order reduction
-          (both default true — absent on the wire means true, so older
-          clients are unaffected) *)
+          submission before the job is cancelled; [backend] selects the
+          deciding engine for litmus jobs (default [Explicit]);
+          [cert_cache] toggles certification memoization and [por]
+          partial-order reduction (both default true — absent on the
+          wire means true, so older clients are unaffected) *)
   | Status
   | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
 

@@ -54,17 +54,24 @@ let budgets_of_config config =
 let with_cert_cache cert_cache (config : Promising.config) =
   { config with Promising.cert_cache }
 
-let cache_key ?(cert_cache = true) ?(por = true) (spec : spec) : string =
+let cache_key ?(backend = Protocol.Explicit) ?(cert_cache = true)
+    ?(por = true) (spec : spec) : string =
   (* [por] is part of the budgets: behavior sets are identical either
      way, but the cached payload embeds exploration statistics, and an
      A/B submission must not be served the other arm's counters. *)
   let por_tag = Printf.sprintf ";por=%b" por in
+  (* [backend] too: a BMC litmus payload has a different shape (and a
+     different deciding engine) than the explicit one, so the two must
+     never alias. *)
+  let backend_tag =
+    Printf.sprintf ";backend=%s" (Protocol.backend_to_string backend)
+  in
   let model, budgets, prog_digest =
     match spec with
     | Litmus_spec t ->
         ( "litmus",
           budgets_of_config (with_cert_cache cert_cache (litmus_config t))
-          ^ por_tag,
+          ^ por_tag ^ backend_tag,
           Fingerprint.prog t.prog )
     | Refine_spec e ->
         (* The analyzer version is part of the budgets: a lint upgrade
@@ -111,6 +118,7 @@ type ticket = {
   tk_spec : spec;
   tk_jobs : int;
   tk_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  tk_backend : Protocol.backend;
   tk_cert_cache : bool;
   tk_por : bool;
   mutable tk_result : (outcome * meta) option;
@@ -159,8 +167,22 @@ let execute tk :
     outcome * Engine.stats option * [ `Cacheable | `Transient ] =
   let deadline = tk.tk_deadline in
   let jobs = tk.tk_jobs in
-  match tk.tk_spec with
-  | Litmus_spec test ->
+  match (tk.tk_spec, tk.tk_backend) with
+  | Litmus_spec test, Protocol.Bmc ->
+      (* The SAT backend has no mid-run cancellation valve; the
+         queue-level deadline (checked before execution) still applies.
+         No engine stats to aggregate — its counters live in the
+         payload. *)
+      let rm = Bmc.check ~mode:Bmc.Arm test.prog in
+      let sc = Bmc.check ~mode:Bmc.Sc test.prog in
+      ( Done (Codec.bmc_to_json (Codec.bmc_summary test ~rm ~sc)),
+        None,
+        `Cacheable )
+  | (Refine_spec _ | Certify_spec _), Protocol.Bmc ->
+      (* also rejected at the server boundary; kept here so direct
+         scheduler users get the same clean failure *)
+      (Failed "backend=bmc only decides litmus jobs", None, `Transient)
+  | Litmus_spec test, Protocol.Explicit ->
       let r =
         Litmus.run ~sc_fuel ~jobs ?deadline ~por:tk.tk_por
           ~cert_cache:tk.tk_cert_cache test
@@ -173,7 +195,7 @@ let execute tk :
         ( Done (Codec.litmus_to_json (Codec.litmus_summary r)),
           Some stats,
           `Cacheable )
-  | Refine_spec e ->
+  | Refine_spec e, Protocol.Explicit ->
       (* Analyzer-first routing: when every lint pass and the static
          refinement composition pass, the soundness contract (enforced
          by the cross-validation suite) guarantees the exploration would
@@ -210,7 +232,7 @@ let execute tk :
                  (Codec.refine_summary ~name:e.name e.prog v)),
             Some stats,
             `Cacheable )
-  | Certify_spec version ->
+  | Certify_spec version, Protocol.Explicit ->
       (* Certificates have no engine-level cancellation hook; they only
          honor the queue-level deadline (checked before execution). *)
       let report = Vrm.Certificate.certify version in
@@ -324,9 +346,9 @@ let create ?workers ?cache () =
     List.init n_workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) ?(por = true)
-    spec =
-  let key = cache_key ~cert_cache ~por spec in
+let submit t ?(jobs = 1) ?deadline_s ?(backend = Protocol.Explicit)
+    ?(cert_cache = true) ?(por = true) spec =
+  let key = cache_key ~backend ~cert_cache ~por spec in
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
   in
@@ -346,6 +368,7 @@ let submit t ?(jobs = 1) ?deadline_s ?(cert_cache = true) ?(por = true)
               tk_spec = spec;
               tk_jobs = max 1 jobs;
               tk_deadline = deadline;
+              tk_backend = backend;
               tk_cert_cache = cert_cache;
               tk_por = por;
               tk_result = None }
@@ -369,8 +392,8 @@ let await t tk =
       done;
       Option.get tk.tk_result)
 
-let run t ?jobs ?deadline_s ?cert_cache ?por spec =
-  await t (submit t ?jobs ?deadline_s ?cert_cache ?por spec)
+let run t ?jobs ?deadline_s ?backend ?cert_cache ?por spec =
+  await t (submit t ?jobs ?deadline_s ?backend ?cert_cache ?por spec)
 
 type counters = {
   submitted : int;

@@ -36,12 +36,17 @@ let respond srv (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
       Atomic.set srv.stop true;
       Protocol.Bye
-  | Protocol.Submit { job; jobs; deadline_s; cert_cache; por } -> (
+  | Protocol.Submit { job; jobs; deadline_s; backend; cert_cache; por } -> (
+      match (job, backend) with
+      | (Protocol.Refine _ | Protocol.Certify _), Protocol.Bmc ->
+          Protocol.Error_r "backend=bmc only decides litmus jobs"
+      | _, _ -> (
       match Scheduler.lookup_job job with
       | Error msg -> Protocol.Error_r msg
       | Ok spec -> (
           let outcome, meta =
-            Scheduler.run srv.sched ~jobs ?deadline_s ~cert_cache ~por spec
+            Scheduler.run srv.sched ~jobs ?deadline_s ~backend ~cert_cache
+              ~por spec
           in
           match outcome with
           | Scheduler.Done payload ->
@@ -51,7 +56,7 @@ let respond srv (req : Protocol.request) : Protocol.response =
                      ("from_cache", Json.Bool meta.Scheduler.from_cache);
                      ("wall_s", Json.Float meta.Scheduler.wall_s) ])
           | Scheduler.Timed_out -> Protocol.Error_r "job timed out"
-          | Scheduler.Failed msg -> Protocol.Error_r ("job failed: " ^ msg)))
+          | Scheduler.Failed msg -> Protocol.Error_r ("job failed: " ^ msg))))
 
 let handle srv fd =
   Fun.protect
