@@ -24,10 +24,12 @@ smoke:
 	dune exec bin/vrm_cli.exe -- litmus mp-plain --stats
 	dune exec bin/vrm_cli.exe -- litmus mp-plain --json
 
-# Static wDRF lint over every kernel corpus entry, cross-validated
-# against the dynamic checkers (exits non-zero on any disagreement).
+# Static wDRF lint over every kernel corpus entry, under BOTH engines
+# (bounded-path and fixpoint), cross-validated against the dynamic
+# checkers. Exits non-zero on any disagreement or on an engine
+# divergence that is not pinned in Kernel_progs.lint_divergences.
 lint:
-	dune exec bin/vrm_cli.exe -- lint --corpus
+	dune exec bin/vrm_cli.exe -- lint --engine=both --corpus
 
 # Cross-validate the SAT-based BMC backend against the explicit-state
 # engines: digest equality on every litmus-suite entry, both memory

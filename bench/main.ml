@@ -1038,6 +1038,104 @@ let print_lint () =
   expect "some corpus entries are static-served" (served > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Analyzer engines: bounded path enumeration vs dataflow fixpoint     *)
+(* ------------------------------------------------------------------ *)
+
+(* A family of b independent branch diamonds: the bounded engine
+   enumerates 2^b paths, the fixpoint engine visits O(b) CFG nodes. *)
+let branchy b =
+  let open Memmodel in
+  let code =
+    List.concat
+      (List.init b (fun k ->
+           let rk = Reg.v (Printf.sprintf "r%d" k) in
+           let base = Printf.sprintf "el2_m%d" k in
+           [ Instr.load rk (Expr.at "data");
+             Instr.if_
+               (Expr.Cmp (Expr.Eq, Expr.r rk, Expr.c 0))
+               [ Instr.store (Expr.at ~offset:(Expr.c 0) base) (Expr.c 1) ]
+               [ Instr.store (Expr.at ~offset:(Expr.c 0) base) (Expr.c 2) ] ]))
+  in
+  Prog.make
+    ~name:(Printf.sprintf "branchy-%d" b)
+    ~observables:[]
+    [ Prog.thread 1 code; Prog.thread 2 [ Instr.Nop ] ]
+
+let print_absint () =
+  section "Analyzer throughput: bounded path enumeration vs fixpoint";
+  let time_n n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let sizes = [ 4; 6; 8; 10; 12 ] in
+  let rows =
+    List.map
+      (fun b ->
+        let prog = branchy b in
+        let name = Printf.sprintf "branchy-%d" b in
+        let run engine () =
+          Analysis.Driver.analyze_prog ~engine ~name prog
+        in
+        let tf = time_n 20 (run Analysis.Driver.Fixpoint) in
+        let tb =
+          time_n (if b <= 8 then 5 else 1) (run Analysis.Driver.Bounded)
+        in
+        Format.printf
+          "  %-12s bounded %9.3f ms (%8.1f prog/s)   fixpoint %7.3f ms \
+           (%8.1f prog/s)   speedup %7.1fx@."
+          name (tb *. 1e3) (1. /. tb) (tf *. 1e3) (1. /. tf) (tb /. tf);
+        (b, tb, tf))
+      sizes
+  in
+  let assoc b = List.find (fun (b', _, _) -> b' = b) rows in
+  let _, tb_lo, tf_lo = assoc 4 and _, tb_hi, tf_hi = assoc 12 in
+  expect "fixpoint is at least 10x faster than bounded at the top size"
+    (tb_hi /. tf_hi >= 10.);
+  expect "bounded time grows super-linearly in the diamond count"
+    (tb_hi /. tb_lo > 50.);
+  expect "fixpoint time stays near-linear in the diamond count"
+    (tf_hi /. tf_lo < 30.);
+  (* engine agreement across all four corpora, modulo the pinned
+     bounded blind spots *)
+  let entries =
+    Sekvm.Kernel_progs.corpus @ Sekvm.Kernel_progs.buggy_corpus
+    @ Sekvm.Kernel_progs.boundary_corpus @ Sekvm.Kernel_progs.lint_corpus
+  in
+  let divergent =
+    List.concat_map
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let fx =
+          Analysis.Driver.analyze ~engine:Analysis.Driver.Fixpoint e
+        in
+        let bd = Analysis.Driver.analyze ~engine:Analysis.Driver.Bounded e in
+        let pinned =
+          Option.value ~default:[]
+            (List.assoc_opt e.Sekvm.Kernel_progs.name
+               Sekvm.Kernel_progs.lint_divergences)
+        in
+        List.filter_map
+          (fun (p : Analysis.Driver.pass) ->
+            let vb =
+              Analysis.Driver.pass_verdict bd p.Analysis.Driver.p_name
+            in
+            if
+              vb <> p.Analysis.Driver.p_verdict
+              && not (List.mem p.Analysis.Driver.p_name pinned)
+            then
+              Some
+                (e.Sekvm.Kernel_progs.name ^ "/" ^ p.Analysis.Driver.p_name)
+            else None)
+          fx.Analysis.Driver.a_passes)
+      entries
+  in
+  List.iter (Format.printf "  UNPINNED divergence: %s@.") divergent;
+  expect "zero unpinned engine divergences across all four corpora"
+    (divergent = [])
+
+(* ------------------------------------------------------------------ *)
 (* §5: the certification summary                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1155,6 +1253,7 @@ let () =
     ignore (print_bmc ());
     print_service ();
     print_lint ();
+    print_absint ();
     print_certification ();
     run_bechamel ();
     section "Summary";

@@ -21,3 +21,11 @@
 open Memmodel
 
 val run : Prog.t -> Diag.t list
+(** Bounded-path engine. *)
+
+val run_fix : Prog.t -> Diag.t list * Absint.stats list
+(** Fixpoint engine: the backward adequacy scans become a must-flag +
+    may-dirty-set lattice, the forward scans become pending obligations
+    resolved by the fulfilling barrier or reported at the first
+    annotated-base access / thread exit. W007 (a linear structural
+    scan) is shared verbatim with the bounded engine. *)

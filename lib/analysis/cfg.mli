@@ -83,6 +83,51 @@ module Amem : sig
       becomes unknown. *)
 end
 
+(** {2 Graph form}
+
+    The CFG proper, consumed by the {!Absint} fixpoint engine. [If]
+    contributes two guard edges that rejoin; [While] is peeled [peel]
+    times (default {!default_peel}) and kept as a residual natural loop
+    whose header is a widening point. Peeled copies retain the original
+    structural positions, so a defect detected on iteration 2 of a loop
+    reports the same [pt] as the source instruction. *)
+
+type guard = {
+  g_cond : Expr.bexp;
+  g_taken : bool;  (** which side of the condition this edge takes *)
+  g_pt : int list;  (** structural position of the [If]/[While] header *)
+  g_loop : bool;  (** derived from a [While] (including peeled copies) *)
+  g_ins : Instr.t;  (** the original header instruction *)
+}
+
+type label =
+  | L_ins of step  (** execute one straight-line instruction *)
+  | L_guard of guard  (** branch decision *)
+  | L_skip  (** structural join edge *)
+
+type gate = {
+  gt_node : int;  (** node where the guard is evaluated *)
+  gt_cond : Expr.bexp;
+  gt_taken : bool;
+}
+
+type graph = {
+  g_n : int;  (** node count; ids are [0 .. g_n-1] *)
+  g_entry : int;
+  g_exit : int;
+  g_succ : (label * int) list array;
+  g_gates : gate list array;
+      (** enclosing guard decisions per node: a node executes iff every
+          gate's condition evaluates in the gate's direction at the
+          gate's evaluation site *)
+  g_loop_head : bool array;  (** residual loop headers (widening points) *)
+}
+
+val default_peel : int
+
+val graph : ?peel:int -> Instr.t list -> graph
+(** Build the control-flow graph of a thread body. *)
+
 (** {2 Certainty classification} *)
 
 type raw = {
@@ -98,3 +143,8 @@ val classify : tid:int -> per_path:raw list list -> Diag.t list
 (** Merge per-path raw findings into diagnostics: a finding is
     [Definite] iff it is definite-eligible and identical on every path;
     otherwise [Possible]. *)
+
+val merge_raws : tid:int -> raw list -> Diag.t list
+(** Fixpoint-engine counterpart of {!classify}: [r_definite] is already
+    the final certainty; duplicate findings merge keeping the strongest
+    one. *)

@@ -1,0 +1,212 @@
+open Memmodel
+
+(* A memory-access event, in pre-order position [ev_idx] of its thread.
+   RMWs are both reads and writes. [ev_acq]/[ev_rel] record acquire
+   flavour on the read / release flavour on the write, the two access
+   annotations that enforce ordering without an explicit fence. *)
+type ev = {
+  ev_pt : int list;
+  ev_idx : int;
+  ev_base : string;
+  ev_off : int option;
+  ev_read : bool;
+  ev_write : bool;
+  ev_acq : bool;
+  ev_rel : bool;
+}
+
+type bar = { bar_pt : int list; bar_idx : int; bar_kind : Instr.barrier }
+
+let acq_of = function
+  | Instr.Acquire | Instr.Acq_rel -> true
+  | Instr.Plain | Instr.Release -> false
+
+let rel_of = function
+  | Instr.Release | Instr.Acq_rel -> true
+  | Instr.Plain | Instr.Acquire -> false
+
+(* Events and DMBs of a thread, pre-order. The shared counter only has
+   to preserve relative program order; guards and register moves do not
+   consume indices. ISBs order control dependencies, not access pairs,
+   so they are not collected. *)
+let events_of_thread (th : Prog.thread) =
+  let evs = ref [] in
+  let bars = ref [] in
+  let ctr = ref 0 in
+  let next () =
+    let i = !ctr in
+    incr ctr;
+    i
+  in
+  let add pt (a : Expr.aexp) order ~read ~write =
+    evs :=
+      { ev_pt = pt;
+        ev_idx = next ();
+        ev_base = a.Expr.abase;
+        ev_off = Cfg.const_of_vexp a.Expr.offset;
+        ev_read = read;
+        ev_write = write;
+        ev_acq = read && acq_of order;
+        ev_rel = write && rel_of order }
+      :: !evs
+  in
+  let rec go prefix code =
+    List.iteri
+      (fun k ins ->
+        let pt = prefix @ [k] in
+        match ins with
+        | Instr.If (_, a, b) ->
+            go (pt @ [0]) a;
+            go (pt @ [1]) b
+        | Instr.While (_, body) -> go (pt @ [0]) body
+        | Instr.Load (_, a, o) -> add pt a o ~read:true ~write:false
+        | Instr.Store (a, _, o) -> add pt a o ~read:false ~write:true
+        | Instr.Faa (_, a, _, o)
+        | Instr.Xchg (_, a, _, o)
+        | Instr.Cas (_, a, _, _, o) ->
+            add pt a o ~read:true ~write:true
+        | Instr.Barrier Instr.Isb -> ()
+        | Instr.Barrier b ->
+            bars := { bar_pt = pt; bar_idx = next (); bar_kind = b } :: !bars
+        | Instr.Move _ | Instr.Pull _ | Instr.Push _ | Instr.Tlbi _
+        | Instr.Panic | Instr.Nop ->
+            ())
+      code
+  in
+  go [] th.Prog.code;
+  (List.rev !evs, List.rev !bars)
+
+(* Structural points diverging at an odd position sit in sibling [If]
+   branches: mutually exclusive, never program-ordered. *)
+let exclusive pa pb =
+  let rec at i pa pb =
+    match (pa, pb) with
+    | x :: xs, y :: ys -> if x = y then at (i + 1) xs ys else i mod 2 = 1
+    | _ -> false
+  in
+  at 0 pa pb
+
+let po_lt a b = a.ev_idx < b.ev_idx && not (exclusive a.ev_pt b.ev_pt)
+
+let same_location a b =
+  a.ev_base = b.ev_base
+  &&
+  match (a.ev_off, b.ev_off) with Some x, Some y -> x = y | _ -> false
+
+(* A program-order pair eligible for the delay set: same-location pairs
+   are ordered by coherence already. *)
+let segment a b = po_lt a b && not (same_location a b)
+
+let off_compat a b =
+  match (a.ev_off, b.ev_off) with Some x, Some y -> x = y | _ -> true
+
+(* Inter-thread conflict edge. Lock-implementation bases are excluded:
+   lock internals are exempt from wDRF (their cycles are the protocol)
+   and are verified by refinement/exploration directly. *)
+let conflict a b =
+  a.ev_base = b.ev_base
+  && (a.ev_write || b.ev_write)
+  && off_compat a b
+  && not (Cfg.is_lock_base a.ev_base)
+
+(* Is the pair (a, b), a po-before b, already ordered? Either endpoint
+   flavouring or an intervening DMB of a sufficient flavour works; the
+   DMB must be program-ordered with both endpoints. *)
+let enforced bars a b =
+  a.ev_acq || b.ev_rel
+  || List.exists
+       (fun d ->
+         a.ev_idx < d.bar_idx
+         && d.bar_idx < b.ev_idx
+         && (not (exclusive a.ev_pt d.bar_pt))
+         && (not (exclusive d.bar_pt b.ev_pt))
+         &&
+         match d.bar_kind with
+         | Instr.Dmb_full -> true
+         | Instr.Dmb_ld -> a.ev_read
+         | Instr.Dmb_st -> a.ev_write && b.ev_write
+         | Instr.Isb -> false)
+       bars
+
+let describe e =
+  let kind =
+    if e.ev_read && e.ev_write then "atomic update of"
+    else if e.ev_write then "store to"
+    else "load of"
+  in
+  match e.ev_off with
+  | Some o -> Printf.sprintf "%s %s[%d]" kind e.ev_base o
+  | None -> Printf.sprintf "%s %s[?]" kind e.ev_base
+
+let fix_for a b =
+  if a.ev_read then
+    "insert a dmb_ld (or full dmb) between the pair, or make the first \
+     access acquire-flavored"
+  else if a.ev_write && b.ev_write then
+    "insert a dmb_st (or full dmb) between the pair, or make the second \
+     store release-flavored"
+  else
+    "insert a full dmb between the pair; a write-to-read pair needs DMB ISH"
+
+let run (prog : Prog.t) : Diag.t list =
+  let threads =
+    List.map
+      (fun (th : Prog.thread) ->
+        let evs, bars = events_of_thread th in
+        (th.Prog.tid, evs, bars))
+      prog.Prog.threads
+  in
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  List.iter
+    (fun (tid, evs, bars) ->
+      List.iter
+        (fun e1 ->
+          List.iter
+            (fun e2 ->
+              if segment e1 e2 && not (enforced bars e1 e2) then
+                let key = (tid, e1.ev_pt, e2.ev_pt) in
+                if not (Hashtbl.mem seen key) then
+                  (* minimal critical cycle: a remote segment whose
+                     first event conflicts with [e2] and whose second
+                     conflicts with [e1]. *)
+                  let witness =
+                    List.find_map
+                      (fun (utid, uevs, _) ->
+                        if utid = tid then None
+                        else
+                          List.find_map
+                            (fun f1 ->
+                              if conflict e2 f1 then
+                                List.find_map
+                                  (fun f2 ->
+                                    if segment f1 f2 && conflict f2 e1 then
+                                      Some (utid, f1, f2)
+                                    else None)
+                                  uevs
+                              else None)
+                            uevs)
+                      threads
+                  in
+                  match witness with
+                  | None -> ()
+                  | Some (utid, f1, f2) ->
+                      Hashtbl.add seen key ();
+                      diags :=
+                        { Diag.d_code = Diag.W008;
+                          d_tid = tid;
+                          d_path = e1.ev_pt;
+                          d_certainty = Diag.Possible;
+                          d_message =
+                            Printf.sprintf
+                              "%s and %s may be reordered on Arm: the pair \
+                               lies on an unfenced critical cycle with \
+                               thread %d's %s and %s"
+                              (describe e1) (describe e2) utid (describe f1)
+                              (describe f2);
+                          d_fix = fix_for e1 e2 }
+                        :: !diags)
+            evs)
+        evs)
+    threads;
+  Diag.sort !diags

@@ -1,6 +1,6 @@
 (* See the interface for the semantics of codes, certainty and verdicts. *)
 
-type code = W001 | W002 | W003 | W004 | W005 | W006 | W007
+type code = W001 | W002 | W003 | W004 | W005 | W006 | W007 | W008
 
 let code_name = function
   | W001 -> "W001"
@@ -10,6 +10,7 @@ let code_name = function
   | W005 -> "W005"
   | W006 -> "W006"
   | W007 -> "W007"
+  | W008 -> "W008"
 
 let code_title = function
   | W001 -> "shared access outside lock/ownership"
@@ -19,6 +20,7 @@ let code_title = function
   | W005 -> "page-table write without covering TLBI"
   | W006 -> "push/pull ownership flow"
   | W007 -> "control-dependent PT read without ISB"
+  | W008 -> "unfenced critical cycle (delay set)"
 
 let code_of_name = function
   | "W001" -> Some W001
@@ -28,6 +30,7 @@ let code_of_name = function
   | "W005" -> Some W005
   | "W006" -> Some W006
   | "W007" -> Some W007
+  | "W008" -> Some W008
   | _ -> None
 
 type certainty = Definite | Possible

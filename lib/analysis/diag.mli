@@ -27,9 +27,10 @@ type code =
   | W005  (** page-table write without a covering DMB+TLBI *)
   | W006  (** push/pull ownership flow (double pull, push of free, leak) *)
   | W007  (** advisory: control-dependent PT read without an ISB *)
+  | W008  (** advisory: program-order pair on an unfenced critical cycle *)
 
 val code_name : code -> string
-(** ["W001"] .. ["W007"]. *)
+(** ["W001"] .. ["W008"]. *)
 
 val code_title : code -> string
 (** One-line description of the warning family. *)

@@ -1,23 +1,47 @@
 open Memmodel
 
-let version = "lint-1"
+let version = "lint-2"
+
+type engine = Bounded | Fixpoint
+
+let engine_name = function Bounded -> "bounded" | Fixpoint -> "fixpoint"
 
 type pass = {
   p_name : string;
   p_verdict : Diag.verdict;
   p_diags : Diag.t list;
+  p_ms : float;  (** wall time of the pass, milliseconds *)
+  p_stats : Absint.stats;
+      (** summed over the thread CFGs; zero for structural passes and
+          for the bounded engine *)
 }
 
 type t = {
   a_name : string;
   a_prog_digest : string;
+  a_engine : engine;
   a_passes : pass list;
   a_overall : Diag.verdict;
   a_refinement : Diag.verdict;
 }
 
-let mk_pass name diags =
-  { p_name = name; p_verdict = Diag.verdict_of_diags diags; p_diags = diags }
+let sum_stats = List.fold_left Absint.add_stats Absint.zero_stats
+
+let mk_pass name (f : unit -> Diag.t list * Absint.stats) =
+  let t0 = Sys.time () in
+  let diags, st = f () in
+  let ms = (Sys.time () -. t0) *. 1000. in
+  { p_name = name;
+    p_verdict = Diag.verdict_of_diags diags;
+    p_diags = diags;
+    p_ms = ms;
+    p_stats = st }
+
+let structural f () = (f (), Absint.zero_stats)
+
+let fixpoint f () =
+  let diags, stats = f () in
+  (diags, sum_stats stats)
 
 (* Threads (structurally) touching [base] anywhere. *)
 let touching_threads (prog : Prog.t) base =
@@ -35,15 +59,34 @@ let touching_threads (prog : Prog.t) base =
       go th.Prog.code)
     prog.Prog.threads
 
-let analyze_prog ?(exempt = []) ?(initial_owners = []) ~name (prog : Prog.t) :
-    t =
+let analyze_prog ?(engine = Fixpoint) ?(exempt = []) ?(initial_owners = [])
+    ~name (prog : Prog.t) : t =
   let passes =
-    [ mk_pass "drf-lockset" (Lockset.run ~exempt ~initial_owners prog);
-      mk_pass "barriers" (Barriers.run prog);
-      mk_pass "write-once" (Write_once.run prog);
-      mk_pass "transactional" (Transactional.run prog);
-      mk_pass "tlbi" (Tlbi.run prog);
-      mk_pass "ownership" (Ownership.run ~exempt ~initial_owners prog) ]
+    match engine with
+    | Bounded ->
+        [ mk_pass "drf-lockset"
+            (structural (fun () -> Lockset.run ~exempt ~initial_owners prog));
+          mk_pass "barriers" (structural (fun () -> Barriers.run prog));
+          mk_pass "write-once" (structural (fun () -> Write_once.run prog));
+          mk_pass "transactional"
+            (structural (fun () -> Transactional.run prog));
+          mk_pass "tlbi" (structural (fun () -> Tlbi.run prog));
+          mk_pass "ownership"
+            (structural (fun () -> Ownership.run ~exempt ~initial_owners prog));
+          mk_pass "delay" (structural (fun () -> Delay.run prog)) ]
+    | Fixpoint ->
+        [ mk_pass "drf-lockset"
+            (fixpoint (fun () ->
+                 Lockset.run_fix ~exempt ~initial_owners prog));
+          mk_pass "barriers" (fixpoint (fun () -> Barriers.run_fix prog));
+          mk_pass "write-once" (fixpoint (fun () -> Write_once.run_fix prog));
+          mk_pass "transactional"
+            (fixpoint (fun () -> Transactional.run_fix prog));
+          mk_pass "tlbi" (fixpoint (fun () -> Tlbi.run_fix prog));
+          mk_pass "ownership"
+            (fixpoint (fun () ->
+                 Ownership.run_fix ~exempt ~initial_owners prog));
+          mk_pass "delay" (structural (fun () -> Delay.run prog)) ]
   in
   let overall =
     List.fold_left
@@ -77,12 +120,13 @@ let analyze_prog ?(exempt = []) ?(initial_owners = []) ~name (prog : Prog.t) :
   in
   { a_name = name;
     a_prog_digest = Fingerprint.prog prog;
+    a_engine = engine;
     a_passes = passes;
     a_overall = overall;
     a_refinement = refinement }
 
-let analyze (e : Sekvm.Kernel_progs.entry) : t =
-  analyze_prog ~exempt:e.Sekvm.Kernel_progs.exempt
+let analyze ?engine (e : Sekvm.Kernel_progs.entry) : t =
+  analyze_prog ?engine ~exempt:e.Sekvm.Kernel_progs.exempt
     ~initial_owners:e.Sekvm.Kernel_progs.initial_owners
     ~name:e.Sekvm.Kernel_progs.name e.Sekvm.Kernel_progs.prog
 
@@ -112,6 +156,7 @@ let to_json t =
       ("name", String t.a_name);
       ("prog_digest", String t.a_prog_digest);
       ("analyzer", String version);
+      ("engine", String (engine_name t.a_engine));
       ("overall", String (Diag.verdict_name t.a_overall));
       ("refinement", String (Diag.verdict_name t.a_refinement));
       ( "passes",
@@ -134,6 +179,18 @@ let pp fmt t =
         (Diag.verdict_name p.p_verdict);
       List.iter (fun d -> Format.fprintf fmt "@,    @[<v>%a@]" Diag.pp d)
         p.p_diags)
+    t.a_passes;
+  Format.fprintf fmt "@]"
+
+let pp_stats fmt t =
+  Format.fprintf fmt "@[<v>lint %s [%s engine]" t.a_name
+    (engine_name t.a_engine);
+  List.iter
+    (fun p ->
+      Format.fprintf fmt
+        "@,  %-13s %7.3f ms  nodes %-5d edges %-5d iters %-6d widens %d"
+        p.p_name p.p_ms p.p_stats.Absint.st_nodes p.p_stats.Absint.st_edges
+        p.p_stats.Absint.st_iters p.p_stats.Absint.st_widens)
     t.a_passes;
   Format.fprintf fmt "@]"
 

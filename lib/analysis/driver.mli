@@ -4,6 +4,22 @@
     (a dynamic witness is guaranteed), [Unknown] iff only [Possible]
     diagnostics remain, [Pass] iff none.
 
+    Two interchangeable engines drive the per-thread passes. [Bounded]
+    is the original path enumerator: every branch doubles the path set
+    and loops are unrolled at most once, so it is exact on loop-free
+    programs but exponential in branching and blind past the first loop
+    iteration. [Fixpoint] runs each pass as an abstract-interpretation
+    dataflow problem over the thread CFG ({!Absint}): linear-ish in
+    program size, sound on loops via widening, and [Definite] only at
+    definitely-reached program points. The two engines agree on every
+    corpus entry except those explicitly pinned as bounded blind spots
+    ({!Sekvm.Kernel_progs.lint_expectations_bounded}); {!Validate}
+    checks the agreement, and that the fixpoint verdict is never less
+    sound than the bounded one.
+
+    The delay pass (W008, {!Delay}) is structural and engine-independent:
+    it runs identically under both engines.
+
     [a_refinement] is the static counterpart of Theorem 2 — [Pass] only
     when the lockset, ownership and barrier passes all pass {e and} every
     exempt base touched by more than one thread is recognizably a lock
@@ -18,28 +34,39 @@ open Memmodel
     invalidates statically served results. *)
 val version : string
 
+type engine = Bounded | Fixpoint
+
+val engine_name : engine -> string
+
 type pass = {
   p_name : string;
   p_verdict : Diag.verdict;
   p_diags : Diag.t list;
+  p_ms : float;  (** wall time of the pass, milliseconds *)
+  p_stats : Absint.stats;
+      (** summed over the thread CFGs; zero for structural passes and
+          for the bounded engine *)
 }
 
 type t = {
   a_name : string;
   a_prog_digest : string;  (** {!Memmodel.Fingerprint.prog} *)
+  a_engine : engine;
   a_passes : pass list;
   a_overall : Diag.verdict;
   a_refinement : Diag.verdict;
 }
 
 val analyze_prog :
+  ?engine:engine ->
   ?exempt:string list ->
   ?initial_owners:(string * int) list ->
   name:string ->
   Prog.t ->
   t
+(** [engine] defaults to [Fixpoint]. *)
 
-val analyze : Sekvm.Kernel_progs.entry -> t
+val analyze : ?engine:engine -> Sekvm.Kernel_progs.entry -> t
 
 val diags : t -> Diag.t list
 (** All diagnostics, in the deterministic {!Diag.compare} order. *)
@@ -56,6 +83,9 @@ val code_verdict : t -> Diag.code -> Diag.verdict
 
 val to_json : t -> Cache.Json.t
 val pp : Format.formatter -> t -> unit
+
+val pp_stats : Format.formatter -> t -> unit
+(** Per-pass wall time and solver statistics ([vrm-cli lint --stats]). *)
 
 val to_program_summary :
   expect:Sekvm.Kernel_progs.expect -> t -> Vrm.Certificate.program_summary option

@@ -23,3 +23,14 @@ val run :
   initial_owners:(string * int) list ->
   Prog.t ->
   Diag.t list
+(** Bounded-path engine (path enumeration, loops unrolled 0/1). *)
+
+val run_fix :
+  exempt:string list ->
+  initial_owners:(string * int) list ->
+  Prog.t ->
+  Diag.t list * Absint.stats list
+(** Fixpoint engine: a must/may owned-set lattice replaces per-path
+    ownership simulation ([Definite] = unowned on the may-set at a
+    definitely-reached access), and the whole-program claim check runs
+    on a forward guard/balance domain instead of per-path scans. *)

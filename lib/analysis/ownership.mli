@@ -18,3 +18,14 @@ val run :
   initial_owners:(string * int) list ->
   Prog.t ->
   Diag.t list
+(** Bounded-path engine. *)
+
+val run_fix :
+  exempt:string list ->
+  initial_owners:(string * int) list ->
+  Prog.t ->
+  Diag.t list * Absint.stats list
+(** Fixpoint engine: ownership becomes a must-set plus a may-map from
+    base to the set of acquiring points; [Definite] needs the must
+    level, a definitely-reached point and (for leaks) a unique
+    acquiring point. *)

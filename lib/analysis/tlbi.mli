@@ -17,3 +17,10 @@
 open Memmodel
 
 val run : Prog.t -> Diag.t list
+(** Bounded-path engine. *)
+
+val run_fix : Prog.t -> Diag.t list * Absint.stats list
+(** Fixpoint engine: each live-entry store opens a pending obligation
+    (carrying must-flags for certainty) resolved by the first covering
+    TLBI — reporting the no-DMB shape if no barrier must-intervened —
+    or reported at thread exit as TLBI-before or no-TLBI. *)

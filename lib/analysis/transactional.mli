@@ -21,3 +21,10 @@
 open Memmodel
 
 val run : Prog.t -> Diag.t list
+(** Bounded-path engine. *)
+
+val run_fix : Prog.t -> Diag.t list * Absint.stats list
+(** Fixpoint engine: the frame stack carries must/may flags per frame
+    (saw-PT-write, pending-unrelated-write) and acquiring points as
+    sets; joins of stacks of different heights degrade the state to a
+    dirty summary that reports [Possible] only. *)

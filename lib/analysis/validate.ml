@@ -31,8 +31,13 @@ let agree name verdict ~dynamic ~expected =
           Printf.sprintf "static unknown, dynamic %s expectation"
             (if dynamic = expected then "matches" else "CONTRADICTS") }
 
+(* Pass/Unknown/Fail as a severity scale, for the engine-soundness
+   direction of the comparison. *)
+let rank = function Diag.Pass -> 0 | Diag.Unknown -> 1 | Diag.Fail -> 2
+
 let entry (e : Kernel_progs.entry) : report =
-  let a = Driver.analyze e in
+  let a = Driver.analyze ~engine:Driver.Fixpoint e in
+  let b = Driver.analyze ~engine:Driver.Bounded e in
   let checks = ref [] in
   let add c = checks := c :: !checks in
   (* 1. DRF: lockset + ownership vs the ownership-instrumented SC run *)
@@ -119,6 +124,80 @@ let entry (e : Kernel_progs.entry) : report =
               (String.concat ";" expected)
               (String.concat ";" got)
               (vs a.Driver.a_overall) });
+  (* 6. engine parity: per-pass verdicts agree between the bounded and
+     fixpoint engines, except where a bounded blind spot is pinned in
+     Kernel_progs.lint_divergences *)
+  let pinned =
+    Option.value ~default:[]
+      (List.assoc_opt e.Kernel_progs.name Kernel_progs.lint_divergences)
+  in
+  let mismatches =
+    List.filter_map
+      (fun (p : Driver.pass) ->
+        let vb = Driver.pass_verdict b p.Driver.p_name in
+        if List.mem p.Driver.p_name pinned || vb = p.Driver.p_verdict then
+          None
+        else
+          Some
+            (Printf.sprintf "%s bounded=%s fixpoint=%s" p.Driver.p_name
+               (vs vb) (vs p.Driver.p_verdict)))
+      a.Driver.a_passes
+  in
+  add
+    { c_name = "engine-parity";
+      c_ok = mismatches = [];
+      c_detail =
+        (if mismatches = [] then
+           if pinned = [] then "verdicts agree on every pass"
+           else
+             Printf.sprintf "verdicts agree outside pinned [%s]"
+               (String.concat ";" pinned)
+         else "UNPINNED divergence: " ^ String.concat ", " mismatches) };
+  (* 7. engine soundness: the fixpoint verdict is never weaker than the
+     bounded one — on a pinned pass it may only be more severe *)
+  let unsound =
+    List.filter_map
+      (fun (p : Driver.pass) ->
+        let vb = Driver.pass_verdict b p.Driver.p_name in
+        if rank p.Driver.p_verdict >= rank vb then None
+        else
+          Some
+            (Printf.sprintf "%s bounded=%s fixpoint=%s" p.Driver.p_name
+               (vs vb) (vs p.Driver.p_verdict)))
+      a.Driver.a_passes
+  in
+  add
+    { c_name = "engine-sound";
+      c_ok = unsound = [];
+      c_detail =
+        (if unsound = [] then "fixpoint never below bounded"
+         else "fixpoint WEAKER than bounded: " ^ String.concat ", " unsound) };
+  (* 8. the bounded engine's definite code set matches its own pinned
+     expectation (defaulting to the shared table) *)
+  let expected_b =
+    match
+      List.assoc_opt e.Kernel_progs.name Kernel_progs.lint_expectations_bounded
+    with
+    | Some codes -> Some codes
+    | None ->
+        List.assoc_opt e.Kernel_progs.name Kernel_progs.lint_expectations
+  in
+  (match expected_b with
+  | None ->
+      add
+        { c_name = "expected-bnd";
+          c_ok = false;
+          c_detail = "entry missing from Kernel_progs.lint_expectations" }
+  | Some expected ->
+      let got = Driver.definite_codes b in
+      let expected = List.sort_uniq compare expected in
+      add
+        { c_name = "expected-bnd";
+          c_ok = got = expected;
+          c_detail =
+            Printf.sprintf "bounded expected [%s], got [%s]"
+              (String.concat ";" expected)
+              (String.concat ";" got) });
   { r_entry = e.Kernel_progs.name; r_checks = List.rev !checks }
 
 let corpus () =

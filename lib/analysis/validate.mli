@@ -17,6 +17,19 @@
       {!Sekvm.Kernel_progs.lint_expectations} (a missing table entry is
       itself a failure).
 
+    Three engine-comparison checks ride along (the entry is analyzed
+    under both {!Driver.engine}s):
+
+    + {e engine-parity}: per-pass verdicts agree exactly, except on the
+      passes pinned for the entry in
+      {!Sekvm.Kernel_progs.lint_divergences};
+    + {e engine-sound}: the fixpoint verdict is never weaker than the
+      bounded one on any pass (a pinned divergence may only make it more
+      severe);
+    + {e expected-bnd}: the bounded engine's [Definite] code set matches
+      {!Sekvm.Kernel_progs.lint_expectations_bounded}, defaulting to the
+      shared table.
+
     Any disagreement fails the suite: either the analyzer claimed too
     much (unsound) or a seeded bug went unreported (incomplete). *)
 

@@ -21,3 +21,12 @@ open Memmodel
 val multi_writer_bases : (string -> bool) -> Prog.t -> string list
 
 val run : Prog.t -> Diag.t list
+(** Bounded-path engine. *)
+
+val run_fix : Prog.t -> Diag.t list * Absint.stats list
+(** Fixpoint engine: the shared must-memory lattice {!Absint.Mem}
+    replaces per-path constant folding and the transactional depth
+    becomes an interval (widened to unbounded by pull-heavy loops).
+    [Definite] = must-prior known non-zero, depth interval exactly
+    [0,0], at a definitely-reached store. Loop peeling makes this pass
+    catch loop-carried double installs the bounded engine misses. *)

@@ -508,6 +508,29 @@ let walker_no_isb =
     rm_config = lockcfg;
     note = "control-dependent walk with no ISB: advisory W007, verdict             Unknown, dynamic fallback stays green" }
 
+let el2_loop_remap =
+  (* the same EL2 word rewritten on every loop iteration: the overwrite
+     only manifests on the second pass, which a 0/1-unrolling path
+     enumeration never sees — the designated bounded-engine blind spot *)
+  let i = Reg.v "i" in
+  { name = "el2-loop-remap";
+    prog =
+      Prog.make ~name:"el2-loop-remap"
+        ~init:[ (Loc.v ~index:0 "el2_lc", 0) ]
+        ~observables:[ Prog.Obs_loc (Loc.v ~index:0 "el2_lc") ]
+        ~shared_bases:[ "el2_lc" ]
+        [ Prog.thread 1
+            [ Instr.move i (c 0);
+              Instr.while_ (r i < c 2)
+                [ Instr.store (at ~offset:(c 0) "el2_lc") (c 7);
+                  Instr.move i (r i + c 1) ] ];
+          Prog.thread 2 [ Instr.Nop ] ];
+    exempt = [ "el2_lc" ];
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg;
+    note = "loop-carried double map: the second iteration overwrites the             first; bounded 0/1 unrolling misses it, the fixpoint engine             pins W003" }
+
 (* ------------------------------------------------------------------ *)
 (* The corpus, per verified KVM version (§5.6)                         *)
 (* ------------------------------------------------------------------ *)
@@ -529,7 +552,8 @@ let boundary_corpus = [ pt_walker_race ]
     {!lint_expectations}. *)
 let lint_corpus =
   [ handoff_missing_dmb; el2_double_map; read_outside_lock; pull_no_push;
-    remap_no_tlbi; tlbi_before_write; split_transaction; walker_no_isb ]
+    remap_no_tlbi; tlbi_before_write; split_transaction; walker_no_isb;
+    el2_loop_remap ]
 
 (** Expected {e definite} warning codes per corpus entry — the contract
     the cross-validation harness pins down. An entry missing from this
@@ -555,7 +579,20 @@ let lint_expectations =
     ("remap-no-tlbi", [ "W005" ]);
     ("tlbi-before-write", [ "W005" ]);
     ("split-transaction", [ "W004" ]);
-    ("walker-no-isb", []) ]
+    ("walker-no-isb", []);
+    ("el2-loop-remap", [ "W003" ]) ]
+
+(** Entries where the {e bounded} engine's definite codes legitimately
+    differ from {!lint_expectations} (its 0/1 loop unrolling is blind to
+    loop-carried defects). Entries absent here default to
+    {!lint_expectations}. *)
+let lint_expectations_bounded = [ ("el2-loop-remap", []) ]
+
+(** Pinned engine divergences: per entry, the passes whose verdicts are
+    allowed to differ between the bounded and fixpoint engines. On a
+    pinned pass the fixpoint verdict must still be at least as severe as
+    the bounded one; everywhere else the verdicts must agree exactly. *)
+let lint_divergences = [ ("el2-loop-remap", [ "write-once" ]) ]
 
 type version = {
   linux : string;

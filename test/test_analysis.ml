@@ -1,6 +1,7 @@
 (* The static wDRF analyzer: cross-validation against the dynamic
-   checkers, deterministic diagnostics, and golden renderings of the
-   text and JSON outputs (one per verdict: pass / fail / unknown). *)
+   checkers, deterministic diagnostics, golden renderings of the text
+   and JSON outputs (one per verdict: pass / fail / unknown), and the
+   bounded-vs-fixpoint engine contract. *)
 
 open Analysis
 open Sekvm
@@ -74,6 +75,193 @@ let test_program_summary () =
        ~expect:Kernel_progs.walker_no_isb.Kernel_progs.expect u
     = None)
 
+(* --- engines ------------------------------------------------------- *)
+
+let vrank = function Diag.Pass -> 0 | Diag.Unknown -> 1 | Diag.Fail -> 2
+
+(* The designated bounded blind spot: a loop-carried double map that
+   only manifests on the second iteration. The fixpoint engine pins it
+   Definite; the bounded engine's 0/1 unrolling never sees it. *)
+let test_loop_carried () =
+  let e = Kernel_progs.el2_loop_remap in
+  let fx = Driver.analyze ~engine:Driver.Fixpoint e in
+  Alcotest.(check (list string))
+    "fixpoint pins W003" [ "W003" ] (Driver.definite_codes fx);
+  Alcotest.(check string) "fixpoint write-once fails" "fail"
+    (Diag.verdict_name (Driver.pass_verdict fx "write-once"));
+  let bd = Driver.analyze ~engine:Driver.Bounded e in
+  Alcotest.(check (list string))
+    "bounded is blind" [] (Driver.definite_codes bd);
+  Alcotest.(check string) "bounded write-once passes" "pass"
+    (Diag.verdict_name (Driver.pass_verdict bd "write-once"))
+
+(* Per-pass verdict agreement across every corpus entry, modulo the
+   pinned divergences (where fixpoint may only be more severe). *)
+let test_engine_parity_corpus () =
+  List.iter
+    (fun (e : Kernel_progs.entry) ->
+      let fx = Driver.analyze ~engine:Driver.Fixpoint e in
+      let bd = Driver.analyze ~engine:Driver.Bounded e in
+      let pinned =
+        Option.value ~default:[]
+          (List.assoc_opt e.Kernel_progs.name Kernel_progs.lint_divergences)
+      in
+      List.iter
+        (fun (p : Driver.pass) ->
+          let vb = Driver.pass_verdict bd p.Driver.p_name in
+          let label = e.Kernel_progs.name ^ "/" ^ p.Driver.p_name in
+          if List.mem p.Driver.p_name pinned then
+            Alcotest.(check bool)
+              (label ^ " pinned: fixpoint at least as severe")
+              true
+              (vrank p.Driver.p_verdict >= vrank vb)
+          else
+            Alcotest.(check string) label (Diag.verdict_name vb)
+              (Diag.verdict_name p.Driver.p_verdict))
+        fx.Driver.a_passes)
+    (all_entries ())
+
+(* Fixpoint passes carry solver statistics; structural passes and the
+   bounded engine stay at zero. *)
+let test_stats () =
+  let fx = Driver.analyze ~engine:Driver.Fixpoint Kernel_progs.vmid_alloc in
+  let lockset =
+    List.find (fun (p : Driver.pass) -> p.Driver.p_name = "drf-lockset")
+      fx.Driver.a_passes
+  in
+  Alcotest.(check bool) "nodes counted" true
+    (lockset.Driver.p_stats.Absint.st_nodes > 0);
+  Alcotest.(check bool) "edges counted" true
+    (lockset.Driver.p_stats.Absint.st_edges > 0);
+  Alcotest.(check bool) "solver iterated" true
+    (lockset.Driver.p_stats.Absint.st_iters > 0);
+  Alcotest.(check bool) "wall time non-negative" true
+    (List.for_all (fun (p : Driver.pass) -> p.Driver.p_ms >= 0.)
+       fx.Driver.a_passes);
+  let bd = Driver.analyze ~engine:Driver.Bounded Kernel_progs.vmid_alloc in
+  Alcotest.(check bool) "bounded stats are zero" true
+    (List.for_all
+       (fun (p : Driver.pass) -> p.Driver.p_stats = Absint.zero_stats)
+       bd.Driver.a_passes)
+
+(* --- randomized engine parity -------------------------------------- *)
+
+(* A small deterministic PRNG so failures reproduce from the seed. *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (seed * 2 + 1) land 0x3fffffff }
+
+  let next t =
+    t.s <- (t.s * 1103515245 + 12345) land 0x3fffffff;
+    t.s
+
+  let below t n = next t mod n
+end
+
+(* Random two-thread DSL programs for the engine-parity properties.
+   Guards branch only on freshly loaded registers (statically opaque, so
+   both engines face the same control-flow uncertainty), pulls and
+   pushes are always matched, and every EL2 store writes the same
+   constant, so joining branch states never invents a value conflict the
+   bounded enumeration cannot see. *)
+let gen_code rng ~loops tid =
+  let open Memmodel in
+  let fresh = ref 0 in
+  let reg () =
+    incr fresh;
+    Reg.v (Printf.sprintf "t%d_r%d" tid !fresh)
+  in
+  let rec block depth len =
+    List.concat (List.init len (fun _ -> instr depth))
+  and instr depth =
+    match Rng.below rng (if depth > 0 then 9 else 7) with
+    | 0 ->
+        let o = if Rng.below rng 2 = 0 then Instr.Plain else Instr.Acquire in
+        [ Instr.load ~order:o (reg ()) (Expr.at "data") ]
+    | 1 -> [ Instr.store (Expr.at "data") (Expr.c (1 + Rng.below rng 2)) ]
+    | 2 ->
+        [ Instr.store
+            (Expr.at ~offset:(Expr.c (Rng.below rng 2)) "el2_m")
+            (Expr.c 1) ]
+    | 3 ->
+        [ (match Rng.below rng 3 with
+          | 0 -> Instr.dmb
+          | 1 -> Instr.dmb_ld
+          | _ -> Instr.dmb_st) ]
+    | 4 ->
+        (Instr.pull [ "data" ] :: block 0 (1 + Rng.below rng 2))
+        @ [ Instr.push [ "data" ] ]
+    | 5 -> [ Instr.store_rel (Expr.at "data") (Expr.c 1) ]
+    | 6 -> [ Instr.Nop ]
+    | n ->
+        let g = reg () in
+        let cond = Expr.Cmp (Expr.Eq, Expr.r g, Expr.c 0) in
+        let sub () = block (depth - 1) (1 + Rng.below rng 2) in
+        if n = 8 && loops then
+          [ Instr.load g (Expr.at "data"); Instr.while_ cond (sub ()) ]
+        else
+          [ Instr.load g (Expr.at "data");
+            Instr.if_ cond (sub ()) (sub ()) ]
+  in
+  block 2 (3 + Rng.below rng 3)
+
+let gen_prog ~loops seed =
+  let open Memmodel in
+  let rng = Rng.create seed in
+  Prog.make ~name:"lint-qcheck" ~observables:[]
+    ~shared_bases:[ "data"; "el2_m" ]
+    [ Prog.thread 1 (gen_code rng ~loops 1);
+      Prog.thread 2 (gen_code rng ~loops 2) ]
+
+let definite_diags a =
+  List.filter
+    (fun (d : Diag.t) -> d.Diag.d_certainty = Diag.Definite)
+    (Driver.diags a)
+
+let parity_seed ~loops seed =
+  let prog = gen_prog ~loops seed in
+  let fx =
+    Driver.analyze_prog ~engine:Driver.Fixpoint ~name:"lint-qcheck" prog
+  in
+  let bd =
+    Driver.analyze_prog ~engine:Driver.Bounded ~name:"lint-qcheck" prog
+  in
+  (* soundness: every bounded Definite diagnostic survives verbatim *)
+  let dfx = definite_diags fx in
+  let missing =
+    List.filter (fun d -> not (List.mem d dfx)) (definite_diags bd)
+  in
+  if missing <> [] then (
+    Format.eprintf "seed %d: fixpoint lost definite diags:@." seed;
+    List.iter (fun d -> Format.eprintf "  %a@." Diag.pp d) missing;
+    false)
+  else if
+    (* loop-free programs: the engines must agree pass by pass *)
+    (not loops)
+    && List.exists
+         (fun (p : Driver.pass) ->
+           Driver.pass_verdict bd p.Driver.p_name <> p.Driver.p_verdict)
+         fx.Driver.a_passes
+  then (
+    Format.eprintf "seed %d: loop-free verdict divergence@.%a@.%a@." seed
+      Driver.pp bd Driver.pp fx;
+    false)
+  else true
+
+let qcheck_parity_loopfree =
+  QCheck.Test.make
+    ~name:"loop-free programs: engines agree pass by pass" ~count:60
+    QCheck.(int_bound 100_000)
+    (parity_seed ~loops:false)
+
+let qcheck_parity_loops =
+  QCheck.Test.make
+    ~name:"loopy programs: fixpoint keeps every bounded definite"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (parity_seed ~loops:true)
+
 (* --- goldens ------------------------------------------------------- *)
 
 let render e = Format.asprintf "%a" Driver.pp (Driver.analyze e)
@@ -86,7 +274,8 @@ let golden_pass_text =
   \  write-once    pass\n\
   \  transactional pass\n\
   \  tlbi          pass\n\
-  \  ownership     pass"
+  \  ownership     pass\n\
+  \  delay         pass"
 
 let golden_fail_text =
   "lint el2-double-map: fail (refinement pass)\n\
@@ -99,7 +288,8 @@ let golden_fail_text =
    remap in a pull/push section\n\
   \  transactional pass\n\
   \  tlbi          pass\n\
-  \  ownership     pass"
+  \  ownership     pass\n\
+  \  delay         pass"
 
 let golden_unknown_text =
   "lint walker-no-isb: unknown (refinement unknown)\n\
@@ -113,10 +303,11 @@ let golden_unknown_text =
   \  write-once    pass\n\
   \  transactional pass\n\
   \  tlbi          pass\n\
-  \  ownership     pass"
+  \  ownership     pass\n\
+  \  delay         pass"
 
 let golden_fail_json =
-  "{\"kind\":\"lint\",\"name\":\"el2-double-map\",\"prog_digest\":\"419295c9c9093fa79a9f6e594fdbc0cd\",\"analyzer\":\"lint-1\",\"overall\":\"fail\",\"refinement\":\"pass\",\"passes\":[{\"name\":\"drf-lockset\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"barriers\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"write-once\",\"verdict\":\"fail\",\"diags\":[{\"code\":\"W003\",\"tid\":1,\"path\":[1],\"certainty\":\"definite\",\"message\":\"kernel mapping el2_pt[0] overwritten outside a transactional section\",\"fix\":\"install each kernel mapping exactly once, or wrap the remap in a pull/push section\"}]},{\"name\":\"transactional\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"tlbi\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"ownership\",\"verdict\":\"pass\",\"diags\":[]}]}"
+  "{\"kind\":\"lint\",\"name\":\"el2-double-map\",\"prog_digest\":\"419295c9c9093fa79a9f6e594fdbc0cd\",\"analyzer\":\"lint-2\",\"engine\":\"fixpoint\",\"overall\":\"fail\",\"refinement\":\"pass\",\"passes\":[{\"name\":\"drf-lockset\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"barriers\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"write-once\",\"verdict\":\"fail\",\"diags\":[{\"code\":\"W003\",\"tid\":1,\"path\":[1],\"certainty\":\"definite\",\"message\":\"kernel mapping el2_pt[0] overwritten outside a transactional section\",\"fix\":\"install each kernel mapping exactly once, or wrap the remap in a pull/push section\"}]},{\"name\":\"transactional\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"tlbi\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"ownership\",\"verdict\":\"pass\",\"diags\":[]},{\"name\":\"delay\",\"verdict\":\"pass\",\"diags\":[]}]}"
 
 let test_golden_text () =
   Alcotest.(check string) "pass text" golden_pass_text
@@ -157,6 +348,13 @@ let () =
           Alcotest.test_case "static-serve set" `Quick test_static_serve_set;
           Alcotest.test_case "program summary" `Quick test_program_summary ]
       );
+      ( "engines",
+        [ Alcotest.test_case "loop-carried W003" `Quick test_loop_carried;
+          Alcotest.test_case "corpus parity" `Quick
+            test_engine_parity_corpus;
+          Alcotest.test_case "solver stats" `Quick test_stats;
+          QCheck_alcotest.to_alcotest qcheck_parity_loopfree;
+          QCheck_alcotest.to_alcotest qcheck_parity_loops ] );
       ( "golden",
         [ Alcotest.test_case "text" `Quick test_golden_text;
           Alcotest.test_case "json" `Quick test_golden_json ] ) ]
