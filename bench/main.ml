@@ -478,11 +478,16 @@ type sweep = {
   sw_stolen : int;  (* frontier tasks claimed cross-domain *)
   sw_cert_calls : int;
   sw_cert_hits : int;
+  sw_stripes : int;  (* seen-set stripes (max over runs) *)
+  sw_occupancy : int;  (* deepest stripe (max over runs) *)
+  sw_lock_waits : int;  (* contended stripe acquisitions *)
+  sw_minor_words : int;  (* minor-heap words allocated while exploring *)
   sw_digest : string;
   sw_entries : (string * float) list;  (* per-entry wall seconds *)
 }
 
-let refinement_sweep ~label ~jobs ?(por = true) ?(cert_cache = true) () =
+let refinement_sweep ~label ~jobs ?(por = true) ?(sym = true)
+    ?(cert_cache = true) () =
   let specs =
     List.map
       (fun (e : Sekvm.Kernel_progs.entry) ->
@@ -493,11 +498,13 @@ let refinement_sweep ~label ~jobs ?(por = true) ?(cert_cache = true) () =
       kernel_corpus
   in
   let t0 = Unix.gettimeofday () in
-  let results = Vrm.Refinement.check_many ~jobs ~por specs in
+  let results = Vrm.Refinement.check_many ~jobs ~por ~sym specs in
   let wall = Unix.gettimeofday () -. t0 in
   let visited = ref 0 and pruned = ref 0 in
   let spawned = ref 0 and stolen = ref 0 in
   let calls = ref 0 and hits = ref 0 in
+  let stripes = ref 0 and occupancy = ref 0 in
+  let waits = ref 0 and minor = ref 0 in
   let digests = ref [] and entries = ref [] in
   List.iter
     (fun (name, (v : Vrm.Refinement.verdict)) ->
@@ -514,6 +521,18 @@ let refinement_sweep ~label ~jobs ?(por = true) ?(cert_cache = true) () =
         + rm.Memmodel.Engine.tasks_stolen;
       calls := !calls + rm.Memmodel.Engine.cert_calls;
       hits := !hits + rm.Memmodel.Engine.cert_hits;
+      stripes :=
+        max !stripes
+          (max sc.Memmodel.Engine.seen_stripes rm.Memmodel.Engine.seen_stripes);
+      occupancy :=
+        max !occupancy
+          (max sc.Memmodel.Engine.stripe_occupancy
+             rm.Memmodel.Engine.stripe_occupancy);
+      waits :=
+        !waits + sc.Memmodel.Engine.lock_waits + rm.Memmodel.Engine.lock_waits;
+      minor :=
+        !minor + sc.Memmodel.Engine.minor_words
+        + rm.Memmodel.Engine.minor_words;
       entries :=
         (name, sc.Memmodel.Engine.wall_s +. rm.Memmodel.Engine.wall_s)
         :: !entries;
@@ -531,6 +550,10 @@ let refinement_sweep ~label ~jobs ?(por = true) ?(cert_cache = true) () =
     sw_stolen = !stolen;
     sw_cert_calls = !calls;
     sw_cert_hits = !hits;
+    sw_stripes = !stripes;
+    sw_occupancy = !occupancy;
+    sw_lock_waits = !waits;
+    sw_minor_words = !minor;
     sw_digest =
       Digest.to_hex (Digest.string (String.concat "|" (List.rev !digests)));
     sw_entries = List.rev !entries }
@@ -596,14 +619,123 @@ let por_rows () =
           t.Memmodel.Litmus.prog);
     pushpull ]
 
-let print_engine ?(emit_json = false) ?bmc () =
+(* ------------------------------------------------------------------ *)
+(* Thread-symmetry reduction: the sym-stress family                    *)
+(* ------------------------------------------------------------------ *)
+
+(* N byte-identical vCPUs hammering one lock word and one PTE slot: the
+   orbit canonicalization must collapse the N! thread renamings of every
+   seen state while landing on bit-identical behavior sets. The
+   committed gate: at N=4 both interleaving models cut visited states by
+   at least 5x, with POR on in both arms, and the ownership checker
+   agrees verdict-for-verdict. *)
+let print_symmetry () : Cache.Json.t =
+  section "Thread-symmetry reduction: N interchangeable vCPUs";
+  Format.printf "%-14s %-9s %9s %9s %8s %8s %8s %s@." "program" "model"
+    "sym-on" "sym-off" "ratio" "on-ms" "off-ms" "digests";
+  let rows =
+    List.concat_map
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let prog = e.Sekvm.Kernel_progs.prog in
+        let model name run =
+          let b_on, (s_on : Memmodel.Engine.stats) = run ~sym:true in
+          let b_off, (s_off : Memmodel.Engine.stats) = run ~sym:false in
+          let ratio =
+            float_of_int s_off.Memmodel.Engine.visited
+            /. float_of_int (max 1 s_on.Memmodel.Engine.visited)
+          in
+          let eq = Memmodel.Behavior.equal b_on b_off in
+          Format.printf "%-14s %-9s %9d %9d %7.1fx %8.2f %8.2f %s@."
+            e.Sekvm.Kernel_progs.name name s_on.Memmodel.Engine.visited
+            s_off.Memmodel.Engine.visited ratio
+            (s_on.Memmodel.Engine.wall_s *. 1000.)
+            (s_off.Memmodel.Engine.wall_s *. 1000.)
+            (if eq then "equal" else "DIFFER");
+          (e.Sekvm.Kernel_progs.name, name, s_on, s_off, ratio, eq)
+        in
+        [ model "sc" (fun ~sym -> Memmodel.Sc.run_stats ~sym prog);
+          model "promising" (fun ~sym ->
+              Memmodel.Promising.run_stats
+                ~config:e.Sekvm.Kernel_progs.rm_config ~sym prog) ])
+      Sekvm.Kernel_progs.sym_corpus
+  in
+  (* the ownership checker on the same family: verdict parity *)
+  let pushpull_equal =
+    List.for_all
+      (fun (e : Sekvm.Kernel_progs.entry) ->
+        let run sym =
+          Memmodel.Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+            ~initial_owners:e.Sekvm.Kernel_progs.initial_owners ~sym
+            e.Sekvm.Kernel_progs.prog
+        in
+        match (run true, run false) with
+        | Memmodel.Pushpull.Drf_ok a, Memmodel.Pushpull.Drf_ok b ->
+            Memmodel.Behavior.equal a b
+        | Memmodel.Pushpull.Drf_violation a, Memmodel.Pushpull.Drf_violation b
+          ->
+            a = b
+        | ( Memmodel.Pushpull.Drf_kernel_panic a,
+            Memmodel.Pushpull.Drf_kernel_panic b ) ->
+            a = b
+        | _ -> false)
+      Sekvm.Kernel_progs.sym_corpus
+  in
+  expect "sym on/off behavior sets bit-identical across the family"
+    (List.for_all (fun (_, _, _, _, _, eq) -> eq) rows && pushpull_equal);
+  expect "every run detected the symmetry group and collapsed states"
+    (List.for_all
+       (fun (_, _, (s : Memmodel.Engine.stats), _, _, _) ->
+         s.Memmodel.Engine.sym_groups > 0
+         && s.Memmodel.Engine.sym_collapsed > 0)
+       rows);
+  let min_ratio_n4 =
+    List.fold_left
+      (fun acc (name, _, _, _, ratio, _) ->
+        if name = "sym-stress-4" then min acc ratio else acc)
+      infinity rows
+  in
+  Format.printf "  N=4 minimum state-cut ratio across models: %.2fx@."
+    min_ratio_n4;
+  expect "at N=4 every model cuts visited states by at least 5x"
+    (min_ratio_n4 >= 5.);
+  Cache.Json.Obj
+    [ ( "rows",
+        Cache.Json.List
+          (List.map
+             (fun ( name,
+                    model,
+                    (s_on : Memmodel.Engine.stats),
+                    (s_off : Memmodel.Engine.stats),
+                    ratio,
+                    eq ) ->
+               Cache.Json.Obj
+                 [ ("name", Cache.Json.String name);
+                   ("model", Cache.Json.String model);
+                   ("visited_sym", Cache.Json.Int s_on.Memmodel.Engine.visited);
+                   ( "visited_nosym",
+                     Cache.Json.Int s_off.Memmodel.Engine.visited );
+                   ("ratio", Cache.Json.Float ratio);
+                   ( "wall_s_sym",
+                     Cache.Json.Float s_on.Memmodel.Engine.wall_s );
+                   ( "wall_s_nosym",
+                     Cache.Json.Float s_off.Memmodel.Engine.wall_s );
+                   ( "sym_groups",
+                     Cache.Json.Int s_on.Memmodel.Engine.sym_groups );
+                   ( "sym_collapsed",
+                     Cache.Json.Int s_on.Memmodel.Engine.sym_collapsed );
+                   ("digest_equal", Cache.Json.Bool eq) ])
+             rows) );
+      ("pushpull_equal", Cache.Json.Bool pushpull_equal);
+      ("min_ratio_n4", Cache.Json.Float min_ratio_n4) ]
+
+let print_engine ?(emit_json = false) ?bmc ?sym () =
   section "Exploration engine: frontier scheduler, POR oracle, cert cache";
   (* kernel-corpus refinement sweeps: the frontier scheduler at 1/2/4
      domains (probe phase corpus-wide, commit phase intra-entry), and
      the same sweep with the POR oracle disabled at 1 and 4 domains —
      every configuration must land on one behavior digest. *)
-  let sweep label jobs ?por ?cert_cache () =
-    let s = refinement_sweep ~label ~jobs ?por ?cert_cache () in
+  let sweep label jobs ?por ?sym ?cert_cache () =
+    let s = refinement_sweep ~label ~jobs ?por ?sym ?cert_cache () in
     Format.printf
       "  %-26s %8.3f s %9d states %7d pruned %6d tasks (%d stolen)@." label
       s.sw_wall s.sw_visited s.sw_pruned s.sw_spawned s.sw_stolen;
@@ -614,6 +746,7 @@ let print_engine ?(emit_json = false) ?bmc () =
   let ws4 = sweep "frontier jobs=4" 4 () in
   let np1 = sweep "por off jobs=1" 1 ~por:false () in
   let np4 = sweep "por off jobs=4" 4 ~por:false () in
+  let ns1 = sweep "sym off jobs=1" 1 ~sym:false () in
   let speedup_vs_seq = ws1.sw_wall /. ws4.sw_wall in
   let domains = Domain.recommended_domain_count () in
   Format.printf "  speedup at jobs=4 vs sequential: %.2fx (%d domains)@."
@@ -643,11 +776,19 @@ let print_engine ?(emit_json = false) ?bmc () =
         "  (scaling check skipped: %d hardware domains < 4)@." domains
   | _ -> ());
   expect
-    "all sweep configurations (jobs, POR) produce bit-identical behavior     sets"
+    "all sweep configurations (jobs, POR, sym) produce bit-identical       behavior sets"
     (List.for_all
        (fun s -> s.sw_digest = ws1.sw_digest)
-       [ ws2; ws4; np1; np4 ]);
+       [ ws2; ws4; np1; np4; ns1 ]);
   expect "POR prunes transitions on the kernel corpus" (ws1.sw_pruned > 0);
+  (* seen-set internals at jobs=4: stripe spread, contention, allocation *)
+  Format.printf
+    "  seen set (jobs=4): %d stripes, deepest %d keys, %d contended           acquisitions, %.1f M minor words@."
+    ws4.sw_stripes ws4.sw_occupancy ws4.sw_lock_waits
+    (float_of_int ws4.sw_minor_words /. 1e6);
+  expect "seen-set stripes populated and occupancy sane"
+    (ws4.sw_stripes > 0 && ws4.sw_occupancy > 0
+    && ws4.sw_occupancy <= ws4.sw_visited);
   (* certification memoization: the same sequential sweep with the cert
      cache disabled — behavior digests must be bit-identical, and the
      cached run must answer at least half its certification queries from
@@ -702,7 +843,7 @@ let print_engine ?(emit_json = false) ?bmc () =
   if emit_json then begin
     let j =
       Cache.Json.Obj
-        ([ ("schema", Cache.Json.String "vrm-bench-engine/4");
+        ([ ("schema", Cache.Json.String "vrm-bench-engine/5");
           ("engine_version", Cache.Json.String Memmodel.Engine.version);
           ( "refinement_sweep",
             Cache.Json.List
@@ -718,8 +859,12 @@ let print_engine ?(emit_json = false) ?bmc () =
                        ("tasks_stolen", Cache.Json.Int s.sw_stolen);
                        ("cert_calls", Cache.Json.Int s.sw_cert_calls);
                        ("cert_hits", Cache.Json.Int s.sw_cert_hits);
+                       ("seen_stripes", Cache.Json.Int s.sw_stripes);
+                       ("stripe_occupancy", Cache.Json.Int s.sw_occupancy);
+                       ("lock_waits", Cache.Json.Int s.sw_lock_waits);
+                       ("minor_words", Cache.Json.Int s.sw_minor_words);
                        ("digest", Cache.Json.String s.sw_digest) ])
-                 [ ws1; ws2; ws4; np1; np4 ]) );
+                 [ ws1; ws2; ws4; np1; np4; ns1 ]) );
           ("speedup_jobs4_vs_seq", Cache.Json.Float speedup_vs_seq);
           ("domains", Cache.Json.Int domains);
           ("scaling_ok", Cache.Json.String scaling_verdict);
@@ -750,6 +895,7 @@ let print_engine ?(emit_json = false) ?bmc () =
                 ("interned_s", Cache.Json.Float interned_s);
                 ( "speedup",
                   Cache.Json.Float (legacy_s /. interned_s) ) ] ) ]
+        @ (match sym with Some s -> [ ("symmetry", s) ] | None -> [])
         @ match bmc with Some b -> [ ("bmc", b) ] | None -> [])
     in
     let text = Cache.Json.to_string j in
@@ -790,7 +936,7 @@ let print_engine ?(emit_json = false) ?bmc () =
                                   [ ("name", Cache.Json.String name);
                                     ("wall_s", Cache.Json.Float w) ])
                               s.sw_entries) ) ])
-                 [ ws1; ws2; ws4; np1; np4; nc ]) ) ]
+                 [ ws1; ws2; ws4; np1; np4; ns1; nc ]) ) ]
     in
     let oc = open_out "BENCH_entries.json" in
     output_string oc (Cache.Json.to_string entries_j);
@@ -863,7 +1009,11 @@ let print_bmc () : Cache.Json.t =
   (* the high-interleaving family: escalate N until the explicit SC
      enumerator blows a 0.5 s budget; BMC must decide that same N
      completely. The state space is ~2^N, so the escalation is
-     guaranteed to terminate on any machine. *)
+     guaranteed to terminate on any machine. The N writers are
+     byte-identical, so thread-symmetry reduction collapses the family
+     to O(N) canonical states — run the explicit side with [~sym:false]
+     to keep the contrast about enumerating interleavings (the symmetry
+     win on this family is measured in its own section). *)
   let budget = 0.5 in
   let rec escalate = function
     | [] -> None
@@ -871,7 +1021,7 @@ let print_bmc () : Cache.Json.t =
         let prog = bmc_family n in
         let deadline = Unix.gettimeofday () +. budget in
         let _, (sc_stats : Memmodel.Engine.stats) =
-          Memmodel.Sc.run_stats ~deadline prog
+          Memmodel.Sc.run_stats ~deadline ~sym:false prog
         in
         let r = Bmc.check ~mode:Bmc.Sc prog in
         let outcomes = Memmodel.Behavior.cardinal r.Bmc.behaviors in
@@ -1234,7 +1384,8 @@ let () =
        budget contrast (which only widens on slower machines) — safe for
        CI smoke runs on noisy machines. *)
     let bmc = print_bmc () in
-    print_engine ~emit_json:true ~bmc ();
+    let sym = print_symmetry () in
+    print_engine ~emit_json:true ~bmc ~sym ();
     section "Summary";
     Format.printf "all shape checks passed: %b@." !all_ok;
     if not !all_ok then exit 1
@@ -1250,6 +1401,7 @@ let () =
     print_stress ();
     print_parallel ();
     print_engine ();
+    ignore (print_symmetry ());
     ignore (print_bmc ());
     print_service ();
     print_lint ();

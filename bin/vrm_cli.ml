@@ -44,6 +44,14 @@ let litmus_cmd =
             "disable partial-order reduction on both sides (exact \
              search; identical behavior sets, more states visited)")
   in
+  let no_sym =
+    Arg.(
+      value & flag
+      & info [ "no-sym" ]
+          ~doc:
+            "disable thread-symmetry reduction on both sides (identical \
+             behavior sets, thread-permuted states no longer collapsed)")
+  in
   let no_cert_cache =
     Arg.(
       value & flag
@@ -71,7 +79,8 @@ let litmus_cmd =
       & info [ "suite" ]
           ~doc:"also run the classic litmus suite, not just the §2 examples")
   in
-  let run test_name stats jobs json no_por no_cert_cache backend suite =
+  let run test_name stats jobs json no_por no_sym no_cert_cache backend
+      suite =
     let corpus =
       Memmodel.Paper_examples.all
       @ (if suite then Memmodel.Litmus_suite.all else [])
@@ -93,7 +102,7 @@ let litmus_cmd =
     | `Explicit ->
         let results =
           List.map
-            (Memmodel.Litmus.run ~jobs ~por:(not no_por)
+            (Memmodel.Litmus.run ~jobs ~por:(not no_por) ~sym:(not no_sym)
                ~cert_cache:(not no_cert_cache))
             tests
         in
@@ -204,8 +213,8 @@ let litmus_cmd =
   Cmd.v
     (Cmd.info "litmus" ~doc:"run the paper's litmus tests under SC and RM")
     Term.(
-      const run $ test_name $ stats $ jobs $ json $ no_por $ no_cert_cache
-      $ backend $ suite)
+      const run $ test_name $ stats $ jobs $ json $ no_por $ no_sym
+      $ no_cert_cache $ backend $ suite)
 
 (* ------------------------------------------------------------------ *)
 
@@ -651,6 +660,14 @@ let submit_cmd =
             "ask the daemon to explore without partial-order reduction \
              (identical behavior sets; part of its result-cache key)")
   in
+  let no_sym =
+    Arg.(
+      value & flag
+      & info [ "no-sym" ]
+          ~doc:
+            "ask the daemon to explore without thread-symmetry reduction \
+             (identical behavior sets; part of its result-cache key)")
+  in
   let backend =
     Arg.(
       value
@@ -665,7 +682,7 @@ let submit_cmd =
              (part of the daemon's result-cache key)")
   in
   let run socket kind name jobs deadline linux levels verify no_cert_cache
-      no_por backend =
+      no_por no_sym backend =
     let jobs_to_run =
       match (kind, name) with
       | `Litmus, Some n -> [ Service.Protocol.Litmus n ]
@@ -699,7 +716,7 @@ let submit_cmd =
           with_daemon socket (fun () ->
               Service.Client.submit ~socket ~jobs ?deadline_s:deadline
                 ~backend ~cert_cache:(not no_cert_cache) ~por:(not no_por)
-                job)
+                ~sym:(not no_sym) job)
         with
         | Error msg ->
             failed := true;
@@ -733,7 +750,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"submit verification jobs to a running vrmd")
     Term.(
       const run $ socket_arg $ kind $ name_arg $ jobs $ deadline $ linux
-      $ levels $ verify $ no_cert_cache $ no_por $ backend)
+      $ levels $ verify $ no_cert_cache $ no_por $ no_sym $ backend)
 
 let lint_cmd =
   let name_arg =

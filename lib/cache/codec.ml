@@ -86,6 +86,12 @@ let stats_to_json (s : Engine.stats) : Json.t =
       ("shared_hits", Json.Int s.Engine.shared_hits);
       ("cert_calls", Json.Int s.Engine.cert_calls);
       ("cert_hits", Json.Int s.Engine.cert_hits);
+      ("sym_groups", Json.Int s.Engine.sym_groups);
+      ("sym_collapsed", Json.Int s.Engine.sym_collapsed);
+      ("seen_stripes", Json.Int s.Engine.seen_stripes);
+      ("stripe_occupancy", Json.Int s.Engine.stripe_occupancy);
+      ("lock_waits", Json.Int s.Engine.lock_waits);
+      ("minor_words", Json.Int s.Engine.minor_words);
       ("wall_s", Json.Float s.Engine.wall_s);
       ("jobs", Json.Int s.Engine.jobs);
       ("budget_hit", Json.Bool s.Engine.budget_hit) ]
@@ -97,14 +103,20 @@ let stats_of_json (j : Json.t) : Engine.stats =
     max_depth = Json.to_int (Json.member "max_depth" j);
     outcomes = Json.to_int (Json.member "outcomes" j);
     por_pruned = Json.to_int (Json.member "por_pruned" j);
-    (* vrm-engine/5 fields: the engine-version bump invalidated every
-       older cache entry, so the strict decoder never sees stats JSON
-       without them. *)
+    (* vrm-engine/5 and /6 fields: each engine-version bump invalidated
+       every older cache entry, so the strict decoder never sees stats
+       JSON without them. *)
     tasks_spawned = Json.to_int (Json.member "tasks_spawned" j);
     tasks_stolen = Json.to_int (Json.member "tasks_stolen" j);
     shared_hits = Json.to_int (Json.member "shared_hits" j);
     cert_calls = Json.to_int (Json.member "cert_calls" j);
     cert_hits = Json.to_int (Json.member "cert_hits" j);
+    sym_groups = Json.to_int (Json.member "sym_groups" j);
+    sym_collapsed = Json.to_int (Json.member "sym_collapsed" j);
+    seen_stripes = Json.to_int (Json.member "seen_stripes" j);
+    stripe_occupancy = Json.to_int (Json.member "stripe_occupancy" j);
+    lock_waits = Json.to_int (Json.member "lock_waits" j);
+    minor_words = Json.to_int (Json.member "minor_words" j);
     wall_s = Json.to_float (Json.member "wall_s" j);
     jobs = Json.to_int (Json.member "jobs" j);
     budget_hit = Json.to_bool (Json.member "budget_hit" j) }

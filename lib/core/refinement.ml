@@ -32,12 +32,12 @@ let normals (b : Behavior.t) : Behavior.t =
     b
 
 let check ?(sc_fuel = 8) ?(config = Promising.default_config) ?jobs
-    ?deadline ?por (prog : Prog.t) : verdict =
+    ?deadline ?por ?sym (prog : Prog.t) : verdict =
   let sc, sc_stats =
-    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por prog
+    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por ?sym prog
   in
   let rm, witnesses, rm_stats =
-    Promising.run_full ~config ?jobs ?deadline ?por prog
+    Promising.run_full ~config ?jobs ?deadline ?por ?sym prog
   in
   let rm_only = Behavior.diff (normals rm) (normals sc) in
   let sc_panics = Behavior.any_panic sc in
@@ -126,14 +126,16 @@ let expired deadline =
    nothing wasted. [None] — the valve fired; the bounded probe work was
    the (amortized-small) price of learning the search is big, and the
    caller re-runs with the real valve and a full fan-out. *)
-let probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog :
+let probe ~sc_fuel ~config ?deadline ?por ?sym ~inner_threshold prog :
     verdict option =
   let probe_cfg =
     { config with
       Promising.max_states =
         min inner_threshold config.Promising.max_states }
   in
-  let v = check ~sc_fuel ~config:probe_cfg ~jobs:1 ?deadline ?por prog in
+  let v =
+    check ~sc_fuel ~config:probe_cfg ~jobs:1 ?deadline ?por ?sym prog
+  in
   if
     config.Promising.max_states <= inner_threshold
     || (not v.rm_stats.Engine.budget_hit)
@@ -142,20 +144,23 @@ let probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog :
   else None
 
 let check_adaptive ?(sc_fuel = 8) ?(config = Promising.default_config)
-    ?(jobs = 1) ?deadline ?por
+    ?(jobs = 1) ?deadline ?por ?sym
     ?(inner_threshold = default_inner_threshold) (prog : Prog.t) : verdict =
   (* never spawn more domains than the hardware can run: extra domains
      on one core only multiplex and thrash the GC. With a single
      hardware thread there is no fan-out to gain, so the probe would be
      pure waste: go straight to the sequential check. *)
   let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
-  if jobs <= 1 then check ~sc_fuel ~config ~jobs:1 ?deadline ?por prog
+  if jobs <= 1 then
+    check ~sc_fuel ~config ~jobs:1 ?deadline ?por ?sym prog
   else
-    match probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog with
+    match
+      probe ~sc_fuel ~config ?deadline ?por ?sym ~inner_threshold prog
+    with
     | Some v -> v
-    | None -> check ~sc_fuel ~config ~jobs ?deadline ?por prog
+    | None -> check ~sc_fuel ~config ~jobs ?deadline ?por ?sym prog
 
-let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por
+let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por ?sym
     ?(inner_threshold = default_inner_threshold)
     (entries : (string * Prog.t * Promising.config) list) :
     (string * verdict) list =
@@ -178,9 +183,12 @@ let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por
       map_corpus ~outer n (fun i ->
           let name, prog, config = arr.(i) in
           if jobs <= 1 then
-            Some (name, check ~sc_fuel ~config ~jobs:1 ?deadline ?por prog)
+            Some
+              (name,
+               check ~sc_fuel ~config ~jobs:1 ?deadline ?por ?sym prog)
           else
-            probe ~sc_fuel ~config ?deadline ?por ~inner_threshold prog
+            probe ~sc_fuel ~config ?deadline ?por ?sym ~inner_threshold
+              prog
             |> Option.map (fun v -> (name, v)))
     in
     (* Phase 2 — entries whose probe valve fired re-run one at a time,
@@ -193,7 +201,8 @@ let check_many ?(sc_fuel = 8) ?(jobs = 1) ?deadline ?por
            | Some nv -> nv
            | None ->
                let name, prog, config = arr.(i) in
-               (name, check ~sc_fuel ~config ~jobs ?deadline ?por prog))
+               ( name,
+                 check ~sc_fuel ~config ~jobs ?deadline ?por ?sym prog ))
          probed)
   end
 

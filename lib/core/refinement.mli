@@ -22,7 +22,7 @@ val normals : Behavior.t -> Behavior.t
 
 val check :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> ?por:bool -> Prog.t ->
+  ?deadline:float -> ?por:bool -> ?sym:bool -> Prog.t ->
   verdict
 (** [jobs] fans both explorations across that many domains via the shared
     {!Engine} (identical behavior sets). [deadline] (absolute time)
@@ -30,8 +30,10 @@ val check :
     [stats.budget_hit] in its statistics. [por] (default on) applies
     partial-order reduction on both sides over {!Porlabel} footprints
     (Promising's oracle is certification-aware; it is forced off under
-    [strict_certification]). Behavior sets are identical in every
-    configuration. *)
+    [strict_certification]). [sym] (default on) applies thread-symmetry
+    reduction ({!Symmetry}) on both sides — also forced off under
+    [strict_certification] on the Promising side. Behavior sets are
+    identical in every configuration. *)
 
 val map_corpus : outer:int -> int -> (int -> 'a) -> 'a array
 (** [map_corpus ~outer n f] computes [f i] for every [i < n] on up to
@@ -49,7 +51,7 @@ val default_inner_threshold : int
 
 val check_adaptive :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> ?por:bool ->
+  ?deadline:float -> ?por:bool -> ?sym:bool ->
   ?inner_threshold:int -> Prog.t ->
   verdict
 (** Like {!check}, but adaptive about spending the [jobs] budget: the
@@ -64,7 +66,7 @@ val check_adaptive :
 
 val check_many :
   ?sc_fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool ->
-  ?inner_threshold:int ->
+  ?sym:bool -> ?inner_threshold:int ->
   (string * Prog.t * Promising.config) list ->
   (string * verdict) list
 (** The corpus scheduler: a {e probe} phase drains all entries across up

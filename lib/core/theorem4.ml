@@ -118,8 +118,8 @@ type verdict = {
 
 (** Check Theorem 4 for [prog] with the given kernel/user split. *)
 let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
-    ?jobs ?por (split : split) (prog : Prog.t) : verdict =
-  let rm, rm_stats = Promising.run_stats ~config ?jobs ?por prog in
+    ?jobs ?por ?sym (split : split) (prog : Prog.t) : verdict =
+  let rm, rm_stats = Promising.run_stats ~config ?jobs ?por ?sym prog in
   let rm_kernel = project split prog rm in
   let q's = synthesize_q' ?value_domain split prog in
   (* The Q' obligations are independent and individually tiny, so the
@@ -140,7 +140,9 @@ let check ?(config = Promising.default_config) ?(sc_fuel = 8) ?value_domain
     let inner = if n = 1 then jobs else 1 in
     Refinement.map_corpus ~outer n (fun i ->
         let q' = arr.(i) in
-        let b, s = Sc.run_stats ~fuel:sc_fuel ~jobs:inner ?por q' in
+        let b, s =
+          Sc.run_stats ~fuel:sc_fuel ~jobs:inner ?por ?sym q'
+        in
         (project split q' b, s))
     |> Array.fold_left
          (fun (acc, stats) (b, s) ->

@@ -32,9 +32,10 @@ type verdict = {
 
 val check :
   ?config:Promising.config -> ?sc_fuel:int -> ?value_domain:int list ->
-  ?jobs:int -> ?por:bool -> split -> Prog.t -> verdict
+  ?jobs:int -> ?por:bool -> ?sym:bool -> split -> Prog.t -> verdict
 (** [por] (default on) applies partial-order reduction to the SC
     explorations of the synthesized Q' candidates — identical behavior
-    sets, fewer states. *)
+    sets, fewer states. [sym] (default on) likewise applies
+    thread-symmetry reduction ({!Symmetry}) to both sides. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

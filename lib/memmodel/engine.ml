@@ -3,14 +3,16 @@
     parallel-search determinism argument. *)
 
 (* Bump on any change to exploration semantics: the verification cache
-   keys every stored result on this string. vrm-engine/5: footprint
-   labels on all four models, task-based frontier scheduler with
-   tasks_spawned/tasks_stolen stats (the stats payload stored in cache
-   entries changed shape again). vrm-engine/4: memoized promise
-   certification with cert_calls/cert_hits stats. vrm-engine/3: hashed
-   state interning, shared work-stealing parallel search, sleep-set
-   POR. *)
-let version = "vrm-engine/5"
+   keys every stored result on this string. vrm-engine/6: thread-
+   symmetry reduction (orbit-canonical state keys, context-aware
+   MODEL.key) plus seen-set contention / allocation counters (the stats
+   payload stored in cache entries changed shape again).
+   vrm-engine/5: footprint labels on all four models, task-based
+   frontier scheduler with tasks_spawned/tasks_stolen stats.
+   vrm-engine/4: memoized promise certification with
+   cert_calls/cert_hits stats. vrm-engine/3: hashed state interning,
+   shared work-stealing parallel search, sleep-set POR. *)
+let version = "vrm-engine/6"
 
 type stats = {
   visited : int;
@@ -24,6 +26,12 @@ type stats = {
   shared_hits : int;
   cert_calls : int;
   cert_hits : int;
+  sym_groups : int;
+  sym_collapsed : int;
+  seen_stripes : int;
+  stripe_occupancy : int;
+  lock_waits : int;
+  minor_words : int;
   wall_s : float;
   jobs : int;
   budget_hit : bool;
@@ -41,6 +49,12 @@ let zero_stats =
     shared_hits = 0;
     cert_calls = 0;
     cert_hits = 0;
+    sym_groups = 0;
+    sym_collapsed = 0;
+    seen_stripes = 0;
+    stripe_occupancy = 0;
+    lock_waits = 0;
+    minor_words = 0;
     wall_s = 0.;
     jobs = 1;
     budget_hit = false }
@@ -57,6 +71,12 @@ let add_stats a b =
     shared_hits = a.shared_hits + b.shared_hits;
     cert_calls = a.cert_calls + b.cert_calls;
     cert_hits = a.cert_hits + b.cert_hits;
+    sym_groups = max a.sym_groups b.sym_groups;
+    sym_collapsed = a.sym_collapsed + b.sym_collapsed;
+    seen_stripes = max a.seen_stripes b.seen_stripes;
+    stripe_occupancy = max a.stripe_occupancy b.stripe_occupancy;
+    lock_waits = a.lock_waits + b.lock_waits;
+    minor_words = a.minor_words + b.minor_words;
     wall_s = a.wall_s +. b.wall_s;
     jobs = max a.jobs b.jobs;
     budget_hit = a.budget_hit || b.budget_hit }
@@ -64,10 +84,13 @@ let add_stats a b =
 let pp_stats fmt s =
   Format.fprintf fmt
     "states=%d dedup=%d transitions=%d depth=%d outcomes=%d wall=%.2fms \
-     jobs=%d%s%s%s%s%s%s"
+     jobs=%d%s%s%s%s%s%s%s%s%s%s"
     s.visited s.dedup_hits s.transitions s.max_depth s.outcomes
     (s.wall_s *. 1000.) s.jobs
     (if s.por_pruned > 0 then Printf.sprintf " por=%d" s.por_pruned else "")
+    (if s.sym_groups > 0 then
+       Printf.sprintf " sym=%d/%d" s.sym_groups s.sym_collapsed
+     else "")
     (if s.tasks_spawned > 0 then Printf.sprintf " tasks=%d" s.tasks_spawned
      else "")
     (if s.tasks_stolen > 0 then Printf.sprintf " stolen=%d" s.tasks_stolen
@@ -76,6 +99,14 @@ let pp_stats fmt s =
      else "")
     (if s.cert_calls > 0 then
        Printf.sprintf " cert=%d/%d" s.cert_hits s.cert_calls
+     else "")
+    (if s.jobs > 1 && s.seen_stripes > 0 then
+       Printf.sprintf " stripes=%d/occ=%d" s.seen_stripes s.stripe_occupancy
+     else "")
+    (if s.lock_waits > 0 then Printf.sprintf " lockwait=%d" s.lock_waits
+     else "")
+    (if s.minor_words > 0 then
+       Printf.sprintf " alloc=%.1fMw" (float_of_int s.minor_words /. 1e6)
      else "")
     (if s.budget_hit then " [budget hit]" else "")
 
@@ -92,9 +123,10 @@ module type MODEL = sig
   type state
   type label
 
-  val key : state -> Statekey.t
+  val key : ctx -> state -> Statekey.t
   val independent : (ctx -> label -> label -> bool) option
   val ample : (ctx -> label -> bool) option
+  val sleepable : ctx -> label -> bool
   val expand : ctx -> labels:bool -> state -> (state, label) expansion
 end
 
@@ -117,6 +149,8 @@ module Make (M : MODEL) = struct
     mutable spawned : int;
     mutable stolen : int;
     mutable shared : int;
+    mutable lockw : int;
+    mutable mwords : int;
     mutable budget_hit : bool;
   }
 
@@ -131,6 +165,8 @@ module Make (M : MODEL) = struct
       spawned = 0;
       stolen = 0;
       shared = 0;
+      lockw = 0;
+      mwords = 0;
       budget_hit = false }
 
   let record acc ~witnesses o path =
@@ -242,18 +278,24 @@ module Make (M : MODEL) = struct
                       child st'
                         (if witnesses then l :: path else path)
                         (depth + 1) child_sleep;
-                      sleeping := l :: !sleeping
+                      (* Labels of symmetric threads never enter sleep
+                         sets: a sleep set is history, and under orbit
+                         canonicalization a revisit may arrive with its
+                         grouped threads permuted, where a literal label
+                         comparison against stored history would be
+                         wrong. Keeping only permutation-invariant
+                         labels makes the subset/intersection checks at
+                         dedup exact; see {!MODEL.sleepable}. *)
+                      if M.sleepable ctx l then sleeping := l :: !sleeping
                     end)
                   steps))
 
   (* Depth-first search from each root, with a private seen-set. Roots
      carry the (reversed) label path and depth that led to them, so a
      parallel bucket reports witnesses with their full schedule. *)
-  let dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample acc roots =
+  let dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample ~seen acc
+      roots =
     let labels = witnesses || Option.is_some oracle in
-    let seen : seen_v Statekey.Table.t =
-      Statekey.Table.create ~dummy:dummy_seen ()
-    in
     let check_deadline () =
       match deadline with
       | Some d when Unix.gettimeofday () > d ->
@@ -262,7 +304,7 @@ module Make (M : MODEL) = struct
       | _ -> ()
     in
     let rec go st path depth sleep =
-      let key = M.key st in
+      let key = M.key ctx st in
       match Statekey.Table.find_or_add seen key (0, sleep) with
       | `Found (_, old_sleep) ->
           if
@@ -318,6 +360,8 @@ module Make (M : MODEL) = struct
             tasks_spawned = s.tasks_spawned + a.spawned;
             tasks_stolen = s.tasks_stolen + a.stolen;
             shared_hits = s.shared_hits + a.shared;
+            lock_waits = s.lock_waits + a.lockw;
+            minor_words = s.minor_words + a.mwords;
             budget_hit = s.budget_hit || a.budget_hit })
         zero_stats accs
     in
@@ -428,6 +472,9 @@ module Make (M : MODEL) = struct
     Dq.push deques.(0) { f_st = init; f_path = []; f_depth = 0; f_sleep = [] };
     let worker me =
       let acc = new_acc () in
+      (* Gc counters are per-domain in OCaml 5: the delta below is this
+         worker's own allocation, summed into [minor_words] at join. *)
+      let mw0 = Gc.minor_words () in
       let dq = deques.(me) in
       (* Private frame stack: the task being processed plus every
          descendant below the next depth cut. LIFO keeps it depth-first
@@ -435,9 +482,17 @@ module Make (M : MODEL) = struct
       let local : frame list ref = ref [] in
       let process fr =
         if not (Atomic.get stop) then begin
-          let key = M.key fr.f_st in
+          let key = M.key ctx fr.f_st in
+          (* Stripe selection reads the key hash only — never the table
+             capacity — so a stripe's table doubling cannot migrate keys
+             between stripes (pinned by the stripe-stability test). *)
           let mx, tbl = shards.((Statekey.hash key lsr 48) land (nshards - 1)) in
-          Mutex.lock mx;
+          (* try_lock first purely to count contention: a miss means
+             another domain held this stripe right now. *)
+          if not (Mutex.try_lock mx) then begin
+            acc.lockw <- acc.lockw + 1;
+            Mutex.lock mx
+          end;
           let verdict =
             match Statekey.Table.find_or_add tbl key (me, fr.f_sleep) with
             | `Added -> `Fresh
@@ -561,6 +616,7 @@ module Make (M : MODEL) = struct
         end
       in
       loop ();
+      acc.mwords <- int_of_float (Gc.minor_words () -. mw0);
       acc
     in
     let domains =
@@ -569,6 +625,20 @@ module Make (M : MODEL) = struct
     let accs = Array.to_list (Array.map Domain.join domains) in
     (match Atomic.get failure with Some e -> raise e | None -> ());
     let res = finish ~t0 ~jobs accs in
+    (* Seen-set shape after the search: how evenly the stripes filled
+       (peak occupancy) and how many were touched at all. *)
+    let stripes, occ =
+      Array.fold_left
+        (fun (n, m) (_, tbl) ->
+          let len = Statekey.Table.length tbl in
+          ((if len > 0 then n + 1 else n), max m len))
+        (0, 0) shards
+    in
+    let res =
+      { res with
+        stats =
+          { res.stats with seen_stripes = stripes; stripe_occupancy = occ } }
+    in
     if Atomic.get budget_flag then
       { res with stats = { res.stats with budget_hit = true } }
     else res
@@ -580,9 +650,20 @@ module Make (M : MODEL) = struct
     let ample = if por then M.ample else None in
     if jobs <= 1 then begin
       let acc = new_acc () in
-      dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample acc
+      let seen : seen_v Statekey.Table.t =
+        Statekey.Table.create ~dummy:dummy_seen ()
+      in
+      let mw0 = Gc.minor_words () in
+      dfs ~ctx ~witnesses ~max_states ~deadline ~oracle ~ample ~seen acc
         [ (init, [], 0) ];
-      finish ~t0 ~jobs:1 [ acc ]
+      acc.mwords <- int_of_float (Gc.minor_words () -. mw0);
+      let res = finish ~t0 ~jobs:1 [ acc ] in
+      let len = Statekey.Table.length seen in
+      { res with
+        stats =
+          { res.stats with
+            seen_stripes = (if len > 0 then 1 else 0);
+            stripe_occupancy = len } }
     end
     else
       explore_tasks ~max_states ~deadline ~witnesses ~jobs ~task_cut ~oracle

@@ -64,6 +64,23 @@
     supply a {!Porlabel} footprint oracle; a model can still opt out
     with [independent = None] to keep exact search.
 
+    {2 Symmetry reduction}
+
+    Orthogonal to POR, the models may canonicalize their keys under
+    thread-symmetry ({!Symmetry}): states that differ only by a
+    permutation of interchangeable threads intern to one seen-set
+    entry, quotienting the search by up to N! on N symmetric threads.
+    The engine itself only sees the canonical keys — the quotient falls
+    out of ordinary memoization — plus one composition rule:
+    {!MODEL.sleepable} keeps the labels of symmetric threads out of
+    sleep sets, because sleep sets are history and a revisit may arrive
+    with its symmetric threads permuted, where literal label comparison
+    against stored history would be wrong. Ungrouped threads keep full
+    sleep-set pruning, and singleton-ample reduction (history-free,
+    permutation-equivariant) still applies to symmetric threads. The
+    [sym_groups]/[sym_collapsed] statistics are filled in by the model
+    wrappers ({!Sc.run_stats} etc.), not by the engine.
+
     {2 Parallel search: the frontier scheduler}
 
     [explore ~jobs:n] runs [n] OCaml 5 [Domain]s over a {e shared}
@@ -136,6 +153,27 @@ type stats = {
   cert_hits : int;
       (** certification queries answered from the per-exploration cert
           cache without re-running the solo search *)
+  sym_groups : int;
+      (** symmetric thread groups detected in the program (0 = symmetry
+          off, or no two threads interchangeable) *)
+  sym_collapsed : int;
+      (** state arrivals whose thread orientation was rewritten to the
+          orbit representative — each one is a state the raw keying
+          would have interned separately *)
+  seen_stripes : int;
+      (** seen-set stripes populated by the search (1 in sequential
+          mode; up to 64 under the striped shared seen-set) *)
+  stripe_occupancy : int;
+      (** peak key count in any single stripe — with [seen_stripes],
+          a summary of how evenly the hash striping spread the load *)
+  lock_waits : int;
+      (** stripe-lock acquisitions that found the lock already held by
+          another domain (try-lock misses) — the seen-set contention
+          measure; 0 when sequential *)
+  minor_words : int;
+      (** minor-heap words allocated across all exploration domains
+          (per-domain [Gc] deltas, summed) — the allocation-pressure
+          counter behind the scaling gate *)
   wall_s : float;  (** wall-clock seconds for the whole exploration *)
   jobs : int;  (** effective domains used (1 = sequential) *)
   budget_hit : bool;  (** some budget valve fired: partial results *)
@@ -148,9 +186,9 @@ val add_stats : stats -> stats -> stats
     time add, depth and job count take the maximum, budget flags or. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** Renders the POR/task/shared/cert counters only when non-zero, so
-    output for models without those features is unchanged from earlier
-    versions. *)
+(** Renders the POR/sym/task/shared/cert/contention counters only when
+    non-zero (stripe occupancy only in parallel mode), so output for
+    models without those features is unchanged from earlier versions. *)
 
 (** One outgoing transition of a state. *)
 type ('state, 'label) step =
@@ -180,10 +218,15 @@ module type MODEL = sig
   type label
   (** Witness-schedule entry (e.g. {!Promising.step}) and POR currency. *)
 
-  val key : state -> Statekey.t
+  val key : ctx -> state -> Statekey.t
   (** Canonical memoization key: two states with the same key must have
       the same reachable outcome sets. Fold every semantically relevant
-      state component into the hash ({!Statekey.fresh}/[finish]). *)
+      state component into the hash ({!Statekey.fresh}/[finish]). The
+      context carries the per-program {!Symmetry} structure (when
+      enabled), under which the model hashes symmetric threads in
+      orbit-canonical order — permuted states then share a key, which
+      is sound because permuting interchangeable threads preserves
+      reachable outcome sets. *)
 
   val independent : (ctx -> label -> label -> bool) option
   (** Commutativity oracle enabling partial-order reduction. When
@@ -203,6 +246,15 @@ module type MODEL = sig
       store buffers and observable registers untouched — so pruned
       sibling orders produce identical mid-path [Emit] outcomes. Only
       consulted when [independent] is also provided. *)
+
+  val sleepable : ctx -> label -> bool
+  (** May this label be remembered in sleep sets? Models return [false]
+      for labels of symmetry-grouped threads (see the symmetry section
+      above): under orbit-canonical keys a revisit can arrive with those
+      threads permuted, and a stored sleep set mentioning them would be
+      compared against the wrong concrete labels. Filtering is always
+      sound — a smaller sleep set only means less pruning — and models
+      without symmetry return [true] unconditionally. *)
 
   val expand : ctx -> labels:bool -> state -> (state, label) expansion
   (** Outgoing structure of a state. When [labels] is false the model may

@@ -42,8 +42,8 @@ let make ?(expect_sc = false) ?(expect_rm = true) ?rm_config ~name
     expect_rm;
     rm_config }
 
-let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por ?cert_cache (test : t) :
-    result =
+let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por ?sym ?cert_cache
+    (test : t) : result =
   let config =
     match (config, test.rm_config) with
     | Some c, _ -> c
@@ -59,10 +59,10 @@ let run ?(sc_fuel = 8) ?config ?jobs ?deadline ?por ?cert_cache (test : t) :
     | None -> config
   in
   let sc, sc_stats =
-    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por test.prog
+    Sc.run_stats ~fuel:sc_fuel ?jobs ?deadline ?por ?sym test.prog
   in
   let rm, rm_stats =
-    Promising.run_stats ~config ?jobs ?deadline ?por test.prog
+    Promising.run_stats ~config ?jobs ?deadline ?por ?sym test.prog
   in
   let sc_sat = Behavior.satisfiable test.exists sc in
   let rm_sat = Behavior.satisfiable test.exists rm in

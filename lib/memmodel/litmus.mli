@@ -44,12 +44,16 @@ val make :
 
 val run :
   ?sc_fuel:int -> ?config:Promising.config -> ?jobs:int ->
-  ?deadline:float -> ?por:bool -> ?cert_cache:bool -> t -> result
+  ?deadline:float -> ?por:bool -> ?sym:bool -> ?cert_cache:bool -> t ->
+  result
 (** [jobs] fans both explorations across that many domains (identical
     behavior sets; see {!Engine}). [deadline] (absolute time) cancels
     both explorations when it passes; partial results carry
     [stats.budget_hit]. [por] (default on) applies partial-order
     reduction to the SC side — identical behavior set, fewer states.
+    [sym] (default on) applies thread-symmetry reduction ({!Symmetry})
+    to both sides — identical behavior sets, fewer states on programs
+    with interchangeable threads (the [--no-sym] A/B valve).
     [cert_cache] overrides the chosen config's certification-memoization
     flag (the [--no-cert-cache] A/B valve) — identical behavior set
     either way. *)

@@ -517,6 +517,53 @@ let state_key (st : state) : Statekey.t =
   Array.iter (hash_thread h) st.threads;
   Statekey.finish h
 
+(* Orbit-canonical key. Unlike SC/TSO, part of a Promising thread's
+   identity lives in {e shared} memory: messages carry the writer's
+   thread index [wtid]. Permuting threads i and j maps a state to one
+   where their local states are swapped {e and} every [wtid = i]
+   becomes [j] (and vice versa), so canonicalization must do the same:
+
+   - the per-thread sub-key covers the thread's local state {e plus}
+     the (loc, val, ts) triples of the messages it wrote — two threads
+     with identical views but different written-message histories are
+     distinguishable (a later promise by one of them certifies
+     differently) and must not collapse;
+   - the canonical hash relabels each message's [wtid] through the
+     orbit rank and hashes threads in orbit order, so both sides of the
+     ownership relation are permuted consistently.
+
+   Timestamps themselves are global (positions in the append-only
+   memory) and permutation-invariant — they are never remapped. *)
+let canonical_key sym (st : state) : Statekey.t =
+  let n = Array.length st.threads in
+  let sub =
+    Array.init n (fun i ->
+        let h = Statekey.fresh () in
+        hash_thread h st.threads.(i);
+        List.iter
+          (fun m ->
+            if m.wtid = i then begin
+              Statekey.loc h m.mloc;
+              Statekey.int h m.mval;
+              Statekey.int h m.ts
+            end)
+          st.mem;
+        Statekey.finish h)
+  in
+  let ord = Symmetry.order sym sub in
+  let rank = Symmetry.inverse ord in
+  let h = Statekey.fresh () in
+  Statekey.int h st.next_ts;
+  List.iter
+    (fun m ->
+      Statekey.loc h m.mloc;
+      Statekey.int h m.mval;
+      Statekey.int h m.ts;
+      Statekey.int h (if m.wtid < 0 then m.wtid else rank.(m.wtid)))
+    st.mem;
+  Array.iter (fun i -> Statekey.absorb h sub.(i)) ord;
+  Statekey.finish h
+
 (* key for thread [i]'s solo exploration: shared memory + that thread *)
 let thread_key (st : state) i : Statekey.t =
   let h = Statekey.fresh () in
@@ -920,6 +967,10 @@ module Model = struct
     want_desc : bool;
         (** render human-readable step descriptions (witness runs only;
             POR-only label requests skip the formatting) *)
+    sym : Symmetry.t option;
+        (** thread-symmetry structure for orbit-canonical keys; [None]
+            when disabled, no groups exist, or [strict_certification]
+            forces exact keying (mirroring the POR valve) *)
   }
 
   type nonrec state = state
@@ -931,12 +982,23 @@ module Model = struct
      [want_desc] leaves every [l_step] at the dummy. *)
   type label = { l_fp : Porlabel.t; l_step : step }
 
-  let key = state_key
+  let key ctx st =
+    match ctx.sym with
+    | None -> state_key st
+    | Some s -> canonical_key s st
+
   let independent = Some (fun _ctx a b -> Porlabel.independent a.l_fp b.l_fp)
   let ample = Some (fun _ctx l -> Porlabel.ample l.l_fp)
+
+  let sleepable ctx l =
+    match ctx.sym with
+    | None -> true
+    | Some s -> not (Symmetry.grouped s l.l_fp.Porlabel.tid)
+
   let dummy_step = { s_tid = -1; s_what = "" }
 
-  let expand { prog; cfg; tids; cache; want_desc } ~labels (st : state) :
+  let expand { prog; cfg; tids; cache; want_desc; sym = _ } ~labels
+      (st : state) :
       (state, label) Engine.expansion =
     let init_val loc = Prog.init_value prog loc in
     let n = Array.length st.threads in
@@ -1053,13 +1115,21 @@ end
 
 module E = Engine.Make (Model)
 
-let make_ctx ?(want_desc = false) prog cfg =
+let make_ctx ?(want_desc = false) ?(sym = true) prog cfg =
   { Model.prog;
     cfg;
     tids =
       Array.of_list (List.map (fun th -> th.Prog.tid) prog.Prog.threads);
     cache = (if cfg.cert_cache then Some (make_cert_cache ()) else None);
-    want_desc }
+    want_desc;
+    (* Symmetry mirrors the POR valve: under strict certification the
+       engine prunes certification-dead states mid-path, and an orbit
+       representative may die where its permuted twin's concrete path
+       would have survived a different certification-check order — keep
+       exact keys there. *)
+    sym =
+      (if sym && not cfg.strict_certification then Symmetry.detect prog
+       else None) }
 
 (* POR is sound here only without strict certification: strict mode
    prunes mid-path states as [Terminal None], which breaks the sleep-set
@@ -1070,12 +1140,20 @@ let por_for cfg por =
 (* Fold the context's certification counters into the engine's stats
    (the engine itself knows nothing about certification). *)
 let with_cert_stats (ctx : Model.ctx) (s : Engine.stats) : Engine.stats =
-  match ctx.Model.cache with
+  let s =
+    match ctx.Model.cache with
+    | None -> s
+    | Some c ->
+        { s with
+          Engine.cert_calls = Atomic.get c.cc_calls;
+          cert_hits = Atomic.get c.cc_hits }
+  in
+  match ctx.Model.sym with
   | None -> s
-  | Some c ->
+  | Some sy ->
       { s with
-        Engine.cert_calls = Atomic.get c.cc_calls;
-        cert_hits = Atomic.get c.cc_hits }
+        Engine.sym_groups = Symmetry.n_groups sy;
+        sym_collapsed = Symmetry.collapsed sy }
 
 (** [run_full ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set, the per-outcome witness
@@ -1083,10 +1161,10 @@ let with_cert_stats (ctx : Model.ctx) (s : Engine.stats) : Engine.stats =
     applies partial-order reduction — same behavior set, fewer states;
     it is forced off under [strict_certification] where it would be
     unsound. *)
-let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?por
+let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?por ?sym
     (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list * Engine.stats =
-  let ctx = make_ctx ~want_desc:true prog config in
+  let ctx = make_ctx ~want_desc:true ?sym prog config in
   let r =
     E.explore ~max_states:config.max_states ?deadline
       ?por:(por_for config por) ~witnesses:true ~jobs ~ctx
@@ -1103,17 +1181,19 @@ let run_full ?(config = default_config) ?(jobs = 1) ?deadline ?por
     executions of [prog] and additionally returns, for each distinct
     outcome, the first schedule (sequence of per-CPU steps, including
     promises) that produced it. *)
-let run_with_witnesses ?config ?jobs ?deadline ?por (prog : Prog.t) :
+let run_with_witnesses ?config ?jobs ?deadline ?por ?sym (prog : Prog.t) :
     Behavior.t * (Behavior.outcome * step list) list =
-  let behaviors, witnesses, _ = run_full ?config ?jobs ?deadline ?por prog in
+  let behaviors, witnesses, _ =
+    run_full ?config ?jobs ?deadline ?por ?sym prog
+  in
   (behaviors, witnesses)
 
 (** [run_stats ?config ?jobs prog] explores all Promising Arm executions
     of [prog] and returns the behavior set with exploration statistics
     (witness bookkeeping off). *)
-let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?por
+let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?por ?sym
     (prog : Prog.t) : Behavior.t * Engine.stats =
-  let ctx = make_ctx prog config in
+  let ctx = make_ctx ?sym prog config in
   let r =
     E.explore ~max_states:config.max_states ?deadline
       ?por:(por_for config por) ~jobs ~ctx
@@ -1123,8 +1203,8 @@ let run_stats ?(config = default_config) ?(jobs = 1) ?deadline ?por
 
 (** [run ?config ?jobs prog] explores all Promising Arm executions of
     [prog] (bounded by the configuration) and returns its behavior set. *)
-let run ?config ?jobs ?deadline ?por (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?config ?jobs ?deadline ?por prog)
+let run ?config ?jobs ?deadline ?por ?sym (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?config ?jobs ?deadline ?por ?sym prog)
 
 (* ------------------------------------------------------------------ *)
 (* Key microbenchmark support                                          *)

@@ -52,8 +52,8 @@ val pp_step : Format.formatter -> step -> unit
 val pp_schedule : Format.formatter -> step list -> unit
 
 val run :
-  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
-  Behavior.t
+  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool ->
+  ?sym:bool -> Prog.t -> Behavior.t
 (** Explore all Promising Arm executions (bounded by [config]) and return
     the behavior set. [jobs] fans the search across that many domains via
     the shared {!Engine} (identical behavior set). [deadline] (absolute
@@ -62,11 +62,15 @@ val run :
     certification-aware {!Porlabel} footprints — same behavior set, fewer
     states; it is forced off under [strict_certification], where pruned
     orders could die on mid-path certification checks that the explored
-    order misses. *)
+    order misses. [sym] (default on) applies thread-symmetry reduction
+    ({!Symmetry}): states differing only by a permutation of
+    interchangeable threads (message [wtid]s remapped consistently,
+    timestamps untouched) intern once — same behavior set, up to N!
+    fewer states; also forced off under [strict_certification]. *)
 
 val run_stats :
-  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
-  Behavior.t * Engine.stats
+  ?config:config -> ?jobs:int -> ?deadline:float -> ?por:bool ->
+  ?sym:bool -> Prog.t -> Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics. *)
 
 val run_with_witnesses :
@@ -74,6 +78,7 @@ val run_with_witnesses :
   ?jobs:int ->
   ?deadline:float ->
   ?por:bool ->
+  ?sym:bool ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list
 (** Like {!run}, additionally returning, for each distinct outcome, the
@@ -84,6 +89,7 @@ val run_full :
   ?jobs:int ->
   ?deadline:float ->
   ?por:bool ->
+  ?sym:bool ->
   Prog.t ->
   Behavior.t * (Behavior.outcome * step list) list * Engine.stats
 (** Behaviors, witnesses and statistics in one exploration. *)

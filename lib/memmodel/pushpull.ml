@@ -265,9 +265,8 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
-let state_key (st : state) : Statekey.t =
-  let h = Statekey.fresh () in
-  (match st.poison with
+let hash_poison h (st : state) =
+  match st.poison with
   | None -> Statekey.char h 'N'
   | Some v ->
       Statekey.char h 'V';
@@ -278,7 +277,9 @@ let state_key (st : state) : Statekey.t =
         | `Pull_owned -> 0
         | `Push_not_owned -> 1
         | `Access_not_owned -> 2);
-      Statekey.str h v.v_detail);
+      Statekey.str h v.v_detail
+
+let hash_mem_owners h (st : state) =
   Statekey.int h (Loc.Map.cardinal st.mem);
   Loc.Map.iter
     (fun l v ->
@@ -289,19 +290,43 @@ let state_key (st : state) : Statekey.t =
     (fun (b, o) ->
       Statekey.str h b;
       Statekey.int h o)
-    (List.sort compare st.owners);
-  Array.iter
-    (fun t ->
-      Statekey.char h 'T';
-      Statekey.int h t.fuel;
-      Statekey.int h (Reg.Map.cardinal t.regs);
-      Reg.Map.iter
-        (fun r v ->
-          Statekey.str h (Reg.name r);
-          Statekey.int h v)
-        t.regs;
-      Statekey.instrs h t.code)
-    st.threads;
+    (List.sort compare st.owners)
+
+let hash_thread h (t : tstate) =
+  Statekey.char h 'T';
+  Statekey.int h t.fuel;
+  Statekey.int h (Reg.Map.cardinal t.regs);
+  Reg.Map.iter
+    (fun r v ->
+      Statekey.str h (Reg.name r);
+      Statekey.int h v)
+    t.regs;
+  Statekey.instrs h t.code
+
+let state_key (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  hash_poison h st;
+  hash_mem_owners h st;
+  Array.iter (fun t -> hash_thread h t) st.threads;
+  Statekey.finish h
+
+(* Orbit-canonical key. Only used when the tracked set is empty (see
+   [check_stats]): then [poison] is always [None] and [owners] never
+   changes from its initial value, so neither can leak a concrete tid
+   that the canonical order would have to remap. *)
+let canonical_key sym (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  hash_poison h st;
+  hash_mem_owners h st;
+  let sub =
+    Array.map
+      (fun t ->
+        let th = Statekey.fresh () in
+        hash_thread th t;
+        Statekey.finish th)
+      st.threads
+  in
+  Symmetry.fold_threads sym h sub;
   Statekey.finish h
 
 let initial_state ~fuel ~initial_owners (prog : Prog.t) : state =
@@ -380,16 +405,34 @@ let label_of ~tracked (prog : Prog.t) (st : state) i (instr : Instr.t) :
    sleeps it; program panics are emitted as [Panicked] outcomes and
    split off into [Drf_kernel_panic] afterwards. *)
 module Model = struct
-  type ctx = { prog : Prog.t; tracked : Base_set.t }
+  type ctx = {
+    prog : Prog.t;
+    tracked : Base_set.t;
+    sym : Symmetry.t option;
+        (** only ever [Some] when [tracked] is empty — violations are
+            then impossible and [owners] is constant, so canonical keys
+            cannot mask an ownership outcome (see {!Symmetry}) *)
+  }
+
   type nonrec state = state
   type label = Porlabel.t
 
-  let key = state_key
+  let key ctx st =
+    match ctx.sym with
+    | None -> state_key st
+    | Some s -> canonical_key s st
+
   let independent = Some (fun _ctx a b -> Porlabel.independent a b)
   let ample = Some (fun _ctx l -> Porlabel.ample l)
+
+  let sleepable ctx (l : Porlabel.t) =
+    match ctx.sym with
+    | None -> true
+    | Some s -> not (Symmetry.grouped s l.Porlabel.tid)
+
   let dummy i = Porlabel.silent ~tid:i
 
-  let expand { prog; tracked } ~labels (st : state) :
+  let expand { prog; tracked; sym = _ } ~labels (st : state) :
       (state, label) Engine.expansion =
     match st.poison with
     | Some v -> raise (Ownership v)
@@ -426,14 +469,33 @@ end
 
 module E = Engine.Make (Model)
 
-(** [check_stats ?fuel ?exempt ?initial_owners ?jobs ?por prog] — like
-    {!check}, also returning exploration statistics. *)
+(* patch the symmetry statistics (the engine itself never sees them) *)
+let with_sym_stats sym (stats : Engine.stats) =
+  match sym with
+  | None -> stats
+  | Some s ->
+      { stats with
+        Engine.sym_groups = Symmetry.n_groups s;
+        sym_collapsed = Symmetry.collapsed s }
+
+(** [check_stats ?fuel ?exempt ?initial_owners ?jobs ?por ?sym prog] —
+    like {!check}, also returning exploration statistics. *)
 let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
-    ?(jobs = 1) ?por (prog : Prog.t) : check_result * Engine.stats =
+    ?(jobs = 1) ?por ?(sym = true) (prog : Prog.t) :
+    check_result * Engine.stats =
   let tracked = tracked_set ~shared:(Prog.shared_bases prog) ~exempt in
+  (* Symmetry only when nothing is tracked: a tracked base makes
+     ownership violations possible, and a violation names a concrete
+     tid — collapsing thread-permuted states could then report the
+     wrong (permuted) first violation. With [tracked] empty the check
+     degenerates to plain SC exploration and canonicalization is
+     outcome-preserving. *)
+  let symmetry =
+    if sym && Base_set.is_empty tracked then Symmetry.detect prog else None
+  in
   match
     E.explore ~jobs ?por
-      ~ctx:{ Model.prog; tracked }
+      ~ctx:{ Model.prog; tracked; sym = symmetry }
       (initial_state ~fuel ~initial_owners prog)
   with
   | r ->
@@ -445,16 +507,16 @@ let check_stats ?(fuel = 64) ?(exempt = []) ?(initial_owners = [])
       ( (match Behavior.elements panics with
         | o :: _ -> Drf_kernel_panic o
         | [] -> Drf_ok ok),
-        r.E.stats )
+        with_sym_stats symmetry r.E.stats )
   | exception Ownership v -> (Drf_violation v, Engine.zero_stats)
 
-(** [check ?fuel ?exempt ?initial_owners ?jobs ?por prog] explores all
-    interleavings under the ownership discipline. Returns the behavior
-    set if no pull/push/access ever panics, or the first violation
-    found. *)
-let check ?fuel ?exempt ?initial_owners ?jobs ?por (prog : Prog.t) :
+(** [check ?fuel ?exempt ?initial_owners ?jobs ?por ?sym prog] explores
+    all interleavings under the ownership discipline. Returns the
+    behavior set if no pull/push/access ever panics, or the first
+    violation found. *)
+let check ?fuel ?exempt ?initial_owners ?jobs ?por ?sym (prog : Prog.t) :
     check_result =
-  fst (check_stats ?fuel ?exempt ?initial_owners ?jobs ?por prog)
+  fst (check_stats ?fuel ?exempt ?initial_owners ?jobs ?por ?sym prog)
 
 (** Collect the event traces of every interleaving (no memoization, for
     small programs): input to the SC-trace construction of §4.1. *)

@@ -46,6 +46,7 @@ val check :
   ?initial_owners:(string * int) list ->
   ?jobs:int ->
   ?por:bool ->
+  ?sym:bool ->
   Prog.t ->
   check_result
 (** Explore all interleavings under the ownership discipline. [exempt]
@@ -56,7 +57,12 @@ val check :
     the shared {!Engine}. [por] (default on) applies partial-order
     reduction over ownership-aware footprints: violating transitions
     carry a global footprint and are never pruned, so the
-    ok/violation/panic classification is identical either way. *)
+    ok/violation/panic classification is identical either way. [sym]
+    (default on) applies thread-symmetry reduction ({!Symmetry}) — but
+    only when the tracked set is empty, where violations are impossible
+    and [owners] is constant; with tracked bases present the checker
+    always runs concrete, so the first violation reported is never a
+    thread-permuted alias of the real one. *)
 
 val check_stats :
   ?fuel:int ->
@@ -64,6 +70,7 @@ val check_stats :
   ?initial_owners:(string * int) list ->
   ?jobs:int ->
   ?por:bool ->
+  ?sym:bool ->
   Prog.t ->
   check_result * Engine.stats
 (** Like {!check}, also returning exploration statistics (zero when the

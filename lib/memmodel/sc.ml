@@ -138,6 +138,17 @@ let initial_state ?(fuel = 64) (prog : Prog.t) : state =
   in
   { mem; threads }
 
+let hash_thread h (t : tstate) =
+  Statekey.char h 'T';
+  Statekey.int h t.fuel;
+  Statekey.int h (Reg.Map.cardinal t.regs);
+  Reg.Map.iter
+    (fun r v ->
+      Statekey.str h (Reg.name r);
+      Statekey.int h v)
+    t.regs;
+  Statekey.instrs h t.code
+
 let state_key (st : state) : Statekey.t =
   let h = Statekey.fresh () in
   Statekey.int h (Loc.Map.cardinal st.mem);
@@ -146,18 +157,31 @@ let state_key (st : state) : Statekey.t =
       Statekey.loc h l;
       Statekey.int h v)
     st.mem;
-  Array.iter
-    (fun t ->
-      Statekey.char h 'T';
-      Statekey.int h t.fuel;
-      Statekey.int h (Reg.Map.cardinal t.regs);
-      Reg.Map.iter
-        (fun r v ->
-          Statekey.str h (Reg.name r);
-          Statekey.int h v)
-        t.regs;
-      Statekey.instrs h t.code)
-    st.threads;
+  Array.iter (fun t -> hash_thread h t) st.threads;
+  Statekey.finish h
+
+(* Orbit-canonical key: shared memory hashed as usual, per-thread
+   sub-keys absorbed in canonical order so thread-permuted states
+   collapse to one seen-set entry (nothing thread-local in SC escapes
+   the thread, so the sub-key covers everything that distinguishes
+   interchangeable threads). *)
+let canonical_key sym (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  Statekey.int h (Loc.Map.cardinal st.mem);
+  Loc.Map.iter
+    (fun l v ->
+      Statekey.loc h l;
+      Statekey.int h v)
+    st.mem;
+  let sub =
+    Array.map
+      (fun t ->
+        let th = Statekey.fresh () in
+        hash_thread th t;
+        Statekey.finish th)
+      st.threads
+  in
+  Symmetry.fold_threads sym h sub;
   Statekey.finish h
 
 (* is register [r] of thread index [idx] observable? *)
@@ -204,16 +228,27 @@ let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
    transition per runnable thread, terminal states observe [Normal],
    fuel-exhausted and panicking steps emit their outcome in place. *)
 module Model = struct
-  type ctx = Prog.t
+  type ctx = { prog : Prog.t; sym : Symmetry.t option }
   type nonrec state = state
   type label = Porlabel.t
 
-  let key = state_key
-  let independent = Some (fun _prog a b -> Porlabel.independent a b)
-  let ample = Some (fun _prog l -> Porlabel.ample l)
+  let key ctx st =
+    match ctx.sym with
+    | None -> state_key st
+    | Some s -> canonical_key s st
+
+  let independent = Some (fun _ctx a b -> Porlabel.independent a b)
+  let ample = Some (fun _ctx l -> Porlabel.ample l)
+
+  let sleepable ctx (l : Porlabel.t) =
+    match ctx.sym with
+    | None -> true
+    | Some s -> not (Symmetry.grouped s l.Porlabel.tid)
+
   let dummy i = Porlabel.silent ~tid:i
 
-  let expand prog ~labels (st : state) : (state, label) Engine.expansion =
+  let expand ctx ~labels (st : state) : (state, label) Engine.expansion =
+    let prog = ctx.prog in
     let runnable = ref [] in
     Array.iteri
       (fun i t -> if t.code <> [] then runnable := i :: !runnable)
@@ -240,18 +275,28 @@ end
 
 module E = Engine.Make (Model)
 
-(** [run_stats ?fuel ?jobs ?deadline ?por prog] explores all SC
+(* patch the symmetry statistics (the engine itself never sees them) *)
+let with_sym_stats sym (stats : Engine.stats) =
+  match sym with
+  | None -> stats
+  | Some s ->
+      { stats with
+        Engine.sym_groups = Symmetry.n_groups s;
+        sym_collapsed = Symmetry.collapsed s }
+
+(** [run_stats ?fuel ?jobs ?deadline ?por ?sym prog] explores all SC
     interleavings of [prog] and returns its behavior set with exploration
     statistics. [por] (default on) applies sleep-set/ample partial-order
-    reduction — same behavior set, fewer states. *)
-let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline ?por (prog : Prog.t) :
-    Behavior.t * Engine.stats =
-  let r =
-    E.explore ?deadline ?por ~jobs ~ctx:prog (initial_state ~fuel prog)
-  in
-  (r.E.behaviors, r.E.stats)
+    reduction; [sym] (default on) collapses thread-permuted states of
+    symmetric thread groups — same behavior set either way. *)
+let run_stats ?(fuel = 64) ?(jobs = 1) ?deadline ?por ?(sym = true)
+    (prog : Prog.t) : Behavior.t * Engine.stats =
+  let symmetry = if sym then Symmetry.detect prog else None in
+  let ctx = { Model.prog; sym = symmetry } in
+  let r = E.explore ?deadline ?por ~jobs ~ctx (initial_state ~fuel prog) in
+  (r.E.behaviors, with_sym_stats symmetry r.E.stats)
 
 (** [run ?fuel ?jobs ?deadline prog] explores all SC interleavings of
     [prog] and returns its behavior set. *)
-let run ?fuel ?jobs ?deadline ?por (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?fuel ?jobs ?deadline ?por prog)
+let run ?fuel ?jobs ?deadline ?por ?sym (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs ?deadline ?por ?sym prog)

@@ -11,14 +11,19 @@
     search across that many domains (identical behavior set). *)
 
 val run :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
-  Behavior.t
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> ?sym:bool ->
+  Prog.t -> Behavior.t
 (** [deadline] (absolute [Unix.gettimeofday] time) cancels the search
     when it passes; partial results carry [stats.budget_hit]. [por]
     (default on) applies sleep-set/ample partial-order reduction —
-    identical behavior set, strictly fewer states on racy programs. *)
+    identical behavior set, strictly fewer states on racy programs.
+    [sym] (default on) applies thread-symmetry reduction ({!Symmetry}):
+    states differing only by a permutation of interchangeable threads
+    intern once — identical behavior set, up to N! fewer states on N
+    symmetric threads. *)
 
 val run_stats :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
-  Behavior.t * Engine.stats
-(** Like {!run}, also returning exploration statistics. *)
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> ?sym:bool ->
+  Prog.t -> Behavior.t * Engine.stats
+(** Like {!run}, also returning exploration statistics
+    ([sym_groups]/[sym_collapsed] filled in when [sym] found groups). *)

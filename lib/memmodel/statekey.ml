@@ -14,6 +14,11 @@ type t = { h0 : int; h1 : int }
 
 let equal a b = a.h0 = b.h0 && a.h1 = b.h1
 let hash a = a.h0
+
+let compare a b =
+  let c = Int.compare a.h0 b.h0 in
+  if c <> 0 then c else Int.compare a.h1 b.h1
+
 let pp fmt k = Format.fprintf fmt "%016x%016x" k.h0 k.h1
 
 type h = { mutable a : int; mutable b : int }
@@ -54,6 +59,12 @@ let finish h =
   (* 0 in the first word is the empty-slot marker of {!Table} *)
   let h0 = if h0 = 0 then 0x9e3779b9 else h0 in
   { h0; h1 = mix64 (h.b + (h.a lsl 1) + 1) }
+
+(* fold a finished key into another stream — used by the symmetry layer
+   to combine per-thread sub-keys in orbit-canonical order *)
+let absorb h k =
+  int h k.h0;
+  int h k.h1
 
 (* ------------------------------------------------------------------ *)
 (* Canonical term traversal over an abstract byte/int sink.            *)
@@ -287,6 +298,7 @@ module Table = struct
       mask = cap - 1 }
 
   let length t = t.size
+  let capacity t = t.mask + 1
 
   (* slot of [key] in [keys]: its index if present, else the first free
      slot of its probe sequence *)

@@ -32,6 +32,12 @@ type t
 
 val equal : t -> t -> bool
 val hash : t -> int
+
+val compare : t -> t -> int
+(** Total order on keys (lexicographic on the two words). {!Symmetry}
+    sorts per-thread sub-keys under it to pick a deterministic orbit
+    representative. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 Incremental hashing} *)
@@ -48,6 +54,10 @@ val str : h -> string -> unit
     "bc"] produce different keys. *)
 
 val finish : h -> t
+
+val absorb : h -> t -> unit
+(** Fold a finished key into an in-progress hash — how the symmetry
+    layer combines per-thread sub-keys in orbit-canonical order. *)
 
 (** {1 Canonical term traversal}
 
@@ -100,6 +110,14 @@ module Table : sig
       key). *)
 
   val length : 'a t -> int
+  (** Number of keys present — the occupancy the engine reports per
+      seen-set stripe. *)
+
+  val capacity : 'a t -> int
+  (** Current slot count (a power of two; doubles on growth). Exposed so
+      the stripe-stability test can force growth and assert that stripe
+      assignment — which derives from {!val-hash} alone, never from
+      capacity — is unaffected. *)
 
   val find_or_add : 'a t -> key -> 'a -> [ `Added | `Found of 'a ]
   (** One probe: if [key] is absent, bind it to the given value and

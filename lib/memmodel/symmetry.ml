@@ -1,0 +1,130 @@
+(** Thread-symmetry reduction: quotient the explored state space by
+    permutations of interchangeable threads. See the interface for the
+    soundness argument; this file owns the two mechanisms:
+
+    - {e detection}: partition the program's threads into symmetry
+      groups — maximal sets of threads whose instruction streams have
+      identical canonical encodings (the {!Statekey.emit_instrs} bytes
+      that {!Fingerprint} is built from) and that are not distinguished
+      by a per-thread [Obs_reg] observable;
+    - {e orbit canonicalization}: given one 128-bit sub-key per thread
+      summarizing everything thread-local about the current state, sort
+      the sub-keys of each group and visit threads in that order, so
+      every member of a permutation orbit hashes to the same
+      {!Statekey.t} and interns as one seen-set entry. *)
+
+type t = {
+  groups : int array array;
+      (* each group: thread indices (array positions, not declared
+         tids), sorted ascending, length >= 2; groups sorted by first
+         member *)
+  group_of : int array;  (* thread index -> group id, or -1 if ungrouped *)
+  collapsed : int Atomic.t;
+      (* arrivals whose thread orientation was rewritten to the orbit
+         representative (atomic: keys are computed from every domain) *)
+}
+
+let n_groups s = Array.length s.groups
+let groups s = s.groups
+let grouped s i = i >= 0 && i < Array.length s.group_of && s.group_of.(i) >= 0
+let collapsed s = Atomic.get s.collapsed
+
+(* Canonical byte encoding of one thread's instruction stream — the
+   same tokens Fingerprint feeds to md5, so "identical code" here means
+   exactly "identical program fingerprint contribution". *)
+let thread_bytes (th : Prog.thread) =
+  let buf = Buffer.create 128 in
+  Statekey.emit_instrs (Statekey.buffer_sink buf) th.Prog.code;
+  Buffer.contents buf
+
+let detect (prog : Prog.t) : t option =
+  let threads = Array.of_list prog.Prog.threads in
+  let n = Array.length threads in
+  (* A thread named by an Obs_reg observable is individually observed:
+     collapsing it with a twin would conflate distinct outcomes. *)
+  let observed =
+    List.filter_map
+      (function Prog.Obs_reg (tid, _) -> Some tid | Prog.Obs_loc _ -> None)
+      prog.Prog.observables
+  in
+  let buckets : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    if not (List.mem threads.(i).Prog.tid observed) then begin
+      let b = thread_bytes threads.(i) in
+      let prev = try Hashtbl.find buckets b with Not_found -> [] in
+      Hashtbl.replace buckets b (i :: prev)
+    end
+  done;
+  let groups =
+    Hashtbl.fold
+      (fun _ members acc ->
+        if List.length members >= 2 then Array.of_list members :: acc
+        else acc)
+      buckets []
+  in
+  (* Hashtbl.fold order is unspecified; sort for a deterministic layout
+     (members are already ascending from the downto loop). *)
+  let groups =
+    Array.of_list (List.sort (fun a b -> compare a.(0) b.(0)) groups)
+  in
+  if Array.length groups = 0 then None
+  else begin
+    let group_of = Array.make n (-1) in
+    Array.iteri
+      (fun g members -> Array.iter (fun i -> group_of.(i) <- g) members)
+      groups;
+    Some { groups; group_of; collapsed = Atomic.make 0 }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Orbit canonicalization                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [order s sub] returns [ord] with [ord.(p)] = the thread index that
+   occupies canonical slot [p]: the identity outside groups; inside each
+   group, members reordered by ascending sub-key. Two states that differ
+   by a within-group permutation produce the same multiset of sub-keys
+   per group, hence the same canonical sequence [sub.(ord.(0)); ...].
+   Bumps [collapsed] when the result is not the identity — i.e. the
+   state arrived in a non-representative orientation. *)
+let order s (sub : Statekey.t array) : int array =
+  let ord = Array.init (Array.length sub) (fun i -> i) in
+  let moved = ref false in
+  Array.iter
+    (fun members ->
+      let sorted = Array.copy members in
+      Array.sort (fun a b -> Statekey.compare sub.(a) sub.(b)) sorted;
+      Array.iteri
+        (fun k slot ->
+          if sorted.(k) <> slot then moved := true;
+          ord.(slot) <- sorted.(k))
+        members)
+    s.groups;
+  if !moved then Atomic.incr s.collapsed;
+  ord
+
+(* inverse permutation: [rank.(i)] = canonical slot of thread [i] —
+   what Promising relabels message writer ids through *)
+let inverse (ord : int array) : int array =
+  let rank = Array.make (Array.length ord) 0 in
+  Array.iteri (fun p i -> rank.(i) <- p) ord;
+  rank
+
+(* The whole canonical tail of a key for models whose shared state
+   carries no thread indices (SC, TSO, push/pull): absorb the
+   per-thread sub-keys in canonical order. *)
+let fold_threads s (h : Statekey.h) (sub : Statekey.t array) : unit =
+  let ord = order s sub in
+  Array.iter (fun i -> Statekey.absorb h sub.(i)) ord
+
+let pp fmt s =
+  Format.fprintf fmt "@[<h>%d group(s):" (Array.length s.groups);
+  Array.iter
+    (fun members ->
+      Format.fprintf fmt " {";
+      Array.iteri
+        (fun k i -> Format.fprintf fmt "%s%d" (if k > 0 then "," else "") i)
+        members;
+      Format.fprintf fmt "}")
+    s.groups;
+  Format.fprintf fmt "@]"

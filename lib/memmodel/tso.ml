@@ -171,6 +171,23 @@ let observe (prog : Prog.t) (st : state) status : Behavior.outcome =
   Behavior.outcome ~status
     (List.map (fun obs -> (obs, value obs)) prog.Prog.observables)
 
+let hash_thread h (t : tstate) =
+  Statekey.char h 'T';
+  Statekey.int h t.fuel;
+  Statekey.int h (Reg.Map.cardinal t.regs);
+  Reg.Map.iter
+    (fun r v ->
+      Statekey.str h (Reg.name r);
+      Statekey.int h v)
+    t.regs;
+  Statekey.int h (List.length t.buffer);
+  List.iter
+    (fun (l, v) ->
+      Statekey.loc h l;
+      Statekey.int h v)
+    t.buffer;
+  Statekey.instrs h t.code
+
 let state_key (st : state) : Statekey.t =
   let h = Statekey.fresh () in
   Statekey.int h (Loc.Map.cardinal st.mem);
@@ -179,24 +196,30 @@ let state_key (st : state) : Statekey.t =
       Statekey.loc h l;
       Statekey.int h v)
     st.mem;
-  Array.iter
-    (fun t ->
-      Statekey.char h 'T';
-      Statekey.int h t.fuel;
-      Statekey.int h (Reg.Map.cardinal t.regs);
-      Reg.Map.iter
-        (fun r v ->
-          Statekey.str h (Reg.name r);
-          Statekey.int h v)
-        t.regs;
-      Statekey.int h (List.length t.buffer);
-      List.iter
-        (fun (l, v) ->
-          Statekey.loc h l;
-          Statekey.int h v)
-        t.buffer;
-      Statekey.instrs h t.code)
-    st.threads;
+  Array.iter (fun t -> hash_thread h t) st.threads;
+  Statekey.finish h
+
+(* Orbit-canonical key: store buffers are thread-local, so the
+   per-thread sub-key (registers, buffer contents, continuation)
+   captures everything a within-group permutation moves; memory is
+   shared and permutation-invariant. *)
+let canonical_key sym (st : state) : Statekey.t =
+  let h = Statekey.fresh () in
+  Statekey.int h (Loc.Map.cardinal st.mem);
+  Loc.Map.iter
+    (fun l v ->
+      Statekey.loc h l;
+      Statekey.int h v)
+    st.mem;
+  let sub =
+    Array.map
+      (fun t ->
+        let th = Statekey.fresh () in
+        hash_thread th t;
+        Statekey.finish th)
+      st.threads
+  in
+  Symmetry.fold_threads sym h sub;
   Statekey.finish h
 
 (* is register [r] of thread index [idx] observable? *)
@@ -244,16 +267,27 @@ let label_of (prog : Prog.t) (st : state) i (instr : Instr.t) : Porlabel.t =
    instruction step; terminal states require empty buffers (everything
    eventually reaches memory). *)
 module Model = struct
-  type ctx = Prog.t
+  type ctx = { prog : Prog.t; sym : Symmetry.t option }
   type nonrec state = state
   type label = Porlabel.t
 
-  let key = state_key
-  let independent = Some (fun _prog a b -> Porlabel.independent a b)
-  let ample = Some (fun _prog l -> Porlabel.ample l)
+  let key ctx st =
+    match ctx.sym with
+    | None -> state_key st
+    | Some s -> canonical_key s st
+
+  let independent = Some (fun _ctx a b -> Porlabel.independent a b)
+  let ample = Some (fun _ctx l -> Porlabel.ample l)
+
+  let sleepable ctx (l : Porlabel.t) =
+    match ctx.sym with
+    | None -> true
+    | Some s -> not (Symmetry.grouped s l.Porlabel.tid)
+
   let dummy i = Porlabel.silent ~tid:i
 
-  let expand prog ~labels (st : state) : (state, label) Engine.expansion =
+  let expand ctx ~labels (st : state) : (state, label) Engine.expansion =
+    let prog = ctx.prog in
     let n = Array.length st.threads in
     let all_done = ref true in
     for i = 0 to n - 1 do
@@ -305,12 +339,22 @@ end
 
 module E = Engine.Make (Model)
 
+(* patch the symmetry statistics (the engine itself never sees them) *)
+let with_sym_stats sym (stats : Engine.stats) =
+  match sym with
+  | None -> stats
+  | Some s ->
+      { stats with
+        Engine.sym_groups = Symmetry.n_groups s;
+        sym_collapsed = Symmetry.collapsed s }
+
 (** Explore all TSO executions (instruction steps interleaved with buffer
     drains) and return the behavior set with exploration statistics.
-    [por] (default on) applies sleep-set/ample partial-order reduction —
-    same behavior set, fewer states. *)
-let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por (prog : Prog.t) :
-    Behavior.t * Engine.stats =
+    [por] (default on) applies sleep-set/ample partial-order reduction;
+    [sym] (default on) collapses thread-permuted states of symmetric
+    thread groups — same behavior set either way. *)
+let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por ?(sym = true)
+    (prog : Prog.t) : Behavior.t * Engine.stats =
   let mem =
     List.fold_left (fun m (l, v) -> Loc.Map.add l v m) Loc.Map.empty
       prog.Prog.init
@@ -322,9 +366,11 @@ let run_stats ?(fuel = 8) ?(jobs = 1) ?deadline ?por (prog : Prog.t) :
            { code = th.Prog.code; regs = Reg.Map.empty; buffer = []; fuel })
          prog.Prog.threads)
   in
-  let r = E.explore ?deadline ?por ~jobs ~ctx:prog { mem; threads } in
-  (r.E.behaviors, r.E.stats)
+  let symmetry = if sym then Symmetry.detect prog else None in
+  let ctx = { Model.prog; sym = symmetry } in
+  let r = E.explore ?deadline ?por ~jobs ~ctx { mem; threads } in
+  (r.E.behaviors, with_sym_stats symmetry r.E.stats)
 
 (** Explore all TSO executions and return the behavior set. *)
-let run ?fuel ?jobs ?por (prog : Prog.t) : Behavior.t =
-  fst (run_stats ?fuel ?jobs ?por prog)
+let run ?fuel ?jobs ?por ?sym (prog : Prog.t) : Behavior.t =
+  fst (run_stats ?fuel ?jobs ?por ?sym prog)

@@ -6,13 +6,17 @@
     the barrier-less §2 bugs are unreachable here yet reachable under
     {!Promising}. *)
 
-val run : ?fuel:int -> ?jobs:int -> ?por:bool -> Prog.t -> Behavior.t
+val run :
+  ?fuel:int -> ?jobs:int -> ?por:bool -> ?sym:bool -> Prog.t -> Behavior.t
 (** [por] (default on) applies sleep-set/ample partial-order reduction —
-    identical behavior set, fewer states. *)
+    identical behavior set, fewer states. [sym] (default on) applies
+    thread-symmetry reduction ({!Symmetry}) — identical behavior set,
+    up to N! fewer states on N interchangeable threads (store buffers
+    are thread-local, so they permute with their threads for free). *)
 
 val run_stats :
-  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> Prog.t ->
-  Behavior.t * Engine.stats
+  ?fuel:int -> ?jobs:int -> ?deadline:float -> ?por:bool -> ?sym:bool ->
+  Prog.t -> Behavior.t * Engine.stats
 (** Like {!run}, also returning exploration statistics from the shared
     {!Engine}. [deadline] (absolute [Unix.gettimeofday] time) cancels
     the search when it passes. *)

@@ -532,6 +532,55 @@ let el2_loop_remap =
     note = "loop-carried double map: the second iteration overwrites the             first; bounded 0/1 unrolling misses it, the fixpoint engine             pins W003" }
 
 (* ------------------------------------------------------------------ *)
+(* Symmetric vCPU stress family (thread-symmetry reduction corpus)     *)
+(* ------------------------------------------------------------------ *)
+
+(* N byte-identical vCPUs hammering one lock word and one page-table
+   slot: each takes a ticket with an atomic fetch-and-add and writes its
+   (ticket-derived) PTE value into the shared slot. Every thread's
+   instruction stream is the same byte sequence and no per-thread
+   register is observable, so {!Memmodel.Symmetry.detect} puts all N
+   threads in one group — the canonical seen-set collapses
+   thread-permuted states, cutting the explored space by up to N!. The
+   body is deliberately two instructions: it keeps the sym-off arm of
+   the n=5 entry inside the Promising state valve, so the bench's
+   [print_symmetry] section and the golden-parity tests can run both
+   arms to completion and assert digest equality. *)
+let sym_stress_code tid =
+  let tkt = Reg.v "tkt" in
+  Prog.thread tid
+    [ Instr.faa tkt (at "sym_lock") (c 1);
+      Instr.store (at "sym_pte") (r tkt + c 1) ]
+
+let sym_stress_prog n name =
+  Prog.make ~name
+    ~observables:
+      [ Prog.Obs_loc (Loc.v "sym_lock"); Prog.Obs_loc (Loc.v "sym_pte") ]
+    ~shared_bases:[ "sym_lock"; "sym_pte" ]
+    (List.init n (fun i -> sym_stress_code (succ i)))
+
+let sym_stress n =
+  let name = Printf.sprintf "sym-stress-%d" n in
+  { name;
+    prog = sym_stress_prog n name;
+    (* both bases exempt: the stress family exercises the state-space
+       reduction, not the ownership discipline — and an empty tracked
+       set is what lets the ownership checker canonicalize too *)
+    exempt = [ "sym_lock"; "sym_pte" ];
+    initial_owners = [];
+    expect = all_good;
+    rm_config = lockcfg;
+    note =
+      Printf.sprintf
+        "%d interchangeable vCPUs on one lock + one PTE slot: the \
+         thread-symmetry reduction corpus"
+        n }
+
+(** sym-stress-3/4/5: the thread-symmetry stress family, one entry per
+    vCPU count. *)
+let sym_corpus = [ sym_stress 3; sym_stress 4; sym_stress 5 ]
+
+(* ------------------------------------------------------------------ *)
 (* The corpus, per verified KVM version (§5.6)                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -55,6 +55,19 @@ val boundary_corpus : entry list
     the MMU walker): DRF-exempt, refinement-failing — the reason
     conditions 4 and 5 exist. *)
 
+val sym_stress_prog : int -> string -> Prog.t
+(** [sym_stress_prog n name]: [n] byte-identical vCPU threads (tids
+    1..n), each fetch-and-adding a shared lock word and storing a
+    ticket-derived value to a shared page-table slot. Only locations are
+    observable, so all [n] threads form one symmetry group under
+    {!Memmodel.Symmetry.detect}. *)
+
+val sym_corpus : entry list
+(** sym-stress-3/4/5: the thread-symmetry stress family ([sym_stress_prog]
+    at n = 3, 4, 5). A separate list — not folded into {!corpus} — so the
+    certified-corpus golden tables keep their size pins; the bench's
+    symmetry section and the engine tests iterate it explicitly. *)
+
 val handoff_missing_dmb : entry
 val el2_double_map : entry
 val read_outside_lock : entry

@@ -13,11 +13,12 @@ let roundtrip fd (req : Protocol.request) : Protocol.response =
   | Some j -> Protocol.response_of_json j
 
 let submit ~socket ?(jobs = 1) ?deadline_s ?(backend = Protocol.Explicit)
-    ?(cert_cache = true) ?(por = true) job =
+    ?(cert_cache = true) ?(por = true) ?(sym = true) job =
   with_connection ~socket (fun fd ->
       match
         roundtrip fd
-          (Protocol.Submit { job; jobs; deadline_s; backend; cert_cache; por })
+          (Protocol.Submit
+             { job; jobs; deadline_s; backend; cert_cache; por; sym })
       with
       | Protocol.Result payload -> Ok payload
       | Protocol.Error_r msg -> Error msg

@@ -17,6 +17,7 @@ val submit :
   ?backend:Protocol.backend ->
   ?cert_cache:bool ->
   ?por:bool ->
+  ?sym:bool ->
   Protocol.job ->
   (Json.t, string) result
 (** One-shot submit. [Ok payload] is the server's result wrapper
@@ -25,8 +26,9 @@ val submit :
     (default [Explicit]) selects the deciding engine for litmus jobs
     ([Bmc] is rejected for other kinds); [cert_cache] (default true)
     toggles certification memoization server-side; [por] (default true)
-    toggles partial-order reduction. All three are part of the server's
-    cache key. *)
+    toggles partial-order reduction; [sym] (default true) toggles
+    thread-symmetry reduction. All four are part of the server's cache
+    key. *)
 
 val status : socket:string -> (Json.t, string) result
 (** One-shot status: the service counters object. *)

@@ -36,6 +36,9 @@ type request =
               part of the cache key — behavior sets are identical either
               way, but statistics are not, and A/B submissions must not
               alias *)
+      sym : bool;
+          (** thread-symmetry reduction for this job (default true);
+              part of the cache key for the same reason as [por] *)
     }
   | Status
   | Shutdown
@@ -68,7 +71,7 @@ let job_of_json j =
   | k -> fail ("unknown job kind " ^ k)
 
 let request_to_json = function
-  | Submit { job; jobs; deadline_s; backend; cert_cache; por } ->
+  | Submit { job; jobs; deadline_s; backend; cert_cache; por; sym } ->
       Json.Obj
         [ ("op", Json.String "submit");
           ("job", job_to_json job);
@@ -78,7 +81,8 @@ let request_to_json = function
           );
           ("backend", Json.String (backend_to_string backend));
           ("cert_cache", Json.Bool cert_cache);
-          ("por", Json.Bool por) ]
+          ("por", Json.Bool por);
+          ("sym", Json.Bool sym) ]
   | Status -> Json.Obj [ ("op", Json.String "status") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
@@ -110,6 +114,11 @@ let request_of_json j =
           por =
             (* absent = true, same back-compat rule *)
             (match Json.member "por" j with
+            | Json.Null -> true
+            | b -> Json.to_bool b);
+          sym =
+            (* absent = true, same back-compat rule *)
+            (match Json.member "sym" j with
             | Json.Null -> true
             | b -> Json.to_bool b) }
   | "status" -> Status

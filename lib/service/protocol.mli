@@ -38,13 +38,15 @@ type request =
       backend : backend;
       cert_cache : bool;
       por : bool;
+      sym : bool;
     }
       (** [jobs] = exploration domains; [deadline_s] = seconds from
           submission before the job is cancelled; [backend] selects the
           deciding engine for litmus jobs (default [Explicit]);
-          [cert_cache] toggles certification memoization and [por]
-          partial-order reduction (both default true — absent on the
-          wire means true, so older clients are unaffected) *)
+          [cert_cache] toggles certification memoization, [por]
+          partial-order reduction and [sym] thread-symmetry reduction
+          (all default true — absent on the wire means true, so older
+          clients are unaffected) *)
   | Status
   | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
 

@@ -31,6 +31,7 @@ let lookup_job (job : Protocol.job) : (spec, string) result =
       let entries =
         Kernel_progs.corpus @ Kernel_progs.buggy_corpus
         @ Kernel_progs.boundary_corpus @ Kernel_progs.lint_corpus
+        @ Kernel_progs.sym_corpus
       in
       match find_by name (fun (e : Kernel_progs.entry) -> e.name) entries with
       | Some e -> Ok (Refine_spec e)
@@ -55,11 +56,12 @@ let with_cert_cache cert_cache (config : Promising.config) =
   { config with Promising.cert_cache }
 
 let cache_key ?(backend = Protocol.Explicit) ?(cert_cache = true)
-    ?(por = true) (spec : spec) : string =
-  (* [por] is part of the budgets: behavior sets are identical either
-     way, but the cached payload embeds exploration statistics, and an
-     A/B submission must not be served the other arm's counters. *)
-  let por_tag = Printf.sprintf ";por=%b" por in
+    ?(por = true) ?(sym = true) (spec : spec) : string =
+  (* [por] and [sym] are part of the budgets: behavior sets are
+     identical either way, but the cached payload embeds exploration
+     statistics, and an A/B submission must not be served the other
+     arm's counters. *)
+  let por_tag = Printf.sprintf ";por=%b;sym=%b" por sym in
   (* [backend] too: a BMC litmus payload has a different shape (and a
      different deciding engine) than the explicit one, so the two must
      never alias. *)
@@ -121,6 +123,7 @@ type ticket = {
   tk_backend : Protocol.backend;
   tk_cert_cache : bool;
   tk_por : bool;
+  tk_sym : bool;
   mutable tk_result : (outcome * meta) option;
 }
 
@@ -184,7 +187,7 @@ let execute tk :
       (Failed "backend=bmc only decides litmus jobs", None, `Transient)
   | Litmus_spec test, Protocol.Explicit ->
       let r =
-        Litmus.run ~sc_fuel ~jobs ?deadline ~por:tk.tk_por
+        Litmus.run ~sc_fuel ~jobs ?deadline ~por:tk.tk_por ~sym:tk.tk_sym
           ~cert_cache:tk.tk_cert_cache test
       in
       let stats = Engine.add_stats r.sc_stats r.rm_stats in
@@ -220,7 +223,7 @@ let execute tk :
         let v =
           Vrm.Refinement.check_adaptive ~sc_fuel
             ~config:(with_cert_cache tk.tk_cert_cache e.rm_config)
-            ~jobs ?deadline ~por:tk.tk_por e.prog
+            ~jobs ?deadline ~por:tk.tk_por ~sym:tk.tk_sym e.prog
         in
         let stats = Engine.add_stats v.sc_stats v.rm_stats in
         if timed_out_by ~deadline v.sc_stats
@@ -347,8 +350,8 @@ let create ?workers ?cache () =
   t
 
 let submit t ?(jobs = 1) ?deadline_s ?(backend = Protocol.Explicit)
-    ?(cert_cache = true) ?(por = true) spec =
-  let key = cache_key ~backend ~cert_cache ~por spec in
+    ?(cert_cache = true) ?(por = true) ?(sym = true) spec =
+  let key = cache_key ~backend ~cert_cache ~por ~sym spec in
   let deadline =
     Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
   in
@@ -371,6 +374,7 @@ let submit t ?(jobs = 1) ?deadline_s ?(backend = Protocol.Explicit)
               tk_backend = backend;
               tk_cert_cache = cert_cache;
               tk_por = por;
+              tk_sym = sym;
               tk_result = None }
           in
           if t.stopping then
@@ -392,8 +396,8 @@ let await t tk =
       done;
       Option.get tk.tk_result)
 
-let run t ?jobs ?deadline_s ?backend ?cert_cache ?por spec =
-  await t (submit t ?jobs ?deadline_s ?backend ?cert_cache ?por spec)
+let run t ?jobs ?deadline_s ?backend ?cert_cache ?por ?sym spec =
+  await t (submit t ?jobs ?deadline_s ?backend ?cert_cache ?por ?sym spec)
 
 type counters = {
   submitted : int;

@@ -38,15 +38,15 @@ val lookup_job : Protocol.job -> (spec, string) result
     including buggy and boundary entries; certify: any version). *)
 
 val cache_key :
-  ?backend:Protocol.backend -> ?cert_cache:bool -> ?por:bool -> spec ->
-  string
+  ?backend:Protocol.backend -> ?cert_cache:bool -> ?por:bool ->
+  ?sym:bool -> spec -> string
 (** The content-addressed key (see {!Cache.Store.make_key}); independent
     of [jobs], deadlines and submission order. [backend] (default
-    [Explicit]), [cert_cache] and [por] (both default true) are part of
-    the key — the latter two cannot change a result's behavior set, but
-    the payload embeds exploration statistics, a BMC payload has a
-    different shape entirely, and A/B submissions must not coalesce onto
-    one cache entry. *)
+    [Explicit]), [cert_cache], [por] and [sym] (all default true) are
+    part of the key — the reduction flags cannot change a result's
+    behavior set, but the payload embeds exploration statistics, a BMC
+    payload has a different shape entirely, and A/B submissions must not
+    coalesce onto one cache entry. *)
 
 type outcome =
   | Done of Json.t  (** a {!Cache.Codec} payload *)
@@ -66,14 +66,15 @@ val cache : t -> Store.t
 
 val submit :
   t -> ?jobs:int -> ?deadline_s:float -> ?backend:Protocol.backend ->
-  ?cert_cache:bool -> ?por:bool -> spec -> ticket
+  ?cert_cache:bool -> ?por:bool -> ?sym:bool -> spec -> ticket
 (** [backend] (default [Explicit]) selects the deciding engine for
     litmus specs — [Bmc] runs the SAT-based bounded model checker and
     yields a {!Cache.Codec.bmc_summary} payload; non-litmus specs fail
     cleanly under it. [cert_cache] (default true) toggles certification
     memoization for this job's Promising explorations; [por] (default
-    true) toggles partial-order reduction (identical behavior sets
-    either way; all three flags are part of the cache key). *)
+    true) toggles partial-order reduction and [sym] (default true)
+    thread-symmetry reduction (identical behavior sets either way; all
+    four flags are part of the cache key). *)
 
 val await : t -> ticket -> outcome * meta
 (** Blocks until the ticket's job completes (callable from any thread or
@@ -81,7 +82,7 @@ val await : t -> ticket -> outcome * meta
 
 val run :
   t -> ?jobs:int -> ?deadline_s:float -> ?backend:Protocol.backend ->
-  ?cert_cache:bool -> ?por:bool -> spec -> outcome * meta
+  ?cert_cache:bool -> ?por:bool -> ?sym:bool -> spec -> outcome * meta
 (** [submit] + [await]. *)
 
 type counters = {

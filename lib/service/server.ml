@@ -36,7 +36,8 @@ let respond srv (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
       Atomic.set srv.stop true;
       Protocol.Bye
-  | Protocol.Submit { job; jobs; deadline_s; backend; cert_cache; por } -> (
+  | Protocol.Submit { job; jobs; deadline_s; backend; cert_cache; por; sym }
+    -> (
       match (job, backend) with
       | (Protocol.Refine _ | Protocol.Certify _), Protocol.Bmc ->
           Protocol.Error_r "backend=bmc only decides litmus jobs"
@@ -46,7 +47,7 @@ let respond srv (req : Protocol.request) : Protocol.response =
       | Ok spec -> (
           let outcome, meta =
             Scheduler.run srv.sched ~jobs ?deadline_s ~backend ~cert_cache
-              ~por spec
+              ~por ~sym spec
           in
           match outcome with
           | Scheduler.Done payload ->

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Regenerate BENCH_engine.json via `make bench-smoke` and fail if any
 # refinement-sweep behavior digest differs from the digests committed in
-# the repository, or if the frontier scheduler failed its scaling gate.
+# the repository, if the thread-symmetry section lost digest parity or
+# its N=4 state-cut gate, or if the frontier scheduler failed its
+# scaling gate.
 # scaling_ok is three-valued as of vrm-bench-engine/4: "true" (jobs=4
 # speedup >= 1.3x on a >=4-domain machine), "false" (it was not), or
 # "skipped" (machine has <4 domains, so the comparison was never run —
@@ -47,6 +49,32 @@ for label in sorted(set(old) - set(new)):
 if bad:
     sys.exit("bench digests differ from the committed BENCH_engine.json")
 print("all sweep digests match the committed BENCH_engine.json")
+
+# Thread-symmetry gate (vrm-bench-engine/5): every sym-stress row must
+# be digest-equal sym-on vs sym-off, the ownership checker must agree,
+# and at N=4 every model must cut visited states by at least 5x. These
+# are determinism properties of the orbit canonicalization, not timing,
+# so they are hard failures on any machine.
+sym = fresh.get("symmetry")
+if sym is None:
+    sys.exit("BENCH_engine.json has no symmetry section "
+             "(expected schema vrm-bench-engine/5 or later)")
+unequal = [f"{r['name']}/{r['model']}" for r in sym["rows"]
+           if not r["digest_equal"]]
+if unequal:
+    sys.exit("symmetry reduction changed behavior sets: "
+             + ", ".join(unequal))
+if not sym["pushpull_equal"]:
+    sys.exit("symmetry reduction changed a pushpull verdict "
+             "on the sym-stress family")
+n4 = [r for r in sym["rows"] if r["name"] == "sym-stress-4"]
+if not n4:
+    sys.exit("symmetry section has no sym-stress-4 rows")
+weak = [f"{r['model']} {r['ratio']:.2f}x" for r in n4 if r["ratio"] < 5.0]
+if weak:
+    sys.exit("symmetry state cut below 5x at N=4: " + ", ".join(weak))
+print(f"symmetry: {len(sym['rows'])} rows digest-equal; "
+      f"N=4 min cut {min(r['ratio'] for r in n4):.2f}x")
 
 speedup = fresh.get("speedup_jobs4_vs_seq")
 domains = fresh.get("domains")

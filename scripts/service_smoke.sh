@@ -42,6 +42,7 @@ $CLI submit litmus mp-plain     --socket "$SOCK" --verify
 $CLI submit litmus sb-plain     --socket "$SOCK" --verify
 $CLI submit refine gen_vmid     --socket "$SOCK" --verify
 $CLI submit refine mcs-counter  --socket "$SOCK" --verify
+$CLI submit refine sym-stress-4 --socket "$SOCK" --verify
 
 echo "== resubmission must be served from the cache"
 OUT=$($CLI submit litmus mp-plain --socket "$SOCK")
@@ -50,6 +51,30 @@ case "$OUT" in
 *cached*) ;;
 *)
     echo "FAIL: resubmission was not a cache hit" >&2
+    exit 1
+    ;;
+esac
+
+# --no-sym flips the sym bit in the cache key: the first no-sym submit
+# of an already-cached job must re-explore (a cache hit here would mean
+# sym and no-sym submissions coalesced), and only its own resubmission
+# may be served from the cache. --verify keeps the digests honest: both
+# arms must match the locally recomputed behavior sets.
+echo "== --no-sym occupies a distinct cache entry"
+OUT=$($CLI submit refine sym-stress-4 --socket "$SOCK" --no-sym --verify)
+echo "$OUT"
+case "$OUT" in
+*cached*)
+    echo "FAIL: --no-sym submission was served from the sym cache entry" >&2
+    exit 1
+    ;;
+esac
+OUT=$($CLI submit refine sym-stress-4 --socket "$SOCK" --no-sym)
+echo "$OUT"
+case "$OUT" in
+*cached*) ;;
+*)
+    echo "FAIL: --no-sym resubmission was not a cache hit" >&2
     exit 1
     ;;
 esac

@@ -538,6 +538,226 @@ let test_cert_cache_hits () =
   Alcotest.(check int) "litmus --no-cert-cache reports zero calls" 0
     r.Litmus.rm_stats.Engine.cert_calls
 
+(* Thread-symmetry reduction must not change any behavior set: for
+   every litmus program and kernel entry across all four corpora (plus
+   the sym-stress family itself), the SC, TSO and Promising digests
+   with orbit canonicalization on equal the plain-key digests —
+   combined with the golden table above, sym-on reproduces the seed
+   digests exactly. Promising entries under [strict_certification]
+   force canonicalization off internally and trivially tie. *)
+let test_sym_parity_models () =
+  let progs =
+    List.map (fun (t : Litmus.t) -> (t.Litmus.prog, t.Litmus.rm_config)) litmus
+    @ List.map
+        (fun (e : Sekvm.Kernel_progs.entry) ->
+          (e.Sekvm.Kernel_progs.prog, Some e.Sekvm.Kernel_progs.rm_config))
+        (all_kernel @ Sekvm.Kernel_progs.sym_corpus)
+  in
+  List.iter
+    (fun ((p : Prog.t), config) ->
+      let check model d =
+        Alcotest.(check string)
+          (p.Prog.name ^ " " ^ model ^ " sym on = off")
+          (d false) (d true)
+      in
+      check "sc" (fun sym -> digest_behaviors (Sc.run ~sym p));
+      check "tso" (fun sym -> digest_behaviors (Tso.run ~fuel:3 ~sym p));
+      check "promising" (fun sym ->
+          digest_behaviors (Promising.run ?config ~sym p)))
+    progs
+
+(* Same for the ownership oracle, violation strings included: when any
+   base is tracked the checker refuses to canonicalize (a collapsed
+   state could alias the reported thread id), so the first violation is
+   string-for-string identical with sym on or off. *)
+let test_sym_parity_pushpull () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let run sym =
+        Pushpull.check ~exempt:e.Sekvm.Kernel_progs.exempt
+          ~initial_owners:e.Sekvm.Kernel_progs.initial_owners ~sym
+          e.Sekvm.Kernel_progs.prog
+      in
+      Alcotest.(check string)
+        (e.Sekvm.Kernel_progs.name ^ " pushpull sym on = off")
+        (pp_check (run false))
+        (pp_check (run true)))
+    (all_kernel @ Sekvm.Kernel_progs.sym_corpus)
+
+(* The reduction must actually reduce on the family built for it: on
+   every sym-stress entry one group covering all threads is detected,
+   arrivals collapse, and the visited count drops — by at least 5x at
+   N=4 (the committed acceptance floor; measured ~20x). With sym off
+   the stats must report no groups. *)
+let test_sym_reduces () =
+  List.iter
+    (fun (e : Sekvm.Kernel_progs.entry) ->
+      let p = e.Sekvm.Kernel_progs.prog in
+      let name what = Printf.sprintf "%s %s" e.Sekvm.Kernel_progs.name what in
+      let _, (sc_on : Engine.stats) = Sc.run_stats ~sym:true p in
+      let _, (sc_off : Engine.stats) = Sc.run_stats ~sym:false p in
+      let _, (rm_on : Engine.stats) =
+        Promising.run_stats ~config:e.Sekvm.Kernel_progs.rm_config ~sym:true p
+      in
+      let _, (rm_off : Engine.stats) =
+        Promising.run_stats ~config:e.Sekvm.Kernel_progs.rm_config ~sym:false
+          p
+      in
+      Alcotest.(check int) (name "sc one group") 1 sc_on.Engine.sym_groups;
+      Alcotest.(check int)
+        (name "sc off reports no groups")
+        0 sc_off.Engine.sym_groups;
+      Alcotest.(check bool)
+        (name "sc collapses arrivals")
+        true
+        (sc_on.Engine.sym_collapsed > 0);
+      Alcotest.(check bool)
+        (name "sc visits fewer states")
+        true
+        (sc_on.Engine.visited < sc_off.Engine.visited);
+      Alcotest.(check bool)
+        (name "promising visits fewer states")
+        true
+        (rm_on.Engine.visited < rm_off.Engine.visited);
+      if e.Sekvm.Kernel_progs.name = "sym-stress-4" then begin
+        let ratio (on : Engine.stats) (off : Engine.stats) =
+          float_of_int off.Engine.visited /. float_of_int on.Engine.visited
+        in
+        Alcotest.(check bool)
+          (name "sc cut >= 5x at N=4")
+          true
+          (ratio sc_on sc_off >= 5.);
+        Alcotest.(check bool)
+          (name "promising cut >= 5x at N=4")
+          true
+          (ratio rm_on rm_off >= 5.)
+      end)
+    Sekvm.Kernel_progs.sym_corpus
+
+(* Permuting the declaration order of interchangeable threads is
+   invisible through the canonical quotient: every declaration order
+   produces the same behavior-set digests AND the same sym-on visited
+   count (the orbit representative sorts per-thread sub-keys, which
+   never mention thread position, so the canonical state-key stream is
+   order-independent). *)
+let qcheck_sym_permutation =
+  let base = Sekvm.Kernel_progs.sym_stress_prog 4 "sym-perm" in
+  let id_sc = lazy (digest_behaviors (Sc.run base)) in
+  let id_rm = lazy (digest_behaviors (Promising.run base)) in
+  let id_visited =
+    lazy
+      (let _, (s : Engine.stats) = Sc.run_stats base in
+       s.Engine.visited)
+  in
+  QCheck.Test.make ~count:15
+    ~name:"thread permutations leave digests and canonical quotient unchanged"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      (* derive a permutation of the 4 threads from the seed via a
+         Fisher-Yates pass on a tiny deterministic LCG *)
+      let a = [| 0; 1; 2; 3 |] in
+      let s = ref ((seed * 2) + 1) in
+      for i = 3 downto 1 do
+        s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+        let j = !s mod (i + 1) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      let threads =
+        Array.to_list (Array.map (List.nth base.Prog.threads) a)
+      in
+      let p = { base with Prog.threads } in
+      let _, (s_on : Engine.stats) = Sc.run_stats ~sym:true p in
+      digest_behaviors (Sc.run p) = Lazy.force id_sc
+      && digest_behaviors (Promising.run p) = Lazy.force id_rm
+      && s_on.Engine.visited = Lazy.force id_visited)
+
+(* Stripe stability: the engine shards its shared seen set by the high
+   bits of {!Statekey.hash}, and each stripe's open-addressing table
+   doubles independently as it fills. Growth must never migrate a key
+   across stripes — the stripe index is a pure function of the key —
+   and the per-stripe tables must stay exact (every key findable in
+   its stripe, in no other, occupancy summing to the insert count). *)
+let test_stripe_stability () =
+  let nstripes = 64 in
+  let stripe_of key = Statekey.hash key lsr 48 land (nstripes - 1) in
+  let stripes =
+    Array.init nstripes (fun _ ->
+        Statekey.Table.create ~initial:2 ~dummy:(-1) ())
+  in
+  let n = 20_000 in
+  let keys =
+    Array.init n (fun i ->
+        let h = Statekey.fresh () in
+        Statekey.int h (i * 2654435761);
+        Statekey.str h "stripe-stability";
+        Statekey.finish h)
+  in
+  (* record each key's stripe at insert time, against tiny tables *)
+  let home = Array.map stripe_of keys in
+  Array.iteri
+    (fun i key ->
+      match Statekey.Table.find_or_add stripes.(home.(i)) key i with
+      | `Added -> ()
+      | `Found _ -> Alcotest.failf "key %d already present" i)
+    keys;
+  (* the tables doubled many times while filling *)
+  Alcotest.(check bool) "tables grew" true
+    (Array.exists (fun t -> Statekey.Table.capacity t > 2) stripes);
+  Array.iter
+    (fun t ->
+      let c = Statekey.Table.capacity t in
+      Alcotest.(check bool) "capacity is a positive power of two" true
+        (c > 0 && c land (c - 1) = 0);
+      Alcotest.(check bool) "capacity bounds length" true
+        (Statekey.Table.length t <= c))
+    stripes;
+  (* after growth: stripe assignment unchanged, keys findable only in
+     their stripe *)
+  Array.iteri
+    (fun i key ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d stripe stable across growth" i)
+        home.(i) (stripe_of key);
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d present in its stripe" i)
+        true
+        (Statekey.Table.mem stripes.(home.(i)) key);
+      (* spot-check absence elsewhere (all 64 x 20k would be slow) *)
+      let other = (home.(i) + 1 + (i mod (nstripes - 1))) mod nstripes in
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d absent from stripe %d" i other)
+        false
+        (Statekey.Table.mem stripes.(other) key))
+    keys;
+  let total =
+    Array.fold_left (fun acc t -> acc + Statekey.Table.length t) 0 stripes
+  in
+  Alcotest.(check int) "occupancy sums to insert count" n total
+
+(* The seen-set shape counters surface through run_stats: a sequential
+   run reports exactly one stripe whose occupancy is the visited count;
+   a parallel run reports the striped layout. Contention and allocation
+   counters stay sane in both modes. *)
+let test_seen_set_stats () =
+  let p = Paper_examples.example1.Litmus.prog in
+  let _, (seq : Engine.stats) = Sc.run_stats p in
+  Alcotest.(check int) "sequential: one stripe" 1 seq.Engine.seen_stripes;
+  Alcotest.(check int) "sequential: occupancy = interned states"
+    seq.Engine.visited seq.Engine.stripe_occupancy;
+  Alcotest.(check int) "sequential: no lock waits" 0 seq.Engine.lock_waits;
+  Alcotest.(check bool) "sequential: allocation measured" true
+    (seq.Engine.minor_words > 0);
+  let _, (par : Engine.stats) = Sc.run_stats ~jobs:4 p in
+  Alcotest.(check bool) "parallel: stripes reported" true
+    (par.Engine.seen_stripes >= 1);
+  Alcotest.(check bool) "parallel: occupancy positive and bounded" true
+    (par.Engine.stripe_occupancy > 0
+    && par.Engine.stripe_occupancy <= par.Engine.visited);
+  Alcotest.(check bool) "parallel: lock waits non-negative" true
+    (par.Engine.lock_waits >= 0)
+
 (* Corpus-level scheduling must return, in input order, exactly the
    verdict a direct per-entry check computes. *)
 let test_check_many_parity () =
@@ -602,6 +822,19 @@ let () =
             `Quick test_cert_cache_hits;
           Alcotest.test_case "check_many = per-entry check" `Slow
             test_check_many_parity ] );
+      ( "symmetry",
+        [ Alcotest.test_case "sym on/off digests equal everywhere" `Slow
+            test_sym_parity_models;
+          Alcotest.test_case "pushpull sym on/off verdicts equal" `Slow
+            test_sym_parity_pushpull;
+          Alcotest.test_case "sym collapses the stress family" `Quick
+            test_sym_reduces;
+          QCheck_alcotest.to_alcotest qcheck_sym_permutation ] );
+      ( "seen-set",
+        [ Alcotest.test_case "stripe assignment stable across growth" `Quick
+            test_stripe_stability;
+          Alcotest.test_case "stripe counters surface in stats" `Quick
+            test_seen_set_stats ] );
       ( "stats",
         [ Alcotest.test_case "exploration statistics sane" `Quick
             test_stats_sanity ] ) ]
