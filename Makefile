@@ -1,4 +1,5 @@
-.PHONY: all build test litmus examples smoke lint bmc check bench bench-smoke clean
+.PHONY: all build test litmus examples smoke lint bmc check bench \
+	bench-smoke service-smoke bench-serve bench-serve-smoke clean
 
 all: build
 
@@ -50,10 +51,26 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --json
 
-# Service smoke: start vrmd, push a corpus subset through the socket,
-# verify parity against direct runs, exercise graceful shutdown.
+# Service smoke: start vrmd, push a corpus subset through the socket
+# on both lanes, verify parity against direct runs, prune the cache
+# with cache-gc, exercise graceful shutdown.
 service-smoke: build
 	sh scripts/service_smoke.sh
+
+# Full serving benchmark: in-process vrmd, 8 client threads, 2000
+# requests 3:1 bulk-heavy, cold variants on the bulk lane. Writes
+# BENCH_service.json (per-lane p50/p90/p99, throughput, hot hit
+# ratio, sheds) and exits non-zero if digest parity breaks, an
+# interactive submission is shed, the hot tier is < 5x faster than
+# disk at p50, or the interactive tail is unbounded.
+bench-serve: build
+	dune exec --no-build bin/vrm_cli.exe -- bench-serve --json BENCH_service.json
+
+# CI-scale variant of the above plus the schema/invariant validator.
+bench-serve-smoke: build
+	dune exec --no-build bin/vrm_cli.exe -- bench-serve \
+	  --requests 200 --clients 4 --json BENCH_service.json
+	sh scripts/bench_digest_check.sh --service BENCH_service.json
 
 clean:
 	dune clean

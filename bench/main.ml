@@ -1109,6 +1109,37 @@ let print_service () =
   in
   let cold, cc = round "cold" in
   let warm, wc = round "warm" in
+  (* Third round: same scheduler, corpus submitted twice. The first
+     pass promotes every disk entry into the sharded hot tier; the
+     second pass must be served entirely from memory (no disk open, no
+     checksum). A fresh store per round (above) can never show this —
+     its hot tier starts empty — so this is the only round where
+     hot_hits can be non-zero. *)
+  let hot, hc =
+    let cache =
+      Cache.Store.create ~dir ~engine_version:Memmodel.Engine.version ()
+    in
+    let sched = Service.Scheduler.create ~workers:4 ~cache () in
+    let pass () =
+      let tickets = List.map (Service.Scheduler.submit sched) specs in
+      List.map (Service.Scheduler.await sched) tickets
+    in
+    ignore (pass ());
+    let t0 = Unix.gettimeofday () in
+    let outcomes = pass () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let c = Service.Scheduler.counters sched in
+    Service.Scheduler.shutdown sched;
+    let h = c.Service.Scheduler.hot_stats in
+    Format.printf
+      "  %-5s %3d jobs in %6.2fs: %d hot hits, %d disk hits, %d evictions \
+       (%d/%d resident)@."
+      "hot"
+      (List.length specs)
+      wall h.Cache.Hot.hot_hits h.Cache.Hot.disk_hits h.Cache.Hot.evictions
+      h.Cache.Hot.size h.Cache.Hot.capacity;
+    (outcomes, c)
+  in
   (* remove the temp store before any expectation can bail out *)
   (try
      Array.iter
@@ -1134,7 +1165,14 @@ let print_service () =
   expect "cold round explored states (the cache was actually empty)"
     (cc.Service.Scheduler.engine.Memmodel.Engine.visited > 0);
   expect "warm payloads are bit-identical to cold payloads"
-    (done_payloads cold = done_payloads warm)
+    (done_payloads cold = done_payloads warm);
+  let h = hc.Service.Scheduler.hot_stats in
+  expect "hot round pass 2 is served from memory (hot hits = corpus size)"
+    (h.Cache.Hot.hot_hits = List.length specs
+    && h.Cache.Hot.disk_hits = List.length specs
+    && hc.Service.Scheduler.engine.Memmodel.Engine.visited = 0);
+  expect "hot-tier payloads are bit-identical to the disk-tier payloads"
+    (done_payloads hot = done_payloads warm)
 
 (* ------------------------------------------------------------------ *)
 (* Static wDRF lint vs exhaustive refinement check                     *)

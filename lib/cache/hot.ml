@@ -1,0 +1,225 @@
+(** Sharded in-memory hot tier over {!Store}. See the interface for the
+    contract; the implementation notes that matter:
+
+    - Each shard is an independent monitor: its own [Mutex.t], its own
+      hash table, its own intrusive doubly-linked LRU list. A lookup
+      takes exactly one shard lock; two requests whose keys land on
+      different shards never contend.
+    - The shard index is decoded from the first two hex characters of
+      the (md5) key and masked against the power-of-two shard count, so
+      the mapping is stable across processes and needs no extra
+      hashing. Non-hex keys fall back to [Hashtbl.hash].
+    - The LRU list is intrusive (nodes carry their own prev/next), so
+      promotion on a hit is O(1) pointer surgery under the shard lock
+      with no allocation. *)
+
+type node = {
+  n_key : string;
+  mutable n_value : Json.t;
+  mutable n_prev : node option;
+  mutable n_next : node option;
+}
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable size : int;
+  mutable hot_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = {
+  store : Store.t;
+  shards : shard array;
+  mask : int;
+  per_shard_cap : int;
+  on : bool;
+}
+
+type shard_counters = {
+  s_hot_hits : int;
+  s_disk_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_size : int;
+}
+
+type counters = {
+  hot_hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  shard_count : int;
+  per_shard : shard_counters array;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(shards = 16) ?(capacity = 1024) ?(enabled = true) store =
+  let nshards = pow2_at_least (max 1 shards) 1 in
+  let per_shard_cap = max 1 (capacity / nshards) in
+  { store;
+    shards =
+      Array.init nshards (fun _ ->
+          { lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            head = None;
+            tail = None;
+            size = 0;
+            hot_hits = 0;
+            disk_hits = 0;
+            misses = 0;
+            evictions = 0 });
+    mask = nshards - 1;
+    per_shard_cap;
+    on = enabled }
+
+let store t = t.store
+let enabled t = t.on
+
+let hex_nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let shard_index t key =
+  let byte =
+    if String.length key >= 2 then
+      match (hex_nibble key.[0], hex_nibble key.[1]) with
+      | Some hi, Some lo -> (hi * 16) + lo
+      | _ -> Hashtbl.hash key
+    else Hashtbl.hash key
+  in
+  byte land t.mask
+
+let shard_of t key = t.shards.(shard_index t key)
+
+let locked (s : shard) f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* --- intrusive LRU list, all under the shard lock --- *)
+
+let unlink (s : shard) n =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> s.head <- n.n_next);
+  (match n.n_next with
+  | Some x -> x.n_prev <- n.n_prev
+  | None -> s.tail <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front (s : shard) n =
+  n.n_prev <- None;
+  n.n_next <- s.head;
+  (match s.head with Some h -> h.n_prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
+
+let promote (s : shard) n =
+  if s.head != Some n then (
+    unlink s n;
+    push_front s n)
+
+let evict_over_cap t (s : shard) =
+  while s.size > t.per_shard_cap do
+    match s.tail with
+    | None -> s.size <- 0 (* unreachable: size > 0 implies a tail *)
+    | Some lru ->
+        unlink s lru;
+        Hashtbl.remove s.table lru.n_key;
+        s.size <- s.size - 1;
+        s.evictions <- s.evictions + 1
+  done
+
+(* Insert or refresh [key] as the shard's MRU entry. *)
+let fill t (s : shard) key value =
+  (match Hashtbl.find_opt s.table key with
+  | Some n ->
+      n.n_value <- value;
+      promote s n
+  | None ->
+      let n = { n_key = key; n_value = value; n_prev = None; n_next = None } in
+      Hashtbl.add s.table key n;
+      push_front s n;
+      s.size <- s.size + 1);
+  evict_over_cap t s
+
+let find t key =
+  if not t.on then Store.find t.store key
+  else
+    let s = shard_of t key in
+    let hot =
+      locked s (fun () ->
+          match Hashtbl.find_opt s.table key with
+          | Some n ->
+              s.hot_hits <- s.hot_hits + 1;
+              promote s n;
+              Some n.n_value
+          | None -> None)
+    in
+    match hot with
+    | Some _ as v -> v
+    | None -> (
+        (* Disk read outside the shard lock: a slow file open must not
+           block unrelated keys on the same shard. *)
+        match Store.find t.store key with
+        | Some v ->
+            locked s (fun () ->
+                s.disk_hits <- s.disk_hits + 1;
+                fill t s key v);
+            Some v
+        | None ->
+            locked s (fun () -> s.misses <- s.misses + 1);
+            None)
+
+let add t key value =
+  Store.add t.store key value;
+  if t.on then
+    let s = shard_of t key in
+    locked s (fun () -> fill t s key value)
+
+let counters t =
+  let per_shard =
+    Array.map
+      (fun s ->
+        locked s (fun () ->
+            { s_hot_hits = s.hot_hits;
+              s_disk_hits = s.disk_hits;
+              s_misses = s.misses;
+              s_evictions = s.evictions;
+              s_size = s.size }))
+      t.shards
+  in
+  let sum f = Array.fold_left (fun acc sc -> acc + f sc) 0 per_shard in
+  { hot_hits = sum (fun sc -> sc.s_hot_hits);
+    disk_hits = sum (fun sc -> sc.s_disk_hits);
+    misses = sum (fun sc -> sc.s_misses);
+    evictions = sum (fun sc -> sc.s_evictions);
+    size = sum (fun sc -> sc.s_size);
+    capacity = t.per_shard_cap * Array.length t.shards;
+    shard_count = Array.length t.shards;
+    per_shard }
+
+let counters_to_json (c : counters) : Json.t =
+  Json.Obj
+    [ ("hot_hits", Json.Int c.hot_hits);
+      ("disk_hits", Json.Int c.disk_hits);
+      ("misses", Json.Int c.misses);
+      ("evictions", Json.Int c.evictions);
+      ("size", Json.Int c.size);
+      ("capacity", Json.Int c.capacity);
+      ("shards", Json.Int c.shard_count) ]
+
+let pp_counters fmt (c : counters) =
+  Format.fprintf fmt
+    "hot_hits=%d disk_hits=%d misses=%d evictions=%d size=%d/%d shards=%d"
+    c.hot_hits c.disk_hits c.misses c.evictions c.size c.capacity c.shard_count

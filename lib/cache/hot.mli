@@ -1,0 +1,59 @@
+(** Sharded in-memory hot tier in front of a {!Store}.
+
+    Warm hits served from this tier never touch the disk: no file open,
+    no checksum, no JSON re-parse — the decoded {!Json.t} payload is
+    returned straight from memory. The tier is split into a power-of-two
+    number of shards keyed by the leading byte of the (md5-hex) cache
+    key; each shard has its own lock and its own size-bounded LRU list,
+    so concurrent lookups on different shards never contend and the
+    memory footprint is bounded by [capacity] decoded payloads overall.
+
+    The tier is a write-through cache: {!add} stores to disk first, then
+    fills the shard, so a crash never loses an entry the caller was told
+    was cached. A disabled tier ([~enabled:false]) passes every call
+    straight through to the store — the cache-off configuration used to
+    assert digest parity. *)
+
+type t
+
+val create : ?shards:int -> ?capacity:int -> ?enabled:bool -> Store.t -> t
+(** [create store] fronts [store]. [shards] (default 16) is rounded up
+    to a power of two; [capacity] (default 1024) is the total entry
+    bound, split evenly across shards (at least one per shard).
+    [~enabled:false] makes both {!find} and {!add} bypass the tier. *)
+
+val find : t -> string -> Json.t option
+(** Shard first; on a shard miss, fall through to {!Store.find} and fill
+    the shard with the decoded payload (evicting LRU entries past the
+    shard bound). The disk read happens outside the shard lock. *)
+
+val add : t -> string -> Json.t -> unit
+(** Write-through: {!Store.add} first, then fill the shard. *)
+
+val store : t -> Store.t
+(** The backing disk tier (for its own counters, gc, etc.). *)
+
+val enabled : t -> bool
+
+type shard_counters = {
+  s_hot_hits : int;
+  s_disk_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_size : int;
+}
+
+type counters = {
+  hot_hits : int;  (** served from a shard, zero disk I/O *)
+  disk_hits : int;  (** shard miss, disk hit — payload promoted *)
+  misses : int;  (** neither tier had it *)
+  evictions : int;
+  size : int;  (** current resident entries, all shards *)
+  capacity : int;
+  shard_count : int;
+  per_shard : shard_counters array;
+}
+
+val counters : t -> counters
+val counters_to_json : counters -> Json.t
+val pp_counters : Format.formatter -> counters -> unit

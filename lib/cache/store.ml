@@ -1,5 +1,5 @@
-(** Content-addressed verification-result cache. See the interface for
-    the keying rule and corruption contract.
+(** Content-addressed verification-result cache, disk tier. See the
+    interface for the keying rule and corruption contract.
 
     On-disk entry layout (one file per key, [<dir>/<key>.vrmc]):
 
@@ -10,14 +10,21 @@
     v}
 
     Reads re-derive the checksum and re-parse the payload; any mismatch,
-    short read, unknown format version or engine-version skew is a miss. *)
+    short read, unknown format version or engine-version skew is a miss.
+
+    This module is deliberately disk-only: every [find] pays the file
+    open, the checksum and the JSON parse. The in-memory tier lives in
+    {!Hot}, which fronts a store with a sharded, size-bounded LRU of
+    decoded payloads — keeping the two tiers in separate modules keeps
+    the disk path honest (benchmarkable on its own) and the memory
+    policy (sharding, eviction) out of the persistence code. *)
 
 let format_version = 1
+let suffix = ".vrmc"
 
 type counters = {
   hits : int;
   misses : int;
-  disk_hits : int;
   stores : int;
   corrupt : int;
   entries : int;
@@ -26,10 +33,8 @@ type counters = {
 type t = {
   dir : string option;
   engine_version : string;
-  table : (string, Json.t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
-  mutable disk_hits : int;
   mutable stores : int;
   mutable corrupt : int;
   lock : Mutex.t;
@@ -47,10 +52,8 @@ let create ?dir ~engine_version () =
   | _ -> ());
   { dir;
     engine_version;
-    table = Hashtbl.create 256;
     hits = 0;
     misses = 0;
-    disk_hits = 0;
     stores = 0;
     corrupt = 0;
     lock = Mutex.create () }
@@ -62,7 +65,7 @@ let locked t f =
 let path t key =
   match t.dir with
   | None -> None
-  | Some d -> Some (Filename.concat d (key ^ ".vrmc"))
+  | Some d -> Some (Filename.concat d (key ^ suffix))
 
 (* Read and validate a disk entry. Any deviation from the format is
    [Error `Corrupt]; a missing file is [Error `Absent]. Never raises. *)
@@ -107,45 +110,91 @@ let write_disk t key (v : Json.t) =
         Sys.rename tmp file
       with _ -> (try Sys.remove tmp with _ -> ()))
 
+(* A hit refreshes the entry's mtime so [gc]'s LRU-by-mtime policy keeps
+   warm entries and evicts genuinely cold ones, not merely old ones. *)
+let touch t key =
+  match path t key with
+  | None -> ()
+  | Some file -> ( try Unix.utimes file 0. 0. with _ -> ())
+
 let find t key =
   locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some v ->
+      match read_disk t key with
+      | Ok v ->
           t.hits <- t.hits + 1;
+          touch t key;
           Some v
-      | None -> (
-          match read_disk t key with
-          | Ok v ->
-              Hashtbl.replace t.table key v;
-              t.hits <- t.hits + 1;
-              t.disk_hits <- t.disk_hits + 1;
-              Some v
-          | Error `Corrupt ->
-              t.corrupt <- t.corrupt + 1;
-              t.misses <- t.misses + 1;
-              None
-          | Error `Absent ->
-              t.misses <- t.misses + 1;
-              None))
+      | Error `Corrupt ->
+          t.corrupt <- t.corrupt + 1;
+          t.misses <- t.misses + 1;
+          None
+      | Error `Absent ->
+          t.misses <- t.misses + 1;
+          None)
 
 let add t key v =
   locked t (fun () ->
-      Hashtbl.replace t.table key v;
       t.stores <- t.stores + 1;
       write_disk t key v)
 
-let drop_memory t = locked t (fun () -> Hashtbl.reset t.table)
+let entry_names t =
+  match t.dir with
+  | None -> []
+  | Some d -> (
+      match Sys.readdir d with
+      | exception _ -> []
+      | files ->
+          Array.to_list files
+          |> List.filter (fun f -> Filename.check_suffix f suffix))
+
+let entry_count t = List.length (entry_names t)
+
+type gc_report = { examined : int; deleted : int; kept : int }
+
+let gc t ~max_entries =
+  let max_entries = max 0 max_entries in
+  locked t (fun () ->
+      match t.dir with
+      | None -> { examined = 0; deleted = 0; kept = 0 }
+      | Some d ->
+          let stamped =
+            List.filter_map
+              (fun f ->
+                let file = Filename.concat d f in
+                match Unix.stat file with
+                | exception _ -> None
+                | st -> Some (file, st.Unix.st_mtime))
+              (entry_names t)
+          in
+          (* oldest first; ties broken by name so the order (and hence
+             the survivor set) is deterministic *)
+          let ordered =
+            List.sort
+              (fun (fa, ta) (fb, tb) ->
+                match compare ta tb with 0 -> compare fa fb | c -> c)
+              stamped
+          in
+          let examined = List.length ordered in
+          let excess = examined - max_entries in
+          let deleted = ref 0 in
+          List.iteri
+            (fun i (file, _) ->
+              if i < excess then (
+                try
+                  Sys.remove file;
+                  incr deleted
+                with _ -> ()))
+            ordered;
+          { examined; deleted = !deleted; kept = examined - !deleted })
 
 let counters t =
   locked t (fun () ->
       { hits = t.hits;
         misses = t.misses;
-        disk_hits = t.disk_hits;
         stores = t.stores;
         corrupt = t.corrupt;
-        entries = Hashtbl.length t.table })
+        entries = entry_count t })
 
 let pp_counters fmt (c : counters) =
-  Format.fprintf fmt
-    "hits=%d (disk %d) misses=%d stores=%d corrupt=%d entries=%d" c.hits
-    c.disk_hits c.misses c.stores c.corrupt c.entries
+  Format.fprintf fmt "hits=%d misses=%d stores=%d corrupt=%d entries=%d"
+    c.hits c.misses c.stores c.corrupt c.entries

@@ -1,4 +1,4 @@
-(** Content-addressed verification-result cache.
+(** Content-addressed verification-result cache — the disk tier.
 
     A cache key is a digest over everything a result can depend on:
     the program's content digest ({!Memmodel.Fingerprint.prog}), the
@@ -9,11 +9,14 @@
     deliberately excludes the [--jobs] fan-out (parallel search returns
     the same behavior set) and the program/job {e name}.
 
-    Entries live in an in-memory table, optionally backed by an on-disk
-    directory (one file per key). The on-disk format is versioned and
-    checksummed; a truncated, garbled, or stale-engine-version entry is
-    treated as a {e miss} — the caller recomputes, the cache never
-    crashes and never serves a corrupt payload.
+    This module is purely the persistent tier: every [find] opens the
+    entry file, re-derives its checksum and re-parses the payload. The
+    in-memory tier is {!Hot}, a sharded size-bounded LRU of decoded
+    payloads layered in front of a store. The on-disk format is
+    versioned and checksummed; a truncated, garbled, or
+    stale-engine-version entry is treated as a {e miss} — the caller
+    recomputes, the cache never crashes and never serves a corrupt
+    payload.
 
     All operations are thread- and domain-safe (one internal mutex). *)
 
@@ -31,30 +34,38 @@ val make_key :
     {!Memmodel.Fingerprint.promising_config} plus the SC fuel). *)
 
 val create : ?dir:string -> engine_version:string -> unit -> t
-(** [dir] enables the on-disk backing store (created if missing). Without
-    it the cache is memory-only. *)
+(** [dir] names the backing directory (created if missing). Without it
+    the store holds nothing: every [find] misses and every [add] is a
+    no-op — useful as the cache-off configuration. *)
 
 val find : t -> string -> Json.t option
-(** Memory first, then disk (a disk hit is promoted to memory). [None]
-    counts as a miss; corrupt disk entries additionally bump the
-    [corrupt] counter. *)
+(** Read, checksum, and parse the entry from disk. [None] counts as a
+    miss; corrupt disk entries additionally bump the [corrupt] counter.
+    A hit refreshes the entry's mtime, so {!gc}'s LRU policy sees use,
+    not just age. *)
 
 val add : t -> string -> Json.t -> unit
-(** Insert into memory and (if backed) write the disk entry atomically
-    (temp file + rename). Disk write failures are swallowed: the cache
-    degrades to memory-only rather than failing the job. *)
+(** Write the disk entry atomically (temp file + rename). Disk write
+    failures are swallowed: the cache degrades to recompute-always
+    rather than failing the job. *)
 
-val drop_memory : t -> unit
-(** Forget the in-memory table (counters survive) — forces subsequent
-    [find]s through the disk path; used by tests and the cold/warm bench. *)
+type gc_report = {
+  examined : int;  (** entries present when the sweep started *)
+  deleted : int;
+  kept : int;
+}
+
+val gc : t -> max_entries:int -> gc_report
+(** Delete least-recently-used entries (by file mtime, oldest first,
+    name-ordered on ties) until at most [max_entries] remain. Backs the
+    [vrm-cli cache-gc] verb. *)
 
 type counters = {
-  hits : int;  (** memory + disk hits *)
+  hits : int;  (** disk hits *)
   misses : int;
-  disk_hits : int;  (** subset of [hits] served from disk *)
   stores : int;
   corrupt : int;  (** disk entries rejected as truncated/garbled/stale *)
-  entries : int;  (** current in-memory population *)
+  entries : int;  (** current on-disk population *)
 }
 
 val counters : t -> counters

@@ -1,10 +1,52 @@
-let with_connection ~socket f =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+(* Transient connect failures a mid-restart daemon produces: the socket
+   file briefly absent (unlink before re-bind), the listener gone
+   (refused), or the backlog momentarily full. Anything else — a
+   permission error, a path that is not a socket — is permanent and
+   surfaces immediately. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.ENOENT -> true
+  | _ -> false
+
+(* Nonblocking connect bounded by [timeout_s]: Unix-domain connects
+   normally complete instantly, but a wedged daemon must not hang the
+   client forever. *)
+let connect_with_timeout fd addr timeout_s =
+  Unix.set_nonblock fd;
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    ~finally:(fun () -> try Unix.clear_nonblock fd with _ -> ())
     (fun () ->
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      f fd)
+      match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] timeout_s with
+          | _, [ _ ], _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+          | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))))
+
+let with_connection ~socket ?(connect_timeout_s = 1.0) ?(retries = 1) f =
+  let addr = Unix.ADDR_UNIX socket in
+  let rec attempt remaining =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match connect_with_timeout fd addr connect_timeout_s with
+    | () ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with _ -> ())
+          (fun () -> f fd)
+    | exception Unix.Unix_error (err, _, _)
+      when transient err && remaining > 0 ->
+        (try Unix.close fd with _ -> ());
+        (* one backoff step per retry: long enough for a restarting
+           daemon to re-bind, short enough not to be felt at a prompt *)
+        Unix.sleepf 0.2;
+        attempt (remaining - 1)
+    | exception exn ->
+        (try Unix.close fd with _ -> ());
+        raise exn
+  in
+  attempt (max 0 retries)
 
 let roundtrip fd (req : Protocol.request) : Protocol.response =
   Protocol.send fd (Protocol.request_to_json req);
@@ -12,16 +54,21 @@ let roundtrip fd (req : Protocol.request) : Protocol.response =
   | None -> failwith "client: server closed the connection"
   | Some j -> Protocol.response_of_json j
 
-let submit ~socket ?(jobs = 1) ?deadline_s ?(backend = Protocol.Explicit)
-    ?(cert_cache = true) ?(por = true) ?(sym = true) job =
+let submit ~socket ?(jobs = 1) ?deadline_s ?(lane = Protocol.Interactive)
+    ?(backend = Protocol.Explicit) ?(cert_cache = true) ?(por = true)
+    ?(sym = true) job =
   with_connection ~socket (fun fd ->
       match
         roundtrip fd
           (Protocol.Submit
-             { job; jobs; deadline_s; backend; cert_cache; por; sym })
+             { job; jobs; deadline_s; backend; cert_cache; por; sym; lane })
       with
       | Protocol.Result payload -> Ok payload
       | Protocol.Error_r msg -> Error msg
+      | Protocol.Overloaded_r { retry_after_s } ->
+          Error
+            (Printf.sprintf "server overloaded; retry after %.2fs"
+               retry_after_s)
       | Protocol.Status_r _ | Protocol.Bye ->
           Error "client: unexpected response to submit")
 
@@ -30,7 +77,7 @@ let status ~socket =
       match roundtrip fd Protocol.Status with
       | Protocol.Status_r payload -> Ok payload
       | Protocol.Error_r msg -> Error msg
-      | Protocol.Result _ | Protocol.Bye ->
+      | Protocol.Result _ | Protocol.Overloaded_r _ | Protocol.Bye ->
           Error "client: unexpected response to status")
 
 let shutdown ~socket =
@@ -38,5 +85,5 @@ let shutdown ~socket =
       match roundtrip fd Protocol.Shutdown with
       | Protocol.Bye -> Ok ()
       | Protocol.Error_r msg -> Error msg
-      | Protocol.Result _ | Protocol.Status_r _ ->
+      | Protocol.Result _ | Protocol.Status_r _ | Protocol.Overloaded_r _ ->
           Error "client: unexpected response to shutdown")

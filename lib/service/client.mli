@@ -4,8 +4,18 @@
 
 open Cache
 
-val with_connection : socket:string -> (Unix.file_descr -> 'a) -> 'a
-(** Connect to the daemon's Unix socket, run the body, always close. *)
+val with_connection :
+  socket:string ->
+  ?connect_timeout_s:float ->
+  ?retries:int ->
+  (Unix.file_descr -> 'a) ->
+  'a
+(** Connect to the daemon's Unix socket, run the body, always close.
+    The connect is bounded by [connect_timeout_s] (default 1.0s) so a
+    wedged daemon cannot hang the client, and transient failures
+    ([ECONNREFUSED]/[EAGAIN]/[ENOENT] — what a mid-restart daemon
+    produces) are retried up to [retries] times (default 1) with a
+    0.2s backoff. Permanent errors raise immediately. *)
 
 val roundtrip : Unix.file_descr -> Protocol.request -> Protocol.response
 (** Send one request and read its response on an open connection. *)
@@ -14,6 +24,7 @@ val submit :
   socket:string ->
   ?jobs:int ->
   ?deadline_s:float ->
+  ?lane:Protocol.lane ->
   ?backend:Protocol.backend ->
   ?cert_cache:bool ->
   ?por:bool ->
@@ -22,13 +33,15 @@ val submit :
   (Json.t, string) result
 (** One-shot submit. [Ok payload] is the server's result wrapper
     [{"data": ..., "from_cache": ..., "wall_s": ...}]; [Error] carries
-    the server's message (unknown job, timeout, failure). [backend]
-    (default [Explicit]) selects the deciding engine for litmus jobs
-    ([Bmc] is rejected for other kinds); [cert_cache] (default true)
-    toggles certification memoization server-side; [por] (default true)
+    the server's message (unknown job, timeout, overload with its
+    retry-after hint, failure). [lane] (default [Interactive]) picks
+    the scheduling lane ([Bulk] for corpus sweeps). [backend] (default
+    [Explicit]) selects the deciding engine for litmus jobs ([Bmc] is
+    rejected for other kinds); [cert_cache] (default true) toggles
+    certification memoization server-side; [por] (default true)
     toggles partial-order reduction; [sym] (default true) toggles
-    thread-symmetry reduction. All four are part of the server's cache
-    key. *)
+    thread-symmetry reduction. Those four are part of the server's
+    cache key; the lane is not. *)
 
 val status : socket:string -> (Json.t, string) result
 (** One-shot status: the service counters object. *)

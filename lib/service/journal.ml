@@ -1,0 +1,141 @@
+(** Persistent job journal. See the interface for the contract; format
+    notes:
+
+    JSON-lines, one compact {!Cache.Json} object per line:
+
+    {v
+    {"op":"add","key":...,"job":{...},"jobs":N,"lane":...,
+     "deadline":<abs float or null>,"backend":...,"cert_cache":B,
+     "por":B,"sym":B}
+    {"op":"done","key":...}
+    v}
+
+    Appends are flushed per record. A crash can at worst truncate the
+    final line; the loader ignores unparsable lines, so a torn tail
+    costs one record, never the file. [open_] compacts: it loads the
+    pending set (adds without a matching done), rewrites the file to
+    exactly those adds, and returns them for replay — so the journal
+    never grows across restarts and the crash window between load and
+    replay loses nothing (the pending adds are already back on disk
+    before [open_] returns). *)
+
+open Cache
+
+type entry = {
+  e_key : string;
+  e_job : Protocol.job;
+  e_jobs : int;
+  e_lane : Protocol.lane;
+  e_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  e_backend : Protocol.backend;
+  e_cert_cache : bool;
+  e_por : bool;
+  e_sym : bool;
+}
+
+type t = { path : string; mutable oc : out_channel option; m : Mutex.t }
+
+let path t = t.path
+
+let entry_to_json (e : entry) : Json.t =
+  Json.Obj
+    [ ("op", Json.String "add");
+      ("key", Json.String e.e_key);
+      ("job", Protocol.job_to_json e.e_job);
+      ("jobs", Json.Int e.e_jobs);
+      ("lane", Json.String (Protocol.lane_to_string e.e_lane));
+      ( "deadline",
+        match e.e_deadline with None -> Json.Null | Some d -> Json.Float d );
+      ("backend", Json.String (Protocol.backend_to_string e.e_backend));
+      ("cert_cache", Json.Bool e.e_cert_cache);
+      ("por", Json.Bool e.e_por);
+      ("sym", Json.Bool e.e_sym) ]
+
+let entry_of_json j : entry =
+  { e_key = Json.to_str (Json.member "key" j);
+    e_job = Protocol.job_of_json (Json.member "job" j);
+    e_jobs = Json.to_int (Json.member "jobs" j);
+    e_lane = Protocol.lane_of_string (Json.to_str (Json.member "lane" j));
+    e_deadline =
+      (match Json.member "deadline" j with
+      | Json.Null -> None
+      | d -> Some (Json.to_float d));
+    e_backend =
+      Protocol.backend_of_string (Json.to_str (Json.member "backend" j));
+    e_cert_cache = Json.to_bool (Json.member "cert_cache" j);
+    e_por = Json.to_bool (Json.member "por" j);
+    e_sym = Json.to_bool (Json.member "sym" j) }
+
+(* One pass over the file: adds in order (first add wins per key), done
+   keys as a set. Unparsable lines — a torn tail after a crash — are
+   skipped. *)
+let load path : entry list =
+  match open_in_bin path with
+  | exception _ -> []
+  | ic ->
+      let adds = ref [] and dones = Hashtbl.create 32 in
+      (try
+         while true do
+           let line = input_line ic in
+           match Json.of_string line with
+           | Error _ -> ()
+           | Ok j -> (
+               (* a record that fails to decode is treated like a torn
+                  line: skipped, never fatal *)
+               try
+                 match Json.to_str (Json.member "op" j) with
+                 | "add" -> adds := entry_of_json j :: !adds
+                 | "done" ->
+                     Hashtbl.replace dones
+                       (Json.to_str (Json.member "key" j))
+                       ()
+                 | _ -> ()
+               with Json.Decode _ -> ())
+         done
+       with End_of_file -> close_in_noerr ic);
+      let seen = Hashtbl.create 32 in
+      List.rev !adds
+      |> List.filter (fun e ->
+             if Hashtbl.mem dones e.e_key || Hashtbl.mem seen e.e_key then
+               false
+             else begin
+               Hashtbl.add seen e.e_key ();
+               true
+             end)
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let append t (j : Json.t) =
+  locked t (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          output_string oc (Json.to_string j);
+          output_char oc '\n';
+          flush oc)
+
+let open_ path =
+  let pending = load path in
+  (* compact: the rewritten file holds exactly the pending adds, so the
+     replay that follows is crash-safe — nothing is lost if the process
+     dies between here and the resubmissions. *)
+  let oc = open_out_bin path in
+  let t = { path; oc = Some oc; m = Mutex.create () } in
+  List.iter (fun e -> append t (entry_to_json e)) pending;
+  (t, pending)
+
+let record_add t (e : entry) = append t (entry_to_json e)
+
+let record_done t ~key =
+  append t (Json.Obj [ ("op", Json.String "done"); ("key", Json.String key) ])
+
+let close t =
+  locked t (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+          (try flush oc with _ -> ());
+          (try close_out_noerr oc with _ -> ());
+          t.oc <- None)

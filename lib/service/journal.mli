@@ -1,0 +1,51 @@
+(** Persistent journal of queued vrmd jobs, so a corpus-wide
+    re-verification survives a daemon restart.
+
+    The scheduler appends an [add] record when a job is enqueued and a
+    [done] record when it leaves the worker (completed, failed, timed
+    out or expired — any terminal state). On the next [serve] start,
+    {!open_} returns the pending set (adds without a matching done) for
+    replay through the normal submission path, and compacts the file to
+    exactly that set.
+
+    Deadlines are journaled as {e absolute} times: a job whose deadline
+    passed while the daemon was down is replayed and then classified
+    [Deadline_expired] by the scheduler's queue check, exactly as if it
+    had aged out in the queue — never silently dropped, never run past
+    its budget.
+
+    Records are JSON lines ({!Cache.Json}); appends are flushed per
+    record, and the loader skips unparsable lines, so a crash can tear
+    at most the final record. All operations are thread-safe. *)
+
+open Cache
+
+type entry = {
+  e_key : string;  (** the scheduler cache key at journaling time *)
+  e_job : Protocol.job;
+  e_jobs : int;
+  e_lane : Protocol.lane;
+  e_deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  e_backend : Protocol.backend;
+  e_cert_cache : bool;
+  e_por : bool;
+  e_sym : bool;
+}
+
+type t
+
+val open_ : string -> t * entry list
+(** Load the pending set from [path] (missing file = empty), compact
+    the file down to those records, and open it for appending. The
+    returned entries are in original submission order, deduplicated by
+    key (first add wins — later duplicates would only have coalesced). *)
+
+val record_add : t -> entry -> unit
+val record_done : t -> key:string -> unit
+val close : t -> unit
+val path : t -> string
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> entry
+(** Raises {!Cache.Json.Decode} on malformed records (the loader catches
+    this; exposed for tests). *)

@@ -8,6 +8,7 @@ type job =
   | Certify of { linux : string; stage2_levels : int }
 
 type backend = Explicit | Bmc
+type lane = Interactive | Bulk
 
 let fail msg = raise (Json.Decode msg)
 
@@ -17,6 +18,13 @@ let backend_of_string = function
   | "explicit" -> Explicit
   | "bmc" -> Bmc
   | s -> fail ("unknown backend " ^ s)
+
+let lane_to_string = function Interactive -> "interactive" | Bulk -> "bulk"
+
+let lane_of_string = function
+  | "interactive" -> Interactive
+  | "bulk" -> Bulk
+  | s -> fail ("unknown lane " ^ s)
 
 type request =
   | Submit of {
@@ -39,6 +47,11 @@ type request =
       sym : bool;
           (** thread-symmetry reduction for this job (default true);
               part of the cache key for the same reason as [por] *)
+      lane : lane;
+          (** scheduling lane (default [Interactive]; absent on the
+              wire means interactive, so older clients keep the
+              low-latency lane); {e not} part of the cache key — the
+              lane changes when a job runs, never what it computes *)
     }
   | Status
   | Shutdown
@@ -47,6 +60,7 @@ type response =
   | Result of Json.t
   | Status_r of Json.t
   | Error_r of string
+  | Overloaded_r of { retry_after_s : float }
   | Bye
 
 let job_to_json = function
@@ -71,7 +85,7 @@ let job_of_json j =
   | k -> fail ("unknown job kind " ^ k)
 
 let request_to_json = function
-  | Submit { job; jobs; deadline_s; backend; cert_cache; por; sym } ->
+  | Submit { job; jobs; deadline_s; backend; cert_cache; por; sym; lane } ->
       Json.Obj
         [ ("op", Json.String "submit");
           ("job", job_to_json job);
@@ -82,7 +96,8 @@ let request_to_json = function
           ("backend", Json.String (backend_to_string backend));
           ("cert_cache", Json.Bool cert_cache);
           ("por", Json.Bool por);
-          ("sym", Json.Bool sym) ]
+          ("sym", Json.Bool sym);
+          ("lane", Json.String (lane_to_string lane)) ]
   | Status -> Json.Obj [ ("op", Json.String "status") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
@@ -120,7 +135,13 @@ let request_of_json j =
             (* absent = true, same back-compat rule *)
             (match Json.member "sym" j with
             | Json.Null -> true
-            | b -> Json.to_bool b) }
+            | b -> Json.to_bool b);
+          lane =
+            (* absent = interactive: older clients keep the
+               low-latency lane *)
+            (match Json.member "lane" j with
+            | Json.Null -> Interactive
+            | l -> lane_of_string (Json.to_str l)) }
   | "status" -> Status
   | "shutdown" -> Shutdown
   | op -> fail ("unknown request op " ^ op)
@@ -132,6 +153,10 @@ let response_to_json = function
       Json.Obj [ ("op", Json.String "status"); ("payload", payload) ]
   | Error_r msg ->
       Json.Obj [ ("op", Json.String "error"); ("message", Json.String msg) ]
+  | Overloaded_r { retry_after_s } ->
+      Json.Obj
+        [ ("op", Json.String "overloaded");
+          ("retry_after_s", Json.Float retry_after_s) ]
   | Bye -> Json.Obj [ ("op", Json.String "bye") ]
 
 let response_of_json j =
@@ -139,6 +164,9 @@ let response_of_json j =
   | "result" -> Result (Json.member "payload" j)
   | "status" -> Status_r (Json.member "payload" j)
   | "error" -> Error_r (Json.to_str (Json.member "message" j))
+  | "overloaded" ->
+      Overloaded_r
+        { retry_after_s = Json.to_float (Json.member "retry_after_s" j) }
   | "bye" -> Bye
   | op -> fail ("unknown response op " ^ op)
 
@@ -146,7 +174,21 @@ let response_of_json j =
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let max_frame = 64 * 1024 * 1024
+(* 16 MiB comfortably holds every payload the service produces (the
+   largest certificate summaries are a few hundred KiB); anything larger
+   is a broken or hostile peer and must not drive an unbounded
+   [Bytes.create]. *)
+let max_frame = 16 * 1024 * 1024
+
+exception Frame_too_large of int
+
+let () =
+  Printexc.register_printer (function
+    | Frame_too_large n ->
+        Some
+          (Printf.sprintf "protocol: frame of %d bytes exceeds max_frame=%d"
+             n max_frame)
+    | _ -> None)
 
 let write_all fd buf =
   let n = Bytes.length buf in
@@ -173,11 +215,24 @@ let read_all fd buf =
 let send fd (v : Json.t) =
   let payload = Bytes.of_string (Json.to_string v) in
   let len = Bytes.length payload in
-  if len > max_frame then failwith "protocol: frame too large";
+  if len > max_frame then raise (Frame_too_large len);
   let header = Bytes.create 4 in
   Bytes.set_int32_be header 0 (Int32.of_int len);
   write_all fd header;
   write_all fd payload
+
+(* Read and discard [len] bytes in bounded chunks, so an oversized frame
+   can be rejected while leaving the stream positioned at the next
+   frame boundary — the connection survives the bad request. *)
+let drain_payload fd len =
+  let chunk = Bytes.create 65536 in
+  let rec go remaining =
+    if remaining > 0 then
+      match Unix.read fd chunk 0 (min remaining (Bytes.length chunk)) with
+      | 0 -> failwith "protocol: truncated frame payload"
+      | r -> go (remaining - r)
+  in
+  go len
 
 let recv fd : Json.t option =
   let header = Bytes.create 4 in
@@ -186,8 +241,11 @@ let recv fd : Json.t option =
   | `Eof _ -> failwith "protocol: truncated frame header"
   | `Ok ->
       let len = Int32.to_int (Bytes.get_int32_be header 0) in
-      if len < 0 || len > max_frame then
-        failwith "protocol: bad frame length";
+      if len < 0 then failwith "protocol: bad frame length";
+      if len > max_frame then begin
+        drain_payload fd len;
+        raise (Frame_too_large len)
+      end;
       let payload = Bytes.create len in
       (match read_all fd payload with
       | `Eof _ -> failwith "protocol: truncated frame payload"

@@ -25,9 +25,22 @@ type job =
     the scheduler's cache key. Only litmus jobs accept [Bmc]. *)
 type backend = Explicit | Bmc
 
+(** The scheduling lane a submission joins. [Interactive] is the
+    low-latency lane for humans at a prompt; [Bulk] is for corpus
+    sweeps. The scheduler serves interactive strictly first and keeps a
+    worker reserved for it, so a saturated bulk sweep cannot starve
+    interactive tail latency. Absent on the wire means [Interactive].
+    The lane is {e not} part of the cache key. *)
+type lane = Interactive | Bulk
+
 val backend_to_string : backend -> string
 
 val backend_of_string : string -> backend
+(** Raises {!Cache.Json.Decode} on unknown names. *)
+
+val lane_to_string : lane -> string
+
+val lane_of_string : string -> lane
 (** Raises {!Cache.Json.Decode} on unknown names. *)
 
 type request =
@@ -39,6 +52,7 @@ type request =
       cert_cache : bool;
       por : bool;
       sym : bool;
+      lane : lane;
     }
       (** [jobs] = exploration domains; [deadline_s] = seconds from
           submission before the job is cancelled; [backend] selects the
@@ -46,14 +60,24 @@ type request =
           [cert_cache] toggles certification memoization, [por]
           partial-order reduction and [sym] thread-symmetry reduction
           (all default true — absent on the wire means true, so older
-          clients are unaffected) *)
+          clients are unaffected); [lane] picks the scheduling lane
+          (absent = [Interactive]) *)
   | Status
   | Shutdown  (** graceful: drain in-flight jobs, then stop serving *)
 
+(** The [Overloaded_r] contract: the server sheds a submission {e at
+    admission time} when the requested lane's queue is at its depth
+    limit — the job was never queued, nothing was computed, and the
+    submission had no side effect. [retry_after_s] is the server's
+    estimate of when capacity frees up (current queue depth times the
+    observed mean job wall time over the worker count); clients should
+    back off at least that long before resubmitting. *)
 type response =
   | Result of Json.t  (** completed job payload (a {!Cache.Codec} value) *)
   | Status_r of Json.t  (** service counters *)
   | Error_r of string  (** unknown job, timeout, decode failure, ... *)
+  | Overloaded_r of { retry_after_s : float }
+      (** load shed: the lane's queue is full; retry after the hint *)
   | Bye  (** shutdown acknowledged *)
 
 val job_to_json : job -> Json.t
@@ -64,11 +88,20 @@ val response_to_json : response -> Json.t
 val response_of_json : Json.t -> response
 
 val max_frame : int
-(** Upper bound on accepted frame sizes (bytes). *)
+(** Upper bound on accepted frame sizes (16 MiB). *)
+
+exception Frame_too_large of int
+(** Raised by {!send} when the encoded payload exceeds {!max_frame}, and
+    by {!recv} when the peer announces an oversized frame. On the
+    receive side the oversized payload is drained in bounded chunks
+    first, so the stream stays frame-aligned and the connection can keep
+    serving — the server answers with a structured [Error_r] instead of
+    attempting an unbounded [Bytes.create]. *)
 
 val send : Unix.file_descr -> Json.t -> unit
 (** Write one frame (blocking, handles short writes). *)
 
 val recv : Unix.file_descr -> Json.t option
 (** Read one frame; [None] on orderly EOF before a frame starts. Raises
-    [Failure] on truncated frames, oversized lengths or malformed JSON. *)
+    {!Frame_too_large} on oversized frames (after draining them) and
+    [Failure] on truncated frames, negative lengths or malformed JSON. *)

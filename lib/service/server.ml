@@ -36,8 +36,8 @@ let respond srv (req : Protocol.request) : Protocol.response =
   | Protocol.Shutdown ->
       Atomic.set srv.stop true;
       Protocol.Bye
-  | Protocol.Submit { job; jobs; deadline_s; backend; cert_cache; por; sym }
-    -> (
+  | Protocol.Submit
+      { job; jobs; deadline_s; backend; cert_cache; por; sym; lane } -> (
       match (job, backend) with
       | (Protocol.Refine _ | Protocol.Certify _), Protocol.Bmc ->
           Protocol.Error_r "backend=bmc only decides litmus jobs"
@@ -46,8 +46,8 @@ let respond srv (req : Protocol.request) : Protocol.response =
       | Error msg -> Protocol.Error_r msg
       | Ok spec -> (
           let outcome, meta =
-            Scheduler.run srv.sched ~jobs ?deadline_s ~backend ~cert_cache
-              ~por ~sym spec
+            Scheduler.run srv.sched ~jobs ?deadline_s ~lane ~backend
+              ~cert_cache ~por ~sym spec
           in
           match outcome with
           | Scheduler.Done payload ->
@@ -57,6 +57,10 @@ let respond srv (req : Protocol.request) : Protocol.response =
                      ("from_cache", Json.Bool meta.Scheduler.from_cache);
                      ("wall_s", Json.Float meta.Scheduler.wall_s) ])
           | Scheduler.Timed_out -> Protocol.Error_r "job timed out"
+          | Scheduler.Deadline_expired ->
+              Protocol.Error_r "job deadline expired while queued"
+          | Scheduler.Overloaded { retry_after_s } ->
+              Protocol.Overloaded_r { retry_after_s }
           | Scheduler.Failed msg -> Protocol.Error_r ("job failed: " ^ msg))))
 
 let handle srv fd =
@@ -78,6 +82,16 @@ let handle srv fd =
               in
               Protocol.send fd (Protocol.response_to_json resp);
               (match resp with Protocol.Bye -> () | _ -> loop ())
+          (* recv drained the oversized payload, so the stream is still
+             frame-aligned: answer structurally and keep serving *)
+          | exception Protocol.Frame_too_large n ->
+              Protocol.send fd
+                (Protocol.response_to_json
+                   (Protocol.Error_r
+                      (Printf.sprintf
+                         "frame too large: %d bytes (max %d)" n
+                         Protocol.max_frame)));
+              loop ()
         in
         loop ()
       with _ ->

@@ -7,7 +7,12 @@
 
     {v {"data": <codec payload>, "from_cache": bool, "wall_s": float} v}
 
-    Timeouts and failures are answered with [Error_r].
+    Timeouts (including deadlines that expired while the job was still
+    queued) and failures are answered with [Error_r]; a submission shed
+    by the scheduler's admission control is answered with
+    [Overloaded_r] carrying the retry-after hint. Oversized request
+    frames are drained and answered with [Error_r] on the same
+    connection.
 
     Shutdown is graceful: on a [Shutdown] request the server replies
     [Bye], stops accepting, lets in-flight jobs and their responses

@@ -1,11 +1,12 @@
 #!/bin/sh
 # vrmd end-to-end smoke test.
 #
-# Starts the daemon on a private socket with a private cache directory,
-# submits a corpus subset, asserts parity with direct in-process runs
-# (--verify recomputes each job locally and compares content digests),
-# checks that a resubmission is served from the cache, and exercises
-# graceful shutdown.
+# Starts the daemon on a private socket with a private cache directory
+# and a job journal, submits a corpus subset on both lanes, asserts
+# parity with direct in-process runs (--verify recomputes each job
+# locally and compares content digests), checks that a resubmission is
+# served from the cache, prunes the disk tier with cache-gc, and
+# exercises graceful shutdown.
 set -eu
 
 CLI="dune exec --no-build bin/vrm_cli.exe --"
@@ -22,7 +23,8 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-$CLI serve --socket "$SOCK" --workers 2 --cache-dir "$CACHE" >"$LOG" 2>&1 &
+$CLI serve --socket "$SOCK" --workers 2 --cache-dir "$CACHE" \
+    --journal "$WORK/journal.jsonl" >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # wait for the socket
@@ -79,6 +81,22 @@ case "$OUT" in
     ;;
 esac
 
+# The bulk lane must produce the same payloads as the interactive lane
+# (the lane only affects scheduling, never results): a bulk submit of an
+# already-cached job is a cache hit, and a bulk submit of a fresh job
+# passes --verify against a direct run.
+echo "== bulk lane: same cache, same digests"
+OUT=$($CLI submit litmus mp-plain --socket "$SOCK" --bulk)
+echo "$OUT"
+case "$OUT" in
+*cached*) ;;
+*)
+    echo "FAIL: bulk resubmission did not hit the interactive-lane cache entry" >&2
+    exit 1
+    ;;
+esac
+$CLI submit litmus lb-data --socket "$SOCK" --bulk --verify
+
 echo "== service counters"
 $CLI status --socket "$SOCK"
 
@@ -97,4 +115,23 @@ if [ "$N" -lt 3 ]; then
     exit 1
 fi
 
-echo "service smoke: OK ($N cache entries persisted)"
+# cache-gc prunes the disk tier offline, LRU-by-mtime, down to the
+# requested bound; a second run under the same bound is a no-op.
+echo "== cache-gc prunes the persisted tier to --max-entries"
+$CLI cache-gc --cache-dir "$CACHE" --max-entries 3
+M=$(ls "$CACHE" | wc -l)
+if [ "$M" -ne 3 ]; then
+    echo "FAIL: cache-gc left $M entries, expected 3" >&2
+    exit 1
+fi
+OUT=$($CLI cache-gc --cache-dir "$CACHE" --max-entries 3)
+echo "$OUT"
+case "$OUT" in
+*"0 deleted"*) ;;
+*)
+    echo "FAIL: second cache-gc under the same bound was not a no-op" >&2
+    exit 1
+    ;;
+esac
+
+echo "service smoke: OK ($N cache entries persisted, gc kept 3)"

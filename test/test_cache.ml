@@ -112,6 +112,12 @@ let test_litmus_summary_roundtrip () =
 
 let payload_a = Json.Obj [ ("answer", Json.Int 42) ]
 
+let entry_file dir key = Filename.concat dir (key ^ ".vrmc")
+
+let mk_key i =
+  Store.make_key ~engine_version:Engine.version ~model:"m" ~budgets:"b"
+    ~prog_digest:(Printf.sprintf "p%d" i)
+
 let test_store_roundtrip () =
   let dir = tmpdir "vrm-cache-test" in
   Fun.protect
@@ -126,9 +132,13 @@ let test_store_roundtrip () =
       Store.add s key payload_a;
       (match Store.find s key with
       | Some v ->
-          Alcotest.(check string) "memory hit" (Json.to_string payload_a)
+          Alcotest.(check string) "disk roundtrip" (Json.to_string payload_a)
             (Json.to_string v)
       | None -> Alcotest.fail "lost entry");
+      let c = Store.counters s in
+      Alcotest.(check int) "hit counted" 1 c.Store.hits;
+      Alcotest.(check int) "miss counted" 1 c.Store.misses;
+      Alcotest.(check int) "one entry on disk" 1 c.Store.entries;
       (* a fresh store on the same dir reads it back from disk *)
       let s2 = Store.create ~dir ~engine_version:Engine.version () in
       (match Store.find s2 key with
@@ -136,14 +146,154 @@ let test_store_roundtrip () =
           Alcotest.(check string) "disk hit" (Json.to_string payload_a)
             (Json.to_string v)
       | None -> Alcotest.fail "disk entry not found");
-      let c = Store.counters s2 in
-      Alcotest.(check int) "disk hit counted" 1 c.Store.disk_hits;
-      (* drop_memory forces the disk path again *)
-      Store.drop_memory s2;
-      Alcotest.(check bool) "hit after drop_memory" true
-        (Store.find s2 key <> None))
+      (* a dirless store is the always-miss cache-off configuration *)
+      let s3 = Store.create ~engine_version:Engine.version () in
+      Store.add s3 key payload_a;
+      Alcotest.(check bool) "dirless store never serves" true
+        (Store.find s3 key = None))
 
-let entry_file dir key = Filename.concat dir (key ^ ".vrmc")
+let test_store_gc () =
+  let dir = tmpdir "vrm-cache-gc" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let s = Store.create ~dir ~engine_version:Engine.version () in
+      let keys = List.init 5 mk_key in
+      List.iter (fun k -> Store.add s k payload_a) keys;
+      (* pin distinct mtimes: key i aged (5 - i) hours, so key 4 is the
+         newest and key 0 the oldest *)
+      let now = Unix.gettimeofday () in
+      List.iteri
+        (fun i k ->
+          let t = now -. (3600. *. float_of_int (5 - i)) in
+          Unix.utimes (entry_file dir k) t t)
+        keys;
+      let r = Store.gc s ~max_entries:2 in
+      Alcotest.(check int) "gc examined" 5 r.Store.examined;
+      Alcotest.(check int) "gc deleted" 3 r.Store.deleted;
+      Alcotest.(check int) "gc kept" 2 r.Store.kept;
+      List.iteri
+        (fun i k ->
+          let survives = Sys.file_exists (entry_file dir k) in
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d %s" i
+               (if i >= 3 then "survives" else "evicted"))
+            (i >= 3) survives)
+        keys;
+      (* a hit refreshes mtime, so recently-used entries survive gc even
+         when old: age key 3 far below key 4, then touch it with a find *)
+      let old = now -. 7200. in
+      Unix.utimes (entry_file dir (mk_key 3)) old old;
+      ignore (Store.find s (mk_key 3));
+      let r2 = Store.gc s ~max_entries:1 in
+      Alcotest.(check int) "second gc deleted" 1 r2.Store.deleted;
+      Alcotest.(check bool) "recently-hit entry survives" true
+        (Sys.file_exists (entry_file dir (mk_key 3)));
+      Alcotest.(check bool) "unused entry evicted" false
+        (Sys.file_exists (entry_file dir (mk_key 4))))
+
+(* ------------------------------------------------------------------ *)
+(* Hot tier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_hot_tier () =
+  let dir = tmpdir "vrm-hot-test" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let store = Store.create ~dir ~engine_version:Engine.version () in
+      let hot = Hot.create ~shards:4 ~capacity:64 store in
+      let key = mk_key 0 in
+      Alcotest.(check bool) "miss in both tiers" true
+        (Hot.find hot key = None);
+      Hot.add hot key payload_a;
+      Alcotest.(check bool) "write-through: entry on disk" true
+        (Sys.file_exists (entry_file dir key));
+      (match Hot.find hot key with
+      | Some v ->
+          Alcotest.(check string) "hot hit payload"
+            (Json.to_string payload_a) (Json.to_string v)
+      | None -> Alcotest.fail "hot tier lost the entry");
+      let c = Hot.counters hot in
+      Alcotest.(check int) "hot hit counted" 1 c.Hot.hot_hits;
+      Alcotest.(check int) "no disk hit yet" 0 c.Hot.disk_hits;
+      (* the proof that warm hits never touch disk: destroy the disk
+         entry, the hot tier still serves the decoded payload *)
+      Out_channel.with_open_bin (entry_file dir key) (fun oc ->
+          Out_channel.output_string oc "junk");
+      (match Hot.find hot key with
+      | Some v ->
+          Alcotest.(check string) "hot hit despite corrupt disk"
+            (Json.to_string payload_a) (Json.to_string v)
+      | None -> Alcotest.fail "hot hit went to disk");
+      (* a fresh hot tier over the corrupted entry misses both tiers *)
+      let store2 = Store.create ~dir ~engine_version:Engine.version () in
+      let hot2 = Hot.create ~shards:4 ~capacity:64 store2 in
+      Alcotest.(check bool) "fresh tier sees the corruption" true
+        (Hot.find hot2 key = None);
+      (* heal the disk entry: a fresh tier promotes it (disk hit), then
+         serves from memory (hot hit) *)
+      Store.add store2 key payload_a;
+      let store3 = Store.create ~dir ~engine_version:Engine.version () in
+      let hot3 = Hot.create ~shards:4 ~capacity:64 store3 in
+      Alcotest.(check bool) "promotion read" true (Hot.find hot3 key <> None);
+      Alcotest.(check bool) "promoted hit" true (Hot.find hot3 key <> None);
+      let c3 = Hot.counters hot3 in
+      Alcotest.(check int) "one disk promotion" 1 c3.Hot.disk_hits;
+      Alcotest.(check int) "one hot hit after promotion" 1 c3.Hot.hot_hits)
+
+let test_hot_lru () =
+  (* single shard, capacity 4: eviction is strictly least-recently-used,
+     and a find refreshes recency *)
+  let store = Store.create ~engine_version:Engine.version () in
+  let hot = Hot.create ~shards:1 ~capacity:4 store in
+  let keys = List.init 5 mk_key in
+  let k i = List.nth keys i in
+  List.iteri (fun i key -> if i < 4 then Hot.add hot key payload_a) keys;
+  (* touch k0 so k1 becomes the LRU entry *)
+  Alcotest.(check bool) "k0 resident" true (Hot.find hot (k 0) <> None);
+  Hot.add hot (k 4) payload_a;
+  let c = Hot.counters hot in
+  Alcotest.(check int) "one eviction at capacity" 1 c.Hot.evictions;
+  Alcotest.(check int) "size stays bounded" 4 c.Hot.size;
+  Alcotest.(check bool) "LRU entry evicted" true (Hot.find hot (k 1) = None);
+  Alcotest.(check bool) "recently-used entry survives" true
+    (Hot.find hot (k 0) <> None);
+  Alcotest.(check bool) "newest entry resident" true
+    (Hot.find hot (k 4) <> None)
+
+let test_hot_shards_and_off () =
+  (* the shard index is decoded from the key's leading hex byte: keys
+     with distinct prefixes land on distinct shards of a 4-shard tier *)
+  let store = Store.create ~engine_version:Engine.version () in
+  let hot = Hot.create ~shards:4 ~capacity:64 store in
+  let prefixed p = p ^ String.make 30 'a' in
+  List.iter
+    (fun p -> Hot.add hot (prefixed p) payload_a)
+    [ "00"; "01"; "02"; "03" ];
+  let c = Hot.counters hot in
+  Alcotest.(check int) "4 shards" 4 c.Hot.shard_count;
+  Array.iteri
+    (fun i sc ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d holds one entry" i)
+        1 sc.Hot.s_size)
+    c.Hot.per_shard;
+  (* a disabled tier is a pure pass-through: nothing resident, nothing
+     counted — the cache-off parity configuration *)
+  let dir = tmpdir "vrm-hot-off" in
+  Fun.protect
+    ~finally:(fun () -> rmdir dir)
+    (fun () ->
+      let store = Store.create ~dir ~engine_version:Engine.version () in
+      let off = Hot.create ~enabled:false store in
+      Hot.add off (mk_key 0) payload_a;
+      Alcotest.(check bool) "disabled tier still writes through" true
+        (Hot.find off (mk_key 0) <> None);
+      let c = Hot.counters off in
+      Alcotest.(check int) "disabled: nothing resident" 0 c.Hot.size;
+      Alcotest.(check int) "disabled: no hot hits" 0 c.Hot.hot_hits;
+      Alcotest.(check int) "disabled: no promotions" 0 c.Hot.disk_hits)
 
 let test_store_corruption () =
   let dir = tmpdir "vrm-cache-corrupt" in
@@ -295,12 +445,20 @@ let () =
           Alcotest.test_case "litmus summaries roundtrip; tampering rejected"
             `Quick test_litmus_summary_roundtrip ] );
       ( "store",
-        [ Alcotest.test_case "memory+disk roundtrip" `Quick
-            test_store_roundtrip;
+        [ Alcotest.test_case "disk roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "gc evicts LRU-by-mtime down to the bound"
+            `Quick test_store_gc;
           Alcotest.test_case "every corruption mode is a miss, then heals"
             `Quick test_store_corruption;
           Alcotest.test_case "engine-version skew is a miss" `Quick
             test_store_version_skew ] );
+      ( "hot",
+        [ Alcotest.test_case "warm hits never touch disk; write-through"
+            `Quick test_hot_tier;
+          Alcotest.test_case "per-shard LRU eviction honors recency" `Quick
+            test_hot_lru;
+          Alcotest.test_case "shard placement; disabled tier passes through"
+            `Quick test_hot_shards_and_off ] );
       ( "keys",
         [ Alcotest.test_case "program fingerprints stable and distinct"
             `Quick test_fingerprint_stability;

@@ -2,30 +2,45 @@
 
    - parity: every corpus job submitted through the scheduler returns
      the same behavior-set digests as a direct Litmus.run /
-     Refinement.check (the golden-digest acceptance criterion);
-   - warm cache: resubmitting the corpus costs zero exploration;
+     Refinement.check (the golden-digest acceptance criterion), with
+     the hot tier on and off;
+   - warm cache: resubmitting the corpus costs zero exploration and is
+     served from the in-memory hot tier;
    - coalescing: identical in-flight submissions share one execution;
-   - deadlines: an already-expired job is cancelled without running, and
-     the engine's deadline valve cuts short a running exploration;
+   - lanes: interactive submissions overtake an earlier bulk backlog,
+     and a full lane sheds with [Overloaded] + retry-after;
+   - deadlines: a job that ages out while queued (bulk lane included,
+     and after a journal replay) is [Deadline_expired] without ever
+     starting exploration; the engine's valve cuts short a running one;
+   - durability: pending journal entries replay across a simulated
+     kill-and-restart with bit-identical result payloads;
    - the daemon end-to-end: serve over a real Unix socket, submit,
-     status, graceful shutdown. *)
+     status, graceful shutdown; oversized frames are survivable errors;
+   - the client survives a mid-restart daemon via bounded retry. *)
 
 open Memmodel
 open Cache
 open Service
 
-let with_sched ?(workers = 2) ?cache f =
+let with_sched ?(workers = 2) ?cache ?hot ?interactive_depth ?bulk_depth
+    ?journal f =
   let cache =
     match cache with
     | Some c -> c
     | None -> Store.create ~engine_version:Engine.version ()
   in
-  let sched = Scheduler.create ~workers ~cache () in
+  let sched =
+    Scheduler.create ~workers ~cache ?hot ?interactive_depth ?bulk_depth
+      ?journal ()
+  in
   Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) (fun () -> f sched)
 
 let done_payload name = function
   | Scheduler.Done p, (m : Scheduler.meta) -> (p, m)
   | Scheduler.Timed_out, _ -> Alcotest.failf "%s timed out" name
+  | Scheduler.Deadline_expired, _ ->
+      Alcotest.failf "%s expired in the queue" name
+  | Scheduler.Overloaded _, _ -> Alcotest.failf "%s was shed" name
   | Scheduler.Failed e, _ -> Alcotest.failf "%s failed: %s" name e
 
 (* ------------------------------------------------------------------ *)
@@ -124,9 +139,9 @@ let test_warm_resubmit () =
         (c1.Scheduler.engine.Engine.visited > 0);
       Alcotest.(check int) "warm round explored nothing"
         c1.Scheduler.engine.Engine.visited c2.Scheduler.engine.Engine.visited;
-      Alcotest.(check int) "every warm job hit the cache"
+      Alcotest.(check int) "every warm job hit the hot tier"
         (List.length specs)
-        c2.Scheduler.cache_stats.Store.hits;
+        c2.Scheduler.hot_stats.Hot.hot_hits;
       List.iter2
         (fun (o1, _) (o2, (m2 : Scheduler.meta)) ->
           match (o1, o2) with
@@ -171,20 +186,53 @@ let test_deadline_queue_level () =
           (Scheduler.Certify_spec
              { Sekvm.Kernel_progs.linux = "5.5"; stage2_levels = 4 })
       with
-      | Scheduler.Timed_out, _ -> ()
+      | Scheduler.Deadline_expired, _ -> ()
       | Scheduler.Done _, _ -> Alcotest.fail "expired job still ran"
-      | Scheduler.Failed e, _ -> Alcotest.failf "expired job failed: %s" e);
-  (* timeouts are never cached: the same spec afterwards is a miss *)
+      | _ -> Alcotest.fail "expired job misclassified");
+  (* expiries are never cached: the same spec afterwards is a miss *)
   with_sched (fun sched ->
       let spec = Scheduler.Litmus_spec Paper_examples.example1 in
       (match Scheduler.run sched ~deadline_s:0. spec with
-      | Scheduler.Timed_out, _ -> ()
-      | _ -> Alcotest.fail "expected queue-level timeout");
+      | Scheduler.Deadline_expired, _ -> ()
+      | _ -> Alcotest.fail "expected queue-level expiry");
       match Scheduler.run sched spec with
       | Scheduler.Done _, m ->
-          Alcotest.(check bool) "post-timeout run recomputes" false
+          Alcotest.(check bool) "post-expiry run recomputes" false
             m.Scheduler.from_cache
-      | _ -> Alcotest.fail "post-timeout run did not complete")
+      | _ -> Alcotest.fail "post-expiry run did not complete")
+
+let test_deadline_bulk_lane () =
+  (* a bulk job whose deadline passes while it waits behind a long
+     interactive job must come back [Deadline_expired], with zero
+     exploration spent on it *)
+  with_sched ~workers:1 (fun sched ->
+      let filler =
+        Scheduler.submit sched
+          (Scheduler.Refine_spec Sekvm.Kernel_progs.mcs_handoff)
+      in
+      let doomed =
+        Scheduler.submit sched ~lane:Protocol.Bulk ~deadline_s:0.
+          (Scheduler.Litmus_spec Paper_examples.example1)
+      in
+      ignore (Scheduler.await sched filler);
+      let visited_after_filler =
+        (Scheduler.counters sched).Scheduler.engine.Engine.visited
+      in
+      (match Scheduler.await sched doomed with
+      | Scheduler.Deadline_expired, _ -> ()
+      | _ -> Alcotest.fail "queued bulk job did not expire");
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "expiry counted" 1 c.Scheduler.expired;
+      Alcotest.(check int) "expired job explored nothing"
+        visited_after_filler c.Scheduler.engine.Engine.visited;
+      (* and it was never cached *)
+      match
+        Scheduler.run sched (Scheduler.Litmus_spec Paper_examples.example1)
+      with
+      | Scheduler.Done _, m ->
+          Alcotest.(check bool) "expired job left no cache entry" false
+            m.Scheduler.from_cache
+      | _ -> Alcotest.fail "rerun did not complete")
 
 let test_deadline_engine_level () =
   (* the engine's valve: an already-passed absolute deadline stops the
@@ -206,6 +254,318 @@ let test_deadline_engine_level () =
     (Behavior.equal b_free b_dl);
   Alcotest.(check bool) "generous deadline: no budget hit" true
     (not (s_free.Engine.budget_hit || s_dl.Engine.budget_hit))
+
+(* ------------------------------------------------------------------ *)
+(* Lanes and backpressure                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lane_priority () =
+  (* one worker, three bulk refine jobs queued behind a filler, then an
+     interactive arrival: the interactive job must be served before the
+     backlog — when it completes, at most one bulk job can have run. *)
+  with_sched ~workers:1 (fun sched ->
+      let _filler =
+        Scheduler.submit sched
+          (Scheduler.Refine_spec Sekvm.Kernel_progs.mcs_handoff)
+      in
+      let bulk_specs =
+        [ Scheduler.Refine_spec Sekvm.Kernel_progs.vmid_alloc;
+          Scheduler.Litmus_spec Paper_examples.example2_fixed;
+          Scheduler.Litmus_spec Paper_examples.example3_fixed ]
+      in
+      let _bulk =
+        List.map
+          (fun s -> Scheduler.submit sched ~lane:Protocol.Bulk s)
+          bulk_specs
+      in
+      let inter =
+        Scheduler.submit sched (Scheduler.Litmus_spec Paper_examples.example1)
+      in
+      let _ = done_payload "interactive" (Scheduler.await sched inter) in
+      let c = Scheduler.counters sched in
+      (* completed so far: the filler, the interactive job, and at most
+         one racing bulk job the worker may have started right after *)
+      Alcotest.(check bool)
+        "interactive overtook the bulk backlog" true
+        (c.Scheduler.completed <= 3);
+      Scheduler.drain sched;
+      let c2 = Scheduler.counters sched in
+      Alcotest.(check int) "backlog drains eventually" 5
+        c2.Scheduler.completed)
+
+let test_bulk_wakeup () =
+  (* regression: with a reserved interactive worker (pool of two), a
+     lone bulk submission must still be picked up — the enqueue wakeup
+     has to reach a worker that is allowed to pop the bulk lane *)
+  with_sched ~workers:2 (fun sched ->
+      List.iter
+        (fun (t : Litmus.t) ->
+          let ticket =
+            Scheduler.submit sched ~lane:Protocol.Bulk
+              (Scheduler.Litmus_spec t)
+          in
+          ignore (done_payload "bulk-only" (Scheduler.await sched ticket)))
+        [ Paper_examples.mp_plain; Paper_examples.sb ])
+
+let test_shedding () =
+  (* bulk lane bounded at 1: with the worker busy and one bulk job
+     queued, the next distinct bulk submission is shed with a
+     retry-after hint; coalesced resubmissions are never shed *)
+  with_sched ~workers:1 ~bulk_depth:1 (fun sched ->
+      let filler =
+        Scheduler.submit sched
+          (Scheduler.Refine_spec Sekvm.Kernel_progs.mcs_handoff)
+      in
+      let queued_spec = Scheduler.Litmus_spec Paper_examples.example1 in
+      let queued =
+        Scheduler.submit sched ~lane:Protocol.Bulk queued_spec
+      in
+      let shed =
+        Scheduler.submit sched ~lane:Protocol.Bulk
+          (Scheduler.Litmus_spec Paper_examples.example2_fixed)
+      in
+      (match Scheduler.await sched shed with
+      | Scheduler.Overloaded { retry_after_s }, m ->
+          Alcotest.(check bool) "retry-after is positive" true
+            (retry_after_s > 0.);
+          Alcotest.(check bool) "shed did not compute" false
+            m.Scheduler.from_cache
+      | _ -> Alcotest.fail "overfull bulk lane did not shed");
+      (* resubmitting the queued job coalesces instead of shedding *)
+      let again =
+        Scheduler.submit sched ~lane:Protocol.Bulk queued_spec
+      in
+      (match Scheduler.await sched again with
+      | Scheduler.Done _, _ -> ()
+      | _ -> Alcotest.fail "coalesced resubmission was shed");
+      ignore (Scheduler.await sched filler);
+      ignore (Scheduler.await sched queued);
+      let c = Scheduler.counters sched in
+      Alcotest.(check int) "one bulk shed counted" 1
+        c.Scheduler.bulk.Scheduler.lane_shed;
+      Alcotest.(check int) "no interactive shed" 0
+        c.Scheduler.interactive.Scheduler.lane_shed;
+      Alcotest.(check int) "the resubmission coalesced" 1
+        c.Scheduler.coalesced;
+      (* shed outcomes are transient: the same spec re-submitted after
+         capacity frees completes normally *)
+      match
+        Scheduler.run sched
+          (Scheduler.Litmus_spec Paper_examples.example2_fixed)
+      with
+      | Scheduler.Done _, _ -> ()
+      | _ -> Alcotest.fail "post-shed resubmission failed")
+
+(* ------------------------------------------------------------------ *)
+(* Hot-tier parity and durability                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tmppath prefix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.int 100000))
+
+let rm_rf d =
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+   with _ -> ());
+  try Unix.rmdir d with _ -> ()
+
+(* Two live executions of the same job agree on everything except the
+   clock: scrub the wall-time (and other scheduling-dependent) stat
+   fields so the comparison pins down exactly the verification content —
+   digests, behavior sets, verdicts, deterministic exploration counts. *)
+let rec scrub_volatile (j : Json.t) : Json.t =
+  match j with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | "wall_s" | "minor_words" | "lock_waits" | "tasks_stolen" ->
+                 (k, Json.Null)
+             | _ -> (k, scrub_volatile v))
+           fields)
+  | Json.List items -> Json.List (List.map scrub_volatile items)
+  | other -> other
+
+let test_hot_onoff_parity () =
+  (* the acceptance criterion: result payloads are bit-identical with
+     the hot tier on and off (modulo wall-clock stats) *)
+  let specs =
+    [ Scheduler.Litmus_spec Paper_examples.mp_plain;
+      Scheduler.Litmus_spec Paper_examples.sb;
+      Scheduler.Refine_spec Sekvm.Kernel_progs.vmid_alloc ]
+  in
+  let run_all ~hot =
+    with_sched ~hot (fun sched ->
+        List.map
+          (fun s ->
+            let p, _ = done_payload "parity" (Scheduler.run sched s) in
+            Json.to_string (scrub_volatile p))
+          specs)
+  in
+  List.iter2
+    (Alcotest.(check string) "hot on/off payload bit-identical")
+    (run_all ~hot:true) (run_all ~hot:false)
+
+let test_journal_replay () =
+  let dir = tmppath "vrmd-journal-cache" in
+  let jpath = tmppath "vrmd-journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      try Sys.remove jpath with _ -> ())
+    (fun () ->
+      let entry = Sekvm.Kernel_progs.vmid_alloc in
+      let spec = Scheduler.Refine_spec entry in
+      (* session 1 "crashes" with two pending jobs journaled: one
+         healthy, one whose absolute deadline has already passed *)
+      let j1, p1 = Journal.open_ jpath in
+      Alcotest.(check int) "fresh journal is empty" 0 (List.length p1);
+      Journal.record_add j1
+        { Journal.e_key = Scheduler.cache_key spec;
+          e_job = Scheduler.job_of_spec spec;
+          e_jobs = 1;
+          e_lane = Protocol.Bulk;
+          e_deadline = None;
+          e_backend = Protocol.Explicit;
+          e_cert_cache = true;
+          e_por = true;
+          e_sym = true };
+      let doomed_spec = Scheduler.Litmus_spec Paper_examples.example1 in
+      Journal.record_add j1
+        { Journal.e_key = Scheduler.cache_key doomed_spec;
+          e_job = Scheduler.job_of_spec doomed_spec;
+          e_jobs = 1;
+          e_lane = Protocol.Bulk;
+          e_deadline = Some (Unix.gettimeofday () -. 1.);
+          e_backend = Protocol.Explicit;
+          e_cert_cache = true;
+          e_por = true;
+          e_sym = true };
+      Journal.close j1;
+      (* restart: both jobs replay; the healthy one completes and the
+         stale one is classified Deadline_expired, never run *)
+      let j2, pending = Journal.open_ jpath in
+      Alcotest.(check int) "both adds pending" 2 (List.length pending);
+      let store = Store.create ~dir ~engine_version:Engine.version () in
+      let replayed_payload =
+        with_sched ~cache:store ~journal:j2 (fun sched ->
+            Alcotest.(check int) "replayed both" 2
+              (Scheduler.replay sched pending);
+            Scheduler.drain sched;
+            let c = Scheduler.counters sched in
+            Alcotest.(check int) "stale replay expired, not run" 1
+              c.Scheduler.expired;
+            Alcotest.(check int) "healthy replay completed" 1
+              c.Scheduler.completed;
+            (* the replayed result is already cached *)
+            let p, m = done_payload "replayed" (Scheduler.run sched spec) in
+            Alcotest.(check bool) "replay populated the cache" true
+              m.Scheduler.from_cache;
+            Json.to_string p)
+      in
+      Journal.close j2;
+      (* terminal states were journaled: nothing pending on reopen *)
+      let j3, pending3 = Journal.open_ jpath in
+      Journal.close j3;
+      Alcotest.(check int) "journal forgot finished jobs" 0
+        (List.length pending3);
+      (* kill-and-restart digest parity: a fresh process over the same
+         cache dir (hot tier cold, then disabled entirely) serves the
+         byte-identical payload *)
+      List.iter
+        (fun hot ->
+          let store2 = Store.create ~dir ~engine_version:Engine.version () in
+          with_sched ~cache:store2 ~hot (fun sched2 ->
+              let p2, m2 =
+                done_payload "restart" (Scheduler.run sched2 spec)
+              in
+              Alcotest.(check bool) "restart served from disk" true
+                m2.Scheduler.from_cache;
+              Alcotest.(check string)
+                "payload bit-identical across restart" replayed_payload
+                (Json.to_string p2)))
+        [ true; false ])
+
+(* ------------------------------------------------------------------ *)
+(* Framing and client resilience                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_cap () =
+  (* send side: a payload above max_frame is refused structurally *)
+  let big = Json.String (String.make (Protocol.max_frame + 1) 'x') in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      (match Protocol.send a big with
+      | exception Protocol.Frame_too_large _ -> ()
+      | () -> Alcotest.fail "oversized send was not refused");
+      (* recv side: a peer announcing an oversized frame is drained and
+         rejected, and the connection keeps working afterwards *)
+      let oversized = Protocol.max_frame + 5 in
+      let writer =
+        Thread.create
+          (fun () ->
+            let header = Bytes.create 4 in
+            Bytes.set_int32_be header 0 (Int32.of_int oversized);
+            ignore (Unix.write a header 0 4);
+            let chunk = Bytes.make 65536 '.' in
+            let rec push remaining =
+              if remaining > 0 then
+                let n = min remaining (Bytes.length chunk) in
+                let w = Unix.write a chunk 0 n in
+                push (remaining - w)
+            in
+            push oversized;
+            (* then a well-formed frame on the same stream *)
+            Protocol.send a (Json.Obj [ ("ok", Json.Bool true) ]))
+          ()
+      in
+      (match Protocol.recv b with
+      | exception Protocol.Frame_too_large n ->
+          Alcotest.(check int) "reported oversize length" oversized n
+      | _ -> Alcotest.fail "oversized frame accepted");
+      (match Protocol.recv b with
+      | Some j ->
+          Alcotest.(check bool) "stream survives the oversized frame" true
+            (Json.to_bool (Json.member "ok" j))
+      | None -> Alcotest.fail "connection died after oversized frame"
+      | exception e ->
+          Alcotest.failf "stream desynced: %s" (Printexc.to_string e));
+      Thread.join writer)
+
+let test_client_retry () =
+  let socket = tmppath "vrmd-retry" ^ ".sock" in
+  (* no daemon, retries exhausted: the transient error surfaces *)
+  (match Client.with_connection ~socket ~retries:1 (fun _ -> ()) with
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ()
+  | () -> Alcotest.fail "connected to a socket that does not exist"
+  | exception e -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e));
+  (* mid-restart daemon: the socket appears only after the client's
+     first attempt, so success proves the retry *)
+  let server =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.1;
+        let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind lfd (Unix.ADDR_UNIX socket);
+        Unix.listen lfd 1;
+        let fd, _ = Unix.accept lfd in
+        Unix.close fd;
+        Unix.close lfd)
+      ()
+  in
+  let connected =
+    Client.with_connection ~socket ~retries:3 (fun _ -> true)
+  in
+  Thread.join server;
+  (try Sys.remove socket with _ -> ());
+  Alcotest.(check bool) "retry reached the late-binding daemon" true
+    connected
 
 (* ------------------------------------------------------------------ *)
 (* The daemon, end to end                                              *)
@@ -274,8 +634,27 @@ let () =
       ( "deadlines",
         [ Alcotest.test_case "expired jobs cancel without running" `Quick
             test_deadline_queue_level;
+          Alcotest.test_case "bulk-lane queue expiry" `Quick
+            test_deadline_bulk_lane;
           Alcotest.test_case "engine deadline valve" `Quick
             test_deadline_engine_level ] );
+      ( "lanes",
+        [ Alcotest.test_case "interactive overtakes a bulk backlog" `Quick
+            test_lane_priority;
+          Alcotest.test_case "bulk wakeup reaches an unreserved worker"
+            `Quick test_bulk_wakeup;
+          Alcotest.test_case "full lane sheds with retry-after" `Quick
+            test_shedding ] );
+      ( "durability",
+        [ Alcotest.test_case "hot on/off payloads bit-identical" `Quick
+            test_hot_onoff_parity;
+          Alcotest.test_case "journal replay across a restart" `Quick
+            test_journal_replay ] );
+      ( "resilience",
+        [ Alcotest.test_case "oversized frames are survivable" `Quick
+            test_frame_cap;
+          Alcotest.test_case "client retries a mid-restart daemon" `Quick
+            test_client_retry ] );
       ( "daemon",
         [ Alcotest.test_case "serve/submit/status/shutdown over a socket"
             `Quick test_server_end_to_end ] ) ]
